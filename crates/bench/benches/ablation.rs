@@ -1,0 +1,115 @@
+//! Throughput cost of the synopsis design knobs DESIGN.md §5 calls out:
+//! promotion threshold, tier ratio, and the item-eviction demotion hook
+//! (the correlation-table maintenance that item churn triggers).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rtdac_synopsis::{AnalyzerConfig, OnlineAnalyzer, TwoTierTable};
+use rtdac_types::{Extent, IoOp, Timestamp, Transaction};
+
+fn churny_transactions(count: usize) -> Vec<Transaction> {
+    // Mostly one-off extents: maximal item-table churn, so the demotion
+    // hook fires constantly.
+    let mut txns = Vec::with_capacity(count);
+    let mut state = 42u64;
+    let mut rand = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 16
+    };
+    for i in 0..count {
+        let mut txn = Transaction::new(Timestamp::from_micros(i as u64));
+        for _ in 0..8 {
+            txn.push(
+                Extent::new(rand() % 50_000_000, 8).expect("valid extent"),
+                IoOp::Read,
+            );
+        }
+        txns.push(txn);
+    }
+    txns
+}
+
+fn bench_promotion_threshold(c: &mut Criterion) {
+    let txns = churny_transactions(4_096);
+    let mut group = c.benchmark_group("promotion_threshold");
+    group.throughput(Throughput::Elements(txns.len() as u64));
+    for threshold in [2u32, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threshold),
+            &threshold,
+            |b, &threshold| {
+                b.iter(|| {
+                    let mut analyzer = OnlineAnalyzer::new(
+                        AnalyzerConfig::with_capacity(8 * 1024).promote_threshold(threshold),
+                    );
+                    for txn in &txns {
+                        analyzer.process(txn);
+                    }
+                    analyzer.stats().pairs
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_item_capacity(c: &mut Criterion) {
+    // A smaller item table evicts more, firing more correlated
+    // demotions — the hook's cost shows as capacity shrinks.
+    let txns = churny_transactions(4_096);
+    let mut group = c.benchmark_group("item_table_capacity");
+    group.throughput(Throughput::Elements(txns.len() as u64));
+    for item_capacity in [512usize, 4 * 1024, 32 * 1024] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(item_capacity),
+            &item_capacity,
+            |b, &item_capacity| {
+                b.iter(|| {
+                    let mut analyzer = OnlineAnalyzer::new(
+                        AnalyzerConfig::with_capacity(8 * 1024).item_capacity(item_capacity),
+                    );
+                    for txn in &txns {
+                        analyzer.process(txn);
+                    }
+                    analyzer.stats().correlated_demotions
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_raw_table_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("two_tier_table");
+    let keys: Vec<u64> = {
+        let mut state = 7u64;
+        (0..65_536u64)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 16) % 100_000
+            })
+            .collect()
+    };
+    group.throughput(Throughput::Elements(keys.len() as u64));
+    group.bench_function("record_zipfless_churn", |b| {
+        b.iter(|| {
+            let mut table = TwoTierTable::new(16 * 1024, 16 * 1024, 2);
+            for &k in &keys {
+                table.record(k);
+            }
+            table.len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_promotion_threshold,
+    bench_item_capacity,
+    bench_raw_table_ops
+);
+criterion_main!(benches);

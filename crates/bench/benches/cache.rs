@@ -1,0 +1,99 @@
+//! Cache policy throughput and the cost of correlation-informed
+//! prefetching (the Fig. 14 consumers).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rtdac_bench::support::{server_transactions, ExpConfig};
+use rtdac_cache::{run_workload, ArcCache, Cache, LfuCache, LruCache, PrefetchConfig};
+use rtdac_synopsis::{AnalyzerConfig, OnlineAnalyzer};
+use rtdac_types::Transaction;
+use rtdac_workloads::MsrServer;
+
+fn workload() -> Vec<Transaction> {
+    let config = ExpConfig {
+        requests: 15_000,
+        seed: 21,
+        out_dir: "/tmp".into(),
+    };
+    server_transactions(MsrServer::Hm, &config)
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let txns = workload();
+    let accesses: u64 = txns.iter().map(|t| t.len() as u64).sum();
+    let mut group = c.benchmark_group("cache_policies");
+    group.throughput(Throughput::Elements(accesses));
+    group.bench_function("lru", |b| {
+        b.iter(|| {
+            let mut cache = LruCache::new(1024);
+            let mut analyzer = OnlineAnalyzer::new(AnalyzerConfig::with_capacity(1024));
+            run_workload(&mut cache, &mut analyzer, &txns, None).hits
+        })
+    });
+    group.bench_function("lfu", |b| {
+        b.iter(|| {
+            let mut cache = LfuCache::new(1024);
+            let mut analyzer = OnlineAnalyzer::new(AnalyzerConfig::with_capacity(1024));
+            run_workload(&mut cache, &mut analyzer, &txns, None).hits
+        })
+    });
+    group.bench_function("arc", |b| {
+        b.iter(|| {
+            let mut cache = ArcCache::new(1024);
+            let mut analyzer = OnlineAnalyzer::new(AnalyzerConfig::with_capacity(1024));
+            run_workload(&mut cache, &mut analyzer, &txns, None).hits
+        })
+    });
+    group.bench_function("arc_with_prefetch", |b| {
+        b.iter(|| {
+            let mut cache = ArcCache::new(1024);
+            let mut analyzer = OnlineAnalyzer::new(AnalyzerConfig::with_capacity(1024));
+            run_workload(
+                &mut cache,
+                &mut analyzer,
+                &txns,
+                Some(PrefetchConfig::default()),
+            )
+            .hits
+        })
+    });
+    group.finish();
+}
+
+fn bench_raw_access(c: &mut Criterion) {
+    // Raw policy cost without the analyzer, on a Zipf-ish key stream.
+    let keys: Vec<u64> = {
+        let mut state = 99u64;
+        (0..100_000)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 16) % 8_192
+            })
+            .collect()
+    };
+    let mut group = c.benchmark_group("raw_cache_access");
+    group.throughput(Throughput::Elements(keys.len() as u64));
+    group.bench_function("lru", |b| {
+        b.iter(|| {
+            let mut cache = LruCache::new(2_048);
+            for &k in &keys {
+                cache.access(k);
+            }
+            cache.stats().hits
+        })
+    });
+    group.bench_function("arc", |b| {
+        b.iter(|| {
+            let mut cache = ArcCache::new(2_048);
+            for &k in &keys {
+                cache.access(k);
+            }
+            cache.stats().hits
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_raw_access);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! §II-B's time/space trade-off claims about the offline baselines,
+//! measured: apriori vs eclat vs fp-growth vs the direct pair oracle on
+//! monitor-produced transaction databases.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtdac_bench::support::{server_transactions, ExpConfig};
+use rtdac_fim::{count_pairs, Apriori, Eclat, FpGrowth, TransactionDb};
+use rtdac_types::Transaction;
+use rtdac_workloads::MsrServer;
+
+fn workload(requests: usize) -> Vec<Transaction> {
+    let config = ExpConfig {
+        requests,
+        seed: 11,
+        out_dir: "/tmp".into(),
+    };
+    server_transactions(MsrServer::Wdev, &config)
+}
+
+fn bench_miners(c: &mut Criterion) {
+    let txns = workload(10_000);
+    let db = TransactionDb::from_transactions(&txns);
+    let mut group = c.benchmark_group("fim_miners_pairs_support5");
+    group.sample_size(10);
+    group.bench_function("apriori", |b| {
+        b.iter(|| Apriori::new(5).max_len(2).mine(&db).len())
+    });
+    group.bench_function("eclat", |b| {
+        b.iter(|| Eclat::new(5).max_len(2).mine(&db).len())
+    });
+    group.bench_function("fp_growth", |b| {
+        b.iter(|| FpGrowth::new(5).max_len(2).mine(&db).len())
+    });
+    group.bench_function("pair_oracle", |b| b.iter(|| count_pairs(&txns).len()));
+    group.finish();
+}
+
+fn bench_miner_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eclat_scaling");
+    group.sample_size(10);
+    for requests in [2_500usize, 5_000, 10_000] {
+        let txns = workload(requests);
+        let db = TransactionDb::from_transactions(&txns);
+        group.bench_with_input(BenchmarkId::from_parameter(requests), &db, |b, db| {
+            b.iter(|| Eclat::new(5).max_len(2).mine(db).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_itemsets_vs_pairs(c: &mut Criterion) {
+    // The paper's point about stream FIM: maximal itemsets cost far more
+    // than the pairs that suffice for correlations.
+    let txns = workload(5_000);
+    let db = TransactionDb::from_transactions(&txns);
+    let mut group = c.benchmark_group("pairs_vs_full_itemsets");
+    group.sample_size(10);
+    group.bench_function("eclat_pairs_only", |b| {
+        b.iter(|| Eclat::new(5).max_len(2).mine(&db).len())
+    });
+    group.bench_function("eclat_all_itemsets", |b| {
+        b.iter(|| Eclat::new(5).mine(&db).len())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_miners,
+    bench_miner_scaling,
+    bench_full_itemsets_vs_pairs
+);
+criterion_main!(benches);

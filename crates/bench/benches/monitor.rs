@@ -1,0 +1,88 @@
+//! Monitoring-module overhead (§IV-C4: "the overhead cost of monitoring
+//! is minimal"): events/second through windowing, dedup and filtering.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rtdac_bench::support::{server_trace, ExpConfig};
+use rtdac_device::{replay, NvmeSsdModel, ReplayMode};
+use rtdac_monitor::{Monitor, MonitorConfig, WindowPolicy};
+use rtdac_types::IoEvent;
+use rtdac_workloads::MsrServer;
+use std::time::Duration;
+
+fn events(requests: usize) -> Vec<IoEvent> {
+    let config = ExpConfig {
+        requests,
+        seed: 13,
+        out_dir: "/tmp".into(),
+    };
+    let trace = server_trace(MsrServer::Src2, &config);
+    let mut ssd = NvmeSsdModel::new(13);
+    replay(&trace, &mut ssd, ReplayMode::Timed { speedup: 61.2 }).events
+}
+
+fn bench_monitor_throughput(c: &mut Criterion) {
+    let events = events(20_000);
+    let mut group = c.benchmark_group("monitor_throughput");
+    group.throughput(Throughput::Elements(events.len() as u64));
+
+    group.bench_function("dynamic_window", |b| {
+        b.iter(|| {
+            Monitor::new(MonitorConfig::default())
+                .into_transactions(events.clone())
+                .len()
+        })
+    });
+    group.bench_function("static_window", |b| {
+        b.iter(|| {
+            Monitor::new(MonitorConfig::new(WindowPolicy::Static(
+                Duration::from_micros(100),
+            )))
+            .into_transactions(events.clone())
+            .len()
+        })
+    });
+    group.bench_function("no_dedup", |b| {
+        b.iter(|| {
+            Monitor::new(MonitorConfig::default().dedup(false))
+                .into_transactions(events.clone())
+                .len()
+        })
+    });
+    group.bench_function("with_pid_filter", |b| {
+        b.iter(|| {
+            Monitor::new(MonitorConfig::default().pid_filter([0]))
+                .into_transactions(events.clone())
+                .len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let config = ExpConfig {
+        requests: 20_000,
+        seed: 13,
+        out_dir: "/tmp".into(),
+    };
+    let trace = server_trace(MsrServer::Src2, &config);
+    let mut group = c.benchmark_group("replay");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("timed", |b| {
+        b.iter(|| {
+            let mut ssd = NvmeSsdModel::new(13);
+            replay(&trace, &mut ssd, ReplayMode::Timed { speedup: 61.2 })
+                .events
+                .len()
+        })
+    });
+    group.bench_function("no_stall", |b| {
+        b.iter(|| {
+            let mut ssd = NvmeSsdModel::new(13);
+            replay(&trace, &mut ssd, ReplayMode::NoStall).events.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_monitor_throughput, bench_replay);
+criterion_main!(benches);

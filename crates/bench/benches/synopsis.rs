@@ -1,0 +1,101 @@
+//! §IV-C4 overhead: per-transaction cost of the online analysis module —
+//! O(N²) in transaction size, bounded by the N = 8 limit — and the cost
+//! of the frequent-pair query an optimization module would issue.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rtdac_synopsis::{AnalyzerConfig, OnlineAnalyzer};
+use rtdac_types::{Extent, Timestamp, Transaction};
+
+/// Pre-builds a stream of transactions of fixed size `n` drawn from a
+/// realistic mix of recurring and one-off extents.
+fn transactions(n: usize, count: usize) -> Vec<Transaction> {
+    let mut txns = Vec::with_capacity(count);
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut rand = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 16
+    };
+    for i in 0..count {
+        let mut txn = Transaction::new(Timestamp::from_micros(i as u64));
+        for _ in 0..n {
+            // 70% from a hot set of 4096 extents, 30% one-off.
+            let start = if rand() % 10 < 7 {
+                (rand() % 4096) * 64
+            } else {
+                1_000_000 + rand() % 100_000_000
+            };
+            txn.push(
+                Extent::new(start, 8).expect("valid extent"),
+                rtdac_types::IoOp::Read,
+            );
+        }
+        txns.push(txn);
+    }
+    txns
+}
+
+fn bench_process_by_txn_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analyzer_process_by_txn_size");
+    for n in [2usize, 4, 8, 16] {
+        let txns = transactions(n, 4_096);
+        group.throughput(Throughput::Elements(txns.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &txns, |b, txns| {
+            b.iter(|| {
+                let mut analyzer =
+                    OnlineAnalyzer::new(AnalyzerConfig::with_capacity(16 * 1024));
+                for txn in txns {
+                    analyzer.process(txn);
+                }
+                analyzer.stats().pairs
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_process_by_capacity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analyzer_process_by_capacity");
+    let txns = transactions(8, 4_096);
+    for capacity in [1_024usize, 16 * 1024, 256 * 1024] {
+        group.throughput(Throughput::Elements(txns.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(capacity),
+            &capacity,
+            |b, &capacity| {
+                b.iter(|| {
+                    let mut analyzer =
+                        OnlineAnalyzer::new(AnalyzerConfig::with_capacity(capacity));
+                    for txn in &txns {
+                        analyzer.process(txn);
+                    }
+                    analyzer.stats().pairs
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_frequent_pairs_query(c: &mut Criterion) {
+    let txns = transactions(8, 8_192);
+    let mut analyzer = OnlineAnalyzer::new(AnalyzerConfig::with_capacity(16 * 1024));
+    for txn in &txns {
+        analyzer.process(txn);
+    }
+    c.bench_function("frequent_pairs_query_support5", |b| {
+        b.iter(|| analyzer.frequent_pairs(5).len());
+    });
+    c.bench_function("snapshot", |b| {
+        b.iter(|| analyzer.snapshot().pairs.len());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_process_by_txn_size,
+    bench_process_by_capacity,
+    bench_frequent_pairs_query
+);
+criterion_main!(benches);

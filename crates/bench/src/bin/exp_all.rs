@@ -1,0 +1,26 @@
+//! Runs every table and figure regeneration in sequence — the paper's
+//! whole evaluation. `RTDAC_REQUESTS` scales the traces (default 40000).
+use rtdac_bench::experiments as exp;
+
+fn main() {
+    let config = rtdac_bench::support::ExpConfig::from_env();
+    println!(
+        "rtdac evaluation: {} requests/trace, seed {}, output {}",
+        config.requests,
+        config.seed,
+        config.out_dir.display()
+    );
+    exp::tables::table1(&config);
+    exp::tables::table2(&config);
+    exp::fig1_heatmaps::run(&config);
+    exp::fig5_cdf::run(&config);
+    exp::fig6_table_size::run(&config);
+    exp::fig7_synthetic::run(&config);
+    exp::fig8_real_world::run(&config);
+    exp::fig9_representability::run(&config);
+    exp::fig10_drift::run(&config);
+    exp::ablations::run(&config);
+    exp::fig14_cache::run(&config);
+    exp::fig15_sketch::run(&config);
+    println!("\nall experiments complete.");
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 9 (representability vs optimal, table-size sweep).
+fn main() {
+    let config = rtdac_bench::support::ExpConfig::from_env();
+    rtdac_bench::experiments::fig9_representability::run(&config);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table I. `RTDAC_REQUESTS` scales the traces.
+fn main() {
+    let config = rtdac_bench::support::ExpConfig::from_env();
+    rtdac_bench::experiments::tables::table1(&config);
+}

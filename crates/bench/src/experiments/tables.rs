@@ -1,0 +1,115 @@
+//! Tables I and II of the paper.
+
+use std::fmt::Write as _;
+
+use rtdac_device::{replay_speedup, NvmeSsdModel};
+use rtdac_workloads::MsrServer;
+
+use crate::support::{banner, fmt_latency, save_csv, server_trace, ExpConfig};
+
+/// Table I: Microsoft workload statistics — total data accessed, unique
+/// data accessed, and the fraction of interarrival gaps under 100 µs —
+/// for the five synthesized MSR-like traces, with the paper's values for
+/// the real traces alongside.
+///
+/// Absolute byte counts are scaled (our traces are `requests`-long, the
+/// originals week-long); the comparable columns are the reuse ratio and
+/// the interarrival fraction.
+pub fn table1(config: &ExpConfig) {
+    banner(&format!(
+        "Table I: workload statistics  (synthesized, {} requests/trace)",
+        config.requests
+    ));
+    println!(
+        "{:<7} {:>10} {:>11} {:>12} {:>12} {:>12} {:>12}",
+        "trace", "total GB", "unique GB", "reuse", "paper reuse", "<100µs", "paper <100µs"
+    );
+    let mut csv = String::from(
+        "trace,total_gb,unique_gb,reuse_ratio,paper_reuse_ratio,\
+         fast_fraction,paper_fast_fraction\n",
+    );
+    let mut total_sum = 0.0;
+    let mut unique_sum = 0.0;
+    let mut fast_sum = 0.0;
+    for server in MsrServer::ALL {
+        let trace = server_trace(server, config);
+        let stats = trace.stats();
+        let paper = server.paper_reference();
+        println!(
+            "{:<7} {:>10.2} {:>11.3} {:>11.1}x {:>11.1}x {:>11.1}% {:>11.1}%",
+            server.name(),
+            stats.total_gb(),
+            stats.unique_gb(),
+            stats.reuse_ratio(),
+            paper.reuse_ratio(),
+            stats.fast_interarrival_fraction * 100.0,
+            paper.fast_interarrival_fraction * 100.0,
+        );
+        writeln!(
+            csv,
+            "{},{:.4},{:.4},{:.3},{:.3},{:.4},{:.4}",
+            server.name(),
+            stats.total_gb(),
+            stats.unique_gb(),
+            stats.reuse_ratio(),
+            paper.reuse_ratio(),
+            stats.fast_interarrival_fraction,
+            paper.fast_interarrival_fraction,
+        )
+        .expect("writing to String");
+        total_sum += stats.total_gb();
+        unique_sum += stats.unique_gb();
+        fast_sum += stats.fast_interarrival_fraction;
+    }
+    println!(
+        "{:<7} {:>10.2} {:>11.3} {:>12} {:>12} {:>11.1}% {:>11.1}%",
+        "average",
+        total_sum / 5.0,
+        unique_sum / 5.0,
+        "",
+        "",
+        fast_sum / 5.0 * 100.0,
+        73.5,
+    );
+    save_csv(config, "table1_workload_stats.csv", &csv);
+}
+
+/// Table II: replay speedup of the five traces — mean recorded (HDD-era)
+/// latency vs mean measured latency on the simulated NVMe SSD over 10
+/// no-stall replays, exactly the paper's method.
+pub fn table2(config: &ExpConfig) {
+    banner("Table II: replay speedup of Microsoft traces (10 no-stall replays)");
+    println!(
+        "{:<7} {:>16} {:>18} {:>10} {:>14}",
+        "trace", "mean trace lat", "mean measured lat", "speedup", "paper speedup"
+    );
+    let mut csv = String::from(
+        "trace,mean_trace_latency_s,mean_measured_latency_s,speedup,paper_speedup\n",
+    );
+    for server in MsrServer::ALL {
+        let trace = server_trace(server, config);
+        let mut ssd = NvmeSsdModel::new(config.seed);
+        let row = replay_speedup(&trace, &mut ssd, 10)
+            .expect("synthesized traces record latencies");
+        let paper = server.paper_reference();
+        println!(
+            "{:<7} {:>16} {:>18} {:>9.1}x {:>13.1}x",
+            server.name(),
+            fmt_latency(row.mean_trace_latency.as_secs_f64()),
+            fmt_latency(row.mean_measured_latency.as_secs_f64()),
+            row.speedup,
+            paper.replay_speedup,
+        );
+        writeln!(
+            csv,
+            "{},{:.6e},{:.6e},{:.2},{:.2}",
+            server.name(),
+            row.mean_trace_latency.as_secs_f64(),
+            row.mean_measured_latency.as_secs_f64(),
+            row.speedup,
+            paper.replay_speedup,
+        )
+        .expect("writing to String");
+    }
+    save_csv(config, "table2_replay_speedup.csv", &csv);
+}

@@ -1,0 +1,16 @@
+//! The evaluation harness of `rtdac`: one module per table/figure of the
+//! paper, each exposing a `run` function that prints the paper-matching
+//! rows/series and writes CSV under a results directory.
+//!
+//! Binaries in `src/bin/` are thin wrappers (`table1_workload_stats`,
+//! `fig5_correlation_cdf`, …, `exp_all`); Criterion benches under
+//! `benches/` cover the §IV-C4 overhead analysis.
+//!
+//! Scale note: the MSR-like traces are synthesized at a configurable
+//! request count (default 40 000, override with the `RTDAC_REQUESTS`
+//! environment variable) instead of the week-long originals; table-size
+//! sweeps are scaled accordingly. Every harness prints the scale it ran
+//! at so numbers are never mistaken for the paper's absolute values.
+
+pub mod experiments;
+pub mod support;

@@ -1,0 +1,165 @@
+//! Shared plumbing for the experiment harnesses.
+
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+
+use rtdac_device::{replay, NvmeSsdModel, ReplayMode};
+use rtdac_monitor::{Monitor, MonitorConfig};
+use rtdac_synopsis::{AnalyzerConfig, OnlineAnalyzer};
+use rtdac_types::{Trace, Transaction};
+use rtdac_workloads::MsrServer;
+
+/// Scale and output configuration shared by every experiment.
+#[derive(Clone, Debug)]
+pub struct ExpConfig {
+    /// Requests per synthesized MSR-like trace.
+    pub requests: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Directory CSV outputs are written to.
+    pub out_dir: PathBuf,
+}
+
+impl ExpConfig {
+    /// Reads the configuration from the environment: `RTDAC_REQUESTS`
+    /// (default 40 000), `RTDAC_SEED` (default 7), `RTDAC_OUT`
+    /// (default `results/`).
+    pub fn from_env() -> Self {
+        let requests = std::env::var("RTDAC_REQUESTS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(40_000);
+        let seed = std::env::var("RTDAC_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(7);
+        let out_dir = std::env::var("RTDAC_OUT")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("results"));
+        ExpConfig {
+            requests,
+            seed,
+            out_dir,
+        }
+    }
+
+    /// Writes `contents` to `<out_dir>/<name>`, creating the directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write(&self, name: &str, contents: &str) -> io::Result<PathBuf> {
+        fs::create_dir_all(&self.out_dir)?;
+        let path = self.out_dir.join(name);
+        fs::write(&path, contents)?;
+        Ok(path)
+    }
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig {
+            requests: 40_000,
+            seed: 7,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+/// Synthesizes a server's trace at the configured scale.
+pub fn server_trace(server: MsrServer, config: &ExpConfig) -> Trace {
+    server.synthesize(config.requests, config.seed)
+}
+
+/// The paper's standard pipeline for a trace: replay on the NVMe model
+/// at the given acceleration, monitor with the default (dynamic-window)
+/// configuration, return transactions.
+pub fn monitored(trace: &Trace, speedup: f64, seed: u64) -> Vec<Transaction> {
+    let mut ssd = NvmeSsdModel::new(seed);
+    let result = replay(trace, &mut ssd, ReplayMode::Timed { speedup });
+    Monitor::new(MonitorConfig::default()).into_transactions(result.events)
+}
+
+/// Transactions for a server at the configured scale, replayed at its
+/// Table II speedup.
+pub fn server_transactions(server: MsrServer, config: &ExpConfig) -> Vec<Transaction> {
+    let trace = server_trace(server, config);
+    monitored(
+        &trace,
+        server.paper_reference().replay_speedup,
+        config.seed,
+    )
+}
+
+/// Runs the online analyzer over transactions with per-tier capacity `c`.
+pub fn analyze(transactions: &[Transaction], c: usize) -> OnlineAnalyzer {
+    let mut analyzer = OnlineAnalyzer::new(AnalyzerConfig::with_capacity(c));
+    for txn in transactions {
+        analyzer.process(txn);
+    }
+    analyzer
+}
+
+/// Prints a horizontal rule + centered title, the harnesses' section
+/// header style.
+pub fn banner(title: &str) {
+    println!("\n======================================================================");
+    println!("  {title}");
+    println!("======================================================================");
+}
+
+/// Formats a `Duration`-like second count with the paper's µs/ms units.
+pub fn fmt_latency(seconds: f64) -> String {
+    if seconds >= 1e-3 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{:.2} µs", seconds * 1e6)
+    }
+}
+
+/// Saves a CSV and reports where it went.
+pub fn save_csv(config: &ExpConfig, name: &str, contents: &str) {
+    match config.write(name, contents) {
+        Ok(path) => println!("  [csv] {}", path.display()),
+        Err(err) => eprintln!("  [csv] FAILED to write {name}: {err}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_latency_units() {
+        assert_eq!(fmt_latency(0.00365), "3.65 ms");
+        assert_eq!(fmt_latency(48e-6), "48.00 µs");
+    }
+
+    #[test]
+    fn write_creates_directory() {
+        let dir = std::env::temp_dir().join("rtdac_support_test");
+        let _ = fs::remove_dir_all(&dir);
+        let config = ExpConfig {
+            requests: 10,
+            seed: 1,
+            out_dir: dir.clone(),
+        };
+        let path = config.write("x.csv", "a,b\n").unwrap();
+        assert_eq!(fs::read_to_string(path).unwrap(), "a,b\n");
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn pipeline_smoke() {
+        let config = ExpConfig {
+            requests: 2_000,
+            seed: 3,
+            out_dir: PathBuf::from("/tmp"),
+        };
+        let txns = server_transactions(MsrServer::Wdev, &config);
+        assert!(!txns.is_empty());
+        let analyzer = analyze(&txns, 1024);
+        assert!(analyzer.stats().transactions > 0);
+    }
+}

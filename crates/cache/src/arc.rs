@@ -1,0 +1,484 @@
+//! Adaptive Replacement Cache — Megiddo & Modha, FAST '03 — implemented
+//! in full (T1/T2 resident lists, B1/B2 ghost lists, adaptive target
+//! `p`).
+//!
+//! ARC is the design the paper's synopsis structure is "inspired by"
+//! (§III-D): the paper keeps ARC's two-tier split of once-seen vs
+//! frequently-seen entries but replaces the ghost lists and adaptation
+//! with fixed sizes and demote-to-LRU-end. Having the genuine article
+//! here lets the repository compare both designs and serves as the
+//! strongest classic baseline for the correlation-prefetching
+//! experiments.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::policy::{Cache, CacheStats};
+
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum List {
+    T1,
+    T2,
+    B1,
+    B2,
+}
+
+const NIL: usize = usize::MAX;
+
+#[derive(Clone, Debug)]
+struct Node<K> {
+    key: K,
+    list: List,
+    prev: usize,
+    next: usize,
+    prefetched: bool,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Ends {
+    head: usize,
+    tail: usize,
+    len: usize,
+}
+
+/// The Adaptive Replacement Cache.
+///
+/// # Examples
+///
+/// ```
+/// use rtdac_cache::{ArcCache, Cache};
+///
+/// let mut cache = ArcCache::new(2);
+/// cache.access("a");
+/// cache.access("a");            // a now in T2 (seen twice)
+/// cache.access("b");
+/// cache.access("c");            // b evicted from T1, remembered in ghost B1
+/// assert!(cache.contains(&"a"));
+/// assert!(!cache.contains(&"b"));
+/// cache.access("b");            // ghost hit: ARC grows its recency target
+/// assert!(cache.contains(&"b"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct ArcCache<K> {
+    index: HashMap<K, usize>,
+    nodes: Vec<Node<K>>,
+    free: Vec<usize>,
+    lists: [Ends; 4],
+    /// Target size of T1 (the adaptive parameter).
+    p: usize,
+    capacity: usize,
+    stats: CacheStats,
+}
+
+impl<K: Eq + Hash + Clone> ArcCache<K> {
+    /// Creates an ARC of `capacity` resident keys (ghost lists add up to
+    /// another `capacity` of key-only metadata, per the algorithm).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        ArcCache {
+            index: HashMap::with_capacity(2 * capacity),
+            nodes: Vec::with_capacity(2 * capacity),
+            free: Vec::new(),
+            lists: [Ends {
+                head: NIL,
+                tail: NIL,
+                len: 0,
+            }; 4],
+            p: 0,
+            capacity,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The adaptive target size of T1 — exposed for tests and curiosity.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    fn ends(&mut self, list: List) -> &mut Ends {
+        &mut self.lists[list as usize]
+    }
+
+    fn list_len(&self, list: List) -> usize {
+        self.lists[list as usize].len
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next, list) = {
+            let n = &self.nodes[idx];
+            (n.prev, n.next, n.list)
+        };
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        }
+        let ends = self.ends(list);
+        if ends.head == idx {
+            ends.head = next;
+        }
+        if ends.tail == idx {
+            ends.tail = prev;
+        }
+        ends.len -= 1;
+    }
+
+    fn push_mru(&mut self, list: List, idx: usize) {
+        let head = self.ends(list).head;
+        self.nodes[idx].list = list;
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = head;
+        if head != NIL {
+            self.nodes[head].prev = idx;
+        }
+        let ends = self.ends(list);
+        ends.head = idx;
+        if ends.tail == NIL {
+            ends.tail = idx;
+        }
+        ends.len += 1;
+    }
+
+    fn alloc(&mut self, key: K, prefetched: bool) -> usize {
+        let node = Node {
+            key,
+            list: List::T1,
+            prev: NIL,
+            next: NIL,
+            prefetched,
+        };
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx] = node;
+            idx
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        }
+    }
+
+    fn drop_lru(&mut self, list: List) {
+        let tail = self.lists[list as usize].tail;
+        if tail == NIL {
+            return;
+        }
+        self.unlink(tail);
+        let key = self.nodes[tail].key.clone();
+        self.index.remove(&key);
+        self.free.push(tail);
+    }
+
+    /// REPLACE(x, p) from the paper: demote T1's or T2's LRU page to the
+    /// corresponding ghost list.
+    fn replace(&mut self, requested_in_b2: bool) {
+        let t1_len = self.list_len(List::T1);
+        if t1_len >= 1 && ((requested_in_b2 && t1_len == self.p) || t1_len > self.p) {
+            // Move T1's LRU to B1's MRU.
+            let tail = self.lists[List::T1 as usize].tail;
+            self.unlink(tail);
+            self.push_mru(List::B1, tail);
+        } else {
+            // Move T2's LRU to B2's MRU.
+            let tail = self.lists[List::T2 as usize].tail;
+            if tail == NIL {
+                // Degenerate: T2 empty — fall back to T1.
+                let t1_tail = self.lists[List::T1 as usize].tail;
+                if t1_tail != NIL {
+                    self.unlink(t1_tail);
+                    self.push_mru(List::B1, t1_tail);
+                }
+                return;
+            }
+            self.unlink(tail);
+            self.push_mru(List::B2, tail);
+        }
+    }
+
+    /// The full ARC request algorithm. Returns whether the key was
+    /// resident (in T1 ∪ T2) before the call.
+    fn request(&mut self, key: K, prefetched: bool) -> bool {
+        let c = self.capacity;
+        if let Some(&idx) = self.index.get(&key) {
+            match self.nodes[idx].list {
+                // Case I: hit in T1 or T2 — move to T2's MRU.
+                List::T1 | List::T2 => {
+                    self.unlink(idx);
+                    self.push_mru(List::T2, idx);
+                    return true;
+                }
+                // Case II: ghost hit in B1 — favor recency.
+                List::B1 => {
+                    let b1 = self.list_len(List::B1).max(1);
+                    let b2 = self.list_len(List::B2);
+                    let delta = (b2 / b1).max(1);
+                    self.p = (self.p + delta).min(c);
+                    self.replace(false);
+                    self.unlink(idx);
+                    self.nodes[idx].prefetched = prefetched;
+                    self.push_mru(List::T2, idx);
+                    return false;
+                }
+                // Case III: ghost hit in B2 — favor frequency.
+                List::B2 => {
+                    let b1 = self.list_len(List::B1);
+                    let b2 = self.list_len(List::B2).max(1);
+                    let delta = (b1 / b2).max(1);
+                    self.p = self.p.saturating_sub(delta);
+                    self.replace(true);
+                    self.unlink(idx);
+                    self.nodes[idx].prefetched = prefetched;
+                    self.push_mru(List::T2, idx);
+                    return false;
+                }
+            }
+        }
+
+        // Case IV: complete miss.
+        let t1 = self.list_len(List::T1);
+        let b1 = self.list_len(List::B1);
+        let t2 = self.list_len(List::T2);
+        let b2 = self.list_len(List::B2);
+        if t1 + b1 == c {
+            if t1 < c {
+                self.drop_lru(List::B1);
+                self.replace(false);
+            } else {
+                // B1 empty, T1 full: discard T1's LRU outright.
+                self.drop_lru(List::T1);
+            }
+        } else if t1 + b1 < c {
+            let total = t1 + t2 + b1 + b2;
+            if total >= c {
+                if total == 2 * c {
+                    self.drop_lru(List::B2);
+                }
+                self.replace(false);
+            }
+        }
+        let idx = self.alloc(key.clone(), prefetched);
+        self.index.insert(key, idx);
+        self.push_mru(List::T1, idx);
+        false
+    }
+
+    #[cfg(test)]
+    fn check_invariants(&self) {
+        let t1 = self.list_len(List::T1);
+        let t2 = self.list_len(List::T2);
+        let b1 = self.list_len(List::B1);
+        let b2 = self.list_len(List::B2);
+        assert!(t1 + t2 <= self.capacity, "resident over capacity");
+        assert!(t1 + b1 <= self.capacity, "L1 over capacity");
+        assert!(t1 + t2 + b1 + b2 <= 2 * self.capacity, "total over 2c");
+        assert!(self.p <= self.capacity);
+        assert_eq!(self.index.len(), t1 + t2 + b1 + b2);
+    }
+}
+
+impl<K: Eq + Hash + Clone> Cache<K> for ArcCache<K> {
+    fn access(&mut self, key: K) -> bool {
+        // Check prefetched flag before the request mutates it.
+        let was_prefetched_resident = self
+            .index
+            .get(&key)
+            .map(|&idx| {
+                matches!(self.nodes[idx].list, List::T1 | List::T2) && self.nodes[idx].prefetched
+            })
+            .unwrap_or(false);
+        let hit = self.request(key.clone(), false);
+        if hit {
+            self.stats.hits += 1;
+            if was_prefetched_resident {
+                self.stats.prefetched_hits += 1;
+                if let Some(&idx) = self.index.get(&key) {
+                    self.nodes[idx].prefetched = false;
+                }
+            }
+        } else {
+            self.stats.misses += 1;
+        }
+        hit
+    }
+
+    fn admit(&mut self, key: K) {
+        // Only admit keys not already resident.
+        if self.contains(&key) {
+            return;
+        }
+        self.stats.prefetch_inserts += 1;
+        self.request(key, true);
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        self.index
+            .get(key)
+            .map(|&idx| matches!(self.nodes[idx].list, List::T1 | List::T2))
+            .unwrap_or(false)
+    }
+
+    fn len(&self) -> usize {
+        self.list_len(List::T1) + self.list_len(List::T2)
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn name(&self) -> &str {
+        "arc"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_hit_miss() {
+        let mut c = ArcCache::new(2);
+        assert!(!c.access(1));
+        assert!(c.access(1));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn second_access_promotes_to_t2() {
+        let mut c = ArcCache::new(4);
+        c.access(1);
+        c.access(1);
+        let idx = c.index[&1];
+        assert_eq!(c.nodes[idx].list, List::T2);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn ghost_hit_in_b1_grows_p() {
+        let mut c = ArcCache::new(2);
+        c.access(1);
+        c.access(1); // 1 in T2
+        c.access(2); // T1 = [2]
+        c.access(3); // REPLACE moves 2 (T1 LRU) to ghost B1
+        assert!(!c.contains(&2));
+        let p_before = c.p();
+        c.access(2); // B1 ghost hit: recency was undervalued
+        assert!(c.contains(&2));
+        assert!(c.p() > p_before);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn full_t1_with_empty_b1_discards_without_ghost() {
+        // Case IV(A) with |T1| = c: ARC deletes T1's LRU outright.
+        let mut c = ArcCache::new(2);
+        c.access(1);
+        c.access(2);
+        c.access(3);
+        assert!(!c.contains(&1));
+        assert!(!c.index.contains_key(&1), "1 must not linger as a ghost");
+        c.check_invariants();
+    }
+
+    #[test]
+    fn ghost_hit_in_b2_shrinks_p() {
+        let mut c = ArcCache::new(2);
+        // Build a T2 page, evict it to B2, then re-request it.
+        c.access(1);
+        c.access(1); // 1 in T2
+        c.access(2);
+        c.access(2); // 2 in T2; T2 = {2, 1}, capacity 2
+        c.access(3); // replace: T1 empty... 3 to T1, T2 LRU (1) to B2
+        // Grow p first so there's something to shrink.
+        c.access(4);
+        let _ = c.contains(&1);
+        let p_before = c.p();
+        // Find whether 1 is in B2 and re-request.
+        if let Some(&idx) = c.index.get(&1) {
+            if c.nodes[idx].list == List::B2 {
+                c.access(1);
+                assert!(c.p() <= p_before);
+            }
+        }
+        c.check_invariants();
+    }
+
+    #[test]
+    fn invariants_hold_under_random_workload() {
+        let mut c = ArcCache::new(16);
+        let mut state = 0x853c49e6748fea9bu64;
+        for _ in 0..10_000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let key = (state >> 16) % 64;
+            c.access(key);
+            c.check_invariants();
+        }
+        assert!(c.len() <= 16);
+    }
+
+    #[test]
+    fn arc_beats_lru_on_scan_mixed_with_loop() {
+        use crate::policy::LruCache;
+        // A hot loop of 8 keys mixed with a one-shot scan: ARC's
+        // frequency tier shields the loop, LRU's doesn't.
+        let mut arc = ArcCache::new(16);
+        let mut lru = LruCache::new(16);
+        let mut scan_key = 1_000u64;
+        for round in 0..200 {
+            for k in 0..8u64 {
+                arc.access(k);
+                lru.access(k);
+            }
+            if round % 2 == 0 {
+                for _ in 0..16 {
+                    arc.access(scan_key);
+                    lru.access(scan_key);
+                    scan_key += 1;
+                }
+            }
+        }
+        assert!(
+            arc.stats().hit_rate() > lru.stats().hit_rate(),
+            "arc {:.3} vs lru {:.3}",
+            arc.stats().hit_rate(),
+            lru.stats().hit_rate()
+        );
+    }
+
+    #[test]
+    fn admit_marks_prefetched_and_hits_count() {
+        let mut c = ArcCache::new(4);
+        c.admit(7);
+        assert!(c.contains(&7));
+        assert_eq!(c.stats().prefetch_inserts, 1);
+        assert!(c.access(7));
+        assert_eq!(c.stats().prefetched_hits, 1);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn resident_never_exceeds_capacity() {
+        let mut c = ArcCache::new(8);
+        for i in 0..1_000u64 {
+            c.access(i % 30);
+            assert!(c.len() <= 8);
+        }
+        c.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        ArcCache::<u64>::new(0);
+    }
+}

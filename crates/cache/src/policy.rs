@@ -1,0 +1,483 @@
+//! The cache abstraction and the classic replacement policies the
+//! paper's synopsis design draws on (§III-D cites the replacement
+//! literature [25]–[31] and picks ARC as "the most suitable approach").
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Behaviour counters of a cache.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand accesses that found their key resident.
+    pub hits: u64,
+    /// Demand accesses that missed.
+    pub misses: u64,
+    /// Keys inserted by a prefetcher rather than on demand.
+    pub prefetch_inserts: u64,
+    /// Hits on keys that were brought in by prefetch and had not yet
+    /// been demanded since.
+    pub prefetched_hits: u64,
+}
+
+impl CacheStats {
+    /// Demand hit rate in `[0, 1]`; 0 before any access.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A fixed-capacity cache over opaque keys.
+///
+/// `access` is the demand path (counts toward the hit rate and faults
+/// the key in on a miss); `admit` is the prefetch path (inserts without
+/// touching demand statistics). Both may evict.
+pub trait Cache<K> {
+    /// Demand access: returns whether `key` was resident, and makes it
+    /// resident (MRU) either way.
+    fn access(&mut self, key: K) -> bool;
+
+    /// Prefetch admission: make `key` resident without counting a
+    /// demand access. A no-op if already resident.
+    fn admit(&mut self, key: K);
+
+    /// Whether `key` is currently resident.
+    fn contains(&self, key: &K) -> bool;
+
+    /// Number of resident keys.
+    fn len(&self) -> usize;
+
+    /// Whether the cache is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Configured capacity.
+    fn capacity(&self) -> usize;
+
+    /// Behaviour counters.
+    fn stats(&self) -> CacheStats;
+
+    /// Short human-readable policy name.
+    fn name(&self) -> &str;
+}
+
+/// A doubly-linked LRU list over a slab, shared by the policies here.
+#[derive(Clone, Debug)]
+struct LruList<K> {
+    nodes: Vec<LruNode<K>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    len: usize,
+}
+
+#[derive(Clone, Debug)]
+struct LruNode<K> {
+    key: K,
+    prev: usize,
+    next: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+impl<K: Clone> LruList<K> {
+    fn new() -> Self {
+        LruList {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+
+    fn push_front(&mut self, key: K) -> usize {
+        let node = LruNode {
+            key,
+            prev: NIL,
+            next: self.head,
+        };
+        let idx = if let Some(idx) = self.free.pop() {
+            self.nodes[idx] = node;
+            idx
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        };
+        if self.head != NIL {
+            self.nodes[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+        self.len += 1;
+        idx
+    }
+
+    fn unlink(&mut self, idx: usize) -> K {
+        let (prev, next) = (self.nodes[idx].prev, self.nodes[idx].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.len -= 1;
+        self.free.push(idx);
+        self.nodes[idx].key.clone()
+    }
+
+    fn pop_back(&mut self) -> Option<K> {
+        if self.tail == NIL {
+            None
+        } else {
+            Some(self.unlink(self.tail))
+        }
+    }
+}
+
+/// Least-recently-used replacement — the recency-only baseline.
+///
+/// # Examples
+///
+/// ```
+/// use rtdac_cache::{Cache, LruCache};
+///
+/// let mut cache = LruCache::new(2);
+/// assert!(!cache.access("a"));
+/// assert!(!cache.access("b"));
+/// assert!(cache.access("a"));   // hit
+/// assert!(!cache.access("c"));  // evicts b (LRU)
+/// assert!(!cache.access("b"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct LruCache<K> {
+    index: HashMap<K, usize>,
+    list: LruList<K>,
+    capacity: usize,
+    stats: CacheStats,
+    prefetched: HashMap<K, ()>,
+}
+
+impl<K: Eq + Hash + Clone> LruCache<K> {
+    /// Creates an LRU cache of `capacity` keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        LruCache {
+            index: HashMap::with_capacity(capacity),
+            list: LruList::new(),
+            capacity,
+            stats: CacheStats::default(),
+            prefetched: HashMap::new(),
+        }
+    }
+
+    fn insert_mru(&mut self, key: K) {
+        if self.list.len >= self.capacity {
+            if let Some(victim) = self.list.pop_back() {
+                self.index.remove(&victim);
+                self.prefetched.remove(&victim);
+            }
+        }
+        let idx = self.list.push_front(key.clone());
+        self.index.insert(key, idx);
+    }
+}
+
+impl<K: Eq + Hash + Clone> Cache<K> for LruCache<K> {
+    fn access(&mut self, key: K) -> bool {
+        if let Some(&idx) = self.index.get(&key) {
+            self.stats.hits += 1;
+            if self.prefetched.remove(&key).is_some() {
+                self.stats.prefetched_hits += 1;
+            }
+            self.list.unlink(idx);
+            let new_idx = self.list.push_front(key.clone());
+            self.index.insert(key, new_idx);
+            true
+        } else {
+            self.stats.misses += 1;
+            self.insert_mru(key);
+            false
+        }
+    }
+
+    fn admit(&mut self, key: K) {
+        if self.index.contains_key(&key) {
+            return;
+        }
+        self.stats.prefetch_inserts += 1;
+        self.prefetched.insert(key.clone(), ());
+        self.insert_mru(key);
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        self.index.contains_key(key)
+    }
+
+    fn len(&self) -> usize {
+        self.list.len
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn name(&self) -> &str {
+        "lru"
+    }
+}
+
+/// Least-frequently-used replacement (with LRU tie-breaking) — the
+/// frequency-only baseline.
+///
+/// # Examples
+///
+/// ```
+/// use rtdac_cache::{Cache, LfuCache};
+///
+/// let mut cache = LfuCache::new(2);
+/// cache.access("a");
+/// cache.access("a");
+/// cache.access("b");
+/// cache.access("c");            // evicts b (freq 1 < a's 2)
+/// assert!(cache.contains(&"a"));
+/// assert!(!cache.contains(&"b"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct LfuCache<K> {
+    entries: HashMap<K, LfuEntry>,
+    clock: u64,
+    capacity: usize,
+    stats: CacheStats,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct LfuEntry {
+    frequency: u64,
+    last_used: u64,
+    prefetched: bool,
+}
+
+impl<K: Eq + Hash + Clone> LfuCache<K> {
+    /// Creates an LFU cache of `capacity` keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        LfuCache {
+            entries: HashMap::with_capacity(capacity),
+            clock: 0,
+            capacity,
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn evict_if_full(&mut self) {
+        if self.entries.len() < self.capacity {
+            return;
+        }
+        // O(n) victim scan: LFU caches in practice use frequency heaps;
+        // this simulator favors obviousness over speed.
+        if let Some(victim) = self
+            .entries
+            .iter()
+            .min_by_key(|(_, e)| (e.frequency, e.last_used))
+            .map(|(k, _)| k.clone())
+        {
+            self.entries.remove(&victim);
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone> Cache<K> for LfuCache<K> {
+    fn access(&mut self, key: K) -> bool {
+        self.clock += 1;
+        if let Some(entry) = self.entries.get_mut(&key) {
+            self.stats.hits += 1;
+            if entry.prefetched {
+                entry.prefetched = false;
+                self.stats.prefetched_hits += 1;
+            }
+            entry.frequency += 1;
+            entry.last_used = self.clock;
+            true
+        } else {
+            self.stats.misses += 1;
+            self.evict_if_full();
+            self.entries.insert(
+                key,
+                LfuEntry {
+                    frequency: 1,
+                    last_used: self.clock,
+                    prefetched: false,
+                },
+            );
+            false
+        }
+    }
+
+    fn admit(&mut self, key: K) {
+        if self.entries.contains_key(&key) {
+            return;
+        }
+        self.clock += 1;
+        self.stats.prefetch_inserts += 1;
+        self.evict_if_full();
+        self.entries.insert(
+            key,
+            LfuEntry {
+                frequency: 1,
+                last_used: self.clock,
+                prefetched: true,
+            },
+        );
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn name(&self) -> &str {
+        "lfu"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = LruCache::new(3);
+        c.access(1);
+        c.access(2);
+        c.access(3);
+        c.access(1); // refresh 1
+        c.access(4); // evicts 2
+        assert!(c.contains(&1));
+        assert!(!c.contains(&2));
+        assert!(c.contains(&3));
+        assert!(c.contains(&4));
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn lru_stats() {
+        let mut c = LruCache::new(2);
+        c.access(1);
+        c.access(1);
+        c.access(2);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 2);
+        assert!((c.stats().hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_admit_does_not_count_demand() {
+        let mut c = LruCache::new(2);
+        c.admit(9);
+        assert_eq!(c.stats().hits + c.stats().misses, 0);
+        assert_eq!(c.stats().prefetch_inserts, 1);
+        assert!(c.access(9));
+        assert_eq!(c.stats().prefetched_hits, 1);
+        // A second hit on the same key is no longer a prefetched hit.
+        assert!(c.access(9));
+        assert_eq!(c.stats().prefetched_hits, 1);
+    }
+
+    #[test]
+    fn lru_admit_existing_is_noop() {
+        let mut c = LruCache::new(2);
+        c.access(1);
+        c.admit(1);
+        assert_eq!(c.stats().prefetch_inserts, 0);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lfu_keeps_frequent_keys() {
+        let mut c = LfuCache::new(2);
+        for _ in 0..5 {
+            c.access(1);
+        }
+        c.access(2);
+        c.access(3); // evicts 2 (freq 1, older than 3... both freq1; 2 older)
+        assert!(c.contains(&1));
+        assert!(!c.contains(&2));
+        assert!(c.contains(&3));
+    }
+
+    #[test]
+    fn lfu_scan_resistance_vs_lru() {
+        // A hot key + a long scan: LFU retains the hot key, LRU loses it.
+        let mut lru = LruCache::new(4);
+        let mut lfu = LfuCache::new(4);
+        for _ in 0..10 {
+            lru.access(0u64);
+            lfu.access(0u64);
+        }
+        for i in 1..100u64 {
+            lru.access(i);
+            lfu.access(i);
+        }
+        assert!(!lru.contains(&0));
+        assert!(lfu.contains(&0));
+    }
+
+    #[test]
+    fn capacity_bounds_hold() {
+        let mut lru = LruCache::new(5);
+        let mut lfu = LfuCache::new(5);
+        for i in 0..100u64 {
+            lru.access(i);
+            lfu.access(i);
+            assert!(lru.len() <= 5);
+            assert!(lfu.len() <= 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        LruCache::<u64>::new(0);
+    }
+
+    #[test]
+    fn hit_rate_empty_is_zero() {
+        let c = LruCache::<u64>::new(1);
+        assert_eq!(c.stats().hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! Simulated storage devices and trace replay — the fio + SSD testbed of
+//! the paper's evaluation (§IV-A), reproduced as latency models.
+//!
+//! * [`NvmeSsdModel`] plays the Samsung 960 EVO under test;
+//! * [`HddModel`] plays the HDD-era hardware the MSR traces were
+//!   recorded on;
+//! * [`replay`] schedules a [`Trace`](rtdac_types::Trace) against a model
+//!   (timed with acceleration, or synchronous `replay_no_stall`) and
+//!   emits the [`IoEvent`](rtdac_types::IoEvent) stream the monitor
+//!   consumes;
+//! * [`replay_speedup`] computes Table II's acceleration factors.
+//!
+//! # Examples
+//!
+//! End-to-end: replay a trace and feed the monitor.
+//!
+//! ```
+//! use rtdac_device::{replay, NvmeSsdModel, ReplayMode};
+//! use rtdac_types::{Extent, IoOp, IoRequest, Timestamp, Trace};
+//!
+//! let mut trace = Trace::new("demo");
+//! for i in 0..10u64 {
+//!     trace.push(IoRequest::new(
+//!         Timestamp::from_millis(i * 5), 1, IoOp::Read,
+//!         Extent::new(i * 64, 8)?,
+//!     ));
+//! }
+//! let mut ssd = NvmeSsdModel::new(7);
+//! let result = replay(&trace, &mut ssd, ReplayMode::Timed { speedup: 50.0 });
+//! assert_eq!(result.events.len(), 10);
+//! # Ok::<(), rtdac_types::ExtentError>(())
+//! ```
+
+mod model;
+mod replay;
+
+pub use model::{DeviceModel, HddModel, NvmeSsdModel};
+pub use replay::{replay, replay_speedup, ReplayMode, ReplayResult, SpeedupRow};

@@ -1,0 +1,264 @@
+//! Trace replay against a simulated device — the fio role in the paper's
+//! testbed (§IV-A), including the `replay_no_stall` mode and the Table II
+//! replay-speedup computation.
+
+use std::time::Duration;
+
+use rtdac_types::{IoEvent, Timestamp, Trace};
+
+use crate::model::DeviceModel;
+
+/// How request issue times are scheduled during replay.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ReplayMode {
+    /// Honor trace timestamps, accelerated by the given factor (1.0 =
+    /// original pacing). This is the paper's evaluation mode, with
+    /// speedups of 61.2–473× from Table II.
+    Timed {
+        /// Arrival-rate acceleration factor (> 0).
+        speedup: f64,
+    },
+    /// Ignore trace timestamps and issue each request synchronously as
+    /// soon as the previous completes — fio's `replay_no_stall` option,
+    /// used to measure raw device latency.
+    NoStall,
+}
+
+/// The outcome of one replay: the issue events observed by the monitor
+/// and summary latency figures.
+#[derive(Clone, Debug)]
+pub struct ReplayResult {
+    /// Issue events in timestamp order, latencies measured on the device
+    /// model.
+    pub events: Vec<IoEvent>,
+    /// Mean measured latency over read requests only — writes "may be
+    /// cached and reported as complete before actually writing", so the
+    /// paper uses only reads as the device performance metric (§IV-B2).
+    pub mean_read_latency: Option<Duration>,
+    /// Mean measured latency over all requests.
+    pub mean_latency: Option<Duration>,
+    /// Total replay duration (last completion).
+    pub makespan: Duration,
+}
+
+/// Replays `trace` against `device`, producing the block-layer issue
+/// events the monitoring module consumes.
+///
+/// # Examples
+///
+/// ```
+/// use rtdac_device::{replay, NvmeSsdModel, ReplayMode};
+/// use rtdac_types::{Extent, IoOp, IoRequest, Timestamp, Trace};
+///
+/// let mut trace = Trace::new("demo");
+/// trace.push(IoRequest::new(Timestamp::ZERO, 1, IoOp::Read, Extent::new(0, 8)?));
+/// trace.push(IoRequest::new(Timestamp::from_millis(10), 1, IoOp::Read,
+///                           Extent::new(64, 8)?));
+///
+/// let mut ssd = NvmeSsdModel::new(0);
+/// let result = replay(&trace, &mut ssd, ReplayMode::Timed { speedup: 10.0 });
+/// assert_eq!(result.events.len(), 2);
+/// // 10 ms gap accelerated 10×: second issue at ~1 ms.
+/// assert_eq!(result.events[1].timestamp, Timestamp::from_millis(1));
+/// # Ok::<(), rtdac_types::ExtentError>(())
+/// ```
+///
+/// # Panics
+///
+/// Panics if a `Timed` speedup is not positive.
+pub fn replay<M: DeviceModel + ?Sized>(
+    trace: &Trace,
+    device: &mut M,
+    mode: ReplayMode,
+) -> ReplayResult {
+    if let ReplayMode::Timed { speedup } = mode {
+        assert!(speedup > 0.0, "replay speedup must be positive");
+    }
+
+    let mut events = Vec::with_capacity(trace.len());
+    let mut read_total = Duration::ZERO;
+    let mut read_count: u64 = 0;
+    let mut all_total = Duration::ZERO;
+    let mut makespan = Duration::ZERO;
+    let mut cursor = Timestamp::ZERO; // NoStall: next issue time
+
+    for request in trace {
+        let latency = device.service_time(request.op, request.extent);
+        let issue = match mode {
+            ReplayMode::Timed { speedup } => {
+                Timestamp::from_secs_f64(request.time.as_secs_f64() / speedup)
+            }
+            ReplayMode::NoStall => {
+                let t = cursor;
+                cursor = t + latency;
+                t
+            }
+        };
+        if request.op.is_read() {
+            read_total += latency;
+            read_count += 1;
+        }
+        all_total += latency;
+        let completion = issue + latency;
+        makespan = makespan.max(completion.saturating_since(Timestamp::ZERO));
+        events.push(IoEvent::new(issue, request.pid, request.op, request.extent, latency));
+    }
+
+    let n = events.len() as u32;
+    ReplayResult {
+        mean_read_latency: (read_count > 0).then(|| read_total / read_count as u32),
+        mean_latency: (n > 0).then(|| all_total / n),
+        events,
+        makespan,
+    }
+}
+
+/// One row of the paper's Table II: the replay speedup of a trace,
+/// computed as mean recorded (trace) latency divided by mean measured
+/// read latency over `replays` no-stall replays.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpeedupRow {
+    /// Mean latency recorded in the trace.
+    pub mean_trace_latency: Duration,
+    /// Mean measured read latency across the replays.
+    pub mean_measured_latency: Duration,
+    /// The resulting acceleration factor.
+    pub speedup: f64,
+}
+
+/// Computes a trace's Table II replay speedup against a device model.
+///
+/// Mirrors the paper's method: "we replayed the trace 10 times with fio
+/// as synchronous requests, ignoring trace timestamps (using the
+/// `replay_no_stall` option) … comparing the average latency recorded in
+/// the trace to our average replayed latency yields our replay speedup."
+///
+/// Returns `None` if the trace records no latencies or contains no reads.
+pub fn replay_speedup<M: DeviceModel + ?Sized>(
+    trace: &Trace,
+    device: &mut M,
+    replays: usize,
+) -> Option<SpeedupRow> {
+    let recorded = trace.stats().mean_recorded_latency?;
+    let mut total = Duration::ZERO;
+    let mut count = 0u32;
+    for _ in 0..replays.max(1) {
+        let result = replay(trace, device, ReplayMode::NoStall);
+        total += result.mean_read_latency?;
+        count += 1;
+    }
+    let measured = total / count;
+    Some(SpeedupRow {
+        mean_trace_latency: recorded,
+        mean_measured_latency: measured,
+        speedup: recorded.as_secs_f64() / measured.as_secs_f64(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::NvmeSsdModel;
+    use rtdac_types::{Extent, IoOp, IoRequest};
+
+    fn trace_with(requests: &[(u64, u64, u32, IoOp)]) -> Trace {
+        let mut t = Trace::new("t");
+        for &(us, start, len, op) in requests {
+            t.push(IoRequest::new(
+                Timestamp::from_micros(us),
+                1,
+                op,
+                Extent::new(start, len).unwrap(),
+            ));
+        }
+        t
+    }
+
+    #[test]
+    fn timed_replay_scales_timestamps() {
+        let trace = trace_with(&[
+            (0, 0, 8, IoOp::Read),
+            (1_000, 64, 8, IoOp::Read),
+            (3_000, 128, 8, IoOp::Read),
+        ]);
+        let mut ssd = NvmeSsdModel::new(0);
+        let r = replay(&trace, &mut ssd, ReplayMode::Timed { speedup: 2.0 });
+        assert_eq!(r.events[1].timestamp, Timestamp::from_micros(500));
+        assert_eq!(r.events[2].timestamp, Timestamp::from_micros(1_500));
+    }
+
+    #[test]
+    fn no_stall_issues_back_to_back() {
+        let trace = trace_with(&[
+            (0, 0, 8, IoOp::Read),
+            (1_000_000, 64, 8, IoOp::Read), // a second later in the trace
+        ]);
+        let mut ssd = NvmeSsdModel::new(0);
+        let r = replay(&trace, &mut ssd, ReplayMode::NoStall);
+        // Second issue = first completion, far sooner than 1 s.
+        assert_eq!(
+            r.events[1].timestamp.saturating_since(r.events[0].timestamp),
+            r.events[0].latency
+        );
+    }
+
+    #[test]
+    fn mean_read_latency_excludes_writes() {
+        let trace = trace_with(&[
+            (0, 0, 8, IoOp::Read),
+            (10, 64, 8, IoOp::Write),
+            (20, 128, 8, IoOp::Read),
+        ]);
+        let mut ssd = NvmeSsdModel::new(0);
+        let r = replay(&trace, &mut ssd, ReplayMode::NoStall);
+        let expected = (r.events[0].latency + r.events[2].latency) / 2;
+        assert_eq!(r.mean_read_latency, Some(expected));
+    }
+
+    #[test]
+    fn empty_trace_replays_empty() {
+        let trace = Trace::new("empty");
+        let mut ssd = NvmeSsdModel::new(0);
+        let r = replay(&trace, &mut ssd, ReplayMode::NoStall);
+        assert!(r.events.is_empty());
+        assert_eq!(r.mean_read_latency, None);
+        assert_eq!(r.mean_latency, None);
+    }
+
+    #[test]
+    fn speedup_requires_recorded_latencies() {
+        let trace = trace_with(&[(0, 0, 8, IoOp::Read)]);
+        let mut ssd = NvmeSsdModel::new(0);
+        assert!(replay_speedup(&trace, &mut ssd, 3).is_none());
+    }
+
+    #[test]
+    fn speedup_is_recorded_over_measured() {
+        let mut trace = Trace::new("t");
+        for i in 0..50u64 {
+            trace.push(
+                IoRequest::new(
+                    Timestamp::from_micros(i * 100),
+                    1,
+                    IoOp::Read,
+                    Extent::new(i * 8, 8).unwrap(),
+                )
+                .with_latency(Duration::from_millis(4)),
+            );
+        }
+        let mut ssd = NvmeSsdModel::new(0);
+        let row = replay_speedup(&trace, &mut ssd, 5).unwrap();
+        assert_eq!(row.mean_trace_latency, Duration::from_millis(4));
+        // ~4 ms over ~30-50 µs: two orders of magnitude.
+        assert!(row.speedup > 50.0, "speedup {}", row.speedup);
+        assert!(row.speedup < 200.0, "speedup {}", row.speedup);
+    }
+
+    #[test]
+    #[should_panic(expected = "speedup must be positive")]
+    fn zero_speedup_panics() {
+        let trace = trace_with(&[(0, 0, 8, IoOp::Read)]);
+        let mut ssd = NvmeSsdModel::new(0);
+        replay(&trace, &mut ssd, ReplayMode::Timed { speedup: 0.0 });
+    }
+}

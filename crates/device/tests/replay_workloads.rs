@@ -1,0 +1,89 @@
+//! Replay behaviour on realistic generated workloads (the device and
+//! workloads crates integrated).
+
+use std::time::Duration;
+
+use rtdac_device::{replay, replay_speedup, HddModel, NvmeSsdModel, ReplayMode};
+use rtdac_workloads::{MsrServer, SyntheticKind, SyntheticSpec};
+
+#[test]
+fn accelerated_replay_compresses_the_timeline() {
+    let trace = MsrServer::Wdev.synthesize(5_000, 1);
+    let duration = trace.stats().duration;
+    let mut ssd = NvmeSsdModel::new(1);
+    let result = replay(&trace, &mut ssd, ReplayMode::Timed { speedup: 76.0 });
+    let last_issue = result.events.last().expect("non-empty").timestamp;
+    let compression = duration.as_secs_f64() / last_issue.as_secs_f64().max(1e-12);
+    assert!(
+        (70.0..82.0).contains(&compression),
+        "timeline compressed {compression:.1}x, expected ~76x"
+    );
+}
+
+#[test]
+fn event_order_is_preserved_under_acceleration() {
+    let workload = SyntheticSpec::new(SyntheticKind::OneToOne)
+        .events(500)
+        .seed(2)
+        .generate();
+    let mut ssd = NvmeSsdModel::new(2);
+    let result = replay(&workload.trace, &mut ssd, ReplayMode::Timed { speedup: 473.0 });
+    assert_eq!(result.events.len(), workload.trace.len());
+    for (event, request) in result.events.iter().zip(workload.trace.iter()) {
+        assert_eq!(event.extent, request.extent);
+        assert_eq!(event.op, request.op);
+        assert_eq!(event.pid, request.pid);
+    }
+    let times: Vec<_> = result.events.iter().map(|e| e.timestamp).collect();
+    assert!(times.windows(2).all(|w| w[0] <= w[1]));
+}
+
+#[test]
+fn ssd_is_faster_than_hdd_on_every_server() {
+    for server in MsrServer::ALL {
+        let trace = server.synthesize(2_000, 3);
+        let mut ssd = NvmeSsdModel::new(3);
+        let mut hdd = HddModel::new(3);
+        let fast = replay(&trace, &mut ssd, ReplayMode::NoStall);
+        let slow = replay(&trace, &mut hdd, ReplayMode::NoStall);
+        assert!(
+            fast.makespan * 10 < slow.makespan,
+            "{}: SSD {:?} not an order of magnitude below HDD {:?}",
+            server.name(),
+            fast.makespan,
+            slow.makespan
+        );
+    }
+}
+
+#[test]
+fn speedups_are_stable_across_replays() {
+    // Ten replays (the paper's method) should give a tight speedup
+    // estimate: two independent measurements agree within 10%.
+    let trace = MsrServer::Src2.synthesize(3_000, 4);
+    let mut ssd_a = NvmeSsdModel::new(4);
+    let mut ssd_b = NvmeSsdModel::new(77);
+    let a = replay_speedup(&trace, &mut ssd_a, 10).expect("latencies recorded");
+    let b = replay_speedup(&trace, &mut ssd_b, 10).expect("latencies recorded");
+    let ratio = a.speedup / b.speedup;
+    assert!((0.9..1.1).contains(&ratio), "ratio {ratio}");
+}
+
+#[test]
+fn gc_stalls_surface_in_write_heavy_replay() {
+    // wdev is write-heavy; with an aggressive GC model some writes
+    // must show ms-scale stalls.
+    let trace = MsrServer::Wdev.synthesize(3_000, 5);
+    let mut ssd = NvmeSsdModel::new(5).gc(256, Duration::from_millis(3));
+    let result = replay(&trace, &mut ssd, ReplayMode::NoStall);
+    let stalled = result
+        .events
+        .iter()
+        .filter(|e| e.latency > Duration::from_millis(2))
+        .count();
+    assert!(stalled > 0, "no GC stalls observed");
+    // And the tail is visible in the mean relative to a GC-free device.
+    let mut calm = NvmeSsdModel::new(5).gc(0, Duration::ZERO);
+    let baseline = replay(&trace, &mut calm, ReplayMode::NoStall);
+    assert!(result.mean_latency.unwrap() > baseline.mean_latency.unwrap());
+}

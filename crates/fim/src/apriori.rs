@@ -1,0 +1,224 @@
+//! The classic level-wise algorithm of Agrawal et al. (SIGMOD '93).
+//!
+//! As the paper notes (§II-B), apriori "performs a scan of the
+//! transactions to first filter all items that are not frequent and then
+//! finds the associated items from the filtered input", trading memory
+//! (candidate sets) for speed.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::db::TransactionDb;
+use crate::result::FimResult;
+
+/// Configuration and entry point for the apriori miner.
+///
+/// # Examples
+///
+/// ```
+/// use rtdac_fim::{Apriori, TransactionDb};
+///
+/// let db = TransactionDb::from_iter([vec![1, 2, 3], vec![1, 2], vec![2, 3]]);
+/// let result = Apriori::new(2).mine(&db);
+/// assert_eq!(result.support(&[1, 2]), Some(2));
+/// assert_eq!(result.support(&[2, 3]), Some(2));
+/// assert_eq!(result.support(&[1, 3]), None); // support 1 < 2
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Apriori {
+    min_support: u32,
+    max_len: Option<usize>,
+}
+
+impl Apriori {
+    /// Creates a miner with the given absolute minimum support.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_support == 0` (support 0 is meaningless — every
+    /// possible itemset would qualify).
+    pub fn new(min_support: u32) -> Self {
+        assert!(min_support > 0, "minimum support must be positive");
+        Apriori {
+            min_support,
+            max_len: None,
+        }
+    }
+
+    /// Limits mining to itemsets of at most `k` items. The paper only
+    /// needs pairs (`k = 2`), which makes apriori far cheaper.
+    pub fn max_len(mut self, k: usize) -> Self {
+        self.max_len = Some(k);
+        self
+    }
+
+    /// Mines all frequent itemsets from `db`.
+    pub fn mine<I: Ord + Hash + Clone>(&self, db: &TransactionDb<I>) -> FimResult<I> {
+        let mut out: Vec<(Vec<I>, u32)> = Vec::new();
+
+        // L1: frequent single items.
+        let mut current: Vec<Vec<I>> = {
+            let supports = db.item_supports();
+            let mut frequent: Vec<(I, u32)> = supports
+                .into_iter()
+                .filter(|(_, s)| *s >= self.min_support)
+                .collect();
+            frequent.sort();
+            for (item, support) in &frequent {
+                out.push((vec![item.clone()], *support));
+            }
+            frequent.into_iter().map(|(i, _)| vec![i]).collect()
+        };
+
+        let mut k = 1;
+        while !current.is_empty() {
+            k += 1;
+            if self.max_len.is_some_and(|m| k > m) {
+                break;
+            }
+            let candidates = generate_candidates(&current);
+            if candidates.is_empty() {
+                break;
+            }
+            // Count candidate supports in one scan.
+            let mut counts: HashMap<&Vec<I>, u32> = HashMap::with_capacity(candidates.len());
+            for txn in db.transactions() {
+                if txn.len() < k {
+                    continue;
+                }
+                for cand in &candidates {
+                    if is_subset(cand, txn) {
+                        *counts.entry(cand).or_insert(0) += 1;
+                    }
+                }
+            }
+            let mut next: Vec<Vec<I>> = Vec::new();
+            for cand in &candidates {
+                if let Some(&support) = counts.get(cand) {
+                    if support >= self.min_support {
+                        out.push((cand.clone(), support));
+                        next.push(cand.clone());
+                    }
+                }
+            }
+            next.sort();
+            current = next;
+        }
+
+        FimResult::from_raw(out)
+    }
+}
+
+/// Joins frequent (k-1)-itemsets sharing a (k-2)-prefix and prunes
+/// candidates with an infrequent (k-1)-subset — the apriori property.
+fn generate_candidates<I: Ord + Clone>(frequent: &[Vec<I>]) -> Vec<Vec<I>> {
+    let mut candidates = Vec::new();
+    for (idx, a) in frequent.iter().enumerate() {
+        for b in &frequent[idx + 1..] {
+            let k = a.len();
+            if a[..k - 1] != b[..k - 1] {
+                // `frequent` is sorted, so once prefixes diverge no later
+                // set shares this prefix either.
+                break;
+            }
+            let mut cand = a.clone();
+            cand.push(b[k - 1].clone());
+            // Prune: all (k-1)-subsets must be frequent. The two subsets
+            // missing a[i] for i < k-1 are the ones not checked by the
+            // join itself.
+            let all_subsets_frequent = (0..cand.len() - 2).all(|skip| {
+                let subset: Vec<I> = cand
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != skip)
+                    .map(|(_, v)| v.clone())
+                    .collect();
+                frequent.binary_search(&subset).is_ok()
+            });
+            if all_subsets_frequent {
+                candidates.push(cand);
+            }
+        }
+    }
+    candidates
+}
+
+/// Both slices sorted: subset test by merge walk.
+fn is_subset<I: Ord>(needle: &[I], haystack: &[I]) -> bool {
+    let mut it = haystack.iter();
+    'outer: for n in needle {
+        for h in it.by_ref() {
+            match h.cmp(n) {
+                std::cmp::Ordering::Equal => continue 'outer,
+                std::cmp::Ordering::Greater => return false,
+                std::cmp::Ordering::Less => {}
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subset_merge_walk() {
+        assert!(is_subset(&[2, 4], &[1, 2, 3, 4]));
+        assert!(!is_subset(&[2, 5], &[1, 2, 3, 4]));
+        assert!(is_subset::<u32>(&[], &[1]));
+        assert!(!is_subset(&[1], &[]));
+    }
+
+    #[test]
+    fn textbook_example() {
+        // Classic market-basket example.
+        let db = TransactionDb::from_iter([
+            vec![1, 3, 4],
+            vec![2, 3, 5],
+            vec![1, 2, 3, 5],
+            vec![2, 5],
+        ]);
+        let r = Apriori::new(2).mine(&db);
+        assert_eq!(r.support(&[1]), Some(2));
+        assert_eq!(r.support(&[2]), Some(3));
+        assert_eq!(r.support(&[3]), Some(3));
+        assert_eq!(r.support(&[5]), Some(3));
+        assert_eq!(r.support(&[4]), None);
+        assert_eq!(r.support(&[1, 3]), Some(2));
+        assert_eq!(r.support(&[2, 3]), Some(2));
+        assert_eq!(r.support(&[2, 5]), Some(3));
+        assert_eq!(r.support(&[3, 5]), Some(2));
+        assert_eq!(r.support(&[2, 3, 5]), Some(2));
+        assert_eq!(r.support(&[1, 2]), None);
+        // Exactly these frequent itemsets and no more.
+        assert_eq!(r.len(), 9);
+    }
+
+    #[test]
+    fn max_len_two_stops_at_pairs() {
+        let db = TransactionDb::from_iter([vec![1, 2, 3], vec![1, 2, 3], vec![1, 2, 3]]);
+        let r = Apriori::new(2).max_len(2).mine(&db);
+        assert_eq!(r.support(&[1, 2]), Some(3));
+        assert_eq!(r.support(&[1, 2, 3]), None);
+    }
+
+    #[test]
+    fn support_above_everything_yields_empty() {
+        let db = TransactionDb::from_iter([vec![1, 2], vec![2, 3]]);
+        assert!(Apriori::new(5).mine(&db).is_empty());
+    }
+
+    #[test]
+    fn empty_db_yields_empty() {
+        let db: TransactionDb<u32> = TransactionDb::new();
+        assert!(Apriori::new(1).mine(&db).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "support must be positive")]
+    fn zero_support_panics() {
+        Apriori::new(0);
+    }
+}

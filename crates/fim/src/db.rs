@@ -1,0 +1,133 @@
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use rtdac_types::{Extent, Transaction};
+
+/// A transaction database prepared for mining: each transaction is a
+/// sorted, deduplicated set of items.
+///
+/// The offline baselines all consume this form; building it once and
+/// handing it to each algorithm mirrors how the paper feeds the same
+/// stored transactions to Borgelt's apriori, eclat and fp-growth.
+///
+/// # Examples
+///
+/// ```
+/// use rtdac_fim::TransactionDb;
+///
+/// let db = TransactionDb::from_iter([vec![1, 2, 2, 3], vec![3, 1]]);
+/// assert_eq!(db.len(), 2);
+/// assert_eq!(db.transactions()[0], vec![1, 2, 3]); // sorted + deduped
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TransactionDb<I> {
+    transactions: Vec<Vec<I>>,
+}
+
+impl<I: Ord + Clone> TransactionDb<I> {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        TransactionDb {
+            transactions: Vec::new(),
+        }
+    }
+
+    /// Adds one transaction (sorted and deduplicated on entry; empty
+    /// transactions are kept, contributing only to the total count).
+    pub fn push<T: IntoIterator<Item = I>>(&mut self, items: T) {
+        let mut txn: Vec<I> = items.into_iter().collect();
+        txn.sort();
+        txn.dedup();
+        self.transactions.push(txn);
+    }
+
+    /// Number of transactions (the denominator of relative support).
+    pub fn len(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// Whether the database holds no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.transactions.is_empty()
+    }
+
+    /// The prepared transactions.
+    pub fn transactions(&self) -> &[Vec<I>] {
+        &self.transactions
+    }
+}
+
+impl<I: Ord + Clone + Hash> TransactionDb<I> {
+    /// Absolute support of every single item.
+    pub fn item_supports(&self) -> HashMap<I, u32> {
+        let mut counts = HashMap::new();
+        for txn in &self.transactions {
+            for item in txn {
+                *counts.entry(item.clone()).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+}
+
+impl<I: Ord + Clone, T: IntoIterator<Item = I>> FromIterator<T> for TransactionDb<I> {
+    fn from_iter<It: IntoIterator<Item = T>>(iter: It) -> Self {
+        let mut db = TransactionDb::new();
+        for txn in iter {
+            db.push(txn);
+        }
+        db
+    }
+}
+
+impl TransactionDb<Extent> {
+    /// Builds a database over extents from monitor-produced transactions —
+    /// the form the paper's evaluation mines.
+    pub fn from_transactions<'a, T>(transactions: T) -> Self
+    where
+        T: IntoIterator<Item = &'a Transaction>,
+    {
+        let mut db = TransactionDb::new();
+        for txn in transactions {
+            db.push(txn.unique_extents());
+        }
+        db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtdac_types::Timestamp;
+
+    #[test]
+    fn push_sorts_and_dedups() {
+        let mut db = TransactionDb::new();
+        db.push(vec![3, 1, 2, 1]);
+        assert_eq!(db.transactions()[0], vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn item_supports_counts_presence_not_multiplicity() {
+        let db = TransactionDb::from_iter([vec![1, 1, 2], vec![1], vec![2]]);
+        let s = db.item_supports();
+        assert_eq!(s[&1], 2);
+        assert_eq!(s[&2], 2);
+    }
+
+    #[test]
+    fn from_transactions_uses_unique_extents() {
+        let e1 = Extent::new(0, 4).unwrap();
+        let e2 = Extent::new(100, 4).unwrap();
+        let txn = Transaction::from_extents(Timestamp::ZERO, [e1, e2, e1]);
+        let db = TransactionDb::from_transactions([&txn]);
+        assert_eq!(db.transactions()[0].len(), 2);
+    }
+
+    #[test]
+    fn empty_db() {
+        let db: TransactionDb<u32> = TransactionDb::new();
+        assert!(db.is_empty());
+        assert!(db.item_supports().is_empty());
+    }
+}

@@ -1,0 +1,169 @@
+//! Zaki's eclat (IEEE TKDE 2000): depth-first search over a vertical
+//! (item → transaction-id list) representation.
+//!
+//! As the paper notes (§II-B), eclat trades the candidate memory of
+//! apriori for intersection time — exactly the behaviour its tidset
+//! representation produces.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::db::TransactionDb;
+use crate::result::FimResult;
+
+/// Configuration and entry point for the eclat miner.
+///
+/// # Examples
+///
+/// ```
+/// use rtdac_fim::{Eclat, TransactionDb};
+///
+/// let db = TransactionDb::from_iter([vec![1, 2, 3], vec![1, 2], vec![2, 3]]);
+/// let result = Eclat::new(2).mine(&db);
+/// assert_eq!(result.support(&[1, 2]), Some(2));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Eclat {
+    min_support: u32,
+    max_len: Option<usize>,
+}
+
+impl Eclat {
+    /// Creates a miner with the given absolute minimum support.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_support == 0`.
+    pub fn new(min_support: u32) -> Self {
+        assert!(min_support > 0, "minimum support must be positive");
+        Eclat {
+            min_support,
+            max_len: None,
+        }
+    }
+
+    /// Limits mining to itemsets of at most `k` items.
+    pub fn max_len(mut self, k: usize) -> Self {
+        self.max_len = Some(k);
+        self
+    }
+
+    /// Mines all frequent itemsets from `db`.
+    pub fn mine<I: Ord + Hash + Clone>(&self, db: &TransactionDb<I>) -> FimResult<I> {
+        // Build the vertical representation.
+        let mut tidsets: HashMap<I, Vec<u32>> = HashMap::new();
+        for (tid, txn) in db.transactions().iter().enumerate() {
+            for item in txn {
+                tidsets.entry(item.clone()).or_default().push(tid as u32);
+            }
+        }
+        let mut roots: Vec<(I, Vec<u32>)> = tidsets
+            .into_iter()
+            .filter(|(_, tids)| tids.len() as u32 >= self.min_support)
+            .collect();
+        roots.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let mut out: Vec<(Vec<I>, u32)> = Vec::new();
+        let items: Vec<I> = roots.iter().map(|(i, _)| i.clone()).collect();
+        let sets: Vec<Vec<u32>> = roots.into_iter().map(|(_, t)| t).collect();
+        let mut prefix: Vec<I> = Vec::new();
+        self.dfs(&items, &sets, &mut prefix, &mut out);
+        FimResult::from_raw(out)
+    }
+
+    /// Depth-first extension: `items[i]`/`sets[i]` are the viable
+    /// extensions of `prefix`, each with the tidset of `prefix ∪ {item}`.
+    fn dfs<I: Ord + Clone>(
+        &self,
+        items: &[I],
+        sets: &[Vec<u32>],
+        prefix: &mut Vec<I>,
+        out: &mut Vec<(Vec<I>, u32)>,
+    ) {
+        for i in 0..items.len() {
+            prefix.push(items[i].clone());
+            out.push((prefix.clone(), sets[i].len() as u32));
+
+            if self.max_len.is_none_or(|m| prefix.len() < m) {
+                // Children: intersect with every later sibling.
+                let mut child_items = Vec::new();
+                let mut child_sets = Vec::new();
+                for j in (i + 1)..items.len() {
+                    let inter = intersect(&sets[i], &sets[j]);
+                    if inter.len() as u32 >= self.min_support {
+                        child_items.push(items[j].clone());
+                        child_sets.push(inter);
+                    }
+                }
+                if !child_items.is_empty() {
+                    self.dfs(&child_items, &child_sets, prefix, out);
+                }
+            }
+            prefix.pop();
+        }
+    }
+}
+
+/// Intersection of two sorted tid lists.
+fn intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intersect_sorted_lists() {
+        assert_eq!(intersect(&[1, 3, 5, 7], &[2, 3, 6, 7]), vec![3, 7]);
+        assert_eq!(intersect(&[], &[1]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn matches_apriori_on_textbook_example() {
+        let db = TransactionDb::from_iter([
+            vec![1, 3, 4],
+            vec![2, 3, 5],
+            vec![1, 2, 3, 5],
+            vec![2, 5],
+        ]);
+        let eclat = Eclat::new(2).mine(&db);
+        let apriori = crate::Apriori::new(2).mine(&db);
+        assert_eq!(eclat, apriori);
+    }
+
+    #[test]
+    fn max_len_limits_depth() {
+        let db = TransactionDb::from_iter([vec![1, 2, 3], vec![1, 2, 3]]);
+        let r = Eclat::new(2).max_len(2).mine(&db);
+        assert_eq!(r.support(&[1, 2]), Some(2));
+        assert_eq!(r.support(&[1, 2, 3]), None);
+    }
+
+    #[test]
+    fn singleton_transactions_produce_only_singletons() {
+        let db = TransactionDb::from_iter([vec![1], vec![1], vec![2]]);
+        let r = Eclat::new(1).mine(&db);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.support(&[1]), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "support must be positive")]
+    fn zero_support_panics() {
+        Eclat::new(0);
+    }
+}

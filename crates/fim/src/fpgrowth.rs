@@ -1,0 +1,275 @@
+//! Han et al.'s FP-growth (SIGMOD 2000): frequent pattern mining without
+//! candidate generation, via recursive conditional FP-trees.
+//!
+//! The paper places fp-growth between apriori and eclat on the time/space
+//! trade-off (§II-B).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::db::TransactionDb;
+use crate::result::FimResult;
+
+/// Configuration and entry point for the FP-growth miner.
+///
+/// # Examples
+///
+/// ```
+/// use rtdac_fim::{FpGrowth, TransactionDb};
+///
+/// let db = TransactionDb::from_iter([vec![1, 2, 3], vec![1, 2], vec![2, 3]]);
+/// let result = FpGrowth::new(2).mine(&db);
+/// assert_eq!(result.support(&[2]), Some(3));
+/// assert_eq!(result.support(&[1, 2]), Some(2));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FpGrowth {
+    min_support: u32,
+    max_len: Option<usize>,
+}
+
+/// One node of an FP-tree. Nodes live in an arena; links are indices.
+#[derive(Clone, Debug)]
+struct Node {
+    /// Index into the dense item-id space.
+    item: usize,
+    count: u32,
+    parent: usize,
+    children: HashMap<usize, usize>,
+}
+
+const ROOT: usize = 0;
+
+/// An FP-tree over dense item ids, with its header table
+/// (item → node indices).
+struct FpTree {
+    arena: Vec<Node>,
+    header: HashMap<usize, Vec<usize>>,
+}
+
+impl FpTree {
+    fn new() -> Self {
+        FpTree {
+            arena: vec![Node {
+                item: usize::MAX,
+                count: 0,
+                parent: usize::MAX,
+                children: HashMap::new(),
+            }],
+            header: HashMap::new(),
+        }
+    }
+
+    /// Inserts one (ordered) transaction path with multiplicity `count`.
+    fn insert(&mut self, path: &[usize], count: u32) {
+        let mut cursor = ROOT;
+        for &item in path {
+            if let Some(&child) = self.arena[cursor].children.get(&item) {
+                self.arena[child].count += count;
+                cursor = child;
+            } else {
+                let idx = self.arena.len();
+                self.arena.push(Node {
+                    item,
+                    count,
+                    parent: cursor,
+                    children: HashMap::new(),
+                });
+                self.arena[cursor].children.insert(item, idx);
+                self.header.entry(item).or_default().push(idx);
+                cursor = idx;
+            }
+        }
+    }
+
+    /// The conditional pattern base of `item`: prefix paths with counts.
+    fn conditional_base(&self, item: usize) -> Vec<(Vec<usize>, u32)> {
+        let mut base = Vec::new();
+        for &node_idx in self.header.get(&item).map_or(&[][..], |v| v.as_slice()) {
+            let count = self.arena[node_idx].count;
+            let mut path = Vec::new();
+            let mut cursor = self.arena[node_idx].parent;
+            while cursor != ROOT {
+                path.push(self.arena[cursor].item);
+                cursor = self.arena[cursor].parent;
+            }
+            path.reverse();
+            if !path.is_empty() {
+                base.push((path, count));
+            }
+        }
+        base
+    }
+
+    fn item_support(&self, item: usize) -> u32 {
+        self.header
+            .get(&item)
+            .map_or(0, |nodes| nodes.iter().map(|&n| self.arena[n].count).sum())
+    }
+
+    fn items(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.header.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+impl FpGrowth {
+    /// Creates a miner with the given absolute minimum support.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_support == 0`.
+    pub fn new(min_support: u32) -> Self {
+        assert!(min_support > 0, "minimum support must be positive");
+        FpGrowth {
+            min_support,
+            max_len: None,
+        }
+    }
+
+    /// Limits mining to itemsets of at most `k` items.
+    pub fn max_len(mut self, k: usize) -> Self {
+        self.max_len = Some(k);
+        self
+    }
+
+    /// Mines all frequent itemsets from `db`.
+    pub fn mine<I: Ord + Hash + Clone>(&self, db: &TransactionDb<I>) -> FimResult<I> {
+        // Map items to dense ids ordered by descending support (the
+        // canonical FP-tree insertion order), keeping only frequent items.
+        let supports = db.item_supports();
+        let mut frequent: Vec<(I, u32)> = supports
+            .into_iter()
+            .filter(|(_, s)| *s >= self.min_support)
+            .collect();
+        // Descending support, ties by item order for determinism.
+        frequent.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let id_of: HashMap<&I, usize> = frequent
+            .iter()
+            .enumerate()
+            .map(|(id, (item, _))| (item, id))
+            .collect();
+
+        // Build the global tree.
+        let mut tree = FpTree::new();
+        for txn in db.transactions() {
+            let mut path: Vec<usize> = txn.iter().filter_map(|i| id_of.get(i).copied()).collect();
+            path.sort_unstable(); // dense ids are already support-ordered
+            tree.insert(&path, 1);
+        }
+
+        let mut out_ids: Vec<(Vec<usize>, u32)> = Vec::new();
+        let mut suffix: Vec<usize> = Vec::new();
+        self.grow(&tree, &mut suffix, &mut out_ids);
+
+        let out = out_ids
+            .into_iter()
+            .map(|(ids, support)| {
+                (
+                    ids.into_iter()
+                        .map(|id| frequent[id].0.clone())
+                        .collect::<Vec<I>>(),
+                    support,
+                )
+            })
+            .collect();
+        FimResult::from_raw(out)
+    }
+
+    /// Recursively mines `tree`, whose itemsets all extend `suffix`.
+    fn grow(&self, tree: &FpTree, suffix: &mut Vec<usize>, out: &mut Vec<(Vec<usize>, u32)>) {
+        for item in tree.items() {
+            let support = tree.item_support(item);
+            if support < self.min_support {
+                continue;
+            }
+            suffix.push(item);
+            out.push((suffix.clone(), support));
+
+            if self.max_len.is_none_or(|m| suffix.len() < m) {
+                // Build the conditional tree for this item.
+                let base = tree.conditional_base(item);
+                if !base.is_empty() {
+                    // Support counts within the conditional base.
+                    let mut cond_support: HashMap<usize, u32> = HashMap::new();
+                    for (path, count) in &base {
+                        for &p in path {
+                            *cond_support.entry(p).or_insert(0) += count;
+                        }
+                    }
+                    let mut cond = FpTree::new();
+                    for (path, count) in &base {
+                        let filtered: Vec<usize> = path
+                            .iter()
+                            .copied()
+                            .filter(|p| cond_support[p] >= self.min_support)
+                            .collect();
+                        if !filtered.is_empty() {
+                            cond.insert(&filtered, *count);
+                        }
+                    }
+                    if !cond.header.is_empty() {
+                        self.grow(&cond, suffix, out);
+                    }
+                }
+            }
+            suffix.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_apriori_on_textbook_example() {
+        let db = TransactionDb::from_iter([
+            vec![1, 3, 4],
+            vec![2, 3, 5],
+            vec![1, 2, 3, 5],
+            vec![2, 5],
+        ]);
+        let fp = FpGrowth::new(2).mine(&db);
+        let ap = crate::Apriori::new(2).mine(&db);
+        assert_eq!(fp, ap);
+    }
+
+    #[test]
+    fn han_sigmod_example() {
+        // The running example of the FP-growth paper (items renamed to
+        // integers: f=1, c=2, a=3, b=4, m=5, p=6, plus infrequent extras).
+        let db = TransactionDb::from_iter([
+            vec![1, 3, 2, 4, 5, 6],    // f a c d g i m p -> keeping frequent
+            vec![1, 3, 2, 4, 5],       // a b c f l m o
+            vec![1, 4],                // b f h j o
+            vec![2, 4, 6],             // b c k s p
+            vec![1, 3, 2, 5, 6],       // a f c e l p m n
+        ]);
+        let r = FpGrowth::new(3).mine(&db);
+        let ap = crate::Apriori::new(3).mine(&db);
+        assert_eq!(r, ap);
+        assert_eq!(r.support(&[2, 5]), Some(3)); // {c, m}
+    }
+
+    #[test]
+    fn max_len_limits_output() {
+        let db = TransactionDb::from_iter([vec![1, 2, 3], vec![1, 2, 3]]);
+        let r = FpGrowth::new(2).max_len(2).mine(&db);
+        assert_eq!(r.support(&[1, 2]), Some(2));
+        assert_eq!(r.support(&[1, 2, 3]), None);
+    }
+
+    #[test]
+    fn empty_db_yields_empty() {
+        let db: TransactionDb<u32> = TransactionDb::new();
+        assert!(FpGrowth::new(1).mine(&db).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "support must be positive")]
+    fn zero_support_panics() {
+        FpGrowth::new(0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Offline and streaming frequent itemset mining (FIM) baselines.
+//!
+//! The paper evaluates its online framework against Borgelt's offline
+//! apriori, eclat and fp-growth implementations, which "demonstrate a
+//! range of time-space tradeoffs" (§IV-A), and discusses the stream-based
+//! estDec+ as the closest prior art (§II-B). This crate provides all four
+//! roles from scratch:
+//!
+//! * [`Apriori`] — level-wise candidate generation (fast, memory-hungry);
+//! * [`Eclat`] — depth-first tidset intersection (lean, slower);
+//! * [`FpGrowth`] — FP-tree mining (the middle ground);
+//! * [`DecayedPairMiner`] — a budgeted, decaying streaming pair miner in
+//!   the role of estDec+ when only pairs are needed;
+//! * [`EstDecMiner`] — a fuller estDec-style prefix-lattice miner with
+//!   delayed insertion and decayed counts, tracking itemsets up to a
+//!   configurable size (what the paper argues makes stream FIM too slow
+//!   for disk I/O streams — measurable here).
+//!
+//! All three offline miners are exact and produce identical results; the
+//! crate's tests (including property tests) enforce this, which is what
+//! lets any of them serve as the ground-truth oracle for the accuracy
+//! experiments. [`count_pairs`] is a direct pair-frequency oracle used
+//! when only pairs (the paper's actual need) are required.
+//!
+//! # Examples
+//!
+//! ```
+//! use rtdac_fim::{Apriori, Eclat, FpGrowth, TransactionDb};
+//!
+//! let db = TransactionDb::from_iter([
+//!     vec![1, 3, 4],
+//!     vec![2, 3, 5],
+//!     vec![1, 2, 3, 5],
+//!     vec![2, 5],
+//! ]);
+//! let a = Apriori::new(2).mine(&db);
+//! assert_eq!(a, Eclat::new(2).mine(&db));
+//! assert_eq!(a, FpGrowth::new(2).mine(&db));
+//! ```
+
+mod apriori;
+mod db;
+mod estdec;
+mod eclat;
+mod fpgrowth;
+mod pairs;
+mod result;
+mod stream;
+
+pub use apriori::Apriori;
+pub use db::TransactionDb;
+pub use eclat::Eclat;
+pub use estdec::{EstDecConfig, EstDecMiner};
+pub use fpgrowth::FpGrowth;
+pub use pairs::{count_pairs, frequent_pairs};
+pub use result::FimResult;
+pub use stream::DecayedPairMiner;

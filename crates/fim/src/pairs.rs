@@ -1,0 +1,132 @@
+//! Exact extent-pair frequency counting — the offline ground truth.
+//!
+//! "Offline FIM data provides the frequencies of all extent correlations"
+//! (§IV-C3); this module is that oracle, equivalent to mining with
+//! support 1 and itemset length 2 but computed directly.
+
+use std::collections::HashMap;
+
+use rtdac_types::{ExtentPair, Transaction};
+
+/// Counts how many transactions each unique extent pair occurs in.
+///
+/// # Examples
+///
+/// ```
+/// use rtdac_fim::count_pairs;
+/// use rtdac_types::{Extent, Timestamp, Transaction};
+///
+/// let a = Extent::new(100, 4)?;
+/// let b = Extent::new(200, 3)?;
+/// let txns = vec![
+///     Transaction::from_extents(Timestamp::ZERO, [a, b]),
+///     Transaction::from_extents(Timestamp::ZERO, [a, b]),
+/// ];
+/// let counts = count_pairs(&txns);
+/// assert_eq!(counts.len(), 1);
+/// assert_eq!(counts.values().next(), Some(&2));
+/// # Ok::<(), rtdac_types::ExtentError>(())
+/// ```
+pub fn count_pairs<'a, T>(transactions: T) -> HashMap<ExtentPair, u32>
+where
+    T: IntoIterator<Item = &'a Transaction>,
+{
+    let mut counts = HashMap::new();
+    for txn in transactions {
+        for pair in txn.unique_pairs() {
+            *counts.entry(pair).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+/// Filters a pair-frequency map to pairs meeting `min_support`, sorted by
+/// descending frequency (ties by pair order, for determinism).
+pub fn frequent_pairs(
+    counts: &HashMap<ExtentPair, u32>,
+    min_support: u32,
+) -> Vec<(ExtentPair, u32)> {
+    let mut v: Vec<(ExtentPair, u32)> = counts
+        .iter()
+        .filter(|(_, &c)| c >= min_support)
+        .map(|(&p, &c)| (p, c))
+        .collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtdac_types::{Extent, Timestamp};
+
+    fn e(start: u64) -> Extent {
+        Extent::new(start, 1).unwrap()
+    }
+
+    fn txn(extents: &[Extent]) -> Transaction {
+        Transaction::from_extents(Timestamp::ZERO, extents.iter().copied())
+    }
+
+    #[test]
+    fn counts_across_transactions() {
+        let txns = vec![
+            txn(&[e(1), e(2), e(3)]),
+            txn(&[e(1), e(2)]),
+            txn(&[e(3)]),
+        ];
+        let counts = count_pairs(&txns);
+        let p12 = ExtentPair::new(e(1), e(2)).unwrap();
+        let p13 = ExtentPair::new(e(1), e(3)).unwrap();
+        assert_eq!(counts[&p12], 2);
+        assert_eq!(counts[&p13], 1);
+        assert_eq!(counts.len(), 3);
+    }
+
+    #[test]
+    fn duplicates_within_transaction_count_once() {
+        let txns = vec![txn(&[e(1), e(1), e(2)])];
+        let counts = count_pairs(&txns);
+        assert_eq!(counts.len(), 1);
+        assert_eq!(counts.values().sum::<u32>(), 1);
+    }
+
+    #[test]
+    fn frequent_pairs_sorted_descending() {
+        let txns = vec![
+            txn(&[e(1), e(2)]),
+            txn(&[e(1), e(2)]),
+            txn(&[e(1), e(2)]),
+            txn(&[e(3), e(4)]),
+            txn(&[e(3), e(4)]),
+            txn(&[e(5), e(6)]),
+        ];
+        let counts = count_pairs(&txns);
+        let top = frequent_pairs(&counts, 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].1, 3);
+        assert_eq!(top[1].1, 2);
+    }
+
+    #[test]
+    fn agrees_with_eclat_pairs() {
+        // The oracle must agree with full FIM restricted to pairs.
+        let txns = vec![
+            txn(&[e(1), e(2), e(3)]),
+            txn(&[e(1), e(2)]),
+            txn(&[e(2), e(3)]),
+            txn(&[e(1), e(3), e(4)]),
+        ];
+        let counts = count_pairs(&txns);
+        let db = crate::TransactionDb::from_transactions(&txns);
+        let mined = crate::Eclat::new(1).max_len(2).mine(&db);
+        for (pair, count) in &counts {
+            assert_eq!(
+                mined.support(&[pair.first(), pair.second()]),
+                Some(*count),
+                "disagreement on {pair}"
+            );
+        }
+        assert_eq!(mined.of_len(2).count(), counts.len());
+    }
+}

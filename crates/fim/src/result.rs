@@ -1,0 +1,92 @@
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// The output of a frequent itemset mining run: every itemset whose
+/// absolute support meets the configured minimum, with its support.
+///
+/// Itemsets are stored sorted (items ascending within each set, then sets
+/// ordered lexicographically) so results from different algorithms compare
+/// with `==` — the crate's tests rely on apriori, eclat and fp-growth
+/// producing byte-identical `FimResult`s.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FimResult<I> {
+    itemsets: Vec<(Vec<I>, u32)>,
+}
+
+impl<I: Ord + Clone + Hash> FimResult<I> {
+    /// Normalizes and wraps raw `(itemset, support)` pairs.
+    pub fn from_raw(mut itemsets: Vec<(Vec<I>, u32)>) -> Self {
+        for (set, _) in &mut itemsets {
+            set.sort();
+        }
+        itemsets.sort();
+        FimResult { itemsets }
+    }
+
+    /// Every frequent itemset with its absolute support.
+    pub fn itemsets(&self) -> &[(Vec<I>, u32)] {
+        &self.itemsets
+    }
+
+    /// Number of frequent itemsets found.
+    pub fn len(&self) -> usize {
+        self.itemsets.len()
+    }
+
+    /// Whether nothing met the support threshold.
+    pub fn is_empty(&self) -> bool {
+        self.itemsets.is_empty()
+    }
+
+    /// Only the itemsets of exactly `k` items.
+    pub fn of_len(&self, k: usize) -> impl Iterator<Item = (&[I], u32)> {
+        self.itemsets
+            .iter()
+            .filter(move |(set, _)| set.len() == k)
+            .map(|(set, support)| (set.as_slice(), *support))
+    }
+
+    /// The frequent *pairs* as a map — the ground truth the paper compares
+    /// its online analysis against.
+    pub fn pair_map(&self) -> HashMap<(I, I), u32> {
+        self.of_len(2)
+            .map(|(set, support)| ((set[0].clone(), set[1].clone()), support))
+            .collect()
+    }
+
+    /// Support of a specific itemset (order-insensitive), if frequent.
+    pub fn support(&self, itemset: &[I]) -> Option<u32> {
+        let mut key: Vec<I> = itemset.to_vec();
+        key.sort();
+        self.itemsets
+            .binary_search_by(|(set, _)| set.cmp(&key))
+            .ok()
+            .map(|idx| self.itemsets[idx].1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_for_equality() {
+        let a = FimResult::from_raw(vec![(vec![2, 1], 3), (vec![1], 5)]);
+        let b = FimResult::from_raw(vec![(vec![1], 5), (vec![1, 2], 3)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn support_lookup_is_order_insensitive() {
+        let r = FimResult::from_raw(vec![(vec![1, 2], 3)]);
+        assert_eq!(r.support(&[2, 1]), Some(3));
+        assert_eq!(r.support(&[1]), None);
+    }
+
+    #[test]
+    fn of_len_filters() {
+        let r = FimResult::from_raw(vec![(vec![1], 5), (vec![1, 2], 3), (vec![1, 2, 3], 2)]);
+        assert_eq!(r.of_len(2).count(), 1);
+        assert_eq!(r.pair_map()[&(1, 2)], 3);
+    }
+}

@@ -1,0 +1,205 @@
+//! A stream-based FIM baseline standing in for estDec+ (§II-B).
+//!
+//! estDec+ maintains a compressible prefix tree of decayed itemset counts
+//! sized to a memory budget. Since the paper (and this reproduction) only
+//! needs frequent *pairs*, this baseline keeps a budgeted table of decayed
+//! pair counts with lossy pruning: the same accuracy/throughput trade-off
+//! — bounded memory, decay-based forgetting, possible undercounting of
+//! pairs that were pruned and reappear — in the pair-only setting.
+
+use std::collections::HashMap;
+
+use rtdac_types::{ExtentPair, Transaction};
+
+/// A decayed, memory-bounded streaming pair miner.
+///
+/// Each pair's count decays by `decay^(t - t_last)` where `t` is the
+/// transaction index, so old patterns fade (cf. estDec's decay mechanism).
+/// When the table exceeds its budget, the weakest entries are pruned
+/// (lossy counting). Pruned pairs restart from zero if seen again, which
+/// is where the accuracy compromise lives.
+///
+/// # Examples
+///
+/// ```
+/// use rtdac_fim::DecayedPairMiner;
+/// use rtdac_types::{Extent, Timestamp, Transaction};
+///
+/// let mut miner = DecayedPairMiner::new(1024, 0.999);
+/// let a = Extent::new(1, 1)?;
+/// let b = Extent::new(9, 1)?;
+/// for _ in 0..20 {
+///     miner.process(&Transaction::from_extents(Timestamp::ZERO, [a, b]));
+/// }
+/// let top = miner.frequent_pairs(10.0);
+/// assert_eq!(top.len(), 1);
+/// # Ok::<(), rtdac_types::ExtentError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct DecayedPairMiner {
+    capacity: usize,
+    decay: f64,
+    clock: u64,
+    counts: HashMap<ExtentPair, DecayedCount>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct DecayedCount {
+    value: f64,
+    last_seen: u64,
+}
+
+impl DecayedPairMiner {
+    /// Creates a miner holding at most `capacity` pairs, decaying counts
+    /// by factor `decay` per transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or `decay` is not in `(0, 1]`.
+    pub fn new(capacity: usize, decay: f64) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        assert!(
+            decay > 0.0 && decay <= 1.0,
+            "decay factor must be in (0, 1]"
+        );
+        DecayedPairMiner {
+            capacity,
+            decay,
+            clock: 0,
+            counts: HashMap::new(),
+        }
+    }
+
+    /// Feeds one transaction.
+    pub fn process(&mut self, transaction: &Transaction) {
+        self.clock += 1;
+        for pair in transaction.unique_pairs() {
+            let entry = self.counts.entry(pair).or_insert(DecayedCount {
+                value: 0.0,
+                last_seen: self.clock,
+            });
+            let elapsed = self.clock - entry.last_seen;
+            entry.value = entry.value * self.decay.powi(elapsed as i32) + 1.0;
+            entry.last_seen = self.clock;
+        }
+        if self.counts.len() > self.capacity {
+            self.prune();
+        }
+    }
+
+    /// Drops the weakest half of the table (by current decayed count).
+    fn prune(&mut self) {
+        let mut values: Vec<f64> = self
+            .counts
+            .values()
+            .map(|c| self.decayed_value(c))
+            .collect();
+        values.sort_by(|a, b| a.partial_cmp(b).expect("counts are finite"));
+        let cutoff = values[values.len() / 2];
+        let clock = self.clock;
+        let decay = self.decay;
+        self.counts.retain(|_, c| {
+            c.value * decay.powi((clock - c.last_seen) as i32) > cutoff
+        });
+    }
+
+    fn decayed_value(&self, count: &DecayedCount) -> f64 {
+        count.value * self.decay.powi((self.clock - count.last_seen) as i32)
+    }
+
+    /// Pairs whose current decayed count is at least `min_count`, sorted
+    /// by descending count.
+    pub fn frequent_pairs(&self, min_count: f64) -> Vec<(ExtentPair, f64)> {
+        let mut v: Vec<(ExtentPair, f64)> = self
+            .counts
+            .iter()
+            .map(|(&p, c)| (p, self.decayed_value(c)))
+            .filter(|(_, c)| *c >= min_count)
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("counts are finite"));
+        v
+    }
+
+    /// Number of pairs currently tracked.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the miner tracks no pairs yet.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Transactions processed so far.
+    pub fn transactions(&self) -> u64 {
+        self.clock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtdac_types::{Extent, Timestamp};
+
+    fn e(start: u64) -> Extent {
+        Extent::new(start, 1).unwrap()
+    }
+
+    fn txn(extents: &[Extent]) -> Transaction {
+        Transaction::from_extents(Timestamp::ZERO, extents.iter().copied())
+    }
+
+    #[test]
+    fn counts_without_decay() {
+        let mut m = DecayedPairMiner::new(64, 1.0);
+        for _ in 0..5 {
+            m.process(&txn(&[e(1), e(2)]));
+        }
+        let top = m.frequent_pairs(1.0);
+        assert_eq!(top.len(), 1);
+        assert!((top[0].1 - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn old_patterns_decay_away() {
+        let mut m = DecayedPairMiner::new(64, 0.5);
+        m.process(&txn(&[e(1), e(2)]));
+        for i in 0..20u64 {
+            m.process(&txn(&[e(100 + i * 2), e(101 + i * 2)]));
+        }
+        // After 20 halvings the first pair's count is ~1e-6.
+        let stale = m
+            .frequent_pairs(0.0)
+            .into_iter()
+            .find(|(p, _)| p.contains(&e(1)))
+            .unwrap();
+        assert!(stale.1 < 1e-5);
+    }
+
+    #[test]
+    fn capacity_is_enforced_by_pruning() {
+        let mut m = DecayedPairMiner::new(10, 0.99);
+        for i in 0..100u64 {
+            m.process(&txn(&[e(i * 2), e(i * 2 + 1)]));
+        }
+        assert!(m.len() <= 10, "len {}", m.len());
+    }
+
+    #[test]
+    fn pruning_keeps_the_strong_pair() {
+        let mut m = DecayedPairMiner::new(8, 1.0);
+        for i in 0..50u64 {
+            m.process(&txn(&[e(1), e(2)])); // strong pair every round
+            m.process(&txn(&[e(1000 + i * 2), e(1001 + i * 2)])); // churn
+        }
+        let top = m.frequent_pairs(10.0);
+        assert_eq!(top.len(), 1);
+        assert!(top[0].0.contains(&e(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "decay factor")]
+    fn rejects_bad_decay() {
+        DecayedPairMiner::new(8, 1.5);
+    }
+}

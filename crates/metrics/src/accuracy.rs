@@ -1,0 +1,282 @@
+//! Accuracy of the online synopsis against the offline oracle: the
+//! optimal curve of Fig. 6, the representability metric of Fig. 9, and
+//! plain detection precision/recall.
+
+use std::collections::{HashMap, HashSet};
+
+use rtdac_types::ExtentPair;
+
+/// Pair frequencies sorted descending — the basis of the "optimal"
+/// reference: for any table size `n`, no choice of `n` pairs can cover
+/// more occurrences than the `n` most frequent (§IV-C1, Fig. 6).
+#[derive(Clone, Debug, PartialEq)]
+pub struct OptimalCurve {
+    sorted_frequencies: Vec<u32>,
+    prefix_sums: Vec<u64>,
+    total: u64,
+}
+
+impl OptimalCurve {
+    /// Builds the curve from the offline pair-frequency oracle.
+    pub fn from_counts(counts: &HashMap<ExtentPair, u32>) -> Self {
+        let mut sorted: Vec<u32> = counts.values().copied().collect();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let mut prefix_sums = Vec::with_capacity(sorted.len());
+        let mut acc = 0u64;
+        for &f in &sorted {
+            acc += u64::from(f);
+            prefix_sums.push(acc);
+        }
+        OptimalCurve {
+            sorted_frequencies: sorted,
+            prefix_sums,
+            total: acc,
+        }
+    }
+
+    /// Number of distinct pairs in the underlying data.
+    pub fn unique_pairs(&self) -> usize {
+        self.sorted_frequencies.len()
+    }
+
+    /// Total occurrences across all pairs.
+    pub fn total_occurrences(&self) -> u64 {
+        self.total
+    }
+
+    /// The best possible fraction of total occurrences representable by
+    /// any `n` pairs — the Fig. 6 vertical axis.
+    ///
+    /// ```
+    /// use rtdac_metrics::OptimalCurve;
+    /// # use std::collections::HashMap;
+    /// # use rtdac_types::{Extent, ExtentPair};
+    /// # let e = |s: u64| Extent::new(s, 1).unwrap();
+    /// # let mut counts = HashMap::new();
+    /// # counts.insert(ExtentPair::new(e(1), e(2)).unwrap(), 6);
+    /// # counts.insert(ExtentPair::new(e(3), e(4)).unwrap(), 3);
+    /// # counts.insert(ExtentPair::new(e(5), e(6)).unwrap(), 1);
+    /// let curve = OptimalCurve::from_counts(&counts);
+    /// assert_eq!(curve.optimal_fraction(1), 0.6);
+    /// assert_eq!(curve.optimal_fraction(2), 0.9);
+    /// assert_eq!(curve.optimal_fraction(100), 1.0);
+    /// ```
+    pub fn optimal_fraction(&self, n: usize) -> f64 {
+        if self.total == 0 || n == 0 {
+            return 0.0;
+        }
+        let idx = n.min(self.prefix_sums.len());
+        self.prefix_sums[idx - 1] as f64 / self.total as f64
+    }
+
+    /// The smallest table size whose optimal fraction reaches `fraction`
+    /// — the "minimum table size necessary to represent any given
+    /// fraction of total frequency" reading of Fig. 6. Returns `None` if
+    /// even all pairs fall short (only possible for `fraction > 1`).
+    pub fn min_size_for_fraction(&self, fraction: f64) -> Option<usize> {
+        if self.total == 0 {
+            return (fraction <= 0.0).then_some(0);
+        }
+        let needed = (fraction * self.total as f64).ceil() as u64;
+        if needed == 0 {
+            return Some(0); // zero coverage needs zero pairs
+        }
+        match self.prefix_sums.partition_point(|&s| s < needed) {
+            idx if idx < self.prefix_sums.len() => Some(idx + 1),
+            _ if fraction <= 1.0 => Some(self.prefix_sums.len()),
+            _ => None,
+        }
+    }
+}
+
+/// The Fig. 9 metric for one table size: how much of the workload's pair
+/// occurrences the synopsis captured, relative to the best any
+/// equally-sized table could do.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Representability {
+    /// Sum of true frequencies of the pairs the synopsis holds, over the
+    /// total occurrences.
+    pub captured_fraction: f64,
+    /// The optimal fraction for the same number of entries.
+    pub optimal_fraction: f64,
+    /// `captured / optimal` — the Fig. 9 vertical axis ("percentage
+    /// captured relative to the optimal percentage possible for the same
+    /// number of entries").
+    pub versus_optimal: f64,
+    /// Number of pairs the synopsis held.
+    pub stored_pairs: usize,
+}
+
+/// Computes Fig. 9's representability for a set of stored pairs against
+/// the offline oracle.
+pub fn representability(
+    stored: &HashSet<ExtentPair>,
+    truth: &HashMap<ExtentPair, u32>,
+) -> Representability {
+    let curve = OptimalCurve::from_counts(truth);
+    let captured: u64 = stored
+        .iter()
+        .filter_map(|p| truth.get(p))
+        .map(|&c| u64::from(c))
+        .sum();
+    let captured_fraction = if curve.total_occurrences() == 0 {
+        0.0
+    } else {
+        captured as f64 / curve.total_occurrences() as f64
+    };
+    let optimal_fraction = curve.optimal_fraction(stored.len());
+    Representability {
+        captured_fraction,
+        optimal_fraction,
+        versus_optimal: if optimal_fraction == 0.0 {
+            0.0
+        } else {
+            captured_fraction / optimal_fraction
+        },
+        stored_pairs: stored.len(),
+    }
+}
+
+/// Precision/recall of a detected pair set against a ground-truth set —
+/// the paper's headline ">90% of data access correlations" is a recall
+/// statement.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Detection {
+    /// Fraction of ground-truth pairs that were detected.
+    pub recall: f64,
+    /// Fraction of detected pairs that are in the ground truth.
+    pub precision: f64,
+    /// True positives.
+    pub hits: usize,
+    /// Ground-truth size.
+    pub truth_size: usize,
+    /// Detected-set size.
+    pub detected_size: usize,
+}
+
+/// Compares a detected pair set against ground truth.
+///
+/// ```
+/// use rtdac_metrics::detection;
+/// use rtdac_types::{Extent, ExtentPair};
+/// use std::collections::HashSet;
+///
+/// let e = |s: u64| Extent::new(s, 1).unwrap();
+/// let p = |a: u64, b: u64| ExtentPair::new(e(a), e(b)).unwrap();
+/// let truth: HashSet<_> = [p(1, 2), p(3, 4)].into_iter().collect();
+/// let detected: HashSet<_> = [p(1, 2), p(5, 6)].into_iter().collect();
+/// let d = detection(&detected, &truth);
+/// assert_eq!(d.recall, 0.5);
+/// assert_eq!(d.precision, 0.5);
+/// ```
+pub fn detection(detected: &HashSet<ExtentPair>, truth: &HashSet<ExtentPair>) -> Detection {
+    let hits = detected.intersection(truth).count();
+    Detection {
+        recall: if truth.is_empty() {
+            1.0
+        } else {
+            hits as f64 / truth.len() as f64
+        },
+        precision: if detected.is_empty() {
+            1.0
+        } else {
+            hits as f64 / detected.len() as f64
+        },
+        hits,
+        truth_size: truth.len(),
+        detected_size: detected.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtdac_types::Extent;
+
+    fn pair(i: u64) -> ExtentPair {
+        ExtentPair::new(
+            Extent::new(i * 10, 1).unwrap(),
+            Extent::new(i * 10 + 5, 1).unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn counts(freqs: &[u32]) -> HashMap<ExtentPair, u32> {
+        freqs
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| (pair(i as u64), f))
+            .collect()
+    }
+
+    #[test]
+    fn optimal_curve_is_monotone_and_concave() {
+        let curve = OptimalCurve::from_counts(&counts(&[9, 1, 5, 3, 7]));
+        let fractions: Vec<f64> = (1..=5).map(|n| curve.optimal_fraction(n)).collect();
+        assert!(fractions.windows(2).all(|w| w[0] <= w[1]));
+        // Marginal gains shrink: frequencies are sorted descending.
+        let gains: Vec<f64> = std::iter::once(fractions[0])
+            .chain(fractions.windows(2).map(|w| w[1] - w[0]))
+            .collect();
+        assert!(gains.windows(2).all(|w| w[0] >= w[1] - 1e-12));
+        assert_eq!(curve.optimal_fraction(5), 1.0);
+    }
+
+    #[test]
+    fn min_size_inverts_optimal_fraction() {
+        let curve = OptimalCurve::from_counts(&counts(&[6, 3, 1]));
+        assert_eq!(curve.min_size_for_fraction(0.5), Some(1)); // 6/10
+        assert_eq!(curve.min_size_for_fraction(0.6), Some(1));
+        assert_eq!(curve.min_size_for_fraction(0.61), Some(2));
+        assert_eq!(curve.min_size_for_fraction(0.9), Some(2));
+        assert_eq!(curve.min_size_for_fraction(1.0), Some(3));
+    }
+
+    #[test]
+    fn representability_of_perfect_top_n() {
+        let truth = counts(&[10, 5, 1]);
+        // Storing exactly the top-2 pairs: captured == optimal.
+        let stored: HashSet<ExtentPair> = [pair(0), pair(1)].into_iter().collect();
+        let r = representability(&stored, &truth);
+        assert!((r.captured_fraction - 15.0 / 16.0).abs() < 1e-12);
+        assert!((r.versus_optimal - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn representability_of_poor_choice() {
+        let truth = counts(&[10, 5, 1]);
+        // Storing only the weakest pair.
+        let stored: HashSet<ExtentPair> = [pair(2)].into_iter().collect();
+        let r = representability(&stored, &truth);
+        assert!((r.captured_fraction - 1.0 / 16.0).abs() < 1e-12);
+        assert!((r.optimal_fraction - 10.0 / 16.0).abs() < 1e-12);
+        assert!(r.versus_optimal < 0.11);
+    }
+
+    #[test]
+    fn representability_ignores_pairs_outside_truth() {
+        let truth = counts(&[4]);
+        let stored: HashSet<ExtentPair> = [pair(0), pair(99)].into_iter().collect();
+        let r = representability(&stored, &truth);
+        assert_eq!(r.captured_fraction, 1.0);
+        assert_eq!(r.stored_pairs, 2);
+    }
+
+    #[test]
+    fn detection_edge_cases() {
+        let empty = HashSet::new();
+        let some: HashSet<ExtentPair> = [pair(1)].into_iter().collect();
+        assert_eq!(detection(&empty, &empty).recall, 1.0);
+        assert_eq!(detection(&empty, &some).recall, 0.0);
+        assert_eq!(detection(&some, &empty).precision, 0.0);
+        assert_eq!(detection(&some, &some).recall, 1.0);
+        assert_eq!(detection(&some, &some).precision, 1.0);
+    }
+
+    #[test]
+    fn empty_truth_curve() {
+        let curve = OptimalCurve::from_counts(&HashMap::new());
+        assert_eq!(curve.optimal_fraction(5), 0.0);
+        assert_eq!(curve.unique_pairs(), 0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Cumulative distributions of extent-correlation frequency — the data
+//! behind Fig. 5 of the paper.
+
+use std::collections::HashMap;
+
+use rtdac_types::ExtentPair;
+
+/// One point of the Fig. 5 CDF: at correlation frequency `frequency`,
+/// the fraction of unique pairs with frequency ≤ it, and the fraction of
+/// total occurrences they account for.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct CdfPoint {
+    /// Correlation frequency (the horizontal axis).
+    pub frequency: u32,
+    /// Fraction of *unique* extent pairs with frequency ≤ `frequency`
+    /// (the solid line).
+    pub unique_fraction: f64,
+    /// Fraction of total pair occurrences carried by those pairs (the
+    /// dashed line, "weighted by frequency").
+    pub weighted_fraction: f64,
+}
+
+/// The cumulative distribution of pair frequencies.
+///
+/// # Examples
+///
+/// ```
+/// use rtdac_metrics::FrequencyCdf;
+/// use rtdac_types::{Extent, ExtentPair};
+/// use std::collections::HashMap;
+///
+/// let e = |s: u64| Extent::new(s, 1).unwrap();
+/// let mut counts = HashMap::new();
+/// counts.insert(ExtentPair::new(e(1), e(2)).unwrap(), 1);
+/// counts.insert(ExtentPair::new(e(3), e(4)).unwrap(), 1);
+/// counts.insert(ExtentPair::new(e(5), e(6)).unwrap(), 1);
+/// counts.insert(ExtentPair::new(e(7), e(8)).unwrap(), 9);
+///
+/// let cdf = FrequencyCdf::from_counts(&counts);
+/// // 3 of 4 unique pairs occur once, but carry only 3/12 occurrences.
+/// assert_eq!(cdf.unique_fraction_at(1), 0.75);
+/// assert_eq!(cdf.weighted_fraction_at(1), 0.25);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct FrequencyCdf {
+    points: Vec<CdfPoint>,
+    total_pairs: u64,
+    total_occurrences: u64,
+}
+
+impl FrequencyCdf {
+    /// Builds the CDF from a pair-frequency map (the offline oracle's
+    /// output).
+    pub fn from_counts(counts: &HashMap<ExtentPair, u32>) -> Self {
+        let mut by_frequency: HashMap<u32, u64> = HashMap::new();
+        for &count in counts.values() {
+            *by_frequency.entry(count).or_insert(0) += 1;
+        }
+        let mut frequencies: Vec<u32> = by_frequency.keys().copied().collect();
+        frequencies.sort_unstable();
+
+        let total_pairs = counts.len() as u64;
+        let total_occurrences: u64 = counts.values().map(|&c| u64::from(c)).sum();
+
+        let mut cum_pairs = 0u64;
+        let mut cum_occurrences = 0u64;
+        let points = frequencies
+            .into_iter()
+            .map(|frequency| {
+                let pairs_here = by_frequency[&frequency];
+                cum_pairs += pairs_here;
+                cum_occurrences += pairs_here * u64::from(frequency);
+                CdfPoint {
+                    frequency,
+                    unique_fraction: cum_pairs as f64 / total_pairs.max(1) as f64,
+                    weighted_fraction: cum_occurrences as f64
+                        / total_occurrences.max(1) as f64,
+                }
+            })
+            .collect();
+
+        FrequencyCdf {
+            points,
+            total_pairs,
+            total_occurrences,
+        }
+    }
+
+    /// The CDF's points in ascending frequency order.
+    pub fn points(&self) -> &[CdfPoint] {
+        &self.points
+    }
+
+    /// Number of unique pairs.
+    pub fn total_pairs(&self) -> u64 {
+        self.total_pairs
+    }
+
+    /// Total pair occurrences (sum of all frequencies).
+    pub fn total_occurrences(&self) -> u64 {
+        self.total_occurrences
+    }
+
+    /// Fraction of unique pairs with frequency ≤ `frequency`.
+    pub fn unique_fraction_at(&self, frequency: u32) -> f64 {
+        self.fraction_at(frequency, |p| p.unique_fraction)
+    }
+
+    /// Fraction of total occurrences from pairs with frequency ≤
+    /// `frequency`.
+    pub fn weighted_fraction_at(&self, frequency: u32) -> f64 {
+        self.fraction_at(frequency, |p| p.weighted_fraction)
+    }
+
+    fn fraction_at(&self, frequency: u32, pick: impl Fn(&CdfPoint) -> f64) -> f64 {
+        match self.points.partition_point(|p| p.frequency <= frequency) {
+            0 => 0.0,
+            idx => pick(&self.points[idx - 1]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtdac_types::Extent;
+
+    fn counts(freqs: &[u32]) -> HashMap<ExtentPair, u32> {
+        freqs
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| {
+                let a = Extent::new(i as u64 * 10, 1).unwrap();
+                let b = Extent::new(i as u64 * 10 + 5, 1).unwrap();
+                (ExtentPair::new(a, b).unwrap(), f)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn both_lines_reach_one() {
+        let cdf = FrequencyCdf::from_counts(&counts(&[1, 1, 2, 5, 9]));
+        let last = cdf.points().last().unwrap();
+        assert!((last.unique_fraction - 1.0).abs() < 1e-12);
+        assert!((last.weighted_fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unique_rises_faster_than_weighted_for_zipf_like_data() {
+        // Many support-1 pairs + a few heavy pairs: the solid line leads
+        // the dashed line, as in all five Fig. 5 panels.
+        let mut freqs = vec![1u32; 75];
+        freqs.extend([10, 20, 50, 100]);
+        let cdf = FrequencyCdf::from_counts(&counts(&freqs));
+        assert!(cdf.unique_fraction_at(1) > 0.9);
+        assert!(cdf.weighted_fraction_at(1) < 0.4);
+    }
+
+    #[test]
+    fn fraction_below_first_point_is_zero() {
+        let cdf = FrequencyCdf::from_counts(&counts(&[5, 7]));
+        assert_eq!(cdf.unique_fraction_at(4), 0.0);
+        assert_eq!(cdf.unique_fraction_at(5), 0.5);
+    }
+
+    #[test]
+    fn empty_counts_yield_empty_cdf() {
+        let cdf = FrequencyCdf::from_counts(&HashMap::new());
+        assert!(cdf.points().is_empty());
+        assert_eq!(cdf.total_pairs(), 0);
+        assert_eq!(cdf.unique_fraction_at(10), 0.0);
+    }
+
+    #[test]
+    fn totals_are_consistent() {
+        let cdf = FrequencyCdf::from_counts(&counts(&[2, 3, 4]));
+        assert_eq!(cdf.total_pairs(), 3);
+        assert_eq!(cdf.total_occurrences(), 9);
+    }
+}

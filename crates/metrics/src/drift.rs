@@ -1,0 +1,126 @@
+//! Concept-drift analysis (Fig. 10): how much of each workload phase's
+//! correlation pattern the bounded synopsis remembers at a point in time.
+
+use std::collections::HashSet;
+
+use rtdac_synopsis::Snapshot;
+use rtdac_types::ExtentPair;
+
+/// How strongly a synopsis snapshot reflects one workload phase's
+/// correlations.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct PhaseAffinity {
+    /// Fraction of the phase's pairs present in the snapshot.
+    pub phase_coverage: f64,
+    /// Fraction of the snapshot's pairs that belong to the phase.
+    pub snapshot_share: f64,
+    /// Jaccard similarity of the two sets.
+    pub jaccard: f64,
+}
+
+/// Measures how much of `phase_pairs` (the pairs a workload phase
+/// produces, from the offline oracle) a snapshot retains.
+///
+/// Fig. 10's narrative — "the pattern of wdev forming at the beginning
+/// is replaced by the pattern of hm in the middle, which begins to fade
+/// after more wdev requests" — is exactly a statement about how these
+/// affinities evolve across snapshots.
+///
+/// # Examples
+///
+/// ```
+/// use rtdac_metrics::phase_affinity;
+/// use rtdac_synopsis::{AnalyzerConfig, OnlineAnalyzer};
+/// use rtdac_types::{Extent, Timestamp, Transaction};
+/// use std::collections::HashSet;
+///
+/// let mut analyzer = OnlineAnalyzer::new(AnalyzerConfig::with_capacity(64));
+/// let a = Extent::new(1, 1)?;
+/// let b = Extent::new(2, 1)?;
+/// analyzer.process(&Transaction::from_extents(Timestamp::ZERO, [a, b]));
+///
+/// let phase: HashSet<_> = analyzer.snapshot().pair_set();
+/// let affinity = phase_affinity(&analyzer.snapshot(), &phase);
+/// assert_eq!(affinity.phase_coverage, 1.0);
+/// # Ok::<(), rtdac_types::ExtentError>(())
+/// ```
+pub fn phase_affinity(snapshot: &Snapshot, phase_pairs: &HashSet<ExtentPair>) -> PhaseAffinity {
+    let stored = snapshot.pair_set();
+    let common = stored.intersection(phase_pairs).count();
+    let union = stored.union(phase_pairs).count();
+    PhaseAffinity {
+        phase_coverage: if phase_pairs.is_empty() {
+            1.0
+        } else {
+            common as f64 / phase_pairs.len() as f64
+        },
+        snapshot_share: if stored.is_empty() {
+            0.0
+        } else {
+            common as f64 / stored.len() as f64
+        },
+        jaccard: if union == 0 {
+            1.0
+        } else {
+            common as f64 / union as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtdac_synopsis::Tier;
+    use rtdac_types::Extent;
+
+    fn pair(i: u64) -> ExtentPair {
+        ExtentPair::new(
+            Extent::new(i * 10, 1).unwrap(),
+            Extent::new(i * 10 + 1, 1).unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn snapshot_of(pairs: &[ExtentPair]) -> Snapshot {
+        Snapshot {
+            pairs: pairs.iter().map(|&p| (p, 1, Tier::T1)).collect(),
+            items: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn full_overlap() {
+        let pairs = [pair(1), pair(2)];
+        let snap = snapshot_of(&pairs);
+        let phase: HashSet<ExtentPair> = pairs.into_iter().collect();
+        let a = phase_affinity(&snap, &phase);
+        assert_eq!(a.phase_coverage, 1.0);
+        assert_eq!(a.snapshot_share, 1.0);
+        assert_eq!(a.jaccard, 1.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        let snap = snapshot_of(&[pair(1), pair(2), pair(3), pair(4)]);
+        let phase: HashSet<ExtentPair> = [pair(3), pair(4), pair(5), pair(6)]
+            .into_iter()
+            .collect();
+        let a = phase_affinity(&snap, &phase);
+        assert_eq!(a.phase_coverage, 0.5);
+        assert_eq!(a.snapshot_share, 0.5);
+        assert!((a.jaccard - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let empty_snap = snapshot_of(&[]);
+        let phase: HashSet<ExtentPair> = [pair(1)].into_iter().collect();
+        let a = phase_affinity(&empty_snap, &phase);
+        assert_eq!(a.phase_coverage, 0.0);
+        assert_eq!(a.snapshot_share, 0.0);
+
+        let b = phase_affinity(&empty_snap, &HashSet::new());
+        assert_eq!(b.phase_coverage, 1.0);
+        assert_eq!(b.jaccard, 1.0);
+    }
+}

@@ -1,0 +1,297 @@
+//! Binned heat maps: the storage heat maps of Fig. 1 (request sequence ×
+//! block number) and the pair-correlation plots of Figs. 7–8 (block ×
+//! block). Rendered as CSV for plotting and as ASCII for the console.
+
+use std::fmt::Write as _;
+
+use rtdac_types::{ExtentPair, Trace};
+
+/// A fixed-size 2-D histogram.
+///
+/// # Examples
+///
+/// ```
+/// use rtdac_metrics::Heatmap;
+///
+/// let mut map = Heatmap::new(4, 4, 100.0, 100.0);
+/// map.add(10.0, 10.0);
+/// map.add(10.0, 12.0);
+/// assert_eq!(map.max_count(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Heatmap {
+    cols: usize,
+    rows: usize,
+    x_span: f64,
+    y_span: f64,
+    cells: Vec<u64>,
+}
+
+impl Heatmap {
+    /// Creates an empty `cols × rows` map covering `[0, x_span) ×
+    /// [0, y_span)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or a span is not positive.
+    pub fn new(cols: usize, rows: usize, x_span: f64, y_span: f64) -> Self {
+        assert!(cols > 0 && rows > 0, "heatmap dimensions must be positive");
+        assert!(x_span > 0.0 && y_span > 0.0, "heatmap spans must be positive");
+        Heatmap {
+            cols,
+            rows,
+            x_span,
+            y_span,
+            cells: vec![0; cols * rows],
+        }
+    }
+
+    /// Increments the cell containing `(x, y)`; out-of-range points clamp
+    /// to the border cells.
+    pub fn add(&mut self, x: f64, y: f64) {
+        let col = ((x / self.x_span * self.cols as f64) as usize).min(self.cols - 1);
+        let row = ((y / self.y_span * self.rows as f64) as usize).min(self.rows - 1);
+        self.cells[row * self.cols + col] += 1;
+    }
+
+    /// Count in cell `(col, row)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn cell(&self, col: usize, row: usize) -> u64 {
+        assert!(col < self.cols && row < self.rows, "heatmap index out of bounds");
+        self.cells[row * self.cols + col]
+    }
+
+    /// Grid width in cells.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Grid height in cells.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The largest cell count.
+    pub fn max_count(&self) -> u64 {
+        self.cells.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Number of non-empty cells.
+    pub fn occupied_cells(&self) -> usize {
+        self.cells.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Total points added.
+    pub fn total(&self) -> u64 {
+        self.cells.iter().sum()
+    }
+
+    /// Fig. 1 heat map: request sequence (x) × starting block (y).
+    pub fn from_trace(trace: &Trace, cols: usize, rows: usize) -> Self {
+        let n = trace.len().max(1) as f64;
+        let max_block = trace.stats().max_block.max(1) as f64;
+        let mut map = Heatmap::new(cols, rows, n, max_block);
+        for (seq, req) in trace.iter().enumerate() {
+            map.add(seq as f64, req.extent.start() as f64);
+        }
+        map
+    }
+
+    /// Figs. 7–8 correlation plot: for each extent pair, the blocks of
+    /// one extent against the blocks of the other, mirrored across the
+    /// diagonal exactly as the paper plots `(A, B)` and `(B, A)`.
+    ///
+    /// Plotting every block pair of a large extent pair is quadratic, so
+    /// extents are subsampled to at most 32 blocks each — this affects
+    /// only rendering density, not which regions light up.
+    pub fn from_pairs<'a, I>(pairs: I, block_span: u64, cols: usize, rows: usize) -> Self
+    where
+        I: IntoIterator<Item = &'a ExtentPair>,
+    {
+        let span = block_span.max(1) as f64;
+        let mut map = Heatmap::new(cols, rows, span, span);
+        for pair in pairs {
+            for a in subsample(pair.first().start(), pair.first().end()) {
+                for b in subsample(pair.second().start(), pair.second().end()) {
+                    map.add(a as f64, b as f64);
+                    map.add(b as f64, a as f64);
+                }
+            }
+        }
+        map
+    }
+
+    /// Renders the map as CSV (`col,row,count` for non-empty cells).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("col,row,count\n");
+        for row in 0..self.rows {
+            for col in 0..self.cols {
+                let count = self.cell(col, row);
+                if count > 0 {
+                    writeln!(out, "{col},{row},{count}").expect("writing to String");
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the map as ASCII art, highest rows first (origin at the
+    /// bottom-left like the paper's plots), with density characters.
+    pub fn to_ascii(&self) -> String {
+        const SHADES: &[u8] = b" .:-=+*#%@";
+        let max = self.max_count().max(1) as f64;
+        let mut out = String::with_capacity((self.cols + 1) * self.rows);
+        for row in (0..self.rows).rev() {
+            for col in 0..self.cols {
+                let count = self.cell(col, row);
+                let shade = if count == 0 {
+                    0
+                } else {
+                    // Log scale so sparse structure stays visible.
+                    let f = (count as f64).ln_1p() / max.ln_1p();
+                    1 + (f * (SHADES.len() - 2) as f64).round() as usize
+                };
+                out.push(SHADES[shade.min(SHADES.len() - 1)] as char);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Structural similarity to another map of the same dimensions: the
+    /// fraction of this map's occupied cells also occupied in `other`.
+    /// Used to quantify the paper's "visually recognizably similar"
+    /// claim for Figs. 7–8.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn occupancy_overlap(&self, other: &Heatmap) -> f64 {
+        assert_eq!(self.cols, other.cols, "heatmap dimensions must match");
+        assert_eq!(self.rows, other.rows, "heatmap dimensions must match");
+        let occupied = self.occupied_cells();
+        if occupied == 0 {
+            return 1.0;
+        }
+        let both = self
+            .cells
+            .iter()
+            .zip(&other.cells)
+            .filter(|(&a, &b)| a > 0 && b > 0)
+            .count();
+        both as f64 / occupied as f64
+    }
+}
+
+/// At most 32 evenly spaced blocks from `[start, end)`.
+fn subsample(start: u64, end: u64) -> impl Iterator<Item = u64> {
+    let len = end - start;
+    let step = len.div_ceil(32).max(1);
+    (start..end).step_by(step as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtdac_types::{Extent, IoOp, IoRequest, Timestamp};
+
+    #[test]
+    fn add_bins_points() {
+        let mut m = Heatmap::new(10, 10, 100.0, 100.0);
+        m.add(5.0, 5.0); // cell (0, 0)
+        m.add(95.0, 95.0); // cell (9, 9)
+        m.add(150.0, 150.0); // clamps to (9, 9)
+        assert_eq!(m.cell(0, 0), 1);
+        assert_eq!(m.cell(9, 9), 2);
+        assert_eq!(m.total(), 3);
+        assert_eq!(m.occupied_cells(), 2);
+    }
+
+    #[test]
+    fn from_trace_covers_sequence_and_blocks() {
+        let mut trace = Trace::new("t");
+        for i in 0..100u64 {
+            trace.push(IoRequest::new(
+                Timestamp::from_micros(i),
+                1,
+                IoOp::Read,
+                Extent::new(i * 1000, 8).unwrap(),
+            ));
+        }
+        let m = Heatmap::from_trace(&trace, 10, 10);
+        assert_eq!(m.total(), 100);
+        // A diagonal access pattern occupies the diagonal cells.
+        for d in 0..10 {
+            assert!(m.cell(d, d) > 0, "diagonal cell {d}");
+        }
+    }
+
+    #[test]
+    fn from_pairs_is_symmetric() {
+        let a = Extent::new(100, 2).unwrap();
+        let b = Extent::new(700, 2).unwrap();
+        let pair = ExtentPair::new(a, b).unwrap();
+        let m = Heatmap::from_pairs([&pair], 1000, 10, 10);
+        for row in 0..10 {
+            for col in 0..10 {
+                assert_eq!(m.cell(col, row), m.cell(row, col));
+            }
+        }
+        assert!(m.cell(1, 7) > 0);
+        assert!(m.cell(7, 1) > 0);
+    }
+
+    #[test]
+    fn subsample_caps_block_count() {
+        assert_eq!(subsample(0, 10).count(), 10);
+        assert!(subsample(0, 100_000).count() <= 33);
+    }
+
+    #[test]
+    fn ascii_render_shape() {
+        let mut m = Heatmap::new(4, 3, 4.0, 3.0);
+        m.add(0.5, 0.5);
+        let art = m.to_ascii();
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines.iter().all(|l| l.len() == 4));
+        // Origin bottom-left: the point appears on the last line.
+        assert_ne!(lines[2].chars().next().unwrap(), ' ');
+    }
+
+    #[test]
+    fn csv_lists_nonempty_cells() {
+        let mut m = Heatmap::new(2, 2, 2.0, 2.0);
+        m.add(0.5, 1.5);
+        let csv = m.to_csv();
+        assert_eq!(csv, "col,row,count\n0,1,1\n");
+    }
+
+    #[test]
+    fn overlap_of_identical_maps_is_one() {
+        let mut m = Heatmap::new(4, 4, 4.0, 4.0);
+        m.add(1.0, 1.0);
+        m.add(2.0, 3.0);
+        assert_eq!(m.occupancy_overlap(&m.clone()), 1.0);
+    }
+
+    #[test]
+    fn overlap_of_disjoint_maps_is_zero() {
+        let mut a = Heatmap::new(4, 4, 4.0, 4.0);
+        a.add(0.0, 0.0);
+        let mut b = Heatmap::new(4, 4, 4.0, 4.0);
+        b.add(3.0, 3.0);
+        assert_eq!(a.occupancy_overlap(&b), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must match")]
+    fn overlap_rejects_mismatched_dims() {
+        let a = Heatmap::new(4, 4, 4.0, 4.0);
+        let b = Heatmap::new(5, 4, 4.0, 4.0);
+        a.occupancy_overlap(&b);
+    }
+}

@@ -1,0 +1,36 @@
+//! Evaluation metrics for `rtdac`: everything needed to regenerate the
+//! paper's figures and quantify online-vs-offline accuracy.
+//!
+//! * [`FrequencyCdf`] — the Fig. 5 cumulative distributions of extent
+//!   correlation frequency (unique and weighted);
+//! * [`OptimalCurve`] — the Fig. 6 table-size-vs-optimal-coverage curve;
+//! * [`representability`] — the Fig. 9 captured-versus-optimal metric;
+//! * [`detection`] — precision/recall behind the ">90% detected"
+//!   headline;
+//! * [`Heatmap`] — the Fig. 1/7/8 storage and correlation heat maps;
+//! * [`phase_affinity`] — the Fig. 10 concept-drift snapshot analysis.
+//!
+//! # Examples
+//!
+//! ```
+//! use rtdac_metrics::FrequencyCdf;
+//! // (the pair-frequency oracle typically comes from `rtdac-fim`)
+//! # use std::collections::HashMap;
+//! # use rtdac_types::{Extent, ExtentPair};
+//! # let e = |s: u64| Extent::new(s, 1).unwrap();
+//! # let p = ExtentPair::new(e(1), e(2)).unwrap();
+//! let mut truth = HashMap::new();
+//! truth.insert(p, 12u32);
+//! let cdf = FrequencyCdf::from_counts(&truth);
+//! assert_eq!(cdf.total_occurrences(), 12);
+//! ```
+
+mod accuracy;
+mod cdf;
+mod drift;
+mod heatmap;
+
+pub use accuracy::{detection, representability, Detection, OptimalCurve, Representability};
+pub use cdf::{CdfPoint, FrequencyCdf};
+pub use drift::{phase_affinity, PhaseAffinity};
+pub use heatmap::Heatmap;

@@ -1,0 +1,114 @@
+use std::time::Duration;
+
+/// Exponentially weighted moving average of I/O latency, used to size the
+/// dynamic transaction window.
+///
+/// The paper sets the window to "double the average I/O latency" and notes
+/// the Linux kernel maintains the same statistic for hybrid polling
+/// (§III-B); an EWMA is the standard way such a running average is kept.
+///
+/// # Examples
+///
+/// ```
+/// use rtdac_monitor::LatencyEwma;
+/// use std::time::Duration;
+///
+/// let mut ewma = LatencyEwma::new(0.125);
+/// ewma.observe(Duration::from_micros(100));
+/// assert_eq!(ewma.average(), Some(Duration::from_micros(100)));
+/// ewma.observe(Duration::from_micros(200));
+/// // 0.875 * 100 + 0.125 * 200 = 112.5 µs
+/// assert_eq!(ewma.average(), Some(Duration::from_nanos(112_500)));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LatencyEwma {
+    alpha: f64,
+    average_ns: Option<f64>,
+    samples: u64,
+}
+
+impl LatencyEwma {
+    /// Creates an EWMA with smoothing factor `alpha` (weight of each new
+    /// sample). The first sample initializes the average directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < alpha <= 1.0`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "EWMA smoothing factor must be in (0, 1]"
+        );
+        LatencyEwma {
+            alpha,
+            average_ns: None,
+            samples: 0,
+        }
+    }
+
+    /// Feeds one latency observation.
+    pub fn observe(&mut self, latency: Duration) {
+        let sample = latency.as_nanos() as f64;
+        self.average_ns = Some(match self.average_ns {
+            None => sample,
+            Some(avg) => avg + self.alpha * (sample - avg),
+        });
+        self.samples += 1;
+    }
+
+    /// The current average, or `None` before any observation.
+    pub fn average(&self) -> Option<Duration> {
+        self.average_ns.map(|ns| Duration::from_nanos(ns as u64))
+    }
+
+    /// Number of observations so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+impl Default for LatencyEwma {
+    /// A conventional 1/8 smoothing factor (as used by e.g. TCP RTT
+    /// estimation and the kernel's I/O poll statistics).
+    fn default() -> Self {
+        LatencyEwma::new(0.125)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut e = LatencyEwma::new(0.5);
+        assert_eq!(e.average(), None);
+        e.observe(Duration::from_micros(40));
+        assert_eq!(e.average(), Some(Duration::from_micros(40)));
+        assert_eq!(e.samples(), 1);
+    }
+
+    #[test]
+    fn converges_toward_constant_input() {
+        let mut e = LatencyEwma::new(0.25);
+        e.observe(Duration::from_micros(1000));
+        for _ in 0..100 {
+            e.observe(Duration::from_micros(50));
+        }
+        let avg = e.average().unwrap();
+        assert!(avg >= Duration::from_micros(50));
+        assert!(avg < Duration::from_micros(51));
+    }
+
+    #[test]
+    #[should_panic(expected = "smoothing factor")]
+    fn rejects_zero_alpha() {
+        LatencyEwma::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "smoothing factor")]
+    fn rejects_alpha_above_one() {
+        LatencyEwma::new(1.5);
+    }
+}

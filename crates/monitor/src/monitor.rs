@@ -1,0 +1,482 @@
+use std::collections::HashSet;
+use std::time::Duration;
+
+use rtdac_types::{IoEvent, Pid, Timestamp, Transaction};
+
+use crate::ewma::LatencyEwma;
+
+/// How the monitor decides the transaction window length (§III-B).
+#[derive(Clone, Debug, PartialEq)]
+pub enum WindowPolicy {
+    /// A fixed window duration `t`.
+    Static(Duration),
+    /// The paper's dynamic policy: `multiplier ×` the running average I/O
+    /// latency, clamped to `[min, max]`. The paper uses a multiplier of 2.
+    Dynamic {
+        /// Factor applied to the average latency (paper: 2.0).
+        multiplier: f64,
+        /// Window used before any latency has been observed, and lower
+        /// clamp thereafter.
+        min: Duration,
+        /// Upper clamp on the window.
+        max: Duration,
+    },
+}
+
+impl WindowPolicy {
+    /// The paper's evaluation policy: double the average I/O latency,
+    /// clamped between 20 µs and 10 ms.
+    pub fn paper_dynamic() -> Self {
+        WindowPolicy::Dynamic {
+            multiplier: 2.0,
+            min: Duration::from_micros(20),
+            max: Duration::from_millis(10),
+        }
+    }
+}
+
+/// Configuration for a [`Monitor`].
+///
+/// # Examples
+///
+/// ```
+/// use rtdac_monitor::{MonitorConfig, WindowPolicy};
+/// use std::time::Duration;
+///
+/// let config = MonitorConfig::new(WindowPolicy::Static(Duration::from_micros(100)))
+///     .transaction_limit(8)
+///     .dedup(true);
+/// assert_eq!(config.transaction_limit, 8);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct MonitorConfig {
+    /// Transaction window policy.
+    pub window: WindowPolicy,
+    /// Maximum requests per transaction; overflowing requests start a new
+    /// transaction (§III-D2; the paper uses 8).
+    pub transaction_limit: usize,
+    /// Whether to deduplicate repeated extents within a transaction
+    /// (§III-D2; the paper observed repeats in `wdev`).
+    pub dedup: bool,
+    /// Only events from these PIDs are monitored; `None` admits all
+    /// (§III-C's PID/process-group filtering).
+    pub pid_filter: Option<HashSet<Pid>>,
+}
+
+impl MonitorConfig {
+    /// Creates a config with the given window policy and the paper's
+    /// defaults: transaction limit 8, dedup on, no PID filter.
+    pub fn new(window: WindowPolicy) -> Self {
+        MonitorConfig {
+            window,
+            transaction_limit: 8,
+            dedup: true,
+            pid_filter: None,
+        }
+    }
+
+    /// Sets the transaction size limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit == 0`.
+    pub fn transaction_limit(mut self, limit: usize) -> Self {
+        assert!(limit > 0, "transaction limit must be positive");
+        self.transaction_limit = limit;
+        self
+    }
+
+    /// Enables or disables in-transaction deduplication.
+    pub fn dedup(mut self, dedup: bool) -> Self {
+        self.dedup = dedup;
+        self
+    }
+
+    /// Restricts monitoring to the given PIDs.
+    pub fn pid_filter<I: IntoIterator<Item = Pid>>(mut self, pids: I) -> Self {
+        self.pid_filter = Some(pids.into_iter().collect());
+        self
+    }
+}
+
+impl Default for MonitorConfig {
+    /// The paper's evaluation configuration: dynamic 2× latency window,
+    /// limit 8, dedup on.
+    fn default() -> Self {
+        MonitorConfig::new(WindowPolicy::paper_dynamic())
+    }
+}
+
+/// Lifetime counters of a [`Monitor`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct MonitorStats {
+    /// Events offered to the monitor.
+    pub events: u64,
+    /// Events dropped by the PID filter.
+    pub filtered: u64,
+    /// Transactions emitted.
+    pub transactions: u64,
+    /// Transactions emitted because the size limit was hit (a subset of
+    /// `transactions`).
+    pub limit_splits: u64,
+}
+
+/// The real-time monitoring module: turns a stream of block-layer issue
+/// events into [`Transaction`]s for the online analysis module (§III-C).
+///
+/// Events must be offered in timestamp order (the block layer emits them
+/// so). An event whose gap since the previous admitted event exceeds the
+/// transaction window closes the current transaction; a transaction that
+/// reaches the size limit is emitted and the overflow starts a new one.
+///
+/// # Examples
+///
+/// ```
+/// use rtdac_monitor::{Monitor, MonitorConfig, WindowPolicy};
+/// use rtdac_types::{Extent, IoEvent, IoOp, Timestamp};
+/// use std::time::Duration;
+///
+/// let mut monitor = Monitor::new(MonitorConfig::new(
+///     WindowPolicy::Static(Duration::from_micros(100)),
+/// ));
+/// let ev = |us: u64, block: u64| IoEvent::new(
+///     Timestamp::from_micros(us), 1, IoOp::Read,
+///     Extent::new(block, 8).unwrap(), Duration::from_micros(40),
+/// );
+/// assert!(monitor.push(ev(0, 100)).is_none());
+/// assert!(monitor.push(ev(50, 200)).is_none());   // same window
+/// let txn = monitor.push(ev(500, 300)).unwrap();   // gap 450 µs > 100 µs
+/// assert_eq!(txn.len(), 2);
+/// let last = monitor.flush().unwrap();
+/// assert_eq!(last.len(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Monitor {
+    config: MonitorConfig,
+    latency: LatencyEwma,
+    current: Option<Transaction>,
+    last_event_time: Option<Timestamp>,
+    stats: MonitorStats,
+}
+
+impl Monitor {
+    /// Creates a monitor with the given configuration.
+    pub fn new(config: MonitorConfig) -> Self {
+        Monitor {
+            config,
+            latency: LatencyEwma::default(),
+            current: None,
+            last_event_time: None,
+            stats: MonitorStats::default(),
+        }
+    }
+
+    /// The configuration the monitor was built with.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.config
+    }
+
+    /// The transaction window currently in effect.
+    pub fn current_window(&self) -> Duration {
+        match &self.config.window {
+            WindowPolicy::Static(t) => *t,
+            WindowPolicy::Dynamic {
+                multiplier,
+                min,
+                max,
+            } => match self.latency.average() {
+                None => *min,
+                Some(avg) => {
+                    let w = Duration::from_nanos(
+                        (avg.as_nanos() as f64 * multiplier) as u64,
+                    );
+                    w.clamp(*min, *max)
+                }
+            },
+        }
+    }
+
+    /// Offers one issue event; returns a completed transaction if this
+    /// event closed one.
+    ///
+    /// At most one transaction is returned per event: an event can either
+    /// close the window (the previous transaction is complete) or overflow
+    /// the size limit (the full transaction is emitted and the event
+    /// starts a fresh one), never both in a way that yields two.
+    pub fn push(&mut self, event: IoEvent) -> Option<Transaction> {
+        self.stats.events += 1;
+        if let Some(filter) = &self.config.pid_filter {
+            if !filter.contains(&event.pid) {
+                self.stats.filtered += 1;
+                return None;
+            }
+        }
+
+        // Window check against the previous admitted event's timestamp —
+        // requests "coincident in time" chain transitively within a
+        // transaction, up to the size limit.
+        let window = self.current_window();
+        let closes_window = match self.last_event_time {
+            Some(last) => event.timestamp.saturating_since(last) > window,
+            None => false,
+        };
+        self.last_event_time = Some(event.timestamp);
+        self.latency.observe(event.latency);
+
+        let mut emitted = None;
+        if closes_window {
+            emitted = self.take_current();
+        }
+
+        let txn = self
+            .current
+            .get_or_insert_with(|| Transaction::new(event.timestamp));
+        txn.push_at(event.timestamp, event.extent, event.op);
+
+        if txn.len() >= self.config.transaction_limit {
+            debug_assert!(
+                emitted.is_none(),
+                "an event cannot both close a window and overflow the new transaction"
+            );
+            self.stats.limit_splits += 1;
+            emitted = self.take_current();
+        }
+        emitted
+    }
+
+    /// Emits the in-progress transaction, if any. Call at end of stream.
+    pub fn flush(&mut self) -> Option<Transaction> {
+        self.take_current()
+    }
+
+    fn take_current(&mut self) -> Option<Transaction> {
+        let mut txn = self.current.take()?;
+        if self.config.dedup {
+            txn.dedup();
+        }
+        if txn.is_empty() {
+            return None;
+        }
+        self.stats.transactions += 1;
+        Some(txn)
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> MonitorStats {
+        self.stats
+    }
+
+    /// The monitor's running latency average (drives the dynamic window).
+    pub fn average_latency(&self) -> Option<Duration> {
+        self.latency.average()
+    }
+
+    /// Convenience: runs a whole event stream through a fresh monitor and
+    /// returns every transaction, including the final flush.
+    ///
+    /// ```
+    /// use rtdac_monitor::{Monitor, MonitorConfig};
+    /// let txns = Monitor::new(MonitorConfig::default()).into_transactions(Vec::new());
+    /// assert!(txns.is_empty());
+    /// ```
+    pub fn into_transactions<I>(mut self, events: I) -> Vec<Transaction>
+    where
+        I: IntoIterator<Item = IoEvent>,
+    {
+        let mut out = Vec::new();
+        for event in events {
+            if let Some(txn) = self.push(event) {
+                out.push(txn);
+            }
+        }
+        if let Some(txn) = self.flush() {
+            out.push(txn);
+        }
+        out
+    }
+}
+
+impl Default for Monitor {
+    fn default() -> Self {
+        Monitor::new(MonitorConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtdac_types::{Extent, IoOp};
+
+    fn ev(us: u64, block: u64) -> IoEvent {
+        IoEvent::new(
+            Timestamp::from_micros(us),
+            1,
+            IoOp::Read,
+            Extent::new(block, 1).unwrap(),
+            Duration::from_micros(40),
+        )
+    }
+
+    fn ev_pid(us: u64, block: u64, pid: Pid) -> IoEvent {
+        IoEvent::new(
+            Timestamp::from_micros(us),
+            pid,
+            IoOp::Read,
+            Extent::new(block, 1).unwrap(),
+            Duration::from_micros(40),
+        )
+    }
+
+    fn static_monitor(window_us: u64) -> Monitor {
+        Monitor::new(MonitorConfig::new(WindowPolicy::Static(
+            Duration::from_micros(window_us),
+        )))
+    }
+
+    #[test]
+    fn groups_events_within_window() {
+        let mut m = static_monitor(100);
+        assert!(m.push(ev(0, 1)).is_none());
+        assert!(m.push(ev(90, 2)).is_none());
+        assert!(m.push(ev(180, 3)).is_none()); // chains: 90 µs gap
+        let txn = m.push(ev(500, 4)).unwrap();
+        assert_eq!(txn.len(), 3);
+        assert_eq!(m.flush().unwrap().len(), 1);
+        assert!(m.flush().is_none());
+    }
+
+    #[test]
+    fn exact_window_gap_stays_in_transaction() {
+        let mut m = static_monitor(100);
+        m.push(ev(0, 1));
+        assert!(m.push(ev(100, 2)).is_none()); // gap == window: not greater
+        let txn = m.push(ev(201, 3)).unwrap(); // gap 101 > window
+        assert_eq!(txn.len(), 2);
+    }
+
+    #[test]
+    fn size_limit_splits_transaction() {
+        let mut m = Monitor::new(
+            MonitorConfig::new(WindowPolicy::Static(Duration::from_micros(100)))
+                .transaction_limit(3),
+        );
+        let mut emitted = Vec::new();
+        for i in 0..7u64 {
+            if let Some(t) = m.push(ev(i, i + 10)) {
+                emitted.push(t);
+            }
+        }
+        if let Some(t) = m.flush() {
+            emitted.push(t);
+        }
+        assert_eq!(
+            emitted.iter().map(Transaction::len).collect::<Vec<_>>(),
+            vec![3, 3, 1]
+        );
+        assert_eq!(m.stats().limit_splits, 2);
+    }
+
+    #[test]
+    fn dedup_applied_on_emit() {
+        let mut m = static_monitor(100);
+        m.push(ev(0, 5));
+        m.push(ev(10, 5)); // repeat of the same extent (the wdev case)
+        m.push(ev(20, 6));
+        let txn = m.push(ev(500, 7)).unwrap();
+        assert_eq!(txn.len(), 2);
+    }
+
+    #[test]
+    fn dedup_can_be_disabled() {
+        let mut m = Monitor::new(
+            MonitorConfig::new(WindowPolicy::Static(Duration::from_micros(100))).dedup(false),
+        );
+        m.push(ev(0, 5));
+        m.push(ev(10, 5));
+        let txn = m.flush().unwrap();
+        assert_eq!(txn.len(), 2);
+    }
+
+    #[test]
+    fn pid_filter_drops_foreign_events() {
+        let mut m = Monitor::new(
+            MonitorConfig::new(WindowPolicy::Static(Duration::from_micros(100)))
+                .pid_filter([7]),
+        );
+        m.push(ev_pid(0, 1, 7));
+        m.push(ev_pid(10, 2, 8)); // dropped
+        m.push(ev_pid(20, 3, 7));
+        let txn = m.flush().unwrap();
+        assert_eq!(txn.len(), 2);
+        assert_eq!(m.stats().filtered, 1);
+        assert_eq!(m.stats().events, 3);
+    }
+
+    #[test]
+    fn dynamic_window_tracks_latency() {
+        let config = MonitorConfig::new(WindowPolicy::Dynamic {
+            multiplier: 2.0,
+            min: Duration::from_micros(10),
+            max: Duration::from_millis(1),
+        });
+        let mut m = Monitor::new(config);
+        assert_eq!(m.current_window(), Duration::from_micros(10)); // min before data
+        // Feed events with 40 µs latency: the window converges to ~80 µs.
+        for i in 0..50u64 {
+            m.push(ev(i * 1000, i));
+        }
+        let w = m.current_window();
+        assert!(w > Duration::from_micros(70), "window {w:?}");
+        assert!(w < Duration::from_micros(90), "window {w:?}");
+    }
+
+    #[test]
+    fn dynamic_window_clamps() {
+        let config = MonitorConfig::new(WindowPolicy::Dynamic {
+            multiplier: 2.0,
+            min: Duration::from_micros(10),
+            max: Duration::from_micros(50),
+        });
+        let mut m = Monitor::new(config);
+        for i in 0..10u64 {
+            // 1 ms latency would give a 2 ms window; must clamp to 50 µs.
+            m.push(IoEvent::new(
+                Timestamp::from_micros(i * 10_000),
+                1,
+                IoOp::Read,
+                Extent::new(i, 1).unwrap(),
+                Duration::from_millis(1),
+            ));
+        }
+        assert_eq!(m.current_window(), Duration::from_micros(50));
+    }
+
+    #[test]
+    fn into_transactions_collects_everything() {
+        let events: Vec<IoEvent> = vec![ev(0, 1), ev(10, 2), ev(500, 3), ev(510, 4)];
+        let txns = static_monitor(100).into_transactions(events);
+        assert_eq!(txns.len(), 2);
+        assert_eq!(txns[0].len(), 2);
+        assert_eq!(txns[1].len(), 2);
+    }
+
+    #[test]
+    fn transaction_timestamps_cover_window() {
+        let mut m = static_monitor(100);
+        m.push(ev(10, 1));
+        m.push(ev(60, 2));
+        let txn = m.flush().unwrap();
+        assert_eq!(txn.start(), Timestamp::from_micros(10));
+        assert_eq!(txn.end(), Timestamp::from_micros(60));
+    }
+
+    #[test]
+    fn stats_count_transactions() {
+        let mut m = static_monitor(100);
+        m.push(ev(0, 1));
+        m.push(ev(500, 2));
+        m.flush();
+        assert_eq!(m.stats().transactions, 2);
+        assert_eq!(m.stats().events, 2);
+    }
+}

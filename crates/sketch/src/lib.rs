@@ -1,0 +1,37 @@
+//! Probabilistic sketches as *alternative* correlation synopses.
+//!
+//! The paper builds its synopsis from cache-replacement machinery; the
+//! streaming-algorithms community would reach for sketches instead. This
+//! crate implements the two canonical choices from scratch —
+//! [`CountMinSketch`] (Cormode & Muthukrishnan) and [`SpaceSaving`]
+//! (Metwally et al.) — plus pair-mining front ends
+//! ([`SpaceSavingPairMiner`], [`CmsPairMiner`]) with the same
+//! transaction-stream interface as the paper's `OnlineAnalyzer`, so the
+//! two families can be compared head to head at equal memory
+//! (`fig15_sketch_comparison` in `rtdac-bench`).
+//!
+//! The trade-off the comparison surfaces: sketches give hard error
+//! guarantees on *frequency estimates* but have no notion of recency, so
+//! they adapt to concept drift only by error accumulation, while the
+//! paper's LRU-based tiers forget old patterns by construction
+//! (its Fig. 10).
+//!
+//! # Examples
+//!
+//! ```
+//! use rtdac_sketch::SpaceSaving;
+//!
+//! let mut heavy_hitters = SpaceSaving::new(100);
+//! for i in 0..1_000u64 {
+//!     heavy_hitters.insert(i % 7); // 7 heavy keys
+//! }
+//! assert_eq!(heavy_hitters.guaranteed_at_least(100).len(), 7);
+//! ```
+
+mod cms;
+mod miner;
+mod spacesaving;
+
+pub use cms::CountMinSketch;
+pub use miner::{CmsPairMiner, SpaceSavingPairMiner};
+pub use spacesaving::{SpaceSaving, SsCounter};

@@ -1,0 +1,201 @@
+//! Sketch-based online pair miners: the "what the streaming-sketches
+//! community would build" alternative to the paper's two-tier tables,
+//! implemented so the two families can be compared head to head at
+//! equal memory (the `fig15_sketch_comparison` experiment).
+
+use rtdac_types::{ExtentPair, Transaction};
+
+use crate::cms::CountMinSketch;
+use crate::spacesaving::{SpaceSaving, SsCounter};
+
+/// A pure Space-Saving miner over extent pairs: deterministic top-k
+/// correlations in bounded space.
+///
+/// Memory model: 28 bytes of pair key + 16 bytes of counter per tracked
+/// entry (cf. the paper's 28-byte correlation entries).
+///
+/// # Examples
+///
+/// ```
+/// use rtdac_sketch::SpaceSavingPairMiner;
+/// use rtdac_types::{Extent, Timestamp, Transaction};
+///
+/// let mut miner = SpaceSavingPairMiner::new(1024);
+/// let a = Extent::new(1, 1)?;
+/// let b = Extent::new(9, 1)?;
+/// for _ in 0..8 {
+///     miner.process(&Transaction::from_extents(Timestamp::ZERO, [a, b]));
+/// }
+/// assert_eq!(miner.frequent_pairs(8).len(), 1);
+/// # Ok::<(), rtdac_types::ExtentError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct SpaceSavingPairMiner {
+    summary: SpaceSaving<ExtentPair>,
+}
+
+impl SpaceSavingPairMiner {
+    /// Tracks at most `capacity` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        SpaceSavingPairMiner {
+            summary: SpaceSaving::new(capacity),
+        }
+    }
+
+    /// Feeds one transaction.
+    pub fn process(&mut self, transaction: &Transaction) {
+        for pair in transaction.unique_pairs() {
+            self.summary.insert(pair);
+        }
+    }
+
+    /// Pairs whose estimated count reaches `min_support`, descending.
+    /// (Estimates are upper bounds; use
+    /// [`guaranteed_pairs`](Self::guaranteed_pairs) for the
+    /// no-false-positive variant.)
+    pub fn frequent_pairs(&self, min_support: u64) -> Vec<(ExtentPair, SsCounter)> {
+        self.summary
+            .top(self.summary.len())
+            .into_iter()
+            .filter(|(_, c)| c.count >= min_support)
+            .collect()
+    }
+
+    /// Pairs *guaranteed* to reach `min_support` (count − error).
+    pub fn guaranteed_pairs(&self, min_support: u64) -> Vec<(ExtentPair, SsCounter)> {
+        self.summary.guaranteed_at_least(min_support)
+    }
+
+    /// Approximate memory footprint under a per-entry model of 44 bytes
+    /// (28-byte pair + two 8-byte counters).
+    pub fn memory_bytes(&self) -> usize {
+        self.summary.capacity() * 44
+    }
+}
+
+/// A Count-Min + candidate-list miner: the sketch estimates every pair's
+/// frequency in sub-linear space, while a Space-Saving candidate list
+/// keeps the identities of the current heavy pairs (a CMS alone cannot
+/// enumerate keys).
+#[derive(Clone, Debug)]
+pub struct CmsPairMiner {
+    sketch: CountMinSketch,
+    candidates: SpaceSaving<ExtentPair>,
+}
+
+impl CmsPairMiner {
+    /// Creates a miner with a `width × depth` sketch and `candidates`
+    /// tracked pair identities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(width: usize, depth: usize, candidates: usize) -> Self {
+        CmsPairMiner {
+            sketch: CountMinSketch::new(width, depth),
+            candidates: SpaceSaving::new(candidates),
+        }
+    }
+
+    /// Feeds one transaction.
+    pub fn process(&mut self, transaction: &Transaction) {
+        for pair in transaction.unique_pairs() {
+            self.sketch.insert(&pair);
+            self.candidates.insert(pair);
+        }
+    }
+
+    /// Candidate pairs whose *sketch* estimate reaches `min_support`,
+    /// descending by estimate.
+    pub fn frequent_pairs(&self, min_support: u32) -> Vec<(ExtentPair, u32)> {
+        let mut out: Vec<(ExtentPair, u32)> = self
+            .candidates
+            .top(self.candidates.len())
+            .into_iter()
+            .map(|(pair, _)| {
+                let est = self.sketch.estimate(&pair);
+                (pair, est)
+            })
+            .filter(|(_, est)| *est >= min_support)
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Combined memory: sketch counters plus the candidate list.
+    pub fn memory_bytes(&self) -> usize {
+        self.sketch.memory_bytes() + self.candidates.capacity() * 44
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtdac_types::{Extent, Timestamp};
+
+    fn e(start: u64) -> Extent {
+        Extent::new(start, 1).unwrap()
+    }
+
+    fn txn(extents: &[Extent]) -> Transaction {
+        Transaction::from_extents(Timestamp::ZERO, extents.iter().copied())
+    }
+
+    #[test]
+    fn spacesaving_miner_finds_heavy_pair_among_churn() {
+        let mut miner = SpaceSavingPairMiner::new(16);
+        for i in 0..200u64 {
+            miner.process(&txn(&[e(1), e(2)]));
+            miner.process(&txn(&[e(1000 + i * 2), e(1001 + i * 2)]));
+        }
+        let guaranteed = miner.guaranteed_pairs(100);
+        assert_eq!(guaranteed.len(), 1);
+        assert!(guaranteed[0].0.contains(&e(1)));
+    }
+
+    #[test]
+    fn cms_miner_estimates_upper_bound() {
+        let mut miner = CmsPairMiner::new(4096, 4, 64);
+        for _ in 0..25 {
+            miner.process(&txn(&[e(1), e(2), e(3)]));
+        }
+        let frequent = miner.frequent_pairs(25);
+        assert_eq!(frequent.len(), 3); // C(3,2) pairs, each seen 25 times
+        for (_, est) in frequent {
+            assert!(est >= 25);
+        }
+    }
+
+    #[test]
+    fn miners_agree_on_an_easy_stream() {
+        let mut ss = SpaceSavingPairMiner::new(64);
+        let mut cms = CmsPairMiner::new(8192, 4, 64);
+        for i in 0..50u64 {
+            let t = txn(&[e(i % 4), e(10 + i % 4)]);
+            ss.process(&t);
+            cms.process(&t);
+        }
+        let ss_pairs: Vec<ExtentPair> =
+            ss.frequent_pairs(10).into_iter().map(|(p, _)| p).collect();
+        let cms_pairs: Vec<ExtentPair> =
+            cms.frequent_pairs(10).into_iter().map(|(p, _)| p).collect();
+        let mut a = ss_pairs.clone();
+        let mut b = cms_pairs.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn memory_models() {
+        assert_eq!(SpaceSavingPairMiner::new(100).memory_bytes(), 4400);
+        assert_eq!(
+            CmsPairMiner::new(1024, 4, 100).memory_bytes(),
+            1024 * 4 * 4 + 4400
+        );
+    }
+}

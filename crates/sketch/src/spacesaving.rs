@@ -1,0 +1,228 @@
+//! The Space-Saving algorithm (Metwally, Agrawal & El Abbadi, 2005):
+//! deterministic heavy hitters in bounded space.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// One tracked counter: estimated count and the maximum overestimation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SsCounter {
+    /// Estimated occurrence count (an upper bound on the true count).
+    pub count: u64,
+    /// Maximum possible overestimation (the evicted minimum inherited at
+    /// admission). `count - error` lower-bounds the true count.
+    pub error: u64,
+}
+
+/// Space-Saving: tracks at most `capacity` keys; any key whose true
+/// frequency exceeds `total / capacity` is guaranteed to be tracked, and
+/// every estimate obeys `true <= count <= true + error`.
+///
+/// # Examples
+///
+/// ```
+/// use rtdac_sketch::SpaceSaving;
+///
+/// let mut ss = SpaceSaving::new(2);
+/// for _ in 0..10 {
+///     ss.insert("heavy");
+/// }
+/// ss.insert("light-1");
+/// ss.insert("light-2"); // evicts light-1, inheriting its count
+/// let top = ss.top(1);
+/// assert_eq!(top[0].0, "heavy");
+/// assert_eq!(top[0].1.count, 10);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SpaceSaving<K> {
+    counters: HashMap<K, SsCounter>,
+    capacity: usize,
+    total: u64,
+}
+
+impl<K: Eq + Hash + Clone> SpaceSaving<K> {
+    /// Creates a summary tracking at most `capacity` keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        SpaceSaving {
+            counters: HashMap::with_capacity(capacity),
+            capacity,
+            total: 0,
+        }
+    }
+
+    /// Records one occurrence of `key`.
+    pub fn insert(&mut self, key: K) {
+        self.total += 1;
+        if let Some(counter) = self.counters.get_mut(&key) {
+            counter.count += 1;
+            return;
+        }
+        if self.counters.len() < self.capacity {
+            self.counters.insert(key, SsCounter { count: 1, error: 0 });
+            return;
+        }
+        // Replace the minimum counter; the newcomer inherits its count
+        // as a (recorded) overestimate.
+        let (victim, min) = self
+            .counters
+            .iter()
+            .min_by_key(|(_, c)| c.count)
+            .map(|(k, c)| (k.clone(), *c))
+            .expect("capacity > 0 implies non-empty at this point");
+        self.counters.remove(&victim);
+        self.counters.insert(
+            key,
+            SsCounter {
+                count: min.count + 1,
+                error: min.count,
+            },
+        );
+    }
+
+    /// The tracked estimate for `key`, if tracked.
+    pub fn get(&self, key: &K) -> Option<SsCounter> {
+        self.counters.get(key).copied()
+    }
+
+    /// The `k` largest counters, descending by estimated count.
+    pub fn top(&self, k: usize) -> Vec<(K, SsCounter)> {
+        let mut all: Vec<(K, SsCounter)> = self
+            .counters
+            .iter()
+            .map(|(key, counter)| (key.clone(), *counter))
+            .collect();
+        all.sort_by_key(|(_, c)| std::cmp::Reverse(c.count));
+        all.truncate(k);
+        all
+    }
+
+    /// All keys whose *guaranteed* count (`count - error`) reaches
+    /// `threshold` — no false positives with respect to the guarantee.
+    pub fn guaranteed_at_least(&self, threshold: u64) -> Vec<(K, SsCounter)> {
+        let mut out: Vec<(K, SsCounter)> = self
+            .counters
+            .iter()
+            .filter(|(_, c)| c.count - c.error >= threshold)
+            .map(|(key, counter)| (key.clone(), *counter))
+            .collect();
+        out.sort_by_key(|(_, c)| std::cmp::Reverse(c.count));
+        out
+    }
+
+    /// Number of tracked keys (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether nothing has been tracked yet.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Configured key budget.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total insertions so far.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_exact_counts_under_capacity() {
+        let mut ss = SpaceSaving::new(10);
+        for i in 0..5u32 {
+            for _ in 0..=i {
+                ss.insert(i);
+            }
+        }
+        for i in 0..5u32 {
+            let c = ss.get(&i).unwrap();
+            assert_eq!(c.count, u64::from(i) + 1);
+            assert_eq!(c.error, 0);
+        }
+    }
+
+    #[test]
+    fn heavy_hitter_guarantee() {
+        // One key with frequency far above total/capacity must be
+        // tracked with a tight estimate, regardless of churn.
+        let mut ss = SpaceSaving::new(8);
+        for light in 1_000u64..1_200 {
+            ss.insert(0u64); // heavy
+            ss.insert(light); // one-off churn
+        }
+        let c = ss.get(&0).expect("heavy hitter must be tracked");
+        let lower = c.count - c.error;
+        assert!(lower <= 200);
+        assert!(c.count >= 200);
+        assert!(ss.len() <= 8);
+    }
+
+    #[test]
+    fn estimates_are_upper_bounds() {
+        let mut ss = SpaceSaving::new(4);
+        let stream: Vec<u32> = (0..300).map(|i| i % 17).collect();
+        let mut truth = HashMap::new();
+        for &x in &stream {
+            ss.insert(x);
+            *truth.entry(x).or_insert(0u64) += 1;
+        }
+        for (key, counter) in ss.top(4) {
+            let true_count = truth[&key];
+            assert!(counter.count >= true_count, "key {key}");
+            assert!(counter.count - counter.error <= true_count, "key {key}");
+        }
+    }
+
+    #[test]
+    fn guaranteed_counts_have_no_false_positives() {
+        let mut ss = SpaceSaving::new(4);
+        let mut truth = HashMap::new();
+        let stream: Vec<u32> = (0..500)
+            .map(|i| if i % 3 == 0 { 99 } else { i % 50 })
+            .collect();
+        for &x in &stream {
+            ss.insert(x);
+            *truth.entry(x).or_insert(0u64) += 1;
+        }
+        for (key, counter) in ss.guaranteed_at_least(50) {
+            assert!(
+                truth[&key] >= counter.count - counter.error,
+                "guarantee violated for {key}"
+            );
+        }
+    }
+
+    #[test]
+    fn top_is_sorted_and_truncated() {
+        let mut ss = SpaceSaving::new(8);
+        for i in 0..8u32 {
+            for _ in 0..=i {
+                ss.insert(i);
+            }
+        }
+        let top = ss.top(3);
+        assert_eq!(top.len(), 3);
+        assert!(top[0].1.count >= top[1].1.count);
+        assert!(top[1].1.count >= top[2].1.count);
+        assert_eq!(top[0].0, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        SpaceSaving::<u32>::new(0);
+    }
+}

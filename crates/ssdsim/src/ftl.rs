@@ -1,0 +1,440 @@
+//! A page-mapped flash translation layer with erase units, greedy
+//! garbage collection, multi-stream append points and write-amplification
+//! accounting — the substrate for the paper's §V-1 scenario (automatic
+//! garbage-collection optimization in multi-stream SSDs).
+
+use std::collections::HashMap;
+
+/// Logical page number (the FTL's unit of mapping; the paper's pblk layer
+/// maps at 4 KB granularity).
+pub type Lpn = u64;
+
+/// A stream identifier: which append point a write is directed to.
+/// Multi-stream SSDs guarantee data with the same stream ID "is written
+/// together to a physically related NAND flash block" (§V-1).
+pub type StreamId = usize;
+
+/// Configuration of the simulated FTL.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FtlConfig {
+    /// Pages per erase unit.
+    pub pages_per_eu: usize,
+    /// Total erase units on the device.
+    pub erase_units: usize,
+    /// Number of write streams (append points). 1 models a conventional
+    /// single-append-point log-structured SSD.
+    pub streams: usize,
+    /// GC starts when free erase units drop to this threshold.
+    pub gc_low_watermark: usize,
+}
+
+impl FtlConfig {
+    /// A small device useful for tests and examples: 64 EUs × 64 pages.
+    pub fn small() -> Self {
+        FtlConfig {
+            pages_per_eu: 64,
+            erase_units: 64,
+            streams: 1,
+            gc_low_watermark: 4,
+        }
+    }
+
+    /// Returns the config with the given number of streams.
+    pub fn streams(mut self, streams: usize) -> Self {
+        self.streams = streams;
+        self
+    }
+
+    /// Usable page capacity if every EU could be filled (no
+    /// overprovisioning accounting; callers should write fewer distinct
+    /// LPNs than this).
+    pub fn total_pages(&self) -> usize {
+        self.pages_per_eu * self.erase_units
+    }
+
+    fn validate(&self) {
+        assert!(self.pages_per_eu > 0, "pages_per_eu must be positive");
+        assert!(self.erase_units > 1, "need at least two erase units");
+        assert!(self.streams > 0, "need at least one stream");
+        assert!(
+            self.gc_low_watermark >= self.streams,
+            "GC watermark must cover one free EU per stream"
+        );
+        assert!(
+            self.erase_units > self.gc_low_watermark + self.streams,
+            "device too small for its watermark and stream count"
+        );
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PageState {
+    Free,
+    Valid(Lpn),
+    Invalid,
+}
+
+#[derive(Clone, Debug)]
+struct EraseUnit {
+    pages: Vec<PageState>,
+    next_free: usize,
+    valid: usize,
+}
+
+impl EraseUnit {
+    fn new(pages_per_eu: usize) -> Self {
+        EraseUnit {
+            pages: vec![PageState::Free; pages_per_eu],
+            next_free: 0,
+            valid: 0,
+        }
+    }
+
+    fn is_full(&self) -> bool {
+        self.next_free >= self.pages.len()
+    }
+
+    fn erase(&mut self) {
+        for p in &mut self.pages {
+            *p = PageState::Free;
+        }
+        self.next_free = 0;
+        self.valid = 0;
+    }
+}
+
+/// Lifetime counters of the [`Ftl`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct FtlStats {
+    /// Pages written by the host.
+    pub host_writes: u64,
+    /// Pages physically written (host writes + GC relocations).
+    pub device_writes: u64,
+    /// Valid pages relocated by garbage collection.
+    pub relocations: u64,
+    /// Erase operations performed.
+    pub erases: u64,
+    /// Garbage collection invocations.
+    pub gc_runs: u64,
+}
+
+impl FtlStats {
+    /// The write amplification factor: device writes / host writes —
+    /// the §V-1 optimization target.
+    pub fn waf(&self) -> f64 {
+        if self.host_writes == 0 {
+            1.0
+        } else {
+            self.device_writes as f64 / self.host_writes as f64
+        }
+    }
+}
+
+/// The simulated page-mapped FTL.
+///
+/// # Examples
+///
+/// ```
+/// use rtdac_ssdsim::{Ftl, FtlConfig};
+///
+/// let mut ftl = Ftl::new(FtlConfig::small());
+/// for lpn in 0..100u64 {
+///     ftl.write(lpn, 0);
+/// }
+/// assert_eq!(ftl.stats().host_writes, 100);
+/// assert_eq!(ftl.stats().waf(), 1.0); // no GC yet
+/// assert!(ftl.is_mapped(42));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Ftl {
+    config: FtlConfig,
+    units: Vec<EraseUnit>,
+    /// LPN → (eu, page).
+    mapping: HashMap<Lpn, (usize, usize)>,
+    /// Active EU per stream (`None` until first write).
+    active: Vec<Option<usize>>,
+    free_units: Vec<usize>,
+    stats: FtlStats,
+}
+
+impl Ftl {
+    /// Creates an FTL with all erase units free.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate configurations (zero sizes, watermark not
+    /// covering the stream count, or a device too small to GC).
+    pub fn new(config: FtlConfig) -> Self {
+        config.validate();
+        Ftl {
+            units: (0..config.erase_units)
+                .map(|_| EraseUnit::new(config.pages_per_eu))
+                .collect(),
+            mapping: HashMap::new(),
+            active: vec![None; config.streams],
+            free_units: (0..config.erase_units).rev().collect(),
+            stats: FtlStats::default(),
+            config,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FtlConfig {
+        &self.config
+    }
+
+    /// Writes (or overwrites) one logical page via the given stream's
+    /// append point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stream` is out of range, or if the device runs out of
+    /// space even after GC (more live LPNs than physical pages — caller
+    /// overfilled the device).
+    pub fn write(&mut self, lpn: Lpn, stream: StreamId) {
+        assert!(stream < self.config.streams, "stream {stream} out of range");
+        self.stats.host_writes += 1;
+        self.invalidate(lpn);
+        self.append(lpn, stream);
+        self.stats.device_writes += 1;
+        self.maybe_gc();
+    }
+
+    /// Discards a logical page (TRIM): its flash page becomes invalid
+    /// without a new write.
+    pub fn trim(&mut self, lpn: Lpn) {
+        self.invalidate(lpn);
+    }
+
+    /// Whether the LPN currently maps to a flash page.
+    pub fn is_mapped(&self, lpn: Lpn) -> bool {
+        self.mapping.contains_key(&lpn)
+    }
+
+    /// Number of currently free erase units.
+    pub fn free_erase_units(&self) -> usize {
+        self.free_units.len()
+    }
+
+    /// Number of live (mapped) logical pages.
+    pub fn live_pages(&self) -> usize {
+        self.mapping.len()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> FtlStats {
+        self.stats
+    }
+
+    fn invalidate(&mut self, lpn: Lpn) {
+        if let Some((eu, page)) = self.mapping.remove(&lpn) {
+            debug_assert_eq!(self.units[eu].pages[page], PageState::Valid(lpn));
+            self.units[eu].pages[page] = PageState::Invalid;
+            self.units[eu].valid -= 1;
+        }
+    }
+
+    /// Appends `lpn` to the active EU of `stream`, taking a fresh EU when
+    /// the active one is full.
+    fn append(&mut self, lpn: Lpn, stream: StreamId) {
+        let eu = match self.active[stream] {
+            Some(eu) if !self.units[eu].is_full() => eu,
+            _ => {
+                let eu = self
+                    .free_units
+                    .pop()
+                    .expect("device out of space: GC could not free an erase unit");
+                self.active[stream] = Some(eu);
+                eu
+            }
+        };
+        let unit = &mut self.units[eu];
+        let page = unit.next_free;
+        unit.pages[page] = PageState::Valid(lpn);
+        unit.next_free += 1;
+        unit.valid += 1;
+        self.mapping.insert(lpn, (eu, page));
+    }
+
+    /// Greedy GC: while free EUs are at or below the watermark, pick the
+    /// full, inactive EU with the fewest valid pages, relocate its valid
+    /// pages (into the streams their LPNs were last written through is
+    /// unknown to the device, so relocations go through stream 0's append
+    /// point, as real devices use a dedicated GC append point), and erase
+    /// it.
+    fn maybe_gc(&mut self) {
+        while self.free_units.len() <= self.config.gc_low_watermark {
+            let Some(victim) = self.pick_victim() else {
+                return; // nothing reclaimable
+            };
+            self.stats.gc_runs += 1;
+            // Relocate valid pages.
+            let live: Vec<Lpn> = self.units[victim]
+                .pages
+                .iter()
+                .filter_map(|p| match p {
+                    PageState::Valid(lpn) => Some(*lpn),
+                    _ => None,
+                })
+                .collect();
+            for lpn in live {
+                self.invalidate(lpn);
+                self.append(lpn, 0);
+                self.stats.device_writes += 1;
+                self.stats.relocations += 1;
+            }
+            self.units[victim].erase();
+            self.stats.erases += 1;
+            self.free_units.push(victim);
+        }
+    }
+
+    /// The full, inactive erase unit with the fewest valid pages, if any
+    /// reclaimable unit exists (strictly fewer valid pages than capacity
+    /// — erasing a fully-valid unit frees nothing).
+    fn pick_victim(&self) -> Option<usize> {
+        self.units
+            .iter()
+            .enumerate()
+            .filter(|(idx, eu)| {
+                eu.is_full()
+                    && eu.valid < self.config.pages_per_eu
+                    && !self.active.contains(&Some(*idx))
+            })
+            .min_by_key(|(_, eu)| eu.valid)
+            .map(|(idx, _)| idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_map_and_overwrite() {
+        let mut ftl = Ftl::new(FtlConfig::small());
+        ftl.write(7, 0);
+        assert!(ftl.is_mapped(7));
+        assert_eq!(ftl.live_pages(), 1);
+        ftl.write(7, 0); // overwrite: still one live page
+        assert_eq!(ftl.live_pages(), 1);
+        assert_eq!(ftl.stats().host_writes, 2);
+    }
+
+    #[test]
+    fn trim_unmaps() {
+        let mut ftl = Ftl::new(FtlConfig::small());
+        ftl.write(7, 0);
+        ftl.trim(7);
+        assert!(!ftl.is_mapped(7));
+        assert_eq!(ftl.live_pages(), 0);
+        ftl.trim(8); // trimming an unmapped page is a no-op
+    }
+
+    #[test]
+    fn waf_is_one_without_gc() {
+        let mut ftl = Ftl::new(FtlConfig::small());
+        for lpn in 0..1000u64 {
+            ftl.write(lpn, 0);
+        }
+        assert_eq!(ftl.stats().waf(), 1.0);
+        assert_eq!(ftl.stats().gc_runs, 0);
+    }
+
+    #[test]
+    fn sustained_overwrites_trigger_gc() {
+        let config = FtlConfig::small();
+        let mut ftl = Ftl::new(config);
+        // Live set = half the device, written once, then overwritten
+        // uniformly at random (LCG) so invalidations scatter across
+        // erase units and GC must relocate valid pages.
+        let live = (config.total_pages() / 2) as u64;
+        for lpn in 0..live {
+            ftl.write(lpn, 0);
+        }
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        for _ in 0..8 * live {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ftl.write((state >> 16) % live, 0);
+        }
+        assert!(ftl.stats().gc_runs > 0);
+        assert!(ftl.stats().waf() > 1.0);
+        assert_eq!(ftl.live_pages(), live as usize);
+        // Every mapped page is readable.
+        for lpn in 0..live {
+            assert!(ftl.is_mapped(lpn));
+        }
+    }
+
+    #[test]
+    fn gc_reclaims_fully_invalid_units_for_free() {
+        let config = FtlConfig {
+            pages_per_eu: 16,
+            erase_units: 8,
+            streams: 1,
+            gc_low_watermark: 2,
+        };
+        let mut ftl = Ftl::new(config);
+        // Sequential overwrite of a small working set: by the time GC
+        // runs, old EUs are fully invalid, so WAF stays at 1.
+        for round in 0..20u64 {
+            for lpn in 0..16u64 {
+                ftl.write(lpn, 0);
+                let _ = round;
+            }
+        }
+        assert!(ftl.stats().gc_runs > 0);
+        assert_eq!(ftl.stats().relocations, 0);
+        assert_eq!(ftl.stats().waf(), 1.0);
+    }
+
+    #[test]
+    fn streams_separate_append_points() {
+        let config = FtlConfig::small().streams(2);
+        let mut ftl = Ftl::new(config);
+        ftl.write(1, 0);
+        ftl.write(2, 1);
+        // The two writes landed in different EUs.
+        let (eu1, _) = ftl.mapping[&1];
+        let (eu2, _) = ftl.mapping[&2];
+        assert_ne!(eu1, eu2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_stream_panics() {
+        let mut ftl = Ftl::new(FtlConfig::small());
+        ftl.write(0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "watermark must cover")]
+    fn watermark_below_streams_panics() {
+        Ftl::new(FtlConfig {
+            pages_per_eu: 16,
+            erase_units: 32,
+            streams: 8,
+            gc_low_watermark: 2,
+        });
+    }
+
+    #[test]
+    fn mapping_survives_heavy_churn() {
+        let config = FtlConfig {
+            pages_per_eu: 8,
+            erase_units: 16,
+            streams: 2,
+            gc_low_watermark: 3,
+        };
+        let mut ftl = Ftl::new(config);
+        let live = 48u64;
+        for i in 0..3_000u64 {
+            ftl.write(i % live, (i % 2) as usize);
+        }
+        assert_eq!(ftl.live_pages(), live as usize);
+        let device_valid: usize = ftl.units.iter().map(|u| u.valid).sum();
+        assert_eq!(device_valid, live as usize);
+    }
+}

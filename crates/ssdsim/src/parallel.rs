@@ -1,0 +1,280 @@
+//! Open-channel SSD parallel units and data placement (§V-2).
+//!
+//! The paper's parallel-I/O heuristic: "if two or more data chunks were
+//! frequently read together in the past, then there is a high chance
+//! that they will be read together in the near future" — so correlated
+//! reads should live on *different* parallel units (PUs), where accesses
+//! are fully independent, instead of colliding on one.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use rtdac_types::{Extent, ExtentPair};
+
+/// Decides which parallel unit an extent's data lives on.
+pub trait Placement {
+    /// PU hosting the extent.
+    fn unit_for(&self, extent: &Extent) -> usize;
+
+    /// Short human-readable policy name.
+    fn name(&self) -> &str;
+}
+
+/// RAID-0-like striping over PUs by block address — the conventional
+/// initial SSD data placement, "only effective for large sequential
+/// accesses" (§V-2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StripingPlacement {
+    units: usize,
+    stripe_blocks: u64,
+}
+
+impl StripingPlacement {
+    /// Stripes of `stripe_blocks` blocks over `units` PUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units == 0` or `stripe_blocks == 0`.
+    pub fn new(units: usize, stripe_blocks: u64) -> Self {
+        assert!(units > 0, "need at least one parallel unit");
+        assert!(stripe_blocks > 0, "stripe size must be positive");
+        StripingPlacement {
+            units,
+            stripe_blocks,
+        }
+    }
+}
+
+impl Placement for StripingPlacement {
+    fn unit_for(&self, extent: &Extent) -> usize {
+        ((extent.start() / self.stripe_blocks) % self.units as u64) as usize
+    }
+
+    fn name(&self) -> &str {
+        "striping"
+    }
+}
+
+/// Correlation-aware placement: extents that are frequently read
+/// together are assigned to *different* PUs (greedy round-robin within
+/// each correlation cluster), so a correlated batch read proceeds in
+/// parallel. Unknown extents fall back to striping.
+///
+/// # Examples
+///
+/// ```
+/// use rtdac_ssdsim::{CorrelationPlacement, Placement};
+/// use rtdac_types::{Extent, ExtentPair};
+///
+/// let a = Extent::new(0, 8)?;
+/// let b = Extent::new(64, 8)?;   // striping would co-locate these
+/// let pair = ExtentPair::new(a, b).unwrap();
+/// let placement = CorrelationPlacement::from_pairs([&pair], 4, 1024);
+/// assert_ne!(placement.unit_for(&a), placement.unit_for(&b));
+/// # Ok::<(), rtdac_types::ExtentError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct CorrelationPlacement {
+    assigned: HashMap<Extent, usize>,
+    fallback: StripingPlacement,
+}
+
+impl CorrelationPlacement {
+    /// Builds placement from frequent read-correlated pairs over `units`
+    /// PUs, with striping of `stripe_blocks` for uncorrelated data.
+    ///
+    /// Pairs should be given most-frequent first (as
+    /// `OnlineAnalyzer::frequent_pairs` returns them): earlier pairs get
+    /// first pick of conflict-free units.
+    pub fn from_pairs<'a, I>(pairs: I, units: usize, stripe_blocks: u64) -> Self
+    where
+        I: IntoIterator<Item = &'a ExtentPair>,
+    {
+        let fallback = StripingPlacement::new(units, stripe_blocks);
+        let mut assigned: HashMap<Extent, usize> = HashMap::new();
+        // Greedy: walk pairs in priority order; place each unplaced
+        // extent on the unit least used among its correlated partners.
+        let mut partners: HashMap<Extent, Vec<Extent>> = HashMap::new();
+        let mut order: Vec<Extent> = Vec::new();
+        for pair in pairs {
+            for (e, o) in [
+                (pair.first(), pair.second()),
+                (pair.second(), pair.first()),
+            ] {
+                if !partners.contains_key(&e) {
+                    order.push(e);
+                }
+                partners.entry(e).or_default().push(o);
+            }
+        }
+        for extent in order {
+            let mut used = vec![0u32; units];
+            for partner in &partners[&extent] {
+                if let Some(&u) = assigned.get(partner) {
+                    used[u] += 1;
+                }
+            }
+            let best = (0..units).min_by_key(|&u| used[u]).expect("units > 0");
+            assigned.insert(extent, best);
+        }
+        CorrelationPlacement { assigned, fallback }
+    }
+
+    /// Number of extents with an explicit (non-fallback) assignment.
+    pub fn assigned_extents(&self) -> usize {
+        self.assigned.len()
+    }
+}
+
+impl Placement for CorrelationPlacement {
+    fn unit_for(&self, extent: &Extent) -> usize {
+        self.assigned
+            .get(extent)
+            .copied()
+            .unwrap_or_else(|| self.fallback.unit_for(extent))
+    }
+
+    fn name(&self) -> &str {
+        "correlation-placement"
+    }
+}
+
+/// A bank of parallel units with a fixed per-request service time:
+/// requests to different PUs proceed concurrently, requests to the same
+/// PU serialize — the §V-2 performance model ("accesses are fully
+/// independent of each other").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParallelUnitModel {
+    units: usize,
+    service: Duration,
+}
+
+impl ParallelUnitModel {
+    /// A bank of `units` PUs, each serving one request in `service`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units == 0`.
+    pub fn new(units: usize, service: Duration) -> Self {
+        assert!(units > 0, "need at least one parallel unit");
+        ParallelUnitModel { units, service }
+    }
+
+    /// Number of PUs.
+    pub fn units(&self) -> usize {
+        self.units
+    }
+
+    /// Latency of reading a batch of extents under a placement: the
+    /// busiest PU's queue length times the service time.
+    ///
+    /// ```
+    /// use rtdac_ssdsim::{ParallelUnitModel, StripingPlacement};
+    /// use rtdac_types::Extent;
+    /// use std::time::Duration;
+    ///
+    /// let bank = ParallelUnitModel::new(4, Duration::from_micros(50));
+    /// let placement = StripingPlacement::new(4, 64);
+    /// let batch = [Extent::new(0, 8)?, Extent::new(64, 8)?];
+    /// // Different stripes → different PUs → fully parallel.
+    /// assert_eq!(bank.batch_latency(&batch, &placement),
+    ///            Duration::from_micros(50));
+    /// # Ok::<(), rtdac_types::ExtentError>(())
+    /// ```
+    pub fn batch_latency<P: Placement + ?Sized>(
+        &self,
+        batch: &[Extent],
+        placement: &P,
+    ) -> Duration {
+        let mut queue = vec![0u32; self.units];
+        for extent in batch {
+            let unit = placement.unit_for(extent);
+            assert!(unit < self.units, "placement returned PU {unit} out of range");
+            queue[unit] += 1;
+        }
+        self.service * queue.into_iter().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(start: u64, len: u32) -> Extent {
+        Extent::new(start, len).unwrap()
+    }
+
+    #[test]
+    fn striping_cycles_units() {
+        let p = StripingPlacement::new(4, 100);
+        assert_eq!(p.unit_for(&e(0, 8)), 0);
+        assert_eq!(p.unit_for(&e(100, 8)), 1);
+        assert_eq!(p.unit_for(&e(399, 1)), 3);
+        assert_eq!(p.unit_for(&e(400, 8)), 0);
+    }
+
+    #[test]
+    fn same_stripe_collides() {
+        let p = StripingPlacement::new(4, 1000);
+        // Two extents in the same stripe serialize on one PU.
+        let bank = ParallelUnitModel::new(4, Duration::from_micros(50));
+        let batch = [e(0, 8), e(500, 8)];
+        assert_eq!(
+            bank.batch_latency(&batch, &p),
+            Duration::from_micros(100)
+        );
+    }
+
+    #[test]
+    fn correlation_placement_separates_pairs() {
+        let pair = ExtentPair::new(e(0, 8), e(8, 8)).unwrap();
+        let p = CorrelationPlacement::from_pairs([&pair], 4, 1_000_000);
+        assert_ne!(p.unit_for(&e(0, 8)), p.unit_for(&e(8, 8)));
+        assert_eq!(p.assigned_extents(), 2);
+    }
+
+    #[test]
+    fn correlation_placement_spreads_a_clique() {
+        // Four extents all correlated with each other fit on 4 PUs with
+        // no collision at all.
+        let extents: Vec<Extent> = (0..4).map(|i| e(i * 8, 8)).collect();
+        let mut pairs = Vec::new();
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                pairs.push(ExtentPair::new(extents[i], extents[j]).unwrap());
+            }
+        }
+        let p = CorrelationPlacement::from_pairs(pairs.iter(), 4, 1_000_000);
+        let bank = ParallelUnitModel::new(4, Duration::from_micros(50));
+        assert_eq!(
+            bank.batch_latency(&extents, &p),
+            Duration::from_micros(50)
+        );
+    }
+
+    #[test]
+    fn unknown_extents_fall_back_to_striping() {
+        let pair = ExtentPair::new(e(0, 8), e(8, 8)).unwrap();
+        let p = CorrelationPlacement::from_pairs([&pair], 4, 100);
+        let stranger = e(250, 8);
+        assert_eq!(
+            p.unit_for(&stranger),
+            StripingPlacement::new(4, 100).unit_for(&stranger)
+        );
+    }
+
+    #[test]
+    fn empty_batch_costs_nothing() {
+        let bank = ParallelUnitModel::new(2, Duration::from_micros(50));
+        assert_eq!(
+            bank.batch_latency(&[], &StripingPlacement::new(2, 10)),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one parallel unit")]
+    fn zero_units_panics() {
+        ParallelUnitModel::new(0, Duration::from_micros(1));
+    }
+}

@@ -1,0 +1,266 @@
+//! Stream assignment policies for multi-stream SSDs (§V-1).
+//!
+//! The paper's death-time heuristic: "if two or more data chunks were
+//! frequently written together in the past, then there is a high chance
+//! that their death times will be similar" — so correlated writes should
+//! share a stream (and hence an erase unit).
+
+use std::collections::HashMap;
+
+use rtdac_types::{Extent, ExtentPair};
+
+use crate::ftl::{Lpn, StreamId};
+
+/// Decides which write stream a logical page goes to.
+pub trait StreamAssigner {
+    /// Stream for a page write.
+    fn assign(&mut self, lpn: Lpn) -> StreamId;
+
+    /// Short human-readable policy name.
+    fn name(&self) -> &str;
+}
+
+/// Everything through one append point — the conventional log-structured
+/// baseline whose GC behaviour multi-stream placement improves on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SingleStream;
+
+impl StreamAssigner for SingleStream {
+    fn assign(&mut self, _lpn: Lpn) -> StreamId {
+        0
+    }
+
+    fn name(&self) -> &str {
+        "single-stream"
+    }
+}
+
+/// Spreads pages over streams by address hash — separates data but
+/// blindly with respect to death times.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HashStream {
+    streams: usize,
+}
+
+impl HashStream {
+    /// Creates a hash assigner over `streams` streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams == 0`.
+    pub fn new(streams: usize) -> Self {
+        assert!(streams > 0, "need at least one stream");
+        HashStream { streams }
+    }
+}
+
+impl StreamAssigner for HashStream {
+    fn assign(&mut self, lpn: Lpn) -> StreamId {
+        // Fibonacci hashing spreads sequential LPNs.
+        ((lpn.wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> 32) as usize % self.streams
+    }
+
+    fn name(&self) -> &str {
+        "hash-stream"
+    }
+}
+
+/// The paper's policy: pages of extents that are frequently *written
+/// together* share a stream, so their (predicted-similar) death times
+/// land in the same erase units.
+///
+/// Built from the online analyzer's frequent write-correlations: pairs
+/// are merged into clusters (union-find over shared extents), each
+/// cluster maps to a stream, and unclustered pages fall back to a
+/// default stream.
+///
+/// # Examples
+///
+/// ```
+/// use rtdac_ssdsim::{CorrelationStreams, StreamAssigner};
+/// use rtdac_types::{Extent, ExtentPair};
+///
+/// let a = Extent::new(0, 8)?;
+/// let b = Extent::new(100, 8)?;
+/// let pair = ExtentPair::new(a, b).unwrap();
+/// let mut assigner = CorrelationStreams::from_pairs([&pair], 4);
+/// // Pages of correlated extents share a stream.
+/// assert_eq!(assigner.assign(0), assigner.assign(100));
+/// # Ok::<(), rtdac_types::ExtentError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct CorrelationStreams {
+    /// block → stream (block granularity mirrors the analyzer's extents).
+    by_block: HashMap<u64, StreamId>,
+    streams: usize,
+    clusters: usize,
+}
+
+impl CorrelationStreams {
+    /// Builds the mapping from frequent write-correlated extent pairs.
+    /// Streams `1..streams` host the clusters (round-robin when clusters
+    /// outnumber streams); stream 0 is the fallback for uncorrelated
+    /// data, matching the FTL's use of stream 0 for GC relocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams < 2` (one stream cannot separate anything).
+    pub fn from_pairs<'a, I>(pairs: I, streams: usize) -> Self
+    where
+        I: IntoIterator<Item = &'a ExtentPair>,
+    {
+        assert!(streams >= 2, "correlation placement needs at least two streams");
+
+        // Union-find over extents.
+        let mut parent: Vec<usize> = Vec::new();
+        let mut index: HashMap<Extent, usize> = HashMap::new();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        let mut id_of = |e: Extent, parent: &mut Vec<usize>| -> usize {
+            *index.entry(e).or_insert_with(|| {
+                parent.push(parent.len());
+                parent.len() - 1
+            })
+        };
+        let mut extents: Vec<Extent> = Vec::new();
+        for pair in pairs {
+            let a = id_of(pair.first(), &mut parent);
+            if a == extents.len() {
+                extents.push(pair.first());
+            }
+            let b = id_of(pair.second(), &mut parent);
+            if b == extents.len() {
+                extents.push(pair.second());
+            }
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            if ra != rb {
+                parent[ra] = rb;
+            }
+        }
+
+        // Number the clusters and assign streams round-robin over 1..n.
+        let mut cluster_of_root: HashMap<usize, usize> = HashMap::new();
+        let mut by_block = HashMap::new();
+        for (i, extent) in extents.iter().enumerate() {
+            let root = find(&mut parent, i);
+            let next = cluster_of_root.len();
+            let cluster = *cluster_of_root.entry(root).or_insert(next);
+            let stream = 1 + cluster % (streams - 1);
+            for block in extent.blocks() {
+                by_block.insert(block, stream);
+            }
+        }
+
+        CorrelationStreams {
+            by_block,
+            streams,
+            clusters: cluster_of_root.len(),
+        }
+    }
+
+    /// Number of correlation clusters discovered.
+    pub fn clusters(&self) -> usize {
+        self.clusters
+    }
+
+    /// Number of streams in use.
+    pub fn streams(&self) -> usize {
+        self.streams
+    }
+}
+
+impl StreamAssigner for CorrelationStreams {
+    fn assign(&mut self, lpn: Lpn) -> StreamId {
+        self.by_block.get(&lpn).copied().unwrap_or(0)
+    }
+
+    fn name(&self) -> &str {
+        "correlation-streams"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(start: u64, len: u32) -> Extent {
+        Extent::new(start, len).unwrap()
+    }
+
+    fn pair(a: Extent, b: Extent) -> ExtentPair {
+        ExtentPair::new(a, b).unwrap()
+    }
+
+    #[test]
+    fn single_stream_is_constant() {
+        let mut s = SingleStream;
+        assert_eq!(s.assign(0), 0);
+        assert_eq!(s.assign(u64::MAX), 0);
+    }
+
+    #[test]
+    fn hash_stream_in_range_and_spread() {
+        let mut s = HashStream::new(4);
+        let mut seen = [false; 4];
+        for lpn in 0..1000u64 {
+            let id = s.assign(lpn);
+            assert!(id < 4);
+            seen[id] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all streams used: {seen:?}");
+    }
+
+    #[test]
+    fn correlated_extents_share_a_stream() {
+        let pairs = [pair(e(0, 4), e(100, 4)), pair(e(100, 4), e(200, 4))];
+        let mut s = CorrelationStreams::from_pairs(pairs.iter(), 4);
+        // Transitive cluster {0.., 100.., 200..}: one cluster.
+        assert_eq!(s.clusters(), 1);
+        let stream = s.assign(0);
+        assert!(stream >= 1);
+        for block in [1, 100, 103, 200] {
+            assert_eq!(s.assign(block), stream);
+        }
+    }
+
+    #[test]
+    fn distinct_clusters_get_distinct_streams() {
+        let pairs = [pair(e(0, 1), e(10, 1)), pair(e(1000, 1), e(1010, 1))];
+        let mut s = CorrelationStreams::from_pairs(pairs.iter(), 4);
+        assert_eq!(s.clusters(), 2);
+        assert_ne!(s.assign(0), s.assign(1000));
+    }
+
+    #[test]
+    fn uncorrelated_blocks_fall_back_to_stream_zero() {
+        let pairs = [pair(e(0, 1), e(10, 1))];
+        let mut s = CorrelationStreams::from_pairs(pairs.iter(), 4);
+        assert_eq!(s.assign(999_999), 0);
+    }
+
+    #[test]
+    fn clusters_wrap_round_robin() {
+        // 5 clusters over 3 streams: streams 1..=2 each reused.
+        let pairs: Vec<ExtentPair> = (0..5u64)
+            .map(|i| pair(e(i * 1000, 1), e(i * 1000 + 10, 1)))
+            .collect();
+        let mut s = CorrelationStreams::from_pairs(pairs.iter(), 3);
+        assert_eq!(s.clusters(), 5);
+        for i in 0..5u64 {
+            let id = s.assign(i * 1000);
+            assert!(id == 1 || id == 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two streams")]
+    fn one_stream_panics() {
+        let pairs: [ExtentPair; 0] = [];
+        CorrelationStreams::from_pairs(pairs.iter(), 1);
+    }
+}

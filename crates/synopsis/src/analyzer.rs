@@ -1,0 +1,531 @@
+//! The online analysis module: item table + correlation table processing
+//! of monitored transactions (§III-D).
+
+use std::collections::{HashMap, HashSet};
+
+use rtdac_types::{Extent, ExtentPair, IoOp, Transaction};
+
+use crate::table::{Tier, TwoTierTable};
+
+/// Paper's memory model: an item-table entry is a 64-bit block ID, a
+/// 32-bit length and a 32-bit tally — 16 bytes (§IV-C1).
+pub const ITEM_ENTRY_BYTES: usize = 16;
+/// Paper's memory model: a correlation-table entry is two extents and a
+/// tally — 28 bytes (§IV-C1).
+pub const PAIR_ENTRY_BYTES: usize = 28;
+
+/// Configuration for an [`OnlineAnalyzer`].
+///
+/// The paper uses equal T1/T2 sizes ("we found using equal sizes for T1
+/// and T2 to be appropriate"), a correlation table of `C` entries per
+/// tier, and an item table of the same entry count; both defaults follow
+/// suit. Build a config with [`AnalyzerConfig::with_capacity`] and adjust
+/// via the builder methods.
+///
+/// # Examples
+///
+/// ```
+/// use rtdac_synopsis::AnalyzerConfig;
+///
+/// let config = AnalyzerConfig::with_capacity(16 * 1024)
+///     .promote_threshold(2)
+///     .op_filter(None);
+/// assert_eq!(config.correlation_capacity_per_tier, 16 * 1024);
+/// // §IV-C1: 88 C bytes total for equal tables of C entries per tier.
+/// assert_eq!(config.memory_bytes(), 88 * 16 * 1024);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AnalyzerConfig {
+    /// Entries per tier in the item table.
+    pub item_capacity_per_tier: usize,
+    /// Entries per tier in the correlation table (the paper's `C`).
+    pub correlation_capacity_per_tier: usize,
+    /// Tally at which a T1 entry is promoted to T2 (default 2).
+    pub promote_threshold: u32,
+    /// If set, only requests of this direction are analyzed — correlated
+    /// writes feed garbage-collection placement, correlated reads feed
+    /// parallel placement (§V).
+    pub op_filter: Option<IoOp>,
+}
+
+impl AnalyzerConfig {
+    /// Config with `c` entries per tier in *both* tables and the paper's
+    /// defaults elsewhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c == 0`.
+    pub fn with_capacity(c: usize) -> Self {
+        assert!(c > 0, "capacity must be positive");
+        AnalyzerConfig {
+            item_capacity_per_tier: c,
+            correlation_capacity_per_tier: c,
+            promote_threshold: 2,
+            op_filter: None,
+        }
+    }
+
+    /// Sets the item-table per-tier capacity.
+    pub fn item_capacity(mut self, c: usize) -> Self {
+        self.item_capacity_per_tier = c;
+        self
+    }
+
+    /// Sets the promotion threshold for both tables.
+    pub fn promote_threshold(mut self, threshold: u32) -> Self {
+        self.promote_threshold = threshold;
+        self
+    }
+
+    /// Restricts analysis to one request direction (or `None` for both).
+    pub fn op_filter(mut self, op: Option<IoOp>) -> Self {
+        self.op_filter = op;
+        self
+    }
+
+    /// Total synopsis memory under the paper's model: `32·C_item +
+    /// 56·C_corr` bytes (16/28 bytes per entry, two tiers each).
+    pub fn memory_bytes(&self) -> usize {
+        2 * ITEM_ENTRY_BYTES * self.item_capacity_per_tier
+            + 2 * PAIR_ENTRY_BYTES * self.correlation_capacity_per_tier
+    }
+}
+
+impl Default for AnalyzerConfig {
+    /// The paper's smallest evaluated configuration: C = 16 K entries per
+    /// tier (1.44 MB of synopsis under its memory model).
+    fn default() -> Self {
+        AnalyzerConfig::with_capacity(16 * 1024)
+    }
+}
+
+/// Lifetime counters of an [`OnlineAnalyzer`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct AnalyzerStats {
+    /// Transactions processed.
+    pub transactions: u64,
+    /// Extents recorded into the item table.
+    pub extents: u64,
+    /// Pairs recorded into the correlation table.
+    pub pairs: u64,
+    /// Correlation-table demotions triggered by item-table evictions.
+    pub correlated_demotions: u64,
+}
+
+/// A point-in-time copy of the correlation table's contents, used by the
+/// concept-drift experiment (Fig. 10) and by offline comparison.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// `(pair, tally, tier)` for every stored correlation.
+    pub pairs: Vec<(ExtentPair, u32, Tier)>,
+    /// `(extent, tally, tier)` for every stored item.
+    pub items: Vec<(Extent, u32, Tier)>,
+}
+
+impl Snapshot {
+    /// The pairs with tally at least `min_tally`.
+    pub fn frequent_pairs(&self, min_tally: u32) -> Vec<(ExtentPair, u32)> {
+        let mut v: Vec<(ExtentPair, u32)> = self
+            .pairs
+            .iter()
+            .filter(|(_, tally, _)| *tally >= min_tally)
+            .map(|(p, tally, _)| (*p, *tally))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v
+    }
+
+    /// The set of stored pairs, regardless of tally.
+    pub fn pair_set(&self) -> HashSet<ExtentPair> {
+        self.pairs.iter().map(|(p, _, _)| *p).collect()
+    }
+}
+
+/// The paper's online analysis module: a single-pass consumer of
+/// transactions that maintains the two synopsis tables and exposes the
+/// frequent extent correlations found so far.
+///
+/// Per transaction (§III-D2): extents are deduplicated, each extent is
+/// recorded in the *item table*, and every unique pair of extents is
+/// recorded in the *correlation table*. When an extent is evicted from
+/// the item table, every pair containing it is demoted in the correlation
+/// table, since "frequent correlations must involve frequent extents".
+///
+/// # Examples
+///
+/// ```
+/// use rtdac_synopsis::{AnalyzerConfig, OnlineAnalyzer};
+/// use rtdac_types::{Extent, Timestamp, Transaction};
+///
+/// let mut analyzer = OnlineAnalyzer::new(AnalyzerConfig::with_capacity(1024));
+/// let a = Extent::new(100, 4)?;
+/// let b = Extent::new(200, 3)?;
+/// for _ in 0..5 {
+///     analyzer.process(&Transaction::from_extents(Timestamp::ZERO, [a, b]));
+/// }
+/// let frequent = analyzer.frequent_pairs(5);
+/// assert_eq!(frequent.len(), 1);
+/// assert_eq!(frequent[0].1, 5);
+/// # Ok::<(), rtdac_types::ExtentError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct OnlineAnalyzer {
+    config: AnalyzerConfig,
+    items: TwoTierTable<Extent>,
+    pairs: TwoTierTable<ExtentPair>,
+    /// extent → pairs currently stored that contain it, for the
+    /// item-eviction demotion hook.
+    pair_index: HashMap<Extent, HashSet<ExtentPair>>,
+    stats: AnalyzerStats,
+}
+
+impl OnlineAnalyzer {
+    /// Creates an analyzer with the given configuration.
+    pub fn new(config: AnalyzerConfig) -> Self {
+        let items = TwoTierTable::new(
+            config.item_capacity_per_tier,
+            config.item_capacity_per_tier,
+            config.promote_threshold,
+        );
+        let pairs = TwoTierTable::new(
+            config.correlation_capacity_per_tier,
+            config.correlation_capacity_per_tier,
+            config.promote_threshold,
+        );
+        OnlineAnalyzer {
+            config,
+            items,
+            pairs,
+            pair_index: HashMap::new(),
+            stats: AnalyzerStats::default(),
+        }
+    }
+
+    /// The configuration the analyzer was built with.
+    pub fn config(&self) -> &AnalyzerConfig {
+        &self.config
+    }
+
+    /// Processes one transaction through both synopsis tables.
+    pub fn process(&mut self, transaction: &Transaction) {
+        self.stats.transactions += 1;
+
+        // Dedup and apply the optional direction filter. Transactions from
+        // the monitor are already deduplicated; doing it again here keeps
+        // the analyzer correct for hand-built transactions too, at O(N²)
+        // cost on an N ≤ 8 item list.
+        let mut extents: Vec<Extent> = Vec::with_capacity(transaction.len());
+        for item in transaction.items() {
+            if let Some(filter) = self.config.op_filter {
+                if item.op != filter {
+                    continue;
+                }
+            }
+            if !extents.contains(&item.extent) {
+                extents.push(item.extent);
+            }
+        }
+
+        // Record every extent in the item table; an eviction demotes all
+        // stored pairs containing the evicted extent.
+        for &extent in &extents {
+            self.stats.extents += 1;
+            let record = self.items.record(extent);
+            if let Some((evicted, _)) = record.evicted {
+                self.demote_pairs_of(&evicted);
+            }
+        }
+
+        // Record every unique pair in the correlation table.
+        for i in 0..extents.len() {
+            for j in (i + 1)..extents.len() {
+                let pair = ExtentPair::new(extents[i], extents[j])
+                    .expect("deduplicated extents are distinct");
+                self.stats.pairs += 1;
+                let record = self.pairs.record(pair);
+                if !record.hit {
+                    self.index_pair(pair);
+                }
+                if let Some((evicted, _)) = record.evicted {
+                    self.unindex_pair(&evicted);
+                }
+            }
+        }
+    }
+
+    fn demote_pairs_of(&mut self, extent: &Extent) {
+        let Some(pairs) = self.pair_index.get(extent) else {
+            return;
+        };
+        // Demoting may itself evict pairs from the correlation table
+        // (demotion into a full T1 trims), so collect first.
+        let affected: Vec<ExtentPair> = pairs.iter().copied().collect();
+        for pair in affected {
+            self.stats.correlated_demotions += 1;
+            let was_present = self.pairs.demote(&pair);
+            if was_present && !self.pairs.contains(&pair) {
+                self.unindex_pair(&pair);
+            }
+        }
+    }
+
+    fn index_pair(&mut self, pair: ExtentPair) {
+        self.pair_index.entry(pair.first()).or_default().insert(pair);
+        self.pair_index
+            .entry(pair.second())
+            .or_default()
+            .insert(pair);
+    }
+
+    fn unindex_pair(&mut self, pair: &ExtentPair) {
+        for extent in [pair.first(), pair.second()] {
+            if let Some(set) = self.pair_index.get_mut(&extent) {
+                set.remove(pair);
+                if set.is_empty() {
+                    self.pair_index.remove(&extent);
+                }
+            }
+        }
+    }
+
+    /// The correlations currently stored with tally at least `min_tally`,
+    /// sorted by descending tally.
+    pub fn frequent_pairs(&self, min_tally: u32) -> Vec<(ExtentPair, u32)> {
+        self.pairs.entries_with_min_tally(min_tally)
+    }
+
+    /// The extents currently stored with tally at least `min_tally`,
+    /// sorted by descending tally.
+    pub fn frequent_items(&self, min_tally: u32) -> Vec<(Extent, u32)> {
+        self.items.entries_with_min_tally(min_tally)
+    }
+
+    /// The extents currently known to correlate with `extent` at tally
+    /// at least `min_tally`, strongest first — the point query an
+    /// optimization module (prefetcher, data placer, GC stream
+    /// assigner) issues on each access. O(partners of `extent`), via
+    /// the same index that powers the eviction hook.
+    ///
+    /// ```
+    /// use rtdac_synopsis::{AnalyzerConfig, OnlineAnalyzer};
+    /// use rtdac_types::{Extent, Timestamp, Transaction};
+    ///
+    /// let mut analyzer = OnlineAnalyzer::new(AnalyzerConfig::with_capacity(64));
+    /// let a = Extent::new(1, 1)?;
+    /// let b = Extent::new(9, 1)?;
+    /// for _ in 0..3 {
+    ///     analyzer.process(&Transaction::from_extents(Timestamp::ZERO, [a, b]));
+    /// }
+    /// assert_eq!(analyzer.correlated_with(&a, 3), vec![(b, 3)]);
+    /// assert_eq!(analyzer.correlated_with(&a, 4), vec![]);
+    /// # Ok::<(), rtdac_types::ExtentError>(())
+    /// ```
+    pub fn correlated_with(&self, extent: &Extent, min_tally: u32) -> Vec<(Extent, u32)> {
+        let Some(pairs) = self.pair_index.get(extent) else {
+            return Vec::new();
+        };
+        let mut partners: Vec<(Extent, u32)> = pairs
+            .iter()
+            .filter_map(|pair| {
+                let tally = self.pairs.tally(pair)?;
+                if tally < min_tally {
+                    return None;
+                }
+                Some((pair.other(extent).expect("pair contains extent"), tally))
+            })
+            .collect();
+        partners.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        partners
+    }
+
+    /// A copy of both tables' contents at this instant.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            pairs: self
+                .pairs
+                .iter()
+                .map(|(p, tally, tier)| (*p, tally, tier))
+                .collect(),
+            items: self
+                .items
+                .iter()
+                .map(|(e, tally, tier)| (*e, tally, tier))
+                .collect(),
+        }
+    }
+
+    /// Read access to the item table.
+    pub fn item_table(&self) -> &TwoTierTable<Extent> {
+        &self.items
+    }
+
+    /// Read access to the correlation table.
+    pub fn correlation_table(&self) -> &TwoTierTable<ExtentPair> {
+        &self.pairs
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> AnalyzerStats {
+        self.stats
+    }
+
+    /// Synopsis memory under the paper's model (§IV-C1).
+    pub fn memory_bytes(&self) -> usize {
+        self.config.memory_bytes()
+    }
+
+    /// Forgets everything (stats are preserved).
+    pub fn clear(&mut self) {
+        self.items.clear();
+        self.pairs.clear();
+        self.pair_index.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtdac_types::Timestamp;
+
+    fn e(start: u64, len: u32) -> Extent {
+        Extent::new(start, len).unwrap()
+    }
+
+    fn txn(extents: &[Extent]) -> Transaction {
+        Transaction::from_extents(Timestamp::ZERO, extents.iter().copied())
+    }
+
+    fn pair(a: Extent, b: Extent) -> ExtentPair {
+        ExtentPair::new(a, b).unwrap()
+    }
+
+    #[test]
+    fn records_items_and_pairs() {
+        let mut an = OnlineAnalyzer::new(AnalyzerConfig::with_capacity(16));
+        an.process(&txn(&[e(100, 4), e(200, 3), e(300, 1)]));
+        assert_eq!(an.item_table().len(), 3);
+        assert_eq!(an.correlation_table().len(), 3); // C(3,2)
+        assert_eq!(an.stats().transactions, 1);
+        assert_eq!(an.stats().pairs, 3);
+    }
+
+    #[test]
+    fn repeated_transactions_build_tally() {
+        let mut an = OnlineAnalyzer::new(AnalyzerConfig::with_capacity(16));
+        for _ in 0..4 {
+            an.process(&txn(&[e(1, 1), e(2, 1)]));
+        }
+        let p = pair(e(1, 1), e(2, 1));
+        assert_eq!(an.correlation_table().tally(&p), Some(4));
+        assert_eq!(an.frequent_pairs(4), vec![(p, 4)]);
+        assert_eq!(an.frequent_pairs(5), vec![]);
+    }
+
+    #[test]
+    fn duplicate_extents_in_transaction_counted_once() {
+        let mut an = OnlineAnalyzer::new(AnalyzerConfig::with_capacity(16));
+        an.process(&txn(&[e(1, 1), e(1, 1), e(2, 1)]));
+        assert_eq!(an.item_table().tally(&e(1, 1)), Some(1));
+        assert_eq!(an.correlation_table().len(), 1);
+    }
+
+    #[test]
+    fn op_filter_restricts_analysis() {
+        use rtdac_types::IoOp;
+        let mut an = OnlineAnalyzer::new(
+            AnalyzerConfig::with_capacity(16).op_filter(Some(IoOp::Write)),
+        );
+        let mut t = Transaction::new(Timestamp::ZERO);
+        t.push(e(1, 1), IoOp::Write);
+        t.push(e(2, 1), IoOp::Read);
+        t.push(e(3, 1), IoOp::Write);
+        an.process(&t);
+        assert!(an.item_table().contains(&e(1, 1)));
+        assert!(!an.item_table().contains(&e(2, 1)));
+        assert_eq!(an.correlation_table().len(), 1); // only the write pair
+    }
+
+    #[test]
+    fn item_eviction_demotes_its_pairs() {
+        // Item table of 1 entry per tier forces immediate item churn.
+        let config = AnalyzerConfig::with_capacity(8).item_capacity(1);
+        let mut an = OnlineAnalyzer::new(config);
+        // Build up a frequent pair so it sits at T2 of the correlation
+        // table...
+        an.process(&txn(&[e(1, 1), e(2, 1)]));
+        an.process(&txn(&[e(1, 1), e(2, 1)]));
+        let p = pair(e(1, 1), e(2, 1));
+        assert_eq!(an.correlation_table().tier(&p), Some(Tier::T2));
+        // ... then stream unrelated items through the tiny item table.
+        // Evicting extents 1 and 2 from the item table must demote the
+        // pair back to T1.
+        an.process(&txn(&[e(50, 1), e(60, 1), e(70, 1)]));
+        assert_eq!(an.correlation_table().tier(&p), Some(Tier::T1));
+        assert!(an.stats().correlated_demotions > 0);
+    }
+
+    #[test]
+    fn pair_index_is_cleaned_on_pair_eviction() {
+        // Correlation table of 1 entry per tier: every new pair evicts.
+        let config = AnalyzerConfig::with_capacity(1).item_capacity(64);
+        let mut an = OnlineAnalyzer::new(config);
+        for i in 0..20u64 {
+            an.process(&txn(&[e(i * 2, 1), e(i * 2 + 1, 1)]));
+        }
+        // At most T1+T2 pairs stored; index should track exactly the
+        // stored pairs' member extents.
+        let stored: usize = an.correlation_table().len();
+        assert!(stored <= 2);
+        let indexed_pairs: HashSet<ExtentPair> = an
+            .pair_index
+            .values()
+            .flat_map(|s| s.iter().copied())
+            .collect();
+        let table_pairs: HashSet<ExtentPair> = an
+            .correlation_table()
+            .iter()
+            .map(|(p, _, _)| *p)
+            .collect();
+        assert_eq!(indexed_pairs, table_pairs);
+    }
+
+    #[test]
+    fn snapshot_reflects_tables() {
+        let mut an = OnlineAnalyzer::new(AnalyzerConfig::with_capacity(16));
+        an.process(&txn(&[e(1, 1), e(2, 1)]));
+        an.process(&txn(&[e(1, 1), e(2, 1)]));
+        let snap = an.snapshot();
+        assert_eq!(snap.pairs.len(), 1);
+        assert_eq!(snap.items.len(), 2);
+        assert_eq!(snap.frequent_pairs(2).len(), 1);
+        assert_eq!(snap.frequent_pairs(3).len(), 0);
+        assert!(snap.pair_set().contains(&pair(e(1, 1), e(2, 1))));
+    }
+
+    #[test]
+    fn memory_model_matches_paper() {
+        // §IV-C1: C = 16 K → 1.44 MB; C = 4 M → 369 MB.
+        let small = AnalyzerConfig::with_capacity(16 * 1024);
+        assert_eq!(small.memory_bytes(), 88 * 16 * 1024); // 1.44 MB
+        let large = AnalyzerConfig::with_capacity(4 * 1024 * 1024);
+        assert!((large.memory_bytes() as f64 / 1e6 - 369.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn clear_forgets_contents() {
+        let mut an = OnlineAnalyzer::new(AnalyzerConfig::with_capacity(16));
+        an.process(&txn(&[e(1, 1), e(2, 1)]));
+        an.clear();
+        assert!(an.item_table().is_empty());
+        assert!(an.correlation_table().is_empty());
+        assert!(an.pair_index.is_empty());
+    }
+
+    #[test]
+    fn empty_transaction_is_a_no_op() {
+        let mut an = OnlineAnalyzer::new(AnalyzerConfig::with_capacity(16));
+        an.process(&Transaction::new(Timestamp::ZERO));
+        assert!(an.item_table().is_empty());
+        assert_eq!(an.stats().transactions, 1);
+    }
+}

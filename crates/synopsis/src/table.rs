@@ -1,0 +1,731 @@
+//! The two-tier LRU/frequency table underlying both synopsis tables.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+/// Which tier of a [`TwoTierTable`] an entry resides in.
+///
+/// T1 holds entries seen "infrequently" (inserted on first sight); entries
+/// whose tally reaches the promotion threshold move to T2, the "frequent"
+/// tier (§III-D1 of the paper).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Tier {
+    /// The infrequent tier — new entries land here.
+    T1,
+    /// The frequent tier — entries are promoted here by tally.
+    T2,
+}
+
+const NIL: usize = usize::MAX;
+
+#[derive(Clone, Debug)]
+struct Node<K> {
+    key: K,
+    tally: u32,
+    tier: Tier,
+    prev: usize,
+    next: usize,
+}
+
+/// One intrusive doubly-linked list (front = MRU, back = LRU).
+#[derive(Clone, Copy, Debug, Default)]
+struct List {
+    head: usize,
+    tail: usize,
+    len: usize,
+}
+
+impl List {
+    fn new() -> Self {
+        List {
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+}
+
+/// Counters describing a table's behaviour over its lifetime.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct TableStats {
+    /// Lookups that found the key already present.
+    pub hits: u64,
+    /// Lookups that inserted a new entry.
+    pub misses: u64,
+    /// Entries evicted from T1's LRU position.
+    pub evictions: u64,
+    /// Entries promoted from T1 to T2.
+    pub promotions: u64,
+    /// Entries demoted (T2→T1 overflow demotions and explicit
+    /// [`TwoTierTable::demote`] calls).
+    pub demotions: u64,
+}
+
+/// What happened during a [`TwoTierTable::record`] call.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Record<K> {
+    /// Whether the key was already present, and in which tier it ended up.
+    pub hit: bool,
+    /// Tier the key resides in after the call.
+    pub tier: Tier,
+    /// Tally of the key after the call.
+    pub tally: u32,
+    /// Entry evicted to make room, if any, with its final tally.
+    pub evicted: Option<(K, u32)>,
+}
+
+/// A fixed-size two-tier table combining recency (LRU within each tier)
+/// and frequency (tally-based promotion) — the synopsis data structure of
+/// §III-D1, used for both the item table and the correlation table.
+///
+/// Semantics (see DESIGN.md §2 for the full interpretation):
+///
+/// * a **miss** inserts the key at T1's MRU end with tally 1, evicting
+///   T1's LRU entry if T1 is full;
+/// * a **hit** increments the tally and moves the entry to the MRU end of
+///   its tier;
+/// * a T1 entry whose tally reaches the *promotion threshold* moves to
+///   T2's MRU end; if T2 is full, T2's LRU entry is **demoted** to T1's
+///   LRU end — next in line for eviction — rather than moved to a ghost
+///   list as ARC would;
+/// * [`demote`](TwoTierTable::demote) moves an entry to T1's LRU end
+///   without evicting it, reducing its relevancy (used by the analyzer
+///   when a correlated item is evicted from the item table).
+///
+/// All operations are O(1) (amortized, via a hash index over an intrusive
+/// slab-allocated list).
+///
+/// # Examples
+///
+/// ```
+/// use rtdac_synopsis::{Tier, TwoTierTable};
+///
+/// let mut table = TwoTierTable::new(2, 2, 2); // T1 cap 2, T2 cap 2, promote at tally 2
+/// table.record("a");
+/// assert_eq!(table.tier(&"a"), Some(Tier::T1));
+/// table.record("a"); // second sighting: promoted
+/// assert_eq!(table.tier(&"a"), Some(Tier::T2));
+/// assert_eq!(table.tally(&"a"), Some(2));
+/// ```
+#[derive(Clone, Debug)]
+pub struct TwoTierTable<K> {
+    index: HashMap<K, usize>,
+    nodes: Vec<Node<K>>,
+    free: Vec<usize>,
+    t1: List,
+    t2: List,
+    t1_capacity: usize,
+    t2_capacity: usize,
+    promote_threshold: u32,
+    stats: TableStats,
+}
+
+impl<K: Eq + Hash + Clone> TwoTierTable<K> {
+    /// Creates a table with the given per-tier capacities and promotion
+    /// threshold (the tally at which a T1 entry moves to T2; the paper
+    /// promotes "upon a cache hit in the first \[tier\]", i.e. threshold 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either capacity is zero or `promote_threshold < 2` (a
+    /// threshold of 1 would bypass T1 entirely).
+    pub fn new(t1_capacity: usize, t2_capacity: usize, promote_threshold: u32) -> Self {
+        assert!(t1_capacity > 0, "T1 capacity must be positive");
+        assert!(t2_capacity > 0, "T2 capacity must be positive");
+        assert!(
+            promote_threshold >= 2,
+            "promotion threshold must be at least 2"
+        );
+        TwoTierTable {
+            index: HashMap::with_capacity(t1_capacity + t2_capacity),
+            nodes: Vec::with_capacity(t1_capacity + t2_capacity),
+            free: Vec::new(),
+            t1: List::new(),
+            t2: List::new(),
+            t1_capacity,
+            t2_capacity,
+            promote_threshold,
+            stats: TableStats::default(),
+        }
+    }
+
+    /// Records one sighting of `key`, applying the full hit/miss,
+    /// promotion, demotion and eviction policy. Returns what happened,
+    /// including any entry evicted to make room.
+    pub fn record(&mut self, key: K) -> Record<K> {
+        if let Some(&idx) = self.index.get(&key) {
+            self.stats.hits += 1;
+            self.nodes[idx].tally = self.nodes[idx].tally.saturating_add(1);
+            let tier = self.nodes[idx].tier;
+            match tier {
+                Tier::T1 if self.nodes[idx].tally >= self.promote_threshold => {
+                    // Promote to T2's MRU end.
+                    self.unlink(idx);
+                    self.nodes[idx].tier = Tier::T2;
+                    self.push_front(Tier::T2, idx);
+                    self.stats.promotions += 1;
+                    let evicted = self.rebalance_after_promotion();
+                    Record {
+                        hit: true,
+                        tier: Tier::T2,
+                        tally: self.nodes[idx].tally,
+                        evicted,
+                    }
+                }
+                tier => {
+                    // Refresh recency within the current tier.
+                    self.unlink(idx);
+                    self.push_front(tier, idx);
+                    Record {
+                        hit: true,
+                        tier,
+                        tally: self.nodes[idx].tally,
+                        evicted: None,
+                    }
+                }
+            }
+        } else {
+            self.stats.misses += 1;
+            let evicted = if self.t1.len >= self.t1_capacity {
+                self.evict_t1_lru()
+            } else {
+                None
+            };
+            let idx = self.alloc(key.clone());
+            self.index.insert(key, idx);
+            self.push_front(Tier::T1, idx);
+            Record {
+                hit: false,
+                tier: Tier::T1,
+                tally: 1,
+                evicted,
+            }
+        }
+    }
+
+    /// After a promotion, T2 may exceed capacity; demote its LRU entry to
+    /// T1's LRU end. If T1 is in turn full, evict T1's LRU first.
+    fn rebalance_after_promotion(&mut self) -> Option<(K, u32)> {
+        if self.t2.len <= self.t2_capacity {
+            return None;
+        }
+        let victim = self.t2.tail;
+        debug_assert_ne!(victim, NIL);
+        let evicted = if self.t1.len >= self.t1_capacity {
+            self.evict_t1_lru()
+        } else {
+            None
+        };
+        self.unlink(victim);
+        self.nodes[victim].tier = Tier::T1;
+        self.push_back(Tier::T1, victim);
+        self.stats.demotions += 1;
+        evicted
+    }
+
+    fn evict_t1_lru(&mut self) -> Option<(K, u32)> {
+        let victim = self.t1.tail;
+        if victim == NIL {
+            return None;
+        }
+        self.unlink(victim);
+        let node = &mut self.nodes[victim];
+        let key = node.key.clone();
+        let tally = node.tally;
+        self.index.remove(&key);
+        self.free.push(victim);
+        self.stats.evictions += 1;
+        Some((key, tally))
+    }
+
+    /// Demotes `key` to the LRU end of T1 — "next in line for eviction" —
+    /// without removing it or resetting its tally. Returns `false` if the
+    /// key is not present.
+    ///
+    /// The online analyzer calls this on every correlation-table pair
+    /// containing an extent just evicted from the item table (§III-D2).
+    pub fn demote(&mut self, key: &K) -> bool {
+        let Some(&idx) = self.index.get(key) else {
+            return false;
+        };
+        self.unlink(idx);
+        self.nodes[idx].tier = Tier::T1;
+        self.push_back(Tier::T1, idx);
+        self.stats.demotions += 1;
+        // Demotion may push T1 over capacity when the entry came from T2;
+        // evict the *new* LRU (which is this entry) is pointless, so we
+        // instead allow T1 to transiently hold capacity+1 and trim the
+        // entry least recently used. Since the demoted entry was pushed to
+        // the back, trimming evicts it — exactly "next in line".
+        if self.t1.len > self.t1_capacity {
+            self.evict_t1_lru();
+        }
+        true
+    }
+
+    /// Removes `key` from the table, returning its tally.
+    pub fn remove(&mut self, key: &K) -> Option<u32> {
+        let idx = self.index.remove(key)?;
+        self.unlink(idx);
+        let tally = self.nodes[idx].tally;
+        self.free.push(idx);
+        Some(tally)
+    }
+
+    /// Current tally of `key`, if present.
+    pub fn tally(&self, key: &K) -> Option<u32> {
+        self.index.get(key).map(|&idx| self.nodes[idx].tally)
+    }
+
+    /// Tier `key` currently resides in, if present.
+    pub fn tier(&self, key: &K) -> Option<Tier> {
+        self.index.get(key).map(|&idx| self.nodes[idx].tier)
+    }
+
+    /// Whether `key` is present in either tier.
+    pub fn contains(&self, key: &K) -> bool {
+        self.index.contains_key(key)
+    }
+
+    /// Total number of entries across both tiers.
+    pub fn len(&self) -> usize {
+        self.t1.len + self.t2.len
+    }
+
+    /// Whether the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of entries currently in `tier`.
+    pub fn tier_len(&self, tier: Tier) -> usize {
+        match tier {
+            Tier::T1 => self.t1.len,
+            Tier::T2 => self.t2.len,
+        }
+    }
+
+    /// Configured capacity of `tier`.
+    pub fn tier_capacity(&self, tier: Tier) -> usize {
+        match tier {
+            Tier::T1 => self.t1_capacity,
+            Tier::T2 => self.t2_capacity,
+        }
+    }
+
+    /// Configured total capacity (both tiers).
+    pub fn capacity(&self) -> usize {
+        self.t1_capacity + self.t2_capacity
+    }
+
+    /// The promotion threshold this table was built with.
+    pub fn promote_threshold(&self) -> u32 {
+        self.promote_threshold
+    }
+
+    /// Lifetime behaviour counters.
+    pub fn stats(&self) -> TableStats {
+        self.stats
+    }
+
+    /// Iterator over `(key, tally, tier)` for every entry, T2 first, each
+    /// tier in MRU→LRU order.
+    pub fn iter(&self) -> Iter<'_, K> {
+        Iter {
+            table: self,
+            tier: Tier::T2,
+            cursor: self.t2.head,
+        }
+    }
+
+    /// All entries with tally at least `min_tally`, sorted by descending
+    /// tally (ties broken arbitrarily). This is the "frequent
+    /// correlations" query the optimization modules consume.
+    pub fn entries_with_min_tally(&self, min_tally: u32) -> Vec<(K, u32)> {
+        let mut out: Vec<(K, u32)> = self
+            .iter()
+            .filter(|(_, tally, _)| *tally >= min_tally)
+            .map(|(k, tally, _)| (k.clone(), tally))
+            .collect();
+        out.sort_by_key(|(_, tally)| std::cmp::Reverse(*tally));
+        out
+    }
+
+    /// Removes every entry and resets the lists (stats are preserved).
+    pub fn clear(&mut self) {
+        self.index.clear();
+        self.nodes.clear();
+        self.free.clear();
+        self.t1 = List::new();
+        self.t2 = List::new();
+    }
+
+    fn alloc(&mut self, key: K) -> usize {
+        let node = Node {
+            key,
+            tally: 1,
+            tier: Tier::T1,
+            prev: NIL,
+            next: NIL,
+        };
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx] = node;
+            idx
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        }
+    }
+
+    fn list_mut(&mut self, tier: Tier) -> &mut List {
+        match tier {
+            Tier::T1 => &mut self.t1,
+            Tier::T2 => &mut self.t2,
+        }
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next, tier) = {
+            let n = &self.nodes[idx];
+            (n.prev, n.next, n.tier)
+        };
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        }
+        let list = self.list_mut(tier);
+        if list.head == idx {
+            list.head = next;
+        }
+        if list.tail == idx {
+            list.tail = prev;
+        }
+        list.len -= 1;
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, tier: Tier, idx: usize) {
+        let head = self.list_mut(tier).head;
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = head;
+        if head != NIL {
+            self.nodes[head].prev = idx;
+        }
+        let list = self.list_mut(tier);
+        list.head = idx;
+        if list.tail == NIL {
+            list.tail = idx;
+        }
+        list.len += 1;
+    }
+
+    fn push_back(&mut self, tier: Tier, idx: usize) {
+        let tail = self.list_mut(tier).tail;
+        self.nodes[idx].next = NIL;
+        self.nodes[idx].prev = tail;
+        if tail != NIL {
+            self.nodes[tail].next = idx;
+        }
+        let list = self.list_mut(tier);
+        list.tail = idx;
+        if list.head == NIL {
+            list.head = idx;
+        }
+        list.len += 1;
+    }
+
+    #[cfg(test)]
+    pub(crate) fn check_invariants(&self) {
+        assert!(self.t1.len <= self.t1_capacity, "T1 over capacity");
+        assert!(self.t2.len <= self.t2_capacity, "T2 over capacity");
+        assert_eq!(self.index.len(), self.t1.len + self.t2.len);
+        for (tier, list) in [(Tier::T1, &self.t1), (Tier::T2, &self.t2)] {
+            let mut count = 0;
+            let mut cursor = list.head;
+            let mut prev = NIL;
+            while cursor != NIL {
+                let node = &self.nodes[cursor];
+                assert_eq!(node.tier, tier);
+                assert_eq!(node.prev, prev);
+                assert_eq!(self.index[&node.key], cursor);
+                prev = cursor;
+                cursor = node.next;
+                count += 1;
+                assert!(count <= list.len, "list cycle detected");
+            }
+            assert_eq!(count, list.len);
+            assert_eq!(list.tail, prev);
+        }
+    }
+}
+
+/// Iterator over the entries of a [`TwoTierTable`], created by
+/// [`TwoTierTable::iter`].
+pub struct Iter<'a, K> {
+    table: &'a TwoTierTable<K>,
+    tier: Tier,
+    cursor: usize,
+}
+
+impl<'a, K> Iterator for Iter<'a, K> {
+    type Item = (&'a K, u32, Tier);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.cursor == NIL {
+                if self.tier == Tier::T2 {
+                    self.tier = Tier::T1;
+                    self.cursor = self.table.t1.head;
+                    continue;
+                }
+                return None;
+            }
+            let node = &self.table.nodes[self.cursor];
+            self.cursor = node.next;
+            return Some((&node.key, node.tally, node.tier));
+        }
+    }
+}
+
+impl<'a, K: Eq + Hash + Clone> IntoIterator for &'a TwoTierTable<K> {
+    type Item = (&'a K, u32, Tier);
+    type IntoIter = Iter<'a, K>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl<K: Eq + Hash + Clone + fmt::Display> fmt::Display for TwoTierTable<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "TwoTierTable(T1 {}/{}, T2 {}/{})",
+            self.t1.len, self.t1_capacity, self.t2.len, self.t2_capacity
+        )?;
+        for (key, tally, tier) in self.iter() {
+            writeln!(f, "  [{tier:?}] {key} ×{tally}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys_in_order(t: &TwoTierTable<u32>, tier: Tier) -> Vec<u32> {
+        t.iter()
+            .filter(|(_, _, ti)| *ti == tier)
+            .map(|(k, _, _)| *k)
+            .collect()
+    }
+
+    #[test]
+    fn miss_inserts_into_t1_mru() {
+        let mut t = TwoTierTable::new(3, 3, 2);
+        t.record(1);
+        t.record(2);
+        assert_eq!(keys_in_order(&t, Tier::T1), vec![2, 1]);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn hit_refreshes_recency() {
+        let mut t = TwoTierTable::new(3, 3, 3); // high threshold: no promotion
+        t.record(1);
+        t.record(2);
+        t.record(3);
+        t.record(1); // 1 becomes MRU
+        assert_eq!(keys_in_order(&t, Tier::T1), vec![1, 3, 2]);
+        assert_eq!(t.tally(&1), Some(2));
+        t.check_invariants();
+    }
+
+    #[test]
+    fn t1_overflow_evicts_lru() {
+        let mut t = TwoTierTable::new(2, 2, 2);
+        t.record(1);
+        t.record(2);
+        let r = t.record(3);
+        assert_eq!(r.evicted, Some((1, 1)));
+        assert!(!t.contains(&1));
+        assert_eq!(t.stats().evictions, 1);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn second_sighting_promotes() {
+        let mut t = TwoTierTable::new(2, 2, 2);
+        t.record(7);
+        let r = t.record(7);
+        assert!(r.hit);
+        assert_eq!(r.tier, Tier::T2);
+        assert_eq!(t.tier(&7), Some(Tier::T2));
+        assert_eq!(t.stats().promotions, 1);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn promotion_respects_threshold() {
+        let mut t = TwoTierTable::new(4, 4, 4);
+        t.record(7);
+        t.record(7);
+        t.record(7);
+        assert_eq!(t.tier(&7), Some(Tier::T1)); // tally 3 < 4
+        t.record(7);
+        assert_eq!(t.tier(&7), Some(Tier::T2)); // tally 4 == 4
+        t.check_invariants();
+    }
+
+    #[test]
+    fn t2_overflow_demotes_lru_to_t1_back() {
+        let mut t = TwoTierTable::new(3, 2, 2);
+        // Promote 1, 2, 3 in turn; T2 capacity is 2, so promoting 3 must
+        // demote 1 (T2's LRU) to the back of T1.
+        for k in [1, 2, 3] {
+            t.record(k);
+            t.record(k);
+        }
+        assert_eq!(t.tier(&1), Some(Tier::T1));
+        assert_eq!(t.tier(&2), Some(Tier::T2));
+        assert_eq!(t.tier(&3), Some(Tier::T2));
+        // 1 sits at T1's LRU end: the very next T1 overflow evicts it.
+        assert_eq!(keys_in_order(&t, Tier::T1).last(), Some(&1));
+        assert_eq!(t.stats().demotions, 1);
+        // Demoted entries keep their tally.
+        assert_eq!(t.tally(&1), Some(2));
+        t.check_invariants();
+    }
+
+    #[test]
+    fn demoted_entry_is_next_for_eviction() {
+        let mut t = TwoTierTable::new(2, 1, 2);
+        t.record(1);
+        t.record(1); // 1 in T2
+        t.record(2);
+        t.record(2); // 2 promoted, 1 demoted to T1 back
+        t.record(3); // T1 holds [3, 1]; full
+        let r = t.record(4); // overflow: evicts 1, the demoted entry
+        assert_eq!(r.evicted, Some((1, 2)));
+        t.check_invariants();
+    }
+
+    #[test]
+    fn explicit_demote_moves_to_t1_back() {
+        let mut t = TwoTierTable::new(3, 3, 2);
+        t.record(1);
+        t.record(1); // promoted
+        t.record(2);
+        assert!(t.demote(&1));
+        assert_eq!(t.tier(&1), Some(Tier::T1));
+        assert_eq!(keys_in_order(&t, Tier::T1).last(), Some(&1));
+        assert!(!t.demote(&99));
+        t.check_invariants();
+    }
+
+    #[test]
+    fn demote_into_full_t1_evicts_demoted_entry() {
+        let mut t = TwoTierTable::new(2, 2, 2);
+        t.record(9);
+        t.record(9); // 9 in T2
+        t.record(1);
+        t.record(2); // T1 full
+        assert!(t.demote(&9));
+        // T1 was full, so the demoted entry (pushed to the back) is
+        // trimmed immediately — demotion into a full T1 is an eviction.
+        assert!(!t.contains(&9));
+        t.check_invariants();
+    }
+
+    #[test]
+    fn remove_returns_tally() {
+        let mut t = TwoTierTable::new(2, 2, 2);
+        t.record(5);
+        t.record(5);
+        t.record(5);
+        assert_eq!(t.remove(&5), Some(3));
+        assert_eq!(t.remove(&5), None);
+        assert!(t.is_empty());
+        t.check_invariants();
+    }
+
+    #[test]
+    fn slot_reuse_after_eviction() {
+        let mut t = TwoTierTable::new(1, 1, 2);
+        for k in 0..100 {
+            t.record(k);
+        }
+        assert_eq!(t.len(), 1);
+        assert!(t.nodes.len() <= 2, "slab should recycle slots");
+        t.check_invariants();
+    }
+
+    #[test]
+    fn entries_with_min_tally_sorted() {
+        let mut t = TwoTierTable::new(8, 8, 2);
+        for _ in 0..5 {
+            t.record("a");
+        }
+        for _ in 0..3 {
+            t.record("b");
+        }
+        t.record("c");
+        let top = t.entries_with_min_tally(2);
+        assert_eq!(top, vec![("a", 5), ("b", 3)]);
+        assert_eq!(t.entries_with_min_tally(100), vec![]);
+    }
+
+    #[test]
+    fn iter_yields_t2_then_t1() {
+        let mut t = TwoTierTable::new(4, 4, 2);
+        t.record(1);
+        t.record(1); // T2
+        t.record(2); // T1
+        let tiers: Vec<Tier> = t.iter().map(|(_, _, tier)| tier).collect();
+        assert_eq!(tiers, vec![Tier::T2, Tier::T1]);
+    }
+
+    #[test]
+    fn clear_empties_table() {
+        let mut t = TwoTierTable::new(4, 4, 2);
+        t.record(1);
+        t.record(2);
+        t.clear();
+        assert!(t.is_empty());
+        assert!(!t.contains(&1));
+        t.record(3);
+        assert_eq!(t.len(), 1);
+        t.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        TwoTierTable::<u32>::new(0, 1, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be at least 2")]
+    fn threshold_one_panics() {
+        TwoTierTable::<u32>::new(1, 1, 1);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut t = TwoTierTable::new(1, 1, 2);
+        t.record(1); // miss
+        t.record(1); // hit + promotion
+        t.record(2); // miss
+        t.record(3); // miss + eviction of 2
+        let s = t.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 3);
+        assert_eq!(s.promotions, 1);
+        assert_eq!(s.evictions, 1);
+    }
+}

@@ -1,0 +1,59 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error constructing an [`Extent`](crate::Extent) or
+/// [`ExtentPair`](crate::ExtentPair).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExtentError {
+    /// An extent must cover at least one block.
+    ZeroLength,
+    /// The extent would run past the end of the 64-bit block number space.
+    Overflow { start: u64, len: u32 },
+    /// A pair must consist of two distinct extents.
+    IdenticalPair,
+}
+
+impl fmt::Display for ExtentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtentError::ZeroLength => write!(f, "extent length must be at least one block"),
+            ExtentError::Overflow { start, len } => {
+                write!(f, "extent {start}+{len} overflows the block number space")
+            }
+            ExtentError::IdenticalPair => {
+                write!(f, "an extent pair must contain two distinct extents")
+            }
+        }
+    }
+}
+
+impl Error for ExtentError {}
+
+/// Error parsing a trace record from its textual (MSR CSV) form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    line: usize,
+    message: String,
+}
+
+impl TraceParseError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> Self {
+        TraceParseError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based line number the error occurred on.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for TraceParseError {}

@@ -1,0 +1,362 @@
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ExtentError;
+
+/// A contiguous run of file-system blocks: a starting block number and a
+/// length in blocks.
+///
+/// The block layer expresses I/O requests in exactly this form, and the
+/// paper's core observation (§III-A) is that correlating *extents* instead
+/// of individual blocks keeps the number of pairings quadratic in the
+/// number of requests rather than in the number of blocks.
+///
+/// Extents are ordered first by starting block, then by length, which gives
+/// the canonical ordering used by [`ExtentPair`].
+///
+/// # Examples
+///
+/// ```
+/// use rtdac_types::Extent;
+///
+/// let e = Extent::new(100, 4)?;
+/// assert_eq!(e.start(), 100);
+/// assert_eq!(e.len(), 4);
+/// assert_eq!(e.end(), 104); // exclusive
+/// assert!(e.contains_block(103));
+/// assert!(!e.contains_block(104));
+/// # Ok::<(), rtdac_types::ExtentError>(())
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Extent {
+    start: u64,
+    len: u32,
+}
+
+impl Extent {
+    /// Creates an extent starting at block `start` covering `len` blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExtentError::ZeroLength`] if `len == 0`, and
+    /// [`ExtentError::Overflow`] if `start + len` does not fit in a `u64`.
+    pub fn new(start: u64, len: u32) -> Result<Self, ExtentError> {
+        if len == 0 {
+            return Err(ExtentError::ZeroLength);
+        }
+        if start.checked_add(u64::from(len)).is_none() {
+            return Err(ExtentError::Overflow { start, len });
+        }
+        Ok(Extent { start, len })
+    }
+
+    /// Creates a single-block extent at `block`.
+    ///
+    /// ```
+    /// use rtdac_types::Extent;
+    /// assert_eq!(Extent::block(7).len(), 1);
+    /// ```
+    pub fn block(block: u64) -> Self {
+        Extent {
+            start: block,
+            len: 1,
+        }
+    }
+
+    /// Starting block number.
+    pub fn start(&self) -> u64 {
+        self.start
+    }
+
+    /// Length in blocks; always at least 1.
+    #[allow(clippy::len_without_is_empty)] // an extent is never empty
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// One past the last block covered (exclusive end).
+    pub fn end(&self) -> u64 {
+        self.start + u64::from(self.len)
+    }
+
+    /// Whether `block` falls inside this extent.
+    pub fn contains_block(&self, block: u64) -> bool {
+        block >= self.start && block < self.end()
+    }
+
+    /// Whether this extent shares at least one block with `other`.
+    ///
+    /// ```
+    /// use rtdac_types::Extent;
+    /// let a = Extent::new(100, 4)?;
+    /// assert!(a.overlaps(&Extent::new(103, 2)?));
+    /// assert!(!a.overlaps(&Extent::new(104, 2)?));
+    /// # Ok::<(), rtdac_types::ExtentError>(())
+    /// ```
+    pub fn overlaps(&self, other: &Extent) -> bool {
+        self.start < other.end() && other.start < self.end()
+    }
+
+    /// Whether `other` begins exactly where this extent ends (or vice
+    /// versa), i.e. the two form one sequential run.
+    pub fn adjacent(&self, other: &Extent) -> bool {
+        self.end() == other.start || other.end() == self.start
+    }
+
+    /// Iterator over the block numbers covered by this extent.
+    ///
+    /// ```
+    /// use rtdac_types::Extent;
+    /// let blocks: Vec<u64> = Extent::new(5, 3)?.blocks().collect();
+    /// assert_eq!(blocks, vec![5, 6, 7]);
+    /// # Ok::<(), rtdac_types::ExtentError>(())
+    /// ```
+    pub fn blocks(&self) -> impl Iterator<Item = u64> {
+        self.start..self.end()
+    }
+
+    /// Number of intra-request block correlations this extent implies:
+    /// `C(len, 2)` unique pairs of its own blocks (§II-A).
+    ///
+    /// ```
+    /// use rtdac_types::Extent;
+    /// assert_eq!(Extent::new(100, 4)?.intra_block_pairs(), 6);
+    /// # Ok::<(), rtdac_types::ExtentError>(())
+    /// ```
+    pub fn intra_block_pairs(&self) -> u64 {
+        let n = u64::from(self.len);
+        n * (n - 1) / 2
+    }
+}
+
+impl fmt::Debug for Extent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Extent({}+{})", self.start, self.len)
+    }
+}
+
+impl fmt::Display for Extent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}+{}", self.start, self.len)
+    }
+}
+
+/// An unordered pair of *distinct* extents requested within the same
+/// transaction — the unit the paper's correlation table stores.
+///
+/// The pair is canonicalized on construction (smaller extent first), so
+/// `ExtentPair::new(a, b)` and `ExtentPair::new(b, a)` compare equal and
+/// hash identically.
+///
+/// # Examples
+///
+/// ```
+/// use rtdac_types::{Extent, ExtentPair};
+///
+/// let a = Extent::new(100, 4)?;
+/// let b = Extent::new(200, 3)?;
+/// assert_eq!(ExtentPair::new(a, b), ExtentPair::new(b, a));
+/// # Ok::<(), rtdac_types::ExtentError>(())
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ExtentPair {
+    first: Extent,
+    second: Extent,
+}
+
+impl ExtentPair {
+    /// Creates a canonical pair from two distinct extents, in either order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExtentError::IdenticalPair`] if `a == b`.
+    pub fn new(a: Extent, b: Extent) -> Result<Self, ExtentError> {
+        match a.cmp(&b) {
+            Ordering::Less => Ok(ExtentPair {
+                first: a,
+                second: b,
+            }),
+            Ordering::Greater => Ok(ExtentPair {
+                first: b,
+                second: a,
+            }),
+            Ordering::Equal => Err(ExtentError::IdenticalPair),
+        }
+    }
+
+    /// The smaller extent of the pair under canonical ordering.
+    pub fn first(&self) -> Extent {
+        self.first
+    }
+
+    /// The larger extent of the pair under canonical ordering.
+    pub fn second(&self) -> Extent {
+        self.second
+    }
+
+    /// Whether `extent` is one of the two members.
+    pub fn contains(&self, extent: &Extent) -> bool {
+        self.first == *extent || self.second == *extent
+    }
+
+    /// Given one member of the pair, returns the other; `None` if `extent`
+    /// is not a member.
+    pub fn other(&self, extent: &Extent) -> Option<Extent> {
+        if self.first == *extent {
+            Some(self.second)
+        } else if self.second == *extent {
+            Some(self.first)
+        } else {
+            None
+        }
+    }
+
+    /// Number of inter-request block correlations the pair implies:
+    /// `n × m` for extents of `n` and `m` blocks (§II-A).
+    ///
+    /// ```
+    /// use rtdac_types::{Extent, ExtentPair};
+    /// let p = ExtentPair::new(Extent::new(100, 4)?, Extent::new(200, 3)?).unwrap();
+    /// assert_eq!(p.inter_block_pairs(), 12);
+    /// # Ok::<(), rtdac_types::ExtentError>(())
+    /// ```
+    pub fn inter_block_pairs(&self) -> u64 {
+        u64::from(self.first.len()) * u64::from(self.second.len())
+    }
+
+    /// Iterator over every `(block_a, block_b)` cross-product pair, the
+    /// block-level correlations this extent pair summarizes. Used when
+    /// rendering pair heat maps (Figs. 7–8).
+    pub fn block_pairs(&self) -> impl Iterator<Item = (u64, u64)> {
+        let second = self.second;
+        self.first
+            .blocks()
+            .flat_map(move |a| second.blocks().map(move |b| (a, b)))
+    }
+}
+
+impl fmt::Debug for ExtentPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ExtentPair({} ~ {})", self.first, self.second)
+    }
+}
+
+impl fmt::Display for ExtentPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ~ {}", self.first, self.second)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extent_new_validates_length() {
+        assert_eq!(Extent::new(10, 0), Err(ExtentError::ZeroLength));
+        assert!(Extent::new(10, 1).is_ok());
+    }
+
+    #[test]
+    fn extent_new_validates_overflow() {
+        assert_eq!(
+            Extent::new(u64::MAX, 1),
+            Err(ExtentError::Overflow {
+                start: u64::MAX,
+                len: 1
+            })
+        );
+        assert!(Extent::new(u64::MAX - 4, 4).is_ok());
+    }
+
+    #[test]
+    fn extent_geometry() {
+        let e = Extent::new(100, 4).unwrap();
+        assert_eq!(e.end(), 104);
+        assert!(e.contains_block(100));
+        assert!(e.contains_block(103));
+        assert!(!e.contains_block(99));
+        assert!(!e.contains_block(104));
+        assert_eq!(e.blocks().collect::<Vec<_>>(), vec![100, 101, 102, 103]);
+    }
+
+    #[test]
+    fn extent_overlap_and_adjacency() {
+        let a = Extent::new(100, 4).unwrap();
+        assert!(a.overlaps(&a));
+        assert!(a.overlaps(&Extent::new(102, 10).unwrap()));
+        assert!(!a.overlaps(&Extent::new(104, 1).unwrap()));
+        assert!(a.adjacent(&Extent::new(104, 1).unwrap()));
+        assert!(Extent::new(104, 1).unwrap().adjacent(&a));
+        assert!(!a.adjacent(&Extent::new(105, 1).unwrap()));
+    }
+
+    #[test]
+    fn fig2_block_correlation_counts() {
+        // The paper's Fig. 2: requests 100+4 and 200+3 imply
+        // C(4,2) + C(3,2) = 9 intra and 4*3 = 12 inter block correlations.
+        let a = Extent::new(100, 4).unwrap();
+        let b = Extent::new(200, 3).unwrap();
+        assert_eq!(a.intra_block_pairs(), 6);
+        assert_eq!(b.intra_block_pairs(), 3);
+        let p = ExtentPair::new(a, b).unwrap();
+        assert_eq!(p.inter_block_pairs(), 12);
+        assert_eq!(p.block_pairs().count(), 12);
+    }
+
+    #[test]
+    fn single_block_extent_has_no_intra_pairs() {
+        assert_eq!(Extent::block(42).intra_block_pairs(), 0);
+    }
+
+    #[test]
+    fn pair_is_canonical() {
+        let a = Extent::new(100, 4).unwrap();
+        let b = Extent::new(200, 3).unwrap();
+        let p1 = ExtentPair::new(a, b).unwrap();
+        let p2 = ExtentPair::new(b, a).unwrap();
+        assert_eq!(p1, p2);
+        assert_eq!(p1.first(), a);
+        assert_eq!(p1.second(), b);
+    }
+
+    #[test]
+    fn pair_same_start_different_len_is_canonical_by_len() {
+        let short = Extent::new(100, 2).unwrap();
+        let long = Extent::new(100, 9).unwrap();
+        let p = ExtentPair::new(long, short).unwrap();
+        assert_eq!(p.first(), short);
+        assert_eq!(p.second(), long);
+    }
+
+    #[test]
+    fn pair_rejects_identical() {
+        let a = Extent::new(1, 1).unwrap();
+        assert_eq!(ExtentPair::new(a, a), Err(ExtentError::IdenticalPair));
+    }
+
+    #[test]
+    fn pair_membership() {
+        let a = Extent::new(1, 1).unwrap();
+        let b = Extent::new(2, 1).unwrap();
+        let c = Extent::new(3, 1).unwrap();
+        let p = ExtentPair::new(a, b).unwrap();
+        assert!(p.contains(&a));
+        assert!(p.contains(&b));
+        assert!(!p.contains(&c));
+        assert_eq!(p.other(&a), Some(b));
+        assert_eq!(p.other(&b), Some(a));
+        assert_eq!(p.other(&c), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = Extent::new(100, 4).unwrap();
+        assert_eq!(e.to_string(), "100+4");
+        assert_eq!(format!("{e:?}"), "Extent(100+4)");
+        let p = ExtentPair::new(e, Extent::new(200, 3).unwrap()).unwrap();
+        assert_eq!(p.to_string(), "100+4 ~ 200+3");
+    }
+}

@@ -1,0 +1,40 @@
+//! Fundamental data types for the `rtdac` framework.
+//!
+//! This crate models the block layer exactly as the paper does: disk I/O
+//! requests are *extents* (a starting block number plus a length in
+//! blocks), requests close together in time form *transactions*, and pairs
+//! of extents requested in the same transaction form *extent correlations*.
+//!
+//! # Examples
+//!
+//! Reproducing the worked example of Fig. 2 of the paper — two requests in
+//! one transaction, `100+4` and `200+3`:
+//!
+//! ```
+//! use rtdac_types::{Extent, ExtentPair};
+//!
+//! let a = Extent::new(100, 4)?;
+//! let b = Extent::new(200, 3)?;
+//!
+//! // 9 intra-request block correlations: C(4,2) + C(3,2)
+//! assert_eq!(a.intra_block_pairs() + b.intra_block_pairs(), 9);
+//!
+//! // 12 inter-request block correlations: 4 × 3
+//! let pair = ExtentPair::new(a, b).unwrap();
+//! assert_eq!(pair.inter_block_pairs(), 12);
+//! # Ok::<(), rtdac_types::ExtentError>(())
+//! ```
+
+mod error;
+mod extent;
+mod request;
+mod time;
+mod trace;
+mod transaction;
+
+pub use error::{ExtentError, TraceParseError};
+pub use extent::{Extent, ExtentPair};
+pub use request::{IoEvent, IoOp, IoRequest, Pid};
+pub use time::Timestamp;
+pub use trace::{Trace, TraceStats, BLOCK_SIZE};
+pub use transaction::{Transaction, TransactionItem};

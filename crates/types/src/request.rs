@@ -1,0 +1,183 @@
+use std::fmt;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::extent::Extent;
+use crate::time::Timestamp;
+
+/// Process identifier attached to a block-layer event.
+///
+/// The paper's monitoring module filters blktrace events by PID/process
+/// group so that only the replayed workload is measured (§III-C).
+pub type Pid = u32;
+
+/// Direction of an I/O request.
+///
+/// The paper notes that correlation *types* (read vs write) enable
+/// different optimizations: correlated writes inform multi-stream garbage
+/// collection, correlated reads inform parallel data placement (§V).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum IoOp {
+    /// A read request.
+    Read,
+    /// A write request.
+    Write,
+}
+
+impl IoOp {
+    /// Returns `true` for [`IoOp::Read`].
+    pub fn is_read(&self) -> bool {
+        matches!(self, IoOp::Read)
+    }
+
+    /// Returns `true` for [`IoOp::Write`].
+    pub fn is_write(&self) -> bool {
+        matches!(self, IoOp::Write)
+    }
+}
+
+impl fmt::Display for IoOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoOp::Read => f.write_str("R"),
+            IoOp::Write => f.write_str("W"),
+        }
+    }
+}
+
+/// An I/O request as recorded in a workload trace: what was asked of the
+/// storage device and when.
+///
+/// `latency` is the device response time recorded by the original tracing
+/// system, when known. The MSR Cambridge traces carry this (their HDD-era
+/// latencies are what Table II's replay speedups are computed from).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct IoRequest {
+    /// Arrival time relative to trace start.
+    pub time: Timestamp,
+    /// Issuing process.
+    pub pid: Pid,
+    /// Read or write.
+    pub op: IoOp,
+    /// The blocks requested.
+    pub extent: Extent,
+    /// Device response time recorded in the trace, if any.
+    pub latency: Option<Duration>,
+}
+
+impl IoRequest {
+    /// Creates a request with no recorded latency.
+    ///
+    /// ```
+    /// use rtdac_types::{Extent, IoOp, IoRequest, Timestamp};
+    ///
+    /// let r = IoRequest::new(Timestamp::from_micros(10), 1, IoOp::Read,
+    ///                        Extent::new(100, 4)?);
+    /// assert!(r.latency.is_none());
+    /// # Ok::<(), rtdac_types::ExtentError>(())
+    /// ```
+    pub fn new(time: Timestamp, pid: Pid, op: IoOp, extent: Extent) -> Self {
+        IoRequest {
+            time,
+            pid,
+            op,
+            extent,
+            latency: None,
+        }
+    }
+
+    /// Returns a copy with the recorded latency set.
+    pub fn with_latency(mut self, latency: Duration) -> Self {
+        self.latency = Some(latency);
+        self
+    }
+
+    /// Size of the request in bytes given the block size.
+    pub fn bytes(&self, block_size: u32) -> u64 {
+        u64::from(self.extent.len()) * u64::from(block_size)
+    }
+}
+
+/// A block-layer "issue" event as observed live by the monitoring module —
+/// the simulated analogue of one blktrace record (§III-C).
+///
+/// Unlike [`IoRequest`] (what the workload *asked for*), an `IoEvent` is
+/// what the monitored device *saw*: its timestamp is the issue time during
+/// (possibly accelerated) replay and its latency is the measured response
+/// of the device under test.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct IoEvent {
+    /// Issue time on the monitored system.
+    pub timestamp: Timestamp,
+    /// Issuing process.
+    pub pid: Pid,
+    /// Read or write.
+    pub op: IoOp,
+    /// The blocks requested.
+    pub extent: Extent,
+    /// Measured completion latency of this request.
+    pub latency: Duration,
+}
+
+impl IoEvent {
+    /// Creates an issue event.
+    ///
+    /// ```
+    /// use rtdac_types::{Extent, IoEvent, IoOp, Timestamp};
+    /// use std::time::Duration;
+    ///
+    /// let ev = IoEvent::new(Timestamp::from_micros(5), 42, IoOp::Write,
+    ///                       Extent::new(0, 8)?, Duration::from_micros(40));
+    /// assert_eq!(ev.extent.len(), 8);
+    /// # Ok::<(), rtdac_types::ExtentError>(())
+    /// ```
+    pub fn new(
+        timestamp: Timestamp,
+        pid: Pid,
+        op: IoOp,
+        extent: Extent,
+        latency: Duration,
+    ) -> Self {
+        IoEvent {
+            timestamp,
+            pid,
+            op,
+            extent,
+            latency,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_predicates() {
+        assert!(IoOp::Read.is_read());
+        assert!(!IoOp::Read.is_write());
+        assert!(IoOp::Write.is_write());
+        assert_eq!(IoOp::Read.to_string(), "R");
+        assert_eq!(IoOp::Write.to_string(), "W");
+    }
+
+    #[test]
+    fn request_bytes() {
+        let r = IoRequest::new(
+            Timestamp::ZERO,
+            1,
+            IoOp::Read,
+            Extent::new(0, 4).unwrap(),
+        );
+        assert_eq!(r.bytes(512), 2048);
+        assert_eq!(r.bytes(4096), 16384);
+    }
+
+    #[test]
+    fn request_with_latency() {
+        let r = IoRequest::new(Timestamp::ZERO, 1, IoOp::Read, Extent::block(0))
+            .with_latency(Duration::from_millis(3));
+        assert_eq!(r.latency, Some(Duration::from_millis(3)));
+    }
+}

@@ -1,0 +1,148 @@
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// A point in trace time, measured in nanoseconds from the start of the
+/// trace.
+///
+/// Trace timestamps are relative, monotone, and nanosecond-granular so that
+/// replay acceleration of several hundred times (Table II of the paper
+/// reaches 473×) still resolves distinct arrival times.
+///
+/// # Examples
+///
+/// ```
+/// use rtdac_types::Timestamp;
+/// use std::time::Duration;
+///
+/// let t = Timestamp::from_micros(150);
+/// assert_eq!(t + Duration::from_micros(50), Timestamp::from_micros(200));
+/// assert_eq!(Timestamp::from_micros(200) - t, Duration::from_micros(50));
+/// ```
+#[derive(
+    Copy, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Timestamp(u64);
+
+impl Timestamp {
+    /// Trace time zero.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// Creates a timestamp from nanoseconds since trace start.
+    pub fn from_nanos(nanos: u64) -> Self {
+        Timestamp(nanos)
+    }
+
+    /// Creates a timestamp from microseconds since trace start.
+    pub fn from_micros(micros: u64) -> Self {
+        Timestamp(micros * 1_000)
+    }
+
+    /// Creates a timestamp from milliseconds since trace start.
+    pub fn from_millis(millis: u64) -> Self {
+        Timestamp(millis * 1_000_000)
+    }
+
+    /// Creates a timestamp from (possibly fractional) seconds since trace
+    /// start. Negative values saturate to zero.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        Timestamp((secs.max(0.0) * 1e9).round() as u64)
+    }
+
+    /// Nanoseconds since trace start.
+    pub fn as_nanos(&self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds since trace start (truncating).
+    pub fn as_micros(&self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Seconds since trace start as a float.
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The duration elapsed since `earlier`, saturating to zero if
+    /// `earlier` is later than `self`.
+    pub fn saturating_since(&self, earlier: Timestamp) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<Duration> for Timestamp {
+    type Output = Timestamp;
+
+    fn add(self, rhs: Duration) -> Timestamp {
+        Timestamp(self.0 + rhs.as_nanos() as u64)
+    }
+}
+
+impl AddAssign<Duration> for Timestamp {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.as_nanos() as u64;
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = Duration;
+
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`; use
+    /// [`Timestamp::saturating_since`] when order is not guaranteed.
+    fn sub(self, rhs: Timestamp) -> Duration {
+        debug_assert!(self.0 >= rhs.0, "timestamp subtraction went negative");
+        Duration::from_nanos(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Debug for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Timestamp({}ns)", self.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(Timestamp::from_micros(5).as_nanos(), 5_000);
+        assert_eq!(Timestamp::from_millis(2).as_micros(), 2_000);
+        assert_eq!(Timestamp::from_secs_f64(1.5).as_nanos(), 1_500_000_000);
+        assert_eq!(Timestamp::from_secs_f64(-3.0), Timestamp::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Timestamp::from_micros(100);
+        let later = t + Duration::from_micros(50);
+        assert_eq!(later - t, Duration::from_micros(50));
+        assert_eq!(t.saturating_since(later), Duration::ZERO);
+        let mut u = t;
+        u += Duration::from_micros(1);
+        assert_eq!(u.as_micros(), 101);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Timestamp::from_micros(1) < Timestamp::from_micros(2));
+        assert_eq!(Timestamp::ZERO, Timestamp::from_nanos(0));
+    }
+
+    #[test]
+    fn display_is_seconds() {
+        assert_eq!(Timestamp::from_millis(1500).to_string(), "1.500000s");
+    }
+}

@@ -1,0 +1,482 @@
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, Write};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TraceParseError;
+use crate::request::{IoOp, IoRequest};
+use crate::time::Timestamp;
+
+/// Number of bytes per file-system block throughout this workspace.
+///
+/// The paper works at 512 B sector granularity (its smallest request is
+/// 512 B); we adopt the same.
+pub const BLOCK_SIZE: u32 = 512;
+
+/// A block-level workload trace: an ordered sequence of [`IoRequest`]s.
+///
+/// Traces are what the replayer replays, what the offline baselines are
+/// mined from, and what the workload generators produce. Requests must be
+/// in non-decreasing timestamp order; [`Trace::push`] enforces this.
+///
+/// # Examples
+///
+/// ```
+/// use rtdac_types::{Extent, IoOp, IoRequest, Timestamp, Trace};
+///
+/// let mut trace = Trace::new("demo");
+/// trace.push(IoRequest::new(Timestamp::ZERO, 1, IoOp::Read, Extent::new(0, 8)?));
+/// trace.push(IoRequest::new(Timestamp::from_micros(50), 1, IoOp::Write,
+///                           Extent::new(64, 16)?));
+/// assert_eq!(trace.len(), 2);
+/// let stats = trace.stats();
+/// assert_eq!(stats.total_bytes, (8 + 16) * 512);
+/// # Ok::<(), rtdac_types::ExtentError>(())
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    name: String,
+    requests: Vec<IoRequest>,
+}
+
+impl Trace {
+    /// Creates an empty trace with a human-readable name (e.g. `"wdev"`).
+    pub fn new(name: impl Into<String>) -> Self {
+        Trace {
+            name: name.into(),
+            requests: Vec::new(),
+        }
+    }
+
+    /// The trace's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a request.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `request.time` precedes the last request's
+    /// time — traces are timestamp-ordered by construction.
+    pub fn push(&mut self, request: IoRequest) {
+        if let Some(last) = self.requests.last() {
+            debug_assert!(
+                request.time >= last.time,
+                "trace requests must be pushed in timestamp order"
+            );
+        }
+        self.requests.push(request);
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the trace holds no requests.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// The requests in timestamp order.
+    pub fn requests(&self) -> &[IoRequest] {
+        &self.requests
+    }
+
+    /// Iterator over the requests.
+    pub fn iter(&self) -> std::slice::Iter<'_, IoRequest> {
+        self.requests.iter()
+    }
+
+    /// Returns the first `n` requests as a new trace (used by the
+    /// concept-drift experiment, which replays 100 K-request prefixes).
+    pub fn prefix(&self, n: usize) -> Trace {
+        Trace {
+            name: self.name.clone(),
+            requests: self.requests[..n.min(self.requests.len())].to_vec(),
+        }
+    }
+
+    /// Returns requests `[from, to)` as a new trace.
+    pub fn slice(&self, from: usize, to: usize) -> Trace {
+        let to = to.min(self.requests.len());
+        let from = from.min(to);
+        Trace {
+            name: self.name.clone(),
+            requests: self.requests[from..to].to_vec(),
+        }
+    }
+
+    /// Workload statistics in the shape of the paper's Table I.
+    pub fn stats(&self) -> TraceStats {
+        let mut total_bytes: u64 = 0;
+        let mut covered: BTreeMap<u64, u64> = BTreeMap::new(); // start -> end, disjoint
+        let mut fast_interarrivals: u64 = 0;
+        let mut latency_sum = Duration::ZERO;
+        let mut latency_count: u64 = 0;
+        let mut prev_time: Option<Timestamp> = None;
+        let mut reads: u64 = 0;
+
+        for req in &self.requests {
+            total_bytes += req.bytes(BLOCK_SIZE);
+            if req.op.is_read() {
+                reads += 1;
+            }
+            insert_interval(&mut covered, req.extent.start(), req.extent.end());
+            if let Some(prev) = prev_time {
+                if req.time.saturating_since(prev) < Duration::from_micros(100) {
+                    fast_interarrivals += 1;
+                }
+            }
+            prev_time = Some(req.time);
+            if let Some(lat) = req.latency {
+                latency_sum += lat;
+                latency_count += 1;
+            }
+        }
+
+        let unique_blocks: u64 = covered.iter().map(|(s, e)| e - s).sum();
+        let n = self.requests.len() as u64;
+        TraceStats {
+            requests: n,
+            reads,
+            writes: n - reads,
+            total_bytes,
+            unique_bytes: unique_blocks * u64::from(BLOCK_SIZE),
+            fast_interarrival_fraction: if n > 1 {
+                fast_interarrivals as f64 / (n - 1) as f64
+            } else {
+                0.0
+            },
+            mean_recorded_latency: if latency_count > 0 {
+                Some(latency_sum / latency_count as u32)
+            } else {
+                None
+            },
+            duration: self
+                .requests
+                .last()
+                .map(|r| r.time.saturating_since(Timestamp::ZERO))
+                .unwrap_or(Duration::ZERO),
+            max_block: covered.iter().next_back().map(|(_, e)| *e).unwrap_or(0),
+        }
+    }
+
+    /// Writes the trace in MSR Cambridge CSV format:
+    /// `Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime`
+    /// with Windows filetime timestamps (100 ns ticks), byte offsets/sizes,
+    /// and response time in units of 100 ns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from `writer`.
+    pub fn write_msr_csv<W: Write>(&self, mut writer: W) -> io::Result<()> {
+        for req in &self.requests {
+            let ticks = req.time.as_nanos() / 100;
+            let ty = if req.op.is_read() { "Read" } else { "Write" };
+            let offset = req.extent.start() * u64::from(BLOCK_SIZE);
+            let size = u64::from(req.extent.len()) * u64::from(BLOCK_SIZE);
+            let response = req
+                .latency
+                .map(|d| d.as_nanos() as u64 / 100)
+                .unwrap_or(0);
+            writeln!(
+                writer,
+                "{ticks},{},{},{ty},{offset},{size},{response}",
+                self.name, 0
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Reads a trace from MSR Cambridge CSV format (see
+    /// [`Trace::write_msr_csv`]). Offsets and sizes are converted to
+    /// 512-byte blocks (rounding the extent outward to block boundaries);
+    /// the first record's timestamp becomes trace time zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceParseError`] on malformed records and propagates I/O
+    /// errors from `reader` as a parse error carrying the failing line.
+    pub fn read_msr_csv<R: BufRead>(
+        name: impl Into<String>,
+        reader: R,
+    ) -> Result<Trace, TraceParseError> {
+        let mut trace = Trace::new(name);
+        let mut base_ticks: Option<u64> = None;
+        for (idx, line) in reader.lines().enumerate() {
+            let lineno = idx + 1;
+            let line =
+                line.map_err(|e| TraceParseError::new(lineno, format!("read failed: {e}")))?;
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() < 6 {
+                return Err(TraceParseError::new(lineno, "expected at least 6 fields"));
+            }
+            let ticks: u64 = fields[0]
+                .parse()
+                .map_err(|_| TraceParseError::new(lineno, "bad timestamp"))?;
+            let op = match fields[3].trim() {
+                t if t.eq_ignore_ascii_case("read") => IoOp::Read,
+                t if t.eq_ignore_ascii_case("write") => IoOp::Write,
+                other => {
+                    return Err(TraceParseError::new(lineno, format!("bad op `{other}`")));
+                }
+            };
+            let offset: u64 = fields[4]
+                .parse()
+                .map_err(|_| TraceParseError::new(lineno, "bad offset"))?;
+            let size: u64 = fields[5]
+                .parse()
+                .map_err(|_| TraceParseError::new(lineno, "bad size"))?;
+            let response: Option<u64> = fields.get(6).and_then(|f| f.trim().parse().ok());
+
+            let base = *base_ticks.get_or_insert(ticks);
+            let rel_ns = ticks.saturating_sub(base) * 100;
+
+            let block_size = u64::from(BLOCK_SIZE);
+            let start_block = offset / block_size;
+            let end_block = (offset + size.max(1)).div_ceil(block_size);
+            let len = (end_block - start_block).min(u64::from(u32::MAX)) as u32;
+            let extent = crate::Extent::new(start_block, len.max(1))
+                .map_err(|e| TraceParseError::new(lineno, e.to_string()))?;
+
+            let mut req = IoRequest::new(Timestamp::from_nanos(rel_ns), 0, op, extent);
+            if let Some(r) = response {
+                req = req.with_latency(Duration::from_nanos(r * 100));
+            }
+            trace.push(req);
+        }
+        Ok(trace)
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a IoRequest;
+    type IntoIter = std::slice::Iter<'a, IoRequest>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.requests.iter()
+    }
+}
+
+impl Extend<IoRequest> for Trace {
+    fn extend<T: IntoIterator<Item = IoRequest>>(&mut self, iter: T) {
+        for req in iter {
+            self.push(req);
+        }
+    }
+}
+
+/// Summary statistics of a [`Trace`], matching the columns of the paper's
+/// Table I plus a few extras used elsewhere in the evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Number of requests.
+    pub requests: u64,
+    /// Number of read requests.
+    pub reads: u64,
+    /// Number of write requests.
+    pub writes: u64,
+    /// Total data accessed (bytes, counting repeats).
+    pub total_bytes: u64,
+    /// Unique data accessed (bytes, footprint).
+    pub unique_bytes: u64,
+    /// Fraction of interarrival gaps shorter than 100 µs (Table I's
+    /// rightmost column).
+    pub fast_interarrival_fraction: f64,
+    /// Mean latency recorded in the trace, if latencies are present
+    /// (Table II's "mean trace latency").
+    pub mean_recorded_latency: Option<Duration>,
+    /// Time of the last request.
+    pub duration: Duration,
+    /// One past the highest block touched (the trace's number-space size).
+    pub max_block: u64,
+}
+
+impl TraceStats {
+    /// Total data accessed in gigabytes (10^9 bytes, as the paper reports).
+    pub fn total_gb(&self) -> f64 {
+        self.total_bytes as f64 / 1e9
+    }
+
+    /// Unique data accessed in gigabytes.
+    pub fn unique_gb(&self) -> f64 {
+        self.unique_bytes as f64 / 1e9
+    }
+
+    /// Ratio of total to unique data — how many times the footprint is
+    /// re-accessed on average.
+    pub fn reuse_ratio(&self) -> f64 {
+        if self.unique_bytes == 0 {
+            0.0
+        } else {
+            self.total_bytes as f64 / self.unique_bytes as f64
+        }
+    }
+}
+
+/// Inserts `[start, end)` into a disjoint interval map, merging overlaps.
+fn insert_interval(map: &mut BTreeMap<u64, u64>, mut start: u64, mut end: u64) {
+    // Merge with a predecessor that overlaps or touches.
+    if let Some((&ps, &pe)) = map.range(..=start).next_back() {
+        if pe >= start {
+            if pe >= end {
+                return; // fully covered
+            }
+            start = ps;
+            end = end.max(pe);
+            map.remove(&ps);
+        }
+    }
+    // Merge with successors swallowed by the new interval.
+    loop {
+        let next = map.range(start..).next().map(|(&s, &e)| (s, e));
+        match next {
+            Some((s, e)) if s <= end => {
+                end = end.max(e);
+                map.remove(&s);
+            }
+            _ => break,
+        }
+    }
+    map.insert(start, end);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Extent;
+
+    fn req(us: u64, start: u64, len: u32, op: IoOp) -> IoRequest {
+        IoRequest::new(
+            Timestamp::from_micros(us),
+            1,
+            op,
+            Extent::new(start, len).unwrap(),
+        )
+    }
+
+    #[test]
+    fn stats_total_vs_unique() {
+        let mut t = Trace::new("t");
+        t.push(req(0, 0, 8, IoOp::Read));
+        t.push(req(10, 0, 8, IoOp::Read)); // repeat: total grows, unique doesn't
+        t.push(req(20, 100, 4, IoOp::Write));
+        let s = t.stats();
+        assert_eq!(s.total_bytes, (8 + 8 + 4) * 512);
+        assert_eq!(s.unique_bytes, (8 + 4) * 512);
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.writes, 1);
+        assert!((s.reuse_ratio() - 20.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_unique_merges_overlaps() {
+        let mut t = Trace::new("t");
+        t.push(req(0, 0, 8, IoOp::Read));
+        t.push(req(1, 4, 8, IoOp::Read)); // overlaps [0,8): union is [0,12)
+        t.push(req(2, 20, 2, IoOp::Read));
+        t.push(req(3, 10, 10, IoOp::Read)); // bridges [0,12) and [20,22)
+        let s = t.stats();
+        assert_eq!(s.unique_bytes, 22 * 512);
+        assert_eq!(s.max_block, 22);
+    }
+
+    #[test]
+    fn stats_fast_interarrival_fraction() {
+        let mut t = Trace::new("t");
+        t.push(req(0, 0, 1, IoOp::Read));
+        t.push(req(50, 1, 1, IoOp::Read)); // 50 µs gap: fast
+        t.push(req(250, 2, 1, IoOp::Read)); // 200 µs gap: slow
+        t.push(req(300, 3, 1, IoOp::Read)); // 50 µs gap: fast
+        let s = t.stats();
+        assert!((s.fast_interarrival_fraction - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_mean_latency() {
+        let mut t = Trace::new("t");
+        t.push(req(0, 0, 1, IoOp::Read).with_latency(Duration::from_millis(2)));
+        t.push(req(1, 1, 1, IoOp::Read).with_latency(Duration::from_millis(4)));
+        let s = t.stats();
+        assert_eq!(s.mean_recorded_latency, Some(Duration::from_millis(3)));
+        // And a trace without latencies reports none.
+        let mut u = Trace::new("u");
+        u.push(req(0, 0, 1, IoOp::Read));
+        assert_eq!(u.stats().mean_recorded_latency, None);
+    }
+
+    #[test]
+    fn empty_trace_stats() {
+        let s = Trace::new("e").stats();
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.total_bytes, 0);
+        assert_eq!(s.reuse_ratio(), 0.0);
+        assert_eq!(s.fast_interarrival_fraction, 0.0);
+    }
+
+    #[test]
+    fn prefix_and_slice() {
+        let mut t = Trace::new("t");
+        for i in 0..10 {
+            t.push(req(i, i, 1, IoOp::Read));
+        }
+        assert_eq!(t.prefix(3).len(), 3);
+        assert_eq!(t.prefix(100).len(), 10);
+        let s = t.slice(4, 7);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.requests()[0].extent.start(), 4);
+    }
+
+    #[test]
+    fn msr_csv_round_trip() {
+        let mut t = Trace::new("wdev");
+        t.push(req(0, 0, 8, IoOp::Read).with_latency(Duration::from_micros(300)));
+        t.push(req(120, 64, 16, IoOp::Write).with_latency(Duration::from_micros(500)));
+        let mut buf = Vec::new();
+        t.write_msr_csv(&mut buf).unwrap();
+        let parsed = Trace::read_msr_csv("wdev", buf.as_slice()).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed.requests()[0].extent, Extent::new(0, 8).unwrap());
+        assert_eq!(parsed.requests()[1].extent, Extent::new(64, 16).unwrap());
+        assert_eq!(parsed.requests()[1].op, IoOp::Write);
+        assert_eq!(
+            parsed.requests()[1].time,
+            Timestamp::from_micros(120)
+        );
+        assert_eq!(
+            parsed.requests()[0].latency,
+            Some(Duration::from_micros(300))
+        );
+    }
+
+    #[test]
+    fn msr_csv_rejects_garbage() {
+        let err = Trace::read_msr_csv("x", "not,a,trace".as_bytes()).unwrap_err();
+        assert_eq!(err.line(), 1);
+        let err =
+            Trace::read_msr_csv("x", "1,h,0,Frobnicate,0,512,0".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("bad op"));
+    }
+
+    #[test]
+    fn msr_csv_unaligned_offsets_round_outward() {
+        // Offset 600, size 100 straddles blocks 1 and 2.
+        let line = "0,h,0,Read,600,100,0";
+        let t = Trace::read_msr_csv("x", line.as_bytes()).unwrap();
+        let e = t.requests()[0].extent;
+        assert_eq!(e.start(), 1);
+        assert_eq!(e.len(), 1); // [600,700) fits inside block 1 ([512,1024))
+        let line2 = "0,h,0,Read,1000,100,0";
+        let t2 = Trace::read_msr_csv("x", line2.as_bytes()).unwrap();
+        let e2 = t2.requests()[0].extent;
+        assert_eq!(e2.start(), 1);
+        assert_eq!(e2.len(), 2); // [1000,1100) straddles blocks 1 and 2
+    }
+}

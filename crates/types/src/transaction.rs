@@ -1,0 +1,314 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::extent::{Extent, ExtentPair};
+use crate::request::IoOp;
+use crate::time::Timestamp;
+
+/// One request within a transaction: the extent together with its
+/// direction.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct TransactionItem {
+    /// The requested blocks.
+    pub extent: Extent,
+    /// Read or write.
+    pub op: IoOp,
+}
+
+impl TransactionItem {
+    /// Creates a transaction item.
+    pub fn new(extent: Extent, op: IoOp) -> Self {
+        TransactionItem { extent, op }
+    }
+}
+
+/// A set of I/O requests coincident in time — requested within one
+/// *transaction window* — and therefore considered correlated (§III-B).
+///
+/// Transactions are produced by the monitoring module and consumed by the
+/// online analysis module and the offline FIM baselines alike. Extents in
+/// a transaction are deduplicated by the monitor when so configured, since
+/// repeats of the same request in one window would otherwise distort
+/// correlation frequencies (§III-D2).
+///
+/// # Examples
+///
+/// ```
+/// use rtdac_types::{Extent, IoOp, Timestamp, Transaction};
+///
+/// let mut txn = Transaction::new(Timestamp::ZERO);
+/// txn.push(Extent::new(100, 4)?, IoOp::Read);
+/// txn.push(Extent::new(200, 3)?, IoOp::Read);
+/// assert_eq!(txn.len(), 2);
+/// assert_eq!(txn.unique_pairs().count(), 1); // one extent correlation
+/// # Ok::<(), rtdac_types::ExtentError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct Transaction {
+    start: Timestamp,
+    end: Timestamp,
+    items: Vec<TransactionItem>,
+}
+
+impl Transaction {
+    /// Creates an empty transaction opened at `start`.
+    pub fn new(start: Timestamp) -> Self {
+        Transaction {
+            start,
+            end: start,
+            items: Vec::new(),
+        }
+    }
+
+    /// Convenience constructor from extents (all marked as reads), used
+    /// heavily in tests and examples.
+    pub fn from_extents<I>(start: Timestamp, extents: I) -> Self
+    where
+        I: IntoIterator<Item = Extent>,
+    {
+        let mut txn = Transaction::new(start);
+        for e in extents {
+            txn.push(e, IoOp::Read);
+        }
+        txn
+    }
+
+    /// Appends a request to the transaction.
+    pub fn push(&mut self, extent: Extent, op: IoOp) {
+        self.items.push(TransactionItem::new(extent, op));
+    }
+
+    /// Appends a request and records its timestamp as the latest seen.
+    pub fn push_at(&mut self, time: Timestamp, extent: Extent, op: IoOp) {
+        if time > self.end {
+            self.end = time;
+        }
+        self.items.push(TransactionItem::new(extent, op));
+    }
+
+    /// Time the transaction window opened.
+    pub fn start(&self) -> Timestamp {
+        self.start
+    }
+
+    /// Timestamp of the latest request recorded via [`push_at`].
+    ///
+    /// [`push_at`]: Transaction::push_at
+    pub fn end(&self) -> Timestamp {
+        self.end
+    }
+
+    /// Number of requests in the transaction.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the transaction holds no requests.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The requests in arrival order.
+    pub fn items(&self) -> &[TransactionItem] {
+        &self.items
+    }
+
+    /// Iterator over the extents in arrival order (with duplicates, if the
+    /// producer did not deduplicate).
+    pub fn extents(&self) -> impl Iterator<Item = Extent> + '_ {
+        self.items.iter().map(|i| i.extent)
+    }
+
+    /// The distinct extents of the transaction, in first-appearance order.
+    pub fn unique_extents(&self) -> Vec<Extent> {
+        let mut seen = Vec::new();
+        for item in &self.items {
+            if !seen.contains(&item.extent) {
+                seen.push(item.extent);
+            }
+        }
+        seen
+    }
+
+    /// Removes duplicate extents in place, keeping the first occurrence of
+    /// each (the §III-D2 deduplication; quadratic like the paper's, which
+    /// is fine for transactions capped at 8 requests).
+    pub fn dedup(&mut self) {
+        let mut seen: Vec<Extent> = Vec::with_capacity(self.items.len());
+        self.items.retain(|item| {
+            if seen.contains(&item.extent) {
+                false
+            } else {
+                seen.push(item.extent);
+                true
+            }
+        });
+    }
+
+    /// Iterator over every unique pair of distinct extents in the
+    /// transaction — the C(N,2) extent correlations it implies (§III-A).
+    ///
+    /// Duplicate extents yield no self-pair, and each unordered pair is
+    /// produced once.
+    pub fn unique_pairs(&self) -> impl Iterator<Item = ExtentPair> + '_ {
+        let unique = self.unique_extents();
+        UniquePairs {
+            extents: unique,
+            i: 0,
+            j: 1,
+        }
+    }
+
+    /// Splits the transaction into chunks of at most `limit` requests,
+    /// mirroring the monitor's transaction-size limit: items beyond the
+    /// limit are "simply placed into a new transaction" (§III-D2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit == 0`.
+    pub fn split_by_limit(&self, limit: usize) -> Vec<Transaction> {
+        assert!(limit > 0, "transaction size limit must be positive");
+        self.items
+            .chunks(limit)
+            .map(|chunk| Transaction {
+                start: self.start,
+                end: self.end,
+                items: chunk.to_vec(),
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Transaction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "txn@{}[", self.start)?;
+        for (idx, item) in self.items.iter().enumerate() {
+            if idx > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{}{}", item.op, item.extent)?;
+        }
+        f.write_str("]")
+    }
+}
+
+struct UniquePairs {
+    extents: Vec<Extent>,
+    i: usize,
+    j: usize,
+}
+
+impl Iterator for UniquePairs {
+    type Item = ExtentPair;
+
+    fn next(&mut self) -> Option<ExtentPair> {
+        loop {
+            if self.i + 1 >= self.extents.len() {
+                return None;
+            }
+            if self.j >= self.extents.len() {
+                self.i += 1;
+                self.j = self.i + 1;
+                continue;
+            }
+            let a = self.extents[self.i];
+            let b = self.extents[self.j];
+            self.j += 1;
+            // Unique extents can never be identical, so this cannot fail.
+            return Some(ExtentPair::new(a, b).expect("distinct extents"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(start: u64, len: u32) -> Extent {
+        Extent::new(start, len).unwrap()
+    }
+
+    #[test]
+    fn pairs_of_fig2_transaction() {
+        let txn = Transaction::from_extents(Timestamp::ZERO, [e(100, 4), e(200, 3)]);
+        let pairs: Vec<_> = txn.unique_pairs().collect();
+        assert_eq!(pairs, vec![ExtentPair::new(e(100, 4), e(200, 3)).unwrap()]);
+    }
+
+    #[test]
+    fn pairs_count_is_n_choose_2() {
+        let extents: Vec<Extent> = (0..6).map(|i| e(i * 100, 1)).collect();
+        let txn = Transaction::from_extents(Timestamp::ZERO, extents);
+        assert_eq!(txn.unique_pairs().count(), 15); // C(6,2)
+    }
+
+    #[test]
+    fn pairs_ignore_duplicates() {
+        let txn = Transaction::from_extents(Timestamp::ZERO, [e(1, 1), e(1, 1), e(2, 1)]);
+        assert_eq!(txn.unique_pairs().count(), 1);
+    }
+
+    #[test]
+    fn empty_and_singleton_have_no_pairs() {
+        assert_eq!(Transaction::new(Timestamp::ZERO).unique_pairs().count(), 0);
+        let txn = Transaction::from_extents(Timestamp::ZERO, [e(1, 1)]);
+        assert_eq!(txn.unique_pairs().count(), 0);
+    }
+
+    #[test]
+    fn dedup_keeps_first_occurrence() {
+        let mut txn =
+            Transaction::from_extents(Timestamp::ZERO, [e(1, 1), e(2, 1), e(1, 1), e(3, 1)]);
+        txn.dedup();
+        assert_eq!(
+            txn.extents().collect::<Vec<_>>(),
+            vec![e(1, 1), e(2, 1), e(3, 1)]
+        );
+    }
+
+    #[test]
+    fn dedup_distinguishes_same_start_different_len() {
+        // 100+4 and 100+3 are *different* extents under the paper's
+        // shape-sensitive extent model.
+        let mut txn = Transaction::from_extents(Timestamp::ZERO, [e(100, 4), e(100, 3)]);
+        txn.dedup();
+        assert_eq!(txn.len(), 2);
+    }
+
+    #[test]
+    fn split_by_limit_chunks() {
+        let extents: Vec<Extent> = (0..20).map(|i| e(i, 1)).collect();
+        let txn = Transaction::from_extents(Timestamp::ZERO, extents);
+        let parts = txn.split_by_limit(8);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].len(), 8);
+        assert_eq!(parts[1].len(), 8);
+        assert_eq!(parts[2].len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn split_by_zero_limit_panics() {
+        Transaction::new(Timestamp::ZERO).split_by_limit(0);
+    }
+
+    #[test]
+    fn push_at_tracks_end() {
+        let mut txn = Transaction::new(Timestamp::from_micros(10));
+        txn.push_at(Timestamp::from_micros(30), e(1, 1), IoOp::Read);
+        txn.push_at(Timestamp::from_micros(20), e(2, 1), IoOp::Write);
+        assert_eq!(txn.start(), Timestamp::from_micros(10));
+        assert_eq!(txn.end(), Timestamp::from_micros(30));
+    }
+
+    #[test]
+    fn display_lists_items() {
+        let mut txn = Transaction::new(Timestamp::ZERO);
+        txn.push(e(100, 4), IoOp::Read);
+        txn.push(e(200, 3), IoOp::Write);
+        let s = txn.to_string();
+        assert!(s.contains("R100+4"));
+        assert!(s.contains("W200+3"));
+    }
+}

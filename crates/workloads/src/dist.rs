@@ -1,0 +1,173 @@
+//! Small sampling utilities: Zipf-like rank popularity and exponential
+//! interarrival times, the two distributions the paper's synthetic
+//! workloads are built from (§IV-B1).
+
+use std::time::Duration;
+
+use rand::Rng;
+
+/// A Zipf-like distribution over ranks `0..n`: rank `k` has probability
+/// proportional to `1 / (k + 1)^s`.
+///
+/// With `n = 4, s = 1` this reproduces the paper's correlation
+/// popularities of 48%, 24%, 16% and 12%.
+///
+/// # Examples
+///
+/// ```
+/// use rtdac_workloads::Zipf;
+///
+/// let z = Zipf::new(4, 1.0);
+/// assert!((z.probability(0) - 0.48).abs() < 1e-9);
+/// assert!((z.probability(1) - 0.24).abs() < 1e-9);
+/// assert!((z.probability(2) - 0.16).abs() < 1e-9);
+/// assert!((z.probability(3) - 0.12).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf-like distribution over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        let weights: Vec<f64> = (0..n).map(|k| 1.0 / ((k + 1) as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cumulative = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        Zipf { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the distribution has no ranks (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Probability of rank `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn probability(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cumulative[0]
+        } else {
+            self.cumulative[k] - self.cumulative[k - 1]
+        }
+    }
+
+    /// Draws a rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cumulative
+            .partition_point(|&c| c < u)
+            .min(self.cumulative.len() - 1)
+    }
+}
+
+/// Draws an exponentially distributed duration with the given mean
+/// (inverse-transform sampling), as used for the paper's interarrival
+/// times.
+///
+/// # Examples
+///
+/// ```
+/// use rtdac_workloads::sample_exponential;
+/// use rand::SeedableRng;
+/// use std::time::Duration;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let d = sample_exponential(&mut rng, Duration::from_millis(200));
+/// assert!(d > Duration::ZERO);
+/// ```
+pub fn sample_exponential<R: Rng + ?Sized>(rng: &mut R, mean: Duration) -> Duration {
+    // 1 - U in (0, 1] avoids ln(0).
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    Duration::from_secs_f64(-mean.as_secs_f64() * u.ln())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_paper_probabilities() {
+        let z = Zipf::new(4, 1.0);
+        // "With four correlations, the probability of each is 48%, 24%,
+        // 16%, and 12%." — §IV-B1.
+        let expected = [0.48, 0.24, 0.16, 0.12];
+        for (k, &p) in expected.iter().enumerate() {
+            assert!((z.probability(k) - p).abs() < 1e-9, "rank {k}");
+        }
+    }
+
+    #[test]
+    fn zipf_probabilities_sum_to_one() {
+        let z = Zipf::new(17, 0.8);
+        let sum: f64 = (0..17).map(|k| z.probability(k)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_samples_match_probabilities() {
+        let z = Zipf::new(4, 1.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0u32; 4];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (k, &count) in counts.iter().enumerate() {
+            let observed = f64::from(count) / n as f64;
+            assert!(
+                (observed - z.probability(k)).abs() < 0.01,
+                "rank {k}: observed {observed}"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_single_rank_always_samples_zero() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_zero_ranks_panics() {
+        Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mean = Duration::from_millis(200);
+        let n = 50_000;
+        let total: f64 = (0..n)
+            .map(|_| sample_exponential(&mut rng, mean).as_secs_f64())
+            .sum();
+        let observed = total / n as f64;
+        assert!((observed - 0.2).abs() < 0.005, "observed mean {observed}");
+    }
+}

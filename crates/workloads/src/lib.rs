@@ -1,0 +1,40 @@
+//! Storage workload generation for the `rtdac` evaluation.
+//!
+//! Two families of workloads, mirroring §IV-B of the paper:
+//!
+//! * [`SyntheticSpec`] constructs the three synthetic workloads
+//!   (one-to-one, one-to-many, many-to-many) with four Zipf-ranked
+//!   correlations and exponential noise, and hands back the ground truth
+//!   so detection accuracy can be judged exactly;
+//! * [`MsrServer`] synthesizes MSR-Cambridge-like traces for the five
+//!   enterprise servers (wdev, src2, rsrch, stg, hm), tuned to the
+//!   statistical shape the paper reports in Tables I and II. Real MSR
+//!   traces can be substituted via [`rtdac_types::Trace::read_msr_csv`].
+//!
+//! # Examples
+//!
+//! ```
+//! use rtdac_workloads::{MsrServer, SyntheticKind, SyntheticSpec};
+//!
+//! // A small one-to-one workload with known ground truth.
+//! let synthetic = SyntheticSpec::new(SyntheticKind::OneToOne)
+//!     .events(200)
+//!     .seed(42)
+//!     .generate();
+//! assert_eq!(synthetic.ground_truth.len(), 4);
+//!
+//! // An MSR-like trace for the wdev server.
+//! let trace = MsrServer::Wdev.synthesize(5_000, 42);
+//! assert_eq!(trace.len(), 5_000);
+//! ```
+
+mod dist;
+mod msr;
+mod synthetic;
+
+pub use dist::{sample_exponential, Zipf};
+pub use msr::{MsrProfile, MsrServer, PaperReference};
+pub use synthetic::{
+    ConstructedCorrelation, SyntheticKind, SyntheticSpec, SyntheticWorkload, PID_NOISE,
+    PID_WORKLOAD,
+};

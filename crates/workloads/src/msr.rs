@@ -1,0 +1,527 @@
+//! Statistical synthesizers for the five MSR Cambridge server workloads
+//! the paper evaluates on (§IV-B2): wdev, src2, rsrch, stg and hm.
+//!
+//! The genuine week-long traces are not redistributable here, so each
+//! server is modeled by a parametric generator tuned to reproduce the
+//! *shape* that drives the paper's results (see DESIGN.md §3):
+//!
+//! * the reuse ratio of Table I (total vs unique data accessed),
+//! * the fraction of interarrival gaps under 100 µs,
+//! * relative number-space sizes (stg an order of magnitude larger),
+//! * Zipf-ranked recurring extent-group correlations plus a long tail of
+//!   one-off requests (so most unique pairs have support 1, Fig. 5),
+//! * HDD-era recorded latencies (the numerator of Table II's speedups),
+//! * for hm, a hot singleton region (blocks around 40% of the number
+//!   space) whose blocks pair with others only by coincidence — the
+//!   effect called out in the Fig. 8e discussion.
+//!
+//! Users holding the real MSR traces can load them through
+//! [`rtdac_types::Trace::read_msr_csv`] and run every experiment
+//! unchanged.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtdac_types::{Extent, IoOp, IoRequest, Timestamp, Trace};
+
+use crate::dist::{sample_exponential, Zipf};
+
+/// The five MSR Cambridge servers of the paper's evaluation.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum MsrServer {
+    /// Test web server.
+    Wdev,
+    /// Source/version control server.
+    Src2,
+    /// Research projects server.
+    Rsrch,
+    /// Staging server.
+    Stg,
+    /// Hardware monitoring server.
+    Hm,
+}
+
+impl MsrServer {
+    /// All five servers in the paper's order.
+    pub const ALL: [MsrServer; 5] = [
+        MsrServer::Wdev,
+        MsrServer::Src2,
+        MsrServer::Rsrch,
+        MsrServer::Stg,
+        MsrServer::Hm,
+    ];
+
+    /// The trace's short name as used by the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MsrServer::Wdev => "wdev",
+            MsrServer::Src2 => "src2",
+            MsrServer::Rsrch => "rsrch",
+            MsrServer::Stg => "stg",
+            MsrServer::Hm => "hm",
+        }
+    }
+
+    /// The server's role as described in Table I.
+    pub fn description(&self) -> &'static str {
+        match self {
+            MsrServer::Wdev => "test web server",
+            MsrServer::Src2 => "version control",
+            MsrServer::Rsrch => "research projects",
+            MsrServer::Stg => "staging server",
+            MsrServer::Hm => "hardware monitor",
+        }
+    }
+
+    /// The values the paper reports for this trace (Tables I and II),
+    /// for side-by-side comparison in the experiment harnesses.
+    pub fn paper_reference(&self) -> PaperReference {
+        match self {
+            MsrServer::Wdev => PaperReference {
+                total_gb: 11.3,
+                unique_gb: 0.53,
+                fast_interarrival_fraction: 0.784,
+                mean_trace_latency: Duration::from_micros(3_650),
+                replay_speedup: 76.0,
+            },
+            MsrServer::Src2 => PaperReference {
+                total_gb: 109.9,
+                unique_gb: 26.4,
+                fast_interarrival_fraction: 0.712,
+                mean_trace_latency: Duration::from_micros(3_880),
+                replay_speedup: 61.2,
+            },
+            MsrServer::Rsrch => PaperReference {
+                total_gb: 13.1,
+                unique_gb: 0.97,
+                fast_interarrival_fraction: 0.774,
+                mean_trace_latency: Duration::from_micros(3_020),
+                replay_speedup: 94.9,
+            },
+            MsrServer::Stg => PaperReference {
+                total_gb: 107.9,
+                unique_gb: 83.9,
+                fast_interarrival_fraction: 0.659,
+                mean_trace_latency: Duration::from_micros(18_940),
+                replay_speedup: 473.0,
+            },
+            MsrServer::Hm => PaperReference {
+                total_gb: 39.2,
+                unique_gb: 2.42,
+                fast_interarrival_fraction: 0.670,
+                mean_trace_latency: Duration::from_micros(13_860),
+                replay_speedup: 217.0,
+            },
+        }
+    }
+
+    /// The tuned generator profile for this server.
+    pub fn profile(&self) -> MsrProfile {
+        let reference = self.paper_reference();
+        match self {
+            MsrServer::Wdev => MsrProfile {
+                name: "wdev",
+                number_space: 1_500_000,
+                hot_groups: 60,
+                group_size: (2, 4),
+                extent_len: (1, 16),
+                hot_singletons: 0,
+                singleton_region: None,
+                one_off_fraction: 0.035,
+                coincidence_fraction: 0.0,
+                sequential_fraction: 0.05,
+                read_fraction: 0.2,
+                zipf_exponent: 1.0,
+                mean_latency: reference.mean_trace_latency,
+                fast_fraction_target: reference.fast_interarrival_fraction,
+                slow_gap_mean: Duration::from_millis(4),
+            },
+            MsrServer::Src2 => MsrProfile {
+                name: "src2",
+                number_space: 4_000_000,
+                hot_groups: 300,
+                group_size: (2, 4),
+                extent_len: (8, 64),
+                hot_singletons: 0,
+                singleton_region: None,
+                one_off_fraction: 0.20,
+                coincidence_fraction: 0.0,
+                sequential_fraction: 0.10,
+                read_fraction: 0.25,
+                zipf_exponent: 0.9,
+                mean_latency: reference.mean_trace_latency,
+                fast_fraction_target: reference.fast_interarrival_fraction,
+                slow_gap_mean: Duration::from_millis(5),
+            },
+            MsrServer::Rsrch => MsrProfile {
+                name: "rsrch",
+                number_space: 2_000_000,
+                hot_groups: 80,
+                group_size: (2, 3),
+                extent_len: (1, 16),
+                hot_singletons: 0,
+                singleton_region: None,
+                one_off_fraction: 0.06,
+                coincidence_fraction: 0.0,
+                sequential_fraction: 0.05,
+                read_fraction: 0.1,
+                zipf_exponent: 1.0,
+                mean_latency: reference.mean_trace_latency,
+                fast_fraction_target: reference.fast_interarrival_fraction,
+                slow_gap_mean: Duration::from_millis(4),
+            },
+            MsrServer::Stg => MsrProfile {
+                name: "stg",
+                number_space: 30_000_000,
+                hot_groups: 500,
+                group_size: (2, 3),
+                extent_len: (16, 128),
+                hot_singletons: 0,
+                singleton_region: None,
+                one_off_fraction: 0.72,
+                coincidence_fraction: 0.0,
+                sequential_fraction: 0.08,
+                read_fraction: 0.3,
+                zipf_exponent: 0.8,
+                mean_latency: reference.mean_trace_latency,
+                fast_fraction_target: reference.fast_interarrival_fraction,
+                slow_gap_mean: Duration::from_millis(15),
+            },
+            MsrServer::Hm => MsrProfile {
+                name: "hm",
+                number_space: 12_000_000,
+                hot_groups: 150,
+                group_size: (2, 4),
+                extent_len: (4, 32),
+                // The Fig. 8e effect: a pool of hot singletons clustered
+                // around 40% of the number space, frequently requested but
+                // paired with others only coincidentally.
+                hot_singletons: 120,
+                singleton_region: Some((4_700_000, 5_300_000)),
+                one_off_fraction: 0.05,
+                coincidence_fraction: 0.0,
+                sequential_fraction: 0.05,
+                read_fraction: 0.35,
+                zipf_exponent: 1.0,
+                mean_latency: reference.mean_trace_latency,
+                fast_fraction_target: reference.fast_interarrival_fraction,
+                slow_gap_mean: Duration::from_millis(12),
+            },
+        }
+    }
+
+    /// Synthesizes a trace of `requests` requests with the server's tuned
+    /// profile.
+    pub fn synthesize(&self, requests: usize, seed: u64) -> Trace {
+        self.profile().synthesize(requests, seed)
+    }
+}
+
+/// Values the paper reports for a trace, embedded for comparison output.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct PaperReference {
+    /// Table I: total data accessed (GB).
+    pub total_gb: f64,
+    /// Table I: unique data accessed (GB).
+    pub unique_gb: f64,
+    /// Table I: fraction of interarrival gaps < 100 µs.
+    pub fast_interarrival_fraction: f64,
+    /// Table II: mean latency recorded in the trace.
+    pub mean_trace_latency: Duration,
+    /// Table II: replay speedup measured on the paper's SSD.
+    pub replay_speedup: f64,
+}
+
+impl PaperReference {
+    /// Table I's reuse ratio (total / unique).
+    pub fn reuse_ratio(&self) -> f64 {
+        self.total_gb / self.unique_gb
+    }
+}
+
+/// The tunable generator behind each MSR-like trace. Public so that users
+/// can synthesize their own server shapes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MsrProfile {
+    /// Trace name.
+    pub name: &'static str,
+    /// Block number space size.
+    pub number_space: u64,
+    /// Number of recurring correlated extent groups.
+    pub hot_groups: usize,
+    /// Min/max extents per group.
+    pub group_size: (usize, usize),
+    /// Min/max extent length in blocks.
+    pub extent_len: (u32, u32),
+    /// Number of hot standalone extents (requested alone; pair only by
+    /// coincidence).
+    pub hot_singletons: usize,
+    /// Region the hot singletons are placed in (defaults to the whole
+    /// space).
+    pub singleton_region: Option<(u64, u64)>,
+    /// Fraction of episodes that access never-repeated data.
+    pub one_off_fraction: f64,
+    /// Fraction of episodes that are *coincidence* episodes: two
+    /// uniformly random hot extents requested in one window. These are
+    /// the "background requests of a natural system" — they produce
+    /// support-1 pairs within the hot footprint (the paper's "three
+    /// quarters of unique pairs occur only once") without growing the
+    /// byte footprint.
+    pub coincidence_fraction: f64,
+    /// Fraction of episodes that are short sequential scans.
+    pub sequential_fraction: f64,
+    /// Fraction of requests that are reads.
+    pub read_fraction: f64,
+    /// Zipf exponent of group popularity.
+    pub zipf_exponent: f64,
+    /// Mean recorded (HDD-era) latency.
+    pub mean_latency: Duration,
+    /// Target fraction of interarrival gaps < 100 µs.
+    pub fast_fraction_target: f64,
+    /// Mean of the slow (inter-burst) interarrival gaps.
+    pub slow_gap_mean: Duration,
+}
+
+impl MsrProfile {
+    /// Synthesizes `requests` requests. Deterministic in `seed`.
+    pub fn synthesize(&self, requests: usize, seed: u64) -> Trace {
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Construct the hot correlated groups.
+        let groups: Vec<Vec<Extent>> = (0..self.hot_groups)
+            .map(|_| {
+                let size = rng.gen_range(self.group_size.0..=self.group_size.1);
+                (0..size).map(|_| self.random_extent(&mut rng)).collect()
+            })
+            .collect();
+        let group_zipf = Zipf::new(self.hot_groups.max(1), self.zipf_exponent);
+
+        // Hot singletons (hm's coincidence region).
+        let singletons: Vec<Extent> = (0..self.hot_singletons)
+            .map(|_| {
+                let (lo, hi) = self
+                    .singleton_region
+                    .unwrap_or((0, self.number_space));
+                let len = rng.gen_range(self.extent_len.0..=self.extent_len.1);
+                let start = rng.gen_range(lo..hi.saturating_sub(u64::from(len)).max(lo + 1));
+                Extent::new(start, len).expect("generated extent is valid")
+            })
+            .collect();
+        let singleton_zipf = Zipf::new(self.hot_singletons.max(1), 1.0);
+
+        // Flat pool of hot extents for coincidence sampling.
+        let hot_pool: Vec<Extent> = groups
+            .iter()
+            .flatten()
+            .chain(singletons.iter())
+            .copied()
+            .collect();
+
+        // One-off allocation cursor: guarantees one-off data is unique.
+        // Reserve the top of the number space for it.
+        let mut one_off_cursor = self.number_space;
+
+        // Expected episode length, to derive the probability that an
+        // *inter-episode* gap is also fast from the overall target (see
+        // DESIGN.md §3: fast ≈ ((k̄-1) + q) / k̄).
+        let singleton_weight = if self.hot_singletons > 0 { 0.15 } else { 0.0 };
+        let group_weight =
+            1.0 - self.one_off_fraction - self.sequential_fraction - singleton_weight;
+        let mean_group_len = (self.group_size.0 + self.group_size.1) as f64 / 2.0;
+        let mean_episode_len = group_weight * mean_group_len
+            + self.sequential_fraction * 4.0
+            + self.one_off_fraction
+            + singleton_weight;
+        let q = (mean_episode_len * self.fast_fraction_target - (mean_episode_len - 1.0))
+            .clamp(0.02, 0.98);
+
+        let mut trace = Trace::new(self.name);
+        let mut t = Timestamp::ZERO;
+        let mut emitted = 0usize;
+        while emitted < requests {
+            // Pick the episode type.
+            let roll: f64 = rng.gen();
+            let episode: Vec<Extent> = if roll < self.one_off_fraction {
+                // A unique, never-repeated extent.
+                let len = rng.gen_range(self.extent_len.0..=self.extent_len.1);
+                one_off_cursor += u64::from(len) + 1;
+                vec![Extent::new(one_off_cursor, len).expect("valid extent")]
+            } else if roll < self.one_off_fraction + self.sequential_fraction {
+                // A short sequential scan.
+                let len = rng.gen_range(self.extent_len.0..=self.extent_len.1);
+                let runs = rng.gen_range(2..=6usize);
+                let start =
+                    rng.gen_range(0..self.number_space - u64::from(len) * runs as u64);
+                (0..runs)
+                    .map(|i| {
+                        Extent::new(start + u64::from(len) * i as u64, len)
+                            .expect("valid extent")
+                    })
+                    .collect()
+            } else if roll < self.one_off_fraction + self.sequential_fraction + singleton_weight
+                && !singletons.is_empty()
+            {
+                vec![singletons[singleton_zipf.sample(&mut rng)]]
+            } else if rng.gen::<f64>() < self.coincidence_fraction && !hot_pool.is_empty() {
+                // Two uniformly random hot extents coincide in a window.
+                vec![
+                    hot_pool[rng.gen_range(0..hot_pool.len())],
+                    hot_pool[rng.gen_range(0..hot_pool.len())],
+                ]
+            } else {
+                groups[group_zipf.sample(&mut rng)].clone()
+            };
+
+            // Emit the episode with fast intra-episode gaps.
+            for (i, extent) in episode.iter().enumerate() {
+                if emitted >= requests {
+                    break;
+                }
+                if i > 0 {
+                    t += Duration::from_micros(rng.gen_range(2..60));
+                }
+                let op = if rng.gen::<f64>() < self.read_fraction {
+                    IoOp::Read
+                } else {
+                    IoOp::Write
+                };
+                let latency = self.sample_latency(&mut rng);
+                trace.push(IoRequest::new(t, 0, op, *extent).with_latency(latency));
+                emitted += 1;
+            }
+
+            // Inter-episode gap: fast with probability q, else slow.
+            if rng.gen::<f64>() < q {
+                t += Duration::from_micros(rng.gen_range(2..90));
+            } else {
+                t += sample_exponential(&mut rng, self.slow_gap_mean)
+                    + Duration::from_micros(110);
+            }
+        }
+        trace
+    }
+
+    fn random_extent(&self, rng: &mut StdRng) -> Extent {
+        let len = rng.gen_range(self.extent_len.0..=self.extent_len.1);
+        let start = rng.gen_range(0..self.number_space - u64::from(len));
+        Extent::new(start, len).expect("generated extent is valid")
+    }
+
+    /// Recorded latency: `0.3·mean + Exp(0.7·mean)`, preserving the mean
+    /// with a positive floor, shaped like HDD service times.
+    fn sample_latency(&self, rng: &mut StdRng) -> Duration {
+        let mean = self.mean_latency.as_secs_f64();
+        let floor = 0.3 * mean;
+        let tail = sample_exponential(rng, Duration::from_secs_f64(0.7 * mean));
+        Duration::from_secs_f64(floor) + tail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = MsrServer::Wdev.synthesize(2_000, 5);
+        let b = MsrServer::Wdev.synthesize(2_000, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn request_count_is_exact() {
+        for server in MsrServer::ALL {
+            assert_eq!(server.synthesize(1_000, 1).len(), 1_000, "{}", server.name());
+        }
+    }
+
+    #[test]
+    fn fast_interarrival_fraction_matches_paper_shape() {
+        for server in MsrServer::ALL {
+            let trace = server.synthesize(20_000, 11);
+            let stats = trace.stats();
+            let target = server.paper_reference().fast_interarrival_fraction;
+            assert!(
+                (stats.fast_interarrival_fraction - target).abs() < 0.08,
+                "{}: got {:.3}, paper {:.3}",
+                server.name(),
+                stats.fast_interarrival_fraction,
+                target
+            );
+        }
+    }
+
+    #[test]
+    fn reuse_ratio_ordering_matches_paper() {
+        // The paper's Table I ordering: wdev has the highest reuse,
+        // stg by far the lowest (mostly unique data).
+        let ratios: Vec<(MsrServer, f64)> = MsrServer::ALL
+            .iter()
+            .map(|s| (*s, s.synthesize(15_000, 3).stats().reuse_ratio()))
+            .collect();
+        let get = |server: MsrServer| {
+            ratios.iter().find(|(s, _)| *s == server).unwrap().1
+        };
+        assert!(get(MsrServer::Stg) < 2.5, "stg reuse {}", get(MsrServer::Stg));
+        assert!(get(MsrServer::Wdev) > 8.0, "wdev reuse {}", get(MsrServer::Wdev));
+        assert!(get(MsrServer::Wdev) > get(MsrServer::Src2));
+        assert!(get(MsrServer::Src2) > get(MsrServer::Stg));
+        assert!(get(MsrServer::Hm) > get(MsrServer::Stg));
+    }
+
+    #[test]
+    fn stg_number_space_is_an_order_of_magnitude_larger() {
+        let stg = MsrServer::Stg.profile().number_space;
+        for server in [MsrServer::Wdev, MsrServer::Rsrch] {
+            assert!(stg >= 10 * server.profile().number_space);
+        }
+    }
+
+    #[test]
+    fn mean_recorded_latency_matches_profile() {
+        let trace = MsrServer::Wdev.synthesize(20_000, 7);
+        let mean = trace.stats().mean_recorded_latency.unwrap();
+        let target = MsrServer::Wdev.paper_reference().mean_trace_latency;
+        let ratio = mean.as_secs_f64() / target.as_secs_f64();
+        assert!((0.85..1.15).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn hm_singletons_live_in_their_region() {
+        let profile = MsrServer::Hm.profile();
+        assert!(profile.hot_singletons > 0);
+        let (lo, hi) = profile.singleton_region.unwrap();
+        // Synthesize and confirm a visible population of requests in the
+        // region (hot singletons are ~15% of episodes).
+        let trace = MsrServer::Hm.synthesize(10_000, 2);
+        let in_region = trace
+            .iter()
+            .filter(|r| r.extent.start() >= lo && r.extent.start() < hi)
+            .count();
+        assert!(in_region > 500, "only {in_region} requests in hot region");
+    }
+
+    #[test]
+    fn one_offs_never_repeat() {
+        // stg is dominated by one-offs; verify a large share of extents
+        // appear exactly once.
+        let trace = MsrServer::Stg.synthesize(10_000, 9);
+        let mut counts = std::collections::HashMap::new();
+        for r in &trace {
+            *counts.entry(r.extent).or_insert(0u32) += 1;
+        }
+        let once = counts.values().filter(|&&c| c == 1).count();
+        assert!(
+            once as f64 / counts.len() as f64 > 0.6,
+            "only {once}/{} extents unique",
+            counts.len()
+        );
+    }
+
+    #[test]
+    fn paper_reference_reuse_ratios() {
+        assert!((MsrServer::Wdev.paper_reference().reuse_ratio() - 21.3).abs() < 0.2);
+        assert!((MsrServer::Stg.paper_reference().reuse_ratio() - 1.29).abs() < 0.02);
+    }
+}

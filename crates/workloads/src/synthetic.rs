@@ -1,0 +1,363 @@
+//! The paper's three synthetic workloads (§IV-B1): constructed
+//! correlations of known shape, plus background noise, so that detection
+//! accuracy can be judged against known ground truth.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtdac_types::{Extent, ExtentPair, IoOp, IoRequest, Timestamp, Trace};
+
+use crate::dist::{sample_exponential, Zipf};
+
+/// Which of the paper's three synthetic correlation shapes to construct.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum SyntheticKind {
+    /// "a single block requested with another non-contiguous single
+    /// block" — two associated variables or small records.
+    OneToOne,
+    /// "a single block correlated with a range of contiguous blocks" —
+    /// e.g. a small file's contents together with its inode.
+    OneToMany,
+    /// "contiguous blocks correlated with other contiguous blocks" —
+    /// e.g. a web resource file with a database table.
+    ManyToMany,
+}
+
+impl SyntheticKind {
+    /// All three kinds, in the paper's order.
+    pub const ALL: [SyntheticKind; 3] = [
+        SyntheticKind::OneToOne,
+        SyntheticKind::OneToMany,
+        SyntheticKind::ManyToMany,
+    ];
+
+    /// The paper's name for this workload.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SyntheticKind::OneToOne => "one-to-one",
+            SyntheticKind::OneToMany => "one-to-many",
+            SyntheticKind::ManyToMany => "many-to-many",
+        }
+    }
+}
+
+/// Parameters of a synthetic workload. Defaults follow §IV-B1 exactly:
+/// four constructed correlations ranked by a Zipf-like distribution
+/// (48/24/16/12%), correlated-event interarrival exponential with mean
+/// 200 ms, noise interarrival exponential with mean 100 ms, noise sizes
+/// 512 B–8 KB, correlated extent sizes 512 B–1 MB.
+///
+/// # Examples
+///
+/// ```
+/// use rtdac_workloads::{SyntheticKind, SyntheticSpec};
+///
+/// let workload = SyntheticSpec::new(SyntheticKind::OneToOne)
+///     .events(100)
+///     .seed(7)
+///     .generate();
+/// assert_eq!(workload.ground_truth.len(), 4);
+/// assert!(!workload.trace.is_empty());
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct SyntheticSpec {
+    kind: SyntheticKind,
+    correlations: usize,
+    zipf_exponent: f64,
+    events: usize,
+    correlation_interarrival: Duration,
+    noise_interarrival: Duration,
+    number_space: u64,
+    seed: u64,
+}
+
+impl SyntheticSpec {
+    /// Creates a spec for the given correlation shape with the paper's
+    /// defaults.
+    pub fn new(kind: SyntheticKind) -> Self {
+        SyntheticSpec {
+            kind,
+            correlations: 4,
+            zipf_exponent: 1.0,
+            events: 2_000,
+            correlation_interarrival: Duration::from_millis(200),
+            noise_interarrival: Duration::from_millis(100),
+            number_space: 1 << 24, // 8 GiB of 512 B blocks
+            seed: 0x5eed,
+        }
+    }
+
+    /// Number of constructed correlations (paper: 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn correlations(mut self, n: usize) -> Self {
+        assert!(n > 0, "need at least one constructed correlation");
+        self.correlations = n;
+        self
+    }
+
+    /// Number of correlated events to generate (noise is generated for
+    /// the same time span).
+    pub fn events(mut self, n: usize) -> Self {
+        self.events = n;
+        self
+    }
+
+    /// Mean interarrival of correlated events (paper: 200 ms).
+    pub fn correlation_interarrival(mut self, mean: Duration) -> Self {
+        self.correlation_interarrival = mean;
+        self
+    }
+
+    /// Mean interarrival of noise requests (paper: 100 ms).
+    pub fn noise_interarrival(mut self, mean: Duration) -> Self {
+        self.noise_interarrival = mean;
+        self
+    }
+
+    /// Size of the block number space requests are drawn from.
+    pub fn number_space(mut self, blocks: u64) -> Self {
+        self.number_space = blocks;
+        self
+    }
+
+    /// RNG seed; equal seeds give identical workloads.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the workload.
+    pub fn generate(&self) -> SyntheticWorkload {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // Construct the correlated extent groups.
+        let ground_truth: Vec<ConstructedCorrelation> = (0..self.correlations)
+            .map(|rank| ConstructedCorrelation {
+                rank,
+                extents: self.construct_group(&mut rng),
+            })
+            .collect();
+
+        let zipf = Zipf::new(self.correlations, self.zipf_exponent);
+
+        // Correlated events: pick a group by Zipf rank, emit its extents
+        // nearly simultaneously (the monitor's window will group them).
+        let mut requests: Vec<IoRequest> = Vec::new();
+        let mut t = Timestamp::ZERO;
+        for _ in 0..self.events {
+            t += sample_exponential(&mut rng, self.correlation_interarrival);
+            let group = &ground_truth[zipf.sample(&mut rng)];
+            let mut offset = Duration::ZERO;
+            for extent in &group.extents {
+                requests.push(IoRequest::new(t + offset, PID_WORKLOAD, IoOp::Read, *extent));
+                // A few µs apart, far inside any realistic window.
+                offset += Duration::from_micros(rng.gen_range(1..10));
+            }
+        }
+        let span = t;
+
+        // Noise: random requests of 512 B–8 KB (1–16 blocks) across the
+        // whole number space, at exponential interarrival mean 100 ms,
+        // "contributing to infrequent and false correlations".
+        let mut tn = Timestamp::ZERO;
+        loop {
+            tn += sample_exponential(&mut rng, self.noise_interarrival);
+            if tn > span {
+                break;
+            }
+            let len = rng.gen_range(1..=16u32);
+            let start = rng.gen_range(0..self.number_space - u64::from(len));
+            requests.push(IoRequest::new(
+                tn,
+                PID_NOISE,
+                IoOp::Read,
+                Extent::new(start, len).expect("generated extent is valid"),
+            ));
+        }
+
+        requests.sort_by_key(|r| r.time);
+        let mut trace = Trace::new(self.kind.name());
+        trace.extend(requests);
+        SyntheticWorkload {
+            kind: self.kind,
+            trace,
+            ground_truth,
+        }
+    }
+
+    /// Builds one correlated extent group of the spec's shape at a random,
+    /// well-separated location.
+    fn construct_group(&self, rng: &mut StdRng) -> Vec<Extent> {
+        // Keep groups far apart so constructed correlations don't collide.
+        let region = self.number_space / 16;
+        let base = rng.gen_range(0..self.number_space - 2 * region);
+        let far = base + region + rng.gen_range(0..region);
+        // 512 B – 1 MB => 1 – 2048 blocks.
+        let mut range_len = || rng.gen_range(1..=2048u32);
+        let (a, b) = match self.kind {
+            SyntheticKind::OneToOne => (Extent::block(base), Extent::block(far)),
+            SyntheticKind::OneToMany => (
+                Extent::block(base),
+                Extent::new(far, range_len()).expect("valid extent"),
+            ),
+            SyntheticKind::ManyToMany => (
+                Extent::new(base, range_len()).expect("valid extent"),
+                Extent::new(far, range_len()).expect("valid extent"),
+            ),
+        };
+        vec![a, b]
+    }
+}
+
+/// PID the generator assigns to constructed-correlation requests.
+pub const PID_WORKLOAD: u32 = 100;
+/// PID the generator assigns to noise requests (so PID filtering can be
+/// exercised, as the paper's monitor does).
+pub const PID_NOISE: u32 = 200;
+
+/// One constructed correlation: a group of extents always requested
+/// together, with its Zipf popularity rank (0 = most popular).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConstructedCorrelation {
+    /// Popularity rank, 0 being most frequent.
+    pub rank: usize,
+    /// The extents requested together.
+    pub extents: Vec<Extent>,
+}
+
+impl ConstructedCorrelation {
+    /// The extent pairs this constructed correlation should produce.
+    pub fn expected_pairs(&self) -> Vec<ExtentPair> {
+        let mut pairs = Vec::new();
+        for i in 0..self.extents.len() {
+            for j in (i + 1)..self.extents.len() {
+                pairs.push(
+                    ExtentPair::new(self.extents[i], self.extents[j])
+                        .expect("constructed extents are distinct"),
+                );
+            }
+        }
+        pairs
+    }
+}
+
+/// A generated synthetic workload: the trace plus its ground truth.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SyntheticWorkload {
+    /// Which shape was generated.
+    pub kind: SyntheticKind,
+    /// The request trace (correlated events merged with noise, timestamp
+    /// ordered).
+    pub trace: Trace,
+    /// The constructed correlations, by rank.
+    pub ground_truth: Vec<ConstructedCorrelation>,
+}
+
+impl SyntheticWorkload {
+    /// Every extent pair the constructed correlations should produce.
+    pub fn expected_pairs(&self) -> Vec<ExtentPair> {
+        self.ground_truth
+            .iter()
+            .flat_map(ConstructedCorrelation::expected_pairs)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let a = SyntheticSpec::new(SyntheticKind::OneToOne).events(50).seed(1).generate();
+        let b = SyntheticSpec::new(SyntheticKind::OneToOne).events(50).seed(1).generate();
+        assert_eq!(a.trace, b.trace);
+        let c = SyntheticSpec::new(SyntheticKind::OneToOne).events(50).seed(2).generate();
+        assert_ne!(a.trace, c.trace);
+    }
+
+    #[test]
+    fn one_to_one_groups_are_single_blocks() {
+        let w = SyntheticSpec::new(SyntheticKind::OneToOne).events(10).generate();
+        for g in &w.ground_truth {
+            assert_eq!(g.extents.len(), 2);
+            assert!(g.extents.iter().all(|e| e.len() == 1));
+            assert!(!g.extents[0].overlaps(&g.extents[1]));
+        }
+    }
+
+    #[test]
+    fn one_to_many_shape() {
+        let w = SyntheticSpec::new(SyntheticKind::OneToMany).events(10).generate();
+        for g in &w.ground_truth {
+            assert_eq!(g.extents[0].len(), 1);
+            assert!(g.extents[1].len() >= 1 && g.extents[1].len() <= 2048);
+        }
+    }
+
+    #[test]
+    fn many_to_many_shape() {
+        let w = SyntheticSpec::new(SyntheticKind::ManyToMany).events(10).generate();
+        for g in &w.ground_truth {
+            assert!(g.extents.iter().all(|e| e.len() <= 2048));
+            assert!(!g.extents[0].overlaps(&g.extents[1]));
+        }
+    }
+
+    #[test]
+    fn popularity_follows_zipf_ranks() {
+        let w = SyntheticSpec::new(SyntheticKind::OneToOne)
+            .events(4_000)
+            .seed(3)
+            .generate();
+        // Count occurrences of each group's first extent among workload
+        // requests.
+        let mut counts = [0u32; 4];
+        for req in &w.trace {
+            if req.pid != PID_WORKLOAD {
+                continue;
+            }
+            for g in &w.ground_truth {
+                if g.extents[0] == req.extent {
+                    counts[g.rank] += 1;
+                }
+            }
+        }
+        let total: u32 = counts.iter().sum();
+        assert_eq!(total, 4_000);
+        let observed0 = counts[0] as f64 / total as f64;
+        assert!((observed0 - 0.48).abs() < 0.04, "rank0 {observed0}");
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[3]);
+    }
+
+    #[test]
+    fn noise_is_interleaved_and_bounded() {
+        let w = SyntheticSpec::new(SyntheticKind::OneToOne)
+            .events(500)
+            .seed(4)
+            .generate();
+        let noise: Vec<_> = w.trace.iter().filter(|r| r.pid == PID_NOISE).collect();
+        // Noise at mean 100 ms vs correlations at 200 ms: roughly 2 noise
+        // requests per correlated event (each event emits 2 requests).
+        assert!(noise.len() > 500, "too little noise: {}", noise.len());
+        assert!(noise.iter().all(|r| r.extent.len() <= 16));
+    }
+
+    #[test]
+    fn trace_is_timestamp_ordered() {
+        let w = SyntheticSpec::new(SyntheticKind::ManyToMany).events(200).generate();
+        let times: Vec<_> = w.trace.iter().map(|r| r.time).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn expected_pairs_one_per_group() {
+        let w = SyntheticSpec::new(SyntheticKind::OneToOne).events(1).generate();
+        assert_eq!(w.expected_pairs().len(), 4);
+    }
+}

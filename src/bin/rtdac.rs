@@ -1,0 +1,303 @@
+//! `rtdac` — command-line front end to the framework.
+//!
+//! Point it at a block trace (MSR Cambridge CSV or the blktrace-style
+//! binary this workspace writes) and it runs the paper's pipeline:
+//! transaction windowing, online analysis, and frequent-correlation
+//! reporting; or offline mining, trace statistics, format conversion and
+//! workload synthesis.
+//!
+//! ```text
+//! rtdac stats    <trace>
+//! rtdac analyze  <trace> [--support N] [--capacity C] [--window US|dynamic]
+//!                        [--limit N] [--top K] [--ops read|write|all]
+//! rtdac mine     <trace> [--support N] [--algorithm eclat|apriori|fpgrowth]
+//! rtdac convert  <in> <out>
+//! rtdac synth    <wdev|src2|rsrch|stg|hm|one-to-one|one-to-many|many-to-many>
+//!                <out> [--requests N] [--seed S]
+//! ```
+//!
+//! Trace formats are chosen by extension: `.csv` = MSR Cambridge CSV,
+//! anything else = the binary blktrace-style stream.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+use std::time::Duration;
+
+use rtdac::fim::{count_pairs, Apriori, Eclat, FpGrowth, TransactionDb};
+use rtdac::monitor::{blktrace, Monitor, MonitorConfig, WindowPolicy};
+use rtdac::synopsis::{AnalyzerConfig, OnlineAnalyzer};
+use rtdac::types::{IoEvent, IoOp, Trace};
+use rtdac::workloads::{MsrServer, SyntheticKind, SyntheticSpec};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  rtdac stats    <trace>
+  rtdac analyze  <trace> [--support N] [--capacity C] [--window US|dynamic]
+                         [--limit N] [--top K] [--ops read|write|all]
+  rtdac mine     <trace> [--support N] [--algorithm eclat|apriori|fpgrowth]
+  rtdac convert  <in> <out>
+  rtdac synth    <wdev|src2|rsrch|stg|hm|one-to-one|one-to-many|many-to-many>
+                 <out> [--requests N] [--seed S]
+
+trace format by extension: .csv = MSR Cambridge CSV, otherwise the
+blktrace-style binary stream written by `rtdac convert`/`rtdac synth`.";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut positional = Vec::new();
+    let mut flags: HashMap<String, String> = HashMap::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag --{name} needs a value"))?;
+            flags.insert(name.to_string(), value.clone());
+        } else {
+            positional.push(arg.clone());
+        }
+    }
+    let command = positional
+        .first()
+        .ok_or_else(|| "no command given".to_string())?;
+
+    match command.as_str() {
+        "stats" => stats(positional.get(1).ok_or("stats needs a trace path")?),
+        "analyze" => analyze(
+            positional.get(1).ok_or("analyze needs a trace path")?,
+            &flags,
+        ),
+        "mine" => mine(positional.get(1).ok_or("mine needs a trace path")?, &flags),
+        "convert" => convert(
+            positional.get(1).ok_or("convert needs an input path")?,
+            positional.get(2).ok_or("convert needs an output path")?,
+        ),
+        "synth" => synth(
+            positional.get(1).ok_or("synth needs a workload name")?,
+            positional.get(2).ok_or("synth needs an output path")?,
+            &flags,
+        ),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn parse_flag<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("bad value `{v}` for --{name}")),
+    }
+}
+
+/// Loads a trace by extension.
+fn load_trace(path: &str) -> Result<Trace, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    if path.ends_with(".csv") {
+        Trace::read_msr_csv(path, BufReader::new(file)).map_err(|e| e.to_string())
+    } else {
+        let events = blktrace::read_events(BufReader::new(file), Duration::from_micros(100))
+            .map_err(|e| format!("cannot parse {path}: {e}"))?;
+        Ok(blktrace::events_to_trace(path, &events))
+    }
+}
+
+/// Issue events straight from the trace (timestamps and recorded
+/// latencies as captured).
+fn trace_events(trace: &Trace) -> Vec<IoEvent> {
+    trace
+        .iter()
+        .map(|r| {
+            IoEvent::new(
+                r.time,
+                r.pid,
+                r.op,
+                r.extent,
+                r.latency.unwrap_or(Duration::from_micros(100)),
+            )
+        })
+        .collect()
+}
+
+fn stats(path: &str) -> Result<(), String> {
+    let trace = load_trace(path)?;
+    let s = trace.stats();
+    println!("trace:                {path}");
+    println!("requests:             {} ({} reads, {} writes)", s.requests, s.reads, s.writes);
+    println!("total data accessed:  {:.3} GB", s.total_gb());
+    println!("unique data accessed: {:.3} GB", s.unique_gb());
+    println!("reuse ratio:          {:.2}x", s.reuse_ratio());
+    println!(
+        "interarrival < 100us: {:.1}%",
+        s.fast_interarrival_fraction * 100.0
+    );
+    match s.mean_recorded_latency {
+        Some(latency) => println!("mean recorded latency: {latency:?}"),
+        None => println!("mean recorded latency: (none recorded)"),
+    }
+    println!("duration:             {:.3} s", s.duration.as_secs_f64());
+    println!("number space:         {} blocks", s.max_block);
+    Ok(())
+}
+
+fn monitor_config(flags: &HashMap<String, String>) -> Result<MonitorConfig, String> {
+    let window = match flags.get("window").map(String::as_str) {
+        None | Some("dynamic") => WindowPolicy::paper_dynamic(),
+        Some(us) => WindowPolicy::Static(Duration::from_micros(
+            us.parse().map_err(|_| format!("bad window `{us}`"))?,
+        )),
+    };
+    let limit: usize = parse_flag(flags, "limit", 8)?;
+    Ok(MonitorConfig::new(window).transaction_limit(limit))
+}
+
+fn analyze(path: &str, flags: &HashMap<String, String>) -> Result<(), String> {
+    let trace = load_trace(path)?;
+    let support: u32 = parse_flag(flags, "support", 5)?;
+    let capacity: usize = parse_flag(flags, "capacity", 16 * 1024)?;
+    let top: usize = parse_flag(flags, "top", 20)?;
+    let op_filter = match flags.get("ops").map(String::as_str) {
+        None | Some("all") => None,
+        Some("read") => Some(IoOp::Read),
+        Some("write") => Some(IoOp::Write),
+        Some(other) => return Err(format!("bad value `{other}` for --ops")),
+    };
+
+    let mut monitor = Monitor::new(monitor_config(flags)?);
+    let mut analyzer = OnlineAnalyzer::new(
+        AnalyzerConfig::with_capacity(capacity).op_filter(op_filter),
+    );
+    for event in trace_events(&trace) {
+        if let Some(txn) = monitor.push(event) {
+            analyzer.process(&txn);
+        }
+    }
+    if let Some(txn) = monitor.flush() {
+        analyzer.process(&txn);
+    }
+
+    let mstats = monitor.stats();
+    println!(
+        "monitored {} events into {} transactions (window now {:?}, {} limit splits)",
+        mstats.events,
+        mstats.transactions,
+        monitor.current_window(),
+        mstats.limit_splits
+    );
+    println!(
+        "synopsis: {} items, {} pairs resident; {:.2} MB under the paper's model",
+        analyzer.item_table().len(),
+        analyzer.correlation_table().len(),
+        analyzer.memory_bytes() as f64 / 1e6
+    );
+    let frequent = analyzer.frequent_pairs(support);
+    println!(
+        "\n{} correlations with support >= {support}; top {}:",
+        frequent.len(),
+        top.min(frequent.len())
+    );
+    for (pair, tally) in frequent.iter().take(top) {
+        println!("  {tally:>8}x  {pair}");
+    }
+    Ok(())
+}
+
+fn mine(path: &str, flags: &HashMap<String, String>) -> Result<(), String> {
+    let trace = load_trace(path)?;
+    let support: u32 = parse_flag(flags, "support", 5)?;
+    let algorithm = flags
+        .get("algorithm")
+        .cloned()
+        .unwrap_or_else(|| "eclat".to_string());
+
+    let monitor = Monitor::new(monitor_config(flags)?);
+    let txns = monitor.into_transactions(trace_events(&trace));
+    println!("{} transactions formed; mining with {algorithm} at support {support}", txns.len());
+
+    let db = TransactionDb::from_transactions(&txns);
+    let result = match algorithm.as_str() {
+        "eclat" => Eclat::new(support).max_len(2).mine(&db),
+        "apriori" => Apriori::new(support).max_len(2).mine(&db),
+        "fpgrowth" => FpGrowth::new(support).max_len(2).mine(&db),
+        other => return Err(format!("unknown algorithm `{other}`")),
+    };
+    let total_pairs = count_pairs(&txns).len();
+    let frequent: Vec<_> = result.of_len(2).collect();
+    println!(
+        "{} unique pairs total, {} frequent at support {support}:",
+        total_pairs,
+        frequent.len()
+    );
+    let mut sorted = frequent;
+    sorted.sort_by_key(|(_, support)| std::cmp::Reverse(*support));
+    for (set, sup) in sorted.iter().take(20) {
+        println!("  {sup:>8}x  {} ~ {}", set[0], set[1]);
+    }
+    Ok(())
+}
+
+fn convert(input: &str, output: &str) -> Result<(), String> {
+    let trace = load_trace(input)?;
+    let file = File::create(output).map_err(|e| format!("cannot create {output}: {e}"))?;
+    let mut writer = BufWriter::new(file);
+    if output.ends_with(".csv") {
+        trace
+            .write_msr_csv(&mut writer)
+            .map_err(|e| e.to_string())?;
+    } else {
+        blktrace::write_trace(&trace, &mut writer).map_err(|e| e.to_string())?;
+    }
+    println!("converted {} requests: {input} -> {output}", trace.len());
+    Ok(())
+}
+
+fn synth(name: &str, output: &str, flags: &HashMap<String, String>) -> Result<(), String> {
+    let requests: usize = parse_flag(flags, "requests", 50_000)?;
+    let seed: u64 = parse_flag(flags, "seed", 7)?;
+    let trace = match name {
+        "wdev" => MsrServer::Wdev.synthesize(requests, seed),
+        "src2" => MsrServer::Src2.synthesize(requests, seed),
+        "rsrch" => MsrServer::Rsrch.synthesize(requests, seed),
+        "stg" => MsrServer::Stg.synthesize(requests, seed),
+        "hm" => MsrServer::Hm.synthesize(requests, seed),
+        "one-to-one" | "one-to-many" | "many-to-many" => {
+            let kind = match name {
+                "one-to-one" => SyntheticKind::OneToOne,
+                "one-to-many" => SyntheticKind::OneToMany,
+                _ => SyntheticKind::ManyToMany,
+            };
+            // `requests` governs correlated events here; the trace adds
+            // noise on top.
+            SyntheticSpec::new(kind).events(requests).seed(seed).generate().trace
+        }
+        other => return Err(format!("unknown workload `{other}`")),
+    };
+    let file = File::create(output).map_err(|e| format!("cannot create {output}: {e}"))?;
+    let mut writer = BufWriter::new(file);
+    if output.ends_with(".csv") {
+        trace
+            .write_msr_csv(&mut writer)
+            .map_err(|e| e.to_string())?;
+    } else {
+        blktrace::write_trace(&trace, &mut writer).map_err(|e| e.to_string())?;
+    }
+    println!("wrote {} requests of `{name}` to {output}", trace.len());
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! # rtdac — Real-Time Characterization of Data Access Correlations
+//!
+//! A from-scratch Rust reproduction of *Real-Time Characterization of
+//! Data Access Correlations* (Harris, Marzullo & Altiparmak, ISPASS
+//! 2021): an online framework that watches block-layer I/O, groups
+//! requests into transaction windows, and maintains a bounded-memory
+//! two-tier synopsis of frequently correlated extents — plus every
+//! substrate the paper's evaluation rests on (offline FIM baselines,
+//! workload generators, a replay testbed, and the SSD simulators behind
+//! its automatic-optimization scenarios).
+//!
+//! This crate is a facade: each subsystem lives in its own crate and is
+//! re-exported here as a module.
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`types`] | `rtdac-types` | extents, requests, transactions, traces |
+//! | [`synopsis`] | `rtdac-synopsis` | the two-tier tables + online analyzer (the paper's contribution) |
+//! | [`monitor`] | `rtdac-monitor` | transaction windowing, dedup, PID filtering |
+//! | [`fim`] | `rtdac-fim` | apriori / eclat / fp-growth / streaming baselines |
+//! | [`workloads`] | `rtdac-workloads` | synthetic + MSR-like generators |
+//! | [`device`] | `rtdac-device` | SSD/HDD latency models, trace replay |
+//! | [`ssdsim`] | `rtdac-ssdsim` | FTL, multi-stream GC, parallel units (§V) |
+//! | [`cache`] | `rtdac-cache` | LRU/LFU/ARC caches + correlation prefetching (§V) |
+//! | [`sketch`] | `rtdac-sketch` | Count-Min / Space-Saving sketch synopses (comparison family) |
+//! | [`metrics`] | `rtdac-metrics` | CDFs, optimal curves, representability, heat maps, drift |
+//!
+//! # Examples
+//!
+//! The complete paper pipeline — generate, replay, monitor, analyze:
+//!
+//! ```
+//! use rtdac::device::{replay, NvmeSsdModel, ReplayMode};
+//! use rtdac::monitor::{Monitor, MonitorConfig};
+//! use rtdac::synopsis::{AnalyzerConfig, OnlineAnalyzer};
+//! use rtdac::workloads::{SyntheticKind, SyntheticSpec};
+//!
+//! // 1. A workload with four constructed one-to-one correlations.
+//! let workload = SyntheticSpec::new(SyntheticKind::OneToOne)
+//!     .events(300)
+//!     .seed(7)
+//!     .generate();
+//!
+//! // 2. Replay it against a simulated NVMe SSD to get issue events.
+//! let mut ssd = NvmeSsdModel::new(7);
+//! let replayed = replay(&workload.trace, &mut ssd,
+//!                       ReplayMode::Timed { speedup: 1.0 });
+//!
+//! // 3. Group events into transactions (dynamic 2× latency window).
+//! let txns = Monitor::new(MonitorConfig::default())
+//!     .into_transactions(replayed.events);
+//!
+//! // 4. Run the online analysis and ask for frequent correlations.
+//! let mut analyzer = OnlineAnalyzer::new(AnalyzerConfig::with_capacity(4096));
+//! for txn in &txns {
+//!     analyzer.process(txn);
+//! }
+//! let frequent = analyzer.frequent_pairs(10);
+//! assert!(!frequent.is_empty());
+//! ```
+
+pub use rtdac_cache as cache;
+pub use rtdac_device as device;
+pub use rtdac_fim as fim;
+pub use rtdac_metrics as metrics;
+pub use rtdac_monitor as monitor;
+pub use rtdac_sketch as sketch;
+pub use rtdac_ssdsim as ssdsim;
+pub use rtdac_synopsis as synopsis;
+pub use rtdac_types as types;
+pub use rtdac_workloads as workloads;

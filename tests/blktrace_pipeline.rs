@@ -1,0 +1,109 @@
+//! The binary blktrace path end to end: a synthesized trace written as
+//! a blktrace-style stream, read back without blkparse (§III-C), and
+//! analyzed — must agree with analyzing the trace directly.
+
+use std::collections::HashSet;
+use std::time::Duration;
+
+use rtdac::monitor::{blktrace, Monitor, MonitorConfig, WindowPolicy};
+use rtdac::synopsis::{AnalyzerConfig, OnlineAnalyzer};
+use rtdac::types::{ExtentPair, IoEvent, Trace};
+use rtdac::workloads::MsrServer;
+
+fn direct_events(trace: &Trace) -> Vec<IoEvent> {
+    trace
+        .iter()
+        .map(|r| {
+            IoEvent::new(
+                r.time,
+                r.pid,
+                r.op,
+                r.extent,
+                r.latency.expect("synthesized traces record latencies"),
+            )
+        })
+        .collect()
+}
+
+fn frequent_pairs_of(events: Vec<IoEvent>, config: MonitorConfig) -> HashSet<ExtentPair> {
+    let txns = Monitor::new(config).into_transactions(events);
+    let mut analyzer = OnlineAnalyzer::new(AnalyzerConfig::with_capacity(16 * 1024));
+    for txn in &txns {
+        analyzer.process(txn);
+    }
+    analyzer.frequent_pairs(5).into_iter().map(|(p, _)| p).collect()
+}
+
+fn binary_round_trip(trace: &Trace) -> Vec<IoEvent> {
+    let mut buf = Vec::new();
+    blktrace::write_trace(trace, &mut buf).expect("in-memory write");
+    blktrace::read_events(buf.as_slice(), Duration::from_micros(100))
+        .expect("well-formed stream")
+}
+
+#[test]
+fn binary_round_trip_preserves_analysis_exactly_under_static_window() {
+    // With a static window the analysis depends only on timestamps and
+    // geometry, both preserved exactly by the binary format.
+    let trace = MsrServer::Rsrch.synthesize(10_000, 13);
+    let config = || {
+        MonitorConfig::new(WindowPolicy::Static(Duration::from_micros(300)))
+    };
+    let direct = frequent_pairs_of(direct_events(&trace), config());
+    let events = binary_round_trip(&trace);
+    assert_eq!(events.len(), trace.len());
+    let via_binary = frequent_pairs_of(events, config());
+    assert_eq!(direct, via_binary);
+}
+
+#[test]
+fn binary_round_trip_agrees_under_dynamic_window() {
+    // The dynamic window consumes recovered latencies, whose FIFO D/C
+    // pairing can permute latencies of identical overlapping requests —
+    // so exact equality is not guaranteed, but the analyses must agree
+    // almost everywhere.
+    let trace = MsrServer::Rsrch.synthesize(10_000, 13);
+    let direct = frequent_pairs_of(direct_events(&trace), MonitorConfig::default());
+    let via_binary =
+        frequent_pairs_of(binary_round_trip(&trace), MonitorConfig::default());
+    let common = direct.intersection(&via_binary).count();
+    let union = direct.union(&via_binary).count().max(1);
+    let jaccard = common as f64 / union as f64;
+    assert!(jaccard > 0.9, "jaccard {jaccard:.3} between paths");
+}
+
+#[test]
+fn binary_stream_latencies_drive_the_dynamic_window() {
+    let trace = MsrServer::Wdev.synthesize(5_000, 14);
+    let mut buf = Vec::new();
+    blktrace::write_trace(&trace, &mut buf).expect("in-memory write");
+    let events =
+        blktrace::read_events(buf.as_slice(), Duration::ZERO).expect("well-formed stream");
+
+    let mut monitor = Monitor::new(MonitorConfig::default());
+    for event in events {
+        monitor.push(event);
+    }
+    // The recovered latencies average to the trace's recorded mean
+    // (HDD-era ms), so the dynamic window must saturate at its clamp.
+    let avg = monitor.average_latency().expect("latencies recovered");
+    let recorded = trace.stats().mean_recorded_latency.expect("recorded");
+    let ratio = avg.as_secs_f64() / recorded.as_secs_f64();
+    assert!((0.5..2.0).contains(&ratio), "ratio {ratio}");
+}
+
+#[test]
+fn events_to_trace_preserves_stats() {
+    let trace = MsrServer::Hm.synthesize(4_000, 15);
+    let mut buf = Vec::new();
+    blktrace::write_trace(&trace, &mut buf).expect("in-memory write");
+    let events =
+        blktrace::read_events(buf.as_slice(), Duration::ZERO).expect("well-formed stream");
+    let rebuilt = blktrace::events_to_trace("hm", &events);
+    let a = trace.stats();
+    let b = rebuilt.stats();
+    assert_eq!(a.requests, b.requests);
+    assert_eq!(a.total_bytes, b.total_bytes);
+    assert_eq!(a.unique_bytes, b.unique_bytes);
+    assert_eq!(a.max_block, b.max_block);
+}

@@ -1,0 +1,167 @@
+//! End-to-end tests of the `rtdac` command-line binary: synth → stats →
+//! analyze → convert → mine over both trace formats.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn rtdac(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_rtdac"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(output: &Output) -> String {
+    assert!(
+        output.status.success(),
+        "command failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rtdac_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir.join(name)
+}
+
+#[test]
+fn synth_stats_analyze_pipeline() {
+    let blk = temp_path("wdev.blk");
+    let out = stdout(&rtdac(&[
+        "synth",
+        "wdev",
+        blk.to_str().unwrap(),
+        "--requests",
+        "5000",
+        "--seed",
+        "3",
+    ]));
+    assert!(out.contains("5000 requests"));
+
+    let stats = stdout(&rtdac(&["stats", blk.to_str().unwrap()]));
+    assert!(stats.contains("requests:             5000"));
+    assert!(stats.contains("reuse ratio"));
+    assert!(stats.contains("mean recorded latency"));
+
+    let analysis = stdout(&rtdac(&[
+        "analyze",
+        blk.to_str().unwrap(),
+        "--support",
+        "5",
+        "--top",
+        "3",
+    ]));
+    assert!(analysis.contains("transactions"));
+    assert!(analysis.contains("correlations with support >= 5"));
+    assert!(analysis.contains('~'), "should print at least one pair");
+}
+
+#[test]
+fn convert_round_trips_between_formats() {
+    let blk = temp_path("rt.blk");
+    let csv = temp_path("rt.csv");
+    let blk2 = temp_path("rt2.blk");
+    stdout(&rtdac(&[
+        "synth",
+        "rsrch",
+        blk.to_str().unwrap(),
+        "--requests",
+        "2000",
+    ]));
+    stdout(&rtdac(&["convert", blk.to_str().unwrap(), csv.to_str().unwrap()]));
+    stdout(&rtdac(&["convert", csv.to_str().unwrap(), blk2.to_str().unwrap()]));
+
+    // Stats agree across the round trip (latency excepted: the MSR CSV
+    // format stores response times in 100 ns ticks, truncating
+    // nanoseconds).
+    let a = stdout(&rtdac(&["stats", blk.to_str().unwrap()]));
+    let b = stdout(&rtdac(&["stats", blk2.to_str().unwrap()]));
+    let strip = |s: &str| {
+        s.lines()
+            .filter(|l| !l.starts_with("trace:") && !l.starts_with("mean recorded latency"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(strip(&a), strip(&b));
+}
+
+#[test]
+fn mine_agrees_with_analyze_on_top_pair() {
+    let blk = temp_path("mine.blk");
+    stdout(&rtdac(&[
+        "synth",
+        "one-to-one",
+        blk.to_str().unwrap(),
+        "--requests",
+        "500",
+    ]));
+    let analyze = stdout(&rtdac(&[
+        "analyze",
+        blk.to_str().unwrap(),
+        "--support",
+        "10",
+        "--top",
+        "1",
+        "--window",
+        "200",
+    ]));
+    let mine = stdout(&rtdac(&[
+        "mine",
+        blk.to_str().unwrap(),
+        "--support",
+        "10",
+        "--window",
+        "200",
+    ]));
+    // The first pair line ("<tally>x  <a> ~ <b>") of both outputs names
+    // the same most-frequent pair.
+    let top = |s: &str| {
+        s.lines()
+            .find(|l| l.contains('~'))
+            .map(str::trim)
+            .map(String::from)
+    };
+    let top_analyze = top(&analyze).expect("analyze printed a pair");
+    let top_mine = top(&mine).expect("mine printed a pair");
+    assert_eq!(top_analyze, top_mine);
+}
+
+#[test]
+fn bad_usage_fails_with_help() {
+    let out = rtdac(&["frobnicate"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown command"));
+    assert!(err.contains("usage:"));
+
+    let out = rtdac(&[]);
+    assert!(!out.status.success());
+
+    let out = rtdac(&["analyze", "/nonexistent/path.csv"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot open"));
+}
+
+#[test]
+fn ops_filter_restricts_analysis() {
+    let blk = temp_path("ops.blk");
+    stdout(&rtdac(&[
+        "synth",
+        "wdev",
+        blk.to_str().unwrap(),
+        "--requests",
+        "3000",
+    ]));
+    let all = stdout(&rtdac(&["analyze", blk.to_str().unwrap(), "--ops", "all"]));
+    let writes = stdout(&rtdac(&["analyze", blk.to_str().unwrap(), "--ops", "write"]));
+    let count = |s: &str| -> usize {
+        s.lines()
+            .find_map(|l| l.split(" correlations").next()?.trim().parse().ok())
+            .unwrap_or(0)
+    };
+    assert!(count(&writes) <= count(&all));
+    let bad = rtdac(&["analyze", blk.to_str().unwrap(), "--ops", "sideways"]);
+    assert!(!bad.status.success());
+}

@@ -1,0 +1,164 @@
+//! Online-vs-offline agreement on the MSR-like real-world workloads —
+//! the Fig. 8/9 comparison as assertions: the bounded online synopsis
+//! must capture a large share of what unbounded offline mining finds.
+
+use std::collections::HashSet;
+
+use rtdac::device::{replay, NvmeSsdModel, ReplayMode};
+use rtdac::fim::{count_pairs, frequent_pairs};
+use rtdac::metrics::{detection, representability, OptimalCurve};
+use rtdac::monitor::{Monitor, MonitorConfig};
+use rtdac::synopsis::{AnalyzerConfig, OnlineAnalyzer};
+use rtdac::types::{ExtentPair, Transaction};
+use rtdac::workloads::MsrServer;
+
+fn monitored_transactions(server: MsrServer, requests: usize, seed: u64) -> Vec<Transaction> {
+    let trace = server.synthesize(requests, seed);
+    let speedup = server.paper_reference().replay_speedup;
+    let mut ssd = NvmeSsdModel::new(seed);
+    let replayed = replay(&trace, &mut ssd, ReplayMode::Timed { speedup });
+    Monitor::new(MonitorConfig::default()).into_transactions(replayed.events)
+}
+
+fn analyze(txns: &[Transaction], capacity: usize) -> OnlineAnalyzer {
+    let mut analyzer = OnlineAnalyzer::new(AnalyzerConfig::with_capacity(capacity));
+    for txn in txns {
+        analyzer.process(txn);
+    }
+    analyzer
+}
+
+#[test]
+fn online_covers_offline_support5_pairs_on_all_servers() {
+    // Fig. 8: offline support-5 pairs (middle column) vs online
+    // support-5 pairs (right column).
+    for server in MsrServer::ALL {
+        let txns = monitored_transactions(server, 25_000, 1);
+        let truth = count_pairs(&txns);
+        let offline: HashSet<ExtentPair> = frequent_pairs(&truth, 5)
+            .into_iter()
+            .map(|(p, _)| p)
+            .collect();
+        // A table large enough for this (scaled) trace.
+        let analyzer = analyze(&txns, 32 * 1024);
+        let online: HashSet<ExtentPair> = analyzer
+            .frequent_pairs(5)
+            .into_iter()
+            .map(|(p, _)| p)
+            .collect();
+        let d = detection(&online, &offline);
+        assert!(
+            d.recall > 0.9,
+            "{}: online support-5 recall {:.3} ({} offline pairs)",
+            server.name(),
+            d.recall,
+            offline.len()
+        );
+        assert!(
+            d.precision > 0.9,
+            "{}: online support-5 precision {:.3}",
+            server.name(),
+            d.precision
+        );
+    }
+}
+
+#[test]
+fn representability_grows_with_table_size() {
+    // Fig. 9's central trend: quality is low for a small table and
+    // increases with table size, reaching ~1 when the table can store
+    // every pair.
+    let txns = monitored_transactions(MsrServer::Wdev, 20_000, 2);
+    let truth = count_pairs(&txns);
+    let mut previous = 0.0;
+    let mut last = 0.0;
+    for capacity in [256usize, 1024, 4096, 16 * 1024, 64 * 1024] {
+        let analyzer = analyze(&txns, capacity);
+        let stored = analyzer.snapshot().pair_set();
+        let r = representability(&stored, &truth);
+        assert!(
+            r.versus_optimal >= previous - 0.1,
+            "representability regressed hard at capacity {capacity}: \
+             {:.3} after {:.3}",
+            r.versus_optimal,
+            previous
+        );
+        previous = r.versus_optimal;
+        last = r.versus_optimal;
+    }
+    assert!(
+        last > 0.95,
+        "a table big enough for every pair must approach optimal, got {last:.3}"
+    );
+}
+
+#[test]
+fn most_unique_pairs_are_infrequent() {
+    // Fig. 5's observation driving the whole design: "the majority of
+    // unique extent pairs are infrequent ... three quarters of the
+    // unique extent pairs occur only once" (wdev/src2/rsrch).
+    for server in [MsrServer::Wdev, MsrServer::Src2, MsrServer::Rsrch] {
+        let txns = monitored_transactions(server, 25_000, 3);
+        let truth = count_pairs(&txns);
+        let once = truth.values().filter(|&&c| c == 1).count();
+        let fraction = once as f64 / truth.len() as f64;
+        assert!(
+            fraction > 0.5,
+            "{}: only {:.2} of unique pairs have support 1",
+            server.name(),
+            fraction
+        );
+    }
+}
+
+#[test]
+fn a_small_table_represents_a_large_weighted_share() {
+    // Fig. 6's point: a small number of top pairs covers a large
+    // fraction of total frequency ("roughly 40% ... using a small table
+    // size").
+    let txns = monitored_transactions(MsrServer::Rsrch, 25_000, 4);
+    let truth = count_pairs(&txns);
+    let curve = OptimalCurve::from_counts(&truth);
+    let small = curve.unique_pairs() / 20; // 5% of unique pairs
+    assert!(
+        curve.optimal_fraction(small.max(1)) > 0.3,
+        "top 5% of pairs cover only {:.3} of occurrences",
+        curve.optimal_fraction(small.max(1))
+    );
+}
+
+#[test]
+fn online_tallies_never_exceed_truth_on_real_workloads() {
+    let txns = monitored_transactions(MsrServer::Hm, 15_000, 5);
+    let truth = count_pairs(&txns);
+    let analyzer = analyze(&txns, 16 * 1024);
+    for (pair, tally) in analyzer.frequent_pairs(1) {
+        let true_count = truth.get(&pair).copied().unwrap_or(0);
+        assert!(
+            tally <= true_count,
+            "pair {pair}: online {tally} > offline {true_count}"
+        );
+    }
+}
+
+#[test]
+fn stg_needs_a_bigger_table_than_wdev() {
+    // Fig. 9's stg discussion: with its order-of-magnitude larger number
+    // space and majority-infrequent pairs, a very small correlation
+    // table does relatively worse on stg than on wdev.
+    let capacity = 512;
+    let mut scores = Vec::new();
+    for server in [MsrServer::Wdev, MsrServer::Stg] {
+        let txns = monitored_transactions(server, 25_000, 6);
+        let truth = count_pairs(&txns);
+        let analyzer = analyze(&txns, capacity);
+        let stored = analyzer.snapshot().pair_set();
+        scores.push(representability(&stored, &truth).versus_optimal);
+    }
+    assert!(
+        scores[0] > scores[1],
+        "wdev ({:.3}) should beat stg ({:.3}) at a tiny table",
+        scores[0],
+        scores[1]
+    );
+}
