@@ -43,8 +43,7 @@ fn bench_process_by_txn_size(c: &mut Criterion) {
         group.throughput(Throughput::Elements(txns.len() as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &txns, |b, txns| {
             b.iter(|| {
-                let mut analyzer =
-                    OnlineAnalyzer::new(AnalyzerConfig::with_capacity(16 * 1024));
+                let mut analyzer = OnlineAnalyzer::new(AnalyzerConfig::with_capacity(16 * 1024));
                 for txn in txns {
                     analyzer.process(txn);
                 }
@@ -65,8 +64,7 @@ fn bench_process_by_capacity(c: &mut Criterion) {
             &capacity,
             |b, &capacity| {
                 b.iter(|| {
-                    let mut analyzer =
-                        OnlineAnalyzer::new(AnalyzerConfig::with_capacity(capacity));
+                    let mut analyzer = OnlineAnalyzer::new(AnalyzerConfig::with_capacity(capacity));
                     for txn in &txns {
                         analyzer.process(txn);
                     }

@@ -71,7 +71,13 @@ fn bursty_events(
     for _ in 0..bursts {
         let group = &extents[rand() as usize % groups];
         for &extent in group {
-            events.push(IoEvent::new(t, 1, IoOp::Read, extent, Duration::from_micros(40)));
+            events.push(IoEvent::new(
+                t,
+                1,
+                IoOp::Read,
+                extent,
+                Duration::from_micros(40),
+            ));
             t += Duration::from_micros(3);
         }
         t += Duration::from_millis(2);
@@ -105,11 +111,7 @@ pub fn window_ablation(config: &ExpConfig) {
     let static_windows_us = [1u64, 5, 20, 80, 300, 1_000, 5_000, 20_000];
     for us in static_windows_us {
         let mc = MonitorConfig::new(WindowPolicy::Static(Duration::from_micros(us)));
-        let analyzer = analyze_events(
-            events.clone(),
-            mc,
-            AnalyzerConfig::with_capacity(8 * 1024),
-        );
+        let analyzer = analyze_events(events.clone(), mc, AnalyzerConfig::with_capacity(8 * 1024));
         let detected: HashSet<ExtentPair> = analyzer
             .frequent_pairs(10)
             .into_iter()
@@ -142,8 +144,7 @@ pub fn window_ablation(config: &ExpConfig) {
         d.recall * 100.0,
         d.precision * 100.0
     );
-    writeln!(csv, "dynamic_2x,{:.4},{:.4}", d.recall, d.precision)
-        .expect("writing to String");
+    writeln!(csv, "dynamic_2x,{:.4},{:.4}", d.recall, d.precision).expect("writing to String");
     println!(
         "\nreading: windows far below the device latency split correlated \
          requests apart; windows far above it merge unrelated ones. The \
@@ -237,8 +238,7 @@ pub fn synopsis_ablation(config: &ExpConfig) {
             d.recall * 100.0,
             d.precision * 100.0
         );
-        writeln!(csv, "{label},{:.4},{:.4}", d.recall, d.precision)
-            .expect("writing to String");
+        writeln!(csv, "{label},{:.4},{:.4}", d.recall, d.precision).expect("writing to String");
     };
 
     for threshold in [2u32, 3, 4, 8] {

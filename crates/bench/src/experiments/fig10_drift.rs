@@ -43,8 +43,14 @@ pub fn run(config: &ExpConfig) {
     ));
 
     let phases = [
-        ("wdev-1", phase_transactions(MsrServer::Wdev, 0, phase_len, config.seed)),
-        ("hm", phase_transactions(MsrServer::Hm, 0, phase_len, config.seed)),
+        (
+            "wdev-1",
+            phase_transactions(MsrServer::Wdev, 0, phase_len, config.seed),
+        ),
+        (
+            "hm",
+            phase_transactions(MsrServer::Hm, 0, phase_len, config.seed),
+        ),
         (
             "wdev-2",
             phase_transactions(MsrServer::Wdev, phase_len, phase_len, config.seed),

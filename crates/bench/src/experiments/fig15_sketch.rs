@@ -148,7 +148,10 @@ pub fn run(config: &ExpConfig) {
 
     let mut combined = wdev_txns;
     combined.extend(hm_txns);
-    println!("{:<20} {:>16} {:>18}", "method", "reported pairs", "current-phase %");
+    println!(
+        "{:<20} {:>16} {:>18}",
+        "method", "reported pairs", "current-phase %"
+    );
     for contender in run_contenders(&combined, drift_budget) {
         let total = contender.pairs.len().max(1);
         let current = contender

@@ -21,8 +21,7 @@ pub fn run(config: &ExpConfig) {
         "{:<7} {:>12} {:>14} {:>15} {:>16} {:>16}",
         "trace", "unique pairs", "occurrences", "unique@supp1", "weighted@supp1", "weighted@supp5"
     );
-    let mut csv =
-        String::from("trace,frequency,unique_fraction,weighted_fraction\n");
+    let mut csv = String::from("trace,frequency,unique_fraction,weighted_fraction\n");
     for server in MsrServer::ALL {
         let txns = server_transactions(server, config);
         let counts = count_pairs(&txns);

@@ -55,14 +55,8 @@ pub fn run(config: &ExpConfig) {
             .expect("writing to String");
             n = (n * 5 / 4).max(n + 1);
         }
-        writeln!(
-            csv,
-            "{},{},{:.6}",
-            server.name(),
-            curve.unique_pairs(),
-            1.0
-        )
-        .expect("writing to String");
+        writeln!(csv, "{},{},{:.6}", server.name(), curve.unique_pairs(), 1.0)
+            .expect("writing to String");
     }
     println!(
         "\npaper's reading: ~40% of all extent correlations are \

@@ -36,8 +36,7 @@ pub fn run(config: &ExpConfig) {
             &mut ssd,
             ReplayMode::Timed { speedup: 1.0 },
         );
-        let txns =
-            Monitor::new(MonitorConfig::default()).into_transactions(replayed.events);
+        let txns = Monitor::new(MonitorConfig::default()).into_transactions(replayed.events);
 
         // Panel 2: every support-1 pair.
         let counts = count_pairs(&txns);
@@ -73,9 +72,15 @@ pub fn run(config: &ExpConfig) {
         print!("{}", trace_map.to_ascii());
         println!("[support-1 pairs: {}]", all_pairs.len());
         print!("{}", support1_map.to_ascii());
-        println!("[offline eclat, support {SUPPORT}: {} pairs]", offline.len());
+        println!(
+            "[offline eclat, support {SUPPORT}: {} pairs]",
+            offline.len()
+        );
         print!("{}", offline_map.to_ascii());
-        println!("[online analysis, support {SUPPORT}: {} pairs]", online.len());
+        println!(
+            "[online analysis, support {SUPPORT}: {} pairs]",
+            online.len()
+        );
         print!("{}", online_map.to_ascii());
 
         // Quantify "visually similar": online panel vs offline panel.

@@ -2,13 +2,13 @@
 //! ablations listed in DESIGN.md §5.
 
 pub mod ablations;
+pub mod fig10_drift;
+pub mod fig14_cache;
+pub mod fig15_sketch;
 pub mod fig1_heatmaps;
 pub mod fig5_cdf;
 pub mod fig6_table_size;
 pub mod fig7_synthetic;
 pub mod fig8_real_world;
 pub mod fig9_representability;
-pub mod fig10_drift;
-pub mod fig14_cache;
-pub mod fig15_sketch;
 pub mod tables;

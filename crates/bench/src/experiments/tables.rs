@@ -83,14 +83,13 @@ pub fn table2(config: &ExpConfig) {
         "{:<7} {:>16} {:>18} {:>10} {:>14}",
         "trace", "mean trace lat", "mean measured lat", "speedup", "paper speedup"
     );
-    let mut csv = String::from(
-        "trace,mean_trace_latency_s,mean_measured_latency_s,speedup,paper_speedup\n",
-    );
+    let mut csv =
+        String::from("trace,mean_trace_latency_s,mean_measured_latency_s,speedup,paper_speedup\n");
     for server in MsrServer::ALL {
         let trace = server_trace(server, config);
         let mut ssd = NvmeSsdModel::new(config.seed);
-        let row = replay_speedup(&trace, &mut ssd, 10)
-            .expect("synthesized traces record latencies");
+        let row =
+            replay_speedup(&trace, &mut ssd, 10).expect("synthesized traces record latencies");
         let paper = server.paper_reference();
         println!(
             "{:<7} {:>16} {:>18} {:>9.1}x {:>13.1}x",

@@ -85,11 +85,7 @@ pub fn monitored(trace: &Trace, speedup: f64, seed: u64) -> Vec<Transaction> {
 /// Table II speedup.
 pub fn server_transactions(server: MsrServer, config: &ExpConfig) -> Vec<Transaction> {
     let trace = server_trace(server, config);
-    monitored(
-        &trace,
-        server.paper_reference().replay_speedup,
-        config.seed,
-    )
+    monitored(&trace, server.paper_reference().replay_speedup, config.seed)
 }
 
 /// Runs the online analyzer over transactions with per-tier capacity `c`.

@@ -397,7 +397,7 @@ mod tests {
         c.access(2);
         c.access(2); // 2 in T2; T2 = {2, 1}, capacity 2
         c.access(3); // replace: T1 empty... 3 to T1, T2 LRU (1) to B2
-        // Grow p first so there's something to shrink.
+                     // Grow p first so there's something to shrink.
         c.access(4);
         let _ = c.contains(&1);
         let p_before = c.p();

@@ -147,10 +147,7 @@ mod tests {
     fn prefetch_is_strictly_predictive() {
         // On the very first transaction nothing is known, so nothing is
         // prefetched.
-        let txns = vec![Transaction::from_extents(
-            Timestamp::ZERO,
-            [e(0), e(100)],
-        )];
+        let txns = vec![Transaction::from_extents(Timestamp::ZERO, [e(0), e(100)])];
         let mut analyzer = OnlineAnalyzer::new(AnalyzerConfig::with_capacity(64));
         let mut cache = LruCache::new(4);
         let stats = run_workload(

@@ -8,9 +8,8 @@
 
 use std::time::Duration;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rtdac_types::{Extent, IoOp};
+use rtdac_workloads::Pcg32;
 
 /// A storage device that can service requests, reporting a latency per
 /// request.
@@ -47,7 +46,7 @@ pub trait DeviceModel {
 /// ```
 #[derive(Clone, Debug)]
 pub struct NvmeSsdModel {
-    rng: StdRng,
+    rng: Pcg32,
     base_read: Duration,
     base_write: Duration,
     per_block: Duration,
@@ -61,7 +60,7 @@ impl NvmeSsdModel {
     /// Creates the model with 960-EVO-like defaults.
     pub fn new(seed: u64) -> Self {
         NvmeSsdModel {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Pcg32::seed_from_u64(seed),
             base_read: Duration::from_micros(28),
             base_write: Duration::from_micros(18),
             per_block: Duration::from_nanos(120),
@@ -94,8 +93,7 @@ impl DeviceModel for NvmeSsdModel {
             IoOp::Write => self.base_write,
         };
         let transfer = self.per_block * extent.len();
-        let jitter =
-            Duration::from_nanos(self.rng.gen_range(0..=self.jitter.as_nanos() as u64));
+        let jitter = Duration::from_nanos(self.rng.gen_range(0..=self.jitter.as_nanos() as u64));
         let mut latency = base + transfer + jitter;
         if op.is_write() && self.gc_period > 0 {
             self.writes_since_gc += 1;
@@ -130,7 +128,7 @@ impl DeviceModel for NvmeSsdModel {
 /// ```
 #[derive(Clone, Debug)]
 pub struct HddModel {
-    rng: StdRng,
+    rng: Pcg32,
     avg_seek: Duration,
     rotation: Duration,
     per_block: Duration,
@@ -142,7 +140,7 @@ impl HddModel {
     /// 8.3 ms rotation).
     pub fn new(seed: u64) -> Self {
         HddModel {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Pcg32::seed_from_u64(seed),
             avg_seek: Duration::from_micros(4_000),
             rotation: Duration::from_micros(8_333),
             per_block: Duration::from_nanos(4_000), // ~125 MB/s at 512 B blocks
@@ -154,8 +152,8 @@ impl HddModel {
 impl DeviceModel for HddModel {
     fn service_time(&mut self, op: IoOp, extent: Extent) -> Duration {
         let _ = op; // reads and writes cost the same on a disk arm
-        // Seek cost grows with distance (saturating), vanishes for
-        // sequential continuation.
+                    // Seek cost grows with distance (saturating), vanishes for
+                    // sequential continuation.
         let distance = extent.start().abs_diff(self.last_block);
         self.last_block = extent.end();
         let seek = if distance == 0 {
@@ -164,9 +162,8 @@ impl DeviceModel for HddModel {
             let frac = (distance as f64).log2() / 32.0;
             Duration::from_secs_f64(self.avg_seek.as_secs_f64() * frac.min(2.0))
         };
-        let rotational = Duration::from_nanos(
-            self.rng.gen_range(0..=self.rotation.as_nanos() as u64),
-        );
+        let rotational =
+            Duration::from_nanos(self.rng.gen_range(0..=self.rotation.as_nanos() as u64));
         seek + rotational + self.per_block * extent.len()
     }
 
@@ -201,9 +198,12 @@ mod tests {
     fn ssd_large_requests_take_longer() {
         let mut a = NvmeSsdModel::new(2);
         let mut b = NvmeSsdModel::new(2);
-        let small: Duration = (0..100).map(|_| a.service_time(IoOp::Read, extent(0, 1))).sum();
-        let large: Duration =
-            (0..100).map(|_| b.service_time(IoOp::Read, extent(0, 2048))).sum();
+        let small: Duration = (0..100)
+            .map(|_| a.service_time(IoOp::Read, extent(0, 1)))
+            .sum();
+        let large: Duration = (0..100)
+            .map(|_| b.service_time(IoOp::Read, extent(0, 2048)))
+            .sum();
         assert!(large > small);
     }
 

@@ -101,7 +101,13 @@ pub fn replay<M: DeviceModel + ?Sized>(
         all_total += latency;
         let completion = issue + latency;
         makespan = makespan.max(completion.saturating_since(Timestamp::ZERO));
-        events.push(IoEvent::new(issue, request.pid, request.op, request.extent, latency));
+        events.push(IoEvent::new(
+            issue,
+            request.pid,
+            request.op,
+            request.extent,
+            latency,
+        ));
     }
 
     let n = events.len() as u32;
@@ -197,7 +203,9 @@ mod tests {
         let r = replay(&trace, &mut ssd, ReplayMode::NoStall);
         // Second issue = first completion, far sooner than 1 s.
         assert_eq!(
-            r.events[1].timestamp.saturating_since(r.events[0].timestamp),
+            r.events[1]
+                .timestamp
+                .saturating_since(r.events[0].timestamp),
             r.events[0].latency
         );
     }

@@ -27,7 +27,11 @@ fn event_order_is_preserved_under_acceleration() {
         .seed(2)
         .generate();
     let mut ssd = NvmeSsdModel::new(2);
-    let result = replay(&workload.trace, &mut ssd, ReplayMode::Timed { speedup: 473.0 });
+    let result = replay(
+        &workload.trace,
+        &mut ssd,
+        ReplayMode::Timed { speedup: 473.0 },
+    );
     assert_eq!(result.events.len(), workload.trace.len());
     for (event, request) in result.events.iter().zip(workload.trace.iter()) {
         assert_eq!(event.extent, request.extent);

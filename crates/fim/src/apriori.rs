@@ -174,12 +174,8 @@ mod tests {
     #[test]
     fn textbook_example() {
         // Classic market-basket example.
-        let db = TransactionDb::from_iter([
-            vec![1, 3, 4],
-            vec![2, 3, 5],
-            vec![1, 2, 3, 5],
-            vec![2, 5],
-        ]);
+        let db =
+            TransactionDb::from_iter([vec![1, 3, 4], vec![2, 3, 5], vec![1, 2, 3, 5], vec![2, 5]]);
         let r = Apriori::new(2).mine(&db);
         assert_eq!(r.support(&[1]), Some(2));
         assert_eq!(r.support(&[2]), Some(3));

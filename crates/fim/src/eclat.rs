@@ -134,12 +134,8 @@ mod tests {
 
     #[test]
     fn matches_apriori_on_textbook_example() {
-        let db = TransactionDb::from_iter([
-            vec![1, 3, 4],
-            vec![2, 3, 5],
-            vec![1, 2, 3, 5],
-            vec![2, 5],
-        ]);
+        let db =
+            TransactionDb::from_iter([vec![1, 3, 4], vec![2, 3, 5], vec![1, 2, 3, 5], vec![2, 5]]);
         let eclat = Eclat::new(2).mine(&db);
         let apriori = crate::Apriori::new(2).mine(&db);
         assert_eq!(eclat, apriori);

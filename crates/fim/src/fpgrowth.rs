@@ -225,12 +225,8 @@ mod tests {
 
     #[test]
     fn matches_apriori_on_textbook_example() {
-        let db = TransactionDb::from_iter([
-            vec![1, 3, 4],
-            vec![2, 3, 5],
-            vec![1, 2, 3, 5],
-            vec![2, 5],
-        ]);
+        let db =
+            TransactionDb::from_iter([vec![1, 3, 4], vec![2, 3, 5], vec![1, 2, 3, 5], vec![2, 5]]);
         let fp = FpGrowth::new(2).mine(&db);
         let ap = crate::Apriori::new(2).mine(&db);
         assert_eq!(fp, ap);
@@ -241,11 +237,11 @@ mod tests {
         // The running example of the FP-growth paper (items renamed to
         // integers: f=1, c=2, a=3, b=4, m=5, p=6, plus infrequent extras).
         let db = TransactionDb::from_iter([
-            vec![1, 3, 2, 4, 5, 6],    // f a c d g i m p -> keeping frequent
-            vec![1, 3, 2, 4, 5],       // a b c f l m o
-            vec![1, 4],                // b f h j o
-            vec![2, 4, 6],             // b c k s p
-            vec![1, 3, 2, 5, 6],       // a f c e l p m n
+            vec![1, 3, 2, 4, 5, 6], // f a c d g i m p -> keeping frequent
+            vec![1, 3, 2, 4, 5],    // a b c f l m o
+            vec![1, 4],             // b f h j o
+            vec![2, 4, 6],          // b c k s p
+            vec![1, 3, 2, 5, 6],    // a f c e l p m n
         ]);
         let r = FpGrowth::new(3).mine(&db);
         let ap = crate::Apriori::new(3).mine(&db);

@@ -40,8 +40,8 @@
 
 mod apriori;
 mod db;
-mod estdec;
 mod eclat;
+mod estdec;
 mod fpgrowth;
 mod pairs;
 mod result;

@@ -70,11 +70,7 @@ mod tests {
 
     #[test]
     fn counts_across_transactions() {
-        let txns = vec![
-            txn(&[e(1), e(2), e(3)]),
-            txn(&[e(1), e(2)]),
-            txn(&[e(3)]),
-        ];
+        let txns = vec![txn(&[e(1), e(2), e(3)]), txn(&[e(1), e(2)]), txn(&[e(3)])];
         let counts = count_pairs(&txns);
         let p12 = ExtentPair::new(e(1), e(2)).unwrap();
         let p13 = ExtentPair::new(e(1), e(3)).unwrap();

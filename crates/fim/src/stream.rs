@@ -98,9 +98,8 @@ impl DecayedPairMiner {
         let cutoff = values[values.len() / 2];
         let clock = self.clock;
         let decay = self.decay;
-        self.counts.retain(|_, c| {
-            c.value * decay.powi((clock - c.last_seen) as i32) > cutoff
-        });
+        self.counts
+            .retain(|_, c| c.value * decay.powi((clock - c.last_seen) as i32) > cutoff);
     }
 
     fn decayed_value(&self, count: &DecayedCount) -> f64 {

@@ -12,7 +12,10 @@ fn brute_force(db: &TransactionDb<u8>, min_support: u32) -> FimResult<u8> {
     for txn in db.transactions() {
         let n = txn.len();
         for mask in 1u32..(1 << n) {
-            let subset: Vec<u8> = (0..n).filter(|i| mask & (1 << i) != 0).map(|i| txn[i]).collect();
+            let subset: Vec<u8> = (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| txn[i])
+                .collect();
             *counts.entry(subset).or_insert(0) += 1;
         }
     }

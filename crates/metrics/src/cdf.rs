@@ -73,8 +73,7 @@ impl FrequencyCdf {
                 CdfPoint {
                     frequency,
                     unique_fraction: cum_pairs as f64 / total_pairs.max(1) as f64,
-                    weighted_fraction: cum_occurrences as f64
-                        / total_occurrences.max(1) as f64,
+                    weighted_fraction: cum_occurrences as f64 / total_occurrences.max(1) as f64,
                 }
             })
             .collect();

@@ -102,9 +102,7 @@ mod tests {
     #[test]
     fn partial_overlap() {
         let snap = snapshot_of(&[pair(1), pair(2), pair(3), pair(4)]);
-        let phase: HashSet<ExtentPair> = [pair(3), pair(4), pair(5), pair(6)]
-            .into_iter()
-            .collect();
+        let phase: HashSet<ExtentPair> = [pair(3), pair(4), pair(5), pair(6)].into_iter().collect();
         let a = phase_affinity(&snap, &phase);
         assert_eq!(a.phase_coverage, 0.5);
         assert_eq!(a.snapshot_share, 0.5);

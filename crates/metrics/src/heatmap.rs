@@ -36,7 +36,10 @@ impl Heatmap {
     /// Panics if any dimension is zero or a span is not positive.
     pub fn new(cols: usize, rows: usize, x_span: f64, y_span: f64) -> Self {
         assert!(cols > 0 && rows > 0, "heatmap dimensions must be positive");
-        assert!(x_span > 0.0 && y_span > 0.0, "heatmap spans must be positive");
+        assert!(
+            x_span > 0.0 && y_span > 0.0,
+            "heatmap spans must be positive"
+        );
         Heatmap {
             cols,
             rows,
@@ -60,7 +63,10 @@ impl Heatmap {
     ///
     /// Panics if out of bounds.
     pub fn cell(&self, col: usize, row: usize) -> u64 {
-        assert!(col < self.cols && row < self.rows, "heatmap index out of bounds");
+        assert!(
+            col < self.cols && row < self.rows,
+            "heatmap index out of bounds"
+        );
         self.cells[row * self.cols + col]
     }
 

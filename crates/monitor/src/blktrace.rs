@@ -191,9 +191,8 @@ pub fn read_events<R: Read>(mut reader: R, default_latency: Duration) -> io::Res
                     Timestamp::from_nanos(record.time_ns),
                     record.pid,
                     record.op,
-                    Extent::new(record.sector, record.blocks.max(1)).map_err(|e| {
-                        io::Error::new(io::ErrorKind::InvalidData, e.to_string())
-                    })?,
+                    Extent::new(record.sector, record.blocks.max(1))
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?,
                     default_latency,
                 ));
                 inflight
@@ -331,8 +330,13 @@ mod tests {
         // pair FIFO.
         let mut trace = Trace::new("t");
         trace.push(
-            IoRequest::new(Timestamp::from_micros(0), 1, IoOp::Read, Extent::new(0, 8).unwrap())
-                .with_latency(Duration::from_micros(500)),
+            IoRequest::new(
+                Timestamp::from_micros(0),
+                1,
+                IoOp::Read,
+                Extent::new(0, 8).unwrap(),
+            )
+            .with_latency(Duration::from_micros(500)),
         );
         trace.push(
             IoRequest::new(

@@ -33,6 +33,9 @@
 pub mod blktrace;
 mod ewma;
 mod monitor;
+mod pipeline;
+pub mod spsc;
 
 pub use ewma::LatencyEwma;
 pub use monitor::{Monitor, MonitorConfig, MonitorStats, WindowPolicy};
+pub use pipeline::{IngestPipeline, PipelineConfig, PipelineStats};

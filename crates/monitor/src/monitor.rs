@@ -1,7 +1,6 @@
-use std::collections::HashSet;
 use std::time::Duration;
 
-use rtdac_types::{IoEvent, Pid, Timestamp, Transaction};
+use rtdac_types::{FxHashSet, IoEvent, Pid, Timestamp, Transaction};
 
 use crate::ewma::LatencyEwma;
 
@@ -59,8 +58,9 @@ pub struct MonitorConfig {
     /// (§III-D2; the paper observed repeats in `wdev`).
     pub dedup: bool,
     /// Only events from these PIDs are monitored; `None` admits all
-    /// (§III-C's PID/process-group filtering).
-    pub pid_filter: Option<HashSet<Pid>>,
+    /// (§III-C's PID/process-group filtering). Fx-hashed: this set is
+    /// probed once per event on the ingestion hot path.
+    pub pid_filter: Option<FxHashSet<Pid>>,
 }
 
 impl MonitorConfig {
@@ -187,9 +187,7 @@ impl Monitor {
             } => match self.latency.average() {
                 None => *min,
                 Some(avg) => {
-                    let w = Duration::from_nanos(
-                        (avg.as_nanos() as f64 * multiplier) as u64,
-                    );
+                    let w = Duration::from_nanos((avg.as_nanos() as f64 * multiplier) as u64);
                     w.clamp(*min, *max)
                 }
             },
@@ -400,8 +398,7 @@ mod tests {
     #[test]
     fn pid_filter_drops_foreign_events() {
         let mut m = Monitor::new(
-            MonitorConfig::new(WindowPolicy::Static(Duration::from_micros(100)))
-                .pid_filter([7]),
+            MonitorConfig::new(WindowPolicy::Static(Duration::from_micros(100))).pid_filter([7]),
         );
         m.push(ev_pid(0, 1, 7));
         m.push(ev_pid(10, 2, 8)); // dropped
@@ -421,7 +418,7 @@ mod tests {
         });
         let mut m = Monitor::new(config);
         assert_eq!(m.current_window(), Duration::from_micros(10)); // min before data
-        // Feed events with 40 µs latency: the window converges to ~80 µs.
+                                                                   // Feed events with 40 µs latency: the window converges to ~80 µs.
         for i in 0..50u64 {
             m.push(ev(i * 1000, i));
         }

@@ -1,0 +1,381 @@
+//! The batched, sharded ingestion front-end: block events in, a merged
+//! correlation synopsis out, with the per-shard synopsis work running on
+//! dedicated worker threads.
+//!
+//! ```text
+//!  events ─▶ Monitor ─▶ batch ─▶ Arc<Vec<Transaction>> ─┬─▶ ring 0 ─▶ worker 0 (shard 0 tables)
+//!                                (broadcast, refcounted) ├─▶ ring 1 ─▶ worker 1 (shard 1 tables)
+//!                                                        └─▶ ring N ─▶ worker N (shard N tables)
+//! ```
+//!
+//! Each worker owns one shard of a
+//! [`ShardedAnalyzer`](rtdac_synopsis::ShardedAnalyzer) and calls
+//! [`OnlineAnalyzer::process_partition`] on every transaction of every
+//! batch, recording only the pairs (and their member extents) the shard
+//! owns — the routing invariant of DESIGN.md §8, so shards share nothing
+//! and need no locks. Batches amortize ring traffic: one `Arc` clone per
+//! shard per `batch_size` transactions.
+//!
+//! [`IngestPipeline::finish`] flushes the monitor and the open batch,
+//! closes the rings (workers drain, then exit) and reassembles the
+//! shards into a `ShardedAnalyzer` for querying — so results are
+//! identical to feeding the same events through the sequential sharded
+//! analyzer, and (by its equivalence guarantees) to the single-threaded
+//! [`OnlineAnalyzer`].
+//!
+//! # Examples
+//!
+//! ```
+//! use rtdac_monitor::{IngestPipeline, MonitorConfig, PipelineConfig};
+//! use rtdac_synopsis::AnalyzerConfig;
+//! use rtdac_types::{Extent, IoEvent, IoOp, Timestamp};
+//! use std::time::Duration;
+//!
+//! let mut pipeline = IngestPipeline::new(
+//!     MonitorConfig::default(),
+//!     AnalyzerConfig::with_capacity(1024),
+//!     PipelineConfig::with_shards(2),
+//! );
+//! for i in 0..100u64 {
+//!     for block in [10, 900] {
+//!         pipeline.push(IoEvent::new(
+//!             Timestamp::from_millis(i * 50),
+//!             1,
+//!             IoOp::Read,
+//!             Extent::new(block, 4).unwrap(),
+//!             Duration::from_micros(40),
+//!         ));
+//!     }
+//! }
+//! let analyzer = pipeline.finish();
+//! assert_eq!(analyzer.frequent_pairs(50).len(), 1);
+//! ```
+//!
+//! [`OnlineAnalyzer`]: rtdac_synopsis::OnlineAnalyzer
+//! [`OnlineAnalyzer::process_partition`]: rtdac_synopsis::OnlineAnalyzer::process_partition
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use rtdac_synopsis::{AnalyzerConfig, ShardedAnalyzer};
+use rtdac_types::{IoEvent, Transaction};
+
+use crate::monitor::{Monitor, MonitorConfig};
+use crate::spsc;
+
+/// Shape of the parallel pipeline: how many shards, how transactions are
+/// batched, and how deep each shard's ring is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Number of shard worker threads.
+    pub shard_count: usize,
+    /// Transactions per broadcast batch.
+    pub batch_size: usize,
+    /// Batches each shard ring can buffer before the front-end blocks
+    /// (bounded: a slow shard applies backpressure instead of growing an
+    /// unbounded queue).
+    pub ring_capacity: usize,
+}
+
+impl PipelineConfig {
+    /// A pipeline with `shard_count` shards and the default batch size
+    /// (64 transactions) and ring depth (64 batches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_count == 0`.
+    pub fn with_shards(shard_count: usize) -> Self {
+        assert!(shard_count > 0, "need at least one shard");
+        PipelineConfig {
+            shard_count,
+            batch_size: 64,
+            ring_capacity: 64,
+        }
+    }
+
+    /// Sets the transactions-per-batch granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Sets the per-shard ring depth in batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ring_capacity == 0`.
+    pub fn ring_capacity(mut self, ring_capacity: usize) -> Self {
+        assert!(ring_capacity > 0, "ring capacity must be positive");
+        self.ring_capacity = ring_capacity;
+        self
+    }
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig::with_shards(4)
+    }
+}
+
+/// Lifetime counters of an [`IngestPipeline`]'s front-end.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Transactions enqueued toward the shards.
+    pub transactions: u64,
+    /// Batches broadcast to the shard rings.
+    pub batches: u64,
+}
+
+type Batch = Arc<Vec<Transaction>>;
+
+/// The multi-threaded ingestion pipeline: monitor front-end, batched
+/// broadcast over SPSC rings, one synopsis shard per worker thread.
+pub struct IngestPipeline {
+    monitor: Monitor,
+    analyzer_config: AnalyzerConfig,
+    shard_count: usize,
+    batch_size: usize,
+    batch: Vec<Transaction>,
+    senders: Vec<spsc::Sender<Batch>>,
+    workers: Vec<JoinHandle<rtdac_synopsis::OnlineAnalyzer>>,
+    stats: PipelineStats,
+}
+
+impl IngestPipeline {
+    /// Builds the pipeline and spawns one worker thread per shard.
+    pub fn new(
+        monitor_config: MonitorConfig,
+        analyzer_config: AnalyzerConfig,
+        pipeline_config: PipelineConfig,
+    ) -> Self {
+        let shard_count = pipeline_config.shard_count;
+        let shards = ShardedAnalyzer::new(analyzer_config.clone(), shard_count).into_shards();
+        let mut senders = Vec::with_capacity(shard_count);
+        let mut workers = Vec::with_capacity(shard_count);
+        for (index, mut shard) in shards.into_iter().enumerate() {
+            let (tx, rx) = spsc::channel::<Batch>(pipeline_config.ring_capacity);
+            senders.push(tx);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("rtdac-shard-{index}"))
+                    .spawn(move || {
+                        while let Some(batch) = rx.recv() {
+                            for transaction in batch.iter() {
+                                shard.process_partition(transaction, index, shard_count);
+                            }
+                        }
+                        shard
+                    })
+                    .expect("spawning shard worker"),
+            );
+        }
+        IngestPipeline {
+            monitor: Monitor::new(monitor_config),
+            analyzer_config,
+            shard_count,
+            batch_size: pipeline_config.batch_size,
+            batch: Vec::with_capacity(pipeline_config.batch_size),
+            senders,
+            workers,
+            stats: PipelineStats::default(),
+        }
+    }
+
+    /// Offers one block-layer event to the monitor; a completed
+    /// transaction is batched toward the shards.
+    pub fn push(&mut self, event: IoEvent) {
+        if let Some(transaction) = self.monitor.push(event) {
+            self.enqueue(transaction);
+        }
+    }
+
+    /// Enqueues an already-windowed transaction, bypassing the monitor
+    /// (replay and benchmark path).
+    pub fn push_transaction(&mut self, transaction: Transaction) {
+        self.enqueue(transaction);
+    }
+
+    fn enqueue(&mut self, transaction: Transaction) {
+        self.stats.transactions += 1;
+        self.batch.push(transaction);
+        if self.batch.len() >= self.batch_size {
+            self.flush_batch();
+        }
+    }
+
+    /// Broadcasts the open batch to every shard ring (blocking while
+    /// rings are full). Called automatically at batch-size granularity
+    /// and by [`finish`](IngestPipeline::finish); call it directly to cap
+    /// latency when the event stream pauses.
+    pub fn flush_batch(&mut self) {
+        if self.batch.is_empty() {
+            return;
+        }
+        self.stats.batches += 1;
+        let batch: Batch = Arc::new(std::mem::take(&mut self.batch));
+        self.batch.reserve(self.batch_size);
+        for sender in &self.senders {
+            // A send fails only if the worker died; its panic surfaces
+            // when finish() joins.
+            let _ = sender.send(Arc::clone(&batch));
+        }
+    }
+
+    /// The monitor front-end (window state, latency average, stats).
+    pub fn monitor(&self) -> &Monitor {
+        &self.monitor
+    }
+
+    /// Front-end counters (transactions enqueued, batches broadcast).
+    pub fn stats(&self) -> PipelineStats {
+        self.stats
+    }
+
+    /// Number of shard workers.
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// Flushes the monitor and the open batch, closes the rings, joins
+    /// the workers and reassembles their shards into a queryable
+    /// [`ShardedAnalyzer`].
+    ///
+    /// # Panics
+    ///
+    /// Propagates a shard worker's panic, if one occurred.
+    pub fn finish(mut self) -> ShardedAnalyzer {
+        if let Some(transaction) = self.monitor.flush() {
+            self.batch.push(transaction);
+        }
+        self.flush_batch();
+        // Dropping the senders closes every ring; workers drain and
+        // return their shards.
+        self.senders.clear();
+        let shards: Vec<_> = self
+            .workers
+            .drain(..)
+            .map(|w| w.join().expect("shard worker panicked"))
+            .collect();
+        ShardedAnalyzer::from_shards(self.analyzer_config.clone(), shards)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtdac_synopsis::OnlineAnalyzer;
+    use rtdac_types::{Extent, IoOp, Timestamp};
+    use std::time::Duration;
+
+    fn event(us: u64, block: u64) -> IoEvent {
+        IoEvent::new(
+            Timestamp::from_micros(us),
+            1,
+            IoOp::Read,
+            Extent::new(block, 1).unwrap(),
+            Duration::from_micros(40),
+        )
+    }
+
+    fn events() -> Vec<IoEvent> {
+        // Correlated bursts (two extents close in time) separated by
+        // window-breaking gaps.
+        let mut out = Vec::new();
+        for i in 0..500u64 {
+            let base = i * 10_000;
+            out.push(event(base, 10 + (i % 5)));
+            out.push(event(base + 20, 500 + (i % 5)));
+        }
+        out
+    }
+
+    #[test]
+    fn pipeline_matches_sequential_analysis() {
+        let monitor_config =
+            MonitorConfig::new(crate::WindowPolicy::Static(Duration::from_micros(100)));
+        let analyzer_config = AnalyzerConfig::with_capacity(4096);
+
+        // Sequential ground truth: same monitor, single-threaded analyzer.
+        let transactions = Monitor::new(monitor_config.clone()).into_transactions(events());
+        let mut single = OnlineAnalyzer::new(analyzer_config.clone());
+        for t in &transactions {
+            single.process(t);
+        }
+        let expected = single.snapshot().frequent_pairs(1);
+        assert!(!expected.is_empty());
+
+        for shards in [1usize, 2, 4] {
+            let mut pipeline = IngestPipeline::new(
+                monitor_config.clone(),
+                analyzer_config.clone(),
+                PipelineConfig::with_shards(shards)
+                    .batch_size(16)
+                    .ring_capacity(4),
+            );
+            for e in events() {
+                pipeline.push(e);
+            }
+            let analyzer = pipeline.finish();
+            assert_eq!(
+                analyzer.snapshot().frequent_pairs(1),
+                expected,
+                "{shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn partial_batch_is_flushed_on_finish() {
+        let mut pipeline = IngestPipeline::new(
+            MonitorConfig::new(crate::WindowPolicy::Static(Duration::from_micros(100))),
+            AnalyzerConfig::with_capacity(64),
+            // Batch size far above the transaction count: nothing would
+            // ship without the finish() flush.
+            PipelineConfig::with_shards(2).batch_size(1024),
+        );
+        pipeline.push(event(0, 1));
+        pipeline.push(event(10, 2));
+        let analyzer = pipeline.finish();
+        assert_eq!(analyzer.snapshot().pairs.len(), 1);
+    }
+
+    #[test]
+    fn stats_count_batches_and_transactions() {
+        let mut pipeline = IngestPipeline::new(
+            MonitorConfig::new(crate::WindowPolicy::Static(Duration::from_micros(10))),
+            AnalyzerConfig::with_capacity(64),
+            PipelineConfig::with_shards(1).batch_size(2),
+        );
+        for i in 0..8u64 {
+            // 1 ms apart: every event closes the previous transaction.
+            pipeline.push(event(i * 1000, i));
+        }
+        let stats = pipeline.stats();
+        assert_eq!(stats.transactions, 7); // the 8th is still open
+        assert_eq!(stats.batches, 3); // batches of 2, one pending
+        pipeline.finish();
+    }
+
+    #[test]
+    fn backpressure_does_not_deadlock() {
+        // Tiny rings and batches: the front-end must block and resume
+        // rather than drop or deadlock.
+        let mut pipeline = IngestPipeline::new(
+            MonitorConfig::new(crate::WindowPolicy::Static(Duration::from_micros(10))),
+            AnalyzerConfig::with_capacity(1024),
+            PipelineConfig::with_shards(2)
+                .batch_size(1)
+                .ring_capacity(1),
+        );
+        for i in 0..2_000u64 {
+            pipeline.push(event(i * 1000, i % 50));
+        }
+        let analyzer = pipeline.finish();
+        assert_eq!(analyzer.stats().transactions, 2_000);
+    }
+}

@@ -1,0 +1,362 @@
+//! A bounded single-producer/single-consumer ring buffer on `std::sync`
+//! atomics — the channel between the ingestion front-end and each shard
+//! worker of the parallel pipeline.
+//!
+//! No external crates (the workspace builds offline), no locks, no
+//! allocation after construction: a power-of-two slot array, a head index
+//! owned by the consumer, a tail index owned by the producer, and
+//! acquire/release ordering on each so a slot's contents are visible
+//! before its index. Each endpoint caches the other's index and re-reads
+//! it only when the cache says full/empty, so an uncontended push/pop is
+//! one atomic store plus one (cached) load.
+//!
+//! # Examples
+//!
+//! ```
+//! use rtdac_monitor::spsc;
+//!
+//! let (tx, rx) = spsc::channel::<u64>(8);
+//! let worker = std::thread::spawn(move || {
+//!     let mut sum = 0;
+//!     while let Some(v) = rx.recv() {
+//!         sum += v;
+//!     }
+//!     sum
+//! });
+//! for v in 1..=10 {
+//!     tx.send(v).unwrap();
+//! }
+//! drop(tx); // closes the channel; recv drains then returns None
+//! assert_eq!(worker.join().unwrap(), 55);
+//! ```
+
+use std::cell::{Cell, UnsafeCell};
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct Ring<T> {
+    /// Slot storage; slot `i % capacity` is written by the producer and
+    /// read by the consumer, never both at once (the indices partition
+    /// ownership).
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Next slot to read (consumer-owned; producer reads it).
+    head: AtomicUsize,
+    /// Next slot to write (producer-owned; consumer reads it).
+    tail: AtomicUsize,
+    /// Set when either endpoint drops.
+    closed: AtomicBool,
+    /// `capacity - 1`; capacity is a power of two so masking replaces
+    /// modulo.
+    mask: usize,
+}
+
+// SAFETY: the ring is shared between exactly one producer and one
+// consumer; each slot is accessed by one side at a time (ownership is
+// handed over through the acquire/release index publications), so `T:
+// Send` suffices.
+unsafe impl<T: Send> Sync for Ring<T> {}
+unsafe impl<T: Send> Send for Ring<T> {}
+
+impl<T> Drop for Ring<T> {
+    fn drop(&mut self) {
+        // Only the last Arc owner reaches this; any items the consumer
+        // never received must be dropped here.
+        let head = *self.head.get_mut();
+        let tail = *self.tail.get_mut();
+        for i in head..tail {
+            // SAFETY: slots in [head, tail) hold initialized values not
+            // yet taken by the consumer.
+            unsafe {
+                (*self.slots[i & self.mask].get()).assume_init_drop();
+            }
+        }
+    }
+}
+
+/// Error returned by [`Sender::send`] when the consumer is gone; gives
+/// the rejected value back.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// The producing endpoint. Dropping it closes the channel: the consumer
+/// drains what remains, then sees `None`.
+pub struct Sender<T> {
+    ring: Arc<Ring<T>>,
+    /// Producer-local cache of the consumer's head, refreshed only when
+    /// the ring looks full.
+    cached_head: Cell<usize>,
+}
+
+/// The consuming endpoint. Dropping it closes the channel: subsequent
+/// sends fail and buffered items are dropped with the ring.
+pub struct Receiver<T> {
+    ring: Arc<Ring<T>>,
+    /// Consumer-local cache of the producer's tail, refreshed only when
+    /// the ring looks empty.
+    cached_tail: Cell<usize>,
+}
+
+/// Creates a bounded SPSC channel with at least `capacity` slots
+/// (rounded up to a power of two).
+///
+/// # Panics
+///
+/// Panics if `capacity == 0`.
+pub fn channel<T: Send>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(capacity > 0, "capacity must be positive");
+    let capacity = capacity.next_power_of_two();
+    let slots = (0..capacity)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect::<Vec<_>>()
+        .into_boxed_slice();
+    let ring = Arc::new(Ring {
+        slots,
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+        closed: AtomicBool::new(false),
+        mask: capacity - 1,
+    });
+    (
+        Sender {
+            ring: Arc::clone(&ring),
+            cached_head: Cell::new(0),
+        },
+        Receiver {
+            ring,
+            cached_tail: Cell::new(0),
+        },
+    )
+}
+
+impl<T: Send> Sender<T> {
+    /// Attempts to enqueue without blocking. `Err` returns the value:
+    /// either the ring is full (`is_closed() == false`) or the consumer
+    /// is gone.
+    pub fn try_send(&self, value: T) -> Result<(), T> {
+        if self.ring.closed.load(Ordering::Acquire) {
+            return Err(value);
+        }
+        let tail = self.ring.tail.load(Ordering::Relaxed);
+        if tail - self.cached_head.get() > self.ring.mask {
+            // Looks full through the cache; refresh from the consumer.
+            self.cached_head.set(self.ring.head.load(Ordering::Acquire));
+            if tail - self.cached_head.get() > self.ring.mask {
+                return Err(value);
+            }
+        }
+        // SAFETY: the slot at `tail` is outside [head, tail), so the
+        // consumer is not touching it; we are the only producer.
+        unsafe {
+            (*self.ring.slots[tail & self.ring.mask].get()).write(value);
+        }
+        // Release-publish the slot before advancing the index.
+        self.ring.tail.store(tail + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Enqueues, spinning (with yields) while the ring is full. Fails
+    /// only if the consumer has dropped.
+    pub fn send(&self, mut value: T) -> Result<(), SendError<T>> {
+        let mut spins = 0u32;
+        loop {
+            match self.try_send(value) {
+                Ok(()) => return Ok(()),
+                Err(v) if self.ring.closed.load(Ordering::Acquire) => {
+                    return Err(SendError(v));
+                }
+                Err(v) => {
+                    value = v;
+                    spins += 1;
+                    if spins < 64 {
+                        std::hint::spin_loop();
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether the other endpoint has dropped.
+    pub fn is_closed(&self) -> bool {
+        self.ring.closed.load(Ordering::Acquire)
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        self.ring.closed.store(true, Ordering::Release);
+    }
+}
+
+impl<T: Send> Receiver<T> {
+    /// Attempts to dequeue without blocking; `None` means currently
+    /// empty (not necessarily closed).
+    pub fn try_recv(&self) -> Option<T> {
+        let head = self.ring.head.load(Ordering::Relaxed);
+        if head == self.cached_tail.get() {
+            // Looks empty through the cache; refresh from the producer.
+            self.cached_tail.set(self.ring.tail.load(Ordering::Acquire));
+            if head == self.cached_tail.get() {
+                return None;
+            }
+        }
+        // SAFETY: head < tail, so this slot holds a value the producer
+        // published (acquire on tail ordered the write before this read);
+        // we are the only consumer.
+        let value = unsafe { (*self.ring.slots[head & self.ring.mask].get()).assume_init_read() };
+        // Release the slot back to the producer.
+        self.ring.head.store(head + 1, Ordering::Release);
+        Some(value)
+    }
+
+    /// Dequeues, spinning (with yields) while the ring is empty. `None`
+    /// means the producer dropped *and* the ring has been drained — the
+    /// channel's end-of-stream.
+    pub fn recv(&self) -> Option<T> {
+        let mut spins = 0u32;
+        loop {
+            if let Some(value) = self.try_recv() {
+                return Some(value);
+            }
+            if self.ring.closed.load(Ordering::Acquire) {
+                // Closed: one final drain pass (the producer may have
+                // pushed between our try_recv and the closed check).
+                return self.try_recv();
+            }
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Whether the other endpoint has dropped (items may still remain).
+    pub fn is_closed(&self) -> bool {
+        self.ring.closed.load(Ordering::Acquire)
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.ring.closed.store(true, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn fifo_order_within_capacity() {
+        let (tx, rx) = channel::<u32>(4);
+        for v in 0..4 {
+            tx.try_send(v).unwrap();
+        }
+        for v in 0..4 {
+            assert_eq!(rx.try_recv(), Some(v));
+        }
+        assert_eq!(rx.try_recv(), None);
+    }
+
+    #[test]
+    fn wraparound_preserves_order() {
+        let (tx, rx) = channel::<u32>(4);
+        // Drive the indices far past the capacity so masking wraps many
+        // times.
+        for round in 0..100u32 {
+            for v in 0..3 {
+                tx.try_send(round * 3 + v).unwrap();
+            }
+            for v in 0..3 {
+                assert_eq!(rx.try_recv(), Some(round * 3 + v));
+            }
+        }
+    }
+
+    #[test]
+    fn full_ring_rejects_then_accepts() {
+        let (tx, rx) = channel::<u32>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(3));
+        assert_eq!(rx.try_recv(), Some(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.try_recv(), Some(2));
+        assert_eq!(rx.try_recv(), Some(3));
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        let (tx, _rx) = channel::<u32>(3);
+        for v in 0..4 {
+            tx.try_send(v).unwrap(); // 3 rounds up to 4 slots
+        }
+        assert_eq!(tx.try_send(4), Err(4));
+    }
+
+    #[test]
+    fn producer_drop_lets_consumer_drain() {
+        let (tx, rx) = channel::<u32>(8);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), None);
+        assert_eq!(rx.recv(), None); // stays closed
+    }
+
+    #[test]
+    fn consumer_drop_fails_send() {
+        let (tx, rx) = channel::<u32>(8);
+        drop(rx);
+        assert!(tx.is_closed());
+        assert_eq!(tx.send(7), Err(SendError(7)));
+    }
+
+    #[test]
+    fn undelivered_items_are_dropped_on_shutdown() {
+        #[derive(Debug)]
+        struct Counted<'a>(&'a AtomicUsize);
+        impl Drop for Counted<'_> {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = AtomicUsize::new(0);
+        {
+            let (tx, rx) = channel::<Counted>(8);
+            tx.try_send(Counted(&drops)).unwrap();
+            tx.try_send(Counted(&drops)).unwrap();
+            tx.try_send(Counted(&drops)).unwrap();
+            let received = rx.try_recv().unwrap();
+            drop(received);
+            assert_eq!(drops.load(Ordering::SeqCst), 1);
+            drop(tx);
+            drop(rx); // two items still buffered
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn cross_thread_stream_arrives_intact() {
+        let (tx, rx) = channel::<u64>(16);
+        let producer = std::thread::spawn(move || {
+            for v in 0..10_000u64 {
+                tx.send(v).unwrap();
+            }
+        });
+        let mut expected = 0u64;
+        while let Some(v) = rx.recv() {
+            assert_eq!(v, expected);
+            expected += 1;
+        }
+        producer.join().unwrap();
+        assert_eq!(expected, 10_000);
+    }
+}

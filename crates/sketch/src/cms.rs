@@ -63,7 +63,9 @@ impl CountMinSketch {
         // One 64-bit hash split/remixed per row; the per-row seed makes
         // the rows behave as independent hash functions.
         let mut hasher = std::collections::hash_map::DefaultHasher::new();
-        (row as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).hash(&mut hasher);
+        (row as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .hash(&mut hasher);
         key.hash(&mut hasher);
         let h = hasher.finish();
         row * self.width + (h % self.width as u64) as usize

@@ -179,8 +179,7 @@ mod tests {
             ss.process(&t);
             cms.process(&t);
         }
-        let ss_pairs: Vec<ExtentPair> =
-            ss.frequent_pairs(10).into_iter().map(|(p, _)| p).collect();
+        let ss_pairs: Vec<ExtentPair> = ss.frequent_pairs(10).into_iter().map(|(p, _)| p).collect();
         let cms_pairs: Vec<ExtentPair> =
             cms.frequent_pairs(10).into_iter().map(|(p, _)| p).collect();
         let mut a = ss_pairs.clone();

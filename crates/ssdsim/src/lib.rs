@@ -38,7 +38,5 @@ mod parallel;
 mod stream;
 
 pub use ftl::{Ftl, FtlConfig, FtlStats, Lpn, StreamId};
-pub use parallel::{
-    CorrelationPlacement, ParallelUnitModel, Placement, StripingPlacement,
-};
+pub use parallel::{CorrelationPlacement, ParallelUnitModel, Placement, StripingPlacement};
 pub use stream::{CorrelationStreams, HashStream, SingleStream, StreamAssigner};

@@ -97,10 +97,7 @@ impl CorrelationPlacement {
         let mut partners: HashMap<Extent, Vec<Extent>> = HashMap::new();
         let mut order: Vec<Extent> = Vec::new();
         for pair in pairs {
-            for (e, o) in [
-                (pair.first(), pair.second()),
-                (pair.second(), pair.first()),
-            ] {
+            for (e, o) in [(pair.first(), pair.second()), (pair.second(), pair.first())] {
                 if !partners.contains_key(&e) {
                     order.push(e);
                 }
@@ -189,7 +186,10 @@ impl ParallelUnitModel {
         let mut queue = vec![0u32; self.units];
         for extent in batch {
             let unit = placement.unit_for(extent);
-            assert!(unit < self.units, "placement returned PU {unit} out of range");
+            assert!(
+                unit < self.units,
+                "placement returned PU {unit} out of range"
+            );
             queue[unit] += 1;
         }
         self.service * queue.into_iter().max().unwrap_or(0)
@@ -219,10 +219,7 @@ mod tests {
         // Two extents in the same stripe serialize on one PU.
         let bank = ParallelUnitModel::new(4, Duration::from_micros(50));
         let batch = [e(0, 8), e(500, 8)];
-        assert_eq!(
-            bank.batch_latency(&batch, &p),
-            Duration::from_micros(100)
-        );
+        assert_eq!(bank.batch_latency(&batch, &p), Duration::from_micros(100));
     }
 
     #[test]
@@ -246,10 +243,7 @@ mod tests {
         }
         let p = CorrelationPlacement::from_pairs(pairs.iter(), 4, 1_000_000);
         let bank = ParallelUnitModel::new(4, Duration::from_micros(50));
-        assert_eq!(
-            bank.batch_latency(&extents, &p),
-            Duration::from_micros(50)
-        );
+        assert_eq!(bank.batch_latency(&extents, &p), Duration::from_micros(50));
     }
 
     #[test]

@@ -109,7 +109,10 @@ impl CorrelationStreams {
     where
         I: IntoIterator<Item = &'a ExtentPair>,
     {
-        assert!(streams >= 2, "correlation placement needs at least two streams");
+        assert!(
+            streams >= 2,
+            "correlation placement needs at least two streams"
+        );
 
         // Union-find over extents.
         let mut parent: Vec<usize> = Vec::new();

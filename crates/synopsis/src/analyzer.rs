@@ -1,11 +1,22 @@
 //! The online analysis module: item table + correlation table processing
 //! of monitored transactions (§III-D).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
-use rtdac_types::{Extent, ExtentPair, IoOp, Transaction};
+use rtdac_types::{Extent, ExtentPair, FxHashMap, InlineVec, IoOp, Transaction};
 
+use crate::sharded::{shard_of_extent, shard_of_pair};
 use crate::table::{Tier, TwoTierTable};
+
+/// Transactions are capped at 8 requests by the monitor
+/// (`MonitorConfig::transaction_limit`), so fixed scratch arrays of this
+/// size make `process` allocation-free on every monitored transaction.
+/// Hand-built transactions beyond the cap spill to the heap transparently.
+const TXN_SCRATCH: usize = 8;
+
+/// Inline partner capacity of the pair index: a stored extent typically
+/// participates in a handful of stored pairs.
+const PAIR_INDEX_INLINE: usize = 4;
 
 /// Paper's memory model: an item-table entry is a 64-bit block ID, a
 /// 32-bit length and a 32-bit tally — 16 bytes (§IV-C1).
@@ -174,8 +185,9 @@ pub struct OnlineAnalyzer {
     items: TwoTierTable<Extent>,
     pairs: TwoTierTable<ExtentPair>,
     /// extent → pairs currently stored that contain it, for the
-    /// item-eviction demotion hook.
-    pair_index: HashMap<Extent, HashSet<ExtentPair>>,
+    /// item-eviction demotion hook. Inline small-vec values keep hot-path
+    /// index maintenance allocation-free.
+    pair_index: FxHashMap<Extent, InlineVec<ExtentPair, PAIR_INDEX_INLINE>>,
     stats: AnalyzerStats,
 }
 
@@ -196,7 +208,7 @@ impl OnlineAnalyzer {
             config,
             items,
             pairs,
-            pair_index: HashMap::new(),
+            pair_index: FxHashMap::default(),
             stats: AnalyzerStats::default(),
         }
     }
@@ -207,28 +219,90 @@ impl OnlineAnalyzer {
     }
 
     /// Processes one transaction through both synopsis tables.
+    ///
+    /// Allocation-free for monitored transactions: the dedup scratch is a
+    /// fixed 8-slot array (the monitor's transaction cap) and the pair
+    /// index maintains inline small-vecs.
     pub fn process(&mut self, transaction: &Transaction) {
+        self.process_partition(transaction, 0, 1);
+    }
+
+    /// Processes the partition of `transaction` owned by shard `shard` of
+    /// `shard_count`, under the sharded pipeline's routing invariant: a
+    /// pair's record — and the item records of *both* its extents — land
+    /// on the shard owning the pair's [`fx_hash`](rtdac_types::fx_hash);
+    /// a single-extent transaction lands on the shard owning the extent
+    /// hash. With `shard_count == 1` this is exactly [`process`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= shard_count` or `shard_count == 0`.
+    pub fn process_partition(
+        &mut self,
+        transaction: &Transaction,
+        shard: usize,
+        shard_count: usize,
+    ) {
+        assert!(shard_count > 0, "shard_count must be positive");
+        assert!(shard < shard_count, "shard out of range");
         self.stats.transactions += 1;
 
-        // Dedup and apply the optional direction filter. Transactions from
-        // the monitor are already deduplicated; doing it again here keeps
-        // the analyzer correct for hand-built transactions too, at O(N²)
-        // cost on an N ≤ 8 item list.
-        let mut extents: Vec<Extent> = Vec::with_capacity(transaction.len());
+        // Dedup and apply the optional direction filter, preserving
+        // arrival order (record order is observable through LRU state).
+        // The insertion-sorted shadow turns the membership check into a
+        // binary search instead of the old O(N²) `contains` scan.
+        let mut scratch: InlineVec<Extent, TXN_SCRATCH> = InlineVec::new();
+        let mut sorted: InlineVec<Extent, TXN_SCRATCH> = InlineVec::new();
         for item in transaction.items() {
             if let Some(filter) = self.config.op_filter {
                 if item.op != filter {
                     continue;
                 }
             }
-            if !extents.contains(&item.extent) {
-                extents.push(item.extent);
+            if let Err(pos) = sorted.as_slice().binary_search(&item.extent) {
+                sorted.insert(pos, item.extent);
+                scratch.push(item.extent);
+            }
+        }
+        let n = scratch.len();
+
+        // Which extents this shard records: those appearing in a pair the
+        // shard owns (the routing invariant keeps the item-eviction
+        // demotion hook local — a shard demotes exactly its own pairs).
+        // Pairless single-extent transactions route by extent hash.
+        let mut owned: InlineVec<bool, TXN_SCRATCH> = InlineVec::new();
+        if shard_count == 1 {
+            for _ in 0..n {
+                owned.push(true);
+            }
+        } else {
+            for _ in 0..n {
+                owned.push(false);
+            }
+            let extents = scratch.as_slice();
+            if n == 1 {
+                owned.as_mut_slice()[0] = shard_of_extent(&extents[0], shard_count) == shard;
+            } else {
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        let pair = ExtentPair::new(extents[i], extents[j])
+                            .expect("deduplicated extents are distinct");
+                        if shard_of_pair(&pair, shard_count) == shard {
+                            owned.as_mut_slice()[i] = true;
+                            owned.as_mut_slice()[j] = true;
+                        }
+                    }
+                }
             }
         }
 
-        // Record every extent in the item table; an eviction demotes all
-        // stored pairs containing the evicted extent.
-        for &extent in &extents {
+        // Record every owned extent in the item table; an eviction demotes
+        // all stored pairs containing the evicted extent.
+        for i in 0..n {
+            if !owned.as_slice()[i] {
+                continue;
+            }
+            let extent = scratch.as_slice()[i];
             self.stats.extents += 1;
             let record = self.items.record(extent);
             if let Some((evicted, _)) = record.evicted {
@@ -236,11 +310,14 @@ impl OnlineAnalyzer {
             }
         }
 
-        // Record every unique pair in the correlation table.
-        for i in 0..extents.len() {
-            for j in (i + 1)..extents.len() {
-                let pair = ExtentPair::new(extents[i], extents[j])
+        // Record every owned pair in the correlation table.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let pair = ExtentPair::new(scratch.as_slice()[i], scratch.as_slice()[j])
                     .expect("deduplicated extents are distinct");
+                if shard_count > 1 && shard_of_pair(&pair, shard_count) != shard {
+                    continue;
+                }
                 self.stats.pairs += 1;
                 let record = self.pairs.record(pair);
                 if !record.hit {
@@ -258,9 +335,10 @@ impl OnlineAnalyzer {
             return;
         };
         // Demoting may itself evict pairs from the correlation table
-        // (demotion into a full T1 trims), so collect first.
-        let affected: Vec<ExtentPair> = pairs.iter().copied().collect();
-        for pair in affected {
+        // (demotion into a full T1 trims), so snapshot the partner list
+        // first — an inline copy, no allocation unless it has spilled.
+        let affected = pairs.clone();
+        for &pair in affected.iter() {
             self.stats.correlated_demotions += 1;
             let was_present = self.pairs.demote(&pair);
             if was_present && !self.pairs.contains(&pair) {
@@ -270,18 +348,21 @@ impl OnlineAnalyzer {
     }
 
     fn index_pair(&mut self, pair: ExtentPair) {
-        self.pair_index.entry(pair.first()).or_default().insert(pair);
-        self.pair_index
-            .entry(pair.second())
-            .or_default()
-            .insert(pair);
+        for extent in [pair.first(), pair.second()] {
+            let partners = self.pair_index.entry(extent).or_default();
+            debug_assert!(
+                !partners.contains(&pair),
+                "pair indexed twice without eviction"
+            );
+            partners.push(pair);
+        }
     }
 
     fn unindex_pair(&mut self, pair: &ExtentPair) {
         for extent in [pair.first(), pair.second()] {
-            if let Some(set) = self.pair_index.get_mut(&extent) {
-                set.remove(pair);
-                if set.is_empty() {
+            if let Some(partners) = self.pair_index.get_mut(&extent) {
+                partners.remove_value(pair);
+                if partners.is_empty() {
                     self.pair_index.remove(&extent);
                 }
             }
@@ -432,9 +513,8 @@ mod tests {
     #[test]
     fn op_filter_restricts_analysis() {
         use rtdac_types::IoOp;
-        let mut an = OnlineAnalyzer::new(
-            AnalyzerConfig::with_capacity(16).op_filter(Some(IoOp::Write)),
-        );
+        let mut an =
+            OnlineAnalyzer::new(AnalyzerConfig::with_capacity(16).op_filter(Some(IoOp::Write)));
         let mut t = Transaction::new(Timestamp::ZERO);
         t.push(e(1, 1), IoOp::Write);
         t.push(e(2, 1), IoOp::Read);
@@ -481,11 +561,8 @@ mod tests {
             .values()
             .flat_map(|s| s.iter().copied())
             .collect();
-        let table_pairs: HashSet<ExtentPair> = an
-            .correlation_table()
-            .iter()
-            .map(|(p, _, _)| *p)
-            .collect();
+        let table_pairs: HashSet<ExtentPair> =
+            an.correlation_table().iter().map(|(p, _, _)| *p).collect();
         assert_eq!(indexed_pairs, table_pairs);
     }
 

@@ -41,9 +41,14 @@
 //! [`Transaction`]: rtdac_types::Transaction
 
 mod analyzer;
+mod reference;
+mod reference_table;
+mod sharded;
 mod table;
 
 pub use analyzer::{
     AnalyzerConfig, AnalyzerStats, OnlineAnalyzer, Snapshot, ITEM_ENTRY_BYTES, PAIR_ENTRY_BYTES,
 };
+pub use reference::ReferenceAnalyzer;
+pub use sharded::{shard_of_extent, shard_of_pair, ShardedAnalyzer};
 pub use table::{Iter, Record, TableStats, Tier, TwoTierTable};

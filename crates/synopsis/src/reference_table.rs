@@ -1,0 +1,280 @@
+//! The *seed* two-tier table, preserved verbatim for the
+//! [`ReferenceAnalyzer`](crate::ReferenceAnalyzer) baseline.
+//!
+//! This is the pre-optimization implementation of
+//! [`TwoTierTable`](crate::TwoTierTable): SipHash (`RandomState`) index,
+//! a double hash probe on the miss path (`index.get` followed by
+//! `index.insert`), `&mut self` list primitives, no `#[inline]` hints.
+//! Policy — hit/miss, promotion, rebalance, demotion, eviction — is
+//! identical to the tuned table, which the equivalence tests in
+//! `reference.rs` rely on. Only [`ReferenceAnalyzer`] should use this
+//! type; it exists so `BENCH_ingest.json` speedups are measured against
+//! the code this PR replaced, not a SipHash-flavoured build of the new
+//! code.
+//!
+//! [`ReferenceAnalyzer`]: crate::ReferenceAnalyzer
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::table::{Record, Tier};
+
+const NIL: usize = usize::MAX;
+
+#[derive(Clone, Debug)]
+struct Node<K> {
+    key: K,
+    tally: u32,
+    tier: Tier,
+    prev: usize,
+    next: usize,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct List {
+    head: usize,
+    tail: usize,
+    len: usize,
+}
+
+impl List {
+    fn new() -> Self {
+        List {
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+}
+
+/// The seed-era two-tier table (see module docs).
+#[derive(Clone, Debug)]
+pub(crate) struct ReferenceTwoTierTable<K> {
+    index: HashMap<K, usize>,
+    nodes: Vec<Node<K>>,
+    free: Vec<usize>,
+    t1: List,
+    t2: List,
+    t1_capacity: usize,
+    t2_capacity: usize,
+    promote_threshold: u32,
+}
+
+impl<K: Eq + Hash + Clone> ReferenceTwoTierTable<K> {
+    pub(crate) fn new(t1_capacity: usize, t2_capacity: usize, promote_threshold: u32) -> Self {
+        assert!(t1_capacity > 0, "T1 capacity must be positive");
+        assert!(t2_capacity > 0, "T2 capacity must be positive");
+        assert!(
+            promote_threshold >= 2,
+            "promotion threshold must be at least 2"
+        );
+        ReferenceTwoTierTable {
+            index: HashMap::with_capacity(t1_capacity + t2_capacity),
+            nodes: Vec::with_capacity(t1_capacity + t2_capacity),
+            free: Vec::new(),
+            t1: List::new(),
+            t2: List::new(),
+            t1_capacity,
+            t2_capacity,
+            promote_threshold,
+        }
+    }
+
+    pub(crate) fn record(&mut self, key: K) -> Record<K> {
+        if let Some(&idx) = self.index.get(&key) {
+            self.nodes[idx].tally = self.nodes[idx].tally.saturating_add(1);
+            let tier = self.nodes[idx].tier;
+            match tier {
+                Tier::T1 if self.nodes[idx].tally >= self.promote_threshold => {
+                    self.unlink(idx);
+                    self.nodes[idx].tier = Tier::T2;
+                    self.push_front(Tier::T2, idx);
+                    let evicted = self.rebalance_after_promotion();
+                    Record {
+                        hit: true,
+                        tier: Tier::T2,
+                        tally: self.nodes[idx].tally,
+                        evicted,
+                    }
+                }
+                tier => {
+                    self.unlink(idx);
+                    self.push_front(tier, idx);
+                    Record {
+                        hit: true,
+                        tier,
+                        tally: self.nodes[idx].tally,
+                        evicted: None,
+                    }
+                }
+            }
+        } else {
+            let evicted = if self.t1.len >= self.t1_capacity {
+                self.evict_t1_lru()
+            } else {
+                None
+            };
+            let idx = self.alloc(key.clone());
+            self.index.insert(key, idx);
+            self.push_front(Tier::T1, idx);
+            Record {
+                hit: false,
+                tier: Tier::T1,
+                tally: 1,
+                evicted,
+            }
+        }
+    }
+
+    fn rebalance_after_promotion(&mut self) -> Option<(K, u32)> {
+        if self.t2.len <= self.t2_capacity {
+            return None;
+        }
+        let victim = self.t2.tail;
+        debug_assert_ne!(victim, NIL);
+        let evicted = if self.t1.len >= self.t1_capacity {
+            self.evict_t1_lru()
+        } else {
+            None
+        };
+        self.unlink(victim);
+        self.nodes[victim].tier = Tier::T1;
+        self.push_back(Tier::T1, victim);
+        evicted
+    }
+
+    fn evict_t1_lru(&mut self) -> Option<(K, u32)> {
+        let victim = self.t1.tail;
+        if victim == NIL {
+            return None;
+        }
+        self.unlink(victim);
+        let node = &mut self.nodes[victim];
+        let key = node.key.clone();
+        let tally = node.tally;
+        self.index.remove(&key);
+        self.free.push(victim);
+        Some((key, tally))
+    }
+
+    pub(crate) fn demote(&mut self, key: &K) -> bool {
+        let Some(&idx) = self.index.get(key) else {
+            return false;
+        };
+        self.unlink(idx);
+        self.nodes[idx].tier = Tier::T1;
+        self.push_back(Tier::T1, idx);
+        if self.t1.len > self.t1_capacity {
+            self.evict_t1_lru();
+        }
+        true
+    }
+
+    pub(crate) fn contains(&self, key: &K) -> bool {
+        self.index.contains_key(key)
+    }
+
+    /// `(key, tally, tier)` for every entry, T2 first, each tier in
+    /// MRU→LRU order — the same order as the tuned table's iterator, so
+    /// snapshots compare positionally.
+    pub(crate) fn entries(&self) -> Vec<(K, u32, Tier)> {
+        let mut out = Vec::with_capacity(self.t1.len + self.t2.len);
+        for (tier, list) in [(Tier::T2, &self.t2), (Tier::T1, &self.t1)] {
+            let mut cursor = list.head;
+            while cursor != NIL {
+                let node = &self.nodes[cursor];
+                out.push((node.key.clone(), node.tally, tier));
+                cursor = node.next;
+            }
+        }
+        out
+    }
+
+    pub(crate) fn entries_with_min_tally(&self, min_tally: u32) -> Vec<(K, u32)> {
+        let mut out: Vec<(K, u32)> = self
+            .entries()
+            .into_iter()
+            .filter(|(_, tally, _)| *tally >= min_tally)
+            .map(|(k, tally, _)| (k, tally))
+            .collect();
+        out.sort_by_key(|(_, tally)| std::cmp::Reverse(*tally));
+        out
+    }
+
+    fn alloc(&mut self, key: K) -> usize {
+        let node = Node {
+            key,
+            tally: 1,
+            tier: Tier::T1,
+            prev: NIL,
+            next: NIL,
+        };
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx] = node;
+            idx
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        }
+    }
+
+    fn list_mut(&mut self, tier: Tier) -> &mut List {
+        match tier {
+            Tier::T1 => &mut self.t1,
+            Tier::T2 => &mut self.t2,
+        }
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next, tier) = {
+            let n = &self.nodes[idx];
+            (n.prev, n.next, n.tier)
+        };
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        }
+        let list = self.list_mut(tier);
+        if list.head == idx {
+            list.head = next;
+        }
+        if list.tail == idx {
+            list.tail = prev;
+        }
+        list.len -= 1;
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, tier: Tier, idx: usize) {
+        let head = self.list_mut(tier).head;
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = head;
+        if head != NIL {
+            self.nodes[head].prev = idx;
+        }
+        let list = self.list_mut(tier);
+        list.head = idx;
+        if list.tail == NIL {
+            list.tail = idx;
+        }
+        list.len += 1;
+    }
+
+    fn push_back(&mut self, tier: Tier, idx: usize) {
+        let tail = self.list_mut(tier).tail;
+        self.nodes[idx].next = NIL;
+        self.nodes[idx].prev = tail;
+        if tail != NIL {
+            self.nodes[tail].next = idx;
+        }
+        let list = self.list_mut(tier);
+        list.tail = idx;
+        if list.head == NIL {
+            list.head = idx;
+        }
+        list.len += 1;
+    }
+}

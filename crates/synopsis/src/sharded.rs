@@ -1,0 +1,310 @@
+//! Hash-partitioned sharding of the online analyzer.
+//!
+//! A [`ShardedAnalyzer`] splits the `ExtentPair` space across N shards by
+//! the pair's deterministic [`fx_hash`]; each shard owns its own pair of
+//! [`TwoTierTable`](crate::TwoTierTable)s and processes only its
+//! partition of every transaction (see
+//! [`OnlineAnalyzer::process_partition`]).
+//!
+//! **Routing invariant** (DESIGN.md §8): a pair's correlation record —
+//! and the item records of *both* its member extents — land on the shard
+//! that owns the pair's hash; a single-extent transaction routes by the
+//! extent's hash. Consequences:
+//!
+//! * shards never contend: a pair's tallies, its index entries and the
+//!   demotion hook that fires when one of its extents is evicted all
+//!   touch one shard's tables only;
+//! * with `N = 1` the sharded analyzer is *exactly* the single-threaded
+//!   [`OnlineAnalyzer`] — same record order, same evictions, same
+//!   snapshot;
+//! * with `N > 1` and tables large enough to avoid overflow, the merged
+//!   frequent-pair sets and tallies are identical to the single-threaded
+//!   analyzer's (pair routing is deterministic and total). Under
+//!   capacity pressure the shards' *local* LRU decisions may diverge
+//!   from the global ones, as with any partitioned cache; item tallies
+//!   are per-shard (an extent in pairs on two shards is counted on
+//!   both).
+//!
+//! This type is the sequential core; the threaded front-end that feeds
+//! shards through SPSC rings lives in `rtdac-monitor`'s `pipeline`
+//! module.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rtdac_types::{fx_hash, Extent, ExtentPair, Transaction};
+
+use crate::analyzer::{AnalyzerConfig, AnalyzerStats, OnlineAnalyzer, Snapshot};
+
+/// The shard owning `pair` among `shard_count` shards. Deterministic
+/// across runs and processes (the hash is unkeyed).
+#[inline]
+pub fn shard_of_pair(pair: &ExtentPair, shard_count: usize) -> usize {
+    (fx_hash(pair) % shard_count as u64) as usize
+}
+
+/// The shard owning a pairless `extent` (single-extent transactions).
+#[inline]
+pub fn shard_of_extent(extent: &Extent, shard_count: usize) -> usize {
+    (fx_hash(extent) % shard_count as u64) as usize
+}
+
+/// N independent [`OnlineAnalyzer`] shards behind one analyzer-shaped
+/// API, partitioned by pair hash.
+///
+/// The aggregate table capacity is held constant: each shard gets
+/// `1/N`-th of the configured per-tier capacities, so sweeping the shard
+/// count compares equal-memory configurations.
+///
+/// # Examples
+///
+/// ```
+/// use rtdac_synopsis::{AnalyzerConfig, OnlineAnalyzer, ShardedAnalyzer};
+/// use rtdac_types::{Extent, Timestamp, Transaction};
+///
+/// let config = AnalyzerConfig::with_capacity(1024);
+/// let mut single = OnlineAnalyzer::new(config.clone());
+/// let mut sharded = ShardedAnalyzer::new(config, 4);
+/// let t = Transaction::from_extents(
+///     Timestamp::ZERO,
+///     [Extent::new(1, 1)?, Extent::new(9, 1)?],
+/// );
+/// for _ in 0..3 {
+///     single.process(&t);
+///     sharded.process(&t);
+/// }
+/// assert_eq!(
+///     sharded.snapshot().frequent_pairs(2),
+///     single.snapshot().frequent_pairs(2),
+/// );
+/// # Ok::<(), rtdac_types::ExtentError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct ShardedAnalyzer {
+    config: AnalyzerConfig,
+    shards: Vec<OnlineAnalyzer>,
+}
+
+impl ShardedAnalyzer {
+    /// Creates `shard_count` shards, each with `1/shard_count`-th of
+    /// `config`'s per-tier capacities (at least 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_count == 0`.
+    pub fn new(config: AnalyzerConfig, shard_count: usize) -> Self {
+        assert!(shard_count > 0, "need at least one shard");
+        let mut shard_config = config.clone();
+        shard_config.item_capacity_per_tier = (config.item_capacity_per_tier / shard_count).max(1);
+        shard_config.correlation_capacity_per_tier =
+            (config.correlation_capacity_per_tier / shard_count).max(1);
+        let shards = (0..shard_count)
+            .map(|_| OnlineAnalyzer::new(shard_config.clone()))
+            .collect();
+        ShardedAnalyzer { config, shards }
+    }
+
+    /// Reassembles a sharded analyzer from shards that were processed
+    /// elsewhere (the threaded pipeline moves shards onto worker threads
+    /// and hands them back on shutdown).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is empty.
+    pub fn from_shards(config: AnalyzerConfig, shards: Vec<OnlineAnalyzer>) -> Self {
+        assert!(!shards.is_empty(), "need at least one shard");
+        ShardedAnalyzer { config, shards }
+    }
+
+    /// The aggregate configuration (per-shard tables are `1/N`-th of it).
+    pub fn config(&self) -> &AnalyzerConfig {
+        &self.config
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Read access to the individual shards.
+    pub fn shards(&self) -> &[OnlineAnalyzer] {
+        &self.shards
+    }
+
+    /// Consumes the analyzer, yielding the shards (for distribution onto
+    /// worker threads).
+    pub fn into_shards(self) -> Vec<OnlineAnalyzer> {
+        self.shards
+    }
+
+    /// Processes one transaction: every shard records its owned
+    /// partition. Sequential — the threaded version distributes the same
+    /// `process_partition` calls across worker threads.
+    pub fn process(&mut self, transaction: &Transaction) {
+        let n = self.shards.len();
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            shard.process_partition(transaction, i, n);
+        }
+    }
+
+    /// Merged point-in-time copy of all shards' tables. With one shard
+    /// this is byte-for-byte the single-threaded snapshot; with more, the
+    /// pair set is the disjoint union of the shards' (each pair lives on
+    /// exactly one shard) and items may appear once per shard that owns a
+    /// pair containing them.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut merged = Snapshot::default();
+        for shard in &self.shards {
+            let snap = shard.snapshot();
+            merged.pairs.extend(snap.pairs);
+            merged.items.extend(snap.items);
+        }
+        merged
+    }
+
+    /// The stored correlations with tally at least `min_tally`, sorted by
+    /// descending tally then ascending pair — a k-way merge of the
+    /// per-shard sorted lists (shards partition the pair space, so no
+    /// cross-shard deduplication is needed).
+    pub fn frequent_pairs(&self, min_tally: u32) -> Vec<(ExtentPair, u32)> {
+        let mut lists: Vec<Vec<(ExtentPair, u32)>> = self
+            .shards
+            .iter()
+            .map(|s| {
+                let mut v = s.frequent_pairs(min_tally);
+                v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+                v
+            })
+            .collect();
+
+        let total = lists.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(total);
+        // Max-heap keyed (tally, Reverse(pair)): highest tally first,
+        // ties by smallest pair — the Snapshot::frequent_pairs order.
+        let mut heap: BinaryHeap<(u32, Reverse<ExtentPair>, usize, usize)> = lists
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| !l.is_empty())
+            .map(|(i, l)| (l[0].1, Reverse(l[0].0), i, 0))
+            .collect();
+        while let Some((tally, Reverse(pair), list, pos)) = heap.pop() {
+            out.push((pair, tally));
+            let next = pos + 1;
+            if let Some(&(p, t)) = lists[list].get(next) {
+                heap.push((t, Reverse(p), list, next));
+            }
+        }
+        for l in &mut lists {
+            l.clear();
+        }
+        out
+    }
+
+    /// Merged lifetime counters. Every shard observes every transaction,
+    /// so the transaction count is taken from one shard; the record
+    /// counters sum across shards.
+    pub fn stats(&self) -> AnalyzerStats {
+        let mut merged = AnalyzerStats::default();
+        for shard in &self.shards {
+            let s = shard.stats();
+            merged.extents += s.extents;
+            merged.pairs += s.pairs;
+            merged.correlated_demotions += s.correlated_demotions;
+        }
+        merged.transactions = self.shards[0].stats().transactions;
+        merged
+    }
+
+    /// Forgets all shards' contents (stats are preserved).
+    pub fn clear(&mut self) {
+        for shard in &mut self.shards {
+            shard.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtdac_types::Timestamp;
+
+    fn e(start: u64, len: u32) -> Extent {
+        Extent::new(start, len).unwrap()
+    }
+
+    fn txn(extents: &[Extent]) -> Transaction {
+        Transaction::from_extents(Timestamp::ZERO, extents.iter().copied())
+    }
+
+    #[test]
+    fn routing_is_total_and_deterministic() {
+        let a = ExtentPair::new(e(1, 1), e(2, 1)).unwrap();
+        for n in [1, 2, 4, 8] {
+            let shard = shard_of_pair(&a, n);
+            assert!(shard < n);
+            assert_eq!(shard, shard_of_pair(&a, n));
+        }
+        assert_eq!(shard_of_pair(&a, 1), 0);
+        assert_eq!(shard_of_extent(&e(1, 1), 1), 0);
+    }
+
+    #[test]
+    fn single_shard_matches_online_analyzer_exactly() {
+        let config = AnalyzerConfig::with_capacity(4).item_capacity(2);
+        let mut single = OnlineAnalyzer::new(config.clone());
+        let mut sharded = ShardedAnalyzer::new(config, 1);
+        // Small tables force evictions, promotions and demotions; the
+        // N = 1 reduction must agree through all of them.
+        for i in 0..50u64 {
+            let t = txn(&[e(i % 7, 1), e((i * 3) % 11 + 20, 1), e(i % 3 + 40, 1)]);
+            single.process(&t);
+            sharded.process(&t);
+        }
+        assert_eq!(sharded.snapshot(), single.snapshot());
+        assert_eq!(sharded.stats(), single.stats());
+    }
+
+    #[test]
+    fn pair_space_is_partitioned() {
+        let config = AnalyzerConfig::with_capacity(1024);
+        let mut sharded = ShardedAnalyzer::new(config, 4);
+        for i in 0..40u64 {
+            sharded.process(&txn(&[e(i, 1), e(i + 100, 1), e(i + 200, 1)]));
+        }
+        // Each stored pair must live on exactly the shard its hash names.
+        for (i, shard) in sharded.shards().iter().enumerate() {
+            for (pair, _, _) in &shard.snapshot().pairs {
+                assert_eq!(shard_of_pair(pair, 4), i);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_orders_by_tally_then_pair() {
+        let config = AnalyzerConfig::with_capacity(1024);
+        let mut sharded = ShardedAnalyzer::new(config, 4);
+        for rep in 0..3 {
+            for i in 0..(10 - rep) {
+                sharded.process(&txn(&[e(i, 1), e(i + 50, 1)]));
+            }
+        }
+        let merged = sharded.frequent_pairs(1);
+        let resorted = {
+            let mut v = merged.clone();
+            v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            v
+        };
+        assert_eq!(merged, resorted);
+        assert_eq!(merged, sharded.snapshot().frequent_pairs(1));
+    }
+
+    #[test]
+    fn from_shards_round_trips() {
+        let config = AnalyzerConfig::with_capacity(64);
+        let mut sharded = ShardedAnalyzer::new(config.clone(), 2);
+        sharded.process(&txn(&[e(1, 1), e(2, 1)]));
+        let before = sharded.snapshot();
+        let rebuilt = ShardedAnalyzer::from_shards(config, sharded.into_shards());
+        assert_eq!(rebuilt.snapshot(), before);
+    }
+}

@@ -1,8 +1,11 @@
 //! The two-tier LRU/frequency table underlying both synopsis tables.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::fmt;
-use std::hash::Hash;
+use std::hash::{BuildHasher, Hash};
+
+use rtdac_types::FxBuildHasher;
 
 /// Which tier of a [`TwoTierTable`] an entry resides in.
 ///
@@ -94,7 +97,10 @@ pub struct Record<K> {
 ///   when a correlated item is evicted from the item table).
 ///
 /// All operations are O(1) (amortized, via a hash index over an intrusive
-/// slab-allocated list).
+/// slab-allocated list). The index hashes with [`FxBuildHasher`] by
+/// default — deterministic and far cheaper than SipHash on the short
+/// extent/pair keys the synopsis stores — and each `record` performs a
+/// single hash probe on both the hit and the miss path (entry API).
 ///
 /// # Examples
 ///
@@ -109,8 +115,8 @@ pub struct Record<K> {
 /// assert_eq!(table.tally(&"a"), Some(2));
 /// ```
 #[derive(Clone, Debug)]
-pub struct TwoTierTable<K> {
-    index: HashMap<K, usize>,
+pub struct TwoTierTable<K, S = FxBuildHasher> {
+    index: HashMap<K, usize, S>,
     nodes: Vec<Node<K>>,
     free: Vec<usize>,
     t1: List,
@@ -124,13 +130,27 @@ pub struct TwoTierTable<K> {
 impl<K: Eq + Hash + Clone> TwoTierTable<K> {
     /// Creates a table with the given per-tier capacities and promotion
     /// threshold (the tally at which a T1 entry moves to T2; the paper
-    /// promotes "upon a cache hit in the first \[tier\]", i.e. threshold 2).
+    /// promotes "upon a cache hit in the first \[tier\]", i.e. threshold 2),
+    /// hashing with the default [`FxBuildHasher`].
     ///
     /// # Panics
     ///
     /// Panics if either capacity is zero or `promote_threshold < 2` (a
     /// threshold of 1 would bypass T1 entirely).
     pub fn new(t1_capacity: usize, t2_capacity: usize, promote_threshold: u32) -> Self {
+        Self::with_hasher(t1_capacity, t2_capacity, promote_threshold)
+    }
+}
+
+impl<K: Eq + Hash + Clone, S: BuildHasher + Default> TwoTierTable<K, S> {
+    /// Creates a table like [`new`](TwoTierTable::new) but with an
+    /// arbitrary `BuildHasher` (e.g. `std`'s SipHash `RandomState` for the
+    /// reference analyzer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either capacity is zero or `promote_threshold < 2`.
+    pub fn with_hasher(t1_capacity: usize, t2_capacity: usize, promote_threshold: u32) -> Self {
         assert!(t1_capacity > 0, "T1 capacity must be positive");
         assert!(t2_capacity > 0, "T2 capacity must be positive");
         assert!(
@@ -138,7 +158,7 @@ impl<K: Eq + Hash + Clone> TwoTierTable<K> {
             "promotion threshold must be at least 2"
         );
         TwoTierTable {
-            index: HashMap::with_capacity(t1_capacity + t2_capacity),
+            index: HashMap::with_capacity_and_hasher(t1_capacity + t2_capacity, S::default()),
             nodes: Vec::with_capacity(t1_capacity + t2_capacity),
             free: Vec::new(),
             t1: List::new(),
@@ -153,53 +173,83 @@ impl<K: Eq + Hash + Clone> TwoTierTable<K> {
     /// Records one sighting of `key`, applying the full hit/miss,
     /// promotion, demotion and eviction policy. Returns what happened,
     /// including any entry evicted to make room.
+    ///
+    /// Exactly one hash probe of the index per call: the entry API covers
+    /// both the hit path (was `get` + slab borrows) and the miss path
+    /// (was `get` + `insert`).
     pub fn record(&mut self, key: K) -> Record<K> {
-        if let Some(&idx) = self.index.get(&key) {
-            self.stats.hits += 1;
-            self.nodes[idx].tally = self.nodes[idx].tally.saturating_add(1);
-            let tier = self.nodes[idx].tier;
-            match tier {
-                Tier::T1 if self.nodes[idx].tally >= self.promote_threshold => {
+        match self.index.entry(key) {
+            Entry::Occupied(entry) => {
+                let idx = *entry.get();
+                self.stats.hits += 1;
+                let node = &mut self.nodes[idx];
+                node.tally = node.tally.saturating_add(1);
+                let tally = node.tally;
+                let tier = node.tier;
+                if tier == Tier::T1 && tally >= self.promote_threshold {
                     // Promote to T2's MRU end.
-                    self.unlink(idx);
+                    Self::unlink(&mut self.nodes, &mut self.t1, idx);
                     self.nodes[idx].tier = Tier::T2;
-                    self.push_front(Tier::T2, idx);
+                    Self::push_front(&mut self.nodes, &mut self.t2, idx);
                     self.stats.promotions += 1;
                     let evicted = self.rebalance_after_promotion();
                     Record {
                         hit: true,
                         tier: Tier::T2,
-                        tally: self.nodes[idx].tally,
+                        tally,
                         evicted,
                     }
-                }
-                tier => {
+                } else {
                     // Refresh recency within the current tier.
-                    self.unlink(idx);
-                    self.push_front(tier, idx);
+                    let list = match tier {
+                        Tier::T1 => &mut self.t1,
+                        Tier::T2 => &mut self.t2,
+                    };
+                    Self::unlink(&mut self.nodes, list, idx);
+                    Self::push_front(&mut self.nodes, list, idx);
                     Record {
                         hit: true,
                         tier,
-                        tally: self.nodes[idx].tally,
+                        tally,
                         evicted: None,
                     }
                 }
             }
-        } else {
-            self.stats.misses += 1;
-            let evicted = if self.t1.len >= self.t1_capacity {
-                self.evict_t1_lru()
-            } else {
-                None
-            };
-            let idx = self.alloc(key.clone());
-            self.index.insert(key, idx);
-            self.push_front(Tier::T1, idx);
-            Record {
-                hit: false,
-                tier: Tier::T1,
-                tally: 1,
-                evicted,
+            Entry::Vacant(entry) => {
+                self.stats.misses += 1;
+                let node = Node {
+                    key: entry.key().clone(),
+                    tally: 1,
+                    tier: Tier::T1,
+                    prev: NIL,
+                    next: NIL,
+                };
+                let idx = match self.free.pop() {
+                    Some(idx) => {
+                        self.nodes[idx] = node;
+                        idx
+                    }
+                    None => {
+                        self.nodes.push(node);
+                        self.nodes.len() - 1
+                    }
+                };
+                entry.insert(idx);
+                Self::push_front(&mut self.nodes, &mut self.t1, idx);
+                // Inserting first, then trimming, is equivalent to the
+                // evict-then-insert order: the fresh node sits at the MRU
+                // end and is never the trimmed tail.
+                let evicted = if self.t1.len > self.t1_capacity {
+                    self.evict_t1_lru()
+                } else {
+                    None
+                };
+                Record {
+                    hit: false,
+                    tier: Tier::T1,
+                    tally: 1,
+                    evicted,
+                }
             }
         }
     }
@@ -217,9 +267,9 @@ impl<K: Eq + Hash + Clone> TwoTierTable<K> {
         } else {
             None
         };
-        self.unlink(victim);
+        Self::unlink(&mut self.nodes, &mut self.t2, victim);
         self.nodes[victim].tier = Tier::T1;
-        self.push_back(Tier::T1, victim);
+        Self::push_back(&mut self.nodes, &mut self.t1, victim);
         self.stats.demotions += 1;
         evicted
     }
@@ -229,7 +279,7 @@ impl<K: Eq + Hash + Clone> TwoTierTable<K> {
         if victim == NIL {
             return None;
         }
-        self.unlink(victim);
+        Self::unlink(&mut self.nodes, &mut self.t1, victim);
         let node = &mut self.nodes[victim];
         let key = node.key.clone();
         let tally = node.tally;
@@ -249,9 +299,13 @@ impl<K: Eq + Hash + Clone> TwoTierTable<K> {
         let Some(&idx) = self.index.get(key) else {
             return false;
         };
-        self.unlink(idx);
+        let list = match self.nodes[idx].tier {
+            Tier::T1 => &mut self.t1,
+            Tier::T2 => &mut self.t2,
+        };
+        Self::unlink(&mut self.nodes, list, idx);
         self.nodes[idx].tier = Tier::T1;
-        self.push_back(Tier::T1, idx);
+        Self::push_back(&mut self.nodes, &mut self.t1, idx);
         self.stats.demotions += 1;
         // Demotion may push T1 over capacity when the entry came from T2;
         // evict the *new* LRU (which is this entry) is pointless, so we
@@ -267,7 +321,11 @@ impl<K: Eq + Hash + Clone> TwoTierTable<K> {
     /// Removes `key` from the table, returning its tally.
     pub fn remove(&mut self, key: &K) -> Option<u32> {
         let idx = self.index.remove(key)?;
-        self.unlink(idx);
+        let list = match self.nodes[idx].tier {
+            Tier::T1 => &mut self.t1,
+            Tier::T2 => &mut self.t2,
+        };
+        Self::unlink(&mut self.nodes, list, idx);
         let tally = self.nodes[idx].tally;
         self.free.push(idx);
         Some(tally)
@@ -331,7 +389,7 @@ impl<K: Eq + Hash + Clone> TwoTierTable<K> {
 
     /// Iterator over `(key, tally, tier)` for every entry, T2 first, each
     /// tier in MRU→LRU order.
-    pub fn iter(&self) -> Iter<'_, K> {
+    pub fn iter(&self) -> Iter<'_, K, S> {
         Iter {
             table: self,
             tier: Tier::T2,
@@ -361,42 +419,21 @@ impl<K: Eq + Hash + Clone> TwoTierTable<K> {
         self.t2 = List::new();
     }
 
-    fn alloc(&mut self, key: K) -> usize {
-        let node = Node {
-            key,
-            tally: 1,
-            tier: Tier::T1,
-            prev: NIL,
-            next: NIL,
-        };
-        if let Some(idx) = self.free.pop() {
-            self.nodes[idx] = node;
-            idx
-        } else {
-            self.nodes.push(node);
-            self.nodes.len() - 1
-        }
-    }
-
-    fn list_mut(&mut self, tier: Tier) -> &mut List {
-        match tier {
-            Tier::T1 => &mut self.t1,
-            Tier::T2 => &mut self.t2,
-        }
-    }
-
-    fn unlink(&mut self, idx: usize) {
-        let (prev, next, tier) = {
-            let n = &self.nodes[idx];
-            (n.prev, n.next, n.tier)
+    /// Unlinks `idx` from `list` (which must be the list owning the
+    /// node). Free functions over disjoint field borrows keep these
+    /// primitives callable while the index's entry borrow is alive.
+    #[inline]
+    fn unlink(nodes: &mut [Node<K>], list: &mut List, idx: usize) {
+        let (prev, next) = {
+            let n = &nodes[idx];
+            (n.prev, n.next)
         };
         if prev != NIL {
-            self.nodes[prev].next = next;
+            nodes[prev].next = next;
         }
         if next != NIL {
-            self.nodes[next].prev = prev;
+            nodes[next].prev = prev;
         }
-        let list = self.list_mut(tier);
         if list.head == idx {
             list.head = next;
         }
@@ -404,18 +441,18 @@ impl<K: Eq + Hash + Clone> TwoTierTable<K> {
             list.tail = prev;
         }
         list.len -= 1;
-        self.nodes[idx].prev = NIL;
-        self.nodes[idx].next = NIL;
+        nodes[idx].prev = NIL;
+        nodes[idx].next = NIL;
     }
 
-    fn push_front(&mut self, tier: Tier, idx: usize) {
-        let head = self.list_mut(tier).head;
-        self.nodes[idx].prev = NIL;
-        self.nodes[idx].next = head;
+    #[inline]
+    fn push_front(nodes: &mut [Node<K>], list: &mut List, idx: usize) {
+        let head = list.head;
+        nodes[idx].prev = NIL;
+        nodes[idx].next = head;
         if head != NIL {
-            self.nodes[head].prev = idx;
+            nodes[head].prev = idx;
         }
-        let list = self.list_mut(tier);
         list.head = idx;
         if list.tail == NIL {
             list.tail = idx;
@@ -423,14 +460,14 @@ impl<K: Eq + Hash + Clone> TwoTierTable<K> {
         list.len += 1;
     }
 
-    fn push_back(&mut self, tier: Tier, idx: usize) {
-        let tail = self.list_mut(tier).tail;
-        self.nodes[idx].next = NIL;
-        self.nodes[idx].prev = tail;
+    #[inline]
+    fn push_back(nodes: &mut [Node<K>], list: &mut List, idx: usize) {
+        let tail = list.tail;
+        nodes[idx].next = NIL;
+        nodes[idx].prev = tail;
         if tail != NIL {
-            self.nodes[tail].next = idx;
+            nodes[tail].next = idx;
         }
-        let list = self.list_mut(tier);
         list.tail = idx;
         if list.head == NIL {
             list.head = idx;
@@ -465,13 +502,13 @@ impl<K: Eq + Hash + Clone> TwoTierTable<K> {
 
 /// Iterator over the entries of a [`TwoTierTable`], created by
 /// [`TwoTierTable::iter`].
-pub struct Iter<'a, K> {
-    table: &'a TwoTierTable<K>,
+pub struct Iter<'a, K, S = FxBuildHasher> {
+    table: &'a TwoTierTable<K, S>,
     tier: Tier,
     cursor: usize,
 }
 
-impl<'a, K> Iterator for Iter<'a, K> {
+impl<'a, K, S> Iterator for Iter<'a, K, S> {
     type Item = (&'a K, u32, Tier);
 
     fn next(&mut self) -> Option<Self::Item> {
@@ -491,16 +528,18 @@ impl<'a, K> Iterator for Iter<'a, K> {
     }
 }
 
-impl<'a, K: Eq + Hash + Clone> IntoIterator for &'a TwoTierTable<K> {
+impl<'a, K: Eq + Hash + Clone, S: BuildHasher + Default> IntoIterator for &'a TwoTierTable<K, S> {
     type Item = (&'a K, u32, Tier);
-    type IntoIter = Iter<'a, K>;
+    type IntoIter = Iter<'a, K, S>;
 
     fn into_iter(self) -> Self::IntoIter {
         self.iter()
     }
 }
 
-impl<K: Eq + Hash + Clone + fmt::Display> fmt::Display for TwoTierTable<K> {
+impl<K: Eq + Hash + Clone + fmt::Display, S: BuildHasher + Default> fmt::Display
+    for TwoTierTable<K, S>
+{
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,

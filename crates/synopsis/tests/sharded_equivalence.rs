@@ -1,0 +1,140 @@
+//! Determinism/equivalence of the sharded analyzer against the
+//! single-threaded one on seeded synthetic workloads.
+//!
+//! Layered guarantees (DESIGN.md §8):
+//!
+//! * `N = 1` is *exactly* the single-threaded analyzer on any stream —
+//!   same snapshots, evictions included;
+//! * for any `N`, with tables large enough that nothing overflows, the
+//!   merged frequent-pair sets and tallies are identical to the
+//!   single-threaded analyzer's, because pair routing is a deterministic
+//!   total partition of the pair space;
+//! * everything is reproducible run-to-run: the workload is seeded and
+//!   the routing hash is unkeyed.
+
+use rtdac_synopsis::{shard_of_pair, AnalyzerConfig, OnlineAnalyzer, ShardedAnalyzer};
+use rtdac_types::Transaction;
+use rtdac_workloads::{SyntheticKind, SyntheticSpec};
+
+/// A seeded synthetic stream with known correlations plus noise,
+/// windowed into transactions the way the monitor would.
+fn seeded_transactions(kind: SyntheticKind, events: usize, seed: u64) -> Vec<Transaction> {
+    let workload = SyntheticSpec::new(kind)
+        .events(events)
+        .seed(seed)
+        .generate();
+    let mut transactions = Vec::new();
+    let mut current = Transaction::new(workload.trace.requests()[0].time);
+    let window = std::time::Duration::from_millis(5);
+    for request in workload.trace.requests() {
+        if request.time.saturating_since(current.start()) > window || current.len() >= 8 {
+            if !current.is_empty() {
+                transactions.push(std::mem::replace(
+                    &mut current,
+                    Transaction::new(request.time),
+                ));
+            } else {
+                current = Transaction::new(request.time);
+            }
+        }
+        current.push(request.extent, request.op);
+    }
+    if !current.is_empty() {
+        transactions.push(current);
+    }
+    transactions
+}
+
+#[test]
+fn sharded_matches_single_threaded_on_synthetic_workloads() {
+    for kind in [
+        SyntheticKind::OneToOne,
+        SyntheticKind::OneToMany,
+        SyntheticKind::ManyToMany,
+    ] {
+        let transactions = seeded_transactions(kind, 2_000, 42);
+        // Capacity well above the stream's footprint: no table overflow,
+        // so local and global LRU decisions cannot diverge.
+        let config = AnalyzerConfig::with_capacity(64 * 1024);
+
+        let mut single = OnlineAnalyzer::new(config.clone());
+        for t in &transactions {
+            single.process(t);
+        }
+        let expected = single.snapshot().frequent_pairs(1);
+        assert!(!expected.is_empty(), "workload produced no pairs");
+
+        for shards in [1usize, 2, 4] {
+            let mut sharded = ShardedAnalyzer::new(config.clone(), shards);
+            for t in &transactions {
+                sharded.process(t);
+            }
+            // Identical frequent-pair sets AND tallies, in the canonical
+            // (descending tally, ascending pair) order — both via the
+            // merged snapshot and via the k-way merge API.
+            assert_eq!(
+                sharded.snapshot().frequent_pairs(1),
+                expected,
+                "{kind:?} with {shards} shards (snapshot)"
+            );
+            assert_eq!(
+                sharded.frequent_pairs(1),
+                expected,
+                "{kind:?} with {shards} shards (k-way merge)"
+            );
+        }
+    }
+}
+
+#[test]
+fn single_shard_is_exact_even_under_overflow() {
+    // Tiny tables: constant eviction churn. N = 1 must still match the
+    // single-threaded analyzer snapshot-for-snapshot, since its partition
+    // is the whole stream in the same order.
+    let transactions = seeded_transactions(SyntheticKind::ManyToMany, 3_000, 7);
+    let config = AnalyzerConfig::with_capacity(8).item_capacity(4);
+    let mut single = OnlineAnalyzer::new(config.clone());
+    let mut sharded = ShardedAnalyzer::new(config, 1);
+    for t in &transactions {
+        single.process(t);
+        sharded.process(t);
+    }
+    assert_eq!(sharded.snapshot(), single.snapshot());
+    assert_eq!(sharded.stats(), single.stats());
+}
+
+#[test]
+fn sharded_runs_are_deterministic() {
+    let transactions = seeded_transactions(SyntheticKind::OneToMany, 2_000, 1234);
+    let run = |shards: usize| {
+        let mut an = ShardedAnalyzer::new(AnalyzerConfig::with_capacity(1024), shards);
+        for t in &transactions {
+            an.process(t);
+        }
+        an.frequent_pairs(1)
+    };
+    for shards in [2usize, 4] {
+        assert_eq!(
+            run(shards),
+            run(shards),
+            "{shards} shards not deterministic"
+        );
+    }
+}
+
+#[test]
+fn shards_store_only_their_partition() {
+    let transactions = seeded_transactions(SyntheticKind::ManyToMany, 2_000, 9);
+    let shard_count = 4;
+    let mut sharded = ShardedAnalyzer::new(AnalyzerConfig::with_capacity(4096), shard_count);
+    for t in &transactions {
+        sharded.process(t);
+    }
+    for (i, shard) in sharded.shards().iter().enumerate() {
+        let snap = shard.snapshot();
+        assert!(!snap.pairs.is_empty() || shard_count > snap.pairs.len());
+        for (pair, _, _) in &snap.pairs {
+            assert_eq!(shard_of_pair(pair, shard_count), i, "pair on wrong shard");
+        }
+    }
+}

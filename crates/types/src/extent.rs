@@ -1,8 +1,6 @@
 use std::cmp::Ordering;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::ExtentError;
 
 /// A contiguous run of file-system blocks: a starting block number and a
@@ -29,7 +27,7 @@ use crate::error::ExtentError;
 /// assert!(!e.contains_block(104));
 /// # Ok::<(), rtdac_types::ExtentError>(())
 /// ```
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Extent {
     start: u64,
     len: u32,
@@ -160,7 +158,7 @@ impl fmt::Display for Extent {
 /// assert_eq!(ExtentPair::new(a, b), ExtentPair::new(b, a));
 /// # Ok::<(), rtdac_types::ExtentError>(())
 /// ```
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ExtentPair {
     first: Extent,
     second: Extent,

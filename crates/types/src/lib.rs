@@ -27,6 +27,8 @@
 
 mod error;
 mod extent;
+mod hash;
+mod inline_vec;
 mod request;
 mod time;
 mod trace;
@@ -34,6 +36,8 @@ mod transaction;
 
 pub use error::{ExtentError, TraceParseError};
 pub use extent::{Extent, ExtentPair};
+pub use hash::{fx_hash, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use inline_vec::InlineVec;
 pub use request::{IoEvent, IoOp, IoRequest, Pid};
 pub use time::Timestamp;
 pub use trace::{Trace, TraceStats, BLOCK_SIZE};

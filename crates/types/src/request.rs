@@ -1,8 +1,6 @@
 use std::fmt;
 use std::time::Duration;
 
-use serde::{Deserialize, Serialize};
-
 use crate::extent::Extent;
 use crate::time::Timestamp;
 
@@ -17,7 +15,7 @@ pub type Pid = u32;
 /// The paper notes that correlation *types* (read vs write) enable
 /// different optimizations: correlated writes inform multi-stream garbage
 /// collection, correlated reads inform parallel data placement (§V).
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum IoOp {
     /// A read request.
     Read,
@@ -52,7 +50,7 @@ impl fmt::Display for IoOp {
 /// `latency` is the device response time recorded by the original tracing
 /// system, when known. The MSR Cambridge traces carry this (their HDD-era
 /// latencies are what Table II's replay speedups are computed from).
-#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub struct IoRequest {
     /// Arrival time relative to trace start.
     pub time: Timestamp,
@@ -106,7 +104,7 @@ impl IoRequest {
 /// what the monitored device *saw*: its timestamp is the issue time during
 /// (possibly accelerated) replay and its latency is the measured response
 /// of the device under test.
-#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub struct IoEvent {
     /// Issue time on the monitored system.
     pub timestamp: Timestamp,
@@ -164,12 +162,7 @@ mod tests {
 
     #[test]
     fn request_bytes() {
-        let r = IoRequest::new(
-            Timestamp::ZERO,
-            1,
-            IoOp::Read,
-            Extent::new(0, 4).unwrap(),
-        );
+        let r = IoRequest::new(Timestamp::ZERO, 1, IoOp::Read, Extent::new(0, 4).unwrap());
         assert_eq!(r.bytes(512), 2048);
         assert_eq!(r.bytes(4096), 16384);
     }

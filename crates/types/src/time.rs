@@ -2,8 +2,6 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 use std::time::Duration;
 
-use serde::{Deserialize, Serialize};
-
 /// A point in trace time, measured in nanoseconds from the start of the
 /// trace.
 ///
@@ -21,9 +19,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t + Duration::from_micros(50), Timestamp::from_micros(200));
 /// assert_eq!(Timestamp::from_micros(200) - t, Duration::from_micros(50));
 /// ```
-#[derive(
-    Copy, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Copy, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Timestamp(u64);
 
 impl Timestamp {

@@ -2,8 +2,6 @@ use std::collections::BTreeMap;
 use std::io::{self, BufRead, Write};
 use std::time::Duration;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::TraceParseError;
 use crate::request::{IoOp, IoRequest};
 use crate::time::Timestamp;
@@ -34,7 +32,7 @@ pub const BLOCK_SIZE: u32 = 512;
 /// assert_eq!(stats.total_bytes, (8 + 16) * 512);
 /// # Ok::<(), rtdac_types::ExtentError>(())
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Trace {
     name: String,
     requests: Vec<IoRequest>,
@@ -178,10 +176,7 @@ impl Trace {
             let ty = if req.op.is_read() { "Read" } else { "Write" };
             let offset = req.extent.start() * u64::from(BLOCK_SIZE);
             let size = u64::from(req.extent.len()) * u64::from(BLOCK_SIZE);
-            let response = req
-                .latency
-                .map(|d| d.as_nanos() as u64 / 100)
-                .unwrap_or(0);
+            let response = req.latency.map(|d| d.as_nanos() as u64 / 100).unwrap_or(0);
             writeln!(
                 writer,
                 "{ticks},{},{},{ty},{offset},{size},{response}",
@@ -275,7 +270,7 @@ impl Extend<IoRequest> for Trace {
 
 /// Summary statistics of a [`Trace`], matching the columns of the paper's
 /// Table I plus a few extras used elsewhere in the evaluation.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TraceStats {
     /// Number of requests.
     pub requests: u64,
@@ -446,10 +441,7 @@ mod tests {
         assert_eq!(parsed.requests()[0].extent, Extent::new(0, 8).unwrap());
         assert_eq!(parsed.requests()[1].extent, Extent::new(64, 16).unwrap());
         assert_eq!(parsed.requests()[1].op, IoOp::Write);
-        assert_eq!(
-            parsed.requests()[1].time,
-            Timestamp::from_micros(120)
-        );
+        assert_eq!(parsed.requests()[1].time, Timestamp::from_micros(120));
         assert_eq!(
             parsed.requests()[0].latency,
             Some(Duration::from_micros(300))
@@ -460,8 +452,7 @@ mod tests {
     fn msr_csv_rejects_garbage() {
         let err = Trace::read_msr_csv("x", "not,a,trace".as_bytes()).unwrap_err();
         assert_eq!(err.line(), 1);
-        let err =
-            Trace::read_msr_csv("x", "1,h,0,Frobnicate,0,512,0".as_bytes()).unwrap_err();
+        let err = Trace::read_msr_csv("x", "1,h,0,Frobnicate,0,512,0".as_bytes()).unwrap_err();
         assert!(err.to_string().contains("bad op"));
     }
 

@@ -1,14 +1,12 @@
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::extent::{Extent, ExtentPair};
 use crate::request::IoOp;
 use crate::time::Timestamp;
 
 /// One request within a transaction: the extent together with its
 /// direction.
-#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub struct TransactionItem {
     /// The requested blocks.
     pub extent: Extent,
@@ -44,7 +42,7 @@ impl TransactionItem {
 /// assert_eq!(txn.unique_pairs().count(), 1); // one extent correlation
 /// # Ok::<(), rtdac_types::ExtentError>(())
 /// ```
-#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct Transaction {
     start: Timestamp,
     end: Timestamp,

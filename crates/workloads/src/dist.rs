@@ -1,10 +1,150 @@
-//! Small sampling utilities: Zipf-like rank popularity and exponential
-//! interarrival times, the two distributions the paper's synthetic
-//! workloads are built from (§IV-B1).
+//! Small sampling utilities: a seedable PCG32 generator, Zipf-like rank
+//! popularity and exponential interarrival times — everything the paper's
+//! synthetic workloads are built from (§IV-B1).
+//!
+//! The generator is in-repo (rather than the `rand` crate) because the
+//! workspace must build with no registry access; it is PCG-XSH-RR 64/32,
+//! O'Neill's recommended small generator, which passes the statistical
+//! checks the workload tests apply and is fully deterministic for a given
+//! seed.
 
+use std::ops::{Range, RangeInclusive};
 use std::time::Duration;
 
-use rand::Rng;
+/// The default LCG multiplier of the PCG family.
+const PCG_MULT: u64 = 6_364_136_223_846_793_005;
+
+/// The default PCG stream constant (must be odd after `(x << 1) | 1`).
+const PCG_STREAM: u64 = 0xa02_bdbf_7bb3_c0a7;
+
+/// A PCG-XSH-RR 64/32 pseudo-random generator: 64-bit LCG state, 32-bit
+/// xorshift-rotated output.
+///
+/// # Examples
+///
+/// ```
+/// use rtdac_workloads::Pcg32;
+///
+/// let mut a = Pcg32::seed_from_u64(7);
+/// let mut b = Pcg32::seed_from_u64(7);
+/// assert_eq!(a.next_u64(), b.next_u64()); // deterministic per seed
+/// assert!(a.gen_range(10..20u32) >= 10);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Pcg32 {
+    state: u64,
+    inc: u64,
+}
+
+impl Pcg32 {
+    /// Creates a generator from a seed and an explicit stream selector.
+    pub fn new(seed: u64, stream: u64) -> Self {
+        let mut rng = Pcg32 {
+            state: 0,
+            inc: (stream << 1) | 1,
+        };
+        rng.next_u32();
+        rng.state = rng.state.wrapping_add(seed);
+        rng.next_u32();
+        rng
+    }
+
+    /// Creates a generator on the default stream — the everyday seeded
+    /// constructor, mirroring `SeedableRng::seed_from_u64`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Pcg32::new(seed, PCG_STREAM)
+    }
+
+    /// Next 32 uniformly random bits.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Next 64 uniformly random bits (two 32-bit draws).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let hi = u64::from(self.next_u32());
+        let lo = u64::from(self.next_u32());
+        (hi << 32) | lo
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 random mantissa bits.
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p`.
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Uniform integer in `span` worth of values starting at 0. Uses the
+    /// widening-multiply bound trick, so no modulo on the hot path.
+    #[inline]
+    fn bounded_u64(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        ((u128::from(self.next_u64()) * u128::from(span)) >> 64) as u64
+    }
+
+    /// Draws from a half-open or inclusive integer range, mirroring
+    /// `rand::Rng::gen_range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+}
+
+/// Integer ranges [`Pcg32::gen_range`] can draw from.
+pub trait SampleRange {
+    /// The integer type produced.
+    type Output;
+
+    /// Draws a uniform value from the range.
+    fn sample(self, rng: &mut Pcg32) -> Self::Output;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+
+            #[inline]
+            fn sample(self, rng: &mut Pcg32) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.bounded_u64(span) as $t
+            }
+        }
+
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+
+            #[inline]
+            fn sample(self, rng: &mut Pcg32) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range on empty range");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + rng.bounded_u64(span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u32, u64, usize);
 
 /// A Zipf-like distribution over ranks `0..n`: rank `k` has probability
 /// proportional to `1 / (k + 1)^s`.
@@ -73,8 +213,8 @@ impl Zipf {
     }
 
     /// Draws a rank.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
-        let u: f64 = rng.gen();
+    pub fn sample(&self, rng: &mut Pcg32) -> usize {
+        let u = rng.gen_f64();
         self.cumulative
             .partition_point(|&c| c < u)
             .min(self.cumulative.len() - 1)
@@ -88,25 +228,22 @@ impl Zipf {
 /// # Examples
 ///
 /// ```
-/// use rtdac_workloads::sample_exponential;
-/// use rand::SeedableRng;
+/// use rtdac_workloads::{sample_exponential, Pcg32};
 /// use std::time::Duration;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut rng = Pcg32::seed_from_u64(7);
 /// let d = sample_exponential(&mut rng, Duration::from_millis(200));
 /// assert!(d > Duration::ZERO);
 /// ```
-pub fn sample_exponential<R: Rng + ?Sized>(rng: &mut R, mean: Duration) -> Duration {
+pub fn sample_exponential(rng: &mut Pcg32, mean: Duration) -> Duration {
     // 1 - U in (0, 1] avoids ln(0).
-    let u: f64 = 1.0 - rng.gen::<f64>();
+    let u = 1.0 - rng.gen_f64();
     Duration::from_secs_f64(-mean.as_secs_f64() * u.ln())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn zipf_paper_probabilities() {
@@ -129,7 +266,7 @@ mod tests {
     #[test]
     fn zipf_samples_match_probabilities() {
         let z = Zipf::new(4, 1.0);
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = Pcg32::seed_from_u64(42);
         let mut counts = [0u32; 4];
         let n = 100_000;
         for _ in 0..n {
@@ -147,7 +284,7 @@ mod tests {
     #[test]
     fn zipf_single_rank_always_samples_zero() {
         let z = Zipf::new(1, 2.0);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Pcg32::seed_from_u64(0);
         for _ in 0..100 {
             assert_eq!(z.sample(&mut rng), 0);
         }
@@ -161,7 +298,7 @@ mod tests {
 
     #[test]
     fn exponential_mean_is_close() {
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = Pcg32::seed_from_u64(9);
         let mean = Duration::from_millis(200);
         let n = 50_000;
         let total: f64 = (0..n)

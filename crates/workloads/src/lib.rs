@@ -32,7 +32,7 @@ mod dist;
 mod msr;
 mod synthetic;
 
-pub use dist::{sample_exponential, Zipf};
+pub use dist::{sample_exponential, Pcg32, SampleRange, Zipf};
 pub use msr::{MsrProfile, MsrServer, PaperReference};
 pub use synthetic::{
     ConstructedCorrelation, SyntheticKind, SyntheticSpec, SyntheticWorkload, PID_NOISE,

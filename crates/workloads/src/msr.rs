@@ -21,8 +21,7 @@
 
 use std::time::Duration;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::Pcg32;
 use rtdac_types::{Extent, IoOp, IoRequest, Timestamp, Trace};
 
 use crate::dist::{sample_exponential, Zipf};
@@ -286,7 +285,7 @@ pub struct MsrProfile {
 impl MsrProfile {
     /// Synthesizes `requests` requests. Deterministic in `seed`.
     pub fn synthesize(&self, requests: usize, seed: u64) -> Trace {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Pcg32::seed_from_u64(seed);
 
         // Construct the hot correlated groups.
         let groups: Vec<Vec<Extent>> = (0..self.hot_groups)
@@ -300,9 +299,7 @@ impl MsrProfile {
         // Hot singletons (hm's coincidence region).
         let singletons: Vec<Extent> = (0..self.hot_singletons)
             .map(|_| {
-                let (lo, hi) = self
-                    .singleton_region
-                    .unwrap_or((0, self.number_space));
+                let (lo, hi) = self.singleton_region.unwrap_or((0, self.number_space));
                 let len = rng.gen_range(self.extent_len.0..=self.extent_len.1);
                 let start = rng.gen_range(lo..hi.saturating_sub(u64::from(len)).max(lo + 1));
                 Extent::new(start, len).expect("generated extent is valid")
@@ -341,7 +338,7 @@ impl MsrProfile {
         let mut emitted = 0usize;
         while emitted < requests {
             // Pick the episode type.
-            let roll: f64 = rng.gen();
+            let roll = rng.gen_f64();
             let episode: Vec<Extent> = if roll < self.one_off_fraction {
                 // A unique, never-repeated extent.
                 let len = rng.gen_range(self.extent_len.0..=self.extent_len.1);
@@ -351,19 +348,17 @@ impl MsrProfile {
                 // A short sequential scan.
                 let len = rng.gen_range(self.extent_len.0..=self.extent_len.1);
                 let runs = rng.gen_range(2..=6usize);
-                let start =
-                    rng.gen_range(0..self.number_space - u64::from(len) * runs as u64);
+                let start = rng.gen_range(0..self.number_space - u64::from(len) * runs as u64);
                 (0..runs)
                     .map(|i| {
-                        Extent::new(start + u64::from(len) * i as u64, len)
-                            .expect("valid extent")
+                        Extent::new(start + u64::from(len) * i as u64, len).expect("valid extent")
                     })
                     .collect()
             } else if roll < self.one_off_fraction + self.sequential_fraction + singleton_weight
                 && !singletons.is_empty()
             {
                 vec![singletons[singleton_zipf.sample(&mut rng)]]
-            } else if rng.gen::<f64>() < self.coincidence_fraction && !hot_pool.is_empty() {
+            } else if rng.gen_f64() < self.coincidence_fraction && !hot_pool.is_empty() {
                 // Two uniformly random hot extents coincide in a window.
                 vec![
                     hot_pool[rng.gen_range(0..hot_pool.len())],
@@ -379,9 +374,9 @@ impl MsrProfile {
                     break;
                 }
                 if i > 0 {
-                    t += Duration::from_micros(rng.gen_range(2..60));
+                    t += Duration::from_micros(rng.gen_range(2..60u64));
                 }
-                let op = if rng.gen::<f64>() < self.read_fraction {
+                let op = if rng.gen_f64() < self.read_fraction {
                     IoOp::Read
                 } else {
                     IoOp::Write
@@ -392,17 +387,16 @@ impl MsrProfile {
             }
 
             // Inter-episode gap: fast with probability q, else slow.
-            if rng.gen::<f64>() < q {
-                t += Duration::from_micros(rng.gen_range(2..90));
+            if rng.gen_f64() < q {
+                t += Duration::from_micros(rng.gen_range(2..90u64));
             } else {
-                t += sample_exponential(&mut rng, self.slow_gap_mean)
-                    + Duration::from_micros(110);
+                t += sample_exponential(&mut rng, self.slow_gap_mean) + Duration::from_micros(110);
             }
         }
         trace
     }
 
-    fn random_extent(&self, rng: &mut StdRng) -> Extent {
+    fn random_extent(&self, rng: &mut Pcg32) -> Extent {
         let len = rng.gen_range(self.extent_len.0..=self.extent_len.1);
         let start = rng.gen_range(0..self.number_space - u64::from(len));
         Extent::new(start, len).expect("generated extent is valid")
@@ -410,7 +404,7 @@ impl MsrProfile {
 
     /// Recorded latency: `0.3·mean + Exp(0.7·mean)`, preserving the mean
     /// with a positive floor, shaped like HDD service times.
-    fn sample_latency(&self, rng: &mut StdRng) -> Duration {
+    fn sample_latency(&self, rng: &mut Pcg32) -> Duration {
         let mean = self.mean_latency.as_secs_f64();
         let floor = 0.3 * mean;
         let tail = sample_exponential(rng, Duration::from_secs_f64(0.7 * mean));
@@ -432,7 +426,12 @@ mod tests {
     #[test]
     fn request_count_is_exact() {
         for server in MsrServer::ALL {
-            assert_eq!(server.synthesize(1_000, 1).len(), 1_000, "{}", server.name());
+            assert_eq!(
+                server.synthesize(1_000, 1).len(),
+                1_000,
+                "{}",
+                server.name()
+            );
         }
     }
 
@@ -460,11 +459,17 @@ mod tests {
             .iter()
             .map(|s| (*s, s.synthesize(15_000, 3).stats().reuse_ratio()))
             .collect();
-        let get = |server: MsrServer| {
-            ratios.iter().find(|(s, _)| *s == server).unwrap().1
-        };
-        assert!(get(MsrServer::Stg) < 2.5, "stg reuse {}", get(MsrServer::Stg));
-        assert!(get(MsrServer::Wdev) > 8.0, "wdev reuse {}", get(MsrServer::Wdev));
+        let get = |server: MsrServer| ratios.iter().find(|(s, _)| *s == server).unwrap().1;
+        assert!(
+            get(MsrServer::Stg) < 2.5,
+            "stg reuse {}",
+            get(MsrServer::Stg)
+        );
+        assert!(
+            get(MsrServer::Wdev) > 8.0,
+            "wdev reuse {}",
+            get(MsrServer::Wdev)
+        );
         assert!(get(MsrServer::Wdev) > get(MsrServer::Src2));
         assert!(get(MsrServer::Src2) > get(MsrServer::Stg));
         assert!(get(MsrServer::Hm) > get(MsrServer::Stg));

@@ -4,8 +4,7 @@
 
 use std::time::Duration;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::Pcg32;
 use rtdac_types::{Extent, ExtentPair, IoOp, IoRequest, Timestamp, Trace};
 
 use crate::dist::{sample_exponential, Zipf};
@@ -132,7 +131,7 @@ impl SyntheticSpec {
 
     /// Generates the workload.
     pub fn generate(&self) -> SyntheticWorkload {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Pcg32::seed_from_u64(self.seed);
 
         // Construct the correlated extent groups.
         let ground_truth: Vec<ConstructedCorrelation> = (0..self.correlations)
@@ -153,9 +152,14 @@ impl SyntheticSpec {
             let group = &ground_truth[zipf.sample(&mut rng)];
             let mut offset = Duration::ZERO;
             for extent in &group.extents {
-                requests.push(IoRequest::new(t + offset, PID_WORKLOAD, IoOp::Read, *extent));
+                requests.push(IoRequest::new(
+                    t + offset,
+                    PID_WORKLOAD,
+                    IoOp::Read,
+                    *extent,
+                ));
                 // A few µs apart, far inside any realistic window.
-                offset += Duration::from_micros(rng.gen_range(1..10));
+                offset += Duration::from_micros(rng.gen_range(1..10u64));
             }
         }
         let span = t;
@@ -191,7 +195,7 @@ impl SyntheticSpec {
 
     /// Builds one correlated extent group of the spec's shape at a random,
     /// well-separated location.
-    fn construct_group(&self, rng: &mut StdRng) -> Vec<Extent> {
+    fn construct_group(&self, rng: &mut Pcg32) -> Vec<Extent> {
         // Keep groups far apart so constructed correlations don't collide.
         let region = self.number_space / 16;
         let base = rng.gen_range(0..self.number_space - 2 * region);
@@ -273,16 +277,27 @@ mod tests {
 
     #[test]
     fn deterministic_for_equal_seeds() {
-        let a = SyntheticSpec::new(SyntheticKind::OneToOne).events(50).seed(1).generate();
-        let b = SyntheticSpec::new(SyntheticKind::OneToOne).events(50).seed(1).generate();
+        let a = SyntheticSpec::new(SyntheticKind::OneToOne)
+            .events(50)
+            .seed(1)
+            .generate();
+        let b = SyntheticSpec::new(SyntheticKind::OneToOne)
+            .events(50)
+            .seed(1)
+            .generate();
         assert_eq!(a.trace, b.trace);
-        let c = SyntheticSpec::new(SyntheticKind::OneToOne).events(50).seed(2).generate();
+        let c = SyntheticSpec::new(SyntheticKind::OneToOne)
+            .events(50)
+            .seed(2)
+            .generate();
         assert_ne!(a.trace, c.trace);
     }
 
     #[test]
     fn one_to_one_groups_are_single_blocks() {
-        let w = SyntheticSpec::new(SyntheticKind::OneToOne).events(10).generate();
+        let w = SyntheticSpec::new(SyntheticKind::OneToOne)
+            .events(10)
+            .generate();
         for g in &w.ground_truth {
             assert_eq!(g.extents.len(), 2);
             assert!(g.extents.iter().all(|e| e.len() == 1));
@@ -292,7 +307,9 @@ mod tests {
 
     #[test]
     fn one_to_many_shape() {
-        let w = SyntheticSpec::new(SyntheticKind::OneToMany).events(10).generate();
+        let w = SyntheticSpec::new(SyntheticKind::OneToMany)
+            .events(10)
+            .generate();
         for g in &w.ground_truth {
             assert_eq!(g.extents[0].len(), 1);
             assert!(g.extents[1].len() >= 1 && g.extents[1].len() <= 2048);
@@ -301,7 +318,9 @@ mod tests {
 
     #[test]
     fn many_to_many_shape() {
-        let w = SyntheticSpec::new(SyntheticKind::ManyToMany).events(10).generate();
+        let w = SyntheticSpec::new(SyntheticKind::ManyToMany)
+            .events(10)
+            .generate();
         for g in &w.ground_truth {
             assert!(g.extents.iter().all(|e| e.len() <= 2048));
             assert!(!g.extents[0].overlaps(&g.extents[1]));
@@ -350,14 +369,18 @@ mod tests {
 
     #[test]
     fn trace_is_timestamp_ordered() {
-        let w = SyntheticSpec::new(SyntheticKind::ManyToMany).events(200).generate();
+        let w = SyntheticSpec::new(SyntheticKind::ManyToMany)
+            .events(200)
+            .generate();
         let times: Vec<_> = w.trace.iter().map(|r| r.time).collect();
         assert!(times.windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]
     fn expected_pairs_one_per_group() {
-        let w = SyntheticSpec::new(SyntheticKind::OneToOne).events(1).generate();
+        let w = SyntheticSpec::new(SyntheticKind::OneToOne)
+            .events(1)
+            .generate();
         assert_eq!(w.expected_pairs().len(), 4);
     }
 }

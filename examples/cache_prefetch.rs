@@ -57,7 +57,10 @@ fn main() {
     let arc = run(ArcCache::new(CACHE_EXTENTS), &txns, false);
     let arc_pf = run(ArcCache::new(CACHE_EXTENTS), &txns, true);
 
-    println!("{:<26} {:>10} {:>16} {:>16}", "policy", "hit rate", "prefetch inserts", "prefetched hits");
+    println!(
+        "{:<26} {:>10} {:>16} {:>16}",
+        "policy", "hit rate", "prefetch inserts", "prefetched hits"
+    );
     for (name, stats) in [
         ("LRU", lru),
         ("LRU + correlations", lru_pf),

@@ -57,7 +57,10 @@ fn main() {
     let phases = [
         ("wdev #1", transactions_of(MsrServer::Wdev, 0)),
         ("hm (temporary drift)", transactions_of(MsrServer::Hm, 0)),
-        ("wdev #2", transactions_of(MsrServer::Wdev, REQUESTS_PER_PHASE)),
+        (
+            "wdev #2",
+            transactions_of(MsrServer::Wdev, REQUESTS_PER_PHASE),
+        ),
     ];
     let wdev_pattern = pattern_of(&phases[0].1);
     let hm_pattern = pattern_of(&phases[1].1);
@@ -94,18 +97,12 @@ fn main() {
         wdev_1 > hm_1,
         "after phase 1 the snapshot is a wdev pattern"
     );
-    assert!(
-        hm_2 > hm_1,
-        "the hm pattern forms during the drift"
-    );
+    assert!(hm_2 > hm_1, "the hm pattern forms during the drift");
     assert!(
         wdev_2 < wdev_1,
         "the wdev pattern is displaced during the drift"
     );
-    assert!(
-        wdev_3 > wdev_2,
-        "the wdev pattern re-forms after the drift"
-    );
+    assert!(wdev_3 > wdev_2, "the wdev pattern re-forms after the drift");
     assert!(hm_3 < hm_2, "the hm pattern fades after the drift");
     println!(
         "drift narrative confirmed: wdev {:.2} → {:.2} → {:.2}, \

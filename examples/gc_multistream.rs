@@ -18,14 +18,11 @@
 
 use std::time::Duration;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rtdac::monitor::{Monitor, MonitorConfig, WindowPolicy};
-use rtdac::ssdsim::{
-    CorrelationStreams, Ftl, FtlConfig, HashStream, SingleStream, StreamAssigner,
-};
+use rtdac::ssdsim::{CorrelationStreams, Ftl, FtlConfig, HashStream, SingleStream, StreamAssigner};
 use rtdac::synopsis::{AnalyzerConfig, OnlineAnalyzer};
 use rtdac::types::{Extent, IoEvent, IoOp, Timestamp};
+use rtdac::workloads::Pcg32;
 
 const GROUPS: usize = 16;
 const EXTENTS_PER_GROUP: usize = 4;
@@ -42,7 +39,7 @@ struct GroupWorkload {
 }
 
 impl GroupWorkload {
-    fn new(rng: &mut StdRng) -> Self {
+    fn new(rng: &mut Pcg32) -> Self {
         let mut groups = Vec::new();
         let mut cursor = 0u64;
         for _ in 0..GROUPS {
@@ -61,10 +58,8 @@ impl GroupWorkload {
     /// groups die often, cold groups linger), with the extents fully
     /// shuffled so unrelated groups interleave at the device — the mix
     /// of death times that hurts a single append point.
-    fn round(&self, rng: &mut StdRng, zipf: &rtdac::workloads::Zipf) -> Vec<(usize, Extent)> {
-        let mut picked: Vec<usize> = (0..REWRITES_PER_ROUND)
-            .map(|_| zipf.sample(rng))
-            .collect();
+    fn round(&self, rng: &mut Pcg32, zipf: &rtdac::workloads::Zipf) -> Vec<(usize, Extent)> {
+        let mut picked: Vec<usize> = (0..REWRITES_PER_ROUND).map(|_| zipf.sample(rng)).collect();
         picked.sort_unstable();
         picked.dedup();
         let mut writes: Vec<(usize, Extent)> = picked
@@ -93,7 +88,7 @@ fn run_ftl(
         gc_low_watermark: streams.max(4),
     };
     let mut ftl = Ftl::new(config);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Pcg32::seed_from_u64(seed);
     let zipf = rtdac::workloads::Zipf::new(GROUPS, 1.0);
     // Initial fill: every group written once.
     for group in &workload.groups {
@@ -114,16 +109,15 @@ fn run_ftl(
 }
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(99);
+    let mut rng = Pcg32::seed_from_u64(99);
     let workload = GroupWorkload::new(&mut rng);
 
     // Phase 1: learn write correlations online. The workload is played
     // as block-layer write events (each group's extents issued within
     // microseconds — one transaction window), through the real monitor
     // and analyzer, restricted to writes as §V-1 prescribes.
-    let mut analyzer = OnlineAnalyzer::new(
-        AnalyzerConfig::with_capacity(4096).op_filter(Some(IoOp::Write)),
-    );
+    let mut analyzer =
+        OnlineAnalyzer::new(AnalyzerConfig::with_capacity(4096).op_filter(Some(IoOp::Write)));
     let mut monitor = Monitor::new(
         MonitorConfig::new(WindowPolicy::Static(Duration::from_micros(200)))
             .transaction_limit(EXTENTS_PER_GROUP),
@@ -131,7 +125,7 @@ fn main() {
     // For learning, play each group's extents as a burst (one window):
     // this is how the correlated writes arrive at the block layer.
     let mut t = Timestamp::ZERO;
-    let mut learn_rng = StdRng::seed_from_u64(7);
+    let mut learn_rng = Pcg32::seed_from_u64(7);
     let zipf = rtdac::workloads::Zipf::new(GROUPS, 1.0);
     for _ in 0..400 {
         let group = &workload.groups[zipf.sample(&mut learn_rng)];

@@ -1,42 +1,47 @@
 //! Live pipeline: monitoring and analysis running concurrently with the
 //! workload, as the paper's framework does in production (Fig. 3).
 //!
-//! Three stages connected by channels, mirroring the paper's
-//! architecture:
+//! The stages mirror the paper's architecture, built entirely on the
+//! workspace's own std-only machinery (no external channel crates):
 //!
 //! * a *replayer* thread plays an MSR-like trace against the simulated
-//!   SSD and emits block-layer issue events (the blktrace role);
-//! * a *monitor* thread groups events into transactions with the dynamic
-//!   2×-latency window;
-//! * an *analyzer* thread feeds the shared `OnlineAnalyzer`, which the
-//!   main thread queries live — correlations are available while the
-//!   workload is still running, with no trace stored to disk.
+//!   SSD and emits block-layer issue events (the blktrace role) over an
+//!   [`rtdac::monitor::spsc`] ring;
+//! * the main thread drives an [`IngestPipeline`]: its monitor front-end
+//!   groups events into transactions with the dynamic 2×-latency window,
+//!   batches them, and broadcasts each batch to per-shard workers over
+//!   further SPSC rings;
+//! * each shard worker owns one partition of the correlation synopsis
+//!   and records only the pairs it owns, so the sharded result merges to
+//!   exactly the single-threaded analyzer's answer — correlations are
+//!   available moments after the workload finishes, with no trace stored
+//!   to disk.
 //!
 //! Run with: `cargo run --example live_pipeline`
 
-use std::sync::Arc;
 use std::thread;
 
-use crossbeam::channel;
-use parking_lot::Mutex;
 use rtdac::device::{replay, NvmeSsdModel, ReplayMode};
-use rtdac::monitor::{Monitor, MonitorConfig};
-use rtdac::synopsis::{AnalyzerConfig, OnlineAnalyzer};
-use rtdac::types::{IoEvent, Transaction};
+use rtdac::monitor::{spsc, IngestPipeline, MonitorConfig, PipelineConfig};
+use rtdac::synopsis::AnalyzerConfig;
+use rtdac::types::IoEvent;
 use rtdac::workloads::MsrServer;
 
 fn main() {
-    let analyzer = Arc::new(Mutex::new(OnlineAnalyzer::new(
+    let shard_count = 4;
+    let mut pipeline = IngestPipeline::new(
+        MonitorConfig::default(),
         AnalyzerConfig::with_capacity(8 * 1024),
-    )));
-
-    let (event_tx, event_rx) = channel::bounded::<IoEvent>(1024);
-    let (txn_tx, txn_rx) = channel::bounded::<Transaction>(256);
+        PipelineConfig::with_shards(shard_count)
+            .batch_size(64)
+            .ring_capacity(32),
+    );
 
     // Stage 1: replayer ("fio" + blktrace). The trace is accelerated by
     // its Table II speedup so the whole demo runs instantly; event
     // *timestamps* carry the replay clock, so downstream windowing is
     // identical to wall-clock operation.
+    let (event_tx, event_rx) = spsc::channel::<IoEvent>(1024);
     let replayer = thread::spawn(move || {
         let trace = MsrServer::Wdev.synthesize(60_000, 1);
         let speedup = MsrServer::Wdev.paper_reference().replay_speedup;
@@ -51,62 +56,28 @@ fn main() {
         n
     });
 
-    // Stage 2: monitor thread — events in, transactions out.
-    let monitor_thread = thread::spawn(move || {
-        let mut monitor = Monitor::new(MonitorConfig::default());
-        for event in event_rx {
-            if let Some(txn) = monitor.push(event) {
-                if txn_tx.send(txn).is_err() {
-                    return monitor.stats();
-                }
-            }
-        }
-        if let Some(txn) = monitor.flush() {
-            let _ = txn_tx.send(txn);
-        }
-        monitor.stats()
-    });
-
-    // Stage 3: analyzer thread — transactions into the shared synopsis.
-    let analyzer_for_thread = Arc::clone(&analyzer);
-    let analyzer_thread = thread::spawn(move || {
-        let mut processed = 0u64;
-        for txn in txn_rx {
-            analyzer_for_thread.lock().process(&txn);
-            processed += 1;
-        }
-        processed
-    });
-
-    // Main thread: query the analyzer while the pipeline runs, exactly
-    // what an automatic optimization module would do.
-    let mut probes = 0;
-    loop {
-        thread::sleep(std::time::Duration::from_millis(20));
-        let snapshot = analyzer.lock().snapshot();
-        let frequent = snapshot.frequent_pairs(5);
-        println!(
-            "live probe {probes}: {} pairs stored, {} with support >= 5",
-            snapshot.pairs.len(),
-            frequent.len()
-        );
-        probes += 1;
-        if analyzer_thread.is_finished() || probes >= 50 {
-            break;
-        }
+    // Stage 2 + 3: the ingestion pipeline. The monitor windows events
+    // into transactions and the shard workers absorb them concurrently
+    // while the replayer is still producing.
+    while let Some(event) = event_rx.recv() {
+        pipeline.push(event);
     }
 
     let events = replayer.join().expect("replayer thread");
-    let monitor_stats = monitor_thread.join().expect("monitor thread");
-    let transactions = analyzer_thread.join().expect("analyzer thread");
+    let front_end = pipeline.stats();
+    let monitor_stats = pipeline.monitor().stats();
+    let analyzer = pipeline.finish();
 
-    println!("\npipeline complete:");
+    println!("pipeline complete ({shard_count} shards):");
     println!("  events replayed:        {events}");
     println!("  transactions formed:    {}", monitor_stats.transactions);
-    println!("  transactions analyzed:  {transactions}");
+    println!(
+        "  transactions analyzed:  {}",
+        analyzer.stats().transactions
+    );
+    println!("  batches broadcast:      {}", front_end.batches);
     println!("  limit splits:           {}", monitor_stats.limit_splits);
 
-    let analyzer = analyzer.lock();
     let top = analyzer.frequent_pairs(5);
     println!("  frequent pairs (support >= 5): {}", top.len());
     for (pair, tally) in top.iter().take(5) {

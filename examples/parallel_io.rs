@@ -17,14 +17,11 @@
 
 use std::time::Duration;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rtdac::monitor::{Monitor, MonitorConfig, WindowPolicy};
-use rtdac::ssdsim::{
-    CorrelationPlacement, ParallelUnitModel, StripingPlacement,
-};
+use rtdac::ssdsim::{CorrelationPlacement, ParallelUnitModel, StripingPlacement};
 use rtdac::synopsis::{AnalyzerConfig, OnlineAnalyzer};
 use rtdac::types::{Extent, IoEvent, IoOp, Timestamp};
+use rtdac::workloads::Pcg32;
 
 const UNITS: usize = 8;
 const STRIPE_BLOCKS: u64 = 4096;
@@ -32,7 +29,7 @@ const BATCHES: usize = 24;
 const EXTENTS_PER_BATCH: usize = 6;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(31);
+    let mut rng = Pcg32::seed_from_u64(31);
 
     // Correlated read batches. Each batch's extents are semantically
     // related (web resource + DB table, say) and — as happens after
@@ -43,7 +40,7 @@ fn main() {
             let stripe_base = b * STRIPE_BLOCKS * UNITS as u64; // stripe 0 of row b
             (0..EXTENTS_PER_BATCH as u64)
                 .map(|i| {
-                    let offset = i * 512 + rng.gen_range(0..128);
+                    let offset = i * 512 + rng.gen_range(0..128u64);
                     Extent::new(stripe_base + offset, 8).expect("valid extent")
                 })
                 .collect()
@@ -51,9 +48,8 @@ fn main() {
         .collect();
 
     // Learn the read correlations online through the real pipeline.
-    let mut analyzer = OnlineAnalyzer::new(
-        AnalyzerConfig::with_capacity(4096).op_filter(Some(IoOp::Read)),
-    );
+    let mut analyzer =
+        OnlineAnalyzer::new(AnalyzerConfig::with_capacity(4096).op_filter(Some(IoOp::Read)));
     let mut monitor = Monitor::new(
         MonitorConfig::new(WindowPolicy::Static(Duration::from_micros(300)))
             .transaction_limit(EXTENTS_PER_BATCH),
@@ -84,8 +80,7 @@ fn main() {
     let bank = ParallelUnitModel::new(UNITS, Duration::from_micros(50));
     let striping = StripingPlacement::new(UNITS, STRIPE_BLOCKS);
     let pairs: Vec<_> = frequent.iter().map(|(p, _)| p).collect();
-    let correlation =
-        CorrelationPlacement::from_pairs(pairs.iter().copied(), UNITS, STRIPE_BLOCKS);
+    let correlation = CorrelationPlacement::from_pairs(pairs.iter().copied(), UNITS, STRIPE_BLOCKS);
     println!(
         "correlation placement covers {} extents\n",
         correlation.assigned_extents()

@@ -42,7 +42,11 @@ fn main() {
 
     // 2. Replay against a simulated NVMe SSD (the paper's 960 EVO role).
     let mut ssd = NvmeSsdModel::new(42);
-    let replayed = replay(&workload.trace, &mut ssd, ReplayMode::Timed { speedup: 1.0 });
+    let replayed = replay(
+        &workload.trace,
+        &mut ssd,
+        ReplayMode::Timed { speedup: 1.0 },
+    );
     println!(
         "replayed on {:?}: mean read latency {:?}",
         "nvme-ssd",

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verification: everything here must pass with no network and an
+# empty cargo registry (the workspace is std-only by design; see
+# DESIGN.md §6).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> ingestion throughput harness (smoke mode)"
+# Smoke mode: tiny stream, one repetition; write the JSON to a scratch
+# path so CI never dirties the committed BENCH_ingest.json.
+RTDAC_BENCH_OUT="${TMPDIR:-/tmp}/BENCH_ingest_smoke.json" \
+    cargo run --release --offline -p rtdac-bench --bin ingest_throughput -- --smoke
+
+echo "==> verify OK"

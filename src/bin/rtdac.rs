@@ -140,7 +140,10 @@ fn stats(path: &str) -> Result<(), String> {
     let trace = load_trace(path)?;
     let s = trace.stats();
     println!("trace:                {path}");
-    println!("requests:             {} ({} reads, {} writes)", s.requests, s.reads, s.writes);
+    println!(
+        "requests:             {} ({} reads, {} writes)",
+        s.requests, s.reads, s.writes
+    );
     println!("total data accessed:  {:.3} GB", s.total_gb());
     println!("unique data accessed: {:.3} GB", s.unique_gb());
     println!("reuse ratio:          {:.2}x", s.reuse_ratio());
@@ -181,9 +184,8 @@ fn analyze(path: &str, flags: &HashMap<String, String>) -> Result<(), String> {
     };
 
     let mut monitor = Monitor::new(monitor_config(flags)?);
-    let mut analyzer = OnlineAnalyzer::new(
-        AnalyzerConfig::with_capacity(capacity).op_filter(op_filter),
-    );
+    let mut analyzer =
+        OnlineAnalyzer::new(AnalyzerConfig::with_capacity(capacity).op_filter(op_filter));
     for event in trace_events(&trace) {
         if let Some(txn) = monitor.push(event) {
             analyzer.process(&txn);
@@ -229,7 +231,10 @@ fn mine(path: &str, flags: &HashMap<String, String>) -> Result<(), String> {
 
     let monitor = Monitor::new(monitor_config(flags)?);
     let txns = monitor.into_transactions(trace_events(&trace));
-    println!("{} transactions formed; mining with {algorithm} at support {support}", txns.len());
+    println!(
+        "{} transactions formed; mining with {algorithm} at support {support}",
+        txns.len()
+    );
 
     let db = TransactionDb::from_transactions(&txns);
     let result = match algorithm.as_str() {
@@ -285,7 +290,11 @@ fn synth(name: &str, output: &str, flags: &HashMap<String, String>) -> Result<()
             };
             // `requests` governs correlated events here; the trace adds
             // noise on top.
-            SyntheticSpec::new(kind).events(requests).seed(seed).generate().trace
+            SyntheticSpec::new(kind)
+                .events(requests)
+                .seed(seed)
+                .generate()
+                .trace
         }
         other => return Err(format!("unknown workload `{other}`")),
     };

@@ -31,14 +31,17 @@ fn frequent_pairs_of(events: Vec<IoEvent>, config: MonitorConfig) -> HashSet<Ext
     for txn in &txns {
         analyzer.process(txn);
     }
-    analyzer.frequent_pairs(5).into_iter().map(|(p, _)| p).collect()
+    analyzer
+        .frequent_pairs(5)
+        .into_iter()
+        .map(|(p, _)| p)
+        .collect()
 }
 
 fn binary_round_trip(trace: &Trace) -> Vec<IoEvent> {
     let mut buf = Vec::new();
     blktrace::write_trace(trace, &mut buf).expect("in-memory write");
-    blktrace::read_events(buf.as_slice(), Duration::from_micros(100))
-        .expect("well-formed stream")
+    blktrace::read_events(buf.as_slice(), Duration::from_micros(100)).expect("well-formed stream")
 }
 
 #[test]
@@ -46,9 +49,7 @@ fn binary_round_trip_preserves_analysis_exactly_under_static_window() {
     // With a static window the analysis depends only on timestamps and
     // geometry, both preserved exactly by the binary format.
     let trace = MsrServer::Rsrch.synthesize(10_000, 13);
-    let config = || {
-        MonitorConfig::new(WindowPolicy::Static(Duration::from_micros(300)))
-    };
+    let config = || MonitorConfig::new(WindowPolicy::Static(Duration::from_micros(300)));
     let direct = frequent_pairs_of(direct_events(&trace), config());
     let events = binary_round_trip(&trace);
     assert_eq!(events.len(), trace.len());
@@ -64,8 +65,7 @@ fn binary_round_trip_agrees_under_dynamic_window() {
     // almost everywhere.
     let trace = MsrServer::Rsrch.synthesize(10_000, 13);
     let direct = frequent_pairs_of(direct_events(&trace), MonitorConfig::default());
-    let via_binary =
-        frequent_pairs_of(binary_round_trip(&trace), MonitorConfig::default());
+    let via_binary = frequent_pairs_of(binary_round_trip(&trace), MonitorConfig::default());
     let common = direct.intersection(&via_binary).count();
     let union = direct.union(&via_binary).count().max(1);
     let jaccard = common as f64 / union as f64;
@@ -77,8 +77,7 @@ fn binary_stream_latencies_drive_the_dynamic_window() {
     let trace = MsrServer::Wdev.synthesize(5_000, 14);
     let mut buf = Vec::new();
     blktrace::write_trace(&trace, &mut buf).expect("in-memory write");
-    let events =
-        blktrace::read_events(buf.as_slice(), Duration::ZERO).expect("well-formed stream");
+    let events = blktrace::read_events(buf.as_slice(), Duration::ZERO).expect("well-formed stream");
 
     let mut monitor = Monitor::new(MonitorConfig::default());
     for event in events {
@@ -97,8 +96,7 @@ fn events_to_trace_preserves_stats() {
     let trace = MsrServer::Hm.synthesize(4_000, 15);
     let mut buf = Vec::new();
     blktrace::write_trace(&trace, &mut buf).expect("in-memory write");
-    let events =
-        blktrace::read_events(buf.as_slice(), Duration::ZERO).expect("well-formed stream");
+    let events = blktrace::read_events(buf.as_slice(), Duration::ZERO).expect("well-formed stream");
     let rebuilt = blktrace::events_to_trace("hm", &events);
     let a = trace.stats();
     let b = rebuilt.stats();

@@ -70,8 +70,16 @@ fn convert_round_trips_between_formats() {
         "--requests",
         "2000",
     ]));
-    stdout(&rtdac(&["convert", blk.to_str().unwrap(), csv.to_str().unwrap()]));
-    stdout(&rtdac(&["convert", csv.to_str().unwrap(), blk2.to_str().unwrap()]));
+    stdout(&rtdac(&[
+        "convert",
+        blk.to_str().unwrap(),
+        csv.to_str().unwrap(),
+    ]));
+    stdout(&rtdac(&[
+        "convert",
+        csv.to_str().unwrap(),
+        blk2.to_str().unwrap(),
+    ]));
 
     // Stats agree across the round trip (latency excepted: the MSR CSV
     // format stores response times in 100 ns ticks, truncating
@@ -155,7 +163,12 @@ fn ops_filter_restricts_analysis() {
         "3000",
     ]));
     let all = stdout(&rtdac(&["analyze", blk.to_str().unwrap(), "--ops", "all"]));
-    let writes = stdout(&rtdac(&["analyze", blk.to_str().unwrap(), "--ops", "write"]));
+    let writes = stdout(&rtdac(&[
+        "analyze",
+        blk.to_str().unwrap(),
+        "--ops",
+        "write",
+    ]));
     let count = |s: &str| -> usize {
         s.lines()
             .find_map(|l| l.split(" correlations").next()?.trim().parse().ok())

@@ -16,7 +16,11 @@ use rtdac::workloads::{SyntheticKind, SyntheticSpec};
 fn pipeline(kind: SyntheticKind, seed: u64) -> (Vec<Transaction>, OnlineAnalyzer, Vec<ExtentPair>) {
     let workload = SyntheticSpec::new(kind).events(1_500).seed(seed).generate();
     let mut ssd = NvmeSsdModel::new(seed);
-    let replayed = replay(&workload.trace, &mut ssd, ReplayMode::Timed { speedup: 1.0 });
+    let replayed = replay(
+        &workload.trace,
+        &mut ssd,
+        ReplayMode::Timed { speedup: 1.0 },
+    );
     let txns = Monitor::new(MonitorConfig::default()).into_transactions(replayed.events);
     let mut analyzer = OnlineAnalyzer::new(AnalyzerConfig::with_capacity(8 * 1024));
     for txn in &txns {
@@ -89,10 +93,7 @@ fn noise_does_not_become_frequent() {
     // At support 10, (almost) everything detected should be constructed:
     // noise pairs are coincidental and rarely repeat.
     let detected = analyzer.frequent_pairs(10);
-    let false_positives = detected
-        .iter()
-        .filter(|(p, _)| !truth.contains(p))
-        .count();
+    let false_positives = detected.iter().filter(|(p, _)| !truth.contains(p)).count();
     assert!(
         false_positives <= detected.len() / 5,
         "{false_positives} of {} frequent pairs are noise",
@@ -105,11 +106,12 @@ fn memory_stays_within_configured_bound() {
     let (_, analyzer, _) = pipeline(SyntheticKind::ManyToMany, 400);
     let config = analyzer.config();
     assert!(analyzer.item_table().len() <= 2 * config.item_capacity_per_tier);
-    assert!(
-        analyzer.correlation_table().len() <= 2 * config.correlation_capacity_per_tier
-    );
+    assert!(analyzer.correlation_table().len() <= 2 * config.correlation_capacity_per_tier);
     // Paper's model: 88 bytes per capacity unit when tables are equal.
-    assert_eq!(analyzer.memory_bytes(), 88 * config.correlation_capacity_per_tier);
+    assert_eq!(
+        analyzer.memory_bytes(),
+        88 * config.correlation_capacity_per_tier
+    );
 }
 
 #[test]
@@ -122,7 +124,11 @@ fn detection_survives_a_tiny_table() {
         .seed(77)
         .generate();
     let mut ssd = NvmeSsdModel::new(77);
-    let replayed = replay(&workload.trace, &mut ssd, ReplayMode::Timed { speedup: 1.0 });
+    let replayed = replay(
+        &workload.trace,
+        &mut ssd,
+        ReplayMode::Timed { speedup: 1.0 },
+    );
     let txns = Monitor::new(MonitorConfig::default()).into_transactions(replayed.events);
     let mut analyzer = OnlineAnalyzer::new(AnalyzerConfig::with_capacity(256));
     for txn in &txns {

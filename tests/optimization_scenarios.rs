@@ -5,8 +5,8 @@ use std::time::Duration;
 
 use rtdac::monitor::{Monitor, MonitorConfig, WindowPolicy};
 use rtdac::ssdsim::{
-    CorrelationPlacement, CorrelationStreams, Ftl, FtlConfig, ParallelUnitModel,
-    SingleStream, StreamAssigner, StripingPlacement,
+    CorrelationPlacement, CorrelationStreams, Ftl, FtlConfig, ParallelUnitModel, SingleStream,
+    StreamAssigner, StripingPlacement,
 };
 use rtdac::synopsis::{AnalyzerConfig, OnlineAnalyzer};
 use rtdac::types::{Extent, IoEvent, IoOp, Timestamp};
@@ -30,12 +30,10 @@ fn groups() -> Vec<Vec<Extent>> {
 /// Learns write correlations by replaying group bursts through the
 /// monitor + analyzer.
 fn learn_write_correlations(groups: &[Vec<Extent>]) -> OnlineAnalyzer {
-    let mut analyzer = OnlineAnalyzer::new(
-        AnalyzerConfig::with_capacity(4096).op_filter(Some(IoOp::Write)),
-    );
+    let mut analyzer =
+        OnlineAnalyzer::new(AnalyzerConfig::with_capacity(4096).op_filter(Some(IoOp::Write)));
     let mut monitor = Monitor::new(
-        MonitorConfig::new(WindowPolicy::Static(Duration::from_micros(200)))
-            .transaction_limit(4),
+        MonitorConfig::new(WindowPolicy::Static(Duration::from_micros(200))).transaction_limit(4),
     );
     let zipf = Zipf::new(groups.len(), 1.0);
     let mut state = 0x1234_5678u64;
@@ -66,7 +64,9 @@ fn learn_write_correlations(groups: &[Vec<Extent>]) -> OnlineAnalyzer {
 }
 
 fn rand_float(state: &mut u64) -> f64 {
-    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
     ((*state >> 11) as f64) / ((1u64 << 53) as f64)
 }
 
@@ -154,12 +154,10 @@ fn correlation_placement_beats_ill_mapped_striping() {
         .collect();
 
     // Learn read correlations.
-    let mut analyzer = OnlineAnalyzer::new(
-        AnalyzerConfig::with_capacity(4096).op_filter(Some(IoOp::Read)),
-    );
+    let mut analyzer =
+        OnlineAnalyzer::new(AnalyzerConfig::with_capacity(4096).op_filter(Some(IoOp::Read)));
     let mut monitor = Monitor::new(
-        MonitorConfig::new(WindowPolicy::Static(Duration::from_micros(300)))
-            .transaction_limit(5),
+        MonitorConfig::new(WindowPolicy::Static(Duration::from_micros(300))).transaction_limit(5),
     );
     let mut t = Timestamp::ZERO;
     for round in 0..80usize {
