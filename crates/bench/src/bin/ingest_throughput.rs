@@ -1,9 +1,9 @@
-//! Ingestion throughput harness: replays a synthetic MSR-like stream
-//! through every analyzer front-end and writes `BENCH_ingest.json`.
+//! Ingestion throughput harness: replays a uniform MSR-like stream and a
+//! skewed hot-pair stream through every analyzer front-end and writes
+//! `BENCH_ingest.json`.
 //!
-//! Measured configurations, all consuming the identical transaction
-//! stream (synthesized trace → NVMe replay → monitor windowing, done
-//! once up front so only synopsis ingestion is timed):
+//! Measured configurations, all consuming identical transaction streams
+//! (prepared once up front so only synopsis ingestion is timed):
 //!
 //! * `reference` — the preserved pre-optimization analyzer
 //!   ([`ReferenceAnalyzer`]: SipHash maps, allocating hot path, O(N²)
@@ -11,11 +11,23 @@
 //!   machines without hardware thread parallelism.
 //! * `optimized` — the tuned single-threaded [`OnlineAnalyzer`]
 //!   (FxHash, inline scratch, single-probe record).
-//! * `sharded_seq` × shards ∈ {1, 2, 4, 8} — [`ShardedAnalyzer`] driven
-//!   sequentially (isolates partitioning overhead from threading).
-//! * `pipeline` × shards ∈ {1, 2, 4, 8} — the threaded
-//!   [`IngestPipeline`] with per-batch latency percentiles (p50/p99 of
-//!   the wall time to enqueue one batch, backpressure included).
+//! * `pipeline` × dispatch ∈ {broadcast, routed, routed_split} × shards —
+//!   the threaded [`IngestPipeline`]. Broadcast re-derives each shard's
+//!   partition on the shard (N× total CPU); routed computes each
+//!   transaction's pair set once at the front-end and ships per-shard
+//!   work lists; routed_split additionally deals hot pairs round-robin.
+//!
+//! For each pipeline config three quantities are measured separately:
+//!
+//! * wall-clock of the full threaded run — on a 1-hardware-thread host
+//!   this approximates **total CPU work**;
+//! * the **one-core-per-shard critical path**: each shard's work timed
+//!   alone on pre-partitioned input (and, for routed, the front-end
+//!   routing stage timed alone) — the sustained rate with one core per
+//!   stage is `events / max(routing, slowest shard)`;
+//! * per-batch enqueue latency percentiles with ring-full backpressure
+//!   stalls **subtracted** (stall time is queueing delay, reported
+//!   separately via [`PipelineStats::stall_nanos`]).
 //!
 //! Environment / flags: `--smoke` (tiny stream, 1 repetition — CI),
 //! `RTDAC_REQUESTS`, `RTDAC_SEED`, `RTDAC_BENCH_REPEAT` (default 5,
@@ -23,31 +35,99 @@
 //! root>/BENCH_ingest.json`).
 //!
 //! Run with: `cargo run --release --bin ingest_throughput`
+//!
+//! [`PipelineStats::stall_nanos`]: rtdac_monitor::PipelineStats
 
 use std::time::Instant;
 
 use rtdac_bench::support::banner;
-use rtdac_monitor::{IngestPipeline, MonitorConfig, PipelineConfig};
+use rtdac_monitor::{
+    Dispatch, IngestPipeline, MonitorConfig, PipelineConfig, RoutedBatch, Router, RouterConfig,
+    SplitConfig,
+};
 use rtdac_synopsis::{AnalyzerConfig, OnlineAnalyzer, ReferenceAnalyzer, ShardedAnalyzer};
-use rtdac_workloads::MsrServer;
+use rtdac_types::Transaction;
+use rtdac_workloads::{MsrServer, SkewedSpec};
 
 const SHARD_SWEEP: [usize; 4] = [1, 2, 4, 8];
 const BATCH_SIZE: usize = 64;
 const RING_CAPACITY: usize = 64;
 const TABLE_CAPACITY: usize = 64 * 1024;
 
+/// The split knobs used by every `routed_split` config: the skewed
+/// stream's hot pair carries ~40% of pair records, so a 10% share
+/// threshold splits it decisively while leaving the Zipf tail hashed.
+fn split_config() -> SplitConfig {
+    SplitConfig::default()
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Broadcast,
+    Routed,
+    RoutedSplit,
+}
+
+impl Mode {
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Broadcast => "broadcast",
+            Mode::Routed => "routed",
+            Mode::RoutedSplit => "routed_split",
+        }
+    }
+
+    fn dispatch(self) -> Dispatch {
+        match self {
+            Mode::Broadcast => Dispatch::Broadcast,
+            Mode::Routed => Dispatch::Routed { split: None },
+            Mode::RoutedSplit => Dispatch::Routed {
+                split: Some(split_config()),
+            },
+        }
+    }
+
+    fn router_config(self, shards: usize) -> RouterConfig {
+        match self {
+            Mode::Broadcast => unreachable!("broadcast has no router"),
+            Mode::Routed => RouterConfig::new(shards),
+            Mode::RoutedSplit => RouterConfig::new(shards).split(split_config()),
+        }
+    }
+}
+
 struct Measurement {
-    name: &'static str,
+    workload: &'static str,
+    name: String,
+    mode: Option<Mode>,
     shards: usize,
     threaded: bool,
     events_per_sec: f64,
     elapsed_secs: f64,
-    /// Per-batch enqueue latency percentiles, threaded configs only.
+    /// Per-batch enqueue latency percentiles with stall time subtracted.
     batch_latency_us: Option<(f64, f64)>,
-    /// Slowest single shard's independently measured processing time —
-    /// the critical path if each shard ran on its own core. `None` for
-    /// unsharded configs.
+    /// Total ring-full stall time and stall count over one run.
+    stalls: Option<(f64, u64)>,
+    /// Slowest single stage's independently measured processing time —
+    /// the critical path if every stage ran on its own core.
     critical_path_secs: Option<f64>,
+    /// Front-end routing stage timed alone (routed modes only).
+    routing_secs: Option<f64>,
+    /// Total CPU work: the sum of every stage's independently measured
+    /// time (routing, if any, plus all shards). Free of scheduler and
+    /// backoff artifacts, unlike the threaded wall clock.
+    stage_cpu_secs: Option<f64>,
+    /// Deterministic per-shard routed record counts (routed modes only).
+    routed_ops: Option<Vec<u64>>,
+    /// Per-shard routed transaction counts (routed modes only).
+    routed_transactions: Option<Vec<u64>>,
+}
+
+/// One prepared input stream.
+struct Workload {
+    name: &'static str,
+    transactions: Vec<Transaction>,
+    events: usize,
 }
 
 fn env_or(name: &str, default: u64) -> u64 {
@@ -57,26 +137,53 @@ fn env_or(name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+/// max / mean of the per-shard routed op counts — the load-balance
+/// figure of merit for the skewed acceptance criterion.
+fn work_ratio(ops: &[u64]) -> f64 {
+    let max = ops.iter().copied().max().unwrap_or(0) as f64;
+    let mean = ops.iter().sum::<u64>() as f64 / ops.len().max(1) as f64;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    max / mean
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let requests = env_or("RTDAC_REQUESTS", if smoke { 4_000 } else { 40_000 }) as usize;
     let seed = env_or("RTDAC_SEED", 7);
     let repeat = env_or("RTDAC_BENCH_REPEAT", if smoke { 1 } else { 5 }) as usize;
 
-    banner("ingestion throughput (events/sec, speedup vs reference analyzer)");
+    banner("ingestion throughput: broadcast vs routed dispatch (events/sec)");
     println!("  requests={requests} seed={seed} repeat={repeat} smoke={smoke}");
 
-    // Prepare the stream once: synthesize, replay, window. Only analyzer
-    // ingestion is timed below.
+    // Prepare both streams once: only analyzer ingestion is timed below.
     let server = MsrServer::Wdev;
     let trace = server.synthesize(requests, seed);
-    let events = trace.requests().len();
-    let transactions =
-        rtdac_bench::support::monitored(&trace, server.paper_reference().replay_speedup, seed);
-    println!(
-        "  stream: {events} events -> {} transactions",
-        transactions.len()
-    );
+    let uniform = Workload {
+        name: "uniform",
+        events: trace.requests().len(),
+        transactions: rtdac_bench::support::monitored(
+            &trace,
+            server.paper_reference().replay_speedup,
+            seed,
+        ),
+    };
+    let skewed_spec = SkewedSpec::new().transactions(requests / 2).seed(seed);
+    let skew = skewed_spec.generate();
+    let skewed = Workload {
+        name: "skewed",
+        events: skew.transactions.iter().map(|t| t.items().len()).sum(),
+        transactions: skew.transactions,
+    };
+    for w in [&uniform, &skewed] {
+        println!(
+            "  {} stream: {} events -> {} transactions",
+            w.name,
+            w.events,
+            w.transactions.len()
+        );
+    }
 
     let config = AnalyzerConfig::with_capacity(TABLE_CAPACITY);
 
@@ -85,96 +192,181 @@ fn main() {
     // steal-time regimes last seconds, so back-to-back samples of one
     // config share the same bias — spreading each config's samples
     // across the whole run makes the medians comparable.
+    #[derive(Clone, Copy)]
     enum Cfg {
-        Reference,
-        Optimized,
-        ShardedSeq(usize),
-        Pipeline(usize),
-        /// One shard of an N-way split, timed alone over the full
-        /// stream: its parallel critical-path contribution.
-        Shard(usize, usize),
+        Reference(usize),                       // workload index
+        Optimized(usize),                       // workload index
+        Pipeline(usize, Mode, usize),           // workload, dispatch, shards
+        Route(usize, Mode, usize),              // routing stage timed alone
+        ShardBroadcast(usize, usize, usize),    // workload, shards, index
+        ShardRouted(usize, Mode, usize, usize), // workload, mode, shards, index
     }
-    let mut cfgs: Vec<Cfg> = vec![Cfg::Reference, Cfg::Optimized];
-    for shards in SHARD_SWEEP {
-        cfgs.push(Cfg::ShardedSeq(shards));
+
+    // Uniform gets the full shard sweep in broadcast and routed modes;
+    // the skewed stream is the 4-shard load-balance experiment.
+    let mut cfgs: Vec<Cfg> = Vec::new();
+    for w in 0..2usize {
+        cfgs.push(Cfg::Reference(w));
+        cfgs.push(Cfg::Optimized(w));
     }
     for shards in SHARD_SWEEP {
-        cfgs.push(Cfg::Pipeline(shards));
+        cfgs.push(Cfg::Pipeline(0, Mode::Broadcast, shards));
         for index in 0..shards {
-            cfgs.push(Cfg::Shard(shards, index));
+            cfgs.push(Cfg::ShardBroadcast(0, shards, index));
+        }
+    }
+    for shards in SHARD_SWEEP {
+        cfgs.push(Cfg::Pipeline(0, Mode::Routed, shards));
+        cfgs.push(Cfg::Route(0, Mode::Routed, shards));
+        for index in 0..shards {
+            cfgs.push(Cfg::ShardRouted(0, Mode::Routed, shards, index));
+        }
+    }
+    for mode in [Mode::Broadcast, Mode::Routed, Mode::RoutedSplit] {
+        cfgs.push(Cfg::Pipeline(1, mode, 4));
+        if mode != Mode::Broadcast {
+            cfgs.push(Cfg::Route(1, mode, 4));
+            for index in 0..4 {
+                cfgs.push(Cfg::ShardRouted(1, mode, 4, index));
+            }
+        } else {
+            for index in 0..4 {
+                cfgs.push(Cfg::ShardBroadcast(1, 4, index));
+            }
         }
     }
 
+    let workloads = [&uniform, &skewed];
+
+    // Pre-routed batches per (workload, mode, shards), shared by the
+    // ShardRouted timings so the routing stage is excluded from shard
+    // service time. Routing is deterministic, so one routing pass also
+    // supplies the per-shard work counters.
+    type Prerouted = ((usize, u8, usize), Vec<RoutedBatch>, Vec<u64>, Vec<u64>);
+    let mut routed_batches: Vec<Prerouted> = Vec::new();
+    let mode_tag = |mode: Mode| match mode {
+        Mode::Broadcast => 0u8,
+        Mode::Routed => 1,
+        Mode::RoutedSplit => 2,
+    };
+    for cfg in &cfgs {
+        if let Cfg::Route(w, mode, shards) = *cfg {
+            let key = (w, mode_tag(mode), shards);
+            if routed_batches.iter().any(|(k, ..)| *k == key) {
+                continue;
+            }
+            let mut router = Router::new(mode.router_config(shards));
+            let batches: Vec<RoutedBatch> = workloads[w]
+                .transactions
+                .chunks(BATCH_SIZE)
+                .map(|chunk| router.route(chunk.to_vec()))
+                .collect();
+            let stats = router.stats();
+            routed_batches.push((
+                key,
+                batches,
+                stats.routed_ops.clone(),
+                stats.routed_transactions.clone(),
+            ));
+        }
+    }
+    let prerouted = |w: usize, mode: Mode, shards: usize| {
+        routed_batches
+            .iter()
+            .find(|(k, ..)| *k == (w, mode_tag(mode), shards))
+            .expect("prerouted batches")
+    };
+
     let mut samples: Vec<Vec<f64>> = (0..cfgs.len()).map(|_| Vec::new()).collect();
-    let mut counts: Vec<Option<u64>> = vec![None; cfgs.len()];
-    // Per-batch enqueue latencies (µs), pooled over all reps, keyed by
-    // position in SHARD_SWEEP.
-    let mut latencies: Vec<Vec<f64>> = (0..SHARD_SWEEP.len()).map(|_| Vec::new()).collect();
+    // Pooled per-batch service latencies (µs, stalls subtracted) and
+    // stall totals, one pool per Pipeline slot.
+    let mut latencies: Vec<Vec<f64>> = (0..cfgs.len()).map(|_| Vec::new()).collect();
+    let mut stall_totals: Vec<(f64, u64)> = vec![(0.0, 0); cfgs.len()];
 
     for _rep in 0..repeat.max(1) {
         for (slot, cfg) in cfgs.iter().enumerate() {
-            let (elapsed, processed) = match *cfg {
-                Cfg::Reference => {
+            let elapsed = match *cfg {
+                Cfg::Reference(w) => {
                     let mut analyzer = ReferenceAnalyzer::new(config.clone());
                     let start = Instant::now();
-                    for t in &transactions {
+                    for t in &workloads[w].transactions {
                         analyzer.process(t);
                     }
-                    (start.elapsed().as_secs_f64(), analyzer.stats().transactions)
+                    start.elapsed().as_secs_f64()
                 }
-                Cfg::Optimized => {
+                Cfg::Optimized(w) => {
                     let mut analyzer = OnlineAnalyzer::new(config.clone());
                     let start = Instant::now();
-                    for t in &transactions {
+                    for t in &workloads[w].transactions {
                         analyzer.process(t);
                     }
-                    (start.elapsed().as_secs_f64(), analyzer.stats().transactions)
+                    start.elapsed().as_secs_f64()
                 }
-                Cfg::ShardedSeq(shards) => {
-                    let mut analyzer = ShardedAnalyzer::new(config.clone(), shards);
-                    let start = Instant::now();
-                    for t in &transactions {
-                        analyzer.process(t);
-                    }
-                    (start.elapsed().as_secs_f64(), analyzer.stats().transactions)
-                }
-                Cfg::Pipeline(shards) => {
-                    let sweep_slot = SHARD_SWEEP.iter().position(|&n| n == shards).unwrap();
+                Cfg::Pipeline(w, mode, shards) => {
                     let mut pipeline = IngestPipeline::new(
                         MonitorConfig::default(),
                         config.clone(),
                         PipelineConfig::with_shards(shards)
                             .batch_size(BATCH_SIZE)
-                            .ring_capacity(RING_CAPACITY),
+                            .ring_capacity(RING_CAPACITY)
+                            .dispatch(mode.dispatch()),
                     );
                     let start = Instant::now();
-                    for chunk in transactions.chunks(BATCH_SIZE) {
+                    let mut stall_before = 0u64;
+                    for chunk in workloads[w].transactions.chunks(BATCH_SIZE) {
                         let batch_start = Instant::now();
                         for t in chunk {
                             pipeline.push_transaction(t.clone());
                         }
-                        latencies[sweep_slot].push(batch_start.elapsed().as_secs_f64() * 1e6);
+                        let wall_us = batch_start.elapsed().as_secs_f64() * 1e6;
+                        let stall_after = pipeline.stats().stall_nanos;
+                        let stall_us = (stall_after - stall_before) as f64 / 1e3;
+                        stall_before = stall_after;
+                        // Service latency: enqueue wall time minus time
+                        // blocked on full rings.
+                        latencies[slot].push((wall_us - stall_us).max(0.0));
                     }
+                    let stats = pipeline.stats();
+                    stall_totals[slot].0 += stats.stall_nanos as f64 / 1e6;
+                    stall_totals[slot].1 += stats.stalls;
                     let analyzer = pipeline.finish();
-                    (start.elapsed().as_secs_f64(), analyzer.stats().transactions)
+                    assert_eq!(
+                        analyzer.stats().transactions,
+                        workloads[w].transactions.len() as u64,
+                        "pipeline lost transactions"
+                    );
+                    start.elapsed().as_secs_f64()
                 }
-                Cfg::Shard(shards, index) => {
+                Cfg::Route(w, mode, shards) => {
+                    let mut router = Router::new(mode.router_config(shards));
+                    let start = Instant::now();
+                    for chunk in workloads[w].transactions.chunks(BATCH_SIZE) {
+                        std::hint::black_box(router.route(chunk.to_vec()));
+                    }
+                    start.elapsed().as_secs_f64()
+                }
+                Cfg::ShardBroadcast(w, shards, index) => {
                     let mut shard = ShardedAnalyzer::new(config.clone(), shards)
                         .into_shards()
                         .swap_remove(index);
                     let start = Instant::now();
-                    for t in &transactions {
+                    for t in &workloads[w].transactions {
                         shard.process_partition(t, index, shards);
                     }
-                    (start.elapsed().as_secs_f64(), shard.stats().transactions)
+                    start.elapsed().as_secs_f64()
+                }
+                Cfg::ShardRouted(w, mode, shards, index) => {
+                    let (_, batches, ..) = prerouted(w, mode, shards);
+                    let mut shard = ShardedAnalyzer::new(config.clone(), shards)
+                        .into_shards()
+                        .swap_remove(index);
+                    let start = Instant::now();
+                    for batch in batches {
+                        batch.per_shard[index].apply(&mut shard);
+                    }
+                    start.elapsed().as_secs_f64()
                 }
             };
-            match counts[slot] {
-                None => counts[slot] = Some(processed),
-                Some(expected) => {
-                    assert_eq!(expected, processed, "run-to-run transaction count drift")
-                }
-            }
             samples[slot].push(elapsed);
         }
     }
@@ -184,92 +376,200 @@ fn main() {
         v.sort_by(|a, b| a.total_cmp(b));
         v[v.len() / 2]
     };
+    // Locates a helper slot by predicate (routing stages and per-shard
+    // timings trail their Pipeline slot in cfgs, but lookup by key is
+    // sturdier than positional arithmetic).
+    let slot_of = |pred: &dyn Fn(&Cfg) -> bool| -> Option<usize> { cfgs.iter().position(pred) };
 
     let mut results: Vec<Measurement> = Vec::new();
     for (slot, cfg) in cfgs.iter().enumerate() {
         match *cfg {
-            Cfg::Reference => results.push(measurement(
+            Cfg::Reference(w) => results.push(simple(
+                workloads[w].name,
                 "reference",
-                1,
-                false,
-                events,
+                workloads[w].events,
                 median(slot),
-                None,
             )),
-            Cfg::Optimized => results.push(measurement(
+            Cfg::Optimized(w) => results.push(simple(
+                workloads[w].name,
                 "optimized",
-                1,
-                false,
-                events,
+                workloads[w].events,
                 median(slot),
-                None,
             )),
-            Cfg::ShardedSeq(shards) => results.push(measurement(
-                "sharded_seq",
-                shards,
-                false,
-                events,
-                median(slot),
-                None,
-            )),
-            Cfg::Pipeline(shards) => {
-                let sweep_slot = SHARD_SWEEP.iter().position(|&n| n == shards).unwrap();
-                let mut pool = latencies[sweep_slot].clone();
+            Cfg::Pipeline(w, mode, shards) => {
+                let mut pool = latencies[slot].clone();
                 pool.sort_by(|a, b| a.total_cmp(b));
                 let p50 = percentile(&pool, 50);
                 let p99 = percentile(&pool, 99);
-                // Parallel critical path: the slowest of this N's shard
-                // medians (Cfg::Shard slots follow this one).
-                let critical = (0..shards)
-                    .map(|i| median(slot + 1 + i))
-                    .fold(0.0f64, f64::max);
+                let reps = repeat.max(1) as f64;
+                let (stall_ms, stall_count) = stall_totals[slot];
+                let wtag = mode_tag(mode);
+                let (routing, ops, txns) = if mode == Mode::Broadcast {
+                    (None, None, None)
+                } else {
+                    let route_slot = slot_of(&|c: &Cfg| {
+                        matches!(*c, Cfg::Route(rw, rm, rs)
+                            if rw == w && mode_tag(rm) == wtag && rs == shards)
+                    })
+                    .expect("route slot");
+                    let (_, _, ops, txns) = prerouted(w, mode, shards);
+                    (
+                        Some(median(route_slot)),
+                        Some(ops.clone()),
+                        Some(txns.clone()),
+                    )
+                };
+                let shard_times: Vec<f64> = (0..shards)
+                    .map(|index| {
+                        let shard_slot = slot_of(&|c: &Cfg| match (*c, mode) {
+                            (Cfg::ShardBroadcast(sw, ss, si), Mode::Broadcast) => {
+                                sw == w && ss == shards && si == index
+                            }
+                            (Cfg::ShardRouted(sw, sm, ss, si), m) if m != Mode::Broadcast => {
+                                sw == w
+                                    && mode_tag(sm) == mode_tag(m)
+                                    && ss == shards
+                                    && si == index
+                            }
+                            _ => false,
+                        })
+                        .expect("shard slot");
+                        median(shard_slot)
+                    })
+                    .collect();
+                let slowest_shard = shard_times.iter().copied().fold(0.0f64, f64::max);
+                // One core per stage: the pipeline sustains the rate of
+                // its slowest stage — the front-end router or the
+                // busiest shard.
+                let critical = slowest_shard.max(routing.unwrap_or(0.0));
+                // Total CPU burned across all stages, each timed alone.
+                let stage_cpu = shard_times.iter().sum::<f64>() + routing.unwrap_or(0.0);
                 let elapsed = median(slot);
                 results.push(Measurement {
-                    name: "pipeline",
+                    workload: workloads[w].name,
+                    name: format!("pipeline_{}", mode.name()),
+                    mode: Some(mode),
                     shards,
                     threaded: true,
-                    events_per_sec: events as f64 / elapsed,
+                    events_per_sec: workloads[w].events as f64 / elapsed,
                     elapsed_secs: elapsed,
                     batch_latency_us: Some((p50, p99)),
+                    stalls: Some((stall_ms / reps, (stall_count as f64 / reps) as u64)),
                     critical_path_secs: Some(critical),
+                    routing_secs: routing,
+                    stage_cpu_secs: Some(stage_cpu),
+                    routed_ops: ops,
+                    routed_transactions: txns,
                 });
             }
-            Cfg::Shard(..) => {}
+            Cfg::Route(..) | Cfg::ShardBroadcast(..) | Cfg::ShardRouted(..) => {}
         }
     }
 
-    let baseline = results[0].events_per_sec;
-    println!(
-        "\n  {:<14} {:>6} {:>14} {:>9} {:>10} {:>12} {:>12}",
-        "config", "shards", "events/sec", "speedup", "N-core", "p50 batch", "p99 batch"
-    );
-    for m in &results {
-        let latency = match m.batch_latency_us {
-            Some((p50, p99)) => format!("{p50:>9.1}µs {p99:>9.1}µs"),
-            None => format!("{:>12} {:>12}", "-", "-"),
-        };
-        let projected = match m.critical_path_secs {
-            Some(cp) => format!("{:>9.2}x", events as f64 / cp / baseline),
-            None => format!("{:>10}", "-"),
-        };
-        println!(
-            "  {:<14} {:>6} {:>14.0} {:>8.2}x {projected} {latency}",
-            m.name,
-            m.shards,
-            m.events_per_sec,
-            m.events_per_sec / baseline
-        );
-    }
-    println!(
-        "  (speedup = wall clock vs reference on this host's {} hardware thread(s);",
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    );
-    println!("   N-core = slowest shard's independently timed critical path, i.e. the");
-    println!("   sustained rate with one core per shard)");
+    print_table(&results, &workloads);
 
-    let json = render_json(&results, events, transactions.len(), seed, repeat, smoke);
+    // ---- acceptance measurements -------------------------------------
+    // (1) Routed total CPU: the sum of every stage's independently
+    // measured time (router + all shards, each run alone, no threads)
+    // must be within 1.3x of the single-threaded optimized analyzer
+    // (broadcast is ~N x because every shard re-dedups and re-hashes
+    // the full stream). Stage sums, not threaded wall clock: wall time
+    // on an oversubscribed host measures the scheduler as much as the
+    // work.
+    let uniform_optimized = results
+        .iter()
+        .find(|m| m.workload == "uniform" && m.name == "optimized")
+        .expect("uniform optimized");
+    let routed8 = results
+        .iter()
+        .find(|m| m.workload == "uniform" && m.mode == Some(Mode::Routed) && m.shards == 8)
+        .expect("8-shard routed");
+    let broadcast8 = results
+        .iter()
+        .find(|m| m.workload == "uniform" && m.mode == Some(Mode::Broadcast) && m.shards == 8)
+        .expect("8-shard broadcast");
+    let routed_cpu_ratio =
+        routed8.stage_cpu_secs.expect("routed stage cpu") / uniform_optimized.elapsed_secs;
+    let broadcast_cpu_ratio =
+        broadcast8.stage_cpu_secs.expect("broadcast stage cpu") / uniform_optimized.elapsed_secs;
+
+    // (2) Routed vs broadcast at 4 shards on the one-core-per-shard
+    // critical-path metric.
+    let crit_rate = |m: &Measurement, events: usize| {
+        events as f64 / m.critical_path_secs.expect("critical path")
+    };
+    let routed4 = results
+        .iter()
+        .find(|m| m.workload == "uniform" && m.mode == Some(Mode::Routed) && m.shards == 4)
+        .expect("4-shard routed");
+    let broadcast4 = results
+        .iter()
+        .find(|m| m.workload == "uniform" && m.mode == Some(Mode::Broadcast) && m.shards == 4)
+        .expect("4-shard broadcast");
+    let routed_vs_broadcast =
+        crit_rate(routed4, uniform.events) / crit_rate(broadcast4, uniform.events);
+
+    // (3) Skewed load balance: with splitting the max/mean per-shard
+    // record count must flatten below 1.5, and the merged frequent-pair
+    // view must equal the single-threaded analyzer's.
+    let skew_routed = results
+        .iter()
+        .find(|m| m.workload == "skewed" && m.mode == Some(Mode::Routed) && m.shards == 4)
+        .expect("skewed routed");
+    let skew_split = results
+        .iter()
+        .find(|m| m.workload == "skewed" && m.mode == Some(Mode::RoutedSplit) && m.shards == 4)
+        .expect("skewed split");
+    let ratio_routed = work_ratio(skew_routed.routed_ops.as_deref().unwrap_or(&[]));
+    let ratio_split = work_ratio(skew_split.routed_ops.as_deref().unwrap_or(&[]));
+    let split_pairs_exact = {
+        let mut single = OnlineAnalyzer::new(config.clone());
+        for t in &skewed.transactions {
+            single.process(t);
+        }
+        let mut pipeline = IngestPipeline::new(
+            MonitorConfig::default(),
+            config.clone(),
+            PipelineConfig::with_shards(4)
+                .batch_size(BATCH_SIZE)
+                .split(split_config()),
+        );
+        for t in &skewed.transactions {
+            pipeline.push_transaction(t.clone());
+        }
+        let split_view = pipeline.finish();
+        split_view.snapshot().frequent_pairs(1) == single.snapshot().frequent_pairs(1)
+    };
+
+    println!("\n  acceptance:");
+    println!(
+        "    uniform 8-shard total CPU vs 1-shard optimized: routed {routed_cpu_ratio:.2}x, \
+         broadcast {broadcast_cpu_ratio:.2}x (target: routed <= 1.3x)"
+    );
+    println!(
+        "    uniform 4-shard one-core-per-shard: routed/broadcast = {routed_vs_broadcast:.2}x \
+         (target >= 1.5x)"
+    );
+    println!(
+        "    skewed 4-shard max/mean work: routed {ratio_routed:.2}, split {ratio_split:.2} \
+         (target: split < 1.5), frequent_pairs exact: {split_pairs_exact}"
+    );
+
+    let json = render_json(
+        &results,
+        &workloads,
+        seed,
+        repeat,
+        smoke,
+        &Acceptance {
+            routed_cpu_ratio,
+            broadcast_cpu_ratio,
+            routed_vs_broadcast,
+            ratio_routed,
+            ratio_split,
+            split_pairs_exact,
+        },
+    );
     let out = std::env::var("RTDAC_BENCH_OUT").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest.json").to_string()
     });
@@ -277,23 +577,72 @@ fn main() {
     println!("\n  [json] {out}");
 }
 
-fn measurement(
-    name: &'static str,
-    shards: usize,
-    threaded: bool,
-    events: usize,
-    elapsed_secs: f64,
-    batch_latency_us: Option<(f64, f64)>,
-) -> Measurement {
+struct Acceptance {
+    routed_cpu_ratio: f64,
+    broadcast_cpu_ratio: f64,
+    routed_vs_broadcast: f64,
+    ratio_routed: f64,
+    ratio_split: f64,
+    split_pairs_exact: bool,
+}
+
+fn simple(workload: &'static str, name: &str, events: usize, elapsed_secs: f64) -> Measurement {
     Measurement {
-        name,
-        shards,
-        threaded,
+        workload,
+        name: name.to_string(),
+        mode: None,
+        shards: 1,
+        threaded: false,
         events_per_sec: events as f64 / elapsed_secs,
         elapsed_secs,
-        batch_latency_us,
+        batch_latency_us: None,
+        stalls: None,
         critical_path_secs: None,
+        routing_secs: None,
+        stage_cpu_secs: None,
+        routed_ops: None,
+        routed_transactions: None,
     }
+}
+
+fn print_table(results: &[Measurement], workloads: &[&Workload; 2]) {
+    for w in workloads {
+        let baseline = results
+            .iter()
+            .find(|m| m.workload == w.name && m.name == "reference")
+            .map(|m| m.events_per_sec)
+            .unwrap_or(1.0);
+        println!(
+            "\n  [{}] {:<20} {:>6} {:>13} {:>9} {:>9} {:>10} {:>10}",
+            w.name, "config", "shards", "events/sec", "speedup", "N-core", "p50 batch", "p99 batch"
+        );
+        for m in results.iter().filter(|m| m.workload == w.name) {
+            let latency = match m.batch_latency_us {
+                Some((p50, p99)) => format!("{p50:>8.1}µs {p99:>8.1}µs"),
+                None => format!("{:>10} {:>10}", "-", "-"),
+            };
+            let projected = match m.critical_path_secs {
+                Some(cp) => format!("{:>8.2}x", w.events as f64 / cp / baseline),
+                None => format!("{:>9}", "-"),
+            };
+            println!(
+                "  {:<29} {:>6} {:>13.0} {:>8.2}x {projected} {latency}",
+                m.name,
+                m.shards,
+                m.events_per_sec,
+                m.events_per_sec / baseline
+            );
+        }
+    }
+    println!(
+        "\n  (speedup = wall clock vs reference on this host's {} hardware thread(s);",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+    println!("   N-core = slowest independently timed stage — router or busiest shard —");
+    println!("   i.e. the sustained rate with one core per stage; batch latencies have");
+    println!("   ring-full stall time subtracted)");
 }
 
 /// Nearest-rank percentile of an ascending-sorted slice.
@@ -305,25 +654,43 @@ fn percentile(sorted: &[f64], pct: usize) -> f64 {
     sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
 }
 
+fn json_u64_array(values: &[u64]) -> String {
+    let inner: Vec<String> = values.iter().map(u64::to_string).collect();
+    format!("[{}]", inner.join(", "))
+}
+
 /// Hand-rolled JSON (the workspace builds offline; no serde).
 fn render_json(
     results: &[Measurement],
-    events: usize,
-    transactions: usize,
+    workloads: &[&Workload; 2],
     seed: u64,
     repeat: usize,
     smoke: bool,
+    acceptance: &Acceptance,
 ) -> String {
-    let baseline = results[0].events_per_sec;
     let hardware_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"benchmark\": \"ingest_throughput\",\n");
-    out.push_str("  \"workload\": \"msr_wdev_synthetic\",\n");
-    out.push_str(&format!("  \"events\": {events},\n"));
-    out.push_str(&format!("  \"transactions\": {transactions},\n"));
+    out.push_str("  \"workloads\": {\n");
+    for (i, w) in workloads.iter().enumerate() {
+        let comma = if i + 1 == workloads.len() { "" } else { "," };
+        let detail = if w.name == "uniform" {
+            "msr_wdev_synthetic"
+        } else {
+            "hot_pair_40pct_zipf_background"
+        };
+        out.push_str(&format!(
+            "    \"{}\": {{\"detail\": \"{detail}\", \"events\": {}, \
+             \"transactions\": {}}}{comma}\n",
+            w.name,
+            w.events,
+            w.transactions.len()
+        ));
+    }
+    out.push_str("  },\n");
     out.push_str(&format!("  \"seed\": {seed},\n"));
     out.push_str(&format!("  \"repeat\": {repeat},\n"));
     out.push_str(&format!("  \"smoke\": {smoke},\n"));
@@ -334,38 +701,74 @@ fn render_json(
     ));
     out.push_str(&format!("  \"hardware_threads\": {hardware_threads},\n"));
     out.push_str(
-        "  \"speedup_note\": \"speedups are vs the preserved seed analyzer \
-         (ReferenceAnalyzer: SipHash tables, double-probe miss path, allocating \
-         hot path); wall-clock numbers time-share this host's hardware threads, \
-         so with hardware_threads = 1 they measure total CPU work; \
-         events_per_sec_one_core_per_shard is the independently timed slowest \
-         shard (parallel critical path), the sustained rate with one core per \
-         shard\",\n",
+        "  \"notes\": \"speedups are vs the preserved seed analyzer (ReferenceAnalyzer) \
+         on the same workload; wall-clock numbers time-share this host's hardware \
+         threads; stage_cpu_secs is the total CPU work — the sum of every stage \
+         (front-end router plus all shards) timed independently with no threading, \
+         free of scheduler and backoff artifacts; \
+         shard_critical_path_secs is the slowest independently timed stage (front-end \
+         router or busiest shard), the bound with one core per stage; \
+         batch_latency percentiles have ring-full stall time subtracted — stalls are \
+         reported separately as stall_ms/stall_count per run\",\n",
     );
     out.push_str("  \"configs\": [\n");
     for (i, m) in results.iter().enumerate() {
         let comma = if i + 1 == results.len() { "" } else { "," };
-        let latency = match m.batch_latency_us {
-            Some((p50, p99)) => {
-                format!(", \"batch_latency_p50_us\": {p50:.2}, \"batch_latency_p99_us\": {p99:.2}")
-            }
-            None => String::new(),
-        };
-        let projected = match m.critical_path_secs {
-            Some(cp) => format!(
+        let baseline = results
+            .iter()
+            .find(|r| r.workload == m.workload && r.name == "reference")
+            .map(|r| r.events_per_sec)
+            .unwrap_or(1.0);
+        let events = workloads
+            .iter()
+            .find(|w| w.name == m.workload)
+            .map(|w| w.events)
+            .unwrap_or(0);
+        let mut extra = String::new();
+        if let Some((p50, p99)) = m.batch_latency_us {
+            extra.push_str(&format!(
+                ", \"batch_service_p50_us\": {p50:.2}, \"batch_service_p99_us\": {p99:.2}"
+            ));
+        }
+        if let Some((stall_ms, stall_count)) = m.stalls {
+            extra.push_str(&format!(
+                ", \"stall_ms\": {stall_ms:.3}, \"stall_count\": {stall_count}"
+            ));
+        }
+        if let Some(cp) = m.critical_path_secs {
+            extra.push_str(&format!(
                 ", \"shard_critical_path_secs\": {:.6}, \
                  \"events_per_sec_one_core_per_shard\": {:.0}, \
                  \"one_core_per_shard_speedup_vs_reference\": {:.3}",
                 cp,
                 events as f64 / cp,
                 events as f64 / cp / baseline,
-            ),
-            None => String::new(),
-        };
+            ));
+        }
+        if let Some(r) = m.routing_secs {
+            extra.push_str(&format!(", \"routing_secs\": {r:.6}"));
+        }
+        if let Some(cpu) = m.stage_cpu_secs {
+            extra.push_str(&format!(", \"stage_cpu_secs\": {cpu:.6}"));
+        }
+        if let Some(ops) = &m.routed_ops {
+            extra.push_str(&format!(
+                ", \"routed_ops_per_shard\": {}, \"work_ratio_max_over_mean\": {:.3}",
+                json_u64_array(ops),
+                work_ratio(ops)
+            ));
+        }
+        if let Some(txns) = &m.routed_transactions {
+            extra.push_str(&format!(
+                ", \"routed_transactions_per_shard\": {}",
+                json_u64_array(txns)
+            ));
+        }
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"shards\": {}, \"threaded\": {}, \
-             \"elapsed_secs\": {:.6}, \"events_per_sec\": {:.0}, \
-             \"speedup_vs_reference\": {:.3}{latency}{projected}}}{comma}\n",
+            "    {{\"workload\": \"{}\", \"name\": \"{}\", \"shards\": {}, \
+             \"threaded\": {}, \"elapsed_secs\": {:.6}, \"events_per_sec\": {:.0}, \
+             \"speedup_vs_reference\": {:.3}{extra}}}{comma}\n",
+            m.workload,
             m.name,
             m.shards,
             m.threaded,
@@ -375,36 +778,47 @@ fn render_json(
         ));
     }
     out.push_str("  ],\n");
-    let four = results
-        .iter()
-        .find(|m| m.threaded && m.shards == 4)
-        .expect("4-shard pipeline config");
-    let four_projected = four
-        .critical_path_secs
-        .map(|cp| events as f64 / cp / baseline)
-        .unwrap_or(0.0);
     out.push_str("  \"acceptance\": {\n");
+    out.push_str("    \"criteria\": [\n");
     out.push_str(
-        "    \"criterion\": \"4-shard pipeline sustains >= 2x the single-threaded \
-         (reference) analyzer's events/sec\",\n",
+        "      \"uniform 8-shard routed total CPU within 1.3x of the 1-shard optimized analyzer\",\n",
     );
+    out.push_str(
+        "      \"uniform 4-shard routed >= 1.5x broadcast on the one-core-per-shard critical path\",\n",
+    );
+    out.push_str(
+        "      \"skewed 4-shard split work ratio (max/mean) < 1.5 with exact frequent_pairs\"\n",
+    );
+    out.push_str("    ],\n");
     out.push_str(&format!(
-        "    \"four_shard_wall_clock_speedup\": {:.3},\n",
-        four.events_per_sec / baseline
+        "    \"uniform_8shard_routed_cpu_vs_optimized\": {:.3},\n",
+        acceptance.routed_cpu_ratio
     ));
     out.push_str(&format!(
-        "    \"four_shard_one_core_per_shard_speedup\": {four_projected:.3},\n"
+        "    \"uniform_8shard_broadcast_cpu_vs_optimized\": {:.3},\n",
+        acceptance.broadcast_cpu_ratio
     ));
     out.push_str(&format!(
-        "    \"met\": {},\n",
-        four.events_per_sec / baseline >= 2.0 || four_projected >= 2.0
+        "    \"uniform_4shard_routed_over_broadcast_critical_path\": {:.3},\n",
+        acceptance.routed_vs_broadcast
     ));
     out.push_str(&format!(
-        "    \"note\": \"this host exposes {hardware_threads} hardware thread(s); \
-         with fewer than 4 cores the 4 shard workers time-share a core and wall \
-         clock measures their total work, so the one-core-per-shard critical \
-         path is the number comparable to the criterion\"\n",
+        "    \"skewed_4shard_work_ratio_routed\": {:.3},\n",
+        acceptance.ratio_routed
     ));
+    out.push_str(&format!(
+        "    \"skewed_4shard_work_ratio_split\": {:.3},\n",
+        acceptance.ratio_split
+    ));
+    out.push_str(&format!(
+        "    \"skewed_split_frequent_pairs_exact\": {},\n",
+        acceptance.split_pairs_exact
+    ));
+    let met = acceptance.routed_cpu_ratio <= 1.3
+        && acceptance.routed_vs_broadcast >= 1.5
+        && acceptance.ratio_split < 1.5
+        && acceptance.split_pairs_exact;
+    out.push_str(&format!("    \"met\": {met}\n"));
     out.push_str("  }\n}\n");
     out
 }

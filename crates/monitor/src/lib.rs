@@ -34,8 +34,10 @@ pub mod blktrace;
 mod ewma;
 mod monitor;
 mod pipeline;
+mod router;
 pub mod spsc;
 
 pub use ewma::LatencyEwma;
 pub use monitor::{Monitor, MonitorConfig, MonitorStats, WindowPolicy};
-pub use pipeline::{IngestPipeline, PipelineConfig, PipelineStats};
+pub use pipeline::{Dispatch, IngestPipeline, PipelineConfig, PipelineStats};
+pub use router::{RoutedBatch, Router, RouterConfig, RouterStats, SplitConfig, WorkList};

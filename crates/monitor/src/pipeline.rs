@@ -3,25 +3,42 @@
 //! dedicated worker threads.
 //!
 //! ```text
-//!  events ─▶ Monitor ─▶ batch ─▶ Arc<Vec<Transaction>> ─┬─▶ ring 0 ─▶ worker 0 (shard 0 tables)
-//!                                (broadcast, refcounted) ├─▶ ring 1 ─▶ worker 1 (shard 1 tables)
-//!                                                        └─▶ ring N ─▶ worker N (shard N tables)
+//!  events ─▶ Monitor ─▶ batch ─▶ Router ─▶ RoutedBatch ─┬─▶ ring 0 ─▶ worker 0 (WorkList 0)
+//!                               (dedup + hash ONCE)     ├─▶ ring 1 ─▶ worker 1 (WorkList 1)
+//!                                                       └─▶ ring N ─▶ worker N (WorkList N)
 //! ```
 //!
-//! Each worker owns one shard of a
-//! [`ShardedAnalyzer`](rtdac_synopsis::ShardedAnalyzer) and calls
-//! [`OnlineAnalyzer::process_partition`] on every transaction of every
-//! batch, recording only the pairs (and their member extents) the shard
-//! owns — the routing invariant of DESIGN.md §8, so shards share nothing
-//! and need no locks. Batches amortize ring traffic: one `Arc` clone per
-//! shard per `batch_size` transactions.
+//! Two dispatch modes, selected by [`Dispatch`]:
+//!
+//! * **[`Dispatch::Routed`]** (the default) — the front-end [`Router`]
+//!   deduplicates each transaction and hashes each pair exactly once,
+//!   partitioning the records into per-shard [`WorkList`](crate::WorkList)s
+//!   (see [`RoutedBatch`]). A shard ring only receives batches that
+//!   carry work for that shard, and a worker applies its list verbatim
+//!   via [`OnlineAnalyzer::process_routed`] — no re-dedup, no
+//!   re-hashing, no skipping the other shards' pairs. Total CPU across
+//!   shards is O(stream), not O(stream × shards). Optional
+//!   [`SplitConfig`] spreads hot pairs round-robin; the merged analyzer
+//!   then sums partial tallies (`ShardedAnalyzer::from_routed_shards`).
+//! * **[`Dispatch::Broadcast`]** — the PR-1 behaviour, kept for
+//!   comparison benchmarks: every shard receives every batch and runs
+//!   [`OnlineAnalyzer::process_partition`], re-deduplicating and
+//!   re-hashing the full stream to discard the (N−1)/N of pairs it does
+//!   not own.
+//!
+//! Batches amortize ring traffic either way; rings are bounded, so a
+//! slow shard applies backpressure to the front-end instead of growing
+//! an unbounded queue. Time the front-end spends blocked on a full ring
+//! is accounted separately in [`PipelineStats::stall_nanos`] — it is
+//! queueing delay, not shard service time.
 //!
 //! [`IngestPipeline::finish`] flushes the monitor and the open batch,
 //! closes the rings (workers drain, then exit) and reassembles the
-//! shards into a `ShardedAnalyzer` for querying — so results are
-//! identical to feeding the same events through the sequential sharded
-//! analyzer, and (by its equivalence guarantees) to the single-threaded
-//! [`OnlineAnalyzer`].
+//! shards into a [`ShardedAnalyzer`](rtdac_synopsis::ShardedAnalyzer)
+//! for querying — with splitting off, results are identical to feeding
+//! the same events through the single-threaded [`OnlineAnalyzer`]; with
+//! splitting on, tallies are still exact (summed at merge time) and
+//! ordering is stable.
 //!
 //! # Examples
 //!
@@ -53,33 +70,60 @@
 //!
 //! [`OnlineAnalyzer`]: rtdac_synopsis::OnlineAnalyzer
 //! [`OnlineAnalyzer::process_partition`]: rtdac_synopsis::OnlineAnalyzer::process_partition
+//! [`OnlineAnalyzer::process_routed`]: rtdac_synopsis::OnlineAnalyzer::process_routed
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use rtdac_synopsis::{AnalyzerConfig, ShardedAnalyzer};
 use rtdac_types::{IoEvent, Transaction};
 
 use crate::monitor::{Monitor, MonitorConfig};
+use crate::router::{RoutedBatch, Router, RouterConfig, SplitConfig};
 use crate::spsc;
 
+/// How the front-end hands work to the shards.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Dispatch {
+    /// Every shard receives every batch and re-derives its own partition
+    /// (dedup + hash replicated per shard). Kept for comparison; routed
+    /// dispatch supersedes it.
+    Broadcast,
+    /// The front-end routes each record to its owning shard exactly once
+    /// via a [`Router`]; `split` optionally spreads hot pairs across
+    /// shards.
+    Routed {
+        /// Hot-pair splitting; `None` routes every pair by hash.
+        split: Option<SplitConfig>,
+    },
+}
+
+impl Default for Dispatch {
+    fn default() -> Self {
+        Dispatch::Routed { split: None }
+    }
+}
+
 /// Shape of the parallel pipeline: how many shards, how transactions are
-/// batched, and how deep each shard's ring is.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// batched, how deep each shard's ring is, and how work is dispatched.
+#[derive(Clone, Debug, PartialEq)]
 pub struct PipelineConfig {
     /// Number of shard worker threads.
     pub shard_count: usize,
-    /// Transactions per broadcast batch.
+    /// Transactions per batch.
     pub batch_size: usize,
     /// Batches each shard ring can buffer before the front-end blocks
     /// (bounded: a slow shard applies backpressure instead of growing an
     /// unbounded queue).
     pub ring_capacity: usize,
+    /// Dispatch mode (default: routed, no splitting).
+    pub dispatch: Dispatch,
 }
 
 impl PipelineConfig {
-    /// A pipeline with `shard_count` shards and the default batch size
-    /// (64 transactions) and ring depth (64 batches).
+    /// A pipeline with `shard_count` shards, routed dispatch, and the
+    /// default batch size (64 transactions) and ring depth (64 batches).
     ///
     /// # Panics
     ///
@@ -90,6 +134,7 @@ impl PipelineConfig {
             shard_count,
             batch_size: 64,
             ring_capacity: 64,
+            dispatch: Dispatch::default(),
         }
     }
 
@@ -114,6 +159,22 @@ impl PipelineConfig {
         self.ring_capacity = ring_capacity;
         self
     }
+
+    /// Selects the dispatch mode.
+    pub fn dispatch(mut self, dispatch: Dispatch) -> Self {
+        self.dispatch = dispatch;
+        self
+    }
+
+    /// Shorthand: broadcast dispatch (the pre-routing behaviour).
+    pub fn broadcast(self) -> Self {
+        self.dispatch(Dispatch::Broadcast)
+    }
+
+    /// Shorthand: routed dispatch with hot-pair splitting enabled.
+    pub fn split(self, split: SplitConfig) -> Self {
+        self.dispatch(Dispatch::Routed { split: Some(split) })
+    }
 }
 
 impl Default for PipelineConfig {
@@ -123,25 +184,58 @@ impl Default for PipelineConfig {
 }
 
 /// Lifetime counters of an [`IngestPipeline`]'s front-end.
-#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct PipelineStats {
     /// Transactions enqueued toward the shards.
     pub transactions: u64,
-    /// Batches broadcast to the shard rings.
+    /// Batches dispatched to the shard rings.
     pub batches: u64,
+    /// Ring-full backpressure events: sends that found a shard ring full
+    /// and had to block.
+    pub stalls: u64,
+    /// Total nanoseconds the front-end spent blocked on full rings.
+    /// Queueing delay, not shard service time — benchmarks that measure
+    /// per-batch shard latency subtract this.
+    pub stall_nanos: u64,
+    /// Routed dispatch only: transactions routed to each shard (a
+    /// transaction counts for every shard that received at least one of
+    /// its records). Empty under broadcast.
+    pub routed_transactions: Vec<u64>,
+    /// Routed dispatch only: table records (items + pairs) routed to
+    /// each shard — the deterministic per-shard work metric. Empty under
+    /// broadcast.
+    pub routed_ops: Vec<u64>,
+    /// Pair records dealt round-robin by hot-pair splitting (0 without
+    /// splitting).
+    pub split_records: u64,
 }
 
 type Batch = Arc<Vec<Transaction>>;
 
-/// The multi-threaded ingestion pipeline: monitor front-end, batched
-/// broadcast over SPSC rings, one synopsis shard per worker thread.
+/// A shard ring item: one batch, in the dispatch mode's shape.
+enum ShardWork {
+    /// The full batch; the worker partitions it itself.
+    Broadcast(Batch),
+    /// A routed batch; the worker applies only its own
+    /// [`WorkList`](crate::WorkList).
+    Routed(Arc<RoutedBatch>),
+}
+
+/// The multi-threaded ingestion pipeline: monitor front-end, routed (or
+/// broadcast) batches over SPSC rings, one synopsis shard per worker
+/// thread.
 pub struct IngestPipeline {
     monitor: Monitor,
     analyzer_config: AnalyzerConfig,
     shard_count: usize,
     batch_size: usize,
     batch: Vec<Transaction>,
-    senders: Vec<spsc::Sender<Batch>>,
+    /// `Some` in routed mode; `None` under broadcast.
+    router: Option<Router>,
+    /// Whether merged tallies must be summed per pair (splitting was
+    /// enabled, so a pair's tally may be spread across shards).
+    split_tallies: bool,
+    senders: Vec<spsc::Sender<ShardWork>>,
     workers: Vec<JoinHandle<rtdac_synopsis::OnlineAnalyzer>>,
     stats: PipelineStats,
 }
@@ -154,19 +248,39 @@ impl IngestPipeline {
         pipeline_config: PipelineConfig,
     ) -> Self {
         let shard_count = pipeline_config.shard_count;
+        assert!(shard_count > 0, "need at least one shard");
+        let router = match &pipeline_config.dispatch {
+            Dispatch::Broadcast => None,
+            Dispatch::Routed { split } => Some(Router::new(
+                RouterConfig::new(shard_count)
+                    .op_filter(analyzer_config.op_filter)
+                    .split_opt(split.clone()),
+            )),
+        };
+        let split_tallies = matches!(
+            &pipeline_config.dispatch,
+            Dispatch::Routed { split: Some(_) }
+        );
         let shards = ShardedAnalyzer::new(analyzer_config.clone(), shard_count).into_shards();
         let mut senders = Vec::with_capacity(shard_count);
         let mut workers = Vec::with_capacity(shard_count);
         for (index, mut shard) in shards.into_iter().enumerate() {
-            let (tx, rx) = spsc::channel::<Batch>(pipeline_config.ring_capacity);
+            let (tx, rx) = spsc::channel::<ShardWork>(pipeline_config.ring_capacity);
             senders.push(tx);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("rtdac-shard-{index}"))
                     .spawn(move || {
-                        while let Some(batch) = rx.recv() {
-                            for transaction in batch.iter() {
-                                shard.process_partition(transaction, index, shard_count);
+                        while let Some(work) = rx.recv() {
+                            match work {
+                                ShardWork::Broadcast(batch) => {
+                                    for transaction in batch.iter() {
+                                        shard.process_partition(transaction, index, shard_count);
+                                    }
+                                }
+                                ShardWork::Routed(batch) => {
+                                    batch.per_shard[index].apply(&mut shard);
+                                }
                             }
                         }
                         shard
@@ -180,6 +294,8 @@ impl IngestPipeline {
             shard_count,
             batch_size: pipeline_config.batch_size,
             batch: Vec::with_capacity(pipeline_config.batch_size),
+            router,
+            split_tallies,
             senders,
             workers,
             stats: PipelineStats::default(),
@@ -208,21 +324,63 @@ impl IngestPipeline {
         }
     }
 
-    /// Broadcasts the open batch to every shard ring (blocking while
-    /// rings are full). Called automatically at batch-size granularity
-    /// and by [`finish`](IngestPipeline::finish); call it directly to cap
-    /// latency when the event stream pauses.
+    /// Dispatches the open batch to the shard rings (blocking while
+    /// rings are full; blocked time is accounted in
+    /// [`PipelineStats::stall_nanos`]). Called automatically at
+    /// batch-size granularity and by [`finish`](IngestPipeline::finish);
+    /// call it directly to cap latency when the event stream pauses.
     pub fn flush_batch(&mut self) {
         if self.batch.is_empty() {
             return;
         }
         self.stats.batches += 1;
-        let batch: Batch = Arc::new(std::mem::take(&mut self.batch));
+        let batch = std::mem::take(&mut self.batch);
         self.batch.reserve(self.batch_size);
-        for sender in &self.senders {
+        match &mut self.router {
+            None => {
+                let batch: Batch = Arc::new(batch);
+                for i in 0..self.senders.len() {
+                    Self::send_with_stall_accounting(
+                        &self.senders[i],
+                        ShardWork::Broadcast(Arc::clone(&batch)),
+                        &mut self.stats,
+                    );
+                }
+            }
+            Some(router) => {
+                let routed = Arc::new(router.route(batch));
+                for (i, sender) in self.senders.iter().enumerate() {
+                    // Shards with no work in this batch are skipped: in
+                    // routed mode ring traffic tracks owned work, not
+                    // shard count.
+                    if routed.per_shard[i].is_empty() {
+                        continue;
+                    }
+                    Self::send_with_stall_accounting(
+                        sender,
+                        ShardWork::Routed(Arc::clone(&routed)),
+                        &mut self.stats,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Sends one work item, separating ring-full backpressure from the
+    /// fast path: a `try_send` that fails falls back to the blocking
+    /// `send`, and the blocked time is charged to `stall_nanos`.
+    fn send_with_stall_accounting(
+        sender: &spsc::Sender<ShardWork>,
+        work: ShardWork,
+        stats: &mut PipelineStats,
+    ) {
+        if let Err(work) = sender.try_send(work) {
+            let blocked = Instant::now();
             // A send fails only if the worker died; its panic surfaces
             // when finish() joins.
-            let _ = sender.send(Arc::clone(&batch));
+            let _ = sender.send(work);
+            stats.stall_nanos += blocked.elapsed().as_nanos() as u64;
+            stats.stalls += 1;
         }
     }
 
@@ -231,9 +389,17 @@ impl IngestPipeline {
         &self.monitor
     }
 
-    /// Front-end counters (transactions enqueued, batches broadcast).
+    /// Front-end counters. Under routed dispatch the per-shard vectors
+    /// reflect everything dispatched so far.
     pub fn stats(&self) -> PipelineStats {
-        self.stats
+        let mut stats = self.stats.clone();
+        if let Some(router) = &self.router {
+            let routed = router.stats();
+            stats.routed_transactions = routed.routed_transactions.clone();
+            stats.routed_ops = routed.routed_ops.clone();
+            stats.split_records = routed.split_records;
+        }
+        stats
     }
 
     /// Number of shard workers.
@@ -250,7 +416,7 @@ impl IngestPipeline {
     /// Propagates a shard worker's panic, if one occurred.
     pub fn finish(mut self) -> ShardedAnalyzer {
         if let Some(transaction) = self.monitor.flush() {
-            self.batch.push(transaction);
+            self.enqueue(transaction);
         }
         self.flush_batch();
         // Dropping the senders closes every ring; workers drain and
@@ -261,7 +427,19 @@ impl IngestPipeline {
             .drain(..)
             .map(|w| w.join().expect("shard worker panicked"))
             .collect();
-        ShardedAnalyzer::from_shards(self.analyzer_config.clone(), shards)
+        match &self.router {
+            // Broadcast shards each counted the full transaction stream
+            // themselves; from_shards takes shard 0's count.
+            None => ShardedAnalyzer::from_shards(self.analyzer_config.clone(), shards),
+            // Routed shards never count transactions; the front-end's
+            // count is authoritative.
+            Some(_) => ShardedAnalyzer::from_routed_shards(
+                self.analyzer_config.clone(),
+                shards,
+                self.stats.transactions,
+                self.split_tallies,
+            ),
+        }
     }
 }
 
@@ -294,6 +472,16 @@ mod tests {
         out
     }
 
+    fn dispatch_modes() -> Vec<Dispatch> {
+        vec![
+            Dispatch::Broadcast,
+            Dispatch::Routed { split: None },
+            Dispatch::Routed {
+                split: Some(SplitConfig::default()),
+            },
+        ]
+    }
+
     #[test]
     fn pipeline_matches_sequential_analysis() {
         let monitor_config =
@@ -309,23 +497,57 @@ mod tests {
         let expected = single.snapshot().frequent_pairs(1);
         assert!(!expected.is_empty());
 
-        for shards in [1usize, 2, 4] {
-            let mut pipeline = IngestPipeline::new(
-                monitor_config.clone(),
-                analyzer_config.clone(),
-                PipelineConfig::with_shards(shards)
-                    .batch_size(16)
-                    .ring_capacity(4),
-            );
-            for e in events() {
-                pipeline.push(e);
+        for dispatch in dispatch_modes() {
+            for shards in [1usize, 2, 4] {
+                let mut pipeline = IngestPipeline::new(
+                    monitor_config.clone(),
+                    analyzer_config.clone(),
+                    PipelineConfig::with_shards(shards)
+                        .batch_size(16)
+                        .ring_capacity(4)
+                        .dispatch(dispatch.clone()),
+                );
+                for e in events() {
+                    pipeline.push(e);
+                }
+                let analyzer = pipeline.finish();
+                assert_eq!(
+                    analyzer.snapshot().frequent_pairs(1),
+                    expected,
+                    "{shards} shards, {dispatch:?}"
+                );
             }
-            let analyzer = pipeline.finish();
-            assert_eq!(
-                analyzer.snapshot().frequent_pairs(1),
-                expected,
-                "{shards} shards"
-            );
+        }
+    }
+
+    #[test]
+    fn routed_shard_state_matches_broadcast_exactly() {
+        // With splitting off, routed dispatch must leave every shard's
+        // tables bit-for-bit identical to broadcast (tiny tables force
+        // eviction churn, so record order matters).
+        let monitor_config =
+            MonitorConfig::new(crate::WindowPolicy::Static(Duration::from_micros(100)));
+        let analyzer_config = AnalyzerConfig::with_capacity(8).item_capacity(4);
+        for shards in [1usize, 2, 4, 8] {
+            let run = |dispatch: Dispatch| {
+                let mut pipeline = IngestPipeline::new(
+                    monitor_config.clone(),
+                    analyzer_config.clone(),
+                    PipelineConfig::with_shards(shards)
+                        .batch_size(8)
+                        .dispatch(dispatch),
+                );
+                for e in events() {
+                    pipeline.push(e);
+                }
+                pipeline.finish()
+            };
+            let broadcast = run(Dispatch::Broadcast);
+            let routed = run(Dispatch::Routed { split: None });
+            for (i, (b, r)) in broadcast.shards().iter().zip(routed.shards()).enumerate() {
+                assert_eq!(b.snapshot(), r.snapshot(), "shard {i} of {shards}");
+            }
+            assert_eq!(broadcast.stats(), routed.stats());
         }
     }
 
@@ -358,24 +580,52 @@ mod tests {
         let stats = pipeline.stats();
         assert_eq!(stats.transactions, 7); // the 8th is still open
         assert_eq!(stats.batches, 3); // batches of 2, one pending
+        assert_eq!(stats.routed_transactions, vec![6]); // routed = flushed
         pipeline.finish();
     }
 
     #[test]
-    fn backpressure_does_not_deadlock() {
-        // Tiny rings and batches: the front-end must block and resume
-        // rather than drop or deadlock.
-        let mut pipeline = IngestPipeline::new(
-            MonitorConfig::new(crate::WindowPolicy::Static(Duration::from_micros(10))),
-            AnalyzerConfig::with_capacity(1024),
-            PipelineConfig::with_shards(2)
-                .batch_size(1)
-                .ring_capacity(1),
-        );
-        for i in 0..2_000u64 {
-            pipeline.push(event(i * 1000, i % 50));
+    fn backpressure_does_not_deadlock_and_is_accounted() {
+        for dispatch in dispatch_modes() {
+            // Tiny rings and batches: the front-end must block and resume
+            // rather than drop or deadlock.
+            let mut pipeline = IngestPipeline::new(
+                MonitorConfig::new(crate::WindowPolicy::Static(Duration::from_micros(10))),
+                AnalyzerConfig::with_capacity(1024),
+                PipelineConfig::with_shards(2)
+                    .batch_size(1)
+                    .ring_capacity(1)
+                    .dispatch(dispatch.clone()),
+            );
+            for i in 0..2_000u64 {
+                pipeline.push(event(i * 1000, i % 50));
+            }
+            let stats = pipeline.stats();
+            // Stall accounting only: every stall charged some blocked time.
+            assert!(stats.stalls == 0 || stats.stall_nanos > 0);
+            let analyzer = pipeline.finish();
+            assert_eq!(analyzer.stats().transactions, 2_000, "{dispatch:?}");
         }
-        let analyzer = pipeline.finish();
-        assert_eq!(analyzer.stats().transactions, 2_000);
+    }
+
+    #[test]
+    fn routed_pipeline_counts_per_shard_work() {
+        let mut pipeline = IngestPipeline::new(
+            MonitorConfig::new(crate::WindowPolicy::Static(Duration::from_micros(100))),
+            AnalyzerConfig::with_capacity(4096),
+            PipelineConfig::with_shards(4).batch_size(16),
+        );
+        for e in events() {
+            pipeline.push(e);
+        }
+        pipeline.flush_batch(); // the 500th transaction is still open
+        let stats = pipeline.stats();
+        // Each 2-extent transaction is one pair + two item records on
+        // exactly one shard.
+        assert_eq!(stats.routed_transactions.len(), 4);
+        assert_eq!(stats.routed_transactions.iter().sum::<u64>(), 499);
+        assert_eq!(stats.routed_ops.iter().sum::<u64>(), 499 * 3);
+        assert_eq!(stats.split_records, 0);
+        pipeline.finish();
     }
 }

@@ -34,6 +34,12 @@ use std::cell::{Cell, UnsafeCell};
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Sleep length for long-idle ring waits (see the `recv` backoff).
+/// Long enough that an idle worker stops competing for scheduler
+/// quanta, short enough to be invisible next to batch service times.
+const IDLE_SLEEP: Duration = Duration::from_micros(50);
 
 struct Ring<T> {
     /// Slot storage; slot `i % capacity` is written by the producer and
@@ -171,6 +177,13 @@ impl<T: Send> Sender<T> {
                     if spins < 64 {
                         std::hint::spin_loop();
                     } else {
+                        // Unlike recv(), the producer only yields and
+                        // never sleeps: the consumer may be mid-nap (it
+                        // saw an empty ring just before we filled it),
+                        // and if the producer napped too every thread
+                        // could be asleep at once — dead wall time on a
+                        // saturated host. Yielding keeps one runnable
+                        // thread while the consumer wakes.
                         std::thread::yield_now();
                     }
                 }
@@ -228,8 +241,16 @@ impl<T: Send> Receiver<T> {
             spins += 1;
             if spins < 64 {
                 std::hint::spin_loop();
-            } else {
+            } else if spins < 128 {
                 std::thread::yield_now();
+            } else {
+                // Long-idle: sleep instead of yielding. A tight
+                // yield loop keeps the thread runnable, and with more
+                // workers than cores the scheduler round-robins every
+                // idle worker through its quantum — burning CPU the
+                // busy threads need. The ring buffers batches, so the
+                // extra wake-up latency costs no throughput.
+                std::thread::sleep(IDLE_SLEEP);
             }
         }
     }

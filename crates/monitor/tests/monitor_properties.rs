@@ -135,3 +135,94 @@ proptest! {
         }
     }
 }
+
+/// A small arbitrary transaction stream: extents drawn from a tight
+/// block range so pairs recur, 1–4 extents per transaction.
+fn transactions_strategy() -> impl Strategy<Value = Vec<rtdac_types::Transaction>> {
+    prop::collection::vec(prop::collection::vec(0u64..24, 1..5), 1..60).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, blocks)| {
+                let mut txn = rtdac_types::Transaction::new(Timestamp::from_micros(i as u64));
+                for block in blocks {
+                    txn.push(Extent::new(block * 8, 4).expect("valid extent"), IoOp::Read);
+                }
+                txn
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Routed dispatch is a pure refactoring of broadcast: applying a
+    /// router's work lists leaves every shard's tables bit-for-bit
+    /// identical to `process_partition` over the full stream — even with
+    /// tiny tables where eviction order is observable.
+    #[test]
+    fn routed_work_lists_match_broadcast_per_shard(
+        txns in transactions_strategy(),
+        shards in 1usize..6,
+    ) {
+        use rtdac_monitor::{Router, RouterConfig};
+        use rtdac_synopsis::{AnalyzerConfig, ShardedAnalyzer};
+
+        let config = AnalyzerConfig::with_capacity(8).item_capacity(4);
+        let mut broadcast = ShardedAnalyzer::new(config.clone(), shards);
+        for t in &txns {
+            broadcast.process(t);
+        }
+
+        let mut router = Router::new(RouterConfig::new(shards));
+        let mut routed = ShardedAnalyzer::new(config, shards).into_shards();
+        for chunk in txns.chunks(16) {
+            let batch = router.route(chunk.to_vec());
+            for (shard, work) in routed.iter_mut().zip(&batch.per_shard) {
+                work.apply(shard);
+            }
+        }
+
+        for (b, r) in broadcast.shards().iter().zip(&routed) {
+            prop_assert_eq!(b.snapshot(), r.snapshot());
+        }
+    }
+
+    /// With hot-pair splitting enabled, merged tallies stay exact: the
+    /// summed frequent-pair view equals the single-threaded analyzer's,
+    /// whatever the split decisions were.
+    #[test]
+    fn split_merge_is_count_exact(
+        txns in transactions_strategy(),
+        shards in 2usize..6,
+    ) {
+        use rtdac_monitor::{Router, RouterConfig, SplitConfig};
+        use rtdac_synopsis::{AnalyzerConfig, OnlineAnalyzer, ShardedAnalyzer};
+
+        let config = AnalyzerConfig::with_capacity(64 * 1024);
+        let mut single = OnlineAnalyzer::new(config.clone());
+        for t in &txns {
+            single.process(t);
+        }
+        let mut expected = single.frequent_pairs(1);
+        expected.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+
+        let split = SplitConfig { hot_fraction: 0.05, warmup: 8, ..SplitConfig::default() };
+        let mut router = Router::new(RouterConfig::new(shards).split(split));
+        let mut shard_tables = ShardedAnalyzer::new(config.clone(), shards).into_shards();
+        for chunk in txns.chunks(16) {
+            let batch = router.route(chunk.to_vec());
+            for (shard, work) in shard_tables.iter_mut().zip(&batch.per_shard) {
+                work.apply(shard);
+            }
+        }
+        let merged = ShardedAnalyzer::from_routed_shards(
+            config,
+            shard_tables,
+            txns.len() as u64,
+            true,
+        );
+        prop_assert_eq!(merged.frequent_pairs(1), expected);
+        prop_assert_eq!(merged.stats().pairs, single.stats().pairs);
+    }
+}

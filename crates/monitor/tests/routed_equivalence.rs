@@ -1,0 +1,166 @@
+//! End-to-end equivalence of the routed ingestion pipeline: for every
+//! shard count and dispatch mode, the pipeline must report exactly the
+//! correlations the paper's single-threaded reference analyzer finds —
+//! on the skewed hot-pair workload that routed dispatch exists to serve.
+
+use rtdac_monitor::{Dispatch, IngestPipeline, MonitorConfig, PipelineConfig, SplitConfig};
+use rtdac_synopsis::{AnalyzerConfig, ReferenceAnalyzer};
+use rtdac_types::Transaction;
+use rtdac_workloads::SkewedSpec;
+
+fn skewed_transactions() -> Vec<Transaction> {
+    SkewedSpec::new()
+        .transactions(4_000)
+        .hot_fraction(0.4)
+        .seed(42)
+        .generate()
+        .transactions
+}
+
+/// Runs the stream through a routed pipeline and returns the merged
+/// frequent-pair view in canonical order.
+fn run_pipeline(
+    transactions: &[Transaction],
+    config: &AnalyzerConfig,
+    pipeline_config: PipelineConfig,
+) -> (
+    Vec<(rtdac_types::ExtentPair, u32)>,
+    rtdac_monitor::PipelineStats,
+) {
+    let mut pipeline =
+        IngestPipeline::new(MonitorConfig::default(), config.clone(), pipeline_config);
+    for t in transactions {
+        pipeline.push_transaction(t.clone());
+    }
+    let stats = pipeline.stats();
+    let analyzer = pipeline.finish();
+    (analyzer.snapshot().frequent_pairs(1), stats)
+}
+
+#[test]
+fn routed_pipeline_matches_reference_on_skewed_workload() {
+    let transactions = skewed_transactions();
+    // Capacity above the stream's footprint: the reference oracle and
+    // the online analyzer agree exactly when nothing overflows.
+    let config = AnalyzerConfig::with_capacity(64 * 1024);
+
+    let mut reference = ReferenceAnalyzer::new(config.clone());
+    for t in &transactions {
+        reference.process(t);
+    }
+    let expected = reference.snapshot().frequent_pairs(1);
+    assert!(!expected.is_empty(), "workload produced no pairs");
+
+    for shards in [1usize, 2, 4, 8] {
+        let (pairs, _) = run_pipeline(
+            &transactions,
+            &config,
+            PipelineConfig::with_shards(shards).batch_size(32),
+        );
+        assert_eq!(pairs, expected, "routed, {shards} shards");
+    }
+}
+
+#[test]
+fn split_pipeline_matches_reference_and_actually_splits() {
+    let transactions = skewed_transactions();
+    let config = AnalyzerConfig::with_capacity(64 * 1024);
+
+    let mut reference = ReferenceAnalyzer::new(config.clone());
+    for t in &transactions {
+        reference.process(t);
+    }
+    let expected = reference.snapshot().frequent_pairs(1);
+
+    for shards in [2usize, 4, 8] {
+        let split = SplitConfig {
+            hot_fraction: 0.2, // the hot pair carries ~40% of records
+            warmup: 64,
+            ..SplitConfig::default()
+        };
+        let (pairs, stats) = run_pipeline(
+            &transactions,
+            &config,
+            PipelineConfig::with_shards(shards)
+                .batch_size(32)
+                .split(split),
+        );
+        // The split path must have actually engaged…
+        assert!(
+            stats.split_records > 100,
+            "{shards} shards: hot pair never split ({} records)",
+            stats.split_records
+        );
+        // …and the merged tallies must still be exact.
+        assert_eq!(pairs, expected, "split, {shards} shards");
+    }
+}
+
+#[test]
+fn split_spreads_hot_work_across_shards() {
+    // Under hash routing every hot-pair record lands on one shard; with
+    // splitting the deterministic per-shard op counts must flatten out.
+    let transactions = skewed_transactions();
+    let config = AnalyzerConfig::with_capacity(64 * 1024);
+    let shards = 4usize;
+
+    let imbalance = |stats: &rtdac_monitor::PipelineStats| {
+        let ops = &stats.routed_ops;
+        let max = *ops.iter().max().unwrap() as f64;
+        let mean = ops.iter().sum::<u64>() as f64 / ops.len() as f64;
+        max / mean
+    };
+
+    let (_, hashed) = run_pipeline(
+        &transactions,
+        &config,
+        PipelineConfig::with_shards(shards).batch_size(32),
+    );
+    let split = SplitConfig {
+        hot_fraction: 0.2,
+        warmup: 64,
+        ..SplitConfig::default()
+    };
+    let (_, spread) = run_pipeline(
+        &transactions,
+        &config,
+        PipelineConfig::with_shards(shards)
+            .batch_size(32)
+            .split(split),
+    );
+
+    let (before, after) = (imbalance(&hashed), imbalance(&spread));
+    assert!(
+        after < before,
+        "splitting did not improve balance: {before:.3} -> {after:.3}"
+    );
+    assert!(
+        after < 1.5,
+        "split max/mean per-shard work still skewed: {after:.3}"
+    );
+}
+
+#[test]
+fn dispatch_modes_agree_under_table_overflow() {
+    // Tiny tables force constant eviction; broadcast and routed (split
+    // off) must still produce identical per-shard state, so the merged
+    // views agree too.
+    let transactions = skewed_transactions();
+    let config = AnalyzerConfig::with_capacity(32).item_capacity(16);
+
+    for shards in [1usize, 2, 4, 8] {
+        let (broadcast, _) = run_pipeline(
+            &transactions,
+            &config,
+            PipelineConfig::with_shards(shards)
+                .batch_size(32)
+                .dispatch(Dispatch::Broadcast),
+        );
+        let (routed, _) = run_pipeline(
+            &transactions,
+            &config,
+            PipelineConfig::with_shards(shards).batch_size(32),
+        );
+        assert_eq!(broadcast, routed, "{shards} shards under overflow");
+    }
+}

@@ -330,6 +330,47 @@ impl OnlineAnalyzer {
         }
     }
 
+    /// Processes one transaction's pre-routed work share: `extents` are
+    /// the item records to make (in the deduplicated arrival order the
+    /// router preserved) and `pairs` the owned pair records (in the
+    /// router's canonical `(i, j)` enumeration order).
+    ///
+    /// This is the routed-dispatch fast path: the front-end has already
+    /// deduplicated the transaction and hashed every pair once to
+    /// partition the work, so this entry performs **no** dedup, no
+    /// op-filtering and no ownership hashing — it only applies table
+    /// records. Feeding a shard the work lists a `Router` (crate
+    /// `rtdac-monitor`) computed for it leaves the shard's tables in
+    /// exactly the state [`process_partition`] would have produced,
+    /// because the record sequence is identical.
+    ///
+    /// Does not count a transaction in [`stats`](OnlineAnalyzer::stats):
+    /// a routed shard only sees the transactions it owns work for, so
+    /// the stream's transaction count is tracked by the front-end (see
+    /// [`ShardedAnalyzer::from_routed_shards`]).
+    ///
+    /// [`process_partition`]: OnlineAnalyzer::process_partition
+    /// [`ShardedAnalyzer::from_routed_shards`]: crate::ShardedAnalyzer::from_routed_shards
+    pub fn process_routed(&mut self, extents: &[Extent], pairs: &[ExtentPair]) {
+        for &extent in extents {
+            self.stats.extents += 1;
+            let record = self.items.record(extent);
+            if let Some((evicted, _)) = record.evicted {
+                self.demote_pairs_of(&evicted);
+            }
+        }
+        for &pair in pairs {
+            self.stats.pairs += 1;
+            let record = self.pairs.record(pair);
+            if !record.hit {
+                self.index_pair(pair);
+            }
+            if let Some((evicted, _)) = record.evicted {
+                self.unindex_pair(&evicted);
+            }
+        }
+    }
+
     fn demote_pairs_of(&mut self, extent: &Extent) {
         let Some(pairs) = self.pair_index.get(extent) else {
             return;
@@ -523,6 +564,30 @@ mod tests {
         assert!(an.item_table().contains(&e(1, 1)));
         assert!(!an.item_table().contains(&e(2, 1)));
         assert_eq!(an.correlation_table().len(), 1); // only the write pair
+    }
+
+    #[test]
+    fn process_routed_matches_process() {
+        // The routed entry fed a transaction's own dedup + pair set must
+        // leave the tables exactly as `process` does — same record
+        // order, so same LRU state, through eviction churn (tiny tables).
+        let config = AnalyzerConfig::with_capacity(4).item_capacity(2);
+        let mut direct = OnlineAnalyzer::new(config.clone());
+        let mut routed = OnlineAnalyzer::new(config);
+        for i in 0..60u64 {
+            let extents = [e(i % 7, 1), e((i * 3) % 11 + 20, 1), e(i % 3 + 40, 1)];
+            direct.process(&txn(&extents));
+            let pairs = [
+                pair(extents[0], extents[1]),
+                pair(extents[0], extents[2]),
+                pair(extents[1], extents[2]),
+            ];
+            routed.process_routed(&extents, &pairs);
+        }
+        assert_eq!(routed.snapshot(), direct.snapshot());
+        let (r, d) = (routed.stats(), direct.stats());
+        assert_eq!((r.extents, r.pairs), (d.extents, d.pairs));
+        assert_eq!(r.correlated_demotions, d.correlated_demotions);
     }
 
     #[test]

@@ -32,22 +32,14 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use rtdac_types::{fx_hash, Extent, ExtentPair, Transaction};
+use rtdac_types::{ExtentPair, FxHashMap, Transaction};
 
 use crate::analyzer::{AnalyzerConfig, AnalyzerStats, OnlineAnalyzer, Snapshot};
 
-/// The shard owning `pair` among `shard_count` shards. Deterministic
-/// across runs and processes (the hash is unkeyed).
-#[inline]
-pub fn shard_of_pair(pair: &ExtentPair, shard_count: usize) -> usize {
-    (fx_hash(pair) % shard_count as u64) as usize
-}
-
-/// The shard owning a pairless `extent` (single-extent transactions).
-#[inline]
-pub fn shard_of_extent(extent: &Extent, shard_count: usize) -> usize {
-    (fx_hash(extent) % shard_count as u64) as usize
-}
+// The routing helpers live in `rtdac-types` so the pipeline front-end
+// (crate `rtdac-monitor`) and the sequential shards here agree
+// bit-for-bit; re-exported for backward compatibility.
+pub use rtdac_types::{shard_of_extent, shard_of_pair};
 
 /// N independent [`OnlineAnalyzer`] shards behind one analyzer-shaped
 /// API, partitioned by pair hash.
@@ -83,6 +75,15 @@ pub fn shard_of_extent(extent: &Extent, shard_count: usize) -> usize {
 pub struct ShardedAnalyzer {
     config: AnalyzerConfig,
     shards: Vec<OnlineAnalyzer>,
+    /// Set when the shards were fed by a routed front-end with hot-pair
+    /// splitting enabled: a pair's tally may then be spread over several
+    /// shards, and the merge paths must sum per-pair instead of assuming
+    /// the pair space is partitioned.
+    split_tallies: bool,
+    /// Transaction count of the stream, when the shards cannot know it
+    /// themselves (routed dispatch sends each shard only its owned work,
+    /// so per-shard counters see a subset).
+    routed_transactions: Option<u64>,
 }
 
 impl ShardedAnalyzer {
@@ -101,7 +102,12 @@ impl ShardedAnalyzer {
         let shards = (0..shard_count)
             .map(|_| OnlineAnalyzer::new(shard_config.clone()))
             .collect();
-        ShardedAnalyzer { config, shards }
+        ShardedAnalyzer {
+            config,
+            shards,
+            split_tallies: false,
+            routed_transactions: None,
+        }
     }
 
     /// Reassembles a sharded analyzer from shards that were processed
@@ -113,7 +119,48 @@ impl ShardedAnalyzer {
     /// Panics if `shards` is empty.
     pub fn from_shards(config: AnalyzerConfig, shards: Vec<OnlineAnalyzer>) -> Self {
         assert!(!shards.is_empty(), "need at least one shard");
-        ShardedAnalyzer { config, shards }
+        ShardedAnalyzer {
+            config,
+            shards,
+            split_tallies: false,
+            routed_transactions: None,
+        }
+    }
+
+    /// Reassembles shards that were fed precomputed work lists by a
+    /// routed front-end (see `rtdac-monitor`'s `Router`).
+    ///
+    /// `transactions` is the stream's transaction count as observed by
+    /// the front-end — routed shards only see the transactions they own
+    /// work for, so no shard's own counter is authoritative.
+    /// `split_tallies` must be set when hot-pair splitting was enabled:
+    /// the same pair may then hold partial tallies on several shards, and
+    /// [`snapshot`](ShardedAnalyzer::snapshot) /
+    /// [`frequent_pairs`](ShardedAnalyzer::frequent_pairs) switch to a
+    /// per-pair summing merge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is empty.
+    pub fn from_routed_shards(
+        config: AnalyzerConfig,
+        shards: Vec<OnlineAnalyzer>,
+        transactions: u64,
+        split_tallies: bool,
+    ) -> Self {
+        assert!(!shards.is_empty(), "need at least one shard");
+        ShardedAnalyzer {
+            config,
+            shards,
+            split_tallies,
+            routed_transactions: Some(transactions),
+        }
+    }
+
+    /// Whether the merge paths sum per-pair tallies across shards
+    /// (hot-pair splitting was enabled upstream).
+    pub fn split_tallies(&self) -> bool {
+        self.split_tallies
     }
 
     /// The aggregate configuration (per-shard tables are `1/N`-th of it).
@@ -151,22 +198,62 @@ impl ShardedAnalyzer {
     /// this is byte-for-byte the single-threaded snapshot; with more, the
     /// pair set is the disjoint union of the shards' (each pair lives on
     /// exactly one shard) and items may appear once per shard that owns a
-    /// pair containing them.
+    /// pair containing them. When hot-pair splitting was enabled, a split
+    /// pair's per-shard partial tallies are summed into one entry (first
+    /// shard's position, highest tier), so totals match the unsplit
+    /// counts exactly.
     pub fn snapshot(&self) -> Snapshot {
         let mut merged = Snapshot::default();
+        let mut seen: FxHashMap<ExtentPair, usize> = FxHashMap::default();
         for shard in &self.shards {
             let snap = shard.snapshot();
-            merged.pairs.extend(snap.pairs);
+            if self.split_tallies {
+                for (pair, tally, tier) in snap.pairs {
+                    match seen.entry(pair) {
+                        std::collections::hash_map::Entry::Occupied(slot) => {
+                            let entry = &mut merged.pairs[*slot.get()];
+                            entry.1 += tally;
+                            entry.2 = entry.2.max(tier);
+                        }
+                        std::collections::hash_map::Entry::Vacant(slot) => {
+                            slot.insert(merged.pairs.len());
+                            merged.pairs.push((pair, tally, tier));
+                        }
+                    }
+                }
+            } else {
+                merged.pairs.extend(snap.pairs);
+            }
             merged.items.extend(snap.items);
         }
         merged
     }
 
     /// The stored correlations with tally at least `min_tally`, sorted by
-    /// descending tally then ascending pair — a k-way merge of the
-    /// per-shard sorted lists (shards partition the pair space, so no
-    /// cross-shard deduplication is needed).
+    /// descending tally then ascending pair.
+    ///
+    /// Without split tallies this is a k-way merge of the per-shard
+    /// sorted lists (shards partition the pair space, so no cross-shard
+    /// deduplication is needed). With split tallies a pair's records may
+    /// live on several shards, so the per-shard partials are summed
+    /// *before* the threshold is applied — a pair whose pieces are each
+    /// below `min_tally` but whose total crosses it is still reported —
+    /// and the summed list is sorted into the same canonical order.
     pub fn frequent_pairs(&self, min_tally: u32) -> Vec<(ExtentPair, u32)> {
+        if self.split_tallies {
+            let mut tallies: FxHashMap<ExtentPair, u32> = FxHashMap::default();
+            for shard in &self.shards {
+                for (pair, tally, _) in shard.correlation_table().iter() {
+                    *tallies.entry(*pair).or_insert(0) += tally;
+                }
+            }
+            let mut out: Vec<(ExtentPair, u32)> = tallies
+                .into_iter()
+                .filter(|&(_, tally)| tally >= min_tally)
+                .collect();
+            out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            return out;
+        }
         let mut lists: Vec<Vec<(ExtentPair, u32)>> = self
             .shards
             .iter()
@@ -200,9 +287,12 @@ impl ShardedAnalyzer {
         out
     }
 
-    /// Merged lifetime counters. Every shard observes every transaction,
-    /// so the transaction count is taken from one shard; the record
-    /// counters sum across shards.
+    /// Merged lifetime counters. The record counters sum across shards.
+    /// Under broadcast dispatch every shard observes every transaction,
+    /// so the transaction count is taken from one shard; under routed
+    /// dispatch the front-end's count (passed to
+    /// [`from_routed_shards`](ShardedAnalyzer::from_routed_shards)) is
+    /// authoritative.
     pub fn stats(&self) -> AnalyzerStats {
         let mut merged = AnalyzerStats::default();
         for shard in &self.shards {
@@ -211,7 +301,9 @@ impl ShardedAnalyzer {
             merged.pairs += s.pairs;
             merged.correlated_demotions += s.correlated_demotions;
         }
-        merged.transactions = self.shards[0].stats().transactions;
+        merged.transactions = self
+            .routed_transactions
+            .unwrap_or_else(|| self.shards[0].stats().transactions);
         merged
     }
 
@@ -226,7 +318,7 @@ impl ShardedAnalyzer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rtdac_types::Timestamp;
+    use rtdac_types::{Extent, Timestamp};
 
     fn e(start: u64, len: u32) -> Extent {
         Extent::new(start, len).unwrap()
@@ -296,6 +388,37 @@ mod tests {
         };
         assert_eq!(merged, resorted);
         assert_eq!(merged, sharded.snapshot().frequent_pairs(1));
+    }
+
+    #[test]
+    fn split_tallies_sum_at_merge_time() {
+        // A hot pair split across both shards: each shard holds a partial
+        // tally, and the split-aware merge must report the exact sum.
+        let config = AnalyzerConfig::with_capacity(64);
+        let hot = ExtentPair::new(e(1, 1), e(2, 1)).unwrap();
+        let cold = ExtentPair::new(e(10, 1), e(20, 1)).unwrap();
+        let mut shards = ShardedAnalyzer::new(config.clone(), 2).into_shards();
+        for _ in 0..3 {
+            shards[0].process_routed(&[e(1, 1), e(2, 1)], &[hot]);
+        }
+        for _ in 0..2 {
+            shards[1].process_routed(&[e(1, 1), e(2, 1)], &[hot]);
+        }
+        shards[1].process_routed(&[e(10, 1), e(20, 1)], &[cold]);
+
+        let merged = ShardedAnalyzer::from_routed_shards(config, shards, 6, true);
+        assert!(merged.split_tallies());
+        assert_eq!(merged.frequent_pairs(1), vec![(hot, 5), (cold, 1)]);
+        // Threshold applies to the sum, not the partials: each piece of
+        // `hot` is below 4, the total is not.
+        assert_eq!(merged.frequent_pairs(4), vec![(hot, 5)]);
+        // The snapshot carries one summed entry per split pair.
+        let snap = merged.snapshot();
+        assert_eq!(snap.pairs.iter().filter(|(p, _, _)| *p == hot).count(), 1);
+        assert_eq!(snap.frequent_pairs(1), merged.frequent_pairs(1));
+        // The front-end's transaction count is authoritative.
+        assert_eq!(merged.stats().transactions, 6);
+        assert_eq!(merged.stats().pairs, 6);
     }
 
     #[test]

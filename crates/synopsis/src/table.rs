@@ -12,9 +12,11 @@ use rtdac_types::FxBuildHasher;
 /// T1 holds entries seen "infrequently" (inserted on first sight); entries
 /// whose tally reaches the promotion threshold move to T2, the "frequent"
 /// tier (§III-D1 of the paper).
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Tier {
-    /// The infrequent tier — new entries land here.
+    /// The infrequent tier — new entries land here. Orders below
+    /// [`Tier::T2`], so `max` picks the frequent tier when merging split
+    /// records of one pair.
     T1,
     /// The frequent tier — entries are promoted here by tally.
     T2,

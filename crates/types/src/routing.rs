@@ -1,0 +1,81 @@
+//! Shard routing for the partitioned analyzers: which shard owns a pair
+//! or a pairless extent.
+//!
+//! Routing is computed in two places that must agree bit-for-bit: the
+//! pipeline front-end (which partitions each transaction's pair set into
+//! per-shard work lists exactly once) and the sequential sharded analyzer
+//! (where every shard filters the full stream by ownership). Both sides
+//! therefore call these helpers, which reduce to the deterministic,
+//! unkeyed [`fx_hash`] — equal values route identically in every process
+//! and on every run.
+//!
+//! # Examples
+//!
+//! ```
+//! use rtdac_types::{shard_of_pair, Extent, ExtentPair};
+//!
+//! let pair = ExtentPair::new(Extent::new(1, 1)?, Extent::new(9, 1)?).unwrap();
+//! let shard = shard_of_pair(&pair, 4);
+//! assert!(shard < 4);
+//! assert_eq!(shard, shard_of_pair(&pair, 4)); // deterministic
+//! # Ok::<(), rtdac_types::ExtentError>(())
+//! ```
+
+use crate::extent::{Extent, ExtentPair};
+use crate::hash::fx_hash;
+
+/// The shard owning a routing hash among `shard_count` shards.
+///
+/// Callers that already hold `fx_hash(pair)` (the front-end hashes each
+/// pair once for both routing and hot-pair tracking) use this directly;
+/// [`shard_of_pair`] and [`shard_of_extent`] are the one-stop versions.
+#[inline]
+pub fn shard_for_hash(hash: u64, shard_count: usize) -> usize {
+    (hash % shard_count as u64) as usize
+}
+
+/// The shard owning `pair` among `shard_count` shards. Deterministic
+/// across runs and processes (the hash is unkeyed).
+#[inline]
+pub fn shard_of_pair(pair: &ExtentPair, shard_count: usize) -> usize {
+    shard_for_hash(fx_hash(pair), shard_count)
+}
+
+/// The shard owning a pairless `extent` (single-extent transactions).
+#[inline]
+pub fn shard_of_extent(extent: &Extent, shard_count: usize) -> usize {
+    shard_for_hash(fx_hash(extent), shard_count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(start: u64) -> Extent {
+        Extent::new(start, 1).unwrap()
+    }
+
+    #[test]
+    fn routing_is_total_and_deterministic() {
+        let pair = ExtentPair::new(e(1), e(2)).unwrap();
+        for n in [1, 2, 4, 8] {
+            let shard = shard_of_pair(&pair, n);
+            assert!(shard < n);
+            assert_eq!(shard, shard_of_pair(&pair, n));
+        }
+        assert_eq!(shard_of_pair(&pair, 1), 0);
+        assert_eq!(shard_of_extent(&e(1), 1), 0);
+    }
+
+    #[test]
+    fn hash_and_pair_routes_agree() {
+        // The front-end routes by a pre-computed hash; the sharded
+        // analyzer routes by the pair. Both must land identically.
+        for start in 0..500u64 {
+            let pair = ExtentPair::new(e(start), e(start + 1000)).unwrap();
+            for n in [2usize, 3, 4, 8] {
+                assert_eq!(shard_for_hash(fx_hash(&pair), n), shard_of_pair(&pair, n));
+            }
+        }
+    }
+}

@@ -30,10 +30,12 @@
 
 mod dist;
 mod msr;
+mod skewed;
 mod synthetic;
 
 pub use dist::{sample_exponential, Pcg32, SampleRange, Zipf};
 pub use msr::{MsrProfile, MsrServer, PaperReference};
+pub use skewed::{SkewedSpec, SkewedWorkload};
 pub use synthetic::{
     ConstructedCorrelation, SyntheticKind, SyntheticSpec, SyntheticWorkload, PID_NOISE,
     PID_WORKLOAD,

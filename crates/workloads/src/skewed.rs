@@ -1,0 +1,244 @@
+//! A hot-pair-skewed transaction workload: one dominant extent pair that
+//! appears in a configurable fraction of all transactions (default 40%),
+//! over a Zipf-ranked background of colder pairs.
+//!
+//! This is the stress shape for the routed ingestion pipeline: under
+//! hash routing all of the hot pair's records land on one shard, so a
+//! skewed stream serializes on that shard unless hot-pair splitting is
+//! enabled. The generator emits ready-made [`Transaction`]s (no trace /
+//! monitor windowing step), so sharding experiments see exactly the
+//! transaction mix configured here.
+//!
+//! # Examples
+//!
+//! ```
+//! use rtdac_workloads::SkewedSpec;
+//!
+//! let workload = SkewedSpec::new().transactions(1_000).seed(7).generate();
+//! assert_eq!(workload.transactions.len(), 1_000);
+//! // The hot pair dominates: ~40% of transactions carry it.
+//! assert!(workload.hot_count > 300 && workload.hot_count < 500);
+//! ```
+
+use rtdac_types::{Extent, ExtentPair, Timestamp, Transaction};
+
+use crate::dist::{Pcg32, Zipf};
+
+/// Parameters of a skewed workload: one hot pair carried by
+/// [`hot_fraction`](SkewedSpec::hot_fraction) of transactions, the rest
+/// drawn from a Zipf-ranked set of background pairs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SkewedSpec {
+    transactions: usize,
+    hot_fraction: f64,
+    background_pairs: usize,
+    zipf_exponent: f64,
+    noise_fraction: f64,
+    interarrival_us: u64,
+    seed: u64,
+}
+
+impl Default for SkewedSpec {
+    fn default() -> Self {
+        SkewedSpec::new()
+    }
+}
+
+impl SkewedSpec {
+    /// The default skew: 40% of transactions carry the hot pair;
+    /// the rest draw from 256 Zipf(0.9)-ranked background pairs; 10%
+    /// of transactions carry an extra unique noise extent.
+    pub fn new() -> Self {
+        SkewedSpec {
+            transactions: 10_000,
+            hot_fraction: 0.4,
+            background_pairs: 256,
+            zipf_exponent: 0.9,
+            noise_fraction: 0.1,
+            interarrival_us: 100,
+            seed: 0x5eed,
+        }
+    }
+
+    /// Number of transactions to generate.
+    pub fn transactions(mut self, n: usize) -> Self {
+        self.transactions = n;
+        self
+    }
+
+    /// Fraction of transactions carrying the hot pair (default 0.4).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= f <= 1.0`.
+    pub fn hot_fraction(mut self, f: f64) -> Self {
+        assert!((0.0..=1.0).contains(&f), "hot fraction must be in [0, 1]");
+        self.hot_fraction = f;
+        self
+    }
+
+    /// Number of background pairs (default 256).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn background_pairs(mut self, n: usize) -> Self {
+        assert!(n > 0, "need at least one background pair");
+        self.background_pairs = n;
+        self
+    }
+
+    /// Zipf exponent ranking the background pairs (default 0.9).
+    pub fn zipf_exponent(mut self, s: f64) -> Self {
+        self.zipf_exponent = s;
+        self
+    }
+
+    /// Fraction of transactions that carry one extra, never-repeating
+    /// noise extent (default 0.1) — it pairs with both members of the
+    /// transaction's pair, exercising eviction churn.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= f <= 1.0`.
+    pub fn noise_fraction(mut self, f: f64) -> Self {
+        assert!((0.0..=1.0).contains(&f), "noise fraction must be in [0, 1]");
+        self.noise_fraction = f;
+        self
+    }
+
+    /// RNG seed; the workload is fully deterministic per seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the workload.
+    pub fn generate(&self) -> SkewedWorkload {
+        let mut rng = Pcg32::seed_from_u64(self.seed);
+        let zipf = Zipf::new(self.background_pairs, self.zipf_exponent);
+
+        // Disjoint block regions keep the pair populations distinct:
+        // the hot pair low, background pairs in the middle, noise high.
+        let hot = pair_at(1_000, 2_000);
+        let background: Vec<ExtentPair> = (0..self.background_pairs as u64)
+            .map(|k| pair_at(1_000_000 + 16 * k, 2_000_000 + 16 * k))
+            .collect();
+        let mut next_noise_block = 100_000_000u64;
+
+        let mut transactions = Vec::with_capacity(self.transactions);
+        let mut hot_count = 0usize;
+        let mut now = 0u64;
+        for _ in 0..self.transactions {
+            let pair = if rng.gen_bool(self.hot_fraction) {
+                hot_count += 1;
+                &hot
+            } else {
+                &background[zipf.sample(&mut rng)]
+            };
+            let mut txn = Transaction::from_extents(
+                Timestamp::from_micros(now),
+                [pair.first(), pair.second()],
+            );
+            if rng.gen_bool(self.noise_fraction) {
+                let noise = Extent::new(next_noise_block, 1).expect("nonzero length");
+                next_noise_block += 16;
+                txn.push(noise, rtdac_types::IoOp::Read);
+            }
+            transactions.push(txn);
+            now += self.interarrival_us;
+        }
+
+        SkewedWorkload {
+            transactions,
+            hot_pair: hot,
+            background_pairs: background,
+            hot_count,
+        }
+    }
+}
+
+/// Builds the `(block, block+?)` extent pair used for one correlation.
+fn pair_at(a: u64, b: u64) -> ExtentPair {
+    ExtentPair::new(
+        Extent::new(a, 8).expect("nonzero length"),
+        Extent::new(b, 8).expect("nonzero length"),
+    )
+    .expect("distinct extents")
+}
+
+/// A generated skewed workload plus its ground truth.
+#[derive(Clone, Debug)]
+pub struct SkewedWorkload {
+    /// The transaction stream, in timestamp order.
+    pub transactions: Vec<Transaction>,
+    /// The dominant pair.
+    pub hot_pair: ExtentPair,
+    /// The background pairs, hottest rank first.
+    pub background_pairs: Vec<ExtentPair>,
+    /// How many transactions carry [`hot_pair`](SkewedWorkload::hot_pair).
+    pub hot_count: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = SkewedSpec::new().transactions(500).seed(11).generate();
+        let b = SkewedSpec::new().transactions(500).seed(11).generate();
+        assert_eq!(a.transactions, b.transactions);
+        let c = SkewedSpec::new().transactions(500).seed(12).generate();
+        assert_ne!(a.transactions, c.transactions);
+    }
+
+    #[test]
+    fn hot_fraction_is_respected() {
+        let w = SkewedSpec::new()
+            .transactions(20_000)
+            .hot_fraction(0.4)
+            .seed(3)
+            .generate();
+        let observed = w.hot_count as f64 / 20_000.0;
+        assert!((observed - 0.4).abs() < 0.02, "observed {observed}");
+    }
+
+    #[test]
+    fn background_follows_zipf_rank_order() {
+        let w = SkewedSpec::new()
+            .transactions(50_000)
+            .noise_fraction(0.0)
+            .seed(9)
+            .generate();
+        let count_of = |pair: &ExtentPair| {
+            w.transactions
+                .iter()
+                .filter(|t| {
+                    t.items().len() == 2
+                        && t.items()[0].extent == pair.first()
+                        && t.items()[1].extent == pair.second()
+                })
+                .count()
+        };
+        let hot = count_of(&w.hot_pair);
+        let rank0 = count_of(&w.background_pairs[0]);
+        let rank64 = count_of(&w.background_pairs[64]);
+        assert!(hot > 3 * rank0, "hot {hot} vs rank0 {rank0}");
+        assert!(rank0 > rank64, "rank0 {rank0} vs rank64 {rank64}");
+    }
+
+    #[test]
+    fn noise_extents_never_repeat() {
+        let w = SkewedSpec::new()
+            .transactions(5_000)
+            .noise_fraction(1.0)
+            .seed(21)
+            .generate();
+        let mut seen = std::collections::HashSet::new();
+        for t in &w.transactions {
+            assert_eq!(t.items().len(), 3);
+            assert!(seen.insert(t.items()[2].extent), "noise extent repeated");
+        }
+    }
+}

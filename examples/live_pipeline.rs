@@ -9,13 +9,14 @@
 //!   [`rtdac::monitor::spsc`] ring;
 //! * the main thread drives an [`IngestPipeline`]: its monitor front-end
 //!   groups events into transactions with the dynamic 2×-latency window,
-//!   batches them, and broadcasts each batch to per-shard workers over
-//!   further SPSC rings;
+//!   batches them, routes each batch into per-shard work lists (dedup
+//!   and pair hashing happen once, at the front end), and ships each
+//!   shard its list over further SPSC rings;
 //! * each shard worker owns one partition of the correlation synopsis
-//!   and records only the pairs it owns, so the sharded result merges to
-//!   exactly the single-threaded analyzer's answer — correlations are
-//!   available moments after the workload finishes, with no trace stored
-//!   to disk.
+//!   and replays only the work routed to it, so the sharded result
+//!   merges to exactly the single-threaded analyzer's answer —
+//!   correlations are available moments after the workload finishes,
+//!   with no trace stored to disk.
 //!
 //! Run with: `cargo run --example live_pipeline`
 
@@ -75,7 +76,7 @@ fn main() {
         "  transactions analyzed:  {}",
         analyzer.stats().transactions
     );
-    println!("  batches broadcast:      {}", front_end.batches);
+    println!("  batches routed:         {}", front_end.batches);
     println!("  limit splits:           {}", monitor_stats.limit_splits);
 
     let top = analyzer.frequent_pairs(5);

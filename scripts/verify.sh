@@ -9,7 +9,10 @@ echo "==> cargo build --release --offline"
 cargo build --release --offline
 
 echo "==> cargo test -q --offline"
-cargo test -q --offline
+cargo test -q --offline --workspace
+
+echo "==> cargo clippy --offline -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
 
 echo "==> cargo fmt --check"
 cargo fmt --check
