@@ -1,25 +1,45 @@
 //! The batched, sharded ingestion front-end: block events in, a merged
 //! correlation synopsis out, with the per-shard synopsis work running on
-//! dedicated worker threads.
+//! dedicated worker threads and — when configured — the routing stage
+//! itself scaled across parallel router workers.
 //!
 //! ```text
-//!  events ─▶ Monitor ─▶ batch ─▶ Router ─▶ RoutedBatch ─┬─▶ ring 0 ─▶ worker 0 (WorkList 0)
-//!                               (dedup + hash ONCE)     ├─▶ ring 1 ─▶ worker 1 (WorkList 1)
-//!                                                       └─▶ ring N ─▶ worker N (WorkList N)
+//!                                  ┌─▶ router 0 ─┬─▶ ring (0,0) ─┐
+//!  events ─▶ Monitor ─▶ batch seq n┤  (batches   ├─▶ ring (0,1) ─┼─▶ worker s merges its
+//!            (dealt to router n%R) └─▶ router R-1┴─▶ ring (R-1,s)┘   R rings in seq order
 //! ```
 //!
 //! Two dispatch modes, selected by [`Dispatch`]:
 //!
-//! * **[`Dispatch::Routed`]** (the default) — the front-end [`Router`]
-//!   deduplicates each transaction and hashes each pair exactly once,
-//!   partitioning the records into per-shard [`WorkList`](crate::WorkList)s
-//!   (see [`RoutedBatch`]). A shard ring only receives batches that
-//!   carry work for that shard, and a worker applies its list verbatim
-//!   via [`OnlineAnalyzer::process_routed`] — no re-dedup, no
-//!   re-hashing, no skipping the other shards' pairs. Total CPU across
-//!   shards is O(stream), not O(stream × shards). Optional
-//!   [`SplitConfig`] spreads hot pairs round-robin; the merged analyzer
-//!   then sums partial tallies (`ShardedAnalyzer::from_routed_shards`).
+//! * **[`Dispatch::Routed`]** (the default) — a [`Router`] deduplicates
+//!   each transaction and hashes each pair exactly once, partitioning
+//!   the records into per-shard [`WorkList`]s which each shard applies
+//!   verbatim via [`OnlineAnalyzer::process_routed`] — no re-dedup, no
+//!   re-hashing. Total CPU across shards is O(stream), not O(stream ×
+//!   shards). Optional [`SplitConfig`] spreads hot pairs round-robin;
+//!   the merged analyzer then sums partial tallies
+//!   (`ShardedAnalyzer::from_routed_shards`).
+//!
+//!   With [`PipelineConfig::routers`] `== 1` the router runs inline on
+//!   the caller's thread. With `R >= 2` the front-end deals whole
+//!   batches round-robin to R router worker threads (batch `n` to
+//!   router `n % R`), and every shard owns one ring *per router*,
+//!   reading them in `n % R` order — the **sequence-ordered fan-in**.
+//!   Because the batch sequence is a single monotone counter and each
+//!   ring is FIFO, that merge replays the exact global batch order, so
+//!   per-shard apply order (and therefore shard table state) is
+//!   bit-identical to the single-router and broadcast paths, for any R.
+//!
+//!   Buffers recycle instead of churning the allocator: shard workers
+//!   clear each applied `WorkList` and hand it back to its router over
+//!   a return ring, and routers hand emptied batch `Vec`s back to the
+//!   front-end the same way. Each return ring is prefilled at
+//!   construction with more buffers than its forward path can hold in
+//!   flight, so a producer's refill always finds a recycled buffer and
+//!   the routed pipeline performs **zero heap allocations per batch**
+//!   in steady state (the `zero_alloc` integration test pins this down
+//!   with a counting global allocator).
+//!
 //! * **[`Dispatch::Broadcast`]** — the PR-1 behaviour, kept for
 //!   comparison benchmarks: every shard receives every batch and runs
 //!   [`OnlineAnalyzer::process_partition`], re-deduplicating and
@@ -27,18 +47,21 @@
 //!   not own.
 //!
 //! Batches amortize ring traffic either way; rings are bounded, so a
-//! slow shard applies backpressure to the front-end instead of growing
-//! an unbounded queue. Time the front-end spends blocked on a full ring
-//! is accounted separately in [`PipelineStats::stall_nanos`] — it is
-//! queueing delay, not shard service time.
+//! slow stage applies backpressure instead of growing an unbounded
+//! queue. Time the *front-end* spends blocked on a full ring is
+//! accounted in [`PipelineStats::stall_nanos`]; time *router workers*
+//! spend blocked on full shard rings lands in
+//! [`PipelineStats::routing_stall_nanos`] — both are queueing delay,
+//! not service time.
 //!
 //! [`IngestPipeline::finish`] flushes the monitor and the open batch,
-//! closes the rings (workers drain, then exit) and reassembles the
-//! shards into a [`ShardedAnalyzer`](rtdac_synopsis::ShardedAnalyzer)
-//! for querying — with splitting off, results are identical to feeding
-//! the same events through the single-threaded [`OnlineAnalyzer`]; with
-//! splitting on, tallies are still exact (summed at merge time) and
-//! ordering is stable.
+//! closes the rings (routers, then shards, drain and exit) and
+//! reassembles the shards into a
+//! [`ShardedAnalyzer`](rtdac_synopsis::ShardedAnalyzer) for querying —
+//! with splitting off, results are identical to feeding the same events
+//! through the single-threaded [`OnlineAnalyzer`]; with splitting on,
+//! tallies are still exact (summed at merge time) and ordering is
+//! stable.
 //!
 //! # Examples
 //!
@@ -51,7 +74,7 @@
 //! let mut pipeline = IngestPipeline::new(
 //!     MonitorConfig::default(),
 //!     AnalyzerConfig::with_capacity(1024),
-//!     PipelineConfig::with_shards(2),
+//!     PipelineConfig::with_shards(2).routers(2),
 //! );
 //! for i in 0..100u64 {
 //!     for block in [10, 900] {
@@ -72,15 +95,16 @@
 //! [`OnlineAnalyzer::process_partition`]: rtdac_synopsis::OnlineAnalyzer::process_partition
 //! [`OnlineAnalyzer::process_routed`]: rtdac_synopsis::OnlineAnalyzer::process_routed
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use rtdac_synopsis::{AnalyzerConfig, ShardedAnalyzer};
-use rtdac_types::{IoEvent, Transaction};
+use rtdac_types::{router_for_batch, IoEvent, Transaction};
 
 use crate::monitor::{Monitor, MonitorConfig};
-use crate::router::{RoutedBatch, Router, RouterConfig, SplitConfig};
+use crate::router::{Router, RouterConfig, RouterStats, SplitConfig, WorkList};
 use crate::spsc;
 
 /// How the front-end hands work to the shards.
@@ -90,9 +114,9 @@ pub enum Dispatch {
     /// (dedup + hash replicated per shard). Kept for comparison; routed
     /// dispatch supersedes it.
     Broadcast,
-    /// The front-end routes each record to its owning shard exactly once
-    /// via a [`Router`]; `split` optionally spreads hot pairs across
-    /// shards.
+    /// Each record is routed to its owning shard exactly once via a
+    /// [`Router`] (or several — see [`PipelineConfig::routers`]);
+    /// `split` optionally spreads hot pairs across shards.
     Routed {
         /// Hot-pair splitting; `None` routes every pair by hash.
         split: Option<SplitConfig>,
@@ -105,16 +129,23 @@ impl Default for Dispatch {
     }
 }
 
-/// Shape of the parallel pipeline: how many shards, how transactions are
-/// batched, how deep each shard's ring is, and how work is dispatched.
+/// Shape of the parallel pipeline: how many shards and routers, how
+/// transactions are batched, how deep each ring is, and how work is
+/// dispatched.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PipelineConfig {
     /// Number of shard worker threads.
     pub shard_count: usize,
+    /// Router workers for routed dispatch (default 1). `1` routes
+    /// inline on the caller's thread; `R >= 2` spawns R router threads
+    /// and deals batches to them round-robin by sequence number, with
+    /// every shard merging its R rings back in sequence order (shard
+    /// state stays bit-exact for any R). Ignored under broadcast.
+    pub routers: usize,
     /// Transactions per batch.
     pub batch_size: usize,
-    /// Batches each shard ring can buffer before the front-end blocks
-    /// (bounded: a slow shard applies backpressure instead of growing an
+    /// Batches each ring can buffer before its producer blocks
+    /// (bounded: a slow stage applies backpressure instead of growing an
     /// unbounded queue).
     pub ring_capacity: usize,
     /// Dispatch mode (default: routed, no splitting).
@@ -122,8 +153,9 @@ pub struct PipelineConfig {
 }
 
 impl PipelineConfig {
-    /// A pipeline with `shard_count` shards, routed dispatch, and the
-    /// default batch size (64 transactions) and ring depth (64 batches).
+    /// A pipeline with `shard_count` shards, routed dispatch, one
+    /// (inline) router, and the default batch size (64 transactions)
+    /// and ring depth (64 batches).
     ///
     /// # Panics
     ///
@@ -132,10 +164,22 @@ impl PipelineConfig {
         assert!(shard_count > 0, "need at least one shard");
         PipelineConfig {
             shard_count,
+            routers: 1,
             batch_size: 64,
             ring_capacity: 64,
             dispatch: Dispatch::default(),
         }
+    }
+
+    /// Sets the number of router workers for routed dispatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `routers == 0`.
+    pub fn routers(mut self, routers: usize) -> Self {
+        assert!(routers > 0, "need at least one router");
+        self.routers = routers;
+        self
     }
 
     /// Sets the transactions-per-batch granularity.
@@ -149,7 +193,7 @@ impl PipelineConfig {
         self
     }
 
-    /// Sets the per-shard ring depth in batches.
+    /// Sets the per-ring depth in batches.
     ///
     /// # Panics
     ///
@@ -188,15 +232,23 @@ impl Default for PipelineConfig {
 pub struct PipelineStats {
     /// Transactions enqueued toward the shards.
     pub transactions: u64,
-    /// Batches dispatched to the shard rings.
+    /// Batches dispatched (to the shard rings, or to router workers).
     pub batches: u64,
-    /// Ring-full backpressure events: sends that found a shard ring full
-    /// and had to block.
+    /// Ring-full backpressure events on the *caller's* thread: sends
+    /// that found a shard ring (inline routing, broadcast) or a router
+    /// ring (parallel routing) full and had to block.
     pub stalls: u64,
-    /// Total nanoseconds the front-end spent blocked on full rings.
-    /// Queueing delay, not shard service time — benchmarks that measure
-    /// per-batch shard latency subtract this.
+    /// Total nanoseconds the caller's thread spent blocked on full
+    /// rings. Queueing delay, not service time — benchmarks that
+    /// measure per-batch service latency subtract this.
     pub stall_nanos: u64,
+    /// Parallel routing only: ring-full backpressure events inside the
+    /// router workers (a full shard ring blocked a router). Zero with
+    /// an inline router, whose blocking is charged to `stalls`.
+    pub routing_stalls: u64,
+    /// Total nanoseconds router workers spent blocked on full shard
+    /// rings (parallel routing only).
+    pub routing_stall_nanos: u64,
     /// Routed dispatch only: transactions routed to each shard (a
     /// transaction counts for every shard that received at least one of
     /// its records). Empty under broadcast.
@@ -216,32 +268,163 @@ type Batch = Arc<Vec<Transaction>>;
 enum ShardWork {
     /// The full batch; the worker partitions it itself.
     Broadcast(Batch),
-    /// A routed batch; the worker applies only its own
-    /// [`WorkList`](crate::WorkList).
-    Routed(Arc<RoutedBatch>),
+    /// This shard's share of one routed batch. The worker applies it,
+    /// clears it, and recycles the buffer to the router that filled it.
+    Routed(WorkList),
+}
+
+/// Live counters shared between parallel router workers and
+/// [`IngestPipeline::stats`]. Eventually consistent while the pipeline
+/// runs (each router publishes after routing a batch); the exact totals
+/// come from the routers' own [`RouterStats`], merged at `finish`.
+struct RouterCounters {
+    routed_transactions: Vec<AtomicU64>,
+    routed_ops: Vec<AtomicU64>,
+    split_records: AtomicU64,
+    routing_stalls: AtomicU64,
+    routing_stall_nanos: AtomicU64,
+}
+
+impl RouterCounters {
+    fn new(shard_count: usize) -> Self {
+        RouterCounters {
+            routed_transactions: (0..shard_count).map(|_| AtomicU64::new(0)).collect(),
+            routed_ops: (0..shard_count).map(|_| AtomicU64::new(0)).collect(),
+            split_records: AtomicU64::new(0),
+            routing_stalls: AtomicU64::new(0),
+            routing_stall_nanos: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The front-end's dispatch machinery, by mode and router count.
+enum FrontEnd {
+    /// Broadcast: every shard gets the whole batch behind an `Arc`.
+    Broadcast {
+        senders: Vec<spsc::Sender<ShardWork>>,
+    },
+    /// Routed, one router, running inline on the caller's thread.
+    Inline(Box<InlineRouting>),
+    /// Routed, `R >= 2` router worker threads fed round-robin.
+    Parallel(ParallelRouting),
+}
+
+/// Inline routing state: the router plus the per-shard staging lists
+/// and recycling rings.
+struct InlineRouting {
+    router: Router,
+    senders: Vec<spsc::Sender<ShardWork>>,
+    /// Cleared work lists flowing back from the shards, one ring per
+    /// shard (buffers never migrate between shards, so each one's
+    /// capacity plateaus at its own shard's demand).
+    returns: Vec<spsc::Receiver<WorkList>>,
+    /// One staging list per shard, swapped out as lists ship.
+    staged: Vec<WorkList>,
+}
+
+/// Parallel routing state: batch rings to R router workers and the
+/// emptied batch buffers flowing back.
+struct ParallelRouting {
+    batch_senders: Vec<spsc::Sender<Vec<Transaction>>>,
+    batch_returns: Vec<spsc::Receiver<Vec<Transaction>>>,
+    handles: Vec<JoinHandle<Router>>,
+    counters: Arc<RouterCounters>,
+}
+
+/// Sends one item, separating ring-full backpressure from the fast
+/// path: a failed `try_send` falls back to the blocking `send`, and the
+/// blocked time is charged to the caller's stall counters.
+fn send_counting_stalls<T: Send>(
+    sender: &spsc::Sender<T>,
+    value: T,
+    stalls: &mut u64,
+    stall_nanos: &mut u64,
+) {
+    if let Err(value) = sender.try_send(value) {
+        let blocked = Instant::now();
+        // A send fails only if the receiving worker died; its panic
+        // surfaces when finish() joins.
+        let _ = sender.send(value);
+        *stall_nanos += blocked.elapsed().as_nanos() as u64;
+        *stalls += 1;
+    }
+}
+
+/// Body of one parallel router worker: batches in (a round-robin slice
+/// of the stream, in order), one `WorkList` per shard out — to *every*
+/// shard, empty or not, because the sequence-ordered fan-in consumes
+/// exactly one entry per batch per ring.
+fn router_worker(
+    mut router: Router,
+    batches: spsc::Receiver<Vec<Transaction>>,
+    batch_return: spsc::Sender<Vec<Transaction>>,
+    work_senders: Vec<spsc::Sender<ShardWork>>,
+    work_returns: Vec<spsc::Receiver<WorkList>>,
+    counters: Arc<RouterCounters>,
+) -> Router {
+    let shard_count = work_senders.len();
+    let mut staged: Vec<WorkList> = (0..shard_count).map(|_| WorkList::default()).collect();
+    let mut reported_splits = 0u64;
+    while let Some(mut batch) = batches.recv() {
+        router.route_into(&batch, &mut staged);
+        batch.clear();
+        // Hand the emptied batch buffer back to the front-end; if the
+        // return ring is full or gone the buffer is simply dropped.
+        let _ = batch_return.try_send(batch);
+        let (mut stalls, mut stall_nanos) = (0u64, 0u64);
+        for (shard, sender) in work_senders.iter().enumerate() {
+            // Refill the stage from this shard's return ring before
+            // swapping the routed list out. Buffers never migrate
+            // between (router, shard) cycles, so each one's capacity
+            // plateaus at its cycle's demand.
+            let refill = work_returns[shard].try_recv().unwrap_or_default();
+            let work = std::mem::replace(&mut staged[shard], refill);
+            counters.routed_transactions[shard]
+                .fetch_add(work.txns.len() as u64, Ordering::Relaxed);
+            counters.routed_ops[shard].fetch_add(work.ops(), Ordering::Relaxed);
+            send_counting_stalls(
+                sender,
+                ShardWork::Routed(work),
+                &mut stalls,
+                &mut stall_nanos,
+            );
+        }
+        if stalls > 0 {
+            counters.routing_stalls.fetch_add(stalls, Ordering::Relaxed);
+            counters
+                .routing_stall_nanos
+                .fetch_add(stall_nanos, Ordering::Relaxed);
+        }
+        let splits = router.stats().split_records;
+        counters
+            .split_records
+            .fetch_add(splits - reported_splits, Ordering::Relaxed);
+        reported_splits = splits;
+    }
+    router
 }
 
 /// The multi-threaded ingestion pipeline: monitor front-end, routed (or
 /// broadcast) batches over SPSC rings, one synopsis shard per worker
-/// thread.
+/// thread — and, with [`PipelineConfig::routers`] `>= 2`, a pool of
+/// parallel router workers between the two.
 pub struct IngestPipeline {
     monitor: Monitor,
     analyzer_config: AnalyzerConfig,
     shard_count: usize,
     batch_size: usize,
     batch: Vec<Transaction>,
-    /// `Some` in routed mode; `None` under broadcast.
-    router: Option<Router>,
+    front_end: FrontEnd,
     /// Whether merged tallies must be summed per pair (splitting was
     /// enabled, so a pair's tally may be spread across shards).
     split_tallies: bool,
-    senders: Vec<spsc::Sender<ShardWork>>,
     workers: Vec<JoinHandle<rtdac_synopsis::OnlineAnalyzer>>,
     stats: PipelineStats,
 }
 
 impl IngestPipeline {
-    /// Builds the pipeline and spawns one worker thread per shard.
+    /// Builds the pipeline and spawns one worker thread per shard (plus
+    /// one per router when `routers >= 2` under routed dispatch).
     pub fn new(
         monitor_config: MonitorConfig,
         analyzer_config: AnalyzerConfig,
@@ -249,54 +432,177 @@ impl IngestPipeline {
     ) -> Self {
         let shard_count = pipeline_config.shard_count;
         assert!(shard_count > 0, "need at least one shard");
-        let router = match &pipeline_config.dispatch {
-            Dispatch::Broadcast => None,
-            Dispatch::Routed { split } => Some(Router::new(
-                RouterConfig::new(shard_count)
-                    .op_filter(analyzer_config.op_filter)
-                    .split_opt(split.clone()),
-            )),
-        };
+        assert!(pipeline_config.routers > 0, "need at least one router");
+        let routed = matches!(&pipeline_config.dispatch, Dispatch::Routed { .. });
+        // Broadcast has a single feeder regardless of the router knob.
+        let feeders = if routed { pipeline_config.routers } else { 1 };
+        let ring_capacity = pipeline_config.ring_capacity;
+        // Buffer recycling is provably mint-free: a (producer, consumer)
+        // cycle over a forward ring of (power-of-two) capacity C can
+        // hold at most C + 2 buffers outside its return ring — C
+        // queued, one staged at the producer, one in the consumer's
+        // hands. Each return ring is therefore *prefilled* with C + 2
+        // empty buffers at construction (total circulation C + 3 with
+        // the initial stage), so whenever the producer refills, at
+        // least one recycled buffer is waiting: the `unwrap_or_default`
+        // mint fallbacks below are dead code in steady *and* cold
+        // state. Return rings are sized so a recycled buffer is never
+        // dropped for lack of space (dropping one would shrink
+        // circulation below the forward bound and force a mint). The
+        // rings rotate FIFO, so every buffer in a cycle is exercised —
+        // and its capacity grown to the cycle's demand — within one
+        // full rotation.
+        let forward_bound = ring_capacity.next_power_of_two() + 2;
+        let return_capacity = ring_capacity.next_power_of_two() * 2 + 2;
+
         let split_tallies = matches!(
             &pipeline_config.dispatch,
             Dispatch::Routed { split: Some(_) }
         );
         let shards = ShardedAnalyzer::new(analyzer_config.clone(), shard_count).into_shards();
-        let mut senders = Vec::with_capacity(shard_count);
+
+        // Channel matrix: one work ring per (feeder, shard), and in
+        // routed mode a matching return ring recycling cleared lists.
+        let mut work_tx: Vec<Vec<spsc::Sender<ShardWork>>> = (0..feeders)
+            .map(|_| Vec::with_capacity(shard_count))
+            .collect();
+        let mut ret_rx: Vec<Vec<spsc::Receiver<WorkList>>> = (0..feeders)
+            .map(|_| Vec::with_capacity(shard_count))
+            .collect();
         let mut workers = Vec::with_capacity(shard_count);
         for (index, mut shard) in shards.into_iter().enumerate() {
-            let (tx, rx) = spsc::channel::<ShardWork>(pipeline_config.ring_capacity);
-            senders.push(tx);
+            let mut rings = Vec::with_capacity(feeders);
+            let mut returns = Vec::with_capacity(feeders);
+            for feeder in 0..feeders {
+                let (tx, rx) = spsc::channel::<ShardWork>(ring_capacity);
+                work_tx[feeder].push(tx);
+                rings.push(rx);
+                if routed {
+                    let (return_tx, return_rx) = spsc::channel::<WorkList>(return_capacity);
+                    for _ in 0..forward_bound {
+                        let sent = return_tx.try_send(WorkList::default()).is_ok();
+                        debug_assert!(sent, "return ring sized below its prefill");
+                    }
+                    returns.push(return_tx);
+                    ret_rx[feeder].push(return_rx);
+                }
+            }
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("rtdac-shard-{index}"))
                     .spawn(move || {
-                        while let Some(work) = rx.recv() {
+                        // Sequence-ordered fan-in: batch n arrives on
+                        // ring n % feeders and each ring is FIFO, so
+                        // reading the rings round-robin replays the
+                        // exact global batch order. A closed-and-empty
+                        // ring at the expected slot means batch n was
+                        // never dispatched; the sequence counter is
+                        // monotone, so no later batch exists anywhere
+                        // and the worker is done.
+                        let feeders = rings.len();
+                        let mut next = 0usize;
+                        loop {
+                            let ring = next % feeders;
+                            let Some(work) = rings[ring].recv() else {
+                                break;
+                            };
                             match work {
                                 ShardWork::Broadcast(batch) => {
                                     for transaction in batch.iter() {
                                         shard.process_partition(transaction, index, shard_count);
                                     }
                                 }
-                                ShardWork::Routed(batch) => {
-                                    batch.per_shard[index].apply(&mut shard);
+                                ShardWork::Routed(mut work) => {
+                                    work.apply(&mut shard);
+                                    work.clear();
+                                    // Recycle the buffer to the router
+                                    // that filled it; a closed ring
+                                    // (shutdown) just drops it.
+                                    let _ = returns[ring].try_send(work);
                                 }
                             }
+                            next += 1;
                         }
                         shard
                     })
                     .expect("spawning shard worker"),
             );
         }
+
+        let front_end = match &pipeline_config.dispatch {
+            Dispatch::Broadcast => FrontEnd::Broadcast {
+                senders: work_tx.pop().expect("one broadcast feeder"),
+            },
+            Dispatch::Routed { split } => {
+                let router_config = RouterConfig::new(shard_count)
+                    .op_filter(analyzer_config.op_filter)
+                    .split_opt(split.clone());
+                if feeders == 1 {
+                    FrontEnd::Inline(Box::new(InlineRouting {
+                        router: Router::new(router_config),
+                        senders: work_tx.pop().expect("one inline feeder"),
+                        returns: ret_rx.pop().expect("one inline feeder"),
+                        staged: (0..shard_count).map(|_| WorkList::default()).collect(),
+                    }))
+                } else {
+                    let counters = Arc::new(RouterCounters::new(shard_count));
+                    let mut batch_senders = Vec::with_capacity(feeders);
+                    let mut batch_returns = Vec::with_capacity(feeders);
+                    let mut handles = Vec::with_capacity(feeders);
+                    for (index, (work_senders, work_returns)) in
+                        work_tx.drain(..).zip(ret_rx.drain(..)).enumerate()
+                    {
+                        let (batch_tx, batch_rx) = spsc::channel::<Vec<Transaction>>(ring_capacity);
+                        // Batch buffers migrate between router cycles
+                        // (the front-end grabs a replacement from any
+                        // return ring), so each ring is sized for the
+                        // whole circulation, not just its own cycle's.
+                        let (return_tx, return_rx) =
+                            spsc::channel::<Vec<Transaction>>(feeders * forward_bound + 1);
+                        for _ in 0..forward_bound {
+                            let sent = return_tx
+                                .try_send(Vec::with_capacity(pipeline_config.batch_size))
+                                .is_ok();
+                            debug_assert!(sent, "batch return ring sized below its prefill");
+                        }
+                        batch_senders.push(batch_tx);
+                        batch_returns.push(return_rx);
+                        let router = Router::new(router_config.clone());
+                        let counters = Arc::clone(&counters);
+                        handles.push(
+                            std::thread::Builder::new()
+                                .name(format!("rtdac-router-{index}"))
+                                .spawn(move || {
+                                    router_worker(
+                                        router,
+                                        batch_rx,
+                                        return_tx,
+                                        work_senders,
+                                        work_returns,
+                                        counters,
+                                    )
+                                })
+                                .expect("spawning router worker"),
+                        );
+                    }
+                    FrontEnd::Parallel(ParallelRouting {
+                        batch_senders,
+                        batch_returns,
+                        handles,
+                        counters,
+                    })
+                }
+            }
+        };
+
         IngestPipeline {
             monitor: Monitor::new(monitor_config),
             analyzer_config,
             shard_count,
             batch_size: pipeline_config.batch_size,
             batch: Vec::with_capacity(pipeline_config.batch_size),
-            router,
+            front_end,
             split_tallies,
-            senders,
             workers,
             stats: PipelineStats::default(),
         }
@@ -324,63 +630,83 @@ impl IngestPipeline {
         }
     }
 
-    /// Dispatches the open batch to the shard rings (blocking while
-    /// rings are full; blocked time is accounted in
-    /// [`PipelineStats::stall_nanos`]). Called automatically at
-    /// batch-size granularity and by [`finish`](IngestPipeline::finish);
-    /// call it directly to cap latency when the event stream pauses.
+    /// Dispatches the open batch (blocking while rings are full;
+    /// blocked time is accounted in [`PipelineStats::stall_nanos`]).
+    /// Called automatically at batch-size granularity and by
+    /// [`finish`](IngestPipeline::finish); call it directly to cap
+    /// latency when the event stream pauses.
     pub fn flush_batch(&mut self) {
         if self.batch.is_empty() {
             return;
         }
+        let sequence = self.stats.batches;
         self.stats.batches += 1;
-        let batch = std::mem::take(&mut self.batch);
-        self.batch.reserve(self.batch_size);
-        match &mut self.router {
-            None => {
-                let batch: Batch = Arc::new(batch);
-                for i in 0..self.senders.len() {
-                    Self::send_with_stall_accounting(
-                        &self.senders[i],
-                        ShardWork::Broadcast(Arc::clone(&batch)),
-                        &mut self.stats,
-                    );
-                }
-            }
-            Some(router) => {
-                let routed = Arc::new(router.route(batch));
-                for (i, sender) in self.senders.iter().enumerate() {
-                    // Shards with no work in this batch are skipped: in
-                    // routed mode ring traffic tracks owned work, not
-                    // shard count.
-                    if routed.per_shard[i].is_empty() {
-                        continue;
-                    }
-                    Self::send_with_stall_accounting(
+        let batch_size = self.batch_size;
+        let stats = &mut self.stats;
+        match &mut self.front_end {
+            FrontEnd::Broadcast { senders } => {
+                let batch: Batch = Arc::new(std::mem::replace(
+                    &mut self.batch,
+                    Vec::with_capacity(batch_size),
+                ));
+                for sender in senders.iter() {
+                    send_counting_stalls(
                         sender,
-                        ShardWork::Routed(Arc::clone(&routed)),
-                        &mut self.stats,
+                        ShardWork::Broadcast(Arc::clone(&batch)),
+                        &mut stats.stalls,
+                        &mut stats.stall_nanos,
                     );
                 }
             }
-        }
-    }
-
-    /// Sends one work item, separating ring-full backpressure from the
-    /// fast path: a `try_send` that fails falls back to the blocking
-    /// `send`, and the blocked time is charged to `stall_nanos`.
-    fn send_with_stall_accounting(
-        sender: &spsc::Sender<ShardWork>,
-        work: ShardWork,
-        stats: &mut PipelineStats,
-    ) {
-        if let Err(work) = sender.try_send(work) {
-            let blocked = Instant::now();
-            // A send fails only if the worker died; its panic surfaces
-            // when finish() joins.
-            let _ = sender.send(work);
-            stats.stall_nanos += blocked.elapsed().as_nanos() as u64;
-            stats.stalls += 1;
+            FrontEnd::Inline(routing) => {
+                routing.router.route_into(&self.batch, &mut routing.staged);
+                self.batch.clear();
+                for (shard, (sender, staged)) in routing
+                    .senders
+                    .iter()
+                    .zip(routing.staged.iter_mut())
+                    .enumerate()
+                {
+                    // Refill the stage from this shard's return ring;
+                    // the prefill guarantees a recycled list is waiting
+                    // (see the circulation bound in `new`).
+                    let refill = routing.returns[shard].try_recv().unwrap_or_default();
+                    let work = std::mem::replace(staged, refill);
+                    send_counting_stalls(
+                        sender,
+                        ShardWork::Routed(work),
+                        &mut stats.stalls,
+                        &mut stats.stall_nanos,
+                    );
+                }
+            }
+            FrontEnd::Parallel(routing) => {
+                let router = router_for_batch(sequence, routing.batch_senders.len());
+                // Swap in a recycled batch buffer before shipping the
+                // full one to its router: this router's return ring
+                // first, then any other (the prefill guarantees one is
+                // waiting somewhere).
+                let mut replacement = routing.batch_returns[router].try_recv();
+                if replacement.is_none() {
+                    for (ring, returns) in routing.batch_returns.iter().enumerate() {
+                        if ring == router {
+                            continue;
+                        }
+                        replacement = returns.try_recv();
+                        if replacement.is_some() {
+                            break;
+                        }
+                    }
+                }
+                let replacement = replacement.unwrap_or_else(|| Vec::with_capacity(batch_size));
+                let batch = std::mem::replace(&mut self.batch, replacement);
+                send_counting_stalls(
+                    &routing.batch_senders[router],
+                    batch,
+                    &mut stats.stalls,
+                    &mut stats.stall_nanos,
+                );
+            }
         }
     }
 
@@ -389,15 +715,36 @@ impl IngestPipeline {
         &self.monitor
     }
 
-    /// Front-end counters. Under routed dispatch the per-shard vectors
-    /// reflect everything dispatched so far.
+    /// Front-end counters. Under inline routing the per-shard vectors
+    /// reflect everything dispatched so far; under parallel routing
+    /// they are eventually consistent (each router publishes after
+    /// routing a batch) and become exact once the stream drains.
     pub fn stats(&self) -> PipelineStats {
         let mut stats = self.stats.clone();
-        if let Some(router) = &self.router {
-            let routed = router.stats();
-            stats.routed_transactions = routed.routed_transactions.clone();
-            stats.routed_ops = routed.routed_ops.clone();
-            stats.split_records = routed.split_records;
+        match &self.front_end {
+            FrontEnd::Broadcast { .. } => {}
+            FrontEnd::Inline(routing) => {
+                let routed = routing.router.stats();
+                stats.routed_transactions = routed.routed_transactions.clone();
+                stats.routed_ops = routed.routed_ops.clone();
+                stats.split_records = routed.split_records;
+            }
+            FrontEnd::Parallel(routing) => {
+                let counters = &routing.counters;
+                stats.routed_transactions = counters
+                    .routed_transactions
+                    .iter()
+                    .map(|c| c.load(Ordering::Relaxed))
+                    .collect();
+                stats.routed_ops = counters
+                    .routed_ops
+                    .iter()
+                    .map(|c| c.load(Ordering::Relaxed))
+                    .collect();
+                stats.split_records = counters.split_records.load(Ordering::Relaxed);
+                stats.routing_stalls = counters.routing_stalls.load(Ordering::Relaxed);
+                stats.routing_stall_nanos = counters.routing_stall_nanos.load(Ordering::Relaxed);
+            }
         }
         stats
     }
@@ -407,38 +754,77 @@ impl IngestPipeline {
         self.shard_count
     }
 
-    /// Flushes the monitor and the open batch, closes the rings, joins
-    /// the workers and reassembles their shards into a queryable
-    /// [`ShardedAnalyzer`].
+    /// Flushes the monitor and the open batch, closes the rings
+    /// (routers drain first, then the shards), joins every worker and
+    /// reassembles the shards into a queryable [`ShardedAnalyzer`].
     ///
     /// # Panics
     ///
-    /// Propagates a shard worker's panic, if one occurred.
+    /// Propagates a router or shard worker's panic, if one occurred.
     pub fn finish(mut self) -> ShardedAnalyzer {
         if let Some(transaction) = self.monitor.flush() {
             self.enqueue(transaction);
         }
         self.flush_batch();
-        // Dropping the senders closes every ring; workers drain and
-        // return their shards.
-        self.senders.clear();
-        let shards: Vec<_> = self
-            .workers
-            .drain(..)
+        let IngestPipeline {
+            front_end,
+            workers,
+            analyzer_config,
+            split_tallies,
+            mut stats,
+            ..
+        } = self;
+        let routed = match front_end {
+            FrontEnd::Broadcast { senders } => {
+                drop(senders);
+                false
+            }
+            FrontEnd::Inline(routing) => {
+                let router_stats = routing.router.stats().clone();
+                // Dropping the routing state closes the shard rings.
+                drop(routing);
+                stats.routed_transactions = router_stats.routed_transactions;
+                stats.routed_ops = router_stats.routed_ops;
+                stats.split_records = router_stats.split_records;
+                true
+            }
+            FrontEnd::Parallel(routing) => {
+                // Closing the batch rings drains the routers; each
+                // returns its Router, whose exact counters supersede
+                // the live atomics. Router exit closes the shard rings.
+                drop(routing.batch_senders);
+                drop(routing.batch_returns);
+                let mut merged = RouterStats::default();
+                for handle in routing.handles {
+                    let router = handle.join().expect("router worker panicked");
+                    merged.merge(router.stats());
+                }
+                stats.routed_transactions = merged.routed_transactions;
+                stats.routed_ops = merged.routed_ops;
+                stats.split_records = merged.split_records;
+                stats.routing_stalls = routing.counters.routing_stalls.load(Ordering::Relaxed);
+                stats.routing_stall_nanos =
+                    routing.counters.routing_stall_nanos.load(Ordering::Relaxed);
+                true
+            }
+        };
+        let shards: Vec<_> = workers
+            .into_iter()
             .map(|w| w.join().expect("shard worker panicked"))
             .collect();
-        match &self.router {
-            // Broadcast shards each counted the full transaction stream
-            // themselves; from_shards takes shard 0's count.
-            None => ShardedAnalyzer::from_shards(self.analyzer_config.clone(), shards),
+        if routed {
             // Routed shards never count transactions; the front-end's
             // count is authoritative.
-            Some(_) => ShardedAnalyzer::from_routed_shards(
-                self.analyzer_config.clone(),
+            ShardedAnalyzer::from_routed_shards(
+                analyzer_config,
                 shards,
-                self.stats.transactions,
-                self.split_tallies,
-            ),
+                stats.transactions,
+                split_tallies,
+            )
+        } else {
+            // Broadcast shards each counted the full transaction stream
+            // themselves; from_shards takes shard 0's count.
+            ShardedAnalyzer::from_shards(analyzer_config, shards)
         }
     }
 }
@@ -499,23 +885,26 @@ mod tests {
 
         for dispatch in dispatch_modes() {
             for shards in [1usize, 2, 4] {
-                let mut pipeline = IngestPipeline::new(
-                    monitor_config.clone(),
-                    analyzer_config.clone(),
-                    PipelineConfig::with_shards(shards)
-                        .batch_size(16)
-                        .ring_capacity(4)
-                        .dispatch(dispatch.clone()),
-                );
-                for e in events() {
-                    pipeline.push(e);
+                for routers in [1usize, 2] {
+                    let mut pipeline = IngestPipeline::new(
+                        monitor_config.clone(),
+                        analyzer_config.clone(),
+                        PipelineConfig::with_shards(shards)
+                            .routers(routers)
+                            .batch_size(16)
+                            .ring_capacity(4)
+                            .dispatch(dispatch.clone()),
+                    );
+                    for e in events() {
+                        pipeline.push(e);
+                    }
+                    let analyzer = pipeline.finish();
+                    assert_eq!(
+                        analyzer.snapshot().frequent_pairs(1),
+                        expected,
+                        "{shards} shards, {routers} routers, {dispatch:?}"
+                    );
                 }
-                let analyzer = pipeline.finish();
-                assert_eq!(
-                    analyzer.snapshot().frequent_pairs(1),
-                    expected,
-                    "{shards} shards, {dispatch:?}"
-                );
             }
         }
     }
@@ -524,16 +913,18 @@ mod tests {
     fn routed_shard_state_matches_broadcast_exactly() {
         // With splitting off, routed dispatch must leave every shard's
         // tables bit-for-bit identical to broadcast (tiny tables force
-        // eviction churn, so record order matters).
+        // eviction churn, so record order matters) — for any router
+        // count, thanks to the sequence-ordered fan-in.
         let monitor_config =
             MonitorConfig::new(crate::WindowPolicy::Static(Duration::from_micros(100)));
         let analyzer_config = AnalyzerConfig::with_capacity(8).item_capacity(4);
         for shards in [1usize, 2, 4, 8] {
-            let run = |dispatch: Dispatch| {
+            let run = |dispatch: Dispatch, routers: usize| {
                 let mut pipeline = IngestPipeline::new(
                     monitor_config.clone(),
                     analyzer_config.clone(),
                     PipelineConfig::with_shards(shards)
+                        .routers(routers)
                         .batch_size(8)
                         .dispatch(dispatch),
                 );
@@ -542,12 +933,18 @@ mod tests {
                 }
                 pipeline.finish()
             };
-            let broadcast = run(Dispatch::Broadcast);
-            let routed = run(Dispatch::Routed { split: None });
-            for (i, (b, r)) in broadcast.shards().iter().zip(routed.shards()).enumerate() {
-                assert_eq!(b.snapshot(), r.snapshot(), "shard {i} of {shards}");
+            let broadcast = run(Dispatch::Broadcast, 1);
+            for routers in [1usize, 2] {
+                let routed = run(Dispatch::Routed { split: None }, routers);
+                for (i, (b, r)) in broadcast.shards().iter().zip(routed.shards()).enumerate() {
+                    assert_eq!(
+                        b.snapshot(),
+                        r.snapshot(),
+                        "shard {i} of {shards}, {routers} routers"
+                    );
+                }
+                assert_eq!(broadcast.stats(), routed.stats());
             }
-            assert_eq!(broadcast.stats(), routed.stats());
         }
     }
 
@@ -587,24 +984,33 @@ mod tests {
     #[test]
     fn backpressure_does_not_deadlock_and_is_accounted() {
         for dispatch in dispatch_modes() {
-            // Tiny rings and batches: the front-end must block and resume
-            // rather than drop or deadlock.
-            let mut pipeline = IngestPipeline::new(
-                MonitorConfig::new(crate::WindowPolicy::Static(Duration::from_micros(10))),
-                AnalyzerConfig::with_capacity(1024),
-                PipelineConfig::with_shards(2)
-                    .batch_size(1)
-                    .ring_capacity(1)
-                    .dispatch(dispatch.clone()),
-            );
-            for i in 0..2_000u64 {
-                pipeline.push(event(i * 1000, i % 50));
+            for routers in [1usize, 2] {
+                // Tiny rings and batches: every stage must block and
+                // resume rather than drop or deadlock.
+                let mut pipeline = IngestPipeline::new(
+                    MonitorConfig::new(crate::WindowPolicy::Static(Duration::from_micros(10))),
+                    AnalyzerConfig::with_capacity(1024),
+                    PipelineConfig::with_shards(2)
+                        .routers(routers)
+                        .batch_size(1)
+                        .ring_capacity(1)
+                        .dispatch(dispatch.clone()),
+                );
+                for i in 0..2_000u64 {
+                    pipeline.push(event(i * 1000, i % 50));
+                }
+                let stats = pipeline.stats();
+                // Stall accounting only: every stall charged some
+                // blocked time, at each stage.
+                assert!(stats.stalls == 0 || stats.stall_nanos > 0);
+                assert!(stats.routing_stalls == 0 || stats.routing_stall_nanos > 0);
+                let analyzer = pipeline.finish();
+                assert_eq!(
+                    analyzer.stats().transactions,
+                    2_000,
+                    "{dispatch:?}, {routers} routers"
+                );
             }
-            let stats = pipeline.stats();
-            // Stall accounting only: every stall charged some blocked time.
-            assert!(stats.stalls == 0 || stats.stall_nanos > 0);
-            let analyzer = pipeline.finish();
-            assert_eq!(analyzer.stats().transactions, 2_000, "{dispatch:?}");
         }
     }
 
@@ -626,6 +1032,30 @@ mod tests {
         assert_eq!(stats.routed_transactions.iter().sum::<u64>(), 499);
         assert_eq!(stats.routed_ops.iter().sum::<u64>(), 499 * 3);
         assert_eq!(stats.split_records, 0);
+        pipeline.finish();
+    }
+
+    #[test]
+    fn parallel_router_counters_converge_to_exact_totals() {
+        // The live atomics are eventually consistent; once the routers
+        // drain they must equal exactly what one router would report.
+        let mut pipeline = IngestPipeline::new(
+            MonitorConfig::new(crate::WindowPolicy::Static(Duration::from_micros(100))),
+            AnalyzerConfig::with_capacity(4096),
+            PipelineConfig::with_shards(4).routers(2).batch_size(16),
+        );
+        for e in events() {
+            pipeline.push(e);
+        }
+        pipeline.flush_batch();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut stats = pipeline.stats();
+        while stats.routed_transactions.iter().sum::<u64>() < 499 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+            stats = pipeline.stats();
+        }
+        assert_eq!(stats.routed_transactions.iter().sum::<u64>(), 499);
+        assert_eq!(stats.routed_ops.iter().sum::<u64>(), 499 * 3);
         pipeline.finish();
     }
 }

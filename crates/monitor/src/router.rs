@@ -168,6 +168,16 @@ impl WorkList {
         (self.extents.len() + self.pairs.len()) as u64
     }
 
+    /// Empties the list, keeping its buffer capacity. The pipeline
+    /// recycles work lists through return rings (shard workers clear and
+    /// hand buffers back to their router), so steady state routes with
+    /// zero allocation — see `IngestPipeline`.
+    pub fn clear(&mut self) {
+        self.txns.clear();
+        self.extents.clear();
+        self.pairs.clear();
+    }
+
     /// Applies the list to a shard: per transaction, the item records
     /// then the pair records, exactly as the broadcast path would have.
     pub fn apply(&self, shard: &mut OnlineAnalyzer) {
@@ -269,6 +279,31 @@ pub struct RouterStats {
     pub split_records: u64,
 }
 
+impl RouterStats {
+    /// Accumulates another router's counters. The parallel front-end
+    /// runs R routers over disjoint round-robin slices of the batch
+    /// stream, so their per-shard counts sum losslessly to exactly what
+    /// a single router would have reported.
+    pub fn merge(&mut self, other: &RouterStats) {
+        if self.routed_transactions.len() < other.routed_transactions.len() {
+            self.routed_transactions
+                .resize(other.routed_transactions.len(), 0);
+            self.routed_ops.resize(other.routed_ops.len(), 0);
+        }
+        for (mine, theirs) in self
+            .routed_transactions
+            .iter_mut()
+            .zip(&other.routed_transactions)
+        {
+            *mine += theirs;
+        }
+        for (mine, theirs) in self.routed_ops.iter_mut().zip(&other.routed_ops) {
+            *mine += theirs;
+        }
+        self.split_records += other.split_records;
+    }
+}
+
 /// The routing stage: consumes batches of transactions, produces
 /// [`RoutedBatch`]es. Deterministic — dedup order, pair enumeration
 /// order, the unkeyed routing hash, and the round-robin split counter
@@ -322,12 +357,35 @@ impl Router {
     }
 
     /// Routes one batch: dedups and hashes every transaction once,
-    /// returning per-shard work lists in the shards' record order.
+    /// returning freshly allocated per-shard work lists in the shards'
+    /// record order. Convenience wrapper over
+    /// [`route_into`](Router::route_into), which the pipeline uses with
+    /// recycled buffers instead.
     pub fn route(&mut self, batch: Vec<Transaction>) -> RoutedBatch {
-        let n_shards = self.config.shard_count;
-        let mut per_shard: Vec<WorkList> = vec![WorkList::default(); n_shards];
+        let mut per_shard: Vec<WorkList> = vec![WorkList::default(); self.config.shard_count];
+        self.route_into(&batch, &mut per_shard);
+        RoutedBatch {
+            txns: batch.into(),
+            per_shard,
+        }
+    }
 
-        for transaction in &batch {
+    /// Routes one batch into caller-provided work lists (one per shard,
+    /// cleared here; capacity is retained, so pooled buffers make the
+    /// routing stage allocation-free in steady state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_shard.len()` differs from the configured shard
+    /// count.
+    pub fn route_into(&mut self, batch: &[Transaction], per_shard: &mut [WorkList]) {
+        let n_shards = self.config.shard_count;
+        assert_eq!(per_shard.len(), n_shards, "one work list per shard");
+        for work in per_shard.iter_mut() {
+            work.clear();
+        }
+
+        for transaction in batch {
             // Dedup + op filter, once for the whole shard set — same
             // algorithm (and thus same surviving order) as
             // `OnlineAnalyzer::process_partition`.
@@ -401,11 +459,6 @@ impl Router {
                     self.stats.routed_ops[shard] += u64::from(n_extents) + u64::from(n_pairs);
                 }
             }
-        }
-
-        RoutedBatch {
-            txns: batch.into(),
-            per_shard,
         }
     }
 
@@ -596,6 +649,43 @@ mod tests {
         // Decay keeps the total bounded near the interval, not the
         // lifetime count.
         assert!(tracker.total < 200, "total {} never decayed", tracker.total);
+    }
+
+    #[test]
+    fn route_into_reuses_buffers_and_matches_route() {
+        // Routing through recycled (dirty, capacity-bearing) buffers
+        // must produce the same work lists as fresh allocation.
+        let txns = stream(400);
+        let mut fresh_router = Router::new(RouterConfig::new(4));
+        let mut pooled_router = Router::new(RouterConfig::new(4));
+        let mut pooled: Vec<WorkList> = vec![WorkList::default(); 4];
+        for chunk in txns.chunks(64) {
+            let fresh = fresh_router.route(chunk.to_vec());
+            pooled_router.route_into(chunk, &mut pooled);
+            assert_eq!(pooled, fresh.per_shard);
+        }
+        assert_eq!(pooled_router.stats(), fresh_router.stats());
+    }
+
+    #[test]
+    fn router_stats_merge_sums_round_robin_slices() {
+        // Two routers over alternating batches must merge to exactly the
+        // single-router counters.
+        let txns = stream(512);
+        let mut single = Router::new(RouterConfig::new(4));
+        let mut split = [
+            Router::new(RouterConfig::new(4)),
+            Router::new(RouterConfig::new(4)),
+        ];
+        let mut scratch: Vec<WorkList> = vec![WorkList::default(); 4];
+        for (i, chunk) in txns.chunks(64).enumerate() {
+            single.route_into(chunk, &mut scratch);
+            split[i % 2].route_into(chunk, &mut scratch);
+        }
+        let mut merged = RouterStats::default();
+        merged.merge(split[0].stats());
+        merged.merge(split[1].stats());
+        assert_eq!(&merged, single.stats());
     }
 
     #[test]

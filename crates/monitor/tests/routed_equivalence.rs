@@ -141,6 +141,100 @@ fn split_spreads_hot_work_across_shards() {
 }
 
 #[test]
+fn parallel_routers_are_bit_exact_across_the_sweep() {
+    // The tentpole invariant: for R ∈ {1,2,4} × shards ∈ {1,2,4,8},
+    // every shard's table state is bit-identical to broadcast (and thus
+    // to R = 1). Tiny tables force eviction churn, so any reordering in
+    // the multi-router fan-in would surface as a snapshot diff.
+    let transactions = skewed_transactions();
+    let config = AnalyzerConfig::with_capacity(32).item_capacity(16);
+
+    let snapshots = |pipeline_config: PipelineConfig| {
+        let mut pipeline =
+            IngestPipeline::new(MonitorConfig::default(), config.clone(), pipeline_config);
+        for t in &transactions {
+            pipeline.push_transaction(t.clone());
+        }
+        let analyzer = pipeline.finish();
+        analyzer
+            .shards()
+            .iter()
+            .map(|shard| shard.snapshot())
+            .collect::<Vec<_>>()
+    };
+
+    for shards in [1usize, 2, 4, 8] {
+        let broadcast = snapshots(
+            PipelineConfig::with_shards(shards)
+                .batch_size(32)
+                .dispatch(Dispatch::Broadcast),
+        );
+        for routers in [1usize, 2, 4] {
+            let routed = snapshots(
+                PipelineConfig::with_shards(shards)
+                    .batch_size(32)
+                    .routers(routers),
+            );
+            assert_eq!(
+                routed, broadcast,
+                "{routers} routers x {shards} shards diverged from broadcast"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_routers_with_splitting_stay_count_exact() {
+    // Each parallel router owns a private hot-pair tracker that sees a
+    // round-robin 1/R sample of the batch stream; whatever each one
+    // decides, merge-time tally summation must keep frequent_pairs
+    // count-exact against the single-threaded reference — and the hot
+    // pair must still actually get split.
+    let transactions = skewed_transactions();
+    let config = AnalyzerConfig::with_capacity(64 * 1024);
+
+    let mut reference = ReferenceAnalyzer::new(config.clone());
+    for t in &transactions {
+        reference.process(t);
+    }
+    let expected = reference.snapshot().frequent_pairs(1);
+
+    for routers in [1usize, 2, 4] {
+        let split = SplitConfig {
+            hot_fraction: 0.2,
+            warmup: 64,
+            ..SplitConfig::default()
+        };
+        let mut pipeline = IngestPipeline::new(
+            MonitorConfig::default(),
+            config.clone(),
+            PipelineConfig::with_shards(4)
+                .routers(routers)
+                .batch_size(32)
+                .split(split),
+        );
+        for t in &transactions {
+            pipeline.push_transaction(t.clone());
+        }
+        pipeline.flush_batch();
+        // Parallel-router counters are eventually consistent; wait for
+        // the routers to drain before checking that splitting engaged.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let mut split_records = pipeline.stats().split_records;
+        while split_records <= 100 && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            split_records = pipeline.stats().split_records;
+        }
+        assert!(
+            split_records > 100,
+            "{routers} routers: hot pair never split ({split_records} records)"
+        );
+        let pairs = pipeline.finish().snapshot().frequent_pairs(1);
+        assert_eq!(pairs, expected, "split with {routers} routers");
+    }
+}
+
+#[test]
 fn dispatch_modes_agree_under_table_overflow() {
     // Tiny tables force constant eviction; broadcast and routed (split
     // off) must still produce identical per-shard state, so the merged

@@ -25,6 +25,17 @@
 //!   are per-shard (an extent in pairs on two shards is counted on
 //!   both).
 //!
+//! **Multi-router tally merging** (DESIGN.md §9): a parallel routing
+//! front-end runs R routers, each with a *private* hot-pair tracker
+//! that sees only a round-robin `1/R` sample of the batch stream — so
+//! the routers may disagree about which pairs are hot, and a pair may
+//! be split round-robin by one router while another still routes it by
+//! hash. The merge paths here are deliberately agnostic to *who* dealt
+//! each record: with `split_tallies` set, a pair's per-shard partials
+//! are summed wherever they landed, so totals stay count-exact for any
+//! R and any mix of split decisions. The reconciliation rule is just
+//! addition — no router coordination is needed.
+//!
 //! This type is the sequential core; the threaded front-end that feeds
 //! shards through SPSC rings lives in `rtdac-monitor`'s `pipeline`
 //! module.
@@ -419,6 +430,42 @@ mod tests {
         // The front-end's transaction count is authoritative.
         assert_eq!(merged.stats().transactions, 6);
         assert_eq!(merged.stats().pairs, 6);
+    }
+
+    #[test]
+    fn disagreeing_routers_still_sum_exactly() {
+        // Two parallel routers, each tracking hot pairs over its own
+        // 1/R sample, disagree: router A considers `hot` hot and deals
+        // its records round-robin across both shards; router B never
+        // promoted it and keeps routing it by hash to shard 0. The
+        // interleaved result — partials on both shards, unevenly sized
+        // — must still merge to the exact total.
+        let config = AnalyzerConfig::with_capacity(64);
+        let hot = ExtentPair::new(e(1, 1), e(2, 1)).unwrap();
+        let mut shards = ShardedAnalyzer::new(config.clone(), 2).into_shards();
+        // Router A: 4 records split alternately (2 to each shard).
+        for i in 0..4 {
+            shards[i % 2].process_routed(&[e(1, 1), e(2, 1)], &[hot]);
+        }
+        // Router B: 3 records, all hash-routed to shard 0.
+        for _ in 0..3 {
+            shards[0].process_routed(&[e(1, 1), e(2, 1)], &[hot]);
+        }
+
+        let merged = ShardedAnalyzer::from_routed_shards(config, shards, 7, true);
+        assert_eq!(merged.frequent_pairs(1), vec![(hot, 7)]);
+        // The shard-local partials really were uneven (5 + 2).
+        let partials: Vec<u32> = merged
+            .shards()
+            .iter()
+            .map(|s| {
+                s.correlation_table()
+                    .iter()
+                    .map(|(_, tally, _)| tally)
+                    .sum()
+            })
+            .collect();
+        assert_eq!(partials, vec![5, 2]);
     }
 
     #[test]

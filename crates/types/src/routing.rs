@@ -47,6 +47,19 @@ pub fn shard_of_extent(extent: &Extent, shard_count: usize) -> usize {
     shard_for_hash(fx_hash(extent), shard_count)
 }
 
+/// The router worker owning batch number `sequence` when the routed
+/// front-end runs `router_count` parallel routers.
+///
+/// Batches are dealt round-robin, so every router processes a disjoint,
+/// in-order slice of the batch stream, and a shard worker that reads its
+/// per-router rings in `sequence % router_count` order reassembles the
+/// exact global batch order — the invariant the bit-exact multi-router
+/// fan-in rests on (see `rtdac-monitor`'s pipeline docs).
+#[inline]
+pub fn router_for_batch(sequence: u64, router_count: usize) -> usize {
+    (sequence % router_count.max(1) as u64) as usize
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -65,6 +78,19 @@ mod tests {
         }
         assert_eq!(shard_of_pair(&pair, 1), 0);
         assert_eq!(shard_of_extent(&e(1), 1), 0);
+    }
+
+    #[test]
+    fn router_dealing_is_round_robin_and_total() {
+        for routers in [1usize, 2, 4] {
+            for seq in 0..64u64 {
+                let r = router_for_batch(seq, routers);
+                assert!(r < routers);
+                assert_eq!(r, (seq as usize) % routers);
+            }
+        }
+        // Degenerate count never divides by zero.
+        assert_eq!(router_for_batch(7, 0), 0);
     }
 
     #[test]

@@ -9,9 +9,11 @@
 //!   [`rtdac::monitor::spsc`] ring;
 //! * the main thread drives an [`IngestPipeline`]: its monitor front-end
 //!   groups events into transactions with the dynamic 2×-latency window,
-//!   batches them, routes each batch into per-shard work lists (dedup
-//!   and pair hashing happen once, at the front end), and ships each
-//!   shard its list over further SPSC rings;
+//!   batches them, and deals the batches round-robin to two parallel
+//!   router workers; each router dedups and pair-hashes its slice of
+//!   the stream once and ships every shard its per-batch work list over
+//!   further SPSC rings (the shards merge the router rings in sequence
+//!   order, so the result is bit-exact regardless of router count);
 //! * each shard worker owns one partition of the correlation synopsis
 //!   and replays only the work routed to it, so the sharded result
 //!   merges to exactly the single-threaded analyzer's answer —
@@ -30,10 +32,12 @@ use rtdac::workloads::MsrServer;
 
 fn main() {
     let shard_count = 4;
+    let router_count = 2;
     let mut pipeline = IngestPipeline::new(
         MonitorConfig::default(),
         AnalyzerConfig::with_capacity(8 * 1024),
         PipelineConfig::with_shards(shard_count)
+            .routers(router_count)
             .batch_size(64)
             .ring_capacity(32),
     );
@@ -69,7 +73,7 @@ fn main() {
     let monitor_stats = pipeline.monitor().stats();
     let analyzer = pipeline.finish();
 
-    println!("pipeline complete ({shard_count} shards):");
+    println!("pipeline complete ({shard_count} shards, {router_count} routers):");
     println!("  events replayed:        {events}");
     println!("  transactions formed:    {}", monitor_stats.transactions);
     println!(
