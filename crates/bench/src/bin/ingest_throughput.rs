@@ -35,10 +35,20 @@
 //!   opens — building the input is the caller's cost, not the
 //!   pipeline's.
 //!
+//! The **resize sweep** exercises the elastic stage pools: a scripted
+//! grow + shrink mid-stream must leave `frequent_pairs` identical to a
+//! never-resized analyzer (`resize_exact`), and an adaptive run —
+//! starting from 1 shard x 1 router on the skewed stream with the
+//! occupancy-driven controller — must converge within one doubling
+//! step of the best static (S, R) cell on the one-core-per-stage
+//! critical-path grid, without oscillating (no resizes in the final
+//! third of the stream).
+//!
 //! The process exits nonzero when acceptance fails: in full mode every
 //! criterion gates; under `--smoke` timing is meaningless (tiny stream,
-//! 1 rep, shared CI cores) so only the correctness criterion — exact
-//! frequent pairs under splitting — gates.
+//! 1 rep, shared CI cores) so only the correctness criteria — exact
+//! frequent pairs under splitting, and under a scripted mid-stream
+//! grow + shrink — gate.
 //!
 //! Environment / flags: `--smoke` (tiny stream, 1 repetition — CI),
 //! `RTDAC_REQUESTS`, `RTDAC_SEED`, `RTDAC_BENCH_REPEAT` (default 5,
@@ -51,8 +61,8 @@ use std::time::Instant;
 
 use rtdac_bench::support::banner;
 use rtdac_monitor::{
-    Dispatch, IngestPipeline, MonitorConfig, PipelineConfig, RoutedBatch, Router, RouterConfig,
-    SplitConfig, WorkList,
+    ControllerConfig, Dispatch, IngestPipeline, MonitorConfig, PipelineConfig, ResizeEvent,
+    RoutedBatch, Router, RouterConfig, SplitConfig, WorkList,
 };
 use rtdac_synopsis::{AnalyzerConfig, OnlineAnalyzer, ReferenceAnalyzer, ShardedAnalyzer};
 use rtdac_types::Transaction;
@@ -283,6 +293,26 @@ fn main() {
         } else {
             for index in 0..4 {
                 cfgs.push(Cfg::ShardBroadcast(1, 4, index));
+            }
+        }
+    }
+    // Skewed static resize grid (routed_split): stage timings for every
+    // (shards, routers) cell of the sweep — the one-core-per-stage
+    // surface the adaptive controller's final topology is judged
+    // against. The 4-shard single-router cell is already timed by the
+    // load-balance rows above.
+    for shards in SHARD_SWEEP {
+        for routers in ROUTER_SWEEP {
+            for slice in 0..routers {
+                if shards == 4 && routers == 1 {
+                    continue;
+                }
+                cfgs.push(Cfg::Route(1, Mode::RoutedSplit, shards, slice, routers));
+            }
+        }
+        if shards != 4 {
+            for index in 0..shards {
+                cfgs.push(Cfg::ShardRouted(1, Mode::RoutedSplit, shards, index));
             }
         }
     }
@@ -611,11 +641,14 @@ fn main() {
         .expect("skewed split");
     let ratio_routed = work_ratio(skew_routed.routed_ops.as_deref().unwrap_or(&[]));
     let ratio_split = work_ratio(skew_split.routed_ops.as_deref().unwrap_or(&[]));
-    let split_pairs_exact = {
+    let single_pairs = {
         let mut single = OnlineAnalyzer::new(config.clone());
         for t in &skewed.transactions {
             single.process(t);
         }
+        single.snapshot().frequent_pairs(1)
+    };
+    let split_pairs_exact = {
         let mut pipeline = IngestPipeline::new(
             MonitorConfig::default(),
             config.clone(),
@@ -626,9 +659,152 @@ fn main() {
         for t in &skewed.transactions {
             pipeline.push_transaction(t.clone());
         }
-        let split_view = pipeline.finish();
-        split_view.snapshot().frequent_pairs(1) == single.snapshot().frequent_pairs(1)
+        pipeline.finish().snapshot().frequent_pairs(1) == single_pairs
     };
+
+    // (6) Resize correctness: a scripted grow (2s,1r -> 4s,2r) and
+    // shrink (-> 2s,1r) mid-stream, with splitting engaged, must leave
+    // the merged frequent-pair view identical to the single-threaded
+    // analyzer's. This is the correctness gate for the elastic pools
+    // and gates in smoke mode too.
+    let resize_exact = {
+        let mut pipeline = IngestPipeline::new(
+            MonitorConfig::default(),
+            config.clone(),
+            PipelineConfig::with_shards(2)
+                .batch_size(BATCH_SIZE)
+                .ring_capacity(RING_CAPACITY)
+                .split(split_config()),
+        );
+        let third = skewed.transactions.len() / 3;
+        for (i, t) in skewed.transactions.iter().enumerate() {
+            if i == third {
+                pipeline.resize(4, 2);
+            } else if i == 2 * third {
+                pipeline.resize(2, 1);
+            }
+            pipeline.push_transaction(t.clone());
+        }
+        pipeline.finish().snapshot().frequent_pairs(1) == single_pairs
+    };
+
+    // (7) The resize sweep: the adaptive controller, started at the
+    // smallest topology on the skewed stream, must converge to within
+    // one doubling step (per dimension) of a near-best static cell on
+    // the one-core-per-stage critical-path grid — and stop resizing
+    // once it has (no resize events in the final third of the stream).
+    let skew_grid: Vec<(usize, usize, f64)> = SHARD_SWEEP
+        .iter()
+        .flat_map(|&shards| ROUTER_SWEEP.iter().map(move |&routers| (shards, routers)))
+        .map(|(shards, routers)| {
+            let slowest_shard = (0..shards)
+                .map(|index| {
+                    let slot = slot_of(&|c: &Cfg| {
+                        matches!(*c, Cfg::ShardRouted(1, Mode::RoutedSplit, s, i)
+                            if s == shards && i == index)
+                    })
+                    .expect("grid shard slot");
+                    median(slot)
+                })
+                .fold(0.0f64, f64::max);
+            let busiest_route = (0..routers)
+                .map(|slice| {
+                    let slot = slot_of(&|c: &Cfg| {
+                        matches!(*c, Cfg::Route(1, Mode::RoutedSplit, s, sl, rc)
+                            if s == shards && sl == slice && rc == routers)
+                    })
+                    .expect("grid route slot");
+                    median(slot)
+                })
+                .fold(0.0f64, f64::max);
+            (shards, routers, slowest_shard.max(busiest_route))
+        })
+        .collect();
+    let best_static = skew_grid
+        .iter()
+        .copied()
+        .min_by(|a, b| a.2.total_cmp(&b.2))
+        .expect("static grid");
+    // Any cell within 10% of the minimum is "near-best": on a shared
+    // host the bottom of the critical-path surface is flat, and the
+    // controller cannot (and need not) distinguish ties.
+    let near_best: Vec<(usize, usize, f64)> = skew_grid
+        .iter()
+        .copied()
+        .filter(|&(_, _, cp)| cp <= best_static.2 * 1.10)
+        .collect();
+
+    // The adaptive stream is the skewed stream replayed three times:
+    // the controller needs enough observation windows to walk from the
+    // smallest topology to its fixed point *and* demonstrably sit
+    // still there. Tally equivalence is judged against a
+    // single-threaded analyzer fed the identical repeated stream.
+    let adaptive_stream: Vec<Transaction> = {
+        let mut v = Vec::with_capacity(skewed.transactions.len() * 3);
+        for _ in 0..3 {
+            v.extend(skewed.transactions.iter().cloned());
+        }
+        v
+    };
+    let adaptive_stream_events = skewed.events * 3;
+    let adaptive_single_pairs = {
+        let mut single = OnlineAnalyzer::new(config.clone());
+        for t in &adaptive_stream {
+            single.process(t);
+        }
+        single.snapshot().frequent_pairs(1)
+    };
+    let adaptive = {
+        // Small rings make the occupancy signal crisp: a backlogged
+        // shard saturates 8 slots within one window, while a shard
+        // that keeps up leaves only the 1–2 in-flight lists the
+        // producer-side high-water mark always sees — so the shrink
+        // threshold drops below that floor (1/8 = 0.125) to read
+        // genuinely idle rings only.
+        let controller = ControllerConfig {
+            shrink_occupancy: 0.10,
+            ..ControllerConfig::default()
+                .shard_bounds(1, 8)
+                .router_bounds(1, 4)
+                .interval_batches(16)
+                .confirm_windows(2)
+                .cooldown_windows(2)
+        };
+        let mut pipeline = IngestPipeline::new(
+            MonitorConfig::default(),
+            config.clone(),
+            PipelineConfig::with_shards(1)
+                .routers(1)
+                .batch_size(BATCH_SIZE)
+                .ring_capacity(8)
+                .split(split_config())
+                .adaptive(controller),
+        );
+        let start = Instant::now();
+        for t in &adaptive_stream {
+            pipeline.push_transaction(t.clone());
+        }
+        pipeline.flush_batch();
+        let elapsed = start.elapsed().as_secs_f64();
+        let batches = pipeline.stats().batches;
+        let topology = pipeline.topology();
+        let events: Vec<ResizeEvent> = pipeline.resize_events().to_vec();
+        let pairs_exact = pipeline.finish().snapshot().frequent_pairs(1) == adaptive_single_pairs;
+        (elapsed, batches, topology, events, pairs_exact)
+    };
+    let (adaptive_elapsed, adaptive_batches, adaptive_topology, adaptive_events, adaptive_exact) =
+        &adaptive;
+    let within_one_step = |got: usize, want: usize| {
+        let (lo, hi) = if got < want { (got, want) } else { (want, got) };
+        hi <= lo * 2
+    };
+    let adaptive_converged = near_best.iter().any(|&(s, r, _)| {
+        within_one_step(adaptive_topology.shards, s)
+            && within_one_step(adaptive_topology.routers, r)
+    });
+    let adaptive_no_oscillation = adaptive_events
+        .iter()
+        .all(|e| e.batch <= adaptive_batches * 2 / 3);
 
     // (4) The tentpole: at 8 shards the front-end must no longer be the
     // critical path — the best router count's per-router stage time
@@ -699,6 +875,28 @@ fn main() {
          (target < {ROUTED_P99_CEILING_US:.0} µs); inline R=1 max {inline_routed_p99:.1} µs \
          (reported only — caller-thread routing CPU catches 1-CPU scheduler rounds)"
     );
+    println!(
+        "    skewed scripted grow+shrink mid-stream frequent_pairs exact: {resize_exact} \
+         (gates in smoke too)"
+    );
+    println!(
+        "    skewed static grid best cell: {}s x {}r at {:.3} ms critical path \
+         ({} near-best cell(s) within 10%)",
+        best_static.0,
+        best_static.1,
+        best_static.2 * 1e3,
+        near_best.len()
+    );
+    println!(
+        "    skewed adaptive from 1s x 1r: final {} after {} resize(s) over {} batches, \
+         frequent_pairs exact: {}, converged within one step: {}, no late oscillation: {}",
+        adaptive_topology,
+        adaptive_events.len(),
+        adaptive_batches,
+        adaptive_exact,
+        adaptive_converged,
+        adaptive_no_oscillation,
+    );
 
     let acceptance = Acceptance {
         routed_cpu_ratio,
@@ -713,8 +911,31 @@ fn main() {
         speedup_vs_pr2,
         max_routed_p99,
         inline_routed_p99,
+        resize_exact,
+        adaptive_exact: *adaptive_exact,
+        adaptive_converged,
+        adaptive_no_oscillation,
     };
-    let json = render_json(&results, &workloads, seed, repeat, smoke, &acceptance);
+    let resize_sweep = ResizeSweep {
+        static_grid: &skew_grid,
+        best_static,
+        near_best_within: 1.10,
+        adaptive_elapsed: *adaptive_elapsed,
+        adaptive_batches: *adaptive_batches,
+        adaptive_topology: *adaptive_topology,
+        adaptive_events,
+        adaptive_stream_events,
+        skewed_events: skewed.events,
+    };
+    let json = render_json(
+        &results,
+        &workloads,
+        seed,
+        repeat,
+        smoke,
+        &acceptance,
+        &resize_sweep,
+    );
     let out = std::env::var("RTDAC_BENCH_OUT").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest.json").to_string()
     });
@@ -723,9 +944,10 @@ fn main() {
 
     // Gate the build: correctness always; perf criteria only in full
     // mode (under --smoke the stream is tiny and the host is shared, so
-    // timing-based criteria are noise).
+    // timing-based criteria are noise — and the controller has too few
+    // windows to converge).
     let gate_failed = if smoke {
-        !acceptance.split_pairs_exact
+        !(acceptance.split_pairs_exact && acceptance.resize_exact && acceptance.adaptive_exact)
     } else {
         !acceptance.met()
     };
@@ -748,6 +970,10 @@ struct Acceptance {
     speedup_vs_pr2: f64,
     max_routed_p99: f64,
     inline_routed_p99: f64,
+    resize_exact: bool,
+    adaptive_exact: bool,
+    adaptive_converged: bool,
+    adaptive_no_oscillation: bool,
 }
 
 impl Acceptance {
@@ -759,7 +985,27 @@ impl Acceptance {
             && self.frontend_not_critical
             && self.speedup_vs_pr2 >= 1.5
             && self.max_routed_p99 < ROUTED_P99_CEILING_US
+            && self.resize_exact
+            && self.adaptive_exact
+            && self.adaptive_converged
+            && self.adaptive_no_oscillation
     }
+}
+
+/// Everything the resize sweep measured, for the JSON report.
+struct ResizeSweep<'a> {
+    /// (shards, routers, one-core-per-stage critical path secs).
+    static_grid: &'a [(usize, usize, f64)],
+    best_static: (usize, usize, f64),
+    near_best_within: f64,
+    adaptive_elapsed: f64,
+    adaptive_batches: u64,
+    adaptive_topology: rtdac_types::Topology,
+    adaptive_events: &'a [ResizeEvent],
+    /// Events in the (repeated) adaptive stream.
+    adaptive_stream_events: usize,
+    /// Events in the single-pass skewed stream the static grid timed.
+    skewed_events: usize,
 }
 
 fn simple(workload: &'static str, name: &str, events: usize, elapsed_secs: f64) -> Measurement {
@@ -855,6 +1101,7 @@ fn render_json(
     repeat: usize,
     smoke: bool,
     acceptance: &Acceptance,
+    resize_sweep: &ResizeSweep,
 ) -> String {
     let hardware_threads = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -982,6 +1229,75 @@ fn render_json(
         ));
     }
     out.push_str("  ],\n");
+    out.push_str("  \"resize_sweep\": {\n");
+    out.push_str(
+        "    \"notes\": \"static_grid cells are routed_split stage timings on the skewed \
+         stream: critical_path_secs is the slowest independently timed stage (busiest \
+         router 1/R slice or slowest shard apply), the bound with one core per stage; \
+         the adaptive run replays the skewed stream 3x from 1s x 1r with the \
+         occupancy-driven controller (ring 8, interval 16 batches, confirm 2, \
+         cooldown 2, shrink occupancy 0.10, bounds 1-8 shards x 1-4 routers) and is \
+         judged against the near-best static cells (within near_best_fraction of the \
+         minimum critical path)\",\n",
+    );
+    out.push_str("    \"static_grid\": [\n");
+    for (i, (shards, routers, cp)) in resize_sweep.static_grid.iter().enumerate() {
+        let comma = if i + 1 == resize_sweep.static_grid.len() {
+            ""
+        } else {
+            ","
+        };
+        out.push_str(&format!(
+            "      {{\"shards\": {shards}, \"routers\": {routers}, \
+             \"critical_path_secs\": {cp:.6}, \
+             \"events_per_sec_one_core_per_stage\": {:.0}}}{comma}\n",
+            resize_sweep.skewed_events as f64 / cp
+        ));
+    }
+    out.push_str("    ],\n");
+    out.push_str(&format!(
+        "    \"best_static\": {{\"shards\": {}, \"routers\": {}, \
+         \"critical_path_secs\": {:.6}}},\n",
+        resize_sweep.best_static.0, resize_sweep.best_static.1, resize_sweep.best_static.2
+    ));
+    out.push_str(&format!(
+        "    \"near_best_fraction\": {:.2},\n",
+        resize_sweep.near_best_within
+    ));
+    out.push_str("    \"adaptive\": {\n");
+    out.push_str(&format!(
+        "      \"start\": {{\"shards\": 1, \"routers\": 1}},\n      \"final\": \
+         {{\"shards\": {}, \"routers\": {}}},\n",
+        resize_sweep.adaptive_topology.shards, resize_sweep.adaptive_topology.routers
+    ));
+    out.push_str(&format!(
+        "      \"stream_events\": {},\n      \"elapsed_secs\": {:.6},\n      \
+         \"events_per_sec\": {:.0},\n      \"batches\": {},\n",
+        resize_sweep.adaptive_stream_events,
+        resize_sweep.adaptive_elapsed,
+        resize_sweep.adaptive_stream_events as f64 / resize_sweep.adaptive_elapsed,
+        resize_sweep.adaptive_batches
+    ));
+    out.push_str("      \"resizes\": [\n");
+    for (i, e) in resize_sweep.adaptive_events.iter().enumerate() {
+        let comma = if i + 1 == resize_sweep.adaptive_events.len() {
+            ""
+        } else {
+            ","
+        };
+        out.push_str(&format!(
+            "        {{\"batch\": {}, \"from\": \"{}\", \"to\": \"{}\", \
+             \"quiesce_us\": {:.1}, \"reseeded\": {}}}{comma}\n",
+            e.batch,
+            e.from,
+            e.to,
+            e.nanos as f64 / 1e3,
+            e.reseeded
+        ));
+    }
+    out.push_str("      ]\n");
+    out.push_str("    }\n");
+    out.push_str("  },\n");
     out.push_str("  \"acceptance\": {\n");
     out.push_str("    \"criteria\": [\n");
     out.push_str(
@@ -1004,7 +1320,16 @@ fn render_json(
     out.push_str(
         "      \"uniform parallel-router (R >= 2) p99 batch service < 500 us (stalls \
          subtracted); inline R=1 tail reported separately — it measures 1-CPU scheduler \
-         preemption of the caller's in-window routing CPU, not ring wakeup latency\"\n",
+         preemption of the caller's in-window routing CPU, not ring wakeup latency\",\n",
+    );
+    out.push_str(
+        "      \"skewed scripted grow+shrink mid-stream keeps frequent_pairs exact \
+         (gates in smoke too)\",\n",
+    );
+    out.push_str(
+        "      \"skewed adaptive run from 1s x 1r keeps frequent_pairs exact, converges \
+         within one doubling step per dimension of a near-best static cell, and issues \
+         no resizes in the final third of the stream\"\n",
     );
     out.push_str("    ],\n");
     out.push_str(&format!(
@@ -1057,6 +1382,22 @@ fn render_json(
     out.push_str(&format!(
         "    \"uniform_routed_p99_inline_max_us\": {:.2},\n",
         acceptance.inline_routed_p99
+    ));
+    out.push_str(&format!(
+        "    \"resize_grow_shrink_frequent_pairs_exact\": {},\n",
+        acceptance.resize_exact
+    ));
+    out.push_str(&format!(
+        "    \"adaptive_frequent_pairs_exact\": {},\n",
+        acceptance.adaptive_exact
+    ));
+    out.push_str(&format!(
+        "    \"adaptive_converged_within_one_step\": {},\n",
+        acceptance.adaptive_converged
+    ));
+    out.push_str(&format!(
+        "    \"adaptive_no_late_oscillation\": {},\n",
+        acceptance.adaptive_no_oscillation
     ));
     out.push_str(&format!("    \"met\": {}\n", acceptance.met()));
     out.push_str("  }\n}\n");

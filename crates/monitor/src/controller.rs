@@ -1,0 +1,396 @@
+//! The occupancy-driven resize controller for the elastic pipeline.
+//!
+//! An [`AdaptiveController`] turns the stage-pool telemetry the
+//! pipeline already collects — per-shard work-ring high-water marks
+//! and the per-stage busy-time split — into [`Topology`] decisions at
+//! batch boundaries (ROADMAP "Adaptive stage counts", DESIGN.md §11):
+//!
+//! * **Shard dimension** from ring occupancy: sustained high-water
+//!   near capacity means the shard stage cannot drain what the
+//!   front-end routes (grow); rings that stay near-empty mean the
+//!   shard pool is wider than the work (shrink).
+//! * **Router dimension** from the busy-time ratio of the busiest
+//!   router to the busiest shard — the live analogue of the
+//!   `routing_secs` vs `slowest_shard_secs` figures in
+//!   BENCH_ingest.json. A front-end burning as much CPU per window as
+//!   the slowest shard is (or is about to become) the critical path:
+//!   grow R. A front-end far below it wastes fan-in width: shrink R.
+//!
+//! Decisions are pure functions of the sampled window
+//! ([`AdaptiveController::observe`]), so hysteresis is testable
+//! without threads: a change of target must persist for
+//! `confirm_windows` consecutive windows before it is issued, and
+//! after every issued resize the controller ignores `cooldown_windows`
+//! windows entirely — the re-seeded pool gets time to re-establish its
+//! steady state before it is judged. Steps are a factor of two per
+//! dimension per decision, clamped to the configured bounds, so the
+//! controller walks the same power-of-two grid the benchmarks sweep.
+
+use rtdac_types::Topology;
+
+/// Tuning knobs for an [`AdaptiveController`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ControllerConfig {
+    /// Smallest shard count the controller will shrink to.
+    pub min_shards: usize,
+    /// Largest shard count the controller will grow to.
+    pub max_shards: usize,
+    /// Smallest router count the controller will shrink to.
+    pub min_routers: usize,
+    /// Largest router count the controller will grow to.
+    pub max_routers: usize,
+    /// Batches per observation window: the pipeline samples the
+    /// telemetry and calls [`AdaptiveController::observe`] once every
+    /// this many dispatched batches.
+    pub interval_batches: u64,
+    /// Consecutive windows that must agree on the same target before a
+    /// resize is issued (hysteresis against transient spikes).
+    pub confirm_windows: u32,
+    /// Windows ignored after an issued resize, letting the fresh pool
+    /// warm up before it is judged (anti-thrash).
+    pub cooldown_windows: u32,
+    /// Ring-occupancy fraction (window high-water / slot count) at or
+    /// above which the shard pool grows.
+    pub grow_occupancy: f64,
+    /// Ring-occupancy fraction at or below which the shard pool
+    /// shrinks.
+    pub shrink_occupancy: f64,
+    /// Busiest-router / busiest-shard busy-time ratio at or above
+    /// which the router pool grows (the front-end nears the critical
+    /// path).
+    pub grow_router_ratio: f64,
+    /// Busy-time ratio at or below which the router pool shrinks.
+    pub shrink_router_ratio: f64,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            min_shards: 1,
+            max_shards: 8,
+            min_routers: 1,
+            max_routers: 4,
+            interval_batches: 32,
+            confirm_windows: 2,
+            cooldown_windows: 4,
+            grow_occupancy: 0.75,
+            shrink_occupancy: 0.15,
+            grow_router_ratio: 1.0,
+            shrink_router_ratio: 0.35,
+        }
+    }
+}
+
+impl ControllerConfig {
+    /// Sets both shard bounds.
+    pub fn shard_bounds(mut self, min: usize, max: usize) -> Self {
+        assert!(min >= 1 && min <= max, "invalid shard bounds");
+        self.min_shards = min;
+        self.max_shards = max;
+        self
+    }
+
+    /// Sets both router bounds.
+    pub fn router_bounds(mut self, min: usize, max: usize) -> Self {
+        assert!(min >= 1 && min <= max, "invalid router bounds");
+        self.min_routers = min;
+        self.max_routers = max;
+        self
+    }
+
+    /// Sets the observation window length in batches.
+    pub fn interval_batches(mut self, batches: u64) -> Self {
+        assert!(batches > 0, "window must be at least one batch");
+        self.interval_batches = batches;
+        self
+    }
+
+    /// Sets the confirmation-window count (hysteresis).
+    pub fn confirm_windows(mut self, windows: u32) -> Self {
+        assert!(windows > 0, "need at least one confirming window");
+        self.confirm_windows = windows;
+        self
+    }
+
+    /// Sets the post-resize cooldown in windows.
+    pub fn cooldown_windows(mut self, windows: u32) -> Self {
+        self.cooldown_windows = windows;
+        self
+    }
+}
+
+/// One observation window's telemetry, sampled by the pipeline at a
+/// batch boundary. High-water marks are *per window* (the atomics are
+/// swapped to zero at each sample), busy times are the window's
+/// deltas.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WindowSample {
+    /// The topology the window ran under.
+    pub topology: Topology,
+    /// Slot count of each shard work ring (occupancy denominator).
+    pub ring_slots: u64,
+    /// Highest occupancy any shard's work rings reached this window.
+    pub shard_ring_high: u64,
+    /// Busiest single router's busy nanoseconds this window.
+    pub router_busy_nanos: u64,
+    /// Busiest single shard's busy nanoseconds this window.
+    pub shard_busy_nanos: u64,
+}
+
+/// The controller: feed it one [`WindowSample`] per observation window
+/// and apply the [`Topology`] it occasionally returns. See the module
+/// docs for the decision rules.
+#[derive(Clone, Debug)]
+pub struct AdaptiveController {
+    config: ControllerConfig,
+    /// Target awaiting confirmation, with its consecutive-window count.
+    pending: Option<(Topology, u32)>,
+    /// Windows left to ignore after an issued resize.
+    cooldown: u32,
+    /// Resizes issued over the controller's lifetime.
+    resizes_issued: u64,
+}
+
+impl AdaptiveController {
+    /// A controller with the given knobs.
+    pub fn new(config: ControllerConfig) -> Self {
+        assert!(
+            config.min_shards >= 1 && config.min_shards <= config.max_shards,
+            "invalid shard bounds"
+        );
+        assert!(
+            config.min_routers >= 1 && config.min_routers <= config.max_routers,
+            "invalid router bounds"
+        );
+        assert!(
+            config.shrink_occupancy < config.grow_occupancy,
+            "occupancy thresholds must leave a dead band"
+        );
+        assert!(
+            config.shrink_router_ratio < config.grow_router_ratio,
+            "router-ratio thresholds must leave a dead band"
+        );
+        AdaptiveController {
+            config,
+            pending: None,
+            cooldown: 0,
+            resizes_issued: 0,
+        }
+    }
+
+    /// The configuration the controller was built with.
+    pub fn config(&self) -> &ControllerConfig {
+        &self.config
+    }
+
+    /// Resizes issued so far.
+    pub fn resizes_issued(&self) -> u64 {
+        self.resizes_issued
+    }
+
+    /// Observes one window and decides. Returns the new topology to
+    /// apply, or `None` to stay put. The caller must actually apply a
+    /// returned topology (the controller assumes it took effect and
+    /// enters cooldown).
+    pub fn observe(&mut self, sample: &WindowSample) -> Option<Topology> {
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            return None;
+        }
+        let target = self.target_for(sample);
+        if target == sample.topology {
+            self.pending = None;
+            return None;
+        }
+        let confirmations = match self.pending {
+            Some((pending, count)) if pending == target => count + 1,
+            _ => 1,
+        };
+        if confirmations >= self.config.confirm_windows {
+            self.pending = None;
+            self.cooldown = self.config.cooldown_windows;
+            self.resizes_issued += 1;
+            Some(target)
+        } else {
+            self.pending = Some((target, confirmations));
+            None
+        }
+    }
+
+    /// The raw (unhysteresized) target for one window's readings.
+    fn target_for(&self, sample: &WindowSample) -> Topology {
+        let Topology { shards, routers } = sample.topology;
+        let cfg = &self.config;
+
+        let occupancy = if sample.ring_slots == 0 {
+            0.0
+        } else {
+            sample.shard_ring_high as f64 / sample.ring_slots as f64
+        };
+        let shards = if occupancy >= cfg.grow_occupancy {
+            (shards * 2).min(cfg.max_shards)
+        } else if occupancy <= cfg.shrink_occupancy {
+            (shards / 2).max(cfg.min_shards)
+        } else {
+            shards
+        }
+        .clamp(cfg.min_shards, cfg.max_shards);
+
+        // An idle window (no busy time recorded on either stage) gives
+        // no routing signal; hold R rather than react to silence.
+        let routers = if sample.shard_busy_nanos == 0 {
+            routers
+        } else {
+            let ratio = sample.router_busy_nanos as f64 / sample.shard_busy_nanos as f64;
+            if ratio >= cfg.grow_router_ratio {
+                (routers * 2).min(cfg.max_routers)
+            } else if ratio <= cfg.shrink_router_ratio {
+                (routers / 2).max(cfg.min_routers)
+            } else {
+                routers
+            }
+        }
+        .clamp(cfg.min_routers, cfg.max_routers);
+
+        Topology { shards, routers }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller() -> AdaptiveController {
+        AdaptiveController::new(ControllerConfig::default())
+    }
+
+    fn sample(topology: Topology, high: u64, router_busy: u64, shard_busy: u64) -> WindowSample {
+        WindowSample {
+            topology,
+            ring_slots: 8,
+            shard_ring_high: high,
+            router_busy_nanos: router_busy,
+            shard_busy_nanos: shard_busy,
+        }
+    }
+
+    #[test]
+    fn saturated_rings_grow_shards_after_confirmation() {
+        let mut c = controller();
+        let t = Topology::new(2, 1);
+        let saturated = sample(t, 8, 100, 1_000);
+        // First window only registers the pending target ...
+        assert_eq!(c.observe(&saturated), None);
+        // ... the confirming window issues the doubling.
+        assert_eq!(c.observe(&saturated), Some(Topology::new(4, 1)));
+        assert_eq!(c.resizes_issued(), 1);
+    }
+
+    #[test]
+    fn empty_rings_shrink_shards() {
+        let mut c = controller();
+        let t = Topology::new(4, 1);
+        let idle = sample(t, 0, 100, 1_000);
+        assert_eq!(c.observe(&idle), None);
+        assert_eq!(c.observe(&idle), Some(Topology::new(2, 1)));
+    }
+
+    #[test]
+    fn mid_band_occupancy_holds_steady() {
+        let mut c = controller();
+        let t = Topology::new(4, 2);
+        let comfortable = sample(t, 4, 500, 1_000);
+        for _ in 0..10 {
+            assert_eq!(c.observe(&comfortable), None);
+        }
+        assert_eq!(c.resizes_issued(), 0);
+    }
+
+    #[test]
+    fn router_ratio_drives_router_dimension() {
+        let mut c = controller();
+        let t = Topology::new(4, 1);
+        // Router as busy as the slowest shard: front-end is critical.
+        let router_bound = sample(t, 4, 1_000, 1_000);
+        assert_eq!(c.observe(&router_bound), None);
+        assert_eq!(c.observe(&router_bound), Some(Topology::new(4, 2)));
+
+        let mut c = controller();
+        let t = Topology::new(4, 4);
+        // Router nearly idle relative to shards: fan-in width wasted.
+        let router_idle = sample(t, 4, 100, 1_000);
+        assert_eq!(c.observe(&router_idle), None);
+        assert_eq!(c.observe(&router_idle), Some(Topology::new(4, 2)));
+    }
+
+    #[test]
+    fn both_dimensions_can_move_in_one_decision() {
+        let mut c = controller();
+        let t = Topology::new(2, 1);
+        let overloaded = sample(t, 8, 2_000, 1_000);
+        assert_eq!(c.observe(&overloaded), None);
+        assert_eq!(c.observe(&overloaded), Some(Topology::new(4, 2)));
+    }
+
+    #[test]
+    fn bounds_clamp_growth_and_shrink() {
+        let mut c = AdaptiveController::new(
+            ControllerConfig::default()
+                .shard_bounds(2, 4)
+                .router_bounds(1, 2),
+        );
+        let at_max = Topology::new(4, 2);
+        let overloaded = sample(at_max, 8, 2_000, 1_000);
+        for _ in 0..5 {
+            assert_eq!(c.observe(&overloaded), None, "already at max");
+        }
+        let at_min = Topology::new(2, 1);
+        let idle = sample(at_min, 0, 100, 1_000);
+        for _ in 0..5 {
+            assert_eq!(c.observe(&idle), None, "already at min");
+        }
+    }
+
+    #[test]
+    fn flapping_signal_never_confirms() {
+        let mut c = controller();
+        let t = Topology::new(4, 1);
+        let high = sample(t, 8, 100, 1_000);
+        let mid = sample(t, 4, 100, 1_000);
+        for _ in 0..8 {
+            assert_eq!(c.observe(&high), None);
+            assert_eq!(c.observe(&mid), None); // resets the pending streak
+        }
+        assert_eq!(c.resizes_issued(), 0);
+    }
+
+    #[test]
+    fn cooldown_swallows_windows_after_a_resize() {
+        let mut c = controller();
+        let t = Topology::new(2, 1);
+        let saturated = sample(t, 8, 100, 1_000);
+        c.observe(&saturated);
+        assert_eq!(c.observe(&saturated), Some(Topology::new(4, 1)));
+        // The next cooldown_windows samples are ignored even though
+        // they would otherwise demand another grow.
+        let still_saturated = sample(Topology::new(4, 1), 8, 100, 1_000);
+        for _ in 0..4 {
+            assert_eq!(c.observe(&still_saturated), None);
+        }
+        // After cooldown the streak restarts from scratch.
+        assert_eq!(c.observe(&still_saturated), None);
+        assert_eq!(c.observe(&still_saturated), Some(Topology::new(8, 1)));
+    }
+
+    #[test]
+    fn idle_window_gives_no_router_signal() {
+        let mut c = controller();
+        let t = Topology::new(4, 4);
+        // No shard busy time at all: router ratio is undefined; only
+        // the occupancy rule may act.
+        let silent = sample(t, 4, 0, 0);
+        for _ in 0..5 {
+            assert_eq!(c.observe(&silent), None);
+        }
+    }
+}

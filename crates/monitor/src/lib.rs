@@ -31,13 +31,15 @@
 //! [`Transaction`]: rtdac_types::Transaction
 
 pub mod blktrace;
+mod controller;
 mod ewma;
 mod monitor;
 mod pipeline;
 mod router;
 pub mod spsc;
 
+pub use controller::{AdaptiveController, ControllerConfig, WindowSample};
 pub use ewma::LatencyEwma;
 pub use monitor::{Monitor, MonitorConfig, MonitorStats, WindowPolicy};
-pub use pipeline::{Dispatch, IngestPipeline, PipelineConfig, PipelineStats};
+pub use pipeline::{Dispatch, IngestPipeline, PipelineConfig, PipelineStats, ResizeEvent};
 pub use router::{RoutedBatch, Router, RouterConfig, RouterStats, SplitConfig, WorkList};

@@ -54,9 +54,37 @@
 //! [`PipelineStats::routing_stall_nanos`] — both are queueing delay,
 //! not service time.
 //!
+//! # Elastic stage pools
+//!
+//! The router and shard stages live in a *stage pool* that can be
+//! resized online (routed dispatch only). [`IngestPipeline::resize`]
+//! runs the **quiesce → snapshot → re-seed** protocol at a batch
+//! boundary:
+//!
+//! 1. **Quiesce** — the open batch is flushed and the front-end's
+//!    senders are dropped. The batch sequence counter is monotone, so a
+//!    closed-and-empty ring is a barrier: routers drain every dispatched
+//!    batch and exit, which closes the shard rings; shard workers drain
+//!    to the same barrier and return their [`OnlineAnalyzer`]s.
+//! 2. **Snapshot / re-seed** — if the shard count changes, the shard
+//!    tables are drained into a partition-invariant
+//!    [`SynopsisSnapshot`](rtdac_synopsis::SynopsisSnapshot) and
+//!    re-seeded across the new shard count (same tally-summing merge
+//!    rule as the final `ShardedAnalyzer` merge, so `frequent_pairs`
+//!    is count-identical to never having resized). A router-only
+//!    resize is the cheap path: no table state moves — only the dealing
+//!    modulus and the fan-in width change.
+//! 3. **Re-spawn** — a fresh pool is spawned at the new topology, with
+//!    every return ring prefilled to the new forward bound, so the
+//!    zero-allocation steady state is re-established immediately.
+//!
+//! Resizes can be issued manually or by an
+//! [`AdaptiveController`](crate::AdaptiveController) watching the ring
+//! high-water marks and the per-stage busy split that
+//! [`PipelineStats`] now exposes (see [`PipelineConfig::adaptive`]).
+//!
 //! [`IngestPipeline::finish`] flushes the monitor and the open batch,
-//! closes the rings (routers, then shards, drain and exit) and
-//! reassembles the shards into a
+//! quiesces the pool the same way and reassembles the shards into a
 //! [`ShardedAnalyzer`](rtdac_synopsis::ShardedAnalyzer) for querying —
 //! with splitting off, results are identical to feeding the same events
 //! through the single-threaded [`OnlineAnalyzer`]; with splitting on,
@@ -87,6 +115,8 @@
 //!         ));
 //!     }
 //! }
+//! // Grow the pool mid-stream: state is re-seeded, results unchanged.
+//! pipeline.resize(4, 1);
 //! let analyzer = pipeline.finish();
 //! assert_eq!(analyzer.frequent_pairs(50).len(), 1);
 //! ```
@@ -100,11 +130,12 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use rtdac_synopsis::{AnalyzerConfig, ShardedAnalyzer};
-use rtdac_types::{router_for_batch, IoEvent, Transaction};
+use rtdac_synopsis::{AnalyzerConfig, OnlineAnalyzer, ShardedAnalyzer, SynopsisSnapshot};
+use rtdac_types::{router_for_batch, IoEvent, Topology, Transaction};
 
+use crate::controller::{AdaptiveController, ControllerConfig, WindowSample};
 use crate::monitor::{Monitor, MonitorConfig};
-use crate::router::{Router, RouterConfig, RouterStats, SplitConfig, WorkList};
+use crate::router::{Router, RouterConfig, SplitConfig, WorkList};
 use crate::spsc;
 
 /// How the front-end hands work to the shards.
@@ -131,7 +162,9 @@ impl Default for Dispatch {
 
 /// Shape of the parallel pipeline: how many shards and routers, how
 /// transactions are batched, how deep each ring is, and how work is
-/// dispatched.
+/// dispatched. `shard_count` and `routers` are the *initial* topology;
+/// [`IngestPipeline::resize`] (or an attached controller) can change
+/// the live topology later.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PipelineConfig {
     /// Number of shard worker threads.
@@ -150,6 +183,10 @@ pub struct PipelineConfig {
     pub ring_capacity: usize,
     /// Dispatch mode (default: routed, no splitting).
     pub dispatch: Dispatch,
+    /// Occupancy-driven resize controller; `None` (the default) keeps
+    /// the topology fixed unless [`IngestPipeline::resize`] is called.
+    /// Requires routed dispatch.
+    pub controller: Option<ControllerConfig>,
 }
 
 impl PipelineConfig {
@@ -168,6 +205,7 @@ impl PipelineConfig {
             batch_size: 64,
             ring_capacity: 64,
             dispatch: Dispatch::default(),
+            controller: None,
         }
     }
 
@@ -219,6 +257,13 @@ impl PipelineConfig {
     pub fn split(self, split: SplitConfig) -> Self {
         self.dispatch(Dispatch::Routed { split: Some(split) })
     }
+
+    /// Attaches an occupancy-driven [`AdaptiveController`] that resizes
+    /// the stage pool at batch boundaries.
+    pub fn adaptive(mut self, controller: ControllerConfig) -> Self {
+        self.controller = Some(controller);
+        self
+    }
 }
 
 impl Default for PipelineConfig {
@@ -227,7 +272,13 @@ impl Default for PipelineConfig {
     }
 }
 
-/// Lifetime counters of an [`IngestPipeline`]'s front-end.
+/// Counters of an [`IngestPipeline`]'s front-end.
+///
+/// Scalar fields are **cumulative** over the pipeline's lifetime,
+/// across resizes. Per-stage vectors (`routed_*`, `*_highwater`,
+/// `*_busy_nanos`) are **epoch-local**: they describe the current
+/// topology only and reset when the pool is resized (their lengths
+/// always match the live shard/router counts).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct PipelineStats {
     /// Transactions enqueued toward the shards.
@@ -251,15 +302,61 @@ pub struct PipelineStats {
     pub routing_stall_nanos: u64,
     /// Routed dispatch only: transactions routed to each shard (a
     /// transaction counts for every shard that received at least one of
-    /// its records). Empty under broadcast.
+    /// its records) since the last resize. Empty under broadcast.
     pub routed_transactions: Vec<u64>,
     /// Routed dispatch only: table records (items + pairs) routed to
-    /// each shard — the deterministic per-shard work metric. Empty under
-    /// broadcast.
+    /// each shard since the last resize — the deterministic per-shard
+    /// work metric. Empty under broadcast.
     pub routed_ops: Vec<u64>,
     /// Pair records dealt round-robin by hot-pair splitting (0 without
     /// splitting).
     pub split_records: u64,
+    /// Resizes applied so far (manual and controller-issued).
+    pub resizes: u64,
+    /// Total nanoseconds spent inside resizes (quiesce + re-seed +
+    /// re-spawn) — the stream is paused for this long in total.
+    pub resize_nanos: u64,
+    /// Slot count of every work ring (the occupancy denominator for
+    /// the high-water marks below): the configured `ring_capacity`
+    /// rounded up to a power of two.
+    pub ring_slots: u64,
+    /// Per shard: the highest occupancy any of its work rings reached
+    /// since the last resize, sampled producer-side after every send.
+    /// A value at `ring_slots` means the shard saturated and applied
+    /// backpressure — the controller's grow signal.
+    pub shard_ring_highwater: Vec<u64>,
+    /// Per router (parallel routing only): the highest occupancy its
+    /// batch ring reached since the last resize. Empty with an inline
+    /// router or under broadcast.
+    pub batch_ring_highwater: Vec<u64>,
+    /// Per router: nanoseconds spent routing (service time, stall time
+    /// excluded) since the last resize. The busy half of the routing
+    /// stage's busy/stall split; the stall half is
+    /// `routing_stall_nanos` (or `stall_nanos` for an inline router).
+    pub router_busy_nanos: Vec<u64>,
+    /// Per shard: nanoseconds spent applying work (service time; ring
+    /// waits excluded) since the last resize. The busy half of the
+    /// shard stage's busy/stall split; the stall side of a slow shard
+    /// shows up as its ring high-water mark and the producers' stall
+    /// counters.
+    pub shard_busy_nanos: Vec<u64>,
+}
+
+/// One applied resize: when, from what, to what, and how long the
+/// stream was paused for it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResizeEvent {
+    /// Batches dispatched before the resize took effect.
+    pub batch: u64,
+    /// Topology before.
+    pub from: Topology,
+    /// Topology after.
+    pub to: Topology,
+    /// Wall nanoseconds of the quiesce → re-seed → re-spawn window.
+    pub nanos: u64,
+    /// Whether shard tables were drained and re-seeded (`false` for a
+    /// router-only resize — the cheap path where no table state moves).
+    pub reseeded: bool,
 }
 
 type Batch = Arc<Vec<Transaction>>;
@@ -273,26 +370,46 @@ enum ShardWork {
     Routed(WorkList),
 }
 
-/// Live counters shared between parallel router workers and
+/// Live counters shared between the pool's workers and
 /// [`IngestPipeline::stats`]. Eventually consistent while the pipeline
-/// runs (each router publishes after routing a batch); the exact totals
-/// come from the routers' own [`RouterStats`], merged at `finish`.
-struct RouterCounters {
+/// runs (each worker publishes at batch granularity) and exact once
+/// the pool quiesces. One instance per pool epoch: vectors are sized
+/// to the epoch's topology.
+struct PoolCounters {
     routed_transactions: Vec<AtomicU64>,
     routed_ops: Vec<AtomicU64>,
     split_records: AtomicU64,
     routing_stalls: AtomicU64,
     routing_stall_nanos: AtomicU64,
+    /// Per shard: high-water occupancy of its work rings, sampled
+    /// producer-side after each send. Swapped to zero by the
+    /// controller's window sampler (the epoch maximum is folded into
+    /// `StagePool::highwater_fold`).
+    shard_ring_high: Vec<AtomicU64>,
+    /// Per router (parallel routing): high-water occupancy of its
+    /// batch ring.
+    batch_ring_high: Vec<AtomicU64>,
+    /// Per router: cumulative busy (service) nanoseconds this epoch.
+    router_busy_nanos: Vec<AtomicU64>,
+    /// Per shard: cumulative busy (service) nanoseconds this epoch.
+    shard_busy_nanos: Vec<AtomicU64>,
 }
 
-impl RouterCounters {
-    fn new(shard_count: usize) -> Self {
-        RouterCounters {
-            routed_transactions: (0..shard_count).map(|_| AtomicU64::new(0)).collect(),
-            routed_ops: (0..shard_count).map(|_| AtomicU64::new(0)).collect(),
+impl PoolCounters {
+    /// `router_slots` is the router-stage width (0 under broadcast,
+    /// which has no routing stage).
+    fn new(shard_count: usize, router_slots: usize) -> Self {
+        let zeros = |n: usize| (0..n).map(|_| AtomicU64::new(0)).collect::<Vec<_>>();
+        PoolCounters {
+            routed_transactions: zeros(shard_count),
+            routed_ops: zeros(shard_count),
             split_records: AtomicU64::new(0),
             routing_stalls: AtomicU64::new(0),
             routing_stall_nanos: AtomicU64::new(0),
+            shard_ring_high: zeros(shard_count),
+            batch_ring_high: zeros(router_slots),
+            router_busy_nanos: zeros(router_slots),
+            shard_busy_nanos: zeros(shard_count),
         }
     }
 }
@@ -328,7 +445,6 @@ struct ParallelRouting {
     batch_senders: Vec<spsc::Sender<Vec<Transaction>>>,
     batch_returns: Vec<spsc::Receiver<Vec<Transaction>>>,
     handles: Vec<JoinHandle<Router>>,
-    counters: Arc<RouterCounters>,
 }
 
 /// Sends one item, separating ring-full backpressure from the fast
@@ -355,17 +471,19 @@ fn send_counting_stalls<T: Send>(
 /// shard, empty or not, because the sequence-ordered fan-in consumes
 /// exactly one entry per batch per ring.
 fn router_worker(
+    index: usize,
     mut router: Router,
     batches: spsc::Receiver<Vec<Transaction>>,
     batch_return: spsc::Sender<Vec<Transaction>>,
     work_senders: Vec<spsc::Sender<ShardWork>>,
     work_returns: Vec<spsc::Receiver<WorkList>>,
-    counters: Arc<RouterCounters>,
+    counters: Arc<PoolCounters>,
 ) -> Router {
     let shard_count = work_senders.len();
     let mut staged: Vec<WorkList> = (0..shard_count).map(|_| WorkList::default()).collect();
     let mut reported_splits = 0u64;
     while let Some(mut batch) = batches.recv() {
+        let started = Instant::now();
         router.route_into(&batch, &mut staged);
         batch.clear();
         // Hand the emptied batch buffer back to the front-end; if the
@@ -388,6 +506,7 @@ fn router_worker(
                 &mut stalls,
                 &mut stall_nanos,
             );
+            counters.shard_ring_high[shard].fetch_max(sender.occupancy() as u64, Ordering::Relaxed);
         }
         if stalls > 0 {
             counters.routing_stalls.fetch_add(stalls, Ordering::Relaxed);
@@ -400,39 +519,53 @@ fn router_worker(
             .split_records
             .fetch_add(splits - reported_splits, Ordering::Relaxed);
         reported_splits = splits;
+        // Busy = service time: the batch window minus time blocked on
+        // full shard rings (that part is queueing, charged above).
+        let busy = (started.elapsed().as_nanos() as u64).saturating_sub(stall_nanos);
+        counters.router_busy_nanos[index].fetch_add(busy, Ordering::Relaxed);
     }
     router
 }
 
-/// The multi-threaded ingestion pipeline: monitor front-end, routed (or
-/// broadcast) batches over SPSC rings, one synopsis shard per worker
-/// thread — and, with [`PipelineConfig::routers`] `>= 2`, a pool of
-/// parallel router workers between the two.
-pub struct IngestPipeline {
-    monitor: Monitor,
-    analyzer_config: AnalyzerConfig,
-    shard_count: usize,
-    batch_size: usize,
-    batch: Vec<Transaction>,
+/// One epoch of the elastic worker pools: the routers and shard
+/// workers for a fixed topology, their shared counters, and the
+/// per-epoch batch sequence. [`IngestPipeline::resize`] quiesces the
+/// current pool and spawns a fresh one.
+struct StagePool {
     front_end: FrontEnd,
-    /// Whether merged tallies must be summed per pair (splitting was
-    /// enabled, so a pair's tally may be spread across shards).
-    split_tallies: bool,
-    workers: Vec<JoinHandle<rtdac_synopsis::OnlineAnalyzer>>,
-    stats: PipelineStats,
+    workers: Vec<JoinHandle<OnlineAnalyzer>>,
+    counters: Arc<PoolCounters>,
+    /// Slot count of every work ring this epoch.
+    ring_slots: u64,
+    /// Batches dispatched this epoch: the dealing sequence for
+    /// `router_for_batch` and the shard fan-in. Restarts at zero each
+    /// epoch so the round-robin merge starts aligned for any new R.
+    sequence: u64,
+    /// Batches dispatched since the last controller window sample.
+    window_batches: u64,
+    /// Epoch-maximum ring high-water marks, folded in when the window
+    /// sampler swaps the live atomics to zero (so `stats()` stays an
+    /// epoch maximum even with a controller sampling windows).
+    highwater_fold: Vec<u64>,
+    /// Cumulative busy nanos at the last window sample, per router.
+    prev_router_busy: Vec<u64>,
+    /// Cumulative busy nanos at the last window sample, per shard.
+    prev_shard_busy: Vec<u64>,
 }
 
-impl IngestPipeline {
-    /// Builds the pipeline and spawns one worker thread per shard (plus
-    /// one per router when `routers >= 2` under routed dispatch).
-    pub fn new(
-        monitor_config: MonitorConfig,
-        analyzer_config: AnalyzerConfig,
-        pipeline_config: PipelineConfig,
+impl StagePool {
+    /// Spawns the router and shard workers for one topology epoch,
+    /// seeding the shard workers with `shards` (fresh ones at
+    /// construction, re-seeded ones after a resize). Every return ring
+    /// is prefilled to the forward bound so the pool is allocation-free
+    /// from its very first batch.
+    fn spawn(
+        shards: Vec<OnlineAnalyzer>,
+        pipeline_config: &PipelineConfig,
+        analyzer_config: &AnalyzerConfig,
     ) -> Self {
-        let shard_count = pipeline_config.shard_count;
-        assert!(shard_count > 0, "need at least one shard");
-        assert!(pipeline_config.routers > 0, "need at least one router");
+        let shard_count = shards.len();
+        debug_assert_eq!(shard_count, pipeline_config.shard_count);
         let routed = matches!(&pipeline_config.dispatch, Dispatch::Routed { .. });
         // Broadcast has a single feeder regardless of the router knob.
         let feeders = if routed { pipeline_config.routers } else { 1 };
@@ -455,11 +588,10 @@ impl IngestPipeline {
         let forward_bound = ring_capacity.next_power_of_two() + 2;
         let return_capacity = ring_capacity.next_power_of_two() * 2 + 2;
 
-        let split_tallies = matches!(
-            &pipeline_config.dispatch,
-            Dispatch::Routed { split: Some(_) }
-        );
-        let shards = ShardedAnalyzer::new(analyzer_config.clone(), shard_count).into_shards();
+        let counters = Arc::new(PoolCounters::new(
+            shard_count,
+            if routed { feeders } else { 0 },
+        ));
 
         // Channel matrix: one work ring per (feeder, shard), and in
         // routed mode a matching return ring recycling cleared lists.
@@ -487,6 +619,7 @@ impl IngestPipeline {
                     ret_rx[feeder].push(return_rx);
                 }
             }
+            let worker_counters = Arc::clone(&counters);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("rtdac-shard-{index}"))
@@ -498,7 +631,8 @@ impl IngestPipeline {
                         // ring at the expected slot means batch n was
                         // never dispatched; the sequence counter is
                         // monotone, so no later batch exists anywhere
-                        // and the worker is done.
+                        // and the worker is done — this is the quiesce
+                        // barrier the resize protocol drains to.
                         let feeders = rings.len();
                         let mut next = 0usize;
                         loop {
@@ -506,6 +640,7 @@ impl IngestPipeline {
                             let Some(work) = rings[ring].recv() else {
                                 break;
                             };
+                            let started = Instant::now();
                             match work {
                                 ShardWork::Broadcast(batch) => {
                                     for transaction in batch.iter() {
@@ -521,6 +656,8 @@ impl IngestPipeline {
                                     let _ = returns[ring].try_send(work);
                                 }
                             }
+                            worker_counters.shard_busy_nanos[index]
+                                .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
                             next += 1;
                         }
                         shard
@@ -545,7 +682,6 @@ impl IngestPipeline {
                         staged: (0..shard_count).map(|_| WorkList::default()).collect(),
                     }))
                 } else {
-                    let counters = Arc::new(RouterCounters::new(shard_count));
                     let mut batch_senders = Vec::with_capacity(feeders);
                     let mut batch_returns = Vec::with_capacity(feeders);
                     let mut handles = Vec::with_capacity(feeders);
@@ -574,6 +710,7 @@ impl IngestPipeline {
                                 .name(format!("rtdac-router-{index}"))
                                 .spawn(move || {
                                     router_worker(
+                                        index,
                                         router,
                                         batch_rx,
                                         return_tx,
@@ -589,22 +726,175 @@ impl IngestPipeline {
                         batch_senders,
                         batch_returns,
                         handles,
-                        counters,
                     })
                 }
             }
         };
 
+        let router_slots = counters.router_busy_nanos.len();
+        StagePool {
+            front_end,
+            workers,
+            counters,
+            ring_slots: ring_capacity.next_power_of_two() as u64,
+            sequence: 0,
+            window_batches: 0,
+            highwater_fold: vec![0; shard_count],
+            prev_router_busy: vec![0; router_slots],
+            prev_shard_busy: vec![0; shard_count],
+        }
+    }
+
+    /// Drains the pool to the sequence barrier and returns the shard
+    /// analyzers. Dropping the front-end closes the batch rings;
+    /// routers route everything already dispatched and exit, which
+    /// closes the shard rings; shard workers apply everything and
+    /// return their state. Routing-stage scalars are folded into
+    /// `stats`' cumulative base; per-stage vectors die with the epoch.
+    fn quiesce(self, stats: &mut PipelineStats) -> Vec<OnlineAnalyzer> {
+        let StagePool {
+            front_end,
+            workers,
+            counters,
+            ..
+        } = self;
+        match front_end {
+            FrontEnd::Broadcast { senders } => drop(senders),
+            FrontEnd::Inline(routing) => {
+                let split_records = routing.router.stats().split_records;
+                // Dropping the routing state closes the shard rings.
+                drop(routing);
+                stats.split_records += split_records;
+            }
+            FrontEnd::Parallel(routing) => {
+                // Closing the batch rings drains the routers; router
+                // exit closes the shard rings. After the join the live
+                // atomics are exact.
+                drop(routing.batch_senders);
+                drop(routing.batch_returns);
+                for handle in routing.handles {
+                    handle.join().expect("router worker panicked");
+                }
+                stats.routing_stalls += counters.routing_stalls.load(Ordering::Relaxed);
+                stats.routing_stall_nanos += counters.routing_stall_nanos.load(Ordering::Relaxed);
+                stats.split_records += counters.split_records.load(Ordering::Relaxed);
+            }
+        }
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("shard worker panicked"))
+            .collect()
+    }
+
+    /// Samples one controller window: swaps the ring high-water marks
+    /// to zero (folding the epoch maximum aside for `stats()`) and
+    /// takes the busy-time deltas since the previous sample, reduced to
+    /// the busiest single ring / router / shard.
+    fn sample_window(&mut self, topology: Topology) -> WindowSample {
+        let mut shard_ring_high = 0u64;
+        for (fold, live) in self
+            .highwater_fold
+            .iter_mut()
+            .zip(&self.counters.shard_ring_high)
+        {
+            let window = live.swap(0, Ordering::Relaxed);
+            *fold = (*fold).max(window);
+            shard_ring_high = shard_ring_high.max(window);
+        }
+        let mut router_busy_nanos = 0u64;
+        for (prev, live) in self
+            .prev_router_busy
+            .iter_mut()
+            .zip(&self.counters.router_busy_nanos)
+        {
+            let total = live.load(Ordering::Relaxed);
+            router_busy_nanos = router_busy_nanos.max(total - *prev);
+            *prev = total;
+        }
+        let mut shard_busy_nanos = 0u64;
+        for (prev, live) in self
+            .prev_shard_busy
+            .iter_mut()
+            .zip(&self.counters.shard_busy_nanos)
+        {
+            let total = live.load(Ordering::Relaxed);
+            shard_busy_nanos = shard_busy_nanos.max(total - *prev);
+            *prev = total;
+        }
+        WindowSample {
+            topology,
+            ring_slots: self.ring_slots,
+            shard_ring_high,
+            router_busy_nanos,
+            shard_busy_nanos,
+        }
+    }
+}
+
+/// The multi-threaded ingestion pipeline: monitor front-end, routed (or
+/// broadcast) batches over SPSC rings, one synopsis shard per worker
+/// thread — and, with [`PipelineConfig::routers`] `>= 2`, a pool of
+/// parallel router workers between the two. The router and shard pools
+/// are elastic: see [`IngestPipeline::resize`] and the module docs.
+pub struct IngestPipeline {
+    monitor: Monitor,
+    analyzer_config: AnalyzerConfig,
+    /// Live configuration: `shard_count` and `routers` track the
+    /// current topology across resizes.
+    config: PipelineConfig,
+    batch: Vec<Transaction>,
+    /// The current pool epoch; `None` only transiently inside
+    /// resize/finish (never observed by callers).
+    pool: Option<StagePool>,
+    /// Whether merged tallies must be summed per pair (splitting was
+    /// enabled, so a pair's tally may be spread across shards).
+    split_tallies: bool,
+    controller: Option<AdaptiveController>,
+    stats: PipelineStats,
+    resize_events: Vec<ResizeEvent>,
+}
+
+impl IngestPipeline {
+    /// Builds the pipeline and spawns one worker thread per shard (plus
+    /// one per router when `routers >= 2` under routed dispatch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a controller is configured with broadcast dispatch
+    /// (only the routed pool is resizable).
+    pub fn new(
+        monitor_config: MonitorConfig,
+        analyzer_config: AnalyzerConfig,
+        pipeline_config: PipelineConfig,
+    ) -> Self {
+        assert!(pipeline_config.shard_count > 0, "need at least one shard");
+        assert!(pipeline_config.routers > 0, "need at least one router");
+        let routed = matches!(&pipeline_config.dispatch, Dispatch::Routed { .. });
+        assert!(
+            routed || pipeline_config.controller.is_none(),
+            "the adaptive controller requires routed dispatch"
+        );
+        let split_tallies = matches!(
+            &pipeline_config.dispatch,
+            Dispatch::Routed { split: Some(_) }
+        );
+        let shards = ShardedAnalyzer::new(analyzer_config.clone(), pipeline_config.shard_count)
+            .into_shards();
+        let pool = StagePool::spawn(shards, &pipeline_config, &analyzer_config);
+        let controller = pipeline_config
+            .controller
+            .clone()
+            .map(AdaptiveController::new);
         IngestPipeline {
             monitor: Monitor::new(monitor_config),
             analyzer_config,
-            shard_count,
-            batch_size: pipeline_config.batch_size,
             batch: Vec::with_capacity(pipeline_config.batch_size),
-            front_end,
+            config: pipeline_config,
+            pool: Some(pool),
             split_tallies,
-            workers,
+            controller,
             stats: PipelineStats::default(),
+            resize_events: Vec::new(),
         }
     }
 
@@ -625,7 +915,7 @@ impl IngestPipeline {
     fn enqueue(&mut self, transaction: Transaction) {
         self.stats.transactions += 1;
         self.batch.push(transaction);
-        if self.batch.len() >= self.batch_size {
+        if self.batch.len() >= self.config.batch_size {
             self.flush_batch();
         }
     }
@@ -634,33 +924,43 @@ impl IngestPipeline {
     /// blocked time is accounted in [`PipelineStats::stall_nanos`]).
     /// Called automatically at batch-size granularity and by
     /// [`finish`](IngestPipeline::finish); call it directly to cap
-    /// latency when the event stream pauses.
+    /// latency when the event stream pauses. With a controller
+    /// attached, window sampling — and any resulting resize — happens
+    /// here, at the batch boundary.
     pub fn flush_batch(&mut self) {
         if self.batch.is_empty() {
             return;
         }
-        let sequence = self.stats.batches;
+        let pool = self.pool.as_mut().expect("pipeline already finished");
+        let sequence = pool.sequence;
+        pool.sequence += 1;
+        pool.window_batches += 1;
         self.stats.batches += 1;
-        let batch_size = self.batch_size;
+        let batch_size = self.config.batch_size;
         let stats = &mut self.stats;
-        match &mut self.front_end {
+        let counters = Arc::clone(&pool.counters);
+        match &mut pool.front_end {
             FrontEnd::Broadcast { senders } => {
                 let batch: Batch = Arc::new(std::mem::replace(
                     &mut self.batch,
                     Vec::with_capacity(batch_size),
                 ));
-                for sender in senders.iter() {
+                for (shard, sender) in senders.iter().enumerate() {
                     send_counting_stalls(
                         sender,
                         ShardWork::Broadcast(Arc::clone(&batch)),
                         &mut stats.stalls,
                         &mut stats.stall_nanos,
                     );
+                    counters.shard_ring_high[shard]
+                        .fetch_max(sender.occupancy() as u64, Ordering::Relaxed);
                 }
             }
             FrontEnd::Inline(routing) => {
+                let started = Instant::now();
                 routing.router.route_into(&self.batch, &mut routing.staged);
                 self.batch.clear();
+                let (mut stalls, mut stall_nanos) = (0u64, 0u64);
                 for (shard, (sender, staged)) in routing
                     .senders
                     .iter()
@@ -669,16 +969,24 @@ impl IngestPipeline {
                 {
                     // Refill the stage from this shard's return ring;
                     // the prefill guarantees a recycled list is waiting
-                    // (see the circulation bound in `new`).
+                    // (see the circulation bound in `spawn`).
                     let refill = routing.returns[shard].try_recv().unwrap_or_default();
                     let work = std::mem::replace(staged, refill);
                     send_counting_stalls(
                         sender,
                         ShardWork::Routed(work),
-                        &mut stats.stalls,
-                        &mut stats.stall_nanos,
+                        &mut stalls,
+                        &mut stall_nanos,
                     );
+                    counters.shard_ring_high[shard]
+                        .fetch_max(sender.occupancy() as u64, Ordering::Relaxed);
                 }
+                stats.stalls += stalls;
+                stats.stall_nanos += stall_nanos;
+                // The inline router's busy time lives on the caller's
+                // thread; its ring-blocked share is front-end stall.
+                let busy = (started.elapsed().as_nanos() as u64).saturating_sub(stall_nanos);
+                counters.router_busy_nanos[0].fetch_add(busy, Ordering::Relaxed);
             }
             FrontEnd::Parallel(routing) => {
                 let router = router_for_batch(sequence, routing.batch_senders.len());
@@ -706,7 +1014,31 @@ impl IngestPipeline {
                     &mut stats.stalls,
                     &mut stats.stall_nanos,
                 );
+                counters.batch_ring_high[router].fetch_max(
+                    routing.batch_senders[router].occupancy() as u64,
+                    Ordering::Relaxed,
+                );
             }
+        }
+        self.controller_tick();
+    }
+
+    /// With a controller attached: closes the observation window every
+    /// `interval_batches` dispatched batches, feeds it a sample and
+    /// applies any resize it issues.
+    fn controller_tick(&mut self) {
+        let Some(controller) = self.controller.as_mut() else {
+            return;
+        };
+        let pool = self.pool.as_mut().expect("pipeline already finished");
+        if pool.window_batches < controller.config().interval_batches {
+            return;
+        }
+        pool.window_batches = 0;
+        let topology = Topology::new(self.config.shard_count, self.config.routers);
+        let sample = pool.sample_window(topology);
+        if let Some(target) = controller.observe(&sample) {
+            self.resize(target.shards, target.routers);
         }
     }
 
@@ -719,39 +1051,116 @@ impl IngestPipeline {
     /// reflect everything dispatched so far; under parallel routing
     /// they are eventually consistent (each router publishes after
     /// routing a batch) and become exact once the stream drains.
+    /// Scalars are cumulative across resizes; per-stage vectors cover
+    /// the current topology epoch only (see the field docs).
     pub fn stats(&self) -> PipelineStats {
         let mut stats = self.stats.clone();
-        match &self.front_end {
+        let Some(pool) = self.pool.as_ref() else {
+            return stats;
+        };
+        let counters = &pool.counters;
+        let load =
+            |v: &[AtomicU64]| -> Vec<u64> { v.iter().map(|c| c.load(Ordering::Relaxed)).collect() };
+        stats.ring_slots = pool.ring_slots;
+        stats.shard_ring_highwater = counters
+            .shard_ring_high
+            .iter()
+            .zip(&pool.highwater_fold)
+            .map(|(live, fold)| (*fold).max(live.load(Ordering::Relaxed)))
+            .collect();
+        stats.batch_ring_highwater = load(&counters.batch_ring_high);
+        stats.router_busy_nanos = load(&counters.router_busy_nanos);
+        stats.shard_busy_nanos = load(&counters.shard_busy_nanos);
+        match &pool.front_end {
             FrontEnd::Broadcast { .. } => {}
             FrontEnd::Inline(routing) => {
                 let routed = routing.router.stats();
                 stats.routed_transactions = routed.routed_transactions.clone();
                 stats.routed_ops = routed.routed_ops.clone();
-                stats.split_records = routed.split_records;
+                stats.split_records += routed.split_records;
             }
-            FrontEnd::Parallel(routing) => {
-                let counters = &routing.counters;
-                stats.routed_transactions = counters
-                    .routed_transactions
-                    .iter()
-                    .map(|c| c.load(Ordering::Relaxed))
-                    .collect();
-                stats.routed_ops = counters
-                    .routed_ops
-                    .iter()
-                    .map(|c| c.load(Ordering::Relaxed))
-                    .collect();
-                stats.split_records = counters.split_records.load(Ordering::Relaxed);
-                stats.routing_stalls = counters.routing_stalls.load(Ordering::Relaxed);
-                stats.routing_stall_nanos = counters.routing_stall_nanos.load(Ordering::Relaxed);
+            FrontEnd::Parallel(_) => {
+                stats.routed_transactions = load(&counters.routed_transactions);
+                stats.routed_ops = load(&counters.routed_ops);
+                stats.split_records += counters.split_records.load(Ordering::Relaxed);
+                stats.routing_stalls += counters.routing_stalls.load(Ordering::Relaxed);
+                stats.routing_stall_nanos += counters.routing_stall_nanos.load(Ordering::Relaxed);
             }
         }
         stats
     }
 
-    /// Number of shard workers.
+    /// Number of shard workers in the current topology.
     pub fn shard_count(&self) -> usize {
-        self.shard_count
+        self.config.shard_count
+    }
+
+    /// The current (live) topology.
+    pub fn topology(&self) -> Topology {
+        Topology::new(self.config.shard_count, self.config.routers)
+    }
+
+    /// Every resize applied so far, in order.
+    pub fn resize_events(&self) -> &[ResizeEvent] {
+        &self.resize_events
+    }
+
+    /// Resizes the stage pools online to `shards` shard workers and
+    /// `routers` routers, via quiesce → snapshot → re-seed (see the
+    /// module docs). Blocks the caller for the quiesce window; the
+    /// merged results are count-identical to never having resized.
+    /// Returns `false` (and does nothing) if the topology is unchanged.
+    ///
+    /// A router-only change is the cheap path: shard tables are handed
+    /// to the new pool untouched. A shard-count change drains the
+    /// tables into a [`SynopsisSnapshot`] and re-seeds them across the
+    /// new shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics under broadcast dispatch (each broadcast shard re-derives
+    /// its partition from the full stream, so its table state is not
+    /// re-partitionable), or if `shards == 0` or `routers == 0`.
+    pub fn resize(&mut self, shards: usize, routers: usize) -> bool {
+        assert!(
+            matches!(self.config.dispatch, Dispatch::Routed { .. }),
+            "resize requires routed dispatch"
+        );
+        assert!(shards > 0, "need at least one shard");
+        assert!(routers > 0, "need at least one router");
+        if shards == self.config.shard_count && routers == self.config.routers {
+            return false;
+        }
+        // Ship the open batch under the old topology first: the resize
+        // happens at a clean batch boundary.
+        self.flush_batch();
+        let from = self.topology();
+        let started = Instant::now();
+        let pool = self.pool.take().expect("pipeline already finished");
+        let mut analyzers = pool.quiesce(&mut self.stats);
+        let reseeded = shards != self.config.shard_count;
+        if reseeded {
+            let snapshot = SynopsisSnapshot::drain(analyzers);
+            analyzers = snapshot.reseed(&self.analyzer_config, shards);
+        }
+        self.config.shard_count = shards;
+        self.config.routers = routers;
+        self.pool = Some(StagePool::spawn(
+            analyzers,
+            &self.config,
+            &self.analyzer_config,
+        ));
+        let nanos = started.elapsed().as_nanos() as u64;
+        self.stats.resizes += 1;
+        self.stats.resize_nanos += nanos;
+        self.resize_events.push(ResizeEvent {
+            batch: self.stats.batches,
+            from,
+            to: Topology::new(shards, routers),
+            nanos,
+            reseeded,
+        });
+        true
     }
 
     /// Flushes the monitor and the open batch, closes the rings
@@ -766,65 +1175,21 @@ impl IngestPipeline {
             self.enqueue(transaction);
         }
         self.flush_batch();
-        let IngestPipeline {
-            front_end,
-            workers,
-            analyzer_config,
-            split_tallies,
-            mut stats,
-            ..
-        } = self;
-        let routed = match front_end {
-            FrontEnd::Broadcast { senders } => {
-                drop(senders);
-                false
-            }
-            FrontEnd::Inline(routing) => {
-                let router_stats = routing.router.stats().clone();
-                // Dropping the routing state closes the shard rings.
-                drop(routing);
-                stats.routed_transactions = router_stats.routed_transactions;
-                stats.routed_ops = router_stats.routed_ops;
-                stats.split_records = router_stats.split_records;
-                true
-            }
-            FrontEnd::Parallel(routing) => {
-                // Closing the batch rings drains the routers; each
-                // returns its Router, whose exact counters supersede
-                // the live atomics. Router exit closes the shard rings.
-                drop(routing.batch_senders);
-                drop(routing.batch_returns);
-                let mut merged = RouterStats::default();
-                for handle in routing.handles {
-                    let router = handle.join().expect("router worker panicked");
-                    merged.merge(router.stats());
-                }
-                stats.routed_transactions = merged.routed_transactions;
-                stats.routed_ops = merged.routed_ops;
-                stats.split_records = merged.split_records;
-                stats.routing_stalls = routing.counters.routing_stalls.load(Ordering::Relaxed);
-                stats.routing_stall_nanos =
-                    routing.counters.routing_stall_nanos.load(Ordering::Relaxed);
-                true
-            }
-        };
-        let shards: Vec<_> = workers
-            .into_iter()
-            .map(|w| w.join().expect("shard worker panicked"))
-            .collect();
-        if routed {
+        let pool = self.pool.take().expect("pipeline already finished");
+        let shards = pool.quiesce(&mut self.stats);
+        if matches!(self.config.dispatch, Dispatch::Routed { .. }) {
             // Routed shards never count transactions; the front-end's
-            // count is authoritative.
+            // (cumulative) count is authoritative.
             ShardedAnalyzer::from_routed_shards(
-                analyzer_config,
+                self.analyzer_config.clone(),
                 shards,
-                stats.transactions,
-                split_tallies,
+                self.stats.transactions,
+                self.split_tallies,
             )
         } else {
             // Broadcast shards each counted the full transaction stream
             // themselves; from_shards takes shard 0's count.
-            ShardedAnalyzer::from_shards(analyzer_config, shards)
+            ShardedAnalyzer::from_shards(self.analyzer_config.clone(), shards)
         }
     }
 }
@@ -1057,5 +1422,155 @@ mod tests {
         assert_eq!(stats.routed_transactions.iter().sum::<u64>(), 499);
         assert_eq!(stats.routed_ops.iter().sum::<u64>(), 499 * 3);
         pipeline.finish();
+    }
+
+    #[test]
+    fn undersized_ring_reports_saturated_highwater() {
+        // A one-slot ring under a continuous stream must show a
+        // high-water mark at capacity: the shard stage saturated and
+        // applied backpressure — exactly the controller's grow signal.
+        let mut pipeline = IngestPipeline::new(
+            MonitorConfig::new(crate::WindowPolicy::Static(Duration::from_micros(10))),
+            AnalyzerConfig::with_capacity(1024),
+            PipelineConfig::with_shards(1)
+                .batch_size(1)
+                .ring_capacity(1),
+        );
+        for i in 0..2_000u64 {
+            pipeline.push(event(i * 1000, i % 50));
+        }
+        let stats = pipeline.stats();
+        assert_eq!(stats.ring_slots, 1);
+        assert_eq!(stats.shard_ring_highwater, vec![1]);
+        // The busy split is populated alongside: one shard, one
+        // (inline) router, both with service time on the books.
+        assert_eq!(stats.shard_busy_nanos.len(), 1);
+        assert!(stats.shard_busy_nanos[0] > 0);
+        assert_eq!(stats.router_busy_nanos.len(), 1);
+        assert!(stats.router_busy_nanos[0] > 0);
+        pipeline.finish();
+    }
+
+    #[test]
+    fn resize_matches_never_resized_pipeline() {
+        // Grow shards and routers mid-stream, then shrink below the
+        // starting point: frequent pairs and cumulative stats must be
+        // identical to never having resized.
+        let monitor_config =
+            MonitorConfig::new(crate::WindowPolicy::Static(Duration::from_micros(100)));
+        let analyzer_config = AnalyzerConfig::with_capacity(4096);
+        let stream = events();
+
+        let mut baseline = IngestPipeline::new(
+            monitor_config.clone(),
+            analyzer_config.clone(),
+            PipelineConfig::with_shards(2).batch_size(16),
+        );
+        for e in stream.clone() {
+            baseline.push(e);
+        }
+        let baseline = baseline.finish();
+        let expected = baseline.snapshot().frequent_pairs(1);
+
+        let mut pipeline = IngestPipeline::new(
+            monitor_config,
+            analyzer_config,
+            PipelineConfig::with_shards(2).batch_size(16),
+        );
+        let third = stream.len() / 3;
+        for (i, e) in stream.into_iter().enumerate() {
+            if i == third {
+                assert!(pipeline.resize(4, 2)); // grow both stages
+            } else if i == 2 * third {
+                assert!(pipeline.resize(1, 1)); // shrink below start
+            }
+            pipeline.push(e);
+        }
+        assert_eq!(pipeline.topology(), Topology::new(1, 1));
+        let stats = pipeline.stats();
+        assert_eq!(stats.resizes, 2);
+        // 500 two-event bursts; the last transaction is still open.
+        assert_eq!(stats.transactions, 499);
+        let resize_log = pipeline.resize_events().to_vec();
+        assert_eq!(resize_log.len(), 2);
+        assert_eq!(resize_log[0].from, Topology::new(2, 1));
+        assert_eq!(resize_log[0].to, Topology::new(4, 2));
+        assert!(resize_log[0].reseeded);
+        assert_eq!(resize_log[1].to, Topology::new(1, 1));
+
+        let analyzer = pipeline.finish();
+        assert_eq!(analyzer.snapshot().frequent_pairs(1), expected);
+        assert_eq!(analyzer.stats().transactions, 500);
+        assert_eq!(analyzer.stats().pairs, baseline.stats().pairs);
+    }
+
+    #[test]
+    fn router_only_resize_skips_reseeding() {
+        let mut pipeline = IngestPipeline::new(
+            MonitorConfig::new(crate::WindowPolicy::Static(Duration::from_micros(100))),
+            AnalyzerConfig::with_capacity(4096),
+            PipelineConfig::with_shards(2).batch_size(16),
+        );
+        for e in events() {
+            pipeline.push(e);
+        }
+        assert!(!pipeline.resize(2, 1), "same topology is a no-op");
+        assert!(pipeline.resize(2, 2), "router-only change applies");
+        assert!(!pipeline.resize_events()[0].reseeded);
+        assert_eq!(pipeline.topology(), Topology::new(2, 2));
+        let analyzer = pipeline.finish();
+        assert_eq!(analyzer.stats().transactions, 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "routed dispatch")]
+    fn resize_panics_under_broadcast() {
+        let mut pipeline = IngestPipeline::new(
+            MonitorConfig::new(crate::WindowPolicy::Static(Duration::from_micros(100))),
+            AnalyzerConfig::with_capacity(64),
+            PipelineConfig::with_shards(2).broadcast(),
+        );
+        pipeline.resize(4, 1);
+    }
+
+    #[test]
+    fn adaptive_controller_grows_saturated_pipeline() {
+        // One-slot rings saturate on every batch, so the occupancy
+        // rule must walk the shard pool up to its bound — and the
+        // result must still match the sequential analysis.
+        let analyzer_config = AnalyzerConfig::with_capacity(4096);
+        let monitor_config =
+            MonitorConfig::new(crate::WindowPolicy::Static(Duration::from_micros(10)));
+        let controller = ControllerConfig::default()
+            .shard_bounds(1, 4)
+            .router_bounds(1, 1) // pin R: only the occupancy rule acts
+            .interval_batches(8)
+            .confirm_windows(1)
+            .cooldown_windows(1);
+        let mut pipeline = IngestPipeline::new(
+            monitor_config.clone(),
+            analyzer_config.clone(),
+            PipelineConfig::with_shards(1)
+                .batch_size(1)
+                .ring_capacity(1)
+                .adaptive(controller),
+        );
+        let stream: Vec<_> = (0..2_000u64).map(|i| event(i * 1000, i % 50)).collect();
+        for e in stream.clone() {
+            pipeline.push(e);
+        }
+        assert_eq!(pipeline.topology(), Topology::new(4, 1));
+        assert!(pipeline.stats().resizes >= 2);
+
+        let transactions = Monitor::new(monitor_config).into_transactions(stream);
+        let mut single = OnlineAnalyzer::new(analyzer_config);
+        for t in &transactions {
+            single.process(t);
+        }
+        let analyzer = pipeline.finish();
+        assert_eq!(
+            analyzer.snapshot().frequent_pairs(1),
+            single.snapshot().frequent_pairs(1)
+        );
     }
 }

@@ -296,6 +296,23 @@ impl<T: Send> Sender<T> {
     pub fn is_closed(&self) -> bool {
         self.ring.closed.load(Ordering::Acquire)
     }
+
+    /// Occupied slot count at this instant — a fresh (relaxed) read of
+    /// both indices, exact up to the race with a concurrent pop. The
+    /// pipeline samples this right after each send to maintain the
+    /// ring high-water marks the adaptive controller watches.
+    pub fn occupancy(&self) -> usize {
+        self.ring
+            .tail
+            .load(Ordering::Relaxed)
+            .wrapping_sub(self.ring.head.load(Ordering::Relaxed))
+    }
+
+    /// The ring's actual slot count (requested capacity rounded up to
+    /// a power of two) — the denominator for occupancy fractions.
+    pub fn slot_capacity(&self) -> usize {
+        self.ring.mask + 1
+    }
 }
 
 impl<T> Drop for Sender<T> {
@@ -518,6 +535,21 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20)); // let send(3) park
         drop(rx);
         assert_eq!(producer.join().unwrap(), Err(SendError(3)));
+    }
+
+    #[test]
+    fn occupancy_tracks_sends_and_recvs() {
+        let (tx, rx) = channel::<u32>(3); // rounds up to 4 slots
+        assert_eq!(tx.slot_capacity(), 4);
+        assert_eq!(tx.occupancy(), 0);
+        for v in 0..4 {
+            tx.try_send(v).unwrap();
+        }
+        assert_eq!(tx.occupancy(), 4); // saturated
+        rx.try_recv().unwrap();
+        assert_eq!(tx.occupancy(), 3);
+        while rx.try_recv().is_some() {}
+        assert_eq!(tx.occupancy(), 0);
     }
 
     #[test]

@@ -131,6 +131,79 @@ fn assert_steady_state_allocation_free(routers: usize) {
     assert_eq!(analyzer.stats().transactions, (200 + 100) * 64);
 }
 
+/// A resize tears the pools down and rebuilds them, so it *may*
+/// allocate (quiesce-window cost, counted and reported separately) —
+/// but once the fresh pool's rings have rotated through warmup, the
+/// steady state must be allocation-free again at the new topology.
+fn assert_allocation_free_after_resize() {
+    let mut pipeline = IngestPipeline::new(
+        MonitorConfig::default(),
+        AnalyzerConfig::with_capacity(4096),
+        PipelineConfig::with_shards(2)
+            .routers(2)
+            .batch_size(16)
+            .ring_capacity(8),
+    );
+    let _ = std::thread::current();
+    let mut total = 0u64;
+    for t in stream(200) {
+        pipeline.push_transaction(t);
+    }
+    pipeline.flush_batch();
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Grow both stages, then shrink both below the starting topology.
+    for (step, (shards, routers)) in [(4usize, 4usize), (2, 1)].into_iter().enumerate() {
+        // Built before any counter snapshot — transaction construction
+        // allocates, and that is the caller's cost, not the pipeline's.
+        let rewarm = stream(200);
+        let measured = stream(100);
+        let before_resize = ALLOCATIONS.load(Ordering::SeqCst);
+        assert!(pipeline.resize(shards, routers));
+        let quiesce_allocations = ALLOCATIONS.load(Ordering::SeqCst) - before_resize;
+        // The quiesce window builds a whole new pool (rings, prefilled
+        // buffers, snapshot merge): it must allocate — this is the
+        // separately-counted budget the steady-state assert excludes.
+        assert!(
+            quiesce_allocations > 0,
+            "resize to {shards}s x {routers}r allocated nothing — \
+             the pool was not actually rebuilt"
+        );
+        println!(
+            "resize {step} (to {shards}s x {routers}r): \
+             {quiesce_allocations} quiesce-window allocations"
+        );
+
+        // Re-warm the fresh pool, then hold it to zero.
+        for t in rewarm {
+            pipeline.push_transaction(t);
+        }
+        pipeline.flush_batch();
+        std::thread::sleep(Duration::from_millis(100));
+
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        for t in measured {
+            pipeline.push_transaction(t);
+        }
+        pipeline.flush_batch();
+        std::thread::sleep(Duration::from_millis(100));
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        assert_eq!(
+            after - before,
+            0,
+            "steady state after resize to {shards}s x {routers}r performed \
+             {} heap allocations (expected zero: the pool must re-establish \
+             its recycling plateau)",
+            after - before
+        );
+        total += 300;
+    }
+
+    // Nothing was dropped across the resizes.
+    let analyzer = pipeline.finish();
+    assert_eq!(analyzer.stats().transactions, (200 + total) * 64);
+}
+
 #[test]
 fn routed_pipeline_is_allocation_free_after_warmup() {
     // One test, sequential phases: the counter is process-global, so
@@ -138,4 +211,6 @@ fn routed_pipeline_is_allocation_free_after_warmup() {
     // measurement windows.
     assert_steady_state_allocation_free(1); // inline router
     assert_steady_state_allocation_free(2); // parallel routers
+    assert_steady_state_allocation_free(4); // full router fan-out
+    assert_allocation_free_after_resize(); // elastic pool, re-primed
 }

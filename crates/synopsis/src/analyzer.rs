@@ -502,6 +502,30 @@ impl OnlineAnalyzer {
         self.pairs.clear();
         self.pair_index.clear();
     }
+
+    /// Seeds one item-table entry with pre-computed state (the snapshot
+    /// re-seed path — see [`SynopsisSnapshot`](crate::SynopsisSnapshot)).
+    /// Entries must be fed MRU-first; capacity overflow follows
+    /// [`TwoTierTable::seed`].
+    pub(crate) fn seed_item(&mut self, extent: Extent, tally: u32, tier: Tier) {
+        self.items.seed(extent, tally, tier);
+    }
+
+    /// Seeds one correlation-table entry with pre-computed state,
+    /// maintaining the pair index exactly as a live insert would so the
+    /// item-eviction demotion hook keeps working after a re-seed.
+    pub(crate) fn seed_pair(&mut self, pair: ExtentPair, tally: u32, tier: Tier) {
+        if self.pairs.seed(pair, tally, tier).is_some() {
+            self.index_pair(pair);
+        }
+    }
+
+    /// Replaces the lifetime counters (re-seed path: the drained
+    /// aggregate stats are carried onto one shard so sharded sums stay
+    /// continuous across a resize).
+    pub(crate) fn set_stats(&mut self, stats: AnalyzerStats) {
+        self.stats = stats;
+    }
 }
 
 #[cfg(test)]

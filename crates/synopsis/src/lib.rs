@@ -44,6 +44,7 @@ mod analyzer;
 mod reference;
 mod reference_table;
 mod sharded;
+mod snapshot;
 mod table;
 
 pub use analyzer::{
@@ -51,4 +52,5 @@ pub use analyzer::{
 };
 pub use reference::ReferenceAnalyzer;
 pub use sharded::{shard_of_extent, shard_of_pair, ShardedAnalyzer};
+pub use snapshot::SynopsisSnapshot;
 pub use table::{Iter, Record, TableStats, Tier, TwoTierTable};

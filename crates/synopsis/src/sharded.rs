@@ -318,6 +318,30 @@ impl ShardedAnalyzer {
         merged
     }
 
+    /// Re-partitions the analyzer to `shard_count` shards by draining
+    /// every shard into a [`SynopsisSnapshot`](crate::SynopsisSnapshot)
+    /// and re-seeding fresh shards from it, preserving tallies, tier
+    /// membership and per-tier recency order (summing any split-pair
+    /// partials, the same reconciliation the merge paths apply). In
+    /// the no-overflow regime the resulting
+    /// [`frequent_pairs`](ShardedAnalyzer::frequent_pairs) are
+    /// count-identical to never having resized; see the snapshot
+    /// module docs for the item-tally caveat.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_count == 0`.
+    pub fn resharded(self, shard_count: usize) -> ShardedAnalyzer {
+        let snapshot = crate::SynopsisSnapshot::drain(self.shards);
+        let shards = snapshot.reseed(&self.config, shard_count);
+        ShardedAnalyzer {
+            config: self.config,
+            shards,
+            split_tallies: self.split_tallies,
+            routed_transactions: self.routed_transactions,
+        }
+    }
+
     /// Forgets all shards' contents (stats are preserved).
     pub fn clear(&mut self) {
         for shard in &mut self.shards {

@@ -256,6 +256,58 @@ impl<K: Eq + Hash + Clone, S: BuildHasher + Default> TwoTierTable<K, S> {
         }
     }
 
+    /// Inserts `key` with a pre-computed `tally` and `tier` at the LRU
+    /// end of the target list, bypassing the hit/miss policy. The
+    /// re-seeding path of the elastic pipeline replays a drained
+    /// snapshot MRU-first, so successive `seed` calls rebuild each
+    /// tier's recency order exactly (each entry lands behind the
+    /// previous one).
+    ///
+    /// If the requested tier is full the entry falls back the same
+    /// direction the live policy moves entries: a full T2 overflows
+    /// into T1 (like a demotion), and a full T1 drops the entry
+    /// (counted as an eviction — only the least-recent seeds are ever
+    /// dropped). Returns the tier the entry landed in, or `None` if it
+    /// was dropped. Seeding never overwrites a live entry: re-seeding
+    /// an existing key returns `None` without touching it.
+    pub fn seed(&mut self, key: K, tally: u32, tier: Tier) -> Option<Tier> {
+        if self.index.contains_key(&key) {
+            return None;
+        }
+        let target = match tier {
+            Tier::T2 if self.t2.len < self.t2_capacity => Tier::T2,
+            _ if self.t1.len < self.t1_capacity => Tier::T1,
+            _ => {
+                self.stats.evictions += 1;
+                return None;
+            }
+        };
+        let node = Node {
+            key: key.clone(),
+            tally: tally.max(1),
+            tier: target,
+            prev: NIL,
+            next: NIL,
+        };
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.nodes[idx] = node;
+                idx
+            }
+            None => {
+                self.nodes.push(node);
+                self.nodes.len() - 1
+            }
+        };
+        self.index.insert(key, idx);
+        let list = match target {
+            Tier::T1 => &mut self.t1,
+            Tier::T2 => &mut self.t2,
+        };
+        Self::push_back(&mut self.nodes, list, idx);
+        Some(target)
+    }
+
     /// After a promotion, T2 may exceed capacity; demote its LRU entry to
     /// T1's LRU end. If T1 is in turn full, evict T1's LRU first.
     fn rebalance_after_promotion(&mut self) -> Option<(K, u32)> {
@@ -754,6 +806,47 @@ mod tests {
     #[should_panic(expected = "threshold must be at least 2")]
     fn threshold_one_panics() {
         TwoTierTable::<u32>::new(1, 1, 1);
+    }
+
+    #[test]
+    fn seed_rebuilds_recency_order_mru_first() {
+        // Build a table organically, then rebuild it from its own
+        // iteration order via seed: orders and tallies must match.
+        let mut original = TwoTierTable::new(4, 4, 2);
+        for k in [1u32, 1, 2, 3, 2, 4] {
+            original.record(k);
+        }
+        let mut seeded = TwoTierTable::new(4, 4, 2);
+        for (k, tally, tier) in original.iter() {
+            assert_eq!(seeded.seed(*k, tally, tier), Some(tier));
+        }
+        for tier in [Tier::T1, Tier::T2] {
+            assert_eq!(keys_in_order(&original, tier), keys_in_order(&seeded, tier));
+        }
+        for (k, tally, tier) in original.iter() {
+            assert_eq!(seeded.tally(k), Some(tally));
+            assert_eq!(seeded.tier(k), Some(tier));
+        }
+        seeded.check_invariants();
+    }
+
+    #[test]
+    fn seed_overflow_falls_t2_to_t1_then_drops() {
+        let mut t = TwoTierTable::new(1, 1, 2);
+        assert_eq!(t.seed(1, 5, Tier::T2), Some(Tier::T2));
+        // T2 full: falls into T1 like a demotion.
+        assert_eq!(t.seed(2, 4, Tier::T2), Some(Tier::T1));
+        // Both tiers full: dropped and counted as an eviction.
+        assert_eq!(t.seed(3, 3, Tier::T2), None);
+        assert_eq!(t.seed(4, 3, Tier::T1), None);
+        assert_eq!(t.stats().evictions, 2);
+        // Seeding never clobbers a live entry.
+        let mut u = TwoTierTable::new(2, 2, 2);
+        u.record(7);
+        assert_eq!(u.seed(7, 99, Tier::T2), None);
+        assert_eq!(u.tally(&7), Some(1));
+        t.check_invariants();
+        u.check_invariants();
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub use extent::{Extent, ExtentPair};
 pub use hash::{fx_hash, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use inline_vec::InlineVec;
 pub use request::{IoEvent, IoOp, IoRequest, Pid};
-pub use routing::{router_for_batch, shard_for_hash, shard_of_extent, shard_of_pair};
+pub use routing::{router_for_batch, shard_for_hash, shard_of_extent, shard_of_pair, Topology};
 pub use time::Timestamp;
 pub use trace::{Trace, TraceStats, BLOCK_SIZE};
 pub use transaction::{Transaction, TransactionItem};

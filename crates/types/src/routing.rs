@@ -24,6 +24,38 @@
 use crate::extent::{Extent, ExtentPair};
 use crate::hash::fx_hash;
 
+/// A live stage-pool shape: how many shard workers and router workers
+/// the ingestion pipeline currently runs.
+///
+/// Routing is parameterized over this value rather than a construction
+/// constant: [`shard_of_pair`]/[`shard_of_extent`] take
+/// `topology.shards` and [`router_for_batch`] takes `topology.routers`,
+/// so a resized pipeline re-routes new records consistently with its
+/// re-seeded tables simply by routing against the new topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Topology {
+    /// Shard worker count (partitions of the synopsis).
+    pub shards: usize,
+    /// Router worker count (parallel front-end width).
+    pub routers: usize,
+}
+
+impl Topology {
+    /// A topology with `shards` shard workers and `routers` routers.
+    /// Both counts must be nonzero.
+    pub fn new(shards: usize, routers: usize) -> Self {
+        assert!(shards > 0, "topology needs at least one shard");
+        assert!(routers > 0, "topology needs at least one router");
+        Self { shards, routers }
+    }
+}
+
+impl core::fmt::Display for Topology {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}s x {}r", self.shards, self.routers)
+    }
+}
+
 /// The shard owning a routing hash among `shard_count` shards.
 ///
 /// Callers that already hold `fx_hash(pair)` (the front-end hashes each

@@ -1,5 +1,6 @@
 //! Live pipeline: monitoring and analysis running concurrently with the
-//! workload, as the paper's framework does in production (Fig. 3).
+//! workload, as the paper's framework does in production (Fig. 3) —
+//! with the elastic stage pools resizing themselves mid-stream.
 //!
 //! The stages mirror the paper's architecture, built entirely on the
 //! workspace's own std-only machinery (no external channel crates):
@@ -9,38 +10,57 @@
 //!   [`rtdac::monitor::spsc`] ring;
 //! * the main thread drives an [`IngestPipeline`]: its monitor front-end
 //!   groups events into transactions with the dynamic 2×-latency window,
-//!   batches them, and deals the batches round-robin to two parallel
-//!   router workers; each router dedups and pair-hashes its slice of
-//!   the stream once and ships every shard its per-batch work list over
+//!   batches them, and deals the batches round-robin to the router
+//!   workers; each router dedups and pair-hashes its slice of the
+//!   stream once and ships every shard its per-batch work list over
 //!   further SPSC rings (the shards merge the router rings in sequence
 //!   order, so the result is bit-exact regardless of router count);
 //! * each shard worker owns one partition of the correlation synopsis
 //!   and replays only the work routed to it, so the sharded result
-//!   merges to exactly the single-threaded analyzer's answer —
-//!   correlations are available moments after the workload finishes,
-//!   with no trace stored to disk.
+//!   merges to exactly the single-threaded analyzer's answer;
+//! * an [`AdaptiveController`] watches the work-ring high-water marks
+//!   and the router-vs-shard busy split once per observation window.
+//!   The pipeline starts *deliberately undersized* — one shard, one
+//!   router, tiny rings — and the controller grows the stage pools at
+//!   batch boundaries (quiesce → snapshot → re-seed, DESIGN.md §11)
+//!   while the replayer keeps streaming. Tallies are unaffected:
+//!   re-seeding reproduces the exact synopsis state at every step.
+//!
+//! Whether a resize actually fires depends on host timing (an idle
+//! multicore box may drain the undersized pool without ever
+//! saturating it), so the demo prints the controller's decision log
+//! rather than asserting on it.
 //!
 //! Run with: `cargo run --example live_pipeline`
 
 use std::thread;
 
 use rtdac::device::{replay, NvmeSsdModel, ReplayMode};
-use rtdac::monitor::{spsc, IngestPipeline, MonitorConfig, PipelineConfig};
+use rtdac::monitor::{spsc, ControllerConfig, IngestPipeline, MonitorConfig, PipelineConfig};
 use rtdac::synopsis::AnalyzerConfig;
 use rtdac::types::IoEvent;
 use rtdac::workloads::MsrServer;
 
 fn main() {
-    let shard_count = 4;
-    let router_count = 2;
+    // Deliberately undersized: one shard, one router, 8-slot rings.
+    // Eager controller knobs (short windows, single confirmation) so
+    // the demo reacts within a short trace.
+    let controller = ControllerConfig::default()
+        .shard_bounds(1, 8)
+        .router_bounds(1, 2)
+        .interval_batches(8)
+        .confirm_windows(1)
+        .cooldown_windows(2);
     let mut pipeline = IngestPipeline::new(
         MonitorConfig::default(),
         AnalyzerConfig::with_capacity(8 * 1024),
-        PipelineConfig::with_shards(shard_count)
-            .routers(router_count)
+        PipelineConfig::with_shards(1)
+            .routers(1)
             .batch_size(64)
-            .ring_capacity(32),
+            .ring_capacity(8)
+            .adaptive(controller),
     );
+    let before = pipeline.topology();
 
     // Stage 1: replayer ("fio" + blktrace). The trace is accelerated by
     // its Table II speedup so the whole demo runs instantly; event
@@ -62,18 +82,21 @@ fn main() {
     });
 
     // Stage 2 + 3: the ingestion pipeline. The monitor windows events
-    // into transactions and the shard workers absorb them concurrently
-    // while the replayer is still producing.
+    // into transactions and the stage pools absorb them concurrently
+    // while the replayer is still producing — resizing themselves when
+    // the controller says the topology no longer fits the load.
     while let Some(event) = event_rx.recv() {
         pipeline.push(event);
     }
 
     let events = replayer.join().expect("replayer thread");
+    let after = pipeline.topology();
+    let resizes = pipeline.resize_events().to_vec();
     let front_end = pipeline.stats();
     let monitor_stats = pipeline.monitor().stats();
     let analyzer = pipeline.finish();
 
-    println!("pipeline complete ({shard_count} shards, {router_count} routers):");
+    println!("pipeline complete (started {before}, finished {after}):");
     println!("  events replayed:        {events}");
     println!("  transactions formed:    {}", monitor_stats.transactions);
     println!(
@@ -82,6 +105,29 @@ fn main() {
     );
     println!("  batches routed:         {}", front_end.batches);
     println!("  limit splits:           {}", monitor_stats.limit_splits);
+    println!(
+        "  ring high-water:        {:?} of {} slots",
+        front_end.shard_ring_highwater, front_end.ring_slots
+    );
+
+    println!("  controller decisions:   {}", resizes.len());
+    for event in &resizes {
+        println!(
+            "    batch {:>5}: {} -> {}  ({:.1} ms quiesce{})",
+            event.batch,
+            event.from,
+            event.to,
+            event.nanos as f64 / 1e6,
+            if event.reseeded {
+                ", tables re-seeded"
+            } else {
+                ", router-only"
+            }
+        );
+    }
+    if resizes.is_empty() {
+        println!("    (none — this host drained the undersized pool without saturating it)");
+    }
 
     let top = analyzer.frequent_pairs(5);
     println!("  frequent pairs (support >= 5): {}", top.len());

@@ -17,14 +17,16 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> ingestion throughput harness (smoke mode)"
+echo "==> ingestion throughput harness (smoke mode, incl. resize gate)"
 # Smoke mode: tiny stream, one repetition; write the JSON to a scratch
 # path so CI never dirties the committed BENCH_ingest.json. The harness
 # exits nonzero when acceptance fails — under --smoke only the
-# correctness criterion gates (exact frequent pairs under hot-pair
-# splitting); timing criteria are skipped because a tiny stream on a
-# shared CI core measures noise. set -e turns that exit into a build
-# failure.
+# correctness criteria gate: exact frequent pairs under hot-pair
+# splitting, under a scripted mid-stream grow + shrink of the elastic
+# stage pools, and under the adaptive controller's own resizes. Timing
+# criteria (including adaptive convergence) are skipped because a tiny
+# stream on a shared CI core measures noise. set -e turns that exit
+# into a build failure.
 RTDAC_BENCH_OUT="${TMPDIR:-/tmp}/BENCH_ingest_smoke.json" \
     cargo run --release --offline -p rtdac-bench --bin ingest_throughput -- --smoke
 
