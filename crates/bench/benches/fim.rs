@@ -28,8 +28,14 @@ fn bench_miners(c: &mut Criterion) {
     group.bench_function("eclat", |b| {
         b.iter(|| Eclat::new(5).max_len(2).mine(&db).len())
     });
+    group.bench_function("eclat_generic", |b| {
+        b.iter(|| Eclat::new(5).max_len(2).mine_generic(&db).len())
+    });
     group.bench_function("fp_growth", |b| {
         b.iter(|| FpGrowth::new(5).max_len(2).mine(&db).len())
+    });
+    group.bench_function("fp_growth_generic", |b| {
+        b.iter(|| FpGrowth::new(5).max_len(2).mine_generic(&db).len())
     });
     group.bench_function("pair_oracle", |b| b.iter(|| count_pairs(&txns).len()));
     group.finish();

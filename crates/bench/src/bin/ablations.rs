@@ -1,5 +1,5 @@
 //! Runs the extension ablations (Figs. 11–13 + synopsis sweep).
 fn main() {
-    let config = rtdac_bench::support::ExpConfig::from_env();
-    rtdac_bench::experiments::ablations::run(&config);
+    let ctx = rtdac_bench::support::ExpContext::from_env();
+    print!("{}", rtdac_bench::experiments::ablations::run(&ctx));
 }

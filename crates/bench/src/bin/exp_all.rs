@@ -1,26 +1,111 @@
-//! Runs every table and figure regeneration in sequence — the paper's
-//! whole evaluation. `RTDAC_REQUESTS` scales the traces (default 40000).
+//! Runs every table and figure regeneration — the paper's whole
+//! evaluation — concurrently on the work pool, printing each report in
+//! the fixed serial order with its wall-clock seconds.
+//!
+//! `RTDAC_REQUESTS` scales the traces (default 40000), `RTDAC_THREADS`
+//! overrides the pool width. `--smoke` runs a reduced subset at a small
+//! scale (unless `RTDAC_REQUESTS` is set) as a CI liveness check.
+//!
+//! Shared workloads are prewarmed once into the `ExpContext` cache, so
+//! the experiments that read the same five server traces stop
+//! re-synthesizing and re-mining them; with more than one core the
+//! experiments themselves also overlap. Ordering stays deterministic:
+//! results stream through `pool::for_each_ordered`.
+
+use std::time::Instant;
+
 use rtdac_bench::experiments as exp;
+use rtdac_bench::pool;
+use rtdac_bench::support::{ExpConfig, ExpContext};
+use rtdac_workloads::MsrServer;
+
+type Experiment = (&'static str, fn(&ExpContext) -> String);
+
+const ALL: &[Experiment] = &[
+    ("table1", exp::tables::table1),
+    ("table2", exp::tables::table2),
+    ("fig1_heatmaps", exp::fig1_heatmaps::run),
+    ("fig5_cdf", exp::fig5_cdf::run),
+    ("fig6_table_size", exp::fig6_table_size::run),
+    ("fig7_synthetic", exp::fig7_synthetic::run),
+    ("fig8_real_world", exp::fig8_real_world::run),
+    ("fig9_representability", exp::fig9_representability::run),
+    ("fig10_drift", exp::fig10_drift::run),
+    ("ablations", exp::ablations::run),
+    ("fig14_cache", exp::fig14_cache::run),
+    ("fig15_sketch", exp::fig15_sketch::run),
+];
+
+/// The `--smoke` subset: one cache-sharing chain (Table I + Figs. 5/6/9
+/// read the same servers) plus the synthetic-workload figure, at a
+/// reduced request count.
+const SMOKE: &[Experiment] = &[
+    ("table1", exp::tables::table1),
+    ("fig5_cdf", exp::fig5_cdf::run),
+    ("fig6_table_size", exp::fig6_table_size::run),
+    ("fig7_synthetic", exp::fig7_synthetic::run),
+    ("fig9_representability", exp::fig9_representability::run),
+];
 
 fn main() {
-    let config = rtdac_bench::support::ExpConfig::from_env();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut config = ExpConfig::from_env();
+    if smoke && std::env::var("RTDAC_REQUESTS").is_err() {
+        config.requests = 4_000;
+    }
+    let ctx = ExpContext::new(config);
+    let experiments = if smoke { SMOKE } else { ALL };
     println!(
-        "rtdac evaluation: {} requests/trace, seed {}, output {}",
-        config.requests,
-        config.seed,
-        config.out_dir.display()
+        "rtdac evaluation{}: {} requests/trace, seed {}, output {}, {} worker thread(s), \
+         {} experiment(s)",
+        if smoke { " (smoke)" } else { "" },
+        ctx.config.requests,
+        ctx.config.seed,
+        ctx.config.out_dir.display(),
+        ctx.threads,
+        experiments.len()
     );
-    exp::tables::table1(&config);
-    exp::tables::table2(&config);
-    exp::fig1_heatmaps::run(&config);
-    exp::fig5_cdf::run(&config);
-    exp::fig6_table_size::run(&config);
-    exp::fig7_synthetic::run(&config);
-    exp::fig8_real_world::run(&config);
-    exp::fig9_representability::run(&config);
-    exp::fig10_drift::run(&config);
-    exp::ablations::run(&config);
-    exp::fig14_cache::run(&config);
-    exp::fig15_sketch::run(&config);
-    println!("\nall experiments complete.");
+
+    let wall = Instant::now();
+    // Fill the shared trace/transaction/ground-truth cache once, in
+    // parallel across servers, before fanning the experiments out.
+    ctx.prewarm(&MsrServer::ALL);
+    let prewarm_secs = wall.elapsed().as_secs_f64();
+    println!(
+        "[prewarm] {} server workloads cached in {prewarm_secs:.2} s",
+        MsrServer::ALL.len()
+    );
+
+    let ctx = &ctx;
+    let jobs: Vec<_> = experiments
+        .iter()
+        .map(|&(_, run)| {
+            move || {
+                let start = Instant::now();
+                let report = run(ctx);
+                (report, start.elapsed().as_secs_f64())
+            }
+        })
+        .collect();
+
+    let mut timings = Vec::with_capacity(experiments.len());
+    pool::for_each_ordered(ctx.threads, jobs, |i, (report, secs)| {
+        print!("{report}");
+        println!("\n[time] {}: {:.2} s", experiments[i].0, secs);
+        timings.push((experiments[i].0, secs));
+    });
+
+    println!(
+        "\nall experiments complete in {:.2} s (wall clock).",
+        wall.elapsed().as_secs_f64()
+    );
+    println!("per-experiment elapsed seconds (cached workloads shared across experiments):");
+    for (name, secs) in &timings {
+        println!("  {name:<24} {secs:>8.2} s");
+    }
+    let cpu_total: f64 = timings.iter().map(|(_, s)| s).sum();
+    println!(
+        "  {:<24} {:>8.2} s (sum) + {prewarm_secs:.2} s prewarm",
+        "total", cpu_total
+    );
 }

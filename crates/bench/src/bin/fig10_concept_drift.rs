@@ -1,5 +1,5 @@
 //! Regenerates Fig. 10 (concept drift snapshots).
 fn main() {
-    let config = rtdac_bench::support::ExpConfig::from_env();
-    rtdac_bench::experiments::fig10_drift::run(&config);
+    let ctx = rtdac_bench::support::ExpContext::from_env();
+    print!("{}", rtdac_bench::experiments::fig10_drift::run(&ctx));
 }

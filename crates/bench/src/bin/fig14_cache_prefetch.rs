@@ -1,5 +1,5 @@
 //! Regenerates Fig. 14 (extension): correlation-informed prefetching.
 fn main() {
-    let config = rtdac_bench::support::ExpConfig::from_env();
-    rtdac_bench::experiments::fig14_cache::run(&config);
+    let ctx = rtdac_bench::support::ExpContext::from_env();
+    print!("{}", rtdac_bench::experiments::fig14_cache::run(&ctx));
 }

@@ -1,5 +1,5 @@
 //! Regenerates Fig. 15 (extension): synopsis vs sketches at equal memory.
 fn main() {
-    let config = rtdac_bench::support::ExpConfig::from_env();
-    rtdac_bench::experiments::fig15_sketch::run(&config);
+    let ctx = rtdac_bench::support::ExpContext::from_env();
+    print!("{}", rtdac_bench::experiments::fig15_sketch::run(&ctx));
 }

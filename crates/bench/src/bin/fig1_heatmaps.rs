@@ -1,5 +1,5 @@
 //! Regenerates Fig. 1 (storage heat maps).
 fn main() {
-    let config = rtdac_bench::support::ExpConfig::from_env();
-    rtdac_bench::experiments::fig1_heatmaps::run(&config);
+    let ctx = rtdac_bench::support::ExpContext::from_env();
+    print!("{}", rtdac_bench::experiments::fig1_heatmaps::run(&ctx));
 }

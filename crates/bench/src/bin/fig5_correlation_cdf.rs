@@ -1,5 +1,5 @@
 //! Regenerates Fig. 5 (correlation frequency CDFs).
 fn main() {
-    let config = rtdac_bench::support::ExpConfig::from_env();
-    rtdac_bench::experiments::fig5_cdf::run(&config);
+    let ctx = rtdac_bench::support::ExpContext::from_env();
+    print!("{}", rtdac_bench::experiments::fig5_cdf::run(&ctx));
 }

@@ -1,5 +1,5 @@
 //! Regenerates Fig. 6 (table size vs optimal coverage).
 fn main() {
-    let config = rtdac_bench::support::ExpConfig::from_env();
-    rtdac_bench::experiments::fig6_table_size::run(&config);
+    let ctx = rtdac_bench::support::ExpContext::from_env();
+    print!("{}", rtdac_bench::experiments::fig6_table_size::run(&ctx));
 }

@@ -1,5 +1,5 @@
 //! Regenerates Fig. 7 (synthetic workloads, offline vs online panels).
 fn main() {
-    let config = rtdac_bench::support::ExpConfig::from_env();
-    rtdac_bench::experiments::fig7_synthetic::run(&config);
+    let ctx = rtdac_bench::support::ExpContext::from_env();
+    print!("{}", rtdac_bench::experiments::fig7_synthetic::run(&ctx));
 }

@@ -1,5 +1,8 @@
 //! Regenerates Fig. 9 (representability vs optimal, table-size sweep).
 fn main() {
-    let config = rtdac_bench::support::ExpConfig::from_env();
-    rtdac_bench::experiments::fig9_representability::run(&config);
+    let ctx = rtdac_bench::support::ExpContext::from_env();
+    print!(
+        "{}",
+        rtdac_bench::experiments::fig9_representability::run(&ctx)
+    );
 }

@@ -207,7 +207,12 @@ fn main() {
     let seed = env_or("RTDAC_SEED", 7);
     let repeat = env_or("RTDAC_BENCH_REPEAT", if smoke { 1 } else { 5 }) as usize;
 
-    banner("ingestion throughput: broadcast vs routed dispatch (events/sec)");
+    let mut head = String::new();
+    banner(
+        &mut head,
+        "ingestion throughput: broadcast vs routed dispatch (events/sec)",
+    );
+    print!("{head}");
     println!("  requests={requests} seed={seed} repeat={repeat} smoke={smoke}");
 
     // Prepare both streams once: only analyzer ingestion is timed below.

@@ -1,5 +1,5 @@
 //! Regenerates Table II. `RTDAC_REQUESTS` scales the traces.
 fn main() {
-    let config = rtdac_bench::support::ExpConfig::from_env();
-    rtdac_bench::experiments::tables::table2(&config);
+    let ctx = rtdac_bench::support::ExpContext::from_env();
+    print!("{}", rtdac_bench::experiments::tables::table2(&ctx));
 }

@@ -4,18 +4,18 @@
 //! baseline the paper dismisses for throughput.
 
 use std::collections::HashSet;
-use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 use rtdac_device::{replay, NvmeSsdModel, ReplayMode};
-use rtdac_fim::{count_pairs, frequent_pairs, DecayedPairMiner, EstDecConfig, EstDecMiner};
+use rtdac_fim::{frequent_pairs, DecayedPairMiner, EstDecConfig, EstDecMiner};
 use rtdac_metrics::detection;
 use rtdac_monitor::{Monitor, MonitorConfig, WindowPolicy};
 use rtdac_synopsis::{AnalyzerConfig, OnlineAnalyzer};
 use rtdac_types::{ExtentPair, IoEvent, Transaction};
 use rtdac_workloads::{MsrServer, SyntheticKind, SyntheticSpec};
 
-use crate::support::{banner, save_csv, ExpConfig};
+use crate::outln;
+use crate::support::{banner, save_csv, ExpContext};
 
 fn synthetic_events(seed: u64, events: usize) -> (Vec<IoEvent>, HashSet<ExtentPair>) {
     let workload = SyntheticSpec::new(SyntheticKind::ManyToMany)
@@ -101,12 +101,16 @@ fn analyze_events(
 /// Fig. 11 (extension): static window sweep vs the paper's dynamic
 /// 2×-latency policy, judged by detection of the constructed
 /// correlations.
-pub fn window_ablation(config: &ExpConfig) {
-    banner("Fig. 11 (extension): transaction window policy vs detection");
+pub fn window_ablation(ctx: &ExpContext) -> String {
+    let mut out = String::new();
+    banner(
+        &mut out,
+        "Fig. 11 (extension): transaction window policy vs detection",
+    );
     // Few enough events that a window splitting most correlated request
     // pairs pushes their co-occurrence below the support threshold.
-    let (events, truth) = synthetic_events(config.seed, 400);
-    println!("{:<22} {:>8} {:>10}", "window", "recall", "precision");
+    let (events, truth) = synthetic_events(ctx.config.seed, 400);
+    outln!(out, "{:<22} {:>8} {:>10}", "window", "recall", "precision");
     let mut csv = String::from("window,recall,precision\n");
     let static_windows_us = [1u64, 5, 20, 80, 300, 1_000, 5_000, 20_000];
     for us in static_windows_us {
@@ -118,14 +122,14 @@ pub fn window_ablation(config: &ExpConfig) {
             .map(|(p, _)| p)
             .collect();
         let d = detection(&detected, &truth);
-        println!(
+        outln!(
+            out,
             "{:<22} {:>7.0}% {:>9.0}%",
             format!("static {us} µs"),
             d.recall * 100.0,
             d.precision * 100.0
         );
-        writeln!(csv, "static_{us}us,{:.4},{:.4}", d.recall, d.precision)
-            .expect("writing to String");
+        outln!(csv, "static_{us}us,{:.4},{:.4}", d.recall, d.precision);
     }
     let analyzer = analyze_events(
         events,
@@ -138,31 +142,43 @@ pub fn window_ablation(config: &ExpConfig) {
         .map(|(p, _)| p)
         .collect();
     let d = detection(&detected, &truth);
-    println!(
+    outln!(
+        out,
         "{:<22} {:>7.0}% {:>9.0}%",
         "dynamic 2x latency",
         d.recall * 100.0,
         d.precision * 100.0
     );
-    writeln!(csv, "dynamic_2x,{:.4},{:.4}", d.recall, d.precision).expect("writing to String");
-    println!(
+    outln!(csv, "dynamic_2x,{:.4},{:.4}", d.recall, d.precision);
+    outln!(
+        out,
         "\nreading: windows far below the device latency split correlated \
          requests apart; windows far above it merge unrelated ones. The \
          dynamic policy lands in the useful band without tuning."
     );
-    save_csv(config, "fig11_window_ablation.csv", &csv);
+    save_csv(&mut out, &ctx.config, "fig11_window_ablation.csv", &csv);
+    out
 }
 
 /// Fig. 12 (extension): the transaction size limit — correlation pairs
 /// produced (analysis cost, §III-D2's O(N²)) and detection, per limit.
-pub fn txn_limit_ablation(config: &ExpConfig) {
-    banner("Fig. 12 (extension): transaction size limit (paper fixes N = 8)");
+pub fn txn_limit_ablation(ctx: &ExpContext) -> String {
+    let mut out = String::new();
+    banner(
+        &mut out,
+        "Fig. 12 (extension): transaction size limit (paper fixes N = 8)",
+    );
     // Bursts of 12 correlated requests: a limit below 12 splits each
     // burst, losing some of its C(12,2) pairs per occurrence.
-    let (events, truth) = bursty_events(config.seed + 1, 8, 12, 300);
-    println!(
+    let (events, truth) = bursty_events(ctx.config.seed + 1, 8, 12, 300);
+    outln!(
+        out,
         "{:<7} {:>12} {:>12} {:>8} {:>10}",
-        "limit", "txns", "pair ops", "recall", "precision"
+        "limit",
+        "txns",
+        "pair ops",
+        "recall",
+        "precision"
     );
     let mut csv = String::from("limit,transactions,pair_ops,recall,precision\n");
     for limit in [2usize, 4, 8, 16, 32] {
@@ -180,7 +196,8 @@ pub fn txn_limit_ablation(config: &ExpConfig) {
             .collect();
         let d = detection(&detected, &truth);
         let stats = analyzer.stats();
-        println!(
+        outln!(
+            out,
             "{:<7} {:>12} {:>12} {:>7.0}% {:>9.0}%",
             limit,
             txns.len(),
@@ -188,42 +205,47 @@ pub fn txn_limit_ablation(config: &ExpConfig) {
             d.recall * 100.0,
             d.precision * 100.0
         );
-        writeln!(
+        outln!(
             csv,
             "{limit},{},{},{:.4},{:.4}",
             txns.len(),
             stats.pairs,
             d.recall,
             d.precision
-        )
-        .expect("writing to String");
+        );
     }
-    println!(
+    outln!(
+        out,
         "\nreading: pair operations grow quadratically with the limit while \
          detection saturates — the paper's N = 8 buys stable stream \
          processing at negligible accuracy cost."
     );
-    save_csv(config, "fig12_txn_limit.csv", &csv);
+    save_csv(&mut out, &ctx.config, "fig12_txn_limit.csv", &csv);
+    out
 }
 
 /// Promotion-threshold and tier-ratio sweep (extension): the paper
 /// promotes on the first hit (threshold 2) and uses equal tiers; this
 /// quantifies both choices on a real-world-like trace.
-pub fn synopsis_ablation(config: &ExpConfig) {
-    banner("Synopsis ablation (extension): promotion threshold and T1:T2 ratio");
-    let txns = crate::support::server_transactions(MsrServer::Wdev, config);
-    let truth = count_pairs(&txns);
+pub fn synopsis_ablation(ctx: &ExpContext) -> String {
+    let mut out = String::new();
+    banner(
+        &mut out,
+        "Synopsis ablation (extension): promotion threshold and T1:T2 ratio",
+    );
+    let txns = ctx.transactions(MsrServer::Wdev);
+    let truth = ctx.ground_truth(MsrServer::Wdev);
     let offline: HashSet<ExtentPair> = frequent_pairs(&truth, 5)
         .into_iter()
         .map(|(p, _)| p)
         .collect();
     let total_capacity = 8 * 1024; // entries across both tiers
 
-    println!("{:<26} {:>8} {:>10}", "variant", "recall", "precision");
+    outln!(out, "{:<26} {:>8} {:>10}", "variant", "recall", "precision");
     let mut csv = String::from("variant,recall,precision\n");
-    let mut eval = |label: String, analyzer_config: AnalyzerConfig| {
+    let mut eval = |out: &mut String, label: String, analyzer_config: AnalyzerConfig| {
         let mut analyzer = OnlineAnalyzer::new(analyzer_config);
-        for txn in &txns {
+        for txn in txns.iter() {
             analyzer.process(txn);
         }
         let online: HashSet<ExtentPair> = analyzer
@@ -232,31 +254,38 @@ pub fn synopsis_ablation(config: &ExpConfig) {
             .map(|(p, _)| p)
             .collect();
         let d = detection(&online, &offline);
-        println!(
+        outln!(
+            out,
             "{:<26} {:>7.1}% {:>9.1}%",
             label,
             d.recall * 100.0,
             d.precision * 100.0
         );
-        writeln!(csv, "{label},{:.4},{:.4}", d.recall, d.precision).expect("writing to String");
+        outln!(csv, "{label},{:.4},{:.4}", d.recall, d.precision);
     };
 
     for threshold in [2u32, 3, 4, 8] {
         eval(
+            &mut out,
             format!("threshold {threshold}, equal tiers"),
             AnalyzerConfig::with_capacity(total_capacity / 2).promote_threshold(threshold),
         );
     }
-    println!();
-    save_csv(config, "ablation_synopsis.csv", &csv);
+    outln!(out);
+    save_csv(&mut out, &ctx.config, "ablation_synopsis.csv", &csv);
+    out
 }
 
 /// Fig. 13 (extension): the streaming-FIM baseline (our estDec+ stand-in)
 /// vs the synopsis — accuracy at equal pair budget, and throughput.
-pub fn stream_baseline(config: &ExpConfig) {
-    banner("Fig. 13 (extension): streaming-FIM baseline vs the synopsis");
-    let txns = crate::support::server_transactions(MsrServer::Rsrch, config);
-    let truth = count_pairs(&txns);
+pub fn stream_baseline(ctx: &ExpContext) -> String {
+    let mut out = String::new();
+    banner(
+        &mut out,
+        "Fig. 13 (extension): streaming-FIM baseline vs the synopsis",
+    );
+    let txns = ctx.transactions(MsrServer::Rsrch);
+    let truth = ctx.ground_truth(MsrServer::Rsrch);
     let offline: HashSet<ExtentPair> = frequent_pairs(&truth, 5)
         .into_iter()
         .map(|(p, _)| p)
@@ -266,7 +295,7 @@ pub fn stream_baseline(config: &ExpConfig) {
     // The synopsis (budget split over two tiers).
     let start = Instant::now();
     let mut analyzer = OnlineAnalyzer::new(AnalyzerConfig::with_capacity(budget / 2));
-    for txn in &txns {
+    for txn in txns.iter() {
         analyzer.process(txn);
     }
     let synopsis_time = start.elapsed();
@@ -280,7 +309,7 @@ pub fn stream_baseline(config: &ExpConfig) {
     // The decayed streaming miner at the same pair budget.
     let start = Instant::now();
     let mut miner = DecayedPairMiner::new(budget, 0.9999);
-    for txn in &txns {
+    for txn in txns.iter() {
         miner.process(txn);
     }
     let miner_time = start.elapsed();
@@ -300,7 +329,7 @@ pub fn stream_baseline(config: &ExpConfig) {
         insertion_threshold: 2.0,
         max_len: 4,
     });
-    for txn in &txns {
+    for txn in txns.iter() {
         estdec.process(txn);
     }
     let estdec_time = start.elapsed();
@@ -312,25 +341,32 @@ pub fn stream_baseline(config: &ExpConfig) {
         .collect();
     let estdec_d = detection(&estdec_pairs, &offline);
 
-    println!(
+    outln!(
+        out,
         "{:<22} {:>8} {:>10} {:>14}",
-        "method", "recall", "precision", "time"
+        "method",
+        "recall",
+        "precision",
+        "time"
     );
-    println!(
+    outln!(
+        out,
         "{:<22} {:>7.1}% {:>9.1}% {:>14?}",
         "two-tier synopsis",
         synopsis_d.recall * 100.0,
         synopsis_d.precision * 100.0,
         synopsis_time
     );
-    println!(
+    outln!(
+        out,
         "{:<22} {:>7.1}% {:>9.1}% {:>14?}",
         "decayed stream miner",
         miner_d.recall * 100.0,
         miner_d.precision * 100.0,
         miner_time
     );
-    println!(
+    outln!(
+        out,
         "{:<22} {:>7.1}% {:>9.1}% {:>14?}",
         "estDec-style lattice",
         estdec_d.recall * 100.0,
@@ -338,39 +374,38 @@ pub fn stream_baseline(config: &ExpConfig) {
         estdec_time
     );
     let mut csv = String::from("method,recall,precision,time_s\n");
-    writeln!(
+    outln!(
         csv,
         "estdec,{:.4},{:.4},{:.6}",
         estdec_d.recall,
         estdec_d.precision,
         estdec_time.as_secs_f64()
-    )
-    .expect("writing to String");
-    writeln!(
+    );
+    outln!(
         csv,
         "synopsis,{:.4},{:.4},{:.6}",
         synopsis_d.recall,
         synopsis_d.precision,
         synopsis_time.as_secs_f64()
-    )
-    .expect("writing to String");
-    writeln!(
+    );
+    outln!(
         csv,
         "stream_miner,{:.4},{:.4},{:.6}",
         miner_d.recall,
         miner_d.precision,
         miner_time.as_secs_f64()
-    )
-    .expect("writing to String");
-    save_csv(config, "fig13_stream_baseline.csv", &csv);
+    );
+    save_csv(&mut out, &ctx.config, "fig13_stream_baseline.csv", &csv);
+    out
 }
 
-/// Runs every ablation.
-pub fn run(config: &ExpConfig) {
-    window_ablation(config);
-    txn_limit_ablation(config);
-    synopsis_ablation(config);
-    stream_baseline(config);
+/// Runs every ablation, returning the concatenated report.
+pub fn run(ctx: &ExpContext) -> String {
+    let mut out = window_ablation(ctx);
+    out.push_str(&txn_limit_ablation(ctx));
+    out.push_str(&synopsis_ablation(ctx));
+    out.push_str(&stream_baseline(ctx));
+    out
 }
 
 /// Helper used by the window ablation's doc — kept for tests.

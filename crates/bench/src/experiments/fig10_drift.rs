@@ -3,29 +3,24 @@
 //! correlation table snapshotted at each phase boundary.
 
 use std::collections::HashSet;
-use std::fmt::Write as _;
 
-use rtdac_fim::count_pairs;
+use rtdac_fim::PairCounts;
 use rtdac_metrics::{phase_affinity, Heatmap};
 use rtdac_synopsis::{AnalyzerConfig, OnlineAnalyzer};
-use rtdac_types::{ExtentPair, Transaction};
+use rtdac_types::ExtentPair;
 use rtdac_workloads::MsrServer;
 
-use crate::support::{banner, monitored, save_csv, ExpConfig};
+use crate::support::{banner, save_csv, ExpContext};
+use crate::{out, outln};
 
 const GRID: usize = 56;
 const GRID_ROWS: usize = 16;
 
-fn phase_transactions(server: MsrServer, skip: usize, len: usize, seed: u64) -> Vec<Transaction> {
-    let trace = server.synthesize(skip + len, seed).slice(skip, skip + len);
-    monitored(&trace, server.paper_reference().replay_speedup, seed)
-}
-
-fn recurring(txns: &[Transaction]) -> HashSet<ExtentPair> {
-    count_pairs(txns)
-        .into_iter()
-        .filter(|&(_, c)| c >= 3)
-        .map(|(p, _)| p)
+fn recurring(counts: &PairCounts) -> HashSet<ExtentPair> {
+    counts
+        .iter()
+        .filter(|&(_, &c)| c >= 3)
+        .map(|(&p, _)| p)
         .collect()
 }
 
@@ -33,32 +28,34 @@ fn recurring(txns: &[Transaction]) -> HashSet<ExtentPair> {
 /// table (the paper uses C = 32 K at full scale; we scale to the
 /// configured request count) and reports each snapshot's affinity to
 /// the wdev and hm patterns.
-pub fn run(config: &ExpConfig) {
-    let phase_len = (config.requests * 3 / 4).max(10_000);
+pub fn run(ctx: &ExpContext) -> String {
+    let mut out = String::new();
+    let phase_len = (ctx.config.requests * 3 / 4).max(10_000);
     // Fig. 10 uses C = 32 K for 100 K-request phases; keep the ratio.
     let capacity = (phase_len / 8).next_power_of_two().max(1024);
-    banner(&format!(
-        "Fig. 10: concept drift  (wdev {phase_len} reqs → hm {phase_len} → \
-         wdev {phase_len}; C = {capacity} entries/tier)"
-    ));
+    banner(
+        &mut out,
+        &format!(
+            "Fig. 10: concept drift  (wdev {phase_len} reqs → hm {phase_len} → \
+             wdev {phase_len}; C = {capacity} entries/tier)"
+        ),
+    );
 
     let phases = [
         (
             "wdev-1",
-            phase_transactions(MsrServer::Wdev, 0, phase_len, config.seed),
+            ctx.sliced_transactions(MsrServer::Wdev, 0, phase_len),
         ),
-        (
-            "hm",
-            phase_transactions(MsrServer::Hm, 0, phase_len, config.seed),
-        ),
+        ("hm", ctx.sliced_transactions(MsrServer::Hm, 0, phase_len)),
         (
             "wdev-2",
-            phase_transactions(MsrServer::Wdev, phase_len, phase_len, config.seed),
+            ctx.sliced_transactions(MsrServer::Wdev, phase_len, phase_len),
         ),
     ];
-    let wdev_pattern = recurring(&phases[0].1);
-    let hm_pattern = recurring(&phases[1].1);
-    println!(
+    let wdev_pattern = recurring(&ctx.sliced_ground_truth(MsrServer::Wdev, 0, phase_len));
+    let hm_pattern = recurring(&ctx.sliced_ground_truth(MsrServer::Hm, 0, phase_len));
+    outln!(
+        out,
         "patterns: wdev {} recurring pairs, hm {} recurring pairs",
         wdev_pattern.len(),
         hm_pattern.len()
@@ -69,13 +66,14 @@ pub fn run(config: &ExpConfig) {
     let mut csv = String::from("snapshot,wdev_share,hm_share,wdev_coverage,hm_coverage\n");
     let mut shares = Vec::new();
     for (label, txns) in &phases {
-        for txn in txns {
+        for txn in txns.iter() {
             analyzer.process(txn);
         }
         let snapshot = analyzer.snapshot();
         let wdev_aff = phase_affinity(&snapshot, &wdev_pattern);
         let hm_aff = phase_affinity(&snapshot, &hm_pattern);
-        println!(
+        outln!(
+            out,
             "\nafter {label}: {} pairs stored | snapshot share: wdev {:.0}%, hm {:.0}%",
             snapshot.pairs.len(),
             wdev_aff.snapshot_share * 100.0,
@@ -83,27 +81,34 @@ pub fn run(config: &ExpConfig) {
         );
         let pairs: Vec<ExtentPair> = snapshot.pairs.iter().map(|(p, _, _)| *p).collect();
         let map = Heatmap::from_pairs(pairs.iter(), span, GRID, GRID_ROWS);
-        print!("{}", map.to_ascii());
-        writeln!(
+        out!(out, "{}", map.to_ascii());
+        outln!(
             csv,
             "{label},{:.4},{:.4},{:.4},{:.4}",
             wdev_aff.snapshot_share,
             hm_aff.snapshot_share,
             wdev_aff.phase_coverage,
             hm_aff.phase_coverage
-        )
-        .expect("writing to String");
+        );
         shares.push((wdev_aff.snapshot_share, hm_aff.snapshot_share));
     }
 
-    println!(
+    outln!(
+        out,
         "\npaper's narrative: \"The pattern of wdev forming at the beginning \
          is replaced by the pattern of hm in the middle, which begins to \
          fade after more wdev requests.\""
     );
-    println!(
+    outln!(
+        out,
         "measured: wdev share {:.2} → {:.2} → {:.2}; hm share {:.2} → {:.2} → {:.2}",
-        shares[0].0, shares[1].0, shares[2].0, shares[0].1, shares[1].1, shares[2].1
+        shares[0].0,
+        shares[1].0,
+        shares[2].0,
+        shares[0].1,
+        shares[1].1,
+        shares[2].1
     );
-    save_csv(config, "fig10_concept_drift.csv", &csv);
+    save_csv(&mut out, &ctx.config, "fig10_concept_drift.csv", &csv);
+    out
 }

@@ -7,14 +7,13 @@
 //! inspiration) runs beside LRU and LFU, so the value of the two-tier
 //! recency/frequency balance is visible in the same table.
 
-use std::fmt::Write as _;
-
 use rtdac_cache::{run_workload, ArcCache, Cache, LfuCache, LruCache, PrefetchConfig};
 use rtdac_synopsis::{AnalyzerConfig, OnlineAnalyzer};
 use rtdac_types::{Extent, Transaction};
 use rtdac_workloads::MsrServer;
 
-use crate::support::{banner, save_csv, server_transactions, ExpConfig};
+use crate::outln;
+use crate::support::{banner, save_csv, ExpContext};
 
 fn fresh_analyzer() -> OnlineAnalyzer {
     OnlineAnalyzer::new(AnalyzerConfig::with_capacity(16 * 1024))
@@ -30,28 +29,40 @@ fn run_policy<C: Cache<Extent>>(
     (stats.hit_rate(), stats.prefetched_hits)
 }
 
-/// Runs the five-policy comparison per trace.
-pub fn run(config: &ExpConfig) {
-    banner(&format!(
-        "Fig. 14 (extension): correlation-informed prefetching \
-         ({} requests/trace, cache = 256 extents)",
-        config.requests
-    ));
+/// Runs the five-policy comparison per trace, returning the report.
+pub fn run(ctx: &ExpContext) -> String {
+    let mut out = String::new();
+    banner(
+        &mut out,
+        &format!(
+            "Fig. 14 (extension): correlation-informed prefetching \
+             ({} requests/trace, cache = 256 extents)",
+            ctx.config.requests
+        ),
+    );
     let capacity = 256;
     let prefetch = PrefetchConfig::default();
-    println!(
+    outln!(
+        out,
         "{:<7} {:>8} {:>8} {:>8} {:>12} {:>12} {:>14}",
-        "trace", "LRU", "LFU", "ARC", "LRU+corr", "ARC+corr", "pf-hits (ARC)"
+        "trace",
+        "LRU",
+        "LFU",
+        "ARC",
+        "LRU+corr",
+        "ARC+corr",
+        "pf-hits (ARC)"
     );
     let mut csv = String::from("trace,lru,lfu,arc,lru_prefetch,arc_prefetch\n");
     for server in MsrServer::ALL {
-        let txns = server_transactions(server, config);
+        let txns = ctx.transactions(server);
         let (lru, _) = run_policy(LruCache::new(capacity), &txns, None);
         let (lfu, _) = run_policy(LfuCache::new(capacity), &txns, None);
         let (arc, _) = run_policy(ArcCache::new(capacity), &txns, None);
         let (lru_pf, _) = run_policy(LruCache::new(capacity), &txns, Some(prefetch));
         let (arc_pf, pf_hits) = run_policy(ArcCache::new(capacity), &txns, Some(prefetch));
-        println!(
+        outln!(
+            out,
             "{:<7} {:>7.1}% {:>7.1}% {:>7.1}% {:>11.1}% {:>11.1}% {:>14}",
             server.name(),
             lru * 100.0,
@@ -61,7 +72,7 @@ pub fn run(config: &ExpConfig) {
             arc_pf * 100.0,
             pf_hits,
         );
-        writeln!(
+        outln!(
             csv,
             "{},{:.4},{:.4},{:.4},{:.4},{:.4}",
             server.name(),
@@ -70,14 +81,15 @@ pub fn run(config: &ExpConfig) {
             arc,
             lru_pf,
             arc_pf
-        )
-        .expect("writing to String");
+        );
     }
-    println!(
+    outln!(
+        out,
         "\nreading: correlation prefetching converts detected extent \
          correlations into demand hits the moment the partner extent is \
          requested; ARC (the synopsis design's inspiration) provides the \
          strongest base policy."
     );
-    save_csv(config, "fig14_cache_prefetch.csv", &csv);
+    save_csv(&mut out, &ctx.config, "fig14_cache_prefetch.csv", &csv);
+    out
 }

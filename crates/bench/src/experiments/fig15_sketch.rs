@@ -8,16 +8,16 @@
 //!    sketch has no recency axis, so stale heavy pairs linger.
 
 use std::collections::HashSet;
-use std::fmt::Write as _;
 
-use rtdac_fim::{count_pairs, frequent_pairs};
+use rtdac_fim::frequent_pairs;
 use rtdac_metrics::detection;
 use rtdac_sketch::{CmsPairMiner, SpaceSavingPairMiner};
 use rtdac_synopsis::{AnalyzerConfig, OnlineAnalyzer};
 use rtdac_types::{ExtentPair, Transaction};
 use rtdac_workloads::MsrServer;
 
-use crate::support::{banner, save_csv, server_transactions, ExpConfig};
+use crate::outln;
+use crate::support::{banner, save_csv, ExpContext};
 
 const SUPPORT: u32 = 5;
 /// Equal-memory budget for every contender (bytes).
@@ -73,24 +73,32 @@ fn run_contenders(txns: &[Transaction], budget: usize) -> Vec<Contender> {
     ]
 }
 
-/// Runs both comparison axes.
-pub fn run(config: &ExpConfig) {
-    banner(&format!(
-        "Fig. 15 (extension): synopsis vs sketches at equal memory \
-         ({} KB each, support {SUPPORT}, {} requests/trace)",
-        BUDGET / 1024,
-        config.requests
-    ));
+/// Runs both comparison axes, returning the report.
+pub fn run(ctx: &ExpContext) -> String {
+    let mut out = String::new();
+    banner(
+        &mut out,
+        &format!(
+            "Fig. 15 (extension): synopsis vs sketches at equal memory \
+             ({} KB each, support {SUPPORT}, {} requests/trace)",
+            BUDGET / 1024,
+            ctx.config.requests
+        ),
+    );
 
     // Axis 1: accuracy vs offline mining.
-    println!(
+    outln!(
+        out,
         "{:<7} {:<20} {:>8} {:>10}",
-        "trace", "method", "recall", "precision"
+        "trace",
+        "method",
+        "recall",
+        "precision"
     );
     let mut csv = String::from("trace,method,recall,precision\n");
     for server in [MsrServer::Wdev, MsrServer::Stg, MsrServer::Hm] {
-        let txns = server_transactions(server, config);
-        let truth = count_pairs(&txns);
+        let txns = ctx.transactions(server);
+        let truth = ctx.ground_truth(server);
         let offline: HashSet<ExtentPair> = frequent_pairs(&truth, SUPPORT)
             .into_iter()
             .map(|(p, _)| p)
@@ -98,22 +106,22 @@ pub fn run(config: &ExpConfig) {
         for contender in run_contenders(&txns, BUDGET) {
             let detected: HashSet<ExtentPair> = contender.pairs.iter().copied().collect();
             let d = detection(&detected, &offline);
-            println!(
+            outln!(
+                out,
                 "{:<7} {:<20} {:>7.1}% {:>9.1}%",
                 server.name(),
                 contender.name,
                 d.recall * 100.0,
                 d.precision * 100.0
             );
-            writeln!(
+            outln!(
                 csv,
                 "{},{},{:.4},{:.4}",
                 server.name(),
                 contender.name,
                 d.recall,
                 d.precision
-            )
-            .expect("writing to String");
+            );
         }
     }
 
@@ -122,35 +130,26 @@ pub fn run(config: &ExpConfig) {
     // (hm) phase?
     // A deliberately tight budget (as in Fig. 10) so forgetting matters.
     let drift_budget = 48 * 1024;
-    let phase_len = config.requests;
-    println!(
+    outln!(
+        out,
         "\nconcept drift (wdev then hm, {} KB budget): share of reported \
          pairs from the current phase",
         drift_budget / 1024
     );
-    let wdev_txns = {
-        let trace = MsrServer::Wdev.synthesize(phase_len, config.seed);
-        crate::support::monitored(
-            &trace,
-            MsrServer::Wdev.paper_reference().replay_speedup,
-            config.seed,
-        )
-    };
-    let hm_txns = {
-        let trace = MsrServer::Hm.synthesize(phase_len, config.seed);
-        crate::support::monitored(
-            &trace,
-            MsrServer::Hm.paper_reference().replay_speedup,
-            config.seed,
-        )
-    };
-    let hm_pattern: HashSet<ExtentPair> = count_pairs(&hm_txns).into_keys().collect();
+    // The drift phases are the full configured workloads, so both the
+    // transactions and hm's pair pattern come from the shared cache.
+    let wdev_txns = ctx.transactions(MsrServer::Wdev);
+    let hm_txns = ctx.transactions(MsrServer::Hm);
+    let hm_pattern: HashSet<ExtentPair> = ctx.ground_truth(MsrServer::Hm).keys().copied().collect();
 
-    let mut combined = wdev_txns;
-    combined.extend(hm_txns);
-    println!(
+    let mut combined = (*wdev_txns).clone();
+    combined.extend(hm_txns.iter().cloned());
+    outln!(
+        out,
         "{:<20} {:>16} {:>18}",
-        "method", "reported pairs", "current-phase %"
+        "method",
+        "reported pairs",
+        "current-phase %"
     );
     for contender in run_contenders(&combined, drift_budget) {
         let total = contender.pairs.len().max(1);
@@ -160,22 +159,23 @@ pub fn run(config: &ExpConfig) {
             .filter(|p| hm_pattern.contains(p))
             .count();
         let share = current as f64 / total as f64;
-        println!(
+        outln!(
+            out,
             "{:<20} {:>16} {:>17.1}%",
             contender.name,
             contender.pairs.len(),
             share * 100.0
         );
-        writeln!(
+        outln!(
             csv,
             "drift,{},{:.4},{}",
             contender.name,
             share,
             contender.pairs.len()
-        )
-        .expect("writing to String");
+        );
     }
-    println!(
+    outln!(
+        out,
         "\nreading: on stable workloads the sketches trade precision for \
          recall (space-saving's counts inflate catastrophically on stg's \
          churn), while the synopsis never over-reports. After a drift, \
@@ -183,5 +183,6 @@ pub fn run(config: &ExpConfig) {
          forget by construction (Fig. 10) — while the sketches, having no \
          recency axis, still carry stale pairs and over-report heavily."
     );
-    save_csv(config, "fig15_sketch_comparison.csv", &csv);
+    save_csv(&mut out, &ctx.config, "fig15_sketch_comparison.csv", &csv);
+    out
 }

@@ -6,32 +6,42 @@
 use rtdac_metrics::Heatmap;
 use rtdac_workloads::MsrServer;
 
-use crate::support::{banner, save_csv, server_trace, ExpConfig};
+use crate::support::{banner, save_csv, ExpContext};
+use crate::{out, outln};
 
-/// Renders each server's heat map as ASCII (72×20) and CSV (256×128).
-pub fn run(config: &ExpConfig) {
-    banner(&format!(
-        "Fig. 1: storage heat maps  ({} requests/trace)",
-        config.requests
-    ));
+/// Renders each server's heat map as ASCII (72×20) and CSV (256×128),
+/// returning the report.
+pub fn run(ctx: &ExpContext) -> String {
+    let mut out = String::new();
+    banner(
+        &mut out,
+        &format!(
+            "Fig. 1: storage heat maps  ({} requests/trace)",
+            ctx.config.requests
+        ),
+    );
     for server in MsrServer::ALL {
-        let trace = server_trace(server, config);
+        let trace = ctx.trace(server);
         let ascii = Heatmap::from_trace(&trace, 72, 20);
-        println!(
+        outln!(
+            out,
             "\n--- {} ({}) — request sequence → block number ↑ ---",
             server.name(),
             server.description()
         );
-        print!("{}", ascii.to_ascii());
+        out!(out, "{}", ascii.to_ascii());
         let fine = Heatmap::from_trace(&trace, 256, 128);
         save_csv(
-            config,
+            &mut out,
+            &ctx.config,
             &format!("fig1_heatmap_{}.csv", server.name()),
             &fine.to_csv(),
         );
     }
-    println!(
+    outln!(
+        out,
         "\nvertical stripes repeating horizontally = recurring correlated \
          groups, as in the paper's Fig. 1"
     );
+    out
 }

@@ -2,31 +2,39 @@
 //! counted by unique pairs (solid line) and weighted by frequency
 //! (dashed line), for each real-world trace.
 
-use std::fmt::Write as _;
-
-use rtdac_fim::count_pairs;
 use rtdac_metrics::FrequencyCdf;
 use rtdac_workloads::MsrServer;
 
-use crate::support::{banner, save_csv, server_transactions, ExpConfig};
+use crate::outln;
+use crate::support::{banner, save_csv, ExpContext};
 
-/// Computes and prints each trace's frequency CDF, highlighting the
-/// support-1 knee the paper calls out.
-pub fn run(config: &ExpConfig) {
-    banner(&format!(
-        "Fig. 5: CDF of extent correlations by frequency  ({} requests/trace)",
-        config.requests
-    ));
-    println!(
+/// Computes each trace's frequency CDF, highlighting the support-1 knee
+/// the paper calls out, and returns the report.
+pub fn run(ctx: &ExpContext) -> String {
+    let mut out = String::new();
+    banner(
+        &mut out,
+        &format!(
+            "Fig. 5: CDF of extent correlations by frequency  ({} requests/trace)",
+            ctx.config.requests
+        ),
+    );
+    outln!(
+        out,
         "{:<7} {:>12} {:>14} {:>15} {:>16} {:>16}",
-        "trace", "unique pairs", "occurrences", "unique@supp1", "weighted@supp1", "weighted@supp5"
+        "trace",
+        "unique pairs",
+        "occurrences",
+        "unique@supp1",
+        "weighted@supp1",
+        "weighted@supp5"
     );
     let mut csv = String::from("trace,frequency,unique_fraction,weighted_fraction\n");
     for server in MsrServer::ALL {
-        let txns = server_transactions(server, config);
-        let counts = count_pairs(&txns);
+        let counts = ctx.ground_truth(server);
         let cdf = FrequencyCdf::from_counts(&counts);
-        println!(
+        outln!(
+            out,
             "{:<7} {:>12} {:>14} {:>14.1}% {:>15.1}% {:>15.1}%",
             server.name(),
             cdf.total_pairs(),
@@ -36,22 +44,23 @@ pub fn run(config: &ExpConfig) {
             cdf.weighted_fraction_at(5) * 100.0,
         );
         for point in cdf.points() {
-            writeln!(
+            outln!(
                 csv,
                 "{},{},{:.6},{:.6}",
                 server.name(),
                 point.frequency,
                 point.unique_fraction,
                 point.weighted_fraction
-            )
-            .expect("writing to String");
+            );
         }
     }
-    println!(
+    outln!(
+        out,
         "\npaper's reading: the solid (unique) line rises quickly — most \
          unique pairs are infrequent — while the dashed (weighted) line \
          rises slowly: a Zipf-like distribution. Raising the supported \
          frequency a little shrinks the synopsis a lot."
     );
-    save_csv(config, "fig5_correlation_cdf.csv", &csv);
+    save_csv(&mut out, &ctx.config, "fig5_correlation_cdf.csv", &csv);
+    out
 }

@@ -3,32 +3,39 @@
 //! total correlation frequency they cover, i.e. the optimal curve any
 //! bounded table is judged against.
 
-use std::fmt::Write as _;
-
-use rtdac_fim::count_pairs;
 use rtdac_metrics::OptimalCurve;
 use rtdac_workloads::MsrServer;
 
-use crate::support::{banner, save_csv, server_transactions, ExpConfig};
+use crate::outln;
+use crate::support::{banner, save_csv, ExpContext};
 
 /// Computes each trace's optimal curve and the minimum table sizes for
-/// 40/80/100% coverage.
-pub fn run(config: &ExpConfig) {
-    banner(&format!(
-        "Fig. 6: table size necessary to support real-world traces \
-         ({} requests/trace)",
-        config.requests
-    ));
-    println!(
+/// 40/80/100% coverage, returning the report.
+pub fn run(ctx: &ExpContext) -> String {
+    let mut out = String::new();
+    banner(
+        &mut out,
+        &format!(
+            "Fig. 6: table size necessary to support real-world traces \
+             ({} requests/trace)",
+            ctx.config.requests
+        ),
+    );
+    outln!(
+        out,
         "{:<7} {:>12} {:>12} {:>12} {:>14}",
-        "trace", "pairs total", "n for 40%", "n for 80%", "n for 100%"
+        "trace",
+        "pairs total",
+        "n for 40%",
+        "n for 80%",
+        "n for 100%"
     );
     let mut csv = String::from("trace,n_pairs,optimal_fraction\n");
     for server in MsrServer::ALL {
-        let txns = server_transactions(server, config);
-        let counts = count_pairs(&txns);
+        let counts = ctx.ground_truth(server);
         let curve = OptimalCurve::from_counts(&counts);
-        println!(
+        outln!(
+            out,
             "{:<7} {:>12} {:>12} {:>12} {:>14}",
             server.name(),
             curve.unique_pairs(),
@@ -45,24 +52,24 @@ pub fn run(config: &ExpConfig) {
         // Log-spaced sample of the curve for plotting.
         let mut n = 1usize;
         while n <= curve.unique_pairs() {
-            writeln!(
+            outln!(
                 csv,
                 "{},{},{:.6}",
                 server.name(),
                 n,
                 curve.optimal_fraction(n)
-            )
-            .expect("writing to String");
+            );
             n = (n * 5 / 4).max(n + 1);
         }
-        writeln!(csv, "{},{},{:.6}", server.name(), curve.unique_pairs(), 1.0)
-            .expect("writing to String");
+        outln!(csv, "{},{},{:.6}", server.name(), curve.unique_pairs(), 1.0);
     }
-    println!(
+    outln!(
+        out,
         "\npaper's reading: ~40% of all extent correlations are \
          representable with a small table; wdev/src2/rsrch are fully \
          representable with roughly half a million entries (at the \
          original scale)."
     );
-    save_csv(config, "fig6_table_size.csv", &csv);
+    save_csv(&mut out, &ctx.config, "fig6_table_size.csv", &csv);
+    out
 }

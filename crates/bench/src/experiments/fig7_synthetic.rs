@@ -15,22 +15,28 @@ use rtdac_synopsis::{AnalyzerConfig, OnlineAnalyzer};
 use rtdac_types::ExtentPair;
 use rtdac_workloads::{SyntheticKind, SyntheticSpec};
 
-use crate::support::{banner, save_csv, ExpConfig};
+use crate::pool;
+use crate::support::{banner, save_csv, ExpContext};
+use crate::{out, outln};
 
 const SUPPORT: u32 = 10;
 const GRID: usize = 56;
 const GRID_ROWS: usize = 18;
 
 /// Runs all three synthetic workloads through the pipeline and renders
-/// the four Fig. 7 panels per workload.
-pub fn run(config: &ExpConfig) {
-    banner("Fig. 7: offline vs online analysis of synthetic workloads");
+/// the four Fig. 7 panels per workload, returning the report.
+pub fn run(ctx: &ExpContext) -> String {
+    let mut out = String::new();
+    banner(
+        &mut out,
+        "Fig. 7: offline vs online analysis of synthetic workloads",
+    );
     for (i, kind) in SyntheticKind::ALL.into_iter().enumerate() {
         let workload = SyntheticSpec::new(kind)
             .events(2_000)
-            .seed(config.seed + i as u64)
+            .seed(ctx.config.seed + i as u64)
             .generate();
-        let mut ssd = NvmeSsdModel::new(config.seed);
+        let mut ssd = NvmeSsdModel::new(ctx.config.seed);
         let replayed = replay(
             &workload.trace,
             &mut ssd,
@@ -42,9 +48,10 @@ pub fn run(config: &ExpConfig) {
         let counts = count_pairs(&txns);
         let all_pairs: Vec<ExtentPair> = counts.keys().copied().collect();
 
-        // Panel 3: offline eclat, support 10, pairs only.
+        // Panel 3: offline eclat, support 10, pairs only — mined with
+        // first-level equivalence classes spread over the work pool.
         let db = TransactionDb::from_transactions(&txns);
-        let mined = Eclat::new(SUPPORT).max_len(2).mine(&db);
+        let mined = pool::eclat_parallel(ctx.threads, &Eclat::new(SUPPORT).max_len(2), &db);
         let offline: Vec<ExtentPair> = mined
             .of_len(2)
             .map(|(set, _)| ExtentPair::new(set[0], set[1]).expect("distinct"))
@@ -67,28 +74,31 @@ pub fn run(config: &ExpConfig) {
         let offline_map = Heatmap::from_pairs(offline.iter(), span, GRID, GRID_ROWS);
         let online_map = Heatmap::from_pairs(online.iter(), span, GRID, GRID_ROWS);
 
-        println!("\n================ {} ================", kind.name());
-        println!("[trace heat map]");
-        print!("{}", trace_map.to_ascii());
-        println!("[support-1 pairs: {}]", all_pairs.len());
-        print!("{}", support1_map.to_ascii());
-        println!(
+        outln!(out, "\n================ {} ================", kind.name());
+        outln!(out, "[trace heat map]");
+        out!(out, "{}", trace_map.to_ascii());
+        outln!(out, "[support-1 pairs: {}]", all_pairs.len());
+        out!(out, "{}", support1_map.to_ascii());
+        outln!(
+            out,
             "[offline eclat, support {SUPPORT}: {} pairs]",
             offline.len()
         );
-        print!("{}", offline_map.to_ascii());
-        println!(
+        out!(out, "{}", offline_map.to_ascii());
+        outln!(
+            out,
             "[online analysis, support {SUPPORT}: {} pairs]",
             online.len()
         );
-        print!("{}", online_map.to_ascii());
+        out!(out, "{}", online_map.to_ascii());
 
         // Quantify "visually similar": online panel vs offline panel.
         let overlap = offline_map.occupancy_overlap(&online_map);
         let offline_set: HashSet<ExtentPair> = offline.iter().copied().collect();
         let online_set: HashSet<ExtentPair> = online.iter().copied().collect();
         let d = detection(&online_set, &offline_set);
-        println!(
+        outln!(
+            out,
             "similarity: occupancy overlap {:.0}%, recall {:.0}%, precision {:.0}% \
              vs offline",
             overlap * 100.0,
@@ -97,20 +107,25 @@ pub fn run(config: &ExpConfig) {
         );
         let truth: HashSet<ExtentPair> = workload.expected_pairs().into_iter().collect();
         let vs_truth = detection(&online_set, &truth);
-        println!(
+        outln!(
+            out,
             "constructed correlations found: {}/{}",
-            vs_truth.hits, vs_truth.truth_size
+            vs_truth.hits,
+            vs_truth.truth_size
         );
 
         save_csv(
-            config,
+            &mut out,
+            &ctx.config,
             &format!("fig7_{}_offline.csv", kind.name()),
             &offline_map.to_csv(),
         );
         save_csv(
-            config,
+            &mut out,
+            &ctx.config,
             &format!("fig7_{}_online.csv", kind.name()),
             &online_map.to_csv(),
         );
     }
+    out
 }

@@ -5,32 +5,38 @@
 
 use std::collections::HashSet;
 
-use rtdac_fim::{count_pairs, frequent_pairs};
+use rtdac_fim::frequent_pairs;
 use rtdac_metrics::{detection, Heatmap};
 use rtdac_types::ExtentPair;
 use rtdac_workloads::MsrServer;
 
-use crate::support::{analyze, banner, save_csv, server_transactions, ExpConfig};
+use crate::support::{analyze, banner, save_csv, ExpContext};
+use crate::{out, outln};
 
 const SUPPORT: u32 = 5;
 const GRID: usize = 56;
 const GRID_ROWS: usize = 18;
 
 /// Runs all five MSR-like traces through the pipeline and renders the
-/// three Fig. 8 panels per trace.
-pub fn run(config: &ExpConfig) {
-    banner(&format!(
-        "Fig. 8: offline vs online analysis of Microsoft traces \
-         (support {SUPPORT}, {} requests/trace)",
-        config.requests
-    ));
-    println!(
+/// three Fig. 8 panels per trace, returning the report.
+pub fn run(ctx: &ExpContext) -> String {
+    let mut out = String::new();
+    banner(
+        &mut out,
+        &format!(
+            "Fig. 8: offline vs online analysis of Microsoft traces \
+             (support {SUPPORT}, {} requests/trace)",
+            ctx.config.requests
+        ),
+    );
+    outln!(
+        out,
         "support 5 chosen because it is \"past the knee of the unique pairs \
          curve for all traces\" (Fig. 5)."
     );
     for server in MsrServer::ALL {
-        let txns = server_transactions(server, config);
-        let counts = count_pairs(&txns);
+        let txns = ctx.transactions(server);
+        let counts = ctx.ground_truth(server);
         let span = server.profile().number_space;
 
         let support1: Vec<ExtentPair> = counts.keys().copied().collect();
@@ -50,19 +56,24 @@ pub fn run(config: &ExpConfig) {
         let map5 = Heatmap::from_pairs(offline5.iter(), span, GRID, GRID_ROWS);
         let map_online = Heatmap::from_pairs(online5.iter(), span, GRID, GRID_ROWS);
 
-        println!("\n================ {} ================", server.name());
-        println!("[offline, support 1: {} pairs]", support1.len());
-        print!("{}", map1.to_ascii());
-        println!("[offline, support {SUPPORT}: {} pairs]", offline5.len());
-        print!("{}", map5.to_ascii());
-        println!("[online, support {SUPPORT}: {} pairs]", online5.len());
-        print!("{}", map_online.to_ascii());
+        outln!(out, "\n================ {} ================", server.name());
+        outln!(out, "[offline, support 1: {} pairs]", support1.len());
+        out!(out, "{}", map1.to_ascii());
+        outln!(
+            out,
+            "[offline, support {SUPPORT}: {} pairs]",
+            offline5.len()
+        );
+        out!(out, "{}", map5.to_ascii());
+        outln!(out, "[online, support {SUPPORT}: {} pairs]", online5.len());
+        out!(out, "{}", map_online.to_ascii());
 
         let overlap = map5.occupancy_overlap(&map_online);
         let offline_set: HashSet<ExtentPair> = offline5.iter().copied().collect();
         let online_set: HashSet<ExtentPair> = online5.iter().copied().collect();
         let d = detection(&online_set, &offline_set);
-        println!(
+        outln!(
+            out,
             "similarity vs offline support-{SUPPORT}: occupancy overlap {:.0}%, \
              recall {:.0}%, precision {:.0}%",
             overlap * 100.0,
@@ -70,7 +81,8 @@ pub fn run(config: &ExpConfig) {
             d.precision * 100.0
         );
         if server == MsrServer::Hm {
-            println!(
+            outln!(
+                out,
                 "note: hm's hot region pairs appear at support 1 but thin out \
                  at support {SUPPORT} — coincidental co-occurrence removed, \
                  as in the paper's Fig. 8e discussion."
@@ -78,14 +90,17 @@ pub fn run(config: &ExpConfig) {
         }
 
         save_csv(
-            config,
+            &mut out,
+            &ctx.config,
             &format!("fig8_{}_offline_s{SUPPORT}.csv", server.name()),
             &map5.to_csv(),
         );
         save_csv(
-            config,
+            &mut out,
+            &ctx.config,
             &format!("fig8_{}_online_s{SUPPORT}.csv", server.name()),
             &map_online.to_csv(),
         );
     }
+    out
 }

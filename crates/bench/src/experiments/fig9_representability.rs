@@ -10,13 +10,11 @@
 //! pair, and stg (huge number space, mostly infrequent pairs) trailing
 //! the others at small sizes.
 
-use std::fmt::Write as _;
-
-use rtdac_fim::count_pairs;
 use rtdac_metrics::representability;
 use rtdac_workloads::MsrServer;
 
-use crate::support::{analyze, banner, save_csv, server_transactions, ExpConfig};
+use crate::support::{analyze, banner, save_csv, ExpContext};
+use crate::{out, outln};
 
 /// Table sizes swept (entries per tier).
 pub const CAPACITIES: [usize; 9] = [
@@ -31,29 +29,33 @@ pub const CAPACITIES: [usize; 9] = [
     64 * 1024,
 ];
 
-/// Runs the sweep and prints captured-vs-optimal per trace and size.
-pub fn run(config: &ExpConfig) {
-    banner(&format!(
-        "Fig. 9: representability vs optimal  ({} requests/trace; table \
-         sizes scaled ~1/64 of the paper's 16K–4M)",
-        config.requests
-    ));
-    print!("{:<7}", "trace");
+/// Runs the sweep, returning captured-vs-optimal per trace and size.
+pub fn run(ctx: &ExpContext) -> String {
+    let mut out = String::new();
+    banner(
+        &mut out,
+        &format!(
+            "Fig. 9: representability vs optimal  ({} requests/trace; table \
+             sizes scaled ~1/64 of the paper's 16K–4M)",
+            ctx.config.requests
+        ),
+    );
+    out!(out, "{:<7}", "trace");
     for c in CAPACITIES {
-        print!(" {:>8}", format_size(c));
+        out!(out, " {:>8}", format_size(c));
     }
-    println!();
+    outln!(out);
     let mut csv = String::from("trace,capacity_per_tier,captured,optimal,versus_optimal\n");
     for server in MsrServer::ALL {
-        let txns = server_transactions(server, config);
-        let truth = count_pairs(&txns);
-        print!("{:<7}", server.name());
+        let txns = ctx.transactions(server);
+        let truth = ctx.ground_truth(server);
+        out!(out, "{:<7}", server.name());
         for c in CAPACITIES {
             let analyzer = analyze(&txns, c);
             let stored = analyzer.snapshot().pair_set();
             let r = representability(&stored, &truth);
-            print!(" {:>7.0}%", r.versus_optimal * 100.0);
-            writeln!(
+            out!(out, " {:>7.0}%", r.versus_optimal * 100.0);
+            outln!(
                 csv,
                 "{},{},{:.6},{:.6},{:.6}",
                 server.name(),
@@ -61,18 +63,19 @@ pub fn run(config: &ExpConfig) {
                 r.captured_fraction,
                 r.optimal_fraction,
                 r.versus_optimal
-            )
-            .expect("writing to String");
+            );
         }
-        println!();
+        outln!(out);
     }
-    println!(
+    outln!(
+        out,
         "\npaper's reading: quality is low for small tables and rises with \
          size, reaching 100% when the table can store every pair; stg \
          (largest number space, majority-infrequent pairs) trails at small \
          sizes because pairs that would become frequent are evicted first."
     );
-    save_csv(config, "fig9_representability.csv", &csv);
+    save_csv(&mut out, &ctx.config, "fig9_representability.csv", &csv);
+    out
 }
 
 fn format_size(c: usize) -> String {

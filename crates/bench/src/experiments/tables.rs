@@ -1,11 +1,10 @@
 //! Tables I and II of the paper.
 
-use std::fmt::Write as _;
-
 use rtdac_device::{replay_speedup, NvmeSsdModel};
 use rtdac_workloads::MsrServer;
 
-use crate::support::{banner, fmt_latency, save_csv, server_trace, ExpConfig};
+use crate::outln;
+use crate::support::{banner, fmt_latency, save_csv, ExpContext};
 
 /// Table I: Microsoft workload statistics — total data accessed, unique
 /// data accessed, and the fraction of interarrival gaps under 100 µs —
@@ -15,14 +14,25 @@ use crate::support::{banner, fmt_latency, save_csv, server_trace, ExpConfig};
 /// Absolute byte counts are scaled (our traces are `requests`-long, the
 /// originals week-long); the comparable columns are the reuse ratio and
 /// the interarrival fraction.
-pub fn table1(config: &ExpConfig) {
-    banner(&format!(
-        "Table I: workload statistics  (synthesized, {} requests/trace)",
-        config.requests
-    ));
-    println!(
+pub fn table1(ctx: &ExpContext) -> String {
+    let mut out = String::new();
+    banner(
+        &mut out,
+        &format!(
+            "Table I: workload statistics  (synthesized, {} requests/trace)",
+            ctx.config.requests
+        ),
+    );
+    outln!(
+        out,
         "{:<7} {:>10} {:>11} {:>12} {:>12} {:>12} {:>12}",
-        "trace", "total GB", "unique GB", "reuse", "paper reuse", "<100µs", "paper <100µs"
+        "trace",
+        "total GB",
+        "unique GB",
+        "reuse",
+        "paper reuse",
+        "<100µs",
+        "paper <100µs"
     );
     let mut csv = String::from(
         "trace,total_gb,unique_gb,reuse_ratio,paper_reuse_ratio,\
@@ -32,10 +42,11 @@ pub fn table1(config: &ExpConfig) {
     let mut unique_sum = 0.0;
     let mut fast_sum = 0.0;
     for server in MsrServer::ALL {
-        let trace = server_trace(server, config);
+        let trace = ctx.trace(server);
         let stats = trace.stats();
         let paper = server.paper_reference();
-        println!(
+        outln!(
+            out,
             "{:<7} {:>10.2} {:>11.3} {:>11.1}x {:>11.1}x {:>11.1}% {:>11.1}%",
             server.name(),
             stats.total_gb(),
@@ -45,7 +56,7 @@ pub fn table1(config: &ExpConfig) {
             stats.fast_interarrival_fraction * 100.0,
             paper.fast_interarrival_fraction * 100.0,
         );
-        writeln!(
+        outln!(
             csv,
             "{},{:.4},{:.4},{:.3},{:.3},{:.4},{:.4}",
             server.name(),
@@ -55,13 +66,13 @@ pub fn table1(config: &ExpConfig) {
             paper.reuse_ratio(),
             stats.fast_interarrival_fraction,
             paper.fast_interarrival_fraction,
-        )
-        .expect("writing to String");
+        );
         total_sum += stats.total_gb();
         unique_sum += stats.unique_gb();
         fast_sum += stats.fast_interarrival_fraction;
     }
-    println!(
+    outln!(
+        out,
         "{:<7} {:>10.2} {:>11.3} {:>12} {:>12} {:>11.1}% {:>11.1}%",
         "average",
         total_sum / 5.0,
@@ -71,27 +82,38 @@ pub fn table1(config: &ExpConfig) {
         fast_sum / 5.0 * 100.0,
         73.5,
     );
-    save_csv(config, "table1_workload_stats.csv", &csv);
+    save_csv(&mut out, &ctx.config, "table1_workload_stats.csv", &csv);
+    out
 }
 
 /// Table II: replay speedup of the five traces — mean recorded (HDD-era)
 /// latency vs mean measured latency on the simulated NVMe SSD over 10
 /// no-stall replays, exactly the paper's method.
-pub fn table2(config: &ExpConfig) {
-    banner("Table II: replay speedup of Microsoft traces (10 no-stall replays)");
-    println!(
+pub fn table2(ctx: &ExpContext) -> String {
+    let mut out = String::new();
+    banner(
+        &mut out,
+        "Table II: replay speedup of Microsoft traces (10 no-stall replays)",
+    );
+    outln!(
+        out,
         "{:<7} {:>16} {:>18} {:>10} {:>14}",
-        "trace", "mean trace lat", "mean measured lat", "speedup", "paper speedup"
+        "trace",
+        "mean trace lat",
+        "mean measured lat",
+        "speedup",
+        "paper speedup"
     );
     let mut csv =
         String::from("trace,mean_trace_latency_s,mean_measured_latency_s,speedup,paper_speedup\n");
     for server in MsrServer::ALL {
-        let trace = server_trace(server, config);
-        let mut ssd = NvmeSsdModel::new(config.seed);
+        let trace = ctx.trace(server);
+        let mut ssd = NvmeSsdModel::new(ctx.config.seed);
         let row =
             replay_speedup(&trace, &mut ssd, 10).expect("synthesized traces record latencies");
         let paper = server.paper_reference();
-        println!(
+        outln!(
+            out,
             "{:<7} {:>16} {:>18} {:>9.1}x {:>13.1}x",
             server.name(),
             fmt_latency(row.mean_trace_latency.as_secs_f64()),
@@ -99,7 +121,7 @@ pub fn table2(config: &ExpConfig) {
             row.speedup,
             paper.replay_speedup,
         );
-        writeln!(
+        outln!(
             csv,
             "{},{:.6e},{:.6e},{:.2},{:.2}",
             server.name(),
@@ -107,8 +129,8 @@ pub fn table2(config: &ExpConfig) {
             row.mean_measured_latency.as_secs_f64(),
             row.speedup,
             paper.replay_speedup,
-        )
-        .expect("writing to String");
+        );
     }
-    save_csv(config, "table2_replay_speedup.csv", &csv);
+    save_csv(&mut out, &ctx.config, "table2_replay_speedup.csv", &csv);
+    out
 }

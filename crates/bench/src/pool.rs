@@ -1,0 +1,330 @@
+//! A std-only scoped work pool for the evaluation harness.
+//!
+//! The pool runs a batch of independent jobs on `std::thread::scope`
+//! workers that pull indices from a shared atomic cursor, and hands the
+//! results back **in submission order** — either all at once
+//! ([`run_ordered`]) or streamed to a sink as each next-in-order result
+//! becomes available ([`for_each_ordered`]). Deterministic ordering is
+//! what lets `exp_all` run experiments concurrently while printing the
+//! same report byte-for-byte as the serial runner.
+//!
+//! The blocking hand-off reuses the park/unpark waiter discipline of
+//! `rtdac-monitor`'s SPSC ring (prepare → re-check → park, with a
+//! `SeqCst` fence pairing the intent flag against the data it guards),
+//! rather than a condvar, so the collector never sleeps through a wake
+//! and never spins.
+
+use std::hash::Hash;
+use std::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread::Thread;
+use std::time::Duration;
+
+use rtdac_fim::{Eclat, EclatTasks, FimResult, FpGrowth, FpTasks, TransactionDb};
+
+/// Bound on a single park so a lost wake degrades to a periodic
+/// re-check instead of a hang (same rationale as the monitor's ring).
+const PARK_TIMEOUT: Duration = Duration::from_millis(10);
+
+/// Park/unpark handshake for the collector thread, after
+/// `rtdac-monitor`'s SPSC `Waiter`.
+struct Waiter {
+    waiting: AtomicBool,
+    /// The collector's thread handle, registered once on first park.
+    thread: Mutex<Option<Thread>>,
+}
+
+impl Waiter {
+    fn new() -> Self {
+        Waiter {
+            waiting: AtomicBool::new(false),
+            thread: Mutex::new(None),
+        }
+    }
+
+    /// Announces intent to park. The caller must re-check the slots
+    /// after this before actually parking.
+    fn prepare(&self) {
+        {
+            let mut slot = self.thread.lock().expect("waiter mutex");
+            if slot.is_none() {
+                *slot = Some(std::thread::current());
+            }
+        }
+        self.waiting.store(true, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+    }
+
+    /// Parks the current thread (bounded by [`PARK_TIMEOUT`]). Tolerates
+    /// spurious and stale unparks; the caller loops and re-checks.
+    fn park(&self) {
+        std::thread::park_timeout(PARK_TIMEOUT);
+    }
+
+    /// Withdraws the intent to park.
+    fn stand_down(&self) {
+        self.waiting.store(false, Ordering::Relaxed);
+    }
+
+    /// Wakes the collector if it is parked or committing to park.
+    /// Callers publish their slot store first; the fence pairs with the
+    /// one in [`Waiter::prepare`].
+    fn wake(&self) {
+        fence(Ordering::SeqCst);
+        if self.waiting.swap(false, Ordering::Relaxed) {
+            if let Some(thread) = self.thread.lock().expect("waiter mutex").as_ref() {
+                thread.unpark();
+            }
+        }
+    }
+}
+
+/// Result slots shared between workers and the collector. A slot is
+/// written exactly once by whichever worker claimed its index; `filled`
+/// is the publication flag the collector polls.
+struct Slots<T> {
+    values: Vec<Mutex<Option<T>>>,
+    filled: Vec<AtomicBool>,
+    /// Set when a job panics: its slot will never fill, so the
+    /// collector must bail out instead of parking forever.
+    aborted: AtomicBool,
+    waiter: Waiter,
+}
+
+impl<T> Slots<T> {
+    fn new(n: usize) -> Self {
+        Slots {
+            values: (0..n).map(|_| Mutex::new(None)).collect(),
+            filled: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            aborted: AtomicBool::new(false),
+            waiter: Waiter::new(),
+        }
+    }
+
+    fn publish(&self, index: usize, value: T) {
+        *self.values[index].lock().expect("slot mutex") = Some(value);
+        self.filled[index].store(true, Ordering::Release);
+        self.waiter.wake();
+    }
+
+    fn abort(&self) {
+        self.aborted.store(true, Ordering::Release);
+        self.waiter.wake();
+    }
+
+    /// Blocks until slot `index` is filled, then takes its value.
+    /// Panics if a worker aborted (the original panic propagates when
+    /// `thread::scope` joins the workers).
+    fn take(&self, index: usize) -> T {
+        loop {
+            if self.filled[index].load(Ordering::Acquire) {
+                return self.values[index]
+                    .lock()
+                    .expect("slot mutex")
+                    .take()
+                    .expect("filled slot holds a value");
+            }
+            assert!(!self.aborted.load(Ordering::Acquire), "a pool job panicked");
+            self.waiter.prepare();
+            if self.filled[index].load(Ordering::Acquire) {
+                self.waiter.stand_down();
+                continue;
+            }
+            self.waiter.park();
+            self.waiter.stand_down();
+        }
+    }
+}
+
+/// Marks the slots aborted if dropped while armed — i.e. if the job it
+/// guards unwinds instead of publishing a result.
+struct AbortGuard<'a, T> {
+    slots: &'a Slots<T>,
+    armed: bool,
+}
+
+impl<T> Drop for AbortGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.slots.abort();
+        }
+    }
+}
+
+/// The pool's parallelism: `RTDAC_THREADS` if set, otherwise the
+/// machine's available parallelism, never zero.
+pub fn default_threads() -> usize {
+    std::env::var("RTDAC_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Runs `jobs` on up to `threads` scoped workers and returns their
+/// results in submission order. With `threads <= 1` (or a single job)
+/// the jobs run inline on the calling thread — no spawn overhead, same
+/// results.
+pub fn run_ordered<T, F>(threads: usize, jobs: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let mut out = Vec::with_capacity(jobs.len());
+    for_each_ordered(threads, jobs, |_, value| out.push(value));
+    out
+}
+
+/// Runs `jobs` on up to `threads` scoped workers, delivering each
+/// result to `sink` **in submission order** as soon as it and all its
+/// predecessors have finished. `sink(i, result)` runs on the calling
+/// thread, so it may borrow mutably (print, accumulate) without
+/// synchronization.
+pub fn for_each_ordered<T, F>(threads: usize, jobs: Vec<F>, mut sink: impl FnMut(usize, T))
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = jobs.len();
+    if n == 0 {
+        return;
+    }
+    let workers = threads.min(n);
+    if workers <= 1 {
+        for (i, job) in jobs.into_iter().enumerate() {
+            sink(i, job());
+        }
+        return;
+    }
+
+    // Workers claim indices from the cursor; each job is taken out of
+    // its mutex exactly once.
+    let jobs: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let cursor = AtomicUsize::new(0);
+    let slots = Slots::new(n);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                if index >= n {
+                    return;
+                }
+                let job = jobs[index]
+                    .lock()
+                    .expect("job mutex")
+                    .take()
+                    .expect("job claimed once");
+                let mut guard = AbortGuard {
+                    slots: &slots,
+                    armed: true,
+                };
+                let value = job();
+                guard.armed = false;
+                drop(guard);
+                slots.publish(index, value);
+            });
+        }
+        // The calling thread is the collector: it drains slots in
+        // order, parking (bounded) when the next result is not ready.
+        for index in 0..n {
+            sink(index, slots.take(index));
+        }
+    });
+}
+
+/// Mines eclat with first-level equivalence classes distributed over
+/// the pool. Identical output to `miner.mine(db)` — task merges are
+/// order-invariant and the pool returns parts in submission order.
+pub fn eclat_parallel<I>(threads: usize, miner: &Eclat, db: &TransactionDb<I>) -> FimResult<I>
+where
+    I: Ord + Hash + Clone + Send + Sync,
+{
+    let tasks = miner.tasks(db);
+    let tasks = &tasks;
+    let jobs: Vec<_> = (0..tasks.len()).map(|c| move || tasks.run(c)).collect();
+    EclatTasks::collect(run_ordered(threads, jobs))
+}
+
+/// Mines fp-growth with per-item conditional projections distributed
+/// over the pool. Identical output to `miner.mine(db)`.
+pub fn fp_growth_parallel<I>(
+    threads: usize,
+    miner: &FpGrowth,
+    db: &TransactionDb<I>,
+) -> FimResult<I>
+where
+    I: Ord + Hash + Clone + Send + Sync,
+{
+    let tasks = miner.tasks(db);
+    let tasks = &tasks;
+    let jobs: Vec<_> = (0..tasks.len()).map(|k| move || tasks.run(k)).collect();
+    FpTasks::collect(run_ordered(threads, jobs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        for threads in [1, 2, 4, 9] {
+            let jobs: Vec<_> = (0..20).map(|i| move || i * i).collect();
+            let got = run_ordered(threads, jobs);
+            let want: Vec<i32> = (0..20).map(|i| i * i).collect();
+            assert_eq!(got, want, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_job_batches() {
+        let none: Vec<fn() -> u8> = Vec::new();
+        assert!(run_ordered(4, none).is_empty());
+        assert_eq!(run_ordered(4, vec![|| 7u8]), vec![7]);
+    }
+
+    #[test]
+    fn streaming_delivery_is_ordered_even_when_completion_is_not() {
+        // Early jobs sleep longest, so completion order is roughly the
+        // reverse of submission order — delivery must still be 0..n.
+        let jobs: Vec<_> = (0..8u64)
+            .map(|i| {
+                move || {
+                    std::thread::sleep(Duration::from_millis((8 - i) * 3));
+                    i
+                }
+            })
+            .collect();
+        let mut seen = Vec::new();
+        for_each_ordered(4, jobs, |index, value| {
+            assert_eq!(index as u64, value);
+            seen.push(value);
+        });
+        assert_eq!(seen, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panicking_jobs_do_not_deadlock_the_collector() {
+        // A worker panic unwinds out of thread::scope as a panic on the
+        // calling thread (scope joins all workers) — the collector's
+        // bounded park means it re-checks rather than hanging forever.
+        let result = std::panic::catch_unwind(|| {
+            let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![
+                Box::new(|| 1),
+                Box::new(|| panic!("job failure")),
+                Box::new(|| 3),
+            ];
+            run_ordered(2, jobs)
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -3,12 +3,16 @@
 use std::fs;
 use std::io;
 use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
 
 use rtdac_device::{replay, NvmeSsdModel, ReplayMode};
+use rtdac_fim::{count_pairs, PairCounts};
 use rtdac_monitor::{Monitor, MonitorConfig};
 use rtdac_synopsis::{AnalyzerConfig, OnlineAnalyzer};
-use rtdac_types::{Trace, Transaction};
+use rtdac_types::{FxHashMap, Trace, Transaction};
 use rtdac_workloads::MsrServer;
+
+use crate::pool;
 
 /// Scale and output configuration shared by every experiment.
 #[derive(Clone, Debug)]
@@ -67,6 +71,128 @@ impl Default for ExpConfig {
     }
 }
 
+/// Key of one cached workload slice: `(server, skip, len)` — the full
+/// configured trace is `(server, 0, config.requests)`; Fig. 10's phase
+/// replays use non-zero skips.
+type SliceKey = (MsrServer, usize, usize);
+
+/// Shared, thread-safe context for a batch of experiments: the scale
+/// configuration, the pool width, and a cache of synthesized traces,
+/// monitored transactions, and offline pair-count ground truths, so
+/// concurrent experiments over the same servers (Figs. 5/6/8/9/14/15,
+/// the tables) synthesize, replay, monitor, and mine each workload
+/// once instead of once per figure.
+pub struct ExpContext {
+    /// The scale/output configuration every experiment reads.
+    pub config: ExpConfig,
+    /// Worker threads for experiment-internal parallel mining.
+    pub threads: usize,
+    traces: Mutex<FxHashMap<SliceKey, Arc<Trace>>>,
+    transactions: Mutex<FxHashMap<SliceKey, Arc<Vec<Transaction>>>>,
+    truths: Mutex<FxHashMap<SliceKey, Arc<PairCounts>>>,
+}
+
+impl ExpContext {
+    /// Wraps a configuration with an empty cache.
+    pub fn new(config: ExpConfig) -> Self {
+        ExpContext {
+            config,
+            threads: pool::default_threads(),
+            traces: Mutex::new(FxHashMap::default()),
+            transactions: Mutex::new(FxHashMap::default()),
+            truths: Mutex::new(FxHashMap::default()),
+        }
+    }
+
+    /// Context from the environment (see [`ExpConfig::from_env`]).
+    pub fn from_env() -> Self {
+        ExpContext::new(ExpConfig::from_env())
+    }
+
+    /// The server's trace at the configured scale (cached).
+    pub fn trace(&self, server: MsrServer) -> Arc<Trace> {
+        self.sliced_trace(server, 0, self.config.requests)
+    }
+
+    /// A `[skip, skip+len)` slice of the server's request stream
+    /// (cached; `skip == 0` synthesizes exactly `len` requests).
+    pub fn sliced_trace(&self, server: MsrServer, skip: usize, len: usize) -> Arc<Trace> {
+        let seed = self.config.seed;
+        cached(&self.traces, (server, skip, len), || {
+            if skip == 0 {
+                server.synthesize(len, seed)
+            } else {
+                server.synthesize(skip + len, seed).slice(skip, skip + len)
+            }
+        })
+    }
+
+    /// The server's monitored transactions at the configured scale,
+    /// replayed at its Table II speedup (cached).
+    pub fn transactions(&self, server: MsrServer) -> Arc<Vec<Transaction>> {
+        self.sliced_transactions(server, 0, self.config.requests)
+    }
+
+    /// Monitored transactions for a trace slice (cached).
+    pub fn sliced_transactions(
+        &self,
+        server: MsrServer,
+        skip: usize,
+        len: usize,
+    ) -> Arc<Vec<Transaction>> {
+        let trace = self.sliced_trace(server, skip, len);
+        let seed = self.config.seed;
+        cached(&self.transactions, (server, skip, len), || {
+            monitored(&trace, server.paper_reference().replay_speedup, seed)
+        })
+    }
+
+    /// The offline pair-count oracle for the server's full configured
+    /// workload (cached).
+    pub fn ground_truth(&self, server: MsrServer) -> Arc<PairCounts> {
+        self.sliced_ground_truth(server, 0, self.config.requests)
+    }
+
+    /// The offline pair-count oracle for a trace slice (cached).
+    pub fn sliced_ground_truth(
+        &self,
+        server: MsrServer,
+        skip: usize,
+        len: usize,
+    ) -> Arc<PairCounts> {
+        let txns = self.sliced_transactions(server, skip, len);
+        cached(&self.truths, (server, skip, len), || count_pairs(&*txns))
+    }
+
+    /// Fills the cache for `servers` (transactions and ground truth) on
+    /// the work pool, so subsequent experiments only read.
+    pub fn prewarm(&self, servers: &[MsrServer]) {
+        let jobs: Vec<_> = servers
+            .iter()
+            .map(|&server| {
+                move || {
+                    self.ground_truth(server);
+                }
+            })
+            .collect();
+        pool::run_ordered(self.threads, jobs);
+    }
+}
+
+/// Returns the cached value for `key`, computing it outside the lock on
+/// a miss. Two racing computers both finish; the first insert wins, so
+/// every caller sees the same `Arc`.
+fn cached<K, V>(map: &Mutex<FxHashMap<K, Arc<V>>>, key: K, make: impl FnOnce() -> V) -> Arc<V>
+where
+    K: std::hash::Hash + Eq + Copy,
+{
+    if let Some(hit) = map.lock().expect("cache mutex").get(&key) {
+        return Arc::clone(hit);
+    }
+    let value = Arc::new(make());
+    Arc::clone(map.lock().expect("cache mutex").entry(key).or_insert(value))
+}
+
 /// Synthesizes a server's trace at the configured scale.
 pub fn server_trace(server: MsrServer, config: &ExpConfig) -> Trace {
     server.synthesize(config.requests, config.seed)
@@ -97,12 +223,20 @@ pub fn analyze(transactions: &[Transaction], c: usize) -> OnlineAnalyzer {
     analyzer
 }
 
-/// Prints a horizontal rule + centered title, the harnesses' section
-/// header style.
-pub fn banner(title: &str) {
-    println!("\n======================================================================");
-    println!("  {title}");
-    println!("======================================================================");
+/// Appends a horizontal rule + centered title to a report, the
+/// harnesses' section header style. Experiments build their report in a
+/// `String` (instead of printing directly) so the concurrent `exp_all`
+/// runner can emit them in deterministic order.
+pub fn banner(out: &mut String, title: &str) {
+    crate::outln!(
+        out,
+        "\n======================================================================"
+    );
+    crate::outln!(out, "  {title}");
+    crate::outln!(
+        out,
+        "======================================================================"
+    );
 }
 
 /// Formats a `Duration`-like second count with the paper's µs/ms units.
@@ -114,11 +248,11 @@ pub fn fmt_latency(seconds: f64) -> String {
     }
 }
 
-/// Saves a CSV and reports where it went.
-pub fn save_csv(config: &ExpConfig, name: &str, contents: &str) {
+/// Saves a CSV and appends where it went to the report.
+pub fn save_csv(out: &mut String, config: &ExpConfig, name: &str, contents: &str) {
     match config.write(name, contents) {
-        Ok(path) => println!("  [csv] {}", path.display()),
-        Err(err) => eprintln!("  [csv] FAILED to write {name}: {err}"),
+        Ok(path) => crate::outln!(out, "  [csv] {}", path.display()),
+        Err(err) => crate::outln!(out, "  [csv] FAILED to write {name}: {err}"),
     }
 }
 
@@ -157,5 +291,74 @@ mod tests {
         assert!(!txns.is_empty());
         let analyzer = analyze(&txns, 1024);
         assert!(analyzer.stats().transactions > 0);
+    }
+
+    #[test]
+    fn context_caches_and_matches_the_uncached_path() {
+        let config = ExpConfig {
+            requests: 1_500,
+            seed: 5,
+            out_dir: PathBuf::from("/tmp"),
+        };
+        let ctx = ExpContext::new(config.clone());
+        let first = ctx.transactions(MsrServer::Rsrch);
+        let again = ctx.transactions(MsrServer::Rsrch);
+        assert!(
+            Arc::ptr_eq(&first, &again),
+            "second lookup must hit the cache"
+        );
+        assert_eq!(
+            *first,
+            server_transactions(MsrServer::Rsrch, &config),
+            "cached transactions must equal the uncached pipeline"
+        );
+        let truth = ctx.ground_truth(MsrServer::Rsrch);
+        assert_eq!(*truth, count_pairs(&*first));
+        assert!(Arc::ptr_eq(&truth, &ctx.ground_truth(MsrServer::Rsrch)));
+    }
+
+    #[test]
+    fn prewarm_fills_the_cache_for_all_requested_servers() {
+        let ctx = ExpContext::new(ExpConfig {
+            requests: 800,
+            seed: 2,
+            out_dir: PathBuf::from("/tmp"),
+        });
+        ctx.prewarm(&[MsrServer::Wdev, MsrServer::Hm]);
+        let warm = ctx.transactions(MsrServer::Wdev);
+        assert!(Arc::ptr_eq(&warm, &ctx.transactions(MsrServer::Wdev)));
+        assert!(!ctx.ground_truth(MsrServer::Hm).is_empty());
+    }
+
+    #[test]
+    fn sliced_transactions_match_the_manual_slice() {
+        let ctx = ExpContext::new(ExpConfig {
+            requests: 1_000,
+            seed: 9,
+            out_dir: PathBuf::from("/tmp"),
+        });
+        let server = MsrServer::Wdev;
+        let sliced = ctx.sliced_transactions(server, 300, 400);
+        let trace = server.synthesize(700, 9).slice(300, 700);
+        let manual = monitored(&trace, server.paper_reference().replay_speedup, 9);
+        assert_eq!(*sliced, manual);
+    }
+
+    #[test]
+    fn banner_and_save_csv_build_reports() {
+        let mut out = String::new();
+        banner(&mut out, "title");
+        assert!(out.contains("  title\n"));
+        let dir = std::env::temp_dir().join("rtdac_support_csv_test");
+        let _ = fs::remove_dir_all(&dir);
+        let config = ExpConfig {
+            requests: 1,
+            seed: 1,
+            out_dir: dir.clone(),
+        };
+        save_csv(&mut out, &config, "t.csv", "a\n");
+        assert!(out.contains("[csv]"));
+        assert!(out.contains("t.csv"));
+        fs::remove_dir_all(dir).unwrap();
     }
 }

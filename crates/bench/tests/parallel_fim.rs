@@ -1,0 +1,77 @@
+//! The work pool's parallel miners must be bit-exact with the serial
+//! dense engines (and, transitively, with the preserved generic ones)
+//! on a real monitored workload, at every pool width.
+
+use rtdac_bench::pool;
+use rtdac_bench::support::{ExpConfig, ExpContext};
+use rtdac_fim::{Eclat, FpGrowth, TransactionDb};
+use rtdac_workloads::MsrServer;
+use std::path::PathBuf;
+
+fn context() -> ExpContext {
+    ExpContext::new(ExpConfig {
+        requests: 3_000,
+        seed: 11,
+        out_dir: PathBuf::from("/tmp"),
+    })
+}
+
+#[test]
+fn pooled_miners_match_serial_on_a_monitored_workload() {
+    let ctx = context();
+    let txns = ctx.transactions(MsrServer::Src2);
+    let db = TransactionDb::from_transactions(&*txns);
+    for (min_support, max_len) in [(2, None), (5, Some(3))] {
+        let (mut eclat, mut fp) = (Eclat::new(min_support), FpGrowth::new(min_support));
+        if let Some(k) = max_len {
+            eclat = eclat.max_len(k);
+            fp = fp.max_len(k);
+        }
+        let serial_eclat = eclat.mine(&db);
+        let serial_fp = fp.mine(&db);
+        assert_eq!(serial_eclat, serial_fp);
+        for threads in [1, 2, 4] {
+            assert_eq!(
+                pool::eclat_parallel(threads, &eclat, &db),
+                serial_eclat,
+                "eclat, threads {threads}, support {min_support}"
+            );
+            assert_eq!(
+                pool::fp_growth_parallel(threads, &fp, &db),
+                serial_fp,
+                "fp-growth, threads {threads}, support {min_support}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pooled_miners_match_generic_engines() {
+    let ctx = context();
+    let txns = ctx.transactions(MsrServer::Wdev);
+    let db = TransactionDb::from_transactions(&*txns);
+    let eclat = Eclat::new(3).max_len(2);
+    let fp = FpGrowth::new(3).max_len(2);
+    let reference = eclat.mine_generic(&db);
+    assert_eq!(fp.mine_generic(&db), reference);
+    assert_eq!(pool::eclat_parallel(3, &eclat, &db), reference);
+    assert_eq!(pool::fp_growth_parallel(3, &fp, &db), reference);
+}
+
+#[test]
+fn concurrent_cache_access_yields_one_shared_workload() {
+    // Many pool jobs hammering the same cache key must all see the same
+    // Arc (one synthesis), and the truths must agree with a fresh count.
+    let ctx = context();
+    let ctx = &ctx;
+    let arcs = pool::run_ordered(
+        4,
+        (0..8)
+            .map(|_| move || ctx.ground_truth(MsrServer::Hm))
+            .collect(),
+    );
+    let first = &arcs[0];
+    assert!(arcs.iter().all(|a| std::sync::Arc::ptr_eq(a, first)));
+    let txns = ctx.transactions(MsrServer::Hm);
+    assert_eq!(**first, rtdac_fim::count_pairs(&*txns));
+}

@@ -5,8 +5,9 @@
 //! finds the associated items from the filtered input", trading memory
 //! (candidate sets) for speed.
 
-use std::collections::HashMap;
 use std::hash::Hash;
+
+use rtdac_types::FxHashMap;
 
 use crate::db::TransactionDb;
 use crate::result::FimResult;
@@ -81,7 +82,8 @@ impl Apriori {
                 break;
             }
             // Count candidate supports in one scan.
-            let mut counts: HashMap<&Vec<I>, u32> = HashMap::with_capacity(candidates.len());
+            let mut counts: FxHashMap<&Vec<I>, u32> =
+                FxHashMap::with_capacity_and_hasher(candidates.len(), Default::default());
             for txn in db.transactions() {
                 if txn.len() < k {
                     continue;

@@ -1,0 +1,226 @@
+//! Adaptive tidsets for the dense eclat engine.
+//!
+//! Zaki's eclat intersects transaction-id sets along every DFS edge, so
+//! the set representation *is* the algorithm's cost model. Near the root,
+//! tidsets are dense and a `Vec<u64>` bitset intersects a word (64 tids)
+//! per AND+popcount. Deep in the search they thin out and a bitset would
+//! still pay for every word of the universe, so sets below a density
+//! threshold fall back to sorted tid lists with merge-walk intersection
+//! — the hybrid Borgelt's eclat uses.
+
+/// A set of transaction ids drawn from the universe `0..n_txns`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TidSet {
+    /// Bitset form: one bit per transaction, `count` bits set.
+    Dense { words: Vec<u64>, count: u32 },
+    /// Sorted-list form, for sets below the density threshold.
+    Sparse { tids: Vec<u32> },
+}
+
+/// Sets holding at least one tid per four bitset words (on average) go
+/// dense; below that a sorted list is both smaller and faster to
+/// intersect. The word-wise AND is branchless and vectorizes, so it
+/// stays ahead of the branchy merge walk well below one tid per word.
+fn dense_threshold(n_txns: usize) -> usize {
+    (n_txns / 256).max(1)
+}
+
+impl TidSet {
+    /// Builds the representation the density threshold prescribes from a
+    /// sorted, duplicate-free tid list.
+    pub fn from_sorted(tids: Vec<u32>, n_txns: usize) -> Self {
+        debug_assert!(tids.windows(2).all(|w| w[0] < w[1]), "tids must be sorted");
+        if tids.len() >= dense_threshold(n_txns) {
+            let mut words = vec![0u64; n_txns.div_ceil(64)];
+            for &tid in &tids {
+                words[tid as usize / 64] |= 1u64 << (tid % 64);
+            }
+            TidSet::Dense {
+                words,
+                count: tids.len() as u32,
+            }
+        } else {
+            TidSet::Sparse { tids }
+        }
+    }
+
+    /// Number of tids in the set — the itemset's absolute support.
+    pub fn count(&self) -> u32 {
+        match self {
+            TidSet::Dense { count, .. } => *count,
+            TidSet::Sparse { tids } => tids.len() as u32,
+        }
+    }
+
+    /// Intersects two sets, picking the output representation by the
+    /// same density threshold.
+    pub fn intersect(&self, other: &TidSet, n_txns: usize) -> TidSet {
+        match (self, other) {
+            (TidSet::Dense { words: a, .. }, TidSet::Dense { words: b, .. }) => {
+                let words: Vec<u64> = a.iter().zip(b).map(|(x, y)| x & y).collect();
+                let count: u32 = words.iter().map(|w| w.count_ones()).sum();
+                if (count as usize) < dense_threshold(n_txns) {
+                    TidSet::Sparse {
+                        tids: set_bits(&words),
+                    }
+                } else {
+                    TidSet::Dense { words, count }
+                }
+            }
+            (TidSet::Dense { words, .. }, TidSet::Sparse { tids })
+            | (TidSet::Sparse { tids }, TidSet::Dense { words, .. }) => TidSet::Sparse {
+                tids: tids
+                    .iter()
+                    .copied()
+                    .filter(|&t| words[t as usize / 64] & (1u64 << (t % 64)) != 0)
+                    .collect(),
+            },
+            (TidSet::Sparse { tids: a }, TidSet::Sparse { tids: b }) => {
+                let mut out = Vec::with_capacity(a.len().min(b.len()));
+                let (mut i, mut j) = (0, 0);
+                while i < a.len() && j < b.len() {
+                    match a[i].cmp(&b[j]) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            out.push(a[i]);
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                TidSet::Sparse { tids: out }
+            }
+        }
+    }
+
+    /// Intersects two sets, returning the result only when it reaches
+    /// `min_support` — the eclat DFS filter. For two bitsets the count
+    /// comes from a pure AND+popcount pass, so infrequent candidates
+    /// (the vast majority of DFS edges) are rejected without allocating
+    /// or materializing anything.
+    pub fn intersect_min(&self, other: &TidSet, min_support: u32, n_txns: usize) -> Option<TidSet> {
+        if let (TidSet::Dense { words: a, .. }, TidSet::Dense { words: b, .. }) = (self, other) {
+            let count: u32 = a.iter().zip(b).map(|(x, y)| (x & y).count_ones()).sum();
+            if count < min_support {
+                return None;
+            }
+            if (count as usize) >= dense_threshold(n_txns) {
+                let words: Vec<u64> = a.iter().zip(b).map(|(x, y)| x & y).collect();
+                Some(TidSet::Dense { words, count })
+            } else {
+                let mut tids = Vec::with_capacity(count as usize);
+                for (w, (x, y)) in a.iter().zip(b).enumerate() {
+                    let mut bits = x & y;
+                    while bits != 0 {
+                        tids.push(w as u32 * 64 + bits.trailing_zeros());
+                        bits &= bits - 1;
+                    }
+                }
+                Some(TidSet::Sparse { tids })
+            }
+        } else {
+            let set = self.intersect(other, n_txns);
+            (set.count() >= min_support).then_some(set)
+        }
+    }
+
+    /// The tids in ascending order (materialized; test/debug aid).
+    pub fn to_sorted(&self) -> Vec<u32> {
+        match self {
+            TidSet::Dense { words, .. } => set_bits(words),
+            TidSet::Sparse { tids } => tids.clone(),
+        }
+    }
+}
+
+/// Positions of the set bits, ascending.
+fn set_bits(words: &[u64]) -> Vec<u32> {
+    let mut out = Vec::new();
+    for (w, &word) in words.iter().enumerate() {
+        let mut bits = word;
+        while bits != 0 {
+            let b = bits.trailing_zeros();
+            out.push(w as u32 * 64 + b);
+            bits &= bits - 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(tids: &[u32], n: usize) -> TidSet {
+        TidSet::from_sorted(tids.to_vec(), n)
+    }
+
+    #[test]
+    fn representation_follows_density() {
+        // 4096 txns → threshold 16: 20 tids go dense, 3 stay sparse.
+        assert!(matches!(
+            set(&(0..20).collect::<Vec<_>>(), 4096),
+            TidSet::Dense { .. }
+        ));
+        assert!(matches!(set(&[1, 2, 3], 4096), TidSet::Sparse { .. }));
+        // Tiny universes always qualify as dense (threshold clamps to 1).
+        assert!(matches!(set(&[0], 3), TidSet::Dense { .. }));
+    }
+
+    #[test]
+    fn intersect_min_filters_and_matches_intersect() {
+        let n = 4096;
+        let a: Vec<u32> = (0..600).step_by(2).collect();
+        let b: Vec<u32> = (0..600).step_by(3).collect();
+        let (sa, sb) = (set(&a, n), set(&b, n));
+        let expect: Vec<u32> = (0..600).step_by(6).collect();
+        let hit = sa.intersect_min(&sb, 50, n).expect("100 shared tids");
+        assert_eq!(hit.to_sorted(), expect);
+        assert_eq!(hit.count(), 100);
+        assert!(sa.intersect_min(&sb, 101, n).is_none());
+        // Mixed representations route through the plain intersection.
+        let sparse = TidSet::Sparse {
+            tids: vec![0, 6, 9],
+        };
+        let hit = sa.intersect_min(&sparse, 2, n).expect("0 and 6 shared");
+        assert_eq!(hit.to_sorted(), vec![0, 6]);
+        assert!(sa.intersect_min(&sparse, 3, n).is_none());
+    }
+
+    #[test]
+    fn intersections_agree_across_representations() {
+        let n = 300;
+        let a: Vec<u32> = (0..200).step_by(2).collect(); // dense
+        let b: Vec<u32> = (0..200).step_by(3).collect(); // dense
+        let c: Vec<u32> = vec![0, 6, 66, 299]; // forced sparse below
+        let c_sparse = TidSet::Sparse { tids: c.clone() };
+        let expect_ab: Vec<u32> = (0..200).step_by(6).collect();
+        let (sa, sb) = (set(&a, n), set(&b, n));
+        assert_eq!(sa.intersect(&sb, n).to_sorted(), expect_ab);
+        assert_eq!(sa.intersect(&c_sparse, n).to_sorted(), vec![0, 6, 66]);
+        assert_eq!(c_sparse.intersect(&sa, n).to_sorted(), vec![0, 6, 66]);
+        let c2 = TidSet::Sparse {
+            tids: vec![6, 7, 299],
+        };
+        assert_eq!(c_sparse.intersect(&c2, n).to_sorted(), vec![6, 299]);
+    }
+
+    #[test]
+    fn dense_intersection_demotes_to_sparse() {
+        let n = 6400; // threshold 100
+        let a: Vec<u32> = (0..2000).collect();
+        let b: Vec<u32> = (1990..4000).collect();
+        let inter = set(&a, n).intersect(&set(&b, n), n);
+        assert!(matches!(inter, TidSet::Sparse { .. }));
+        assert_eq!(inter.to_sorted(), (1990..2000).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn counts_match_lengths() {
+        let n = 128;
+        for tids in [vec![], vec![5], vec![0, 63, 64, 127]] {
+            assert_eq!(set(&tids, n).count() as usize, tids.len());
+        }
+    }
+}

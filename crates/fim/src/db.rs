@@ -1,7 +1,6 @@
-use std::collections::HashMap;
 use std::hash::Hash;
 
-use rtdac_types::{Extent, Transaction};
+use rtdac_types::{Extent, FxHashMap, Transaction};
 
 /// A transaction database prepared for mining: each transaction is a
 /// sorted, deduplicated set of items.
@@ -32,12 +31,24 @@ impl<I: Ord + Clone> TransactionDb<I> {
         }
     }
 
+    /// Creates an empty database pre-sized for `n` transactions.
+    pub fn with_capacity(n: usize) -> Self {
+        TransactionDb {
+            transactions: Vec::with_capacity(n),
+        }
+    }
+
     /// Adds one transaction (sorted and deduplicated on entry; empty
     /// transactions are kept, contributing only to the total count).
+    /// Rows are shrunk to their deduplicated length so large traces
+    /// don't retain the growth-doubling slack of collection.
     pub fn push<T: IntoIterator<Item = I>>(&mut self, items: T) {
-        let mut txn: Vec<I> = items.into_iter().collect();
+        let iter = items.into_iter();
+        let mut txn: Vec<I> = Vec::with_capacity(iter.size_hint().0);
+        txn.extend(iter);
         txn.sort();
         txn.dedup();
+        txn.shrink_to_fit();
         self.transactions.push(txn);
     }
 
@@ -59,8 +70,8 @@ impl<I: Ord + Clone> TransactionDb<I> {
 
 impl<I: Ord + Clone + Hash> TransactionDb<I> {
     /// Absolute support of every single item.
-    pub fn item_supports(&self) -> HashMap<I, u32> {
-        let mut counts = HashMap::new();
+    pub fn item_supports(&self) -> FxHashMap<I, u32> {
+        let mut counts = FxHashMap::default();
         for txn in &self.transactions {
             for item in txn {
                 *counts.entry(item.clone()).or_insert(0) += 1;
@@ -72,7 +83,8 @@ impl<I: Ord + Clone + Hash> TransactionDb<I> {
 
 impl<I: Ord + Clone, T: IntoIterator<Item = I>> FromIterator<T> for TransactionDb<I> {
     fn from_iter<It: IntoIterator<Item = T>>(iter: It) -> Self {
-        let mut db = TransactionDb::new();
+        let iter = iter.into_iter();
+        let mut db = TransactionDb::with_capacity(iter.size_hint().0);
         for txn in iter {
             db.push(txn);
         }
@@ -87,8 +99,9 @@ impl TransactionDb<Extent> {
     where
         T: IntoIterator<Item = &'a Transaction>,
     {
-        let mut db = TransactionDb::new();
-        for txn in transactions {
+        let iter = transactions.into_iter();
+        let mut db = TransactionDb::with_capacity(iter.size_hint().0);
+        for txn in iter {
             db.push(txn.unique_extents());
         }
         db
@@ -129,5 +142,19 @@ mod tests {
         let db: TransactionDb<u32> = TransactionDb::new();
         assert!(db.is_empty());
         assert!(db.item_supports().is_empty());
+    }
+
+    #[test]
+    fn rows_do_not_over_retain_capacity() {
+        let mut db = TransactionDb::new();
+        // 100 duplicates dedup to one element; the row must not keep the
+        // collection-time capacity.
+        db.push(std::iter::repeat_n(7u32, 100));
+        assert_eq!(db.transactions()[0], vec![7]);
+        assert!(
+            db.transactions()[0].capacity() <= 8,
+            "row retained capacity {}",
+            db.transactions()[0].capacity()
+        );
     }
 }

@@ -1,14 +1,25 @@
 //! Zaki's eclat (IEEE TKDE 2000): depth-first search over a vertical
-//! (item → transaction-id list) representation.
+//! (item → transaction-id set) representation.
 //!
 //! As the paper notes (§II-B), eclat trades the candidate memory of
-//! apriori for intersection time — exactly the behaviour its tidset
-//! representation produces.
+//! apriori for intersection time — so the tidset representation *is* the
+//! hot path. [`Eclat::mine`] runs the dense engine: items are recoded to
+//! contiguous ids ([`ItemInterner`]) and tidsets become adaptive
+//! bitset/sorted-list hybrids ([`TidSet`]) whose intersection is
+//! word-wise AND + popcount. The original generic implementation is
+//! preserved as [`Eclat::mine_generic`] and serves as the equivalence
+//! oracle: both entry points return identical [`FimResult`]s.
+//!
+//! [`Eclat::tasks`] exposes the first-level equivalence classes (all
+//! itemsets sharing a first item) as independent units so a work pool
+//! can mine them in parallel; `mine` is exactly `tasks` run serially.
 
 use std::collections::HashMap;
 use std::hash::Hash;
 
+use crate::bitset::TidSet;
 use crate::db::TransactionDb;
+use crate::interner::ItemInterner;
 use crate::result::FimResult;
 
 /// Configuration and entry point for the eclat miner.
@@ -21,6 +32,7 @@ use crate::result::FimResult;
 /// let db = TransactionDb::from_iter([vec![1, 2, 3], vec![1, 2], vec![2, 3]]);
 /// let result = Eclat::new(2).mine(&db);
 /// assert_eq!(result.support(&[1, 2]), Some(2));
+/// assert_eq!(result, Eclat::new(2).mine_generic(&db));
 /// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Eclat {
@@ -48,8 +60,136 @@ impl Eclat {
         self
     }
 
-    /// Mines all frequent itemsets from `db`.
+    /// Mines all frequent itemsets from `db` with the dense engine.
     pub fn mine<I: Ord + Hash + Clone>(&self, db: &TransactionDb<I>) -> FimResult<I> {
+        let tasks = self.tasks(db);
+        let mut out: Vec<(Vec<I>, u32)> = Vec::new();
+        for class in 0..tasks.len() {
+            out.extend(tasks.run(class));
+        }
+        FimResult::from_raw(out)
+    }
+
+    /// Prepares the dense engine: recodes items, builds the vertical
+    /// representation, and returns the first-level equivalence classes
+    /// as independently minable tasks (one per frequent item).
+    pub fn tasks<I: Ord + Hash + Clone>(&self, db: &TransactionDb<I>) -> EclatTasks<I> {
+        let n_txns = db.len();
+        let (interner, encoded, supports) = ItemInterner::encode_db(db);
+        // Vertical representation over dense ids, each list pre-sized to
+        // its known support. Iterating transactions in order appends tids
+        // ascending, so every list arrives sorted.
+        let mut tidlists: Vec<Vec<u32>> = supports
+            .iter()
+            .map(|&s| Vec::with_capacity(s as usize))
+            .collect();
+        for (tid, row) in encoded.rows().enumerate() {
+            for &id in row {
+                tidlists[id as usize].push(tid as u32);
+            }
+        }
+        // Frequent-item rank ← dense id; ranks stay in ascending item
+        // order, so filtered rows remain sorted.
+        let mut rank = vec![u32::MAX; supports.len()];
+        let mut items: Vec<I> = Vec::new();
+        let mut roots: Vec<TidSet> = Vec::new();
+        for (id, tids) in tidlists.into_iter().enumerate() {
+            if tids.len() as u32 >= self.min_support {
+                rank[id] = items.len() as u32;
+                items.push(interner.item(id as u32).clone());
+                roots.push(TidSet::from_sorted(tids, n_txns));
+            }
+        }
+
+        // Frequent pairs in one horizontal pass (the `count_pairs`
+        // kernel over frequent ranks). Each first-level class then
+        // intersects only its *surviving* extensions instead of every
+        // later sibling — on realistic data the vast majority of the
+        // k·(k-1)/2 candidate pairs never reach `min_support`.
+        let pair_exts = if self.max_len == Some(1) {
+            vec![Vec::new(); items.len()]
+        } else {
+            Self::frequent_pair_extensions(&encoded, &rank, items.len(), self.min_support)
+        };
+
+        EclatTasks {
+            items,
+            roots,
+            pair_exts,
+            n_txns,
+            min_support: self.min_support,
+            max_len: self.max_len,
+        }
+    }
+
+    /// Counts the support of every frequent-item pair in one pass over
+    /// the encoded rows and returns, per first item, the extensions that
+    /// reach `min_support` (ascending, with their supports). Small rank
+    /// universes count into a triangular array; larger ones into a map
+    /// keyed by the packed rank pair.
+    fn frequent_pair_extensions(
+        encoded: &crate::interner::EncodedDb,
+        rank: &[u32],
+        n_ranks: usize,
+        min_support: u32,
+    ) -> Vec<Vec<(u32, u32)>> {
+        const TRIANGULAR_MAX_RANKS: usize = 2048;
+        let mut exts: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n_ranks];
+        let mut row_ranks: Vec<u32> = Vec::new();
+        if n_ranks <= TRIANGULAR_MAX_RANKS {
+            let mut tri = vec![0u32; n_ranks * n_ranks.saturating_sub(1) / 2];
+            for row in encoded.rows() {
+                row_ranks.clear();
+                row_ranks.extend(row.iter().filter_map(|&id| {
+                    let r = rank[id as usize];
+                    (r != u32::MAX).then_some(r)
+                }));
+                for (hi, &j) in row_ranks.iter().enumerate().skip(1) {
+                    let base = j as usize * (j as usize - 1) / 2;
+                    for &i in &row_ranks[..hi] {
+                        tri[base + i as usize] += 1;
+                    }
+                }
+            }
+            for j in 1..n_ranks {
+                let base = j * (j - 1) / 2;
+                for i in 0..j {
+                    let c = tri[base + i];
+                    if c >= min_support {
+                        exts[i].push((j as u32, c));
+                    }
+                }
+            }
+        } else {
+            let mut packed: rtdac_types::FxHashMap<u64, u32> = rtdac_types::FxHashMap::default();
+            for row in encoded.rows() {
+                row_ranks.clear();
+                row_ranks.extend(row.iter().filter_map(|&id| {
+                    let r = rank[id as usize];
+                    (r != u32::MAX).then_some(r)
+                }));
+                for (hi, &j) in row_ranks.iter().enumerate().skip(1) {
+                    for &i in &row_ranks[..hi] {
+                        *packed.entry(u64::from(i) << 32 | u64::from(j)).or_insert(0) += 1;
+                    }
+                }
+            }
+            let mut survivors: Vec<(u64, u32)> = packed
+                .into_iter()
+                .filter(|&(_, c)| c >= min_support)
+                .collect();
+            survivors.sort_unstable();
+            for (key, c) in survivors {
+                exts[(key >> 32) as usize].push((key as u32, c));
+            }
+        }
+        exts
+    }
+
+    /// Mines all frequent itemsets with the preserved generic engine
+    /// (hash-built tidlists, merge-walk intersection) — the equivalence
+    /// oracle for the dense path.
+    pub fn mine_generic<I: Ord + Hash + Clone>(&self, db: &TransactionDb<I>) -> FimResult<I> {
         // Build the vertical representation.
         let mut tidsets: HashMap<I, Vec<u32>> = HashMap::new();
         for (tid, txn) in db.transactions().iter().enumerate() {
@@ -67,13 +207,13 @@ impl Eclat {
         let items: Vec<I> = roots.iter().map(|(i, _)| i.clone()).collect();
         let sets: Vec<Vec<u32>> = roots.into_iter().map(|(_, t)| t).collect();
         let mut prefix: Vec<I> = Vec::new();
-        self.dfs(&items, &sets, &mut prefix, &mut out);
+        self.dfs_generic(&items, &sets, &mut prefix, &mut out);
         FimResult::from_raw(out)
     }
 
     /// Depth-first extension: `items[i]`/`sets[i]` are the viable
     /// extensions of `prefix`, each with the tidset of `prefix ∪ {item}`.
-    fn dfs<I: Ord + Clone>(
+    fn dfs_generic<I: Ord + Clone>(
         &self,
         items: &[I],
         sets: &[Vec<u32>],
@@ -96,6 +236,102 @@ impl Eclat {
                     }
                 }
                 if !child_items.is_empty() {
+                    self.dfs_generic(&child_items, &child_sets, prefix, out);
+                }
+            }
+            prefix.pop();
+        }
+    }
+}
+
+/// The prepared dense eclat search, decomposed into first-level
+/// equivalence classes. Class `i` covers every frequent itemset whose
+/// smallest item is the `i`-th frequent item; classes touch disjoint
+/// outputs and only read shared state, so they can run on any threads
+/// in any order. [`EclatTasks::collect`] merges per-class results back
+/// into the canonical [`FimResult`].
+pub struct EclatTasks<I> {
+    /// Frequent items, ascending — the class roots.
+    items: Vec<I>,
+    /// Tidset of each root.
+    roots: Vec<TidSet>,
+    /// Per class, the extensions `(j, support)` whose pair with the root
+    /// reached `min_support` (ascending `j`), pre-counted horizontally.
+    pair_exts: Vec<Vec<(u32, u32)>>,
+    n_txns: usize,
+    min_support: u32,
+    max_len: Option<usize>,
+}
+
+impl<I: Ord + Clone> EclatTasks<I> {
+    /// Number of independent first-level classes.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether no item met the support threshold.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Mines one first-level class: the root singleton plus every
+    /// frequent extension starting at it.
+    pub fn run(&self, class: usize) -> Vec<(Vec<I>, u32)> {
+        let mut prefix = vec![self.items[class].clone()];
+        let mut out = vec![(prefix.clone(), self.roots[class].count())];
+        let exts = &self.pair_exts[class];
+        if self.max_len.is_none_or(|m| m > 1) && !exts.is_empty() {
+            if self.max_len == Some(2) {
+                // Pair supports were already counted horizontally; no
+                // tidset ever needs to materialize.
+                for &(j, support) in exts {
+                    prefix.push(self.items[j as usize].clone());
+                    out.push((prefix.clone(), support));
+                    prefix.pop();
+                }
+            } else {
+                // Materialize tidsets only for the extensions known to
+                // survive, then extend depth-first as usual.
+                let mut child_items = Vec::with_capacity(exts.len());
+                let mut child_sets = Vec::with_capacity(exts.len());
+                for &(j, _) in exts {
+                    let inter = self.roots[class].intersect(&self.roots[j as usize], self.n_txns);
+                    child_items.push(self.items[j as usize].clone());
+                    child_sets.push(inter);
+                }
+                self.dfs(&child_items, &child_sets, &mut prefix, &mut out);
+            }
+        }
+        out
+    }
+
+    /// Merges per-class outputs (in any order) into the normalized result.
+    pub fn collect(parts: Vec<Vec<(Vec<I>, u32)>>) -> FimResult<I>
+    where
+        I: Hash,
+    {
+        FimResult::from_raw(parts.into_iter().flatten().collect())
+    }
+
+    /// Depth-first extension over adaptive tidsets; mirrors the generic
+    /// engine's recursion exactly, so outputs are identical.
+    fn dfs(&self, items: &[I], sets: &[TidSet], prefix: &mut Vec<I>, out: &mut Vec<(Vec<I>, u32)>) {
+        for i in 0..items.len() {
+            prefix.push(items[i].clone());
+            out.push((prefix.clone(), sets[i].count()));
+
+            if self.max_len.is_none_or(|m| prefix.len() < m) {
+                let mut child_items = Vec::new();
+                let mut child_sets = Vec::new();
+                for j in (i + 1)..items.len() {
+                    if let Some(inter) =
+                        sets[i].intersect_min(&sets[j], self.min_support, self.n_txns)
+                    {
+                        child_items.push(items[j].clone());
+                        child_sets.push(inter);
+                    }
+                }
+                if !child_items.is_empty() {
                     self.dfs(&child_items, &child_sets, prefix, out);
                 }
             }
@@ -104,7 +340,7 @@ impl Eclat {
     }
 }
 
-/// Intersection of two sorted tid lists.
+/// Intersection of two sorted tid lists (generic engine).
 fn intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
     let mut out = Vec::with_capacity(a.len().min(b.len()));
     let (mut i, mut j) = (0, 0);
@@ -139,6 +375,43 @@ mod tests {
         let eclat = Eclat::new(2).mine(&db);
         let apriori = crate::Apriori::new(2).mine(&db);
         assert_eq!(eclat, apriori);
+        assert_eq!(eclat, Eclat::new(2).mine_generic(&db));
+    }
+
+    #[test]
+    fn dense_matches_generic_across_supports_and_lengths() {
+        let db = TransactionDb::from_iter([
+            vec![1, 2, 3, 7],
+            vec![2, 3, 5],
+            vec![1, 2, 3, 5, 7],
+            vec![2, 5, 7],
+            vec![1, 3],
+            vec![2, 3, 7],
+        ]);
+        for support in [1, 2, 3, 5] {
+            for max_len in [None, Some(1), Some(2), Some(3)] {
+                let mut miner = Eclat::new(support);
+                if let Some(m) = max_len {
+                    miner = miner.max_len(m);
+                }
+                assert_eq!(
+                    miner.mine(&db),
+                    miner.mine_generic(&db),
+                    "support {support} max_len {max_len:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_class_outputs_merge_to_the_same_result() {
+        let db =
+            TransactionDb::from_iter([vec![1, 3, 4], vec![2, 3, 5], vec![1, 2, 3, 5], vec![2, 5]]);
+        let miner = Eclat::new(2);
+        let tasks = miner.tasks(&db);
+        // Collect classes in reverse order: merge must still normalize.
+        let parts: Vec<_> = (0..tasks.len()).rev().map(|c| tasks.run(c)).collect();
+        assert_eq!(EclatTasks::collect(parts), miner.mine(&db));
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! * when the node budget is exceeded, the weakest nodes (and therefore
 //!   their supersets) are pruned.
 
-use std::collections::HashMap;
+use rtdac_types::FxHashMap;
 use std::hash::Hash;
 
 use rtdac_types::{Extent, Transaction};
@@ -79,7 +79,7 @@ pub struct EstDecMiner<I> {
     /// Tracked itemsets (sorted item vectors) with decayed counts. A
     /// HashMap-of-sorted-vecs is the flattened form of the prefix tree:
     /// subset lookups below stand in for tree-path walks.
-    nodes: HashMap<Vec<I>, NodeInfo>,
+    nodes: FxHashMap<Vec<I>, NodeInfo>,
     clock: u64,
 }
 
@@ -99,7 +99,7 @@ impl<I: Ord + Hash + Clone> EstDecMiner<I> {
         assert!(config.max_len >= 2, "max_len below 2 tracks no itemsets");
         EstDecMiner {
             config,
-            nodes: HashMap::new(),
+            nodes: FxHashMap::default(),
             clock: 0,
         }
     }

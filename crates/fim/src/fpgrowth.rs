@@ -2,12 +2,24 @@
 //! candidate generation, via recursive conditional FP-trees.
 //!
 //! The paper places fp-growth between apriori and eclat on the time/space
-//! trade-off (§II-B).
+//! trade-off (§II-B). [`FpGrowth::mine`] runs the dense engine: items are
+//! recoded to support-ordered contiguous ids, tree nodes live in a flat
+//! arena linked by first-child/next-sibling indices (no per-node hash
+//! map), and header chains are threaded through the nodes themselves.
+//! Conditional projections re-compact their surviving items to a fresh
+//! local id space, so every level of the recursion indexes small arrays.
+//! The original generic implementation is preserved as
+//! [`FpGrowth::mine_generic`] and serves as the equivalence oracle.
+//!
+//! [`FpGrowth::tasks`] exposes the per-item conditional projections of
+//! the global tree as independent units for a work pool; `mine` is
+//! exactly `tasks` run serially.
 
 use std::collections::HashMap;
 use std::hash::Hash;
 
 use crate::db::TransactionDb;
+use crate::interner::ItemInterner;
 use crate::result::FimResult;
 
 /// Configuration and entry point for the FP-growth miner.
@@ -21,6 +33,7 @@ use crate::result::FimResult;
 /// let result = FpGrowth::new(2).mine(&db);
 /// assert_eq!(result.support(&[2]), Some(3));
 /// assert_eq!(result.support(&[1, 2]), Some(2));
+/// assert_eq!(result, FpGrowth::new(2).mine_generic(&db));
 /// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FpGrowth {
@@ -28,7 +41,640 @@ pub struct FpGrowth {
     max_len: Option<usize>,
 }
 
-/// One node of an FP-tree. Nodes live in an arena; links are indices.
+// ---------------------------------------------------------------------
+// Dense engine
+// ---------------------------------------------------------------------
+
+/// Null link in the dense arena.
+const NIL: u32 = u32::MAX;
+
+/// One arena node: tree links (parent / first-child / next-sibling) plus
+/// the header-chain link, all as indices. 24 bytes, no heap per node.
+#[derive(Clone, Debug)]
+struct DenseNode {
+    item: u32,
+    count: u32,
+    parent: u32,
+    first_child: u32,
+    next_sibling: u32,
+    header_next: u32,
+}
+
+/// An FP-tree over a contiguous item-id space. `nodes[0]` is the root
+/// sentinel; `header[item]` heads the chain of that item's nodes and
+/// `supports[item]` accumulates its total count in this tree.
+///
+/// Child lookup during insertion never scans the root's (potentially
+/// item-universe-wide) child list: `root_index[item]` maps straight to
+/// the root's child for `item`. Deeper sibling lists are short and
+/// searched linearly with a move-to-front rotation, so repeated paths —
+/// the common case once items are support-ordered — hit on the first
+/// link.
+#[derive(Clone, Debug)]
+struct DenseTree {
+    nodes: Vec<DenseNode>,
+    header: Vec<u32>,
+    supports: Vec<u32>,
+    root_index: Vec<u32>,
+}
+
+impl DenseTree {
+    fn new(n_items: usize) -> Self {
+        DenseTree {
+            nodes: vec![DenseNode {
+                item: NIL,
+                count: 0,
+                parent: NIL,
+                first_child: NIL,
+                next_sibling: NIL,
+                header_next: NIL,
+            }],
+            header: vec![NIL; n_items],
+            supports: vec![0; n_items],
+            root_index: vec![NIL; n_items],
+        }
+    }
+
+    /// Inserts one id-sorted transaction path with multiplicity `count`.
+    /// Callers set `supports` wholesale (they already know every item's
+    /// total), so insertion does not track them.
+    fn insert(&mut self, path: &[u32], count: u32) {
+        let mut cursor = 0u32;
+        for (depth, &item) in path.iter().enumerate() {
+            let child = if depth == 0 {
+                self.root_index[item as usize]
+            } else {
+                self.find_child_mtf(cursor, item)
+            };
+            if child != NIL {
+                self.nodes[child as usize].count += count;
+                cursor = child;
+            } else {
+                let idx = self.nodes.len() as u32;
+                self.nodes.push(DenseNode {
+                    item,
+                    count,
+                    parent: cursor,
+                    first_child: NIL,
+                    next_sibling: self.nodes[cursor as usize].first_child,
+                    header_next: self.header[item as usize],
+                });
+                self.nodes[cursor as usize].first_child = idx;
+                self.header[item as usize] = idx;
+                if depth == 0 {
+                    self.root_index[item as usize] = idx;
+                }
+                cursor = idx;
+            }
+        }
+    }
+
+    /// Finds `parent`'s child carrying `item` (or `NIL`), rotating a hit
+    /// to the front of the sibling list. Sibling order is build-only
+    /// state — mining walks header chains and parent links — so the
+    /// rotation cannot affect results.
+    fn find_child_mtf(&mut self, parent: u32, item: u32) -> u32 {
+        let mut prev = NIL;
+        let mut child = self.nodes[parent as usize].first_child;
+        while child != NIL && self.nodes[child as usize].item != item {
+            prev = child;
+            child = self.nodes[child as usize].next_sibling;
+        }
+        if child != NIL && prev != NIL {
+            self.nodes[prev as usize].next_sibling = self.nodes[child as usize].next_sibling;
+            self.nodes[child as usize].next_sibling = self.nodes[parent as usize].first_child;
+            self.nodes[parent as usize].first_child = child;
+        }
+        child
+    }
+
+    /// Inserts lexicographically sorted unit-count paths with zero child
+    /// searching: paths sharing a prefix are adjacent, so the node stack
+    /// of the previous path identifies every shared node directly, and a
+    /// diverging suffix is always a fresh chain.
+    fn insert_sorted_paths(&mut self, paths: &[Vec<u32>]) {
+        let mut stack: Vec<u32> = Vec::new();
+        let mut prev: &[u32] = &[];
+        for path in paths {
+            let shared = prev.iter().zip(path).take_while(|(a, b)| a == b).count();
+            stack.truncate(shared);
+            for &node in &stack {
+                self.nodes[node as usize].count += 1;
+            }
+            for d in shared..path.len() {
+                let parent = if d == 0 { 0 } else { stack[d - 1] };
+                let item = path[d];
+                let idx = self.nodes.len() as u32;
+                self.nodes.push(DenseNode {
+                    item,
+                    count: 1,
+                    parent,
+                    first_child: NIL,
+                    next_sibling: self.nodes[parent as usize].first_child,
+                    header_next: self.header[item as usize],
+                });
+                self.nodes[parent as usize].first_child = idx;
+                self.header[item as usize] = idx;
+                stack.push(idx);
+            }
+            prev = path;
+        }
+    }
+
+    fn n_items(&self) -> usize {
+        self.header.len()
+    }
+}
+
+impl FpGrowth {
+    /// Creates a miner with the given absolute minimum support.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_support == 0`.
+    pub fn new(min_support: u32) -> Self {
+        assert!(min_support > 0, "minimum support must be positive");
+        FpGrowth {
+            min_support,
+            max_len: None,
+        }
+    }
+
+    /// Limits mining to itemsets of at most `k` items.
+    pub fn max_len(mut self, k: usize) -> Self {
+        self.max_len = Some(k);
+        self
+    }
+
+    /// Mines all frequent itemsets from `db` with the dense engine.
+    pub fn mine<I: Ord + Hash + Clone>(&self, db: &TransactionDb<I>) -> FimResult<I> {
+        let tasks = self.tasks(db);
+        let mut scratch = tasks.scratch();
+        let mut out: Vec<(Vec<I>, u32)> = Vec::new();
+        for item in 0..tasks.len() {
+            out.extend(tasks.run_with(item, &mut scratch));
+        }
+        FimResult::from_raw(out)
+    }
+
+    /// Prepares the dense engine: recodes frequent items to
+    /// support-ordered ids, builds the global arena tree, and returns
+    /// the per-item conditional projections as independent tasks.
+    pub fn tasks<I: Ord + Hash + Clone>(&self, db: &TransactionDb<I>) -> FpTasks<I> {
+        // One hash pass interns and counts; ranking and path encoding are
+        // then pure array work. Ranks order frequent items by descending
+        // support (the canonical FP-tree insertion order), ties by item
+        // order — interner ids ascend in item order, so ascending id is
+        // the tiebreak.
+        let (interner, encoded, supports) = ItemInterner::encode_db(db);
+        let mut frequent_ids: Vec<u32> = (0..supports.len() as u32)
+            .filter(|&id| supports[id as usize] >= self.min_support)
+            .collect();
+        frequent_ids.sort_by(|&a, &b| {
+            supports[b as usize]
+                .cmp(&supports[a as usize])
+                .then(a.cmp(&b))
+        });
+        let mut rank = vec![NIL; supports.len()];
+        for (r, &id) in frequent_ids.iter().enumerate() {
+            rank[id as usize] = r as u32;
+        }
+        let frequent: Vec<(I, u32)> = frequent_ids
+            .iter()
+            .map(|&id| (interner.item(id).clone(), supports[id as usize]))
+            .collect();
+
+        // Build the global tree from lexicographically sorted paths: the
+        // sort groups shared prefixes, so insertion never searches a
+        // sibling list — total build cost is one sort of short rows plus
+        // one linear stack pass.
+        let mut paths: Vec<Vec<u32>> = Vec::with_capacity(encoded.len());
+        for row in encoded.rows() {
+            let mut path: Vec<u32> = row
+                .iter()
+                .filter_map(|&id| {
+                    let r = rank[id as usize];
+                    (r != NIL).then_some(r)
+                })
+                .collect();
+            if !path.is_empty() {
+                path.sort_unstable(); // ranks are support-ordered
+                paths.push(path);
+            }
+        }
+        paths.sort_unstable();
+        let mut tree = DenseTree::new(frequent.len());
+        tree.insert_sorted_paths(&paths);
+        tree.supports = frequent.iter().map(|&(_, s)| s).collect();
+
+        FpTasks {
+            frequent,
+            tree,
+            min_support: self.min_support,
+            max_len: self.max_len,
+        }
+    }
+
+    /// Mines all frequent itemsets with the preserved generic engine
+    /// (per-node `HashMap` children) — the equivalence oracle for the
+    /// dense path.
+    pub fn mine_generic<I: Ord + Hash + Clone>(&self, db: &TransactionDb<I>) -> FimResult<I> {
+        // Map items to dense ids ordered by descending support (the
+        // canonical FP-tree insertion order), keeping only frequent items.
+        let supports = db.item_supports();
+        let mut frequent: Vec<(I, u32)> = supports
+            .into_iter()
+            .filter(|(_, s)| *s >= self.min_support)
+            .collect();
+        // Descending support, ties by item order for determinism.
+        frequent.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let id_of: HashMap<&I, usize> = frequent
+            .iter()
+            .enumerate()
+            .map(|(id, (item, _))| (item, id))
+            .collect();
+
+        // Build the global tree.
+        let mut tree = FpTree::new();
+        for txn in db.transactions() {
+            let mut path: Vec<usize> = txn.iter().filter_map(|i| id_of.get(i).copied()).collect();
+            path.sort_unstable(); // dense ids are already support-ordered
+            tree.insert(&path, 1);
+        }
+
+        let mut out_ids: Vec<(Vec<usize>, u32)> = Vec::new();
+        let mut suffix: Vec<usize> = Vec::new();
+        self.grow_generic(&tree, &mut suffix, &mut out_ids);
+
+        let out = out_ids
+            .into_iter()
+            .map(|(ids, support)| {
+                (
+                    ids.into_iter()
+                        .map(|id| frequent[id].0.clone())
+                        .collect::<Vec<I>>(),
+                    support,
+                )
+            })
+            .collect();
+        FimResult::from_raw(out)
+    }
+
+    /// Recursively mines `tree` (generic engine), whose itemsets all
+    /// extend `suffix`.
+    fn grow_generic(
+        &self,
+        tree: &FpTree,
+        suffix: &mut Vec<usize>,
+        out: &mut Vec<(Vec<usize>, u32)>,
+    ) {
+        for item in tree.items() {
+            let support = tree.item_support(item);
+            if support < self.min_support {
+                continue;
+            }
+            suffix.push(item);
+            out.push((suffix.clone(), support));
+
+            if self.max_len.is_none_or(|m| suffix.len() < m) {
+                // Build the conditional tree for this item.
+                let base = tree.conditional_base(item);
+                if !base.is_empty() {
+                    // Support counts within the conditional base.
+                    let mut cond_support: HashMap<usize, u32> = HashMap::new();
+                    for (path, count) in &base {
+                        for &p in path {
+                            *cond_support.entry(p).or_insert(0) += count;
+                        }
+                    }
+                    let mut cond = FpTree::new();
+                    for (path, count) in &base {
+                        let filtered: Vec<usize> = path
+                            .iter()
+                            .copied()
+                            .filter(|p| cond_support[p] >= self.min_support)
+                            .collect();
+                        if !filtered.is_empty() {
+                            cond.insert(&filtered, *count);
+                        }
+                    }
+                    if !cond.header.is_empty() {
+                        self.grow_generic(&cond, suffix, out);
+                    }
+                }
+            }
+            suffix.pop();
+        }
+    }
+}
+
+/// Reusable per-worker mining state for [`FpTasks`]. Conditional
+/// projections need a support accumulator and an id remap sized by the
+/// projected item — zeroing those per projection is O(items) each time,
+/// which dominates on wide trees. The scratch instead stamps each slot
+/// with the epoch that last wrote it: a slot whose stamp is stale reads
+/// as zero, so starting a new projection is just an epoch bump.
+pub struct FpScratch {
+    /// Per-item conditional support; valid only where `stamp == epoch`.
+    support: Vec<u32>,
+    /// Per-item re-compacted local id; valid only where `stamp == epoch`.
+    remap: Vec<u32>,
+    /// Epoch that last wrote each slot.
+    stamp: Vec<u32>,
+    /// Current projection's epoch.
+    epoch: u32,
+    /// Items touched by the current projection, for ordered iteration.
+    touched: Vec<u32>,
+    /// Path buffer reused across insertions.
+    filtered: Vec<u32>,
+    /// Flat replay of the conditional base recorded during the support
+    /// walk: ancestor items back-to-back, delimited by `base_paths`.
+    base_items: Vec<u32>,
+    /// One `(start, end, count)` per base path into `base_items`.
+    base_paths: Vec<(u32, u32, u32)>,
+}
+
+impl FpScratch {
+    fn new(n_items: usize) -> Self {
+        FpScratch {
+            support: vec![0; n_items],
+            remap: vec![0; n_items],
+            stamp: vec![0; n_items],
+            epoch: 0,
+            touched: Vec::new(),
+            filtered: Vec::new(),
+            base_items: Vec::new(),
+            base_paths: Vec::new(),
+        }
+    }
+
+    /// Starts a new projection: all slots read as untouched again.
+    fn advance(&mut self) {
+        self.epoch = match self.epoch.checked_add(1) {
+            Some(e) => e,
+            None => {
+                self.stamp.fill(0);
+                1
+            }
+        };
+        self.touched.clear();
+    }
+}
+
+/// The prepared dense FP-growth search, decomposed into per-item
+/// conditional projections of the global tree. Task `k` covers every
+/// frequent itemset whose least-frequent member is the `k`-th frequent
+/// item; tasks only read shared state, so they can run on any threads
+/// in any order — each worker holding its own [`FpScratch`].
+/// [`FpTasks::collect`] merges per-task results back into the canonical
+/// [`FimResult`].
+pub struct FpTasks<I> {
+    /// Frequent items with supports, indexed by dense id (descending
+    /// support, ties by item order).
+    frequent: Vec<(I, u32)>,
+    /// The global tree over dense ids.
+    tree: DenseTree,
+    min_support: u32,
+    max_len: Option<usize>,
+}
+
+impl<I: Ord + Clone> FpTasks<I> {
+    /// Number of independent conditional projections.
+    pub fn len(&self) -> usize {
+        self.frequent.len()
+    }
+
+    /// Whether no item met the support threshold.
+    pub fn is_empty(&self) -> bool {
+        self.frequent.is_empty()
+    }
+
+    /// Creates a mining scratch sized for this search. One per worker;
+    /// reusable across any number of [`FpTasks::run_with`] calls.
+    pub fn scratch(&self) -> FpScratch {
+        FpScratch::new(self.frequent.len())
+    }
+
+    /// Mines one projection with a fresh scratch. Equivalent to
+    /// [`FpTasks::run_with`]; workers running many projections should
+    /// hold one [`FpScratch`] and use `run_with` instead.
+    pub fn run(&self, k: usize) -> Vec<(Vec<I>, u32)> {
+        self.run_with(k, &mut self.scratch())
+    }
+
+    /// Mines one projection: the `k`-th frequent item's singleton plus
+    /// every frequent itemset in its conditional tree.
+    pub fn run_with(&self, k: usize, scratch: &mut FpScratch) -> Vec<(Vec<I>, u32)> {
+        let mut out_ids: Vec<(Vec<u32>, u32)> = Vec::new();
+        let mut suffix = vec![k as u32];
+        out_ids.push((suffix.clone(), self.frequent[k].1));
+        if self.max_len == Some(2) {
+            self.conditional_leaf(
+                &self.tree,
+                k as u32,
+                None,
+                &mut suffix,
+                &mut out_ids,
+                scratch,
+            );
+        } else if self.max_len.is_none_or(|m| m > 1) {
+            if let Some((cond, to_global)) = self.conditional(&self.tree, k as u32, None, scratch) {
+                self.grow(&cond, &to_global, &mut suffix, &mut out_ids, scratch);
+            }
+        }
+        out_ids
+            .into_iter()
+            .map(|(ids, support)| {
+                (
+                    ids.into_iter()
+                        .map(|id| self.frequent[id as usize].0.clone())
+                        .collect::<Vec<I>>(),
+                    support,
+                )
+            })
+            .collect()
+    }
+
+    /// Merges per-task outputs (in any order) into the normalized result.
+    pub fn collect(parts: Vec<Vec<(Vec<I>, u32)>>) -> FimResult<I>
+    where
+        I: Hash,
+    {
+        FimResult::from_raw(parts.into_iter().flatten().collect())
+    }
+
+    /// Builds the conditional tree of local item `item` within `tree`,
+    /// re-compacted to a fresh local id space. `to_global` translates
+    /// `tree`'s local ids to global dense ids (`None` when `tree` *is*
+    /// the global tree); returns the new tree with its own translation,
+    /// or `None` when nothing in the base survives the support filter.
+    fn conditional(
+        &self,
+        tree: &DenseTree,
+        item: u32,
+        to_global: Option<&[u32]>,
+        scratch: &mut FpScratch,
+    ) -> Option<(DenseTree, Vec<u32>)> {
+        // The conditional pattern base is the prefix path of every node
+        // in `item`'s header chain; paths hold `tree`-local ids, all
+        // < `item`, because paths are inserted id-sorted. The single
+        // chain walk accumulates supports while recording the base into
+        // a flat replay buffer, so insertion reads sequential memory
+        // instead of chasing parent pointers a second time. Epoch
+        // stamping keeps the walk O(touched) rather than O(item).
+        scratch.advance();
+        let epoch = scratch.epoch;
+        scratch.base_items.clear();
+        scratch.base_paths.clear();
+        let mut node = tree.header[item as usize];
+        while node != NIL {
+            let count = tree.nodes[node as usize].count;
+            let start = scratch.base_items.len() as u32;
+            let mut cursor = tree.nodes[node as usize].parent;
+            while cursor != 0 {
+                let p = tree.nodes[cursor as usize].item as usize;
+                if scratch.stamp[p] != epoch {
+                    scratch.stamp[p] = epoch;
+                    scratch.support[p] = 0;
+                    scratch.touched.push(p as u32);
+                }
+                scratch.support[p] += count;
+                scratch.base_items.push(p as u32);
+                cursor = tree.nodes[cursor as usize].parent;
+            }
+            let end = scratch.base_items.len() as u32;
+            if end > start {
+                scratch.base_paths.push((start, end, count));
+            }
+            node = tree.nodes[node as usize].header_next;
+        }
+        // Survivors keep their relative order, re-compacted to 0..m.
+        // Untouched items have zero support, so sorting the touched set
+        // recovers the same ascending-id scan the dense arrays gave.
+        scratch.touched.sort_unstable();
+        let mut kept: Vec<u32> = Vec::new();
+        for &p in &scratch.touched {
+            if scratch.support[p as usize] >= self.min_support {
+                scratch.remap[p as usize] = kept.len() as u32;
+                kept.push(p);
+            } else {
+                scratch.remap[p as usize] = NIL;
+            }
+        }
+        if kept.is_empty() {
+            return None;
+        }
+
+        let mut cond = DenseTree::new(kept.len());
+        for pi in 0..scratch.base_paths.len() {
+            let (start, end, count) = scratch.base_paths[pi];
+            scratch.filtered.clear();
+            for bi in start..end {
+                // Stamped this projection ⇒ remap is valid for `p`.
+                let r = scratch.remap[scratch.base_items[bi as usize] as usize];
+                if r != NIL {
+                    scratch.filtered.push(r);
+                }
+            }
+            if !scratch.filtered.is_empty() {
+                scratch.filtered.reverse(); // the upward walk yields ids descending
+                cond.insert(&scratch.filtered, count);
+            }
+        }
+        cond.supports = kept.iter().map(|&p| scratch.support[p as usize]).collect();
+        let translation: Vec<u32> = kept
+            .iter()
+            .map(|&p| to_global.map_or(p, |t| t[p as usize]))
+            .collect();
+        Some((cond, translation))
+    }
+
+    /// Terminal projection level: when the itemsets extending `suffix`
+    /// by `item` have already reached `max_len - 1` members, the next
+    /// level only ever reads the conditional tree's supports — so the
+    /// tree is never built. One header-chain walk accumulates supports
+    /// and survivors are emitted directly.
+    fn conditional_leaf(
+        &self,
+        tree: &DenseTree,
+        item: u32,
+        to_global: Option<&[u32]>,
+        suffix: &mut Vec<u32>,
+        out: &mut Vec<(Vec<u32>, u32)>,
+        scratch: &mut FpScratch,
+    ) {
+        scratch.advance();
+        let epoch = scratch.epoch;
+        let mut node = tree.header[item as usize];
+        while node != NIL {
+            let count = tree.nodes[node as usize].count;
+            let mut cursor = tree.nodes[node as usize].parent;
+            while cursor != 0 {
+                let p = tree.nodes[cursor as usize].item as usize;
+                if scratch.stamp[p] != epoch {
+                    scratch.stamp[p] = epoch;
+                    scratch.support[p] = 0;
+                    scratch.touched.push(p as u32);
+                }
+                scratch.support[p] += count;
+                cursor = tree.nodes[cursor as usize].parent;
+            }
+            node = tree.nodes[node as usize].header_next;
+        }
+        scratch.touched.sort_unstable();
+        for i in 0..scratch.touched.len() {
+            let p = scratch.touched[i];
+            let support = scratch.support[p as usize];
+            if support >= self.min_support {
+                suffix.push(to_global.map_or(p, |t| t[p as usize]));
+                out.push((suffix.clone(), support));
+                suffix.pop();
+            }
+        }
+    }
+
+    /// Recursively mines a conditional `tree`, whose itemsets all extend
+    /// `suffix` (held as global dense ids).
+    fn grow(
+        &self,
+        tree: &DenseTree,
+        to_global: &[u32],
+        suffix: &mut Vec<u32>,
+        out: &mut Vec<(Vec<u32>, u32)>,
+        scratch: &mut FpScratch,
+    ) {
+        for local in 0..tree.n_items() as u32 {
+            let support = tree.supports[local as usize];
+            if support < self.min_support {
+                continue;
+            }
+            suffix.push(to_global[local as usize]);
+            out.push((suffix.clone(), support));
+            match self.max_len {
+                Some(m) if suffix.len() >= m => {}
+                Some(m) if suffix.len() + 1 == m => {
+                    // The next level is terminal: supports only.
+                    self.conditional_leaf(tree, local, Some(to_global), suffix, out, scratch);
+                }
+                _ => {
+                    if let Some((cond, translation)) =
+                        self.conditional(tree, local, Some(to_global), scratch)
+                    {
+                        self.grow(&cond, &translation, suffix, out, scratch);
+                    }
+                }
+            }
+            suffix.pop();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Generic engine (preserved oracle)
+// ---------------------------------------------------------------------
+
+/// One node of the generic FP-tree. Nodes live in an arena; children are
+/// a per-node hash map (the representation the dense engine replaces).
 #[derive(Clone, Debug)]
 struct Node {
     /// Index into the dense item-id space.
@@ -40,8 +686,7 @@ struct Node {
 
 const ROOT: usize = 0;
 
-/// An FP-tree over dense item ids, with its header table
-/// (item → node indices).
+/// The generic FP-tree with its header table (item → node indices).
 struct FpTree {
     arena: Vec<Node>,
     header: HashMap<usize, Vec<usize>>,
@@ -114,111 +759,6 @@ impl FpTree {
     }
 }
 
-impl FpGrowth {
-    /// Creates a miner with the given absolute minimum support.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `min_support == 0`.
-    pub fn new(min_support: u32) -> Self {
-        assert!(min_support > 0, "minimum support must be positive");
-        FpGrowth {
-            min_support,
-            max_len: None,
-        }
-    }
-
-    /// Limits mining to itemsets of at most `k` items.
-    pub fn max_len(mut self, k: usize) -> Self {
-        self.max_len = Some(k);
-        self
-    }
-
-    /// Mines all frequent itemsets from `db`.
-    pub fn mine<I: Ord + Hash + Clone>(&self, db: &TransactionDb<I>) -> FimResult<I> {
-        // Map items to dense ids ordered by descending support (the
-        // canonical FP-tree insertion order), keeping only frequent items.
-        let supports = db.item_supports();
-        let mut frequent: Vec<(I, u32)> = supports
-            .into_iter()
-            .filter(|(_, s)| *s >= self.min_support)
-            .collect();
-        // Descending support, ties by item order for determinism.
-        frequent.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-        let id_of: HashMap<&I, usize> = frequent
-            .iter()
-            .enumerate()
-            .map(|(id, (item, _))| (item, id))
-            .collect();
-
-        // Build the global tree.
-        let mut tree = FpTree::new();
-        for txn in db.transactions() {
-            let mut path: Vec<usize> = txn.iter().filter_map(|i| id_of.get(i).copied()).collect();
-            path.sort_unstable(); // dense ids are already support-ordered
-            tree.insert(&path, 1);
-        }
-
-        let mut out_ids: Vec<(Vec<usize>, u32)> = Vec::new();
-        let mut suffix: Vec<usize> = Vec::new();
-        self.grow(&tree, &mut suffix, &mut out_ids);
-
-        let out = out_ids
-            .into_iter()
-            .map(|(ids, support)| {
-                (
-                    ids.into_iter()
-                        .map(|id| frequent[id].0.clone())
-                        .collect::<Vec<I>>(),
-                    support,
-                )
-            })
-            .collect();
-        FimResult::from_raw(out)
-    }
-
-    /// Recursively mines `tree`, whose itemsets all extend `suffix`.
-    fn grow(&self, tree: &FpTree, suffix: &mut Vec<usize>, out: &mut Vec<(Vec<usize>, u32)>) {
-        for item in tree.items() {
-            let support = tree.item_support(item);
-            if support < self.min_support {
-                continue;
-            }
-            suffix.push(item);
-            out.push((suffix.clone(), support));
-
-            if self.max_len.is_none_or(|m| suffix.len() < m) {
-                // Build the conditional tree for this item.
-                let base = tree.conditional_base(item);
-                if !base.is_empty() {
-                    // Support counts within the conditional base.
-                    let mut cond_support: HashMap<usize, u32> = HashMap::new();
-                    for (path, count) in &base {
-                        for &p in path {
-                            *cond_support.entry(p).or_insert(0) += count;
-                        }
-                    }
-                    let mut cond = FpTree::new();
-                    for (path, count) in &base {
-                        let filtered: Vec<usize> = path
-                            .iter()
-                            .copied()
-                            .filter(|p| cond_support[p] >= self.min_support)
-                            .collect();
-                        if !filtered.is_empty() {
-                            cond.insert(&filtered, *count);
-                        }
-                    }
-                    if !cond.header.is_empty() {
-                        self.grow(&cond, suffix, out);
-                    }
-                }
-            }
-            suffix.pop();
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,6 +770,7 @@ mod tests {
         let fp = FpGrowth::new(2).mine(&db);
         let ap = crate::Apriori::new(2).mine(&db);
         assert_eq!(fp, ap);
+        assert_eq!(fp, FpGrowth::new(2).mine_generic(&db));
     }
 
     #[test]
@@ -246,7 +787,43 @@ mod tests {
         let r = FpGrowth::new(3).mine(&db);
         let ap = crate::Apriori::new(3).mine(&db);
         assert_eq!(r, ap);
+        assert_eq!(r, FpGrowth::new(3).mine_generic(&db));
         assert_eq!(r.support(&[2, 5]), Some(3)); // {c, m}
+    }
+
+    #[test]
+    fn dense_matches_generic_across_supports_and_lengths() {
+        let db = TransactionDb::from_iter([
+            vec![1, 2, 3, 7],
+            vec![2, 3, 5],
+            vec![1, 2, 3, 5, 7],
+            vec![2, 5, 7],
+            vec![1, 3],
+            vec![2, 3, 7],
+        ]);
+        for support in [1, 2, 3, 5] {
+            for max_len in [None, Some(1), Some(2), Some(3)] {
+                let mut miner = FpGrowth::new(support);
+                if let Some(m) = max_len {
+                    miner = miner.max_len(m);
+                }
+                assert_eq!(
+                    miner.mine(&db),
+                    miner.mine_generic(&db),
+                    "support {support} max_len {max_len:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_projection_outputs_merge_to_the_same_result() {
+        let db =
+            TransactionDb::from_iter([vec![1, 3, 4], vec![2, 3, 5], vec![1, 2, 3, 5], vec![2, 5]]);
+        let miner = FpGrowth::new(2);
+        let tasks = miner.tasks(&db);
+        let parts: Vec<_> = (0..tasks.len()).rev().map(|k| tasks.run(k)).collect();
+        assert_eq!(FpTasks::collect(parts), miner.mine(&db));
     }
 
     #[test]
@@ -261,6 +838,7 @@ mod tests {
     fn empty_db_yields_empty() {
         let db: TransactionDb<u32> = TransactionDb::new();
         assert!(FpGrowth::new(1).mine(&db).is_empty());
+        assert!(FpGrowth::new(1).mine_generic(&db).is_empty());
     }
 
     #[test]

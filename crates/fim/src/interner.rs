@@ -1,0 +1,243 @@
+//! Dense item recoding — the first step of every Borgelt-style miner.
+//!
+//! Generic items (extents, integers, …) are recoded once per
+//! [`TransactionDb`] to contiguous `u32` ids so the mining kernels can
+//! index arrays instead of probing hash tables. Ids are assigned in
+//! ascending item order, which makes dense-id order and item order
+//! interchangeable: a kernel that emits itemsets in id order emits them
+//! in item order too.
+
+use std::hash::Hash;
+
+use rtdac_types::FxHashMap;
+
+use crate::db::TransactionDb;
+
+/// A bijection between the distinct items of one database and the dense
+/// id range `0..len()`.
+///
+/// # Examples
+///
+/// ```
+/// use rtdac_fim::{ItemInterner, TransactionDb};
+///
+/// let db = TransactionDb::from_iter([vec![30, 10], vec![20, 10]]);
+/// let interner = ItemInterner::from_db(&db);
+/// assert_eq!(interner.len(), 3);
+/// assert_eq!(interner.id(&10), Some(0)); // ids follow item order
+/// assert_eq!(interner.item(2), &30);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ItemInterner<I> {
+    /// Dense id → item, ascending by item order.
+    items: Vec<I>,
+    /// Item → dense id.
+    ids: FxHashMap<I, u32>,
+}
+
+impl<I: Ord + Hash + Clone> ItemInterner<I> {
+    /// Collects the distinct items of `db` and assigns each a dense id
+    /// in ascending item order.
+    pub fn from_db(db: &TransactionDb<I>) -> Self {
+        let mut ids: FxHashMap<I, u32> = FxHashMap::default();
+        for txn in db.transactions() {
+            for item in txn {
+                let next = ids.len() as u32;
+                ids.entry(item.clone()).or_insert(next);
+            }
+        }
+        let mut items: Vec<I> = ids.keys().cloned().collect();
+        items.sort_unstable();
+        for (id, item) in items.iter().enumerate() {
+            *ids.get_mut(item).expect("interned item") = id as u32;
+        }
+        ItemInterner { items, ids }
+    }
+
+    /// Number of distinct items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the database held no items at all.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The item behind a dense id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= len()`.
+    pub fn item(&self, id: u32) -> &I {
+        &self.items[id as usize]
+    }
+
+    /// All items, indexed by dense id (ascending item order).
+    pub fn items(&self) -> &[I] {
+        &self.items
+    }
+
+    /// The dense id of an item, if it appeared in the database.
+    pub fn id(&self, item: &I) -> Option<u32> {
+        self.ids.get(item).copied()
+    }
+
+    /// Recodes every transaction to sorted dense-id form. Because ids
+    /// follow item order and `TransactionDb` rows are sorted, each row
+    /// comes out already sorted and deduplicated.
+    pub fn encode(&self, db: &TransactionDb<I>) -> Vec<Vec<u32>> {
+        db.transactions()
+            .iter()
+            .map(|txn| txn.iter().map(|item| self.ids[item]).collect::<Vec<u32>>())
+            .collect()
+    }
+
+    /// Interns, encodes, and counts item supports in one hash pass over
+    /// the database — the miners' shared prelude. `from_db` + `encode`
+    /// hash every item occurrence twice; this hashes each once (ids are
+    /// assigned in first-seen order, then remapped to the ascending-item
+    /// invariant with pure array passes). Returns the interner, the
+    /// encoded rows, and the per-id supports.
+    pub fn encode_db(db: &TransactionDb<I>) -> (Self, EncodedDb, Vec<u32>) {
+        let mut ids: FxHashMap<I, u32> = FxHashMap::default();
+        let mut items: Vec<I> = Vec::new();
+        let mut supports: Vec<u32> = Vec::new();
+        let mut flat: Vec<u32> = Vec::new();
+        let mut offsets: Vec<u32> = Vec::with_capacity(db.len() + 1);
+        offsets.push(0);
+        for txn in db.transactions() {
+            for item in txn {
+                let id = match ids.get(item) {
+                    Some(&id) => id,
+                    None => {
+                        let id = items.len() as u32;
+                        ids.insert(item.clone(), id);
+                        items.push(item.clone());
+                        supports.push(0);
+                        id
+                    }
+                };
+                supports[id as usize] += 1;
+                flat.push(id);
+            }
+            offsets.push(flat.len() as u32);
+        }
+
+        // Remap first-seen ids to ascending item order; rows stay sorted
+        // because the remap is monotone in item order and `TransactionDb`
+        // rows are item-sorted.
+        let mut order: Vec<u32> = (0..items.len() as u32).collect();
+        order.sort_unstable_by(|&a, &b| items[a as usize].cmp(&items[b as usize]));
+        let mut remap = vec![0u32; items.len()];
+        for (new_id, &old) in order.iter().enumerate() {
+            remap[old as usize] = new_id as u32;
+        }
+        let sorted_items: Vec<I> = order.iter().map(|&o| items[o as usize].clone()).collect();
+        let mut sorted_supports = vec![0u32; supports.len()];
+        for (old, &s) in supports.iter().enumerate() {
+            sorted_supports[remap[old] as usize] = s;
+        }
+        for id in &mut flat {
+            *id = remap[*id as usize];
+        }
+        for (id, item) in sorted_items.iter().enumerate() {
+            *ids.get_mut(item).expect("interned item") = id as u32;
+        }
+        (
+            ItemInterner {
+                items: sorted_items,
+                ids,
+            },
+            EncodedDb {
+                items: flat,
+                offsets,
+            },
+            sorted_supports,
+        )
+    }
+}
+
+/// A database recoded to dense ids, rows concatenated in one flat buffer
+/// (no per-row allocation). Row `r` is `items[offsets[r]..offsets[r+1]]`,
+/// sorted ascending.
+#[derive(Clone, Debug)]
+pub struct EncodedDb {
+    items: Vec<u32>,
+    offsets: Vec<u32>,
+}
+
+impl EncodedDb {
+    /// Number of rows (transactions).
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether the database held no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The dense-id row of transaction `r`, sorted ascending.
+    pub fn row(&self, r: usize) -> &[u32] {
+        &self.items[self.offsets[r] as usize..self.offsets[r + 1] as usize]
+    }
+
+    /// All rows in transaction order.
+    pub fn rows(&self) -> impl Iterator<Item = &[u32]> {
+        self.offsets
+            .windows(2)
+            .map(|w| &self.items[w[0] as usize..w[1] as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_follow_item_order() {
+        let db = TransactionDb::from_iter([vec![5, 9], vec![1, 9]]);
+        let interner = ItemInterner::from_db(&db);
+        assert_eq!(interner.items(), &[1, 5, 9]);
+        assert_eq!(interner.id(&1), Some(0));
+        assert_eq!(interner.id(&5), Some(1));
+        assert_eq!(interner.id(&9), Some(2));
+        assert_eq!(interner.id(&7), None);
+    }
+
+    #[test]
+    fn encode_preserves_sorted_rows() {
+        let db = TransactionDb::from_iter([vec![9, 5], vec![1]]);
+        let interner = ItemInterner::from_db(&db);
+        let dense = interner.encode(&db);
+        assert_eq!(dense, vec![vec![1, 2], vec![0]]);
+        for row in &dense {
+            assert!(row.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn empty_db() {
+        let db: TransactionDb<u32> = TransactionDb::new();
+        let interner = ItemInterner::from_db(&db);
+        assert!(interner.is_empty());
+        assert!(interner.encode(&db).is_empty());
+        let (interner, encoded, supports) = ItemInterner::<u32>::encode_db(&db);
+        assert!(interner.is_empty() && encoded.is_empty() && supports.is_empty());
+    }
+
+    #[test]
+    fn encode_db_matches_the_two_pass_prelude() {
+        let db = TransactionDb::from_iter([vec![9, 5], vec![1, 9], vec![9]]);
+        let (interner, encoded, supports) = ItemInterner::encode_db(&db);
+        let reference = ItemInterner::from_db(&db);
+        assert_eq!(interner.items(), reference.items());
+        let rows: Vec<Vec<u32>> = encoded.rows().map(<[u32]>::to_vec).collect();
+        assert_eq!(rows, reference.encode(&db));
+        assert_eq!(encoded.len(), db.len());
+        assert_eq!(encoded.row(1), &[0, 2]);
+        assert_eq!(supports, vec![1, 1, 3]); // items 1, 5, 9
+        assert_eq!(interner.id(&9), Some(2));
+    }
+}

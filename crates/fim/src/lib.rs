@@ -20,7 +20,18 @@
 //! crate's tests (including property tests) enforce this, which is what
 //! lets any of them serve as the ground-truth oracle for the accuracy
 //! experiments. [`count_pairs`] is a direct pair-frequency oracle used
-//! when only pairs (the paper's actual need) are required.
+//! when only pairs (the paper's actual need) are required;
+//! [`SlidingPairCounts`] maintains the same counts incrementally over a
+//! window.
+//!
+//! Eclat and fp-growth each run a Borgelt-style *dense engine* — items
+//! recoded to contiguous ids by [`ItemInterner`], bitset tidsets for
+//! eclat, a first-child/next-sibling arena tree for fp-growth — while
+//! the original generic implementations survive as `mine_generic`
+//! oracles proving bit-exact equivalence. [`Eclat::tasks`] /
+//! [`FpGrowth::tasks`] expose the searches as independent units
+//! ([`EclatTasks`], [`FpTasks`]) so a work pool can mine first-level
+//! equivalence classes and conditional projections in parallel.
 //!
 //! # Examples
 //!
@@ -39,19 +50,23 @@
 //! ```
 
 mod apriori;
+mod bitset;
 mod db;
 mod eclat;
 mod estdec;
 mod fpgrowth;
+mod interner;
 mod pairs;
 mod result;
 mod stream;
 
 pub use apriori::Apriori;
+pub use bitset::TidSet;
 pub use db::TransactionDb;
-pub use eclat::Eclat;
+pub use eclat::{Eclat, EclatTasks};
 pub use estdec::{EstDecConfig, EstDecMiner};
-pub use fpgrowth::FpGrowth;
-pub use pairs::{count_pairs, frequent_pairs};
+pub use fpgrowth::{FpGrowth, FpScratch, FpTasks};
+pub use interner::{EncodedDb, ItemInterner};
+pub use pairs::{count_pairs, count_pairs_generic, frequent_pairs, PairCounts, SlidingPairCounts};
 pub use result::FimResult;
 pub use stream::DecayedPairMiner;

@@ -3,10 +3,30 @@
 //! "Offline FIM data provides the frequencies of all extent correlations"
 //! (§IV-C3); this module is that oracle, equivalent to mining with
 //! support 1 and itemset length 2 but computed directly.
+//!
+//! [`count_pairs`] runs a dense kernel: extents are interned to
+//! contiguous ids once, then each transaction's pairs bump either a
+//! triangular count array (small universes) or an FxHash map keyed by a
+//! packed id pair — no per-pair `ExtentPair` construction or SipHash on
+//! the hot path. The original per-pair hashing implementation is
+//! preserved as [`count_pairs_generic`] and serves as the equivalence
+//! oracle. [`SlidingPairCounts`] maintains the same counts incrementally
+//! over a window (add/retire one transaction at a time), so windowed
+//! ground truth no longer recounts from scratch.
 
 use std::collections::HashMap;
+use std::hash::BuildHasher;
 
-use rtdac_types::{ExtentPair, Transaction};
+use rtdac_types::{Extent, ExtentPair, FxHashMap, Transaction};
+
+/// Pair-frequency map type used across the offline oracle (FxHash-keyed,
+/// matching the online path's hasher).
+pub type PairCounts = FxHashMap<ExtentPair, u32>;
+
+/// Universes up to this many distinct extents count into a dense
+/// triangular array (≤ ~2 MiB of counters); larger ones use a hash map
+/// keyed by packed id pairs.
+const TRIANGULAR_MAX_ITEMS: usize = 1024;
 
 /// Counts how many transactions each unique extent pair occurs in.
 ///
@@ -27,11 +47,100 @@ use rtdac_types::{ExtentPair, Transaction};
 /// assert_eq!(counts.values().next(), Some(&2));
 /// # Ok::<(), rtdac_types::ExtentError>(())
 /// ```
-pub fn count_pairs<'a, T>(transactions: T) -> HashMap<ExtentPair, u32>
+pub fn count_pairs<'a, T>(transactions: T) -> PairCounts
 where
     T: IntoIterator<Item = &'a Transaction>,
 {
-    let mut counts = HashMap::new();
+    // Pass 1: intern extents to dense ids and recode each transaction to
+    // a sorted, deduplicated id row. Rows live concatenated in one flat
+    // buffer — no per-transaction allocation.
+    let mut ids: FxHashMap<Extent, u32> = FxHashMap::default();
+    let mut items: Vec<Extent> = Vec::new();
+    let mut flat: Vec<u32> = Vec::new();
+    let mut offsets: Vec<u32> = vec![0];
+    for txn in transactions {
+        let start = flat.len();
+        for item in txn.items() {
+            let id = match ids.get(&item.extent) {
+                Some(&id) => id,
+                None => {
+                    let id = items.len() as u32;
+                    ids.insert(item.extent, id);
+                    items.push(item.extent);
+                    id
+                }
+            };
+            flat.push(id);
+        }
+        flat[start..].sort_unstable();
+        let mut keep = start;
+        for r in start..flat.len() {
+            if keep == start || flat[r] != flat[keep - 1] {
+                flat[keep] = flat[r];
+                keep += 1;
+            }
+        }
+        flat.truncate(keep);
+        offsets.push(keep as u32);
+    }
+    let rows = offsets
+        .windows(2)
+        .map(|w| &flat[w[0] as usize..w[1] as usize]);
+
+    // Pass 2: count id pairs without touching `ExtentPair` or hashing
+    // 16-byte keys per occurrence.
+    let n = items.len();
+    let mut counts = PairCounts::default();
+    if n <= TRIANGULAR_MAX_ITEMS {
+        let mut tri = vec![0u32; n * n.saturating_sub(1) / 2];
+        for row in rows {
+            // Rows are sorted ascending, so j > i for every counted pair.
+            for (hi, &j) in row.iter().enumerate().skip(1) {
+                let base = (j as usize) * (j as usize - 1) / 2;
+                for &i in &row[..hi] {
+                    tri[base + i as usize] += 1;
+                }
+            }
+        }
+        counts.reserve(tri.iter().filter(|&&c| c > 0).count());
+        for j in 1..n {
+            let base = j * (j - 1) / 2;
+            for i in 0..j {
+                let c = tri[base + i];
+                if c > 0 {
+                    counts.insert(pair_of(&items, i as u32, j as u32), c);
+                }
+            }
+        }
+    } else {
+        let mut packed: FxHashMap<u64, u32> = FxHashMap::default();
+        for row in rows {
+            for (hi, &j) in row.iter().enumerate().skip(1) {
+                for &i in &row[..hi] {
+                    *packed.entry(u64::from(i) << 32 | u64::from(j)).or_insert(0) += 1;
+                }
+            }
+        }
+        counts.reserve(packed.len());
+        for (key, c) in packed {
+            counts.insert(pair_of(&items, (key >> 32) as u32, key as u32), c);
+        }
+    }
+    counts
+}
+
+/// Rebuilds the canonical `ExtentPair` for two distinct interned ids.
+fn pair_of(items: &[Extent], i: u32, j: u32) -> ExtentPair {
+    ExtentPair::new(items[i as usize], items[j as usize]).expect("distinct ids, distinct extents")
+}
+
+/// Counts pairs with the preserved per-pair hashing implementation — the
+/// equivalence oracle for the dense kernel.
+pub fn count_pairs_generic<'a, T>(transactions: T) -> PairCounts
+where
+    T: IntoIterator<Item = &'a Transaction>,
+{
+    let mut counts = PairCounts::default();
     for txn in transactions {
         for pair in txn.unique_pairs() {
             *counts.entry(pair).or_insert(0) += 1;
@@ -40,10 +149,82 @@ where
     counts
 }
 
+/// Incrementally maintained pair counts over a sliding transaction
+/// window: [`add`](Self::add) admits the newest transaction,
+/// [`retire`](Self::retire) drops the oldest, and
+/// [`counts`](Self::counts) is at all times equal to
+/// [`count_pairs`] over the live window.
+///
+/// # Examples
+///
+/// ```
+/// use rtdac_fim::{count_pairs, SlidingPairCounts};
+/// use rtdac_types::{Extent, Timestamp, Transaction};
+///
+/// let e = |s| Extent::new(s, 1).unwrap();
+/// let t1 = Transaction::from_extents(Timestamp::ZERO, [e(1), e(2)]);
+/// let t2 = Transaction::from_extents(Timestamp::ZERO, [e(1), e(2), e(3)]);
+/// let mut window = SlidingPairCounts::new();
+/// window.add(&t1);
+/// window.add(&t2);
+/// window.retire(&t1);
+/// assert_eq!(*window.counts(), count_pairs([&t2]));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SlidingPairCounts {
+    counts: PairCounts,
+}
+
+impl SlidingPairCounts {
+    /// An empty window.
+    pub fn new() -> Self {
+        SlidingPairCounts::default()
+    }
+
+    /// Admits one transaction's pairs into the window.
+    pub fn add(&mut self, txn: &Transaction) {
+        for pair in txn.unique_pairs() {
+            *self.counts.entry(pair).or_insert(0) += 1;
+        }
+    }
+
+    /// Retires one transaction's pairs from the window. Must be a
+    /// transaction previously [`add`](Self::add)ed and not yet retired;
+    /// pairs whose count reaches zero leave the map entirely (so
+    /// `counts()` stays exactly the live window's map).
+    pub fn retire(&mut self, txn: &Transaction) {
+        for pair in txn.unique_pairs() {
+            match self.counts.get_mut(&pair) {
+                Some(c) if *c > 1 => *c -= 1,
+                Some(_) => {
+                    self.counts.remove(&pair);
+                }
+                None => debug_assert!(false, "retired pair {pair} was never added"),
+            }
+        }
+    }
+
+    /// The live window's pair frequencies.
+    pub fn counts(&self) -> &PairCounts {
+        &self.counts
+    }
+
+    /// Number of distinct pairs currently in the window.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the window holds no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+}
+
 /// Filters a pair-frequency map to pairs meeting `min_support`, sorted by
-/// descending frequency (ties by pair order, for determinism).
-pub fn frequent_pairs(
-    counts: &HashMap<ExtentPair, u32>,
+/// descending frequency (ties by pair order, for determinism). Generic
+/// over the hasher so both Fx and std maps flow in.
+pub fn frequent_pairs<S: BuildHasher>(
+    counts: &HashMap<ExtentPair, u32, S>,
     min_support: u32,
 ) -> Vec<(ExtentPair, u32)> {
     let mut v: Vec<(ExtentPair, u32)> = counts
@@ -58,7 +239,7 @@ pub fn frequent_pairs(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rtdac_types::{Extent, Timestamp};
+    use rtdac_types::Timestamp;
 
     fn e(start: u64) -> Extent {
         Extent::new(start, 1).unwrap()
@@ -85,6 +266,41 @@ mod tests {
         let counts = count_pairs(&txns);
         assert_eq!(counts.len(), 1);
         assert_eq!(counts.values().sum::<u32>(), 1);
+    }
+
+    #[test]
+    fn dense_kernel_matches_generic() {
+        // Mixed sizes and repeats, enough extents to exercise interning.
+        let mut txns = Vec::new();
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        for _ in 0..200 {
+            let mut extents = Vec::new();
+            for _ in 0..(state % 7) {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                extents.push(e(state % 40 + 1));
+            }
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            txns.push(txn(&extents));
+        }
+        assert_eq!(count_pairs(&txns), count_pairs_generic(&txns));
+    }
+
+    #[test]
+    fn sliding_window_tracks_scratch_recounts() {
+        let mut txns = Vec::new();
+        for i in 0..30u64 {
+            txns.push(txn(&[e(i % 5 + 1), e(i % 7 + 1), e(i % 3 + 10)]));
+        }
+        let window = 8;
+        let mut sliding = SlidingPairCounts::new();
+        for (i, t) in txns.iter().enumerate() {
+            sliding.add(t);
+            if i + 1 > window {
+                sliding.retire(&txns[i - window]);
+            }
+            let live = &txns[(i + 1).saturating_sub(window)..=i];
+            assert_eq!(*sliding.counts(), count_pairs(live), "window ending at {i}");
+        }
     }
 
     #[test]

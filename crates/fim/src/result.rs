@@ -1,5 +1,6 @@
-use std::collections::HashMap;
 use std::hash::Hash;
+
+use rtdac_types::FxHashMap;
 
 /// The output of a frequent itemset mining run: every itemset whose
 /// absolute support meets the configured minimum, with its support.
@@ -17,9 +18,10 @@ impl<I: Ord + Clone + Hash> FimResult<I> {
     /// Normalizes and wraps raw `(itemset, support)` pairs.
     pub fn from_raw(mut itemsets: Vec<(Vec<I>, u32)>) -> Self {
         for (set, _) in &mut itemsets {
-            set.sort();
+            set.sort_unstable();
         }
-        itemsets.sort();
+        // No two entries share an itemset, so an unstable sort is exact.
+        itemsets.sort_unstable();
         FimResult { itemsets }
     }
 
@@ -48,7 +50,7 @@ impl<I: Ord + Clone + Hash> FimResult<I> {
 
     /// The frequent *pairs* as a map — the ground truth the paper compares
     /// its online analysis against.
-    pub fn pair_map(&self) -> HashMap<(I, I), u32> {
+    pub fn pair_map(&self) -> FxHashMap<(I, I), u32> {
         self.of_len(2)
             .map(|(set, support)| ((set[0].clone(), set[1].clone()), support))
             .collect()

@@ -7,7 +7,7 @@
 //! — bounded memory, decay-based forgetting, possible undercounting of
 //! pairs that were pruned and reappear — in the pair-only setting.
 
-use std::collections::HashMap;
+use rtdac_types::FxHashMap;
 
 use rtdac_types::{ExtentPair, Transaction};
 
@@ -40,7 +40,7 @@ pub struct DecayedPairMiner {
     capacity: usize,
     decay: f64,
     clock: u64,
-    counts: HashMap<ExtentPair, DecayedCount>,
+    counts: FxHashMap<ExtentPair, DecayedCount>,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -66,7 +66,7 @@ impl DecayedPairMiner {
             capacity,
             decay,
             clock: 0,
-            counts: HashMap::new(),
+            counts: FxHashMap::default(),
         }
     }
 

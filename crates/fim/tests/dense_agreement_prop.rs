@@ -1,0 +1,112 @@
+//! Property tests for the dense mining engines: apriori ≡ eclat ≡
+//! fp-growth ≡ `count_pairs` (restricted to len ≤ 2) on random
+//! databases, sweeping `min_support` ∈ {1, 2, 5} and `max_len` ∈
+//! {None, 1, 2, 3}, for both the generic and dense engines.
+//!
+//! Gated behind the `property-tests` feature like the other proptest
+//! suites: enable after adding `proptest` to `[dev-dependencies]` on a
+//! networked machine (the workspace builds offline and dependency-free
+//! by default). The deterministic `dense_equivalence.rs` suite covers
+//! the same invariants in the offline build.
+
+use proptest::prelude::*;
+use rtdac_fim::{
+    count_pairs, count_pairs_generic, frequent_pairs, Apriori, Eclat, FimResult, FpGrowth,
+    TransactionDb,
+};
+use rtdac_types::{Extent, Timestamp, Transaction};
+
+fn transactions_strategy() -> impl Strategy<Value = Vec<Transaction>> {
+    prop::collection::vec(prop::collection::vec(1u64..16, 0..6), 0..25).prop_map(|rows| {
+        rows.into_iter()
+            .map(|starts| {
+                Transaction::from_extents(
+                    Timestamp::ZERO,
+                    starts.into_iter().map(|s| Extent::new(s, 1).unwrap()),
+                )
+            })
+            .collect()
+    })
+}
+
+/// Applies `max_len` to all three miners (None leaves them unbounded).
+fn miners(min_support: u32, max_len: Option<usize>) -> (Apriori, Eclat, FpGrowth) {
+    let (mut a, mut e, mut f) = (
+        Apriori::new(min_support),
+        Eclat::new(min_support),
+        FpGrowth::new(min_support),
+    );
+    if let Some(k) = max_len {
+        a = a.max_len(k);
+        e = e.max_len(k);
+        f = f.max_len(k);
+    }
+    (a, e, f)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn generic_and_dense_engines_agree_across_the_sweep(
+        txns in transactions_strategy(),
+        support_idx in 0usize..3,
+        len_idx in 0usize..4,
+    ) {
+        let min_support = [1u32, 2, 5][support_idx];
+        let max_len = [None, Some(1), Some(2), Some(3)][len_idx];
+        let db = TransactionDb::from_transactions(&txns);
+        let (apriori, eclat, fp) = miners(min_support, max_len);
+
+        let reference = apriori.mine(&db);
+        prop_assert_eq!(&eclat.mine(&db), &reference);
+        prop_assert_eq!(&eclat.mine_generic(&db), &reference);
+        prop_assert_eq!(&fp.mine(&db), &reference);
+        prop_assert_eq!(&fp.mine_generic(&db), &reference);
+    }
+
+    #[test]
+    fn count_pairs_agrees_with_miners_restricted_to_pairs(
+        txns in transactions_strategy(),
+        support_idx in 0usize..3,
+    ) {
+        let min_support = [1u32, 2, 5][support_idx];
+        let counts = count_pairs(&txns);
+        prop_assert_eq!(&counts, &count_pairs_generic(&txns));
+
+        let db = TransactionDb::from_transactions(&txns);
+        let mined = Eclat::new(min_support).max_len(2).mine(&db);
+        let mined_pairs = FimResult::from_raw(
+            mined
+                .of_len(2)
+                .map(|(set, s)| (set.to_vec(), s))
+                .collect::<Vec<_>>(),
+        );
+        let oracle_pairs = FimResult::from_raw(
+            frequent_pairs(&counts, min_support)
+                .into_iter()
+                .map(|(p, c)| (vec![p.first(), p.second()], c))
+                .collect::<Vec<_>>(),
+        );
+        prop_assert_eq!(mined_pairs, oracle_pairs);
+    }
+
+    #[test]
+    fn task_decompositions_merge_to_the_serial_result(
+        txns in transactions_strategy(),
+        support_idx in 0usize..3,
+    ) {
+        let min_support = [1u32, 2, 5][support_idx];
+        let db = TransactionDb::from_transactions(&txns);
+
+        let eclat = Eclat::new(min_support);
+        let tasks = eclat.tasks(&db);
+        let parts: Vec<_> = (0..tasks.len()).rev().map(|c| tasks.run(c)).collect();
+        prop_assert_eq!(rtdac_fim::EclatTasks::collect(parts), eclat.mine(&db));
+
+        let fp = FpGrowth::new(min_support);
+        let ftasks = fp.tasks(&db);
+        let parts: Vec<_> = (0..ftasks.len()).rev().map(|k| ftasks.run(k)).collect();
+        prop_assert_eq!(rtdac_fim::FpTasks::collect(parts), fp.mine(&db));
+    }
+}

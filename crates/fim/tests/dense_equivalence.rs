@@ -1,0 +1,165 @@
+//! The dense engines must be bit-exact with the preserved generic
+//! implementations: same `FimResult` for eclat and fp-growth, same pair
+//! map for `count_pairs`, across supports, length caps, and database
+//! shapes. This is the always-on counterpart of the feature-gated
+//! proptest in `dense_agreement_prop.rs` (deterministic inputs, so it
+//! runs in the offline CI build).
+
+use rtdac_fim::{
+    count_pairs, count_pairs_generic, frequent_pairs, Apriori, Eclat, FimResult, FpGrowth,
+    SlidingPairCounts, TransactionDb,
+};
+use rtdac_types::{Extent, Timestamp, Transaction};
+
+/// Minimal xorshift-multiply generator so the sweep is deterministic
+/// without pulling in an RNG dependency.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+/// A random transaction stream: `universe` distinct extents, transaction
+/// sizes 0..=6, with a skew knob that concentrates mass on low ids.
+fn random_transactions(seed: u64, n: usize, universe: u64, skew: bool) -> Vec<Transaction> {
+    let mut rng = Rng(seed | 1);
+    (0..n)
+        .map(|_| {
+            let len = rng.below(7);
+            let extents: Vec<Extent> = (0..len)
+                .map(|_| {
+                    let id = if skew && rng.below(10) < 7 {
+                        rng.below(universe / 4 + 1)
+                    } else {
+                        rng.below(universe)
+                    };
+                    Extent::new(id + 1, 1).unwrap()
+                })
+                .collect();
+            Transaction::from_extents(Timestamp::ZERO, extents)
+        })
+        .collect()
+}
+
+fn sweep(db: &TransactionDb<Extent>, label: &str) {
+    for min_support in [1, 2, 5] {
+        for max_len in [None, Some(1), Some(2), Some(3)] {
+            let (mut eclat, mut fp, mut apriori) = (
+                Eclat::new(min_support),
+                FpGrowth::new(min_support),
+                Apriori::new(min_support),
+            );
+            if let Some(k) = max_len {
+                eclat = eclat.max_len(k);
+                fp = fp.max_len(k);
+                apriori = apriori.max_len(k);
+            }
+            let reference = apriori.mine(db);
+            let case = format!("{label}, support {min_support}, max_len {max_len:?}");
+            assert_eq!(eclat.mine(db), reference, "dense eclat diverged: {case}");
+            assert_eq!(
+                eclat.mine_generic(db),
+                reference,
+                "generic eclat diverged: {case}"
+            );
+            assert_eq!(fp.mine(db), reference, "dense fp-growth diverged: {case}");
+            assert_eq!(
+                fp.mine_generic(db),
+                reference,
+                "generic fp-growth diverged: {case}"
+            );
+        }
+    }
+}
+
+#[test]
+fn miners_agree_on_random_databases() {
+    for (seed, universe, skew) in [(11, 12, false), (22, 40, true), (33, 6, true)] {
+        let txns = random_transactions(seed, 60, universe, skew);
+        let db = TransactionDb::from_transactions(&txns);
+        sweep(&db, &format!("seed {seed}"));
+    }
+}
+
+#[test]
+fn count_pairs_matches_miners_restricted_to_pairs() {
+    for (seed, universe, skew) in [(44, 15, false), (55, 30, true)] {
+        let txns = random_transactions(seed, 80, universe, skew);
+        let counts = count_pairs(&txns);
+        assert_eq!(counts, count_pairs_generic(&txns), "seed {seed}");
+
+        let db = TransactionDb::from_transactions(&txns);
+        for min_support in [1, 2, 5] {
+            // Miners restricted to len ≤ 2, then filtered to exactly the
+            // pairs, must equal the oracle filtered to min_support.
+            let mined = Eclat::new(min_support).max_len(2).mine(&db);
+            let mined_pairs = FimResult::from_raw(
+                mined
+                    .of_len(2)
+                    .map(|(set, s)| (set.to_vec(), s))
+                    .collect::<Vec<_>>(),
+            );
+            let oracle_pairs = FimResult::from_raw(
+                frequent_pairs(&counts, min_support)
+                    .into_iter()
+                    .map(|(p, c)| (vec![p.first(), p.second()], c))
+                    .collect::<Vec<_>>(),
+            );
+            assert_eq!(
+                mined_pairs, oracle_pairs,
+                "seed {seed} support {min_support}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sliding_window_equals_scratch_recounts() {
+    let txns = random_transactions(66, 120, 20, true);
+    let window = 25;
+    let mut sliding = SlidingPairCounts::new();
+    for (i, t) in txns.iter().enumerate() {
+        sliding.add(t);
+        if i + 1 > window {
+            sliding.retire(&txns[i - window]);
+        }
+        if i % 17 == 0 || i + 1 == txns.len() {
+            let live = &txns[(i + 1).saturating_sub(window)..=i];
+            assert_eq!(*sliding.counts(), count_pairs(live), "window ending at {i}");
+        }
+    }
+}
+
+#[test]
+fn parallel_style_task_merge_is_order_invariant() {
+    // Per-class / per-projection results merged in scrambled order must
+    // equal the serial mine — the property the bench work pool relies on.
+    let txns = random_transactions(77, 70, 18, true);
+    let db = TransactionDb::from_transactions(&txns);
+    let eclat = Eclat::new(2).max_len(3);
+    let tasks = eclat.tasks(&db);
+    let mut order: Vec<usize> = (0..tasks.len()).collect();
+    order.reverse();
+    let third = order.len() / 3;
+    order.rotate_left(third);
+    let parts: Vec<_> = order.iter().map(|&c| tasks.run(c)).collect();
+    assert_eq!(rtdac_fim::EclatTasks::collect(parts), eclat.mine(&db));
+
+    let fp = FpGrowth::new(2).max_len(3);
+    let ftasks = fp.tasks(&db);
+    // Both decompositions have one task per frequent item.
+    assert_eq!(ftasks.len(), tasks.len());
+    let parts: Vec<_> = order.iter().map(|&k| ftasks.run(k)).collect();
+    assert_eq!(rtdac_fim::FpTasks::collect(parts), fp.mine(&db));
+}

@@ -3,6 +3,7 @@
 //! plain detection precision/recall.
 
 use std::collections::{HashMap, HashSet};
+use std::hash::BuildHasher;
 
 use rtdac_types::ExtentPair;
 
@@ -17,8 +18,9 @@ pub struct OptimalCurve {
 }
 
 impl OptimalCurve {
-    /// Builds the curve from the offline pair-frequency oracle.
-    pub fn from_counts(counts: &HashMap<ExtentPair, u32>) -> Self {
+    /// Builds the curve from the offline pair-frequency oracle (generic
+    /// over the hasher: the oracle uses FxHash, tests use the default).
+    pub fn from_counts<S: BuildHasher>(counts: &HashMap<ExtentPair, u32, S>) -> Self {
         let mut sorted: Vec<u32> = counts.values().copied().collect();
         sorted.sort_unstable_by(|a, b| b.cmp(a));
         let mut prefix_sums = Vec::with_capacity(sorted.len());
@@ -109,9 +111,9 @@ pub struct Representability {
 
 /// Computes Fig. 9's representability for a set of stored pairs against
 /// the offline oracle.
-pub fn representability(
-    stored: &HashSet<ExtentPair>,
-    truth: &HashMap<ExtentPair, u32>,
+pub fn representability<S1: BuildHasher, S2: BuildHasher>(
+    stored: &HashSet<ExtentPair, S1>,
+    truth: &HashMap<ExtentPair, u32, S2>,
 ) -> Representability {
     let curve = OptimalCurve::from_counts(truth);
     let captured: u64 = stored
@@ -169,8 +171,11 @@ pub struct Detection {
 /// assert_eq!(d.recall, 0.5);
 /// assert_eq!(d.precision, 0.5);
 /// ```
-pub fn detection(detected: &HashSet<ExtentPair>, truth: &HashSet<ExtentPair>) -> Detection {
-    let hits = detected.intersection(truth).count();
+pub fn detection<S1: BuildHasher, S2: BuildHasher>(
+    detected: &HashSet<ExtentPair, S1>,
+    truth: &HashSet<ExtentPair, S2>,
+) -> Detection {
+    let hits = detected.iter().filter(|p| truth.contains(*p)).count();
     Detection {
         recall: if truth.is_empty() {
             1.0

@@ -2,6 +2,7 @@
 //! behind Fig. 5 of the paper.
 
 use std::collections::HashMap;
+use std::hash::BuildHasher;
 
 use rtdac_types::ExtentPair;
 
@@ -50,8 +51,8 @@ pub struct FrequencyCdf {
 
 impl FrequencyCdf {
     /// Builds the CDF from a pair-frequency map (the offline oracle's
-    /// output).
-    pub fn from_counts(counts: &HashMap<ExtentPair, u32>) -> Self {
+    /// output; generic over the hasher so FxHash maps flow in directly).
+    pub fn from_counts<S: BuildHasher>(counts: &HashMap<ExtentPair, u32, S>) -> Self {
         let mut by_frequency: HashMap<u32, u64> = HashMap::new();
         for &count in counts.values() {
             *by_frequency.entry(count).or_insert(0) += 1;

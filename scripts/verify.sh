@@ -30,4 +30,22 @@ echo "==> ingestion throughput harness (smoke mode, incl. resize gate)"
 RTDAC_BENCH_OUT="${TMPDIR:-/tmp}/BENCH_ingest_smoke.json" \
     cargo run --release --offline -p rtdac-bench --bin ingest_throughput -- --smoke
 
+echo "==> offline mining throughput harness (smoke mode)"
+# Same contract as above for the FIM engines: under --smoke only the
+# correctness criteria gate — generic, dense, and pool-parallel miners
+# must return bit-exact FimResults on all three workload shapes, the
+# pair kernels identical maps, and the incremental sliding window
+# identical counts. Dense-vs-generic timing gates apply in full runs
+# only (cargo run --release -p rtdac-bench --bin fim_throughput).
+RTDAC_BENCH_OUT="${TMPDIR:-/tmp}/BENCH_fim_smoke.json" \
+    cargo run --release --offline -p rtdac-bench --bin fim_throughput -- --smoke
+
+echo "==> concurrent evaluation runner (smoke subset)"
+# Reduced experiment subset at small scale: proves the pooled runner,
+# the shared ground-truth cache, and every experiment binary's report
+# path stay alive. RTDAC_OUT redirects the CSVs so the smoke-scale run
+# never overwrites the committed full-scale results/.
+RTDAC_OUT="${TMPDIR:-/tmp}/rtdac_smoke_results" \
+    cargo run --release --offline -p rtdac-bench --bin exp_all -- --smoke
+
 echo "==> verify OK"
