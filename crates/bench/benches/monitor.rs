@@ -5,8 +5,11 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use rtdac_bench::support::{server_trace, ExpConfig};
 use rtdac_device::{replay, NvmeSsdModel, ReplayMode};
 use rtdac_monitor::{Monitor, MonitorConfig, WindowPolicy};
-use rtdac_types::IoEvent;
+use rtdac_types::{
+    Extent, IoEvent, IoOp, IoRequest, MsrCsvReader, RequestSource, Timestamp, Trace,
+};
 use rtdac_workloads::MsrServer;
+use std::io::BufRead;
 use std::time::Duration;
 
 fn events(requests: usize) -> Vec<IoEvent> {
@@ -84,5 +87,83 @@ fn bench_replay(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_monitor_throughput, bench_replay);
+/// The pre-optimization CSV parse loop, replicated for the delta row:
+/// `lines()` allocates a fresh `String` per record and the fields are
+/// `collect`ed into a `Vec` before parsing — the allocation profile
+/// `Trace::read_msr_csv` had before it was rebuilt on a reused line
+/// buffer and an in-place `split` iterator.
+fn read_msr_csv_allocating<R: BufRead>(reader: R) -> Trace {
+    let mut trace = Trace::new("bench");
+    let mut base_ticks: Option<u64> = None;
+    for line in reader.lines() {
+        let line = line.expect("read line");
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        let ticks: u64 = fields[0].parse().expect("timestamp");
+        let base = *base_ticks.get_or_insert(ticks);
+        let op = if fields[3] == "Read" {
+            IoOp::Read
+        } else {
+            IoOp::Write
+        };
+        let offset: u64 = fields[4].parse().expect("offset");
+        let size: u64 = fields[5].parse().expect("size");
+        let start = offset / 512;
+        let end = (offset + size).div_ceil(512).max(start + 1);
+        let mut request = IoRequest::new(
+            Timestamp::from_nanos(ticks.saturating_sub(base) * 100),
+            0,
+            op,
+            Extent::new(start, (end - start) as u32).expect("extent"),
+        );
+        if let Some(response) = fields.get(6) {
+            let ticks: u64 = response.parse().expect("response");
+            if ticks > 0 {
+                request = request.with_latency(Duration::from_nanos(ticks * 100));
+            }
+        }
+        trace.push(request);
+    }
+    trace
+}
+
+fn bench_msr_csv_parse(c: &mut Criterion) {
+    let trace = MsrServer::Src2.synthesize(20_000, 13);
+    let mut csv = Vec::new();
+    trace.write_msr_csv(&mut csv).expect("in-memory csv");
+
+    let mut group = c.benchmark_group("msr_csv_parse");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("lines_allocating_old", |b| {
+        b.iter(|| read_msr_csv_allocating(csv.as_slice()).len())
+    });
+    group.bench_function("reused_buffer", |b| {
+        b.iter(|| {
+            Trace::read_msr_csv("bench", csv.as_slice())
+                .expect("parse")
+                .len()
+        })
+    });
+    group.bench_function("streaming_reader", |b| {
+        b.iter(|| {
+            let mut source = MsrCsvReader::new(csv.as_slice());
+            let mut n = 0usize;
+            while source.next_request().expect("parse").is_some() {
+                n += 1;
+            }
+            n
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_monitor_throughput,
+    bench_replay,
+    bench_msr_csv_parse
+);
 criterion_main!(benches);

@@ -37,9 +37,14 @@ mod monitor;
 mod pipeline;
 mod router;
 pub mod spsc;
+mod stream;
 
 pub use controller::{AdaptiveController, ControllerConfig, WindowSample};
 pub use ewma::LatencyEwma;
 pub use monitor::{Monitor, MonitorConfig, MonitorStats, WindowPolicy};
 pub use pipeline::{Dispatch, IngestPipeline, PipelineConfig, PipelineStats, ResizeEvent};
 pub use router::{RoutedBatch, Router, RouterConfig, RouterStats, SplitConfig, WorkList};
+pub use stream::{
+    replay, BlktraceEventSource, BlktraceReader, ReplayPacing, ReplayStats, DEFAULT_CHUNK_BYTES,
+    DEFAULT_MAX_INFLIGHT,
+};

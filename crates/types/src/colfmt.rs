@@ -1,0 +1,585 @@
+//! The `.rtdac` compact columnar trace format.
+//!
+//! A blktrace-style stream spends 80 bytes per request (an issue plus a
+//! complete record, 40 bytes each) even though consecutive requests
+//! differ only slightly: timestamps are near-monotone, sectors cluster,
+//! lengths and PIDs repeat. This format stores each field as its own
+//! column per block and lets cheap integer coding exploit that shape:
+//!
+//! ```text
+//! file   := header block*
+//! header := "rtdc" version:u8 reserved[3]              (8 bytes)
+//! block  := count:u32le  len[6]:u32le                  (28 bytes)
+//!           times sectors lens pids flags latencies    (columns)
+//! ```
+//!
+//! Per-column encodings, all byte-aligned LEB128 varints:
+//!
+//! * `times`    — zigzag(wrapping delta) from the previous record in the
+//!   block (the block's first record is a delta from zero, so every
+//!   block decodes independently and replay can seek block-wise);
+//! * `sectors`  — zigzag(wrapping delta), same contract;
+//! * `lens`     — extent length in blocks, plain varint;
+//! * `pids`     — plain varint;
+//! * `flags`    — one byte: bit 0 = write, bit 1 = has recorded latency;
+//! * `latencies`— seconds varint then subsecond-nanos varint, present
+//!   only for records whose flag bit 1 is set.
+//!
+//! The block header carries every column's byte length, so a reader
+//! positions all six cursors without scanning — decode walks six flat
+//! slices of one reusable block buffer and allocates nothing per record.
+//! On the MSR-like streams the evaluation uses, this lands near 20
+//! bytes/request, a quarter of the blktrace binary's 80.
+
+use std::io::{self, Read, Write};
+use std::time::Duration;
+
+use crate::extent::Extent;
+use crate::request::{IoOp, IoRequest};
+use crate::stream::RequestSource;
+use crate::time::Timestamp;
+use crate::trace::Trace;
+
+/// File magic: the first four bytes of every `.rtdac` file.
+pub const COLFMT_MAGIC: [u8; 4] = *b"rtdc";
+
+/// Current format version (the fifth header byte).
+pub const COLFMT_VERSION: u8 = 1;
+
+/// File header size in bytes: magic, version, three reserved bytes.
+pub const COLFMT_HEADER_BYTES: usize = 8;
+
+/// Default records per block. Large enough that the 28-byte block
+/// header amortizes to noise, small enough that a block buffer stays
+/// cache-friendly and replay can chunk at fine grain.
+pub const DEFAULT_BLOCK_RECORDS: usize = 4096;
+
+const FLAG_WRITE: u8 = 1;
+const FLAG_LATENCY: u8 = 1 << 1;
+const COLUMNS: usize = 6;
+const BLOCK_HEADER_BYTES: usize = 4 + COLUMNS * 4;
+
+fn zigzag(v: i64) -> u64 {
+    (v.wrapping_shl(1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn write_varint(buf: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        buf.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    buf.push(v as u8);
+}
+
+/// Reads one LEB128 varint from `buf[*pos..]`, advancing `pos`.
+fn read_varint(buf: &[u8], pos: &mut usize) -> io::Result<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "truncated varint in column")
+        })?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "varint exceeds 64 bits",
+            ));
+        }
+        v |= u64::from(byte & 0x7f)
+            .checked_shl(shift)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "varint overflow"))?;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Streaming `.rtdac` encoder. Push requests one at a time; every
+/// [`DEFAULT_BLOCK_RECORDS`] (or on [`ColumnarWriter::finish`]) the
+/// buffered columns are framed into a block and written out. The column
+/// buffers are reused across blocks, so steady-state encoding does not
+/// allocate.
+pub struct ColumnarWriter<W: Write> {
+    writer: W,
+    block_records: usize,
+    /// times, sectors, lens, pids, flags, latencies.
+    columns: [Vec<u8>; COLUMNS],
+    count: u32,
+    prev_time: u64,
+    prev_sector: u64,
+    records: u64,
+    bytes: u64,
+    header_written: bool,
+}
+
+impl<W: Write> ColumnarWriter<W> {
+    /// Creates a writer with the default block size.
+    pub fn new(writer: W) -> Self {
+        Self::with_block_records(writer, DEFAULT_BLOCK_RECORDS)
+    }
+
+    /// Creates a writer framing blocks of `block_records` records.
+    pub fn with_block_records(writer: W, block_records: usize) -> Self {
+        ColumnarWriter {
+            writer,
+            block_records: block_records.max(1),
+            columns: Default::default(),
+            count: 0,
+            prev_time: 0,
+            prev_sector: 0,
+            records: 0,
+            bytes: 0,
+            header_written: false,
+        }
+    }
+
+    /// Appends one request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer (a block flush
+    /// may trigger).
+    pub fn push(&mut self, request: &IoRequest) -> io::Result<()> {
+        let time = request.time.as_nanos();
+        let sector = request.extent.start();
+        let [times, sectors, lens, pids, flags, latencies] = &mut self.columns;
+        write_varint(times, zigzag(time.wrapping_sub(self.prev_time) as i64));
+        write_varint(
+            sectors,
+            zigzag(sector.wrapping_sub(self.prev_sector) as i64),
+        );
+        self.prev_time = time;
+        self.prev_sector = sector;
+        write_varint(lens, u64::from(request.extent.len()));
+        write_varint(pids, u64::from(request.pid));
+        let mut flag = 0u8;
+        if request.op.is_write() {
+            flag |= FLAG_WRITE;
+        }
+        if let Some(latency) = request.latency {
+            flag |= FLAG_LATENCY;
+            write_varint(latencies, latency.as_secs());
+            write_varint(latencies, u64::from(latency.subsec_nanos()));
+        }
+        flags.push(flag);
+        self.count += 1;
+        self.records += 1;
+        if self.count as usize >= self.block_records {
+            self.flush_block()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes any buffered records and returns the underlying writer
+    /// together with the total bytes emitted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the final block write.
+    pub fn finish(mut self) -> io::Result<(W, u64)> {
+        self.flush_block()?;
+        Ok((self.writer, self.bytes))
+    }
+
+    /// Total records pushed so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Total bytes emitted so far (header and flushed blocks).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes
+    }
+
+    fn flush_block(&mut self) -> io::Result<()> {
+        if !self.header_written {
+            let mut header = [0u8; COLFMT_HEADER_BYTES];
+            header[..4].copy_from_slice(&COLFMT_MAGIC);
+            header[4] = COLFMT_VERSION;
+            self.writer.write_all(&header)?;
+            self.bytes += COLFMT_HEADER_BYTES as u64;
+            self.header_written = true;
+        }
+        if self.count == 0 {
+            return Ok(());
+        }
+        let mut head = [0u8; BLOCK_HEADER_BYTES];
+        head[..4].copy_from_slice(&self.count.to_le_bytes());
+        for (i, column) in self.columns.iter().enumerate() {
+            let len = u32::try_from(column.len())
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "column over 4 GiB"))?;
+            head[4 + i * 4..8 + i * 4].copy_from_slice(&len.to_le_bytes());
+        }
+        self.writer.write_all(&head)?;
+        self.bytes += BLOCK_HEADER_BYTES as u64;
+        for column in &mut self.columns {
+            self.writer.write_all(column)?;
+            self.bytes += column.len() as u64;
+            column.clear();
+        }
+        self.count = 0;
+        // Each block's deltas restart from zero so blocks stay
+        // independently decodable.
+        self.prev_time = 0;
+        self.prev_sector = 0;
+        Ok(())
+    }
+}
+
+/// Streaming `.rtdac` decoder: reads one block at a time into a single
+/// reusable buffer and decodes requests from per-column cursors — no
+/// per-record allocation, and after the largest block has been seen, no
+/// per-block allocation either.
+pub struct ColumnarReader<R: Read> {
+    reader: R,
+    /// The current block's column payloads, reused across blocks.
+    block: Vec<u8>,
+    /// Per-column cursor into `block`.
+    cursors: [usize; COLUMNS],
+    /// Records left in the current block.
+    remaining: u32,
+    prev_time: u64,
+    prev_sector: u64,
+    header_read: bool,
+    eof: bool,
+}
+
+impl<R: Read> ColumnarReader<R> {
+    /// Wraps `reader`; the file header is validated lazily on the first
+    /// read.
+    pub fn new(reader: R) -> Self {
+        ColumnarReader {
+            reader,
+            block: Vec::new(),
+            cursors: [0; COLUMNS],
+            remaining: 0,
+            prev_time: 0,
+            prev_sector: 0,
+            header_read: false,
+            eof: false,
+        }
+    }
+
+    fn read_header(&mut self) -> io::Result<()> {
+        let mut header = [0u8; COLFMT_HEADER_BYTES];
+        self.reader.read_exact(&mut header).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                io::Error::new(io::ErrorKind::UnexpectedEof, "truncated .rtdac header")
+            } else {
+                e
+            }
+        })?;
+        if header[..4] != COLFMT_MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad .rtdac magic {:02x?}", &header[..4]),
+            ));
+        }
+        if header[4] != COLFMT_VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported .rtdac version {}", header[4]),
+            ));
+        }
+        self.header_read = true;
+        Ok(())
+    }
+
+    /// Pulls one byte to distinguish clean EOF from a torn block.
+    fn at_eof(&mut self) -> io::Result<Option<u8>> {
+        let mut byte = [0u8; 1];
+        loop {
+            match self.reader.read(&mut byte) {
+                Ok(0) => return Ok(None),
+                Ok(_) => return Ok(Some(byte[0])),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn decode_one(&mut self) -> io::Result<IoRequest> {
+        let dt = unzigzag(read_varint(&self.block, &mut self.cursors[0])?);
+        let ds = unzigzag(read_varint(&self.block, &mut self.cursors[1])?);
+        self.prev_time = self.prev_time.wrapping_add(dt as u64);
+        self.prev_sector = self.prev_sector.wrapping_add(ds as u64);
+        let len = read_varint(&self.block, &mut self.cursors[2])?;
+        let len = u32::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "extent length over u32"))?;
+        let pid = read_varint(&self.block, &mut self.cursors[3])?;
+        let pid = u32::try_from(pid)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "pid over u32"))?;
+        let flag = *self.block.get(self.cursors[4]).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "truncated flags column")
+        })?;
+        self.cursors[4] += 1;
+        let extent = Extent::new(self.prev_sector, len)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let op = if flag & FLAG_WRITE != 0 {
+            IoOp::Write
+        } else {
+            IoOp::Read
+        };
+        let mut request = IoRequest::new(Timestamp::from_nanos(self.prev_time), pid, op, extent);
+        if flag & FLAG_LATENCY != 0 {
+            let secs = read_varint(&self.block, &mut self.cursors[5])?;
+            let nanos = read_varint(&self.block, &mut self.cursors[5])?;
+            let nanos = u32::try_from(nanos).map_err(|_| {
+                io::Error::new(io::ErrorKind::InvalidData, "latency subsec nanos over u32")
+            })?;
+            if nanos >= 1_000_000_000 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "latency subsec nanos not normalized",
+                ));
+            }
+            request = request.with_latency(Duration::new(secs, nanos));
+        }
+        self.remaining -= 1;
+        Ok(request)
+    }
+}
+
+impl<R: Read> RequestSource for ColumnarReader<R> {
+    fn next_request(&mut self) -> io::Result<Option<IoRequest>> {
+        if self.eof {
+            return Ok(None);
+        }
+        if !self.header_read {
+            self.read_header()?;
+        }
+        if self.remaining == 0 {
+            // Peek one byte: clean EOF ends the stream; anything else
+            // must begin a whole block header.
+            match self.at_eof()? {
+                None => {
+                    self.eof = true;
+                    return Ok(None);
+                }
+                Some(first) => {
+                    let mut head = [0u8; BLOCK_HEADER_BYTES];
+                    head[0] = first;
+                    self.reader.read_exact(&mut head[1..]).map_err(|e| {
+                        if e.kind() == io::ErrorKind::UnexpectedEof {
+                            io::Error::new(
+                                io::ErrorKind::UnexpectedEof,
+                                "truncated .rtdac block header",
+                            )
+                        } else {
+                            e
+                        }
+                    })?;
+                    self.load_block(head)?;
+                }
+            }
+        }
+        self.decode_one().map(Some)
+    }
+}
+
+impl<R: Read> ColumnarReader<R> {
+    fn load_block(&mut self, head: [u8; BLOCK_HEADER_BYTES]) -> io::Result<()> {
+        let count = u32::from_le_bytes(head[..4].try_into().expect("4 bytes"));
+        if count == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "empty .rtdac block",
+            ));
+        }
+        let mut offset = 0usize;
+        for i in 0..COLUMNS {
+            self.cursors[i] = offset;
+            let len = u32::from_le_bytes(head[4 + i * 4..8 + i * 4].try_into().expect("4 bytes"));
+            offset = offset.checked_add(len as usize).ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, "block column lengths overflow")
+            })?;
+        }
+        self.block.resize(offset, 0);
+        self.reader.read_exact(&mut self.block).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                io::Error::new(io::ErrorKind::UnexpectedEof, "truncated .rtdac block")
+            } else {
+                e
+            }
+        })?;
+        self.remaining = count;
+        self.prev_time = 0;
+        self.prev_sector = 0;
+        Ok(())
+    }
+}
+
+/// Writes a whole trace in `.rtdac` form; returns the bytes written.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`.
+pub fn write_trace_columnar<W: Write>(trace: &Trace, writer: W) -> io::Result<u64> {
+    let mut out = ColumnarWriter::new(writer);
+    for request in trace {
+        out.push(request)?;
+    }
+    let (_, bytes) = out.finish()?;
+    Ok(bytes)
+}
+
+/// Reads a whole `.rtdac` stream into a [`Trace`].
+///
+/// # Errors
+///
+/// `InvalidData` on a bad magic/version or corrupt columns,
+/// `UnexpectedEof` on truncation.
+pub fn read_trace_columnar<R: Read>(name: impl Into<String>, reader: R) -> io::Result<Trace> {
+    let mut source = ColumnarReader::new(reader);
+    let mut trace = Trace::new(name);
+    while let Some(request) = source.next_request()? {
+        trace.push(request);
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace(n: u64) -> Trace {
+        let mut trace = Trace::new("t");
+        for i in 0..n {
+            let mut req = IoRequest::new(
+                Timestamp::from_micros(i * 37),
+                (i % 5) as u32,
+                if i % 3 == 0 { IoOp::Write } else { IoOp::Read },
+                Extent::new(1_000 + (i % 7) * 64, 8 + (i % 4) as u32).unwrap(),
+            );
+            if i % 2 == 0 {
+                req = req.with_latency(Duration::from_micros(100 + i));
+            }
+            trace.push(req);
+        }
+        trace
+    }
+
+    fn encode(trace: &Trace, block_records: usize) -> Vec<u8> {
+        let mut writer = ColumnarWriter::with_block_records(Vec::new(), block_records);
+        for request in trace {
+            writer.push(request).unwrap();
+        }
+        let (bytes, reported) = writer.finish().unwrap();
+        assert_eq!(bytes.len() as u64, reported);
+        bytes
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let trace = sample_trace(1000);
+        let bytes = encode(&trace, DEFAULT_BLOCK_RECORDS);
+        let back = read_trace_columnar("t", bytes.as_slice()).unwrap();
+        assert_eq!(back.requests(), trace.requests());
+    }
+
+    #[test]
+    fn round_trip_across_many_small_blocks() {
+        let trace = sample_trace(997); // not a multiple of the block size
+        let bytes = encode(&trace, 64);
+        let back = read_trace_columnar("t", bytes.as_slice()).unwrap();
+        assert_eq!(back.requests(), trace.requests());
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let bytes = encode(&Trace::new("e"), 64);
+        assert_eq!(bytes.len(), COLFMT_HEADER_BYTES);
+        let back = read_trace_columnar("e", bytes.as_slice()).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn corrupt_magic_is_invalid_data() {
+        let mut bytes = encode(&sample_trace(10), 64);
+        bytes[0] = b'X';
+        let err = read_trace_columnar("t", bytes.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn unsupported_version_is_invalid_data() {
+        let mut bytes = encode(&sample_trace(10), 64);
+        bytes[4] = 99;
+        let err = read_trace_columnar("t", bytes.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn truncated_block_is_unexpected_eof() {
+        let bytes = encode(&sample_trace(200), 64);
+        for cut in [
+            bytes.len() - 1,         // inside the last block's columns
+            COLFMT_HEADER_BYTES + 5, // inside the first block header
+            COLFMT_HEADER_BYTES - 2, // inside the file header
+        ] {
+            let err = read_trace_columnar("t", &bytes[..cut]).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn compresses_well_below_blktrace_size() {
+        // 80 B/request in the blktrace binary (issue + complete records).
+        let trace = sample_trace(4000);
+        let bytes = encode(&trace, DEFAULT_BLOCK_RECORDS);
+        let blktrace_bytes = trace.len() * 80;
+        assert!(
+            bytes.len() * 2 < blktrace_bytes,
+            "{} columnar vs {} blktrace",
+            bytes.len(),
+            blktrace_bytes
+        );
+    }
+
+    #[test]
+    fn zigzag_round_trips_extremes() {
+        for v in [0i64, 1, -1, i64::MAX, i64::MIN, 12345, -98765] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn varint_round_trips_extremes() {
+        let mut buf = Vec::new();
+        let values = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        for &v in &values {
+            write_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(read_varint(&buf, &mut pos).unwrap(), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn latencyless_requests_cost_no_latency_bytes() {
+        let mut with = Trace::new("w");
+        let mut without = Trace::new("wo");
+        for i in 0..100u64 {
+            let req = IoRequest::new(
+                Timestamp::from_micros(i),
+                0,
+                IoOp::Read,
+                Extent::new(i, 1).unwrap(),
+            );
+            with.push(req.with_latency(Duration::from_secs(1)));
+            without.push(req);
+        }
+        let a = encode(&with, 64).len();
+        let b = encode(&without, 64).len();
+        assert!(b < a, "latencyless {b} should undercut {a}");
+    }
+}

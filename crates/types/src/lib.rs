@@ -25,22 +25,29 @@
 //! # Ok::<(), rtdac_types::ExtentError>(())
 //! ```
 
+mod colfmt;
 mod error;
 mod extent;
 mod hash;
 mod inline_vec;
 mod request;
 mod routing;
+mod stream;
 mod time;
 mod trace;
 mod transaction;
 
+pub use colfmt::{
+    read_trace_columnar, write_trace_columnar, ColumnarReader, ColumnarWriter, COLFMT_HEADER_BYTES,
+    COLFMT_MAGIC, COLFMT_VERSION, DEFAULT_BLOCK_RECORDS,
+};
 pub use error::{ExtentError, TraceParseError};
 pub use extent::{Extent, ExtentPair};
 pub use hash::{fx_hash, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use inline_vec::InlineVec;
 pub use request::{IoEvent, IoOp, IoRequest, Pid};
 pub use routing::{router_for_batch, shard_for_hash, shard_of_extent, shard_of_pair, Topology};
+pub use stream::{EventSource, MsrCsvReader, RequestEvents, RequestSource, TraceSource};
 pub use time::Timestamp;
-pub use trace::{Trace, TraceStats, BLOCK_SIZE};
+pub use trace::{write_msr_csv_line, Trace, TraceStats, BLOCK_SIZE};
 pub use transaction::{Transaction, TransactionItem};

@@ -1,0 +1,235 @@
+//! Streaming trace sources: pull-based readers that decode one record
+//! at a time from fixed buffers, so multi-GB trace files feed the
+//! ingest pipeline without ever materializing an intermediate
+//! [`Trace`](crate::Trace).
+//!
+//! Two traits model the two shapes of on-disk data:
+//!
+//! * [`RequestSource`] yields [`IoRequest`]s — what a workload trace
+//!   records (MSR CSV, the `.rtdac` columnar format, a synthesized
+//!   trace);
+//! * [`EventSource`] yields [`IoEvent`]s — what a monitored block
+//!   layer emits (the blktrace-style binary stream, after D/C pairing).
+//!
+//! [`RequestEvents`] adapts any request source into an event source by
+//! treating the recorded latency as the measured one (falling back to a
+//! default), which is exactly how replay-from-disk drives the monitor.
+//!
+//! The contract every implementor honors: after construction and an
+//! initial warm-up (buffers growing to their high-water mark), pulling
+//! the next record performs **zero heap allocations** — the reader hot
+//! path is fixed buffers, cursors and in-place decoding only.
+
+use std::io::{self, BufRead};
+use std::time::Duration;
+
+use crate::error::TraceParseError;
+use crate::request::{IoEvent, IoRequest};
+use crate::trace::{parse_msr_line, Trace};
+
+/// A pull-based stream of trace requests.
+pub trait RequestSource {
+    /// Decodes and returns the next request, or `None` at a clean end
+    /// of stream.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on malformed input, `UnexpectedEof` on truncation,
+    /// otherwise whatever the underlying reader reports.
+    fn next_request(&mut self) -> io::Result<Option<IoRequest>>;
+
+    /// Drains the source into a [`Trace`] (the non-streaming
+    /// convenience; benches and tests use it to compare against the
+    /// materializing oracles).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error from [`RequestSource::next_request`].
+    fn collect_trace(&mut self, name: impl Into<String>) -> io::Result<Trace>
+    where
+        Self: Sized,
+    {
+        let mut trace = Trace::new(name);
+        while let Some(request) = self.next_request()? {
+            trace.push(request);
+        }
+        Ok(trace)
+    }
+}
+
+/// A pull-based stream of monitored block-layer events.
+pub trait EventSource {
+    /// Decodes and returns the next issue event, or `None` at a clean
+    /// end of stream.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on malformed input, `UnexpectedEof` on truncation,
+    /// otherwise whatever the underlying reader reports.
+    fn next_event(&mut self) -> io::Result<Option<IoEvent>>;
+}
+
+/// Adapts a [`RequestSource`] into an [`EventSource`]: each request
+/// becomes an issue event carrying its recorded latency, or
+/// `default_latency` when the trace recorded none.
+pub struct RequestEvents<S> {
+    source: S,
+    default_latency: Duration,
+}
+
+impl<S: RequestSource> RequestEvents<S> {
+    /// Wraps `source`, substituting `default_latency` for requests with
+    /// no recorded latency.
+    pub fn new(source: S, default_latency: Duration) -> Self {
+        RequestEvents {
+            source,
+            default_latency,
+        }
+    }
+
+    /// Returns the wrapped source.
+    pub fn into_inner(self) -> S {
+        self.source
+    }
+}
+
+impl<S: RequestSource> EventSource for RequestEvents<S> {
+    fn next_event(&mut self) -> io::Result<Option<IoEvent>> {
+        Ok(self.source.next_request()?.map(|r| {
+            IoEvent::new(
+                r.time,
+                r.pid,
+                r.op,
+                r.extent,
+                r.latency.unwrap_or(self.default_latency),
+            )
+        }))
+    }
+}
+
+/// An in-memory [`RequestSource`] over a borrowed trace — the zero-I/O
+/// baseline the disk readers are benchmarked against.
+pub struct TraceSource<'a> {
+    requests: std::slice::Iter<'a, IoRequest>,
+}
+
+impl<'a> TraceSource<'a> {
+    /// Iterates `trace`'s requests in order.
+    pub fn new(trace: &'a Trace) -> Self {
+        TraceSource {
+            requests: trace.iter(),
+        }
+    }
+}
+
+impl RequestSource for TraceSource<'_> {
+    fn next_request(&mut self) -> io::Result<Option<IoRequest>> {
+        Ok(self.requests.next().copied())
+    }
+}
+
+/// Streaming MSR Cambridge CSV reader: one reused line buffer, fields
+/// split in place — per-line cost is a `read_line` into recycled
+/// capacity and integer parses, with no `String` or `Vec` churn
+/// (the allocation profile [`Trace::read_msr_csv`] had before it was
+/// rebuilt on the same parser).
+pub struct MsrCsvReader<R: BufRead> {
+    reader: R,
+    line: String,
+    lineno: usize,
+    base_ticks: Option<u64>,
+}
+
+impl<R: BufRead> MsrCsvReader<R> {
+    /// Wraps a buffered reader positioned at the first CSV record.
+    pub fn new(reader: R) -> Self {
+        MsrCsvReader {
+            reader,
+            line: String::new(),
+            lineno: 0,
+            base_ticks: None,
+        }
+    }
+}
+
+impl<R: BufRead> RequestSource for MsrCsvReader<R> {
+    fn next_request(&mut self) -> io::Result<Option<IoRequest>> {
+        loop {
+            self.line.clear();
+            self.lineno += 1;
+            if self.reader.read_line(&mut self.line)? == 0 {
+                return Ok(None);
+            }
+            let line = self.line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            return parse_msr_line(line, self.lineno, &mut self.base_ticks)
+                .map(Some)
+                .map_err(|e: TraceParseError| io::Error::new(io::ErrorKind::InvalidData, e));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Extent, IoOp, Timestamp};
+
+    fn sample_trace() -> Trace {
+        let mut trace = Trace::new("s");
+        for i in 0..50u64 {
+            let mut req = IoRequest::new(
+                Timestamp::from_micros(i * 40),
+                0,
+                if i % 4 == 0 { IoOp::Write } else { IoOp::Read },
+                Extent::new(i * 8, 8).unwrap(),
+            );
+            if i % 2 == 0 {
+                req = req.with_latency(Duration::from_micros(200 + i));
+            }
+            trace.push(req);
+        }
+        trace
+    }
+
+    #[test]
+    fn csv_streaming_matches_materializing_oracle() {
+        let trace = sample_trace();
+        let mut csv = Vec::new();
+        trace.write_msr_csv(&mut csv).unwrap();
+        let oracle = Trace::read_msr_csv("s", csv.as_slice()).unwrap();
+        let streamed = MsrCsvReader::new(csv.as_slice())
+            .collect_trace("s")
+            .unwrap();
+        assert_eq!(streamed.requests(), oracle.requests());
+    }
+
+    #[test]
+    fn csv_streaming_skips_blank_lines_and_reports_line_numbers() {
+        let csv = "0,h,0,Read,0,512,0\n\n100,h,0,Frobnicate,512,512,0\n";
+        let mut source = MsrCsvReader::new(csv.as_bytes());
+        assert!(source.next_request().unwrap().is_some());
+        let err = source.next_request().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn request_events_substitutes_default_latency() {
+        let trace = sample_trace();
+        let mut events = RequestEvents::new(TraceSource::new(&trace), Duration::from_micros(77));
+        let mut count = 0usize;
+        while let Some(event) = events.next_event().unwrap() {
+            let request = trace.requests()[count];
+            assert_eq!(event.timestamp, request.time);
+            assert_eq!(event.extent, request.extent);
+            assert_eq!(
+                event.latency,
+                request.latency.unwrap_or(Duration::from_micros(77))
+            );
+            count += 1;
+        }
+        assert_eq!(count, trace.len());
+    }
+}

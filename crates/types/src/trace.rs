@@ -172,16 +172,7 @@ impl Trace {
     /// Propagates any I/O error from `writer`.
     pub fn write_msr_csv<W: Write>(&self, mut writer: W) -> io::Result<()> {
         for req in &self.requests {
-            let ticks = req.time.as_nanos() / 100;
-            let ty = if req.op.is_read() { "Read" } else { "Write" };
-            let offset = req.extent.start() * u64::from(BLOCK_SIZE);
-            let size = u64::from(req.extent.len()) * u64::from(BLOCK_SIZE);
-            let response = req.latency.map(|d| d.as_nanos() as u64 / 100).unwrap_or(0);
-            writeln!(
-                writer,
-                "{ticks},{},{},{ty},{offset},{size},{response}",
-                self.name, 0
-            )?;
+            write_msr_csv_line(&mut writer, &self.name, req)?;
         }
         Ok(())
     }
@@ -191,64 +182,118 @@ impl Trace {
     /// 512-byte blocks (rounding the extent outward to block boundaries);
     /// the first record's timestamp becomes trace time zero.
     ///
+    /// One line buffer is reused for the whole file and fields are split
+    /// in place, so parsing performs no per-line allocation (the
+    /// requests vector itself grows, of course — for a reader that
+    /// materializes nothing at all, see
+    /// [`MsrCsvReader`](crate::MsrCsvReader)).
+    ///
     /// # Errors
     ///
     /// Returns [`TraceParseError`] on malformed records and propagates I/O
     /// errors from `reader` as a parse error carrying the failing line.
     pub fn read_msr_csv<R: BufRead>(
         name: impl Into<String>,
-        reader: R,
+        mut reader: R,
     ) -> Result<Trace, TraceParseError> {
         let mut trace = Trace::new(name);
         let mut base_ticks: Option<u64> = None;
-        for (idx, line) in reader.lines().enumerate() {
-            let lineno = idx + 1;
-            let line =
-                line.map_err(|e| TraceParseError::new(lineno, format!("read failed: {e}")))?;
-            let line = line.trim();
+        let mut buf = String::new();
+        let mut lineno = 0usize;
+        loop {
+            buf.clear();
+            lineno += 1;
+            let read = reader
+                .read_line(&mut buf)
+                .map_err(|e| TraceParseError::new(lineno, format!("read failed: {e}")))?;
+            if read == 0 {
+                return Ok(trace);
+            }
+            let line = buf.trim();
             if line.is_empty() {
                 continue;
             }
-            let fields: Vec<&str> = line.split(',').collect();
-            if fields.len() < 6 {
-                return Err(TraceParseError::new(lineno, "expected at least 6 fields"));
-            }
-            let ticks: u64 = fields[0]
-                .parse()
-                .map_err(|_| TraceParseError::new(lineno, "bad timestamp"))?;
-            let op = match fields[3].trim() {
-                t if t.eq_ignore_ascii_case("read") => IoOp::Read,
-                t if t.eq_ignore_ascii_case("write") => IoOp::Write,
-                other => {
-                    return Err(TraceParseError::new(lineno, format!("bad op `{other}`")));
-                }
-            };
-            let offset: u64 = fields[4]
-                .parse()
-                .map_err(|_| TraceParseError::new(lineno, "bad offset"))?;
-            let size: u64 = fields[5]
-                .parse()
-                .map_err(|_| TraceParseError::new(lineno, "bad size"))?;
-            let response: Option<u64> = fields.get(6).and_then(|f| f.trim().parse().ok());
-
-            let base = *base_ticks.get_or_insert(ticks);
-            let rel_ns = ticks.saturating_sub(base) * 100;
-
-            let block_size = u64::from(BLOCK_SIZE);
-            let start_block = offset / block_size;
-            let end_block = (offset + size.max(1)).div_ceil(block_size);
-            let len = (end_block - start_block).min(u64::from(u32::MAX)) as u32;
-            let extent = crate::Extent::new(start_block, len.max(1))
-                .map_err(|e| TraceParseError::new(lineno, e.to_string()))?;
-
-            let mut req = IoRequest::new(Timestamp::from_nanos(rel_ns), 0, op, extent);
-            if let Some(r) = response {
-                req = req.with_latency(Duration::from_nanos(r * 100));
-            }
-            trace.push(req);
+            trace.push(parse_msr_line(line, lineno, &mut base_ticks)?);
         }
-        Ok(trace)
     }
+}
+
+/// Writes one request as an MSR Cambridge CSV line
+/// (`Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime`) —
+/// the streaming counterpart of [`Trace::write_msr_csv`], for
+/// transcoders that never hold a whole trace in memory.
+///
+/// # Errors
+///
+/// Propagates any I/O error from `writer`.
+pub fn write_msr_csv_line<W: Write>(
+    mut writer: W,
+    hostname: &str,
+    req: &IoRequest,
+) -> io::Result<()> {
+    let ticks = req.time.as_nanos() / 100;
+    let ty = if req.op.is_read() { "Read" } else { "Write" };
+    let offset = req.extent.start() * u64::from(BLOCK_SIZE);
+    let size = u64::from(req.extent.len()) * u64::from(BLOCK_SIZE);
+    let response = req.latency.map(|d| d.as_nanos() as u64 / 100).unwrap_or(0);
+    writeln!(
+        writer,
+        "{ticks},{hostname},0,{ty},{offset},{size},{response}"
+    )
+}
+
+/// Parses one MSR Cambridge CSV record
+/// (`Timestamp,Hostname,DiskNumber,Type,Offset,Size[,ResponseTime]`)
+/// without allocating: fields come straight off a `split` iterator. The
+/// first record's tick count is captured into `base_ticks` and becomes
+/// trace time zero. Shared by [`Trace::read_msr_csv`] and the streaming
+/// [`MsrCsvReader`](crate::MsrCsvReader).
+pub(crate) fn parse_msr_line(
+    line: &str,
+    lineno: usize,
+    base_ticks: &mut Option<u64>,
+) -> Result<IoRequest, TraceParseError> {
+    let mut fields = line.split(',');
+    let mut field = |name: &str| {
+        fields
+            .next()
+            .ok_or_else(|| TraceParseError::new(lineno, format!("missing {name} field")))
+    };
+    let ticks: u64 = field("timestamp")?
+        .parse()
+        .map_err(|_| TraceParseError::new(lineno, "bad timestamp"))?;
+    field("hostname")?;
+    field("disk number")?;
+    let op = match field("type")?.trim() {
+        t if t.eq_ignore_ascii_case("read") => IoOp::Read,
+        t if t.eq_ignore_ascii_case("write") => IoOp::Write,
+        other => {
+            return Err(TraceParseError::new(lineno, format!("bad op `{other}`")));
+        }
+    };
+    let offset: u64 = field("offset")?
+        .parse()
+        .map_err(|_| TraceParseError::new(lineno, "bad offset"))?;
+    let size: u64 = field("size")?
+        .parse()
+        .map_err(|_| TraceParseError::new(lineno, "bad size"))?;
+    let response: Option<u64> = fields.next().and_then(|f| f.trim().parse().ok());
+
+    let base = *base_ticks.get_or_insert(ticks);
+    let rel_ns = ticks.saturating_sub(base) * 100;
+
+    let block_size = u64::from(BLOCK_SIZE);
+    let start_block = offset / block_size;
+    let end_block = (offset + size.max(1)).div_ceil(block_size);
+    let len = (end_block - start_block).min(u64::from(u32::MAX)) as u32;
+    let extent = crate::Extent::new(start_block, len.max(1))
+        .map_err(|e| TraceParseError::new(lineno, e.to_string()))?;
+
+    let mut req = IoRequest::new(Timestamp::from_nanos(rel_ns), 0, op, extent);
+    if let Some(r) = response {
+        req = req.with_latency(Duration::from_nanos(r * 100));
+    }
+    Ok(req)
 }
 
 impl<'a> IntoIterator for &'a Trace {

@@ -29,11 +29,13 @@
 //! ```
 
 mod dist;
+mod fit;
 mod msr;
 mod skewed;
 mod synthetic;
 
 pub use dist::{sample_exponential, Pcg32, SampleRange, Zipf};
+pub use fit::WorkloadFit;
 pub use msr::{MsrProfile, MsrServer, PaperReference};
 pub use skewed::{SkewedSpec, SkewedWorkload};
 pub use synthetic::{

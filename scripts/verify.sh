@@ -23,12 +23,32 @@ echo "==> ingestion throughput harness (smoke mode, incl. resize gate)"
 # exits nonzero when acceptance fails — under --smoke only the
 # correctness criteria gate: exact frequent pairs under hot-pair
 # splitting, under a scripted mid-stream grow + shrink of the elastic
-# stage pools, and under the adaptive controller's own resizes. Timing
-# criteria (including adaptive convergence) are skipped because a tiny
+# stage pools, and under the adaptive controller's own resizes; plus
+# the from_disk sweep's streaming-reader event-exactness (blktrace at
+# default and odd chunk sizes, columnar, CSV — all vs the
+# materializing oracles) and the columnar <= 0.5x blktrace size
+# ceiling. Timing criteria (including adaptive convergence and the
+# columnar-decode-outpaces-pipeline gate) are skipped because a tiny
 # stream on a shared CI core measures noise. set -e turns that exit
 # into a build failure.
 RTDAC_BENCH_OUT="${TMPDIR:-/tmp}/BENCH_ingest_smoke.json" \
     cargo run --release --offline -p rtdac-bench --bin ingest_throughput -- --smoke
+
+echo "==> trace_convert transcoding smoke (synth -> rtdac -> blk -> csv)"
+# The streaming transcoder across every format edge, at small scale:
+# synthesize a fitted workload as columnar, transcode columnar ->
+# blktrace -> CSV, and land back on columnar. Each hop decodes the
+# previous hop's writer output, so one pass covers all readers and
+# writers; `rtdac stats` on first and last proves the round trip parses.
+SMOKE_DIR="${TMPDIR:-/tmp}/rtdac_convert_smoke"
+mkdir -p "$SMOKE_DIR"
+./target/release/trace_convert synth src2 "$SMOKE_DIR/a.rtdac" --requests 5000 --seed 7
+./target/release/trace_convert "$SMOKE_DIR/a.rtdac" "$SMOKE_DIR/b.blk"
+./target/release/trace_convert "$SMOKE_DIR/b.blk" "$SMOKE_DIR/c.csv"
+./target/release/trace_convert "$SMOKE_DIR/c.csv" "$SMOKE_DIR/d.rtdac"
+./target/release/rtdac stats "$SMOKE_DIR/a.rtdac" > /dev/null
+./target/release/rtdac stats "$SMOKE_DIR/d.rtdac" > /dev/null
+rm -rf "$SMOKE_DIR"
 
 echo "==> offline mining throughput harness (smoke mode)"
 # Same contract as above for the FIM engines: under --smoke only the

@@ -17,7 +17,8 @@
 //! ```
 //!
 //! Trace formats are chosen by extension: `.csv` = MSR Cambridge CSV,
-//! anything else = the binary blktrace-style stream.
+//! `.rtdac` = the columnar format, anything else = the binary
+//! blktrace-style stream.
 
 use std::collections::HashMap;
 use std::fs::File;
@@ -28,7 +29,7 @@ use std::time::Duration;
 use rtdac::fim::{count_pairs, Apriori, Eclat, FpGrowth, TransactionDb};
 use rtdac::monitor::{blktrace, Monitor, MonitorConfig, WindowPolicy};
 use rtdac::synopsis::{AnalyzerConfig, OnlineAnalyzer};
-use rtdac::types::{IoEvent, IoOp, Trace};
+use rtdac::types::{read_trace_columnar, write_trace_columnar, IoEvent, IoOp, Trace};
 use rtdac::workloads::{MsrServer, SyntheticKind, SyntheticSpec};
 
 fn main() -> ExitCode {
@@ -53,8 +54,9 @@ const USAGE: &str = "usage:
   rtdac synth    <wdev|src2|rsrch|stg|hm|one-to-one|one-to-many|many-to-many>
                  <out> [--requests N] [--seed S]
 
-trace format by extension: .csv = MSR Cambridge CSV, otherwise the
-blktrace-style binary stream written by `rtdac convert`/`rtdac synth`.";
+trace format by extension: .csv = MSR Cambridge CSV, .rtdac = the
+columnar format, otherwise the blktrace-style binary stream written by
+`rtdac convert`/`rtdac synth`.";
 
 fn run(args: &[String]) -> Result<(), String> {
     let mut positional = Vec::new();
@@ -112,6 +114,9 @@ fn load_trace(path: &str) -> Result<Trace, String> {
     let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
     if path.ends_with(".csv") {
         Trace::read_msr_csv(path, BufReader::new(file)).map_err(|e| e.to_string())
+    } else if path.ends_with(".rtdac") {
+        read_trace_columnar(path, BufReader::new(file))
+            .map_err(|e| format!("cannot parse {path}: {e}"))
     } else {
         let events = blktrace::read_events(BufReader::new(file), Duration::from_micros(100))
             .map_err(|e| format!("cannot parse {path}: {e}"))?;
@@ -258,17 +263,26 @@ fn mine(path: &str, flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn convert(input: &str, output: &str) -> Result<(), String> {
-    let trace = load_trace(input)?;
+/// Writes a trace by extension (see [`load_trace`] for the mapping).
+fn save_trace(trace: &Trace, output: &str) -> Result<(), String> {
+    use std::io::Write;
     let file = File::create(output).map_err(|e| format!("cannot create {output}: {e}"))?;
     let mut writer = BufWriter::new(file);
     if output.ends_with(".csv") {
         trace
             .write_msr_csv(&mut writer)
             .map_err(|e| e.to_string())?;
+    } else if output.ends_with(".rtdac") {
+        write_trace_columnar(trace, &mut writer).map_err(|e| e.to_string())?;
     } else {
-        blktrace::write_trace(&trace, &mut writer).map_err(|e| e.to_string())?;
+        blktrace::write_trace(trace, &mut writer).map_err(|e| e.to_string())?;
     }
+    writer.flush().map_err(|e| e.to_string())
+}
+
+fn convert(input: &str, output: &str) -> Result<(), String> {
+    let trace = load_trace(input)?;
+    save_trace(&trace, output)?;
     println!("converted {} requests: {input} -> {output}", trace.len());
     Ok(())
 }
@@ -298,15 +312,7 @@ fn synth(name: &str, output: &str, flags: &HashMap<String, String>) -> Result<()
         }
         other => return Err(format!("unknown workload `{other}`")),
     };
-    let file = File::create(output).map_err(|e| format!("cannot create {output}: {e}"))?;
-    let mut writer = BufWriter::new(file);
-    if output.ends_with(".csv") {
-        trace
-            .write_msr_csv(&mut writer)
-            .map_err(|e| e.to_string())?;
-    } else {
-        blktrace::write_trace(&trace, &mut writer).map_err(|e| e.to_string())?;
-    }
+    save_trace(&trace, output)?;
     println!("wrote {} requests of `{name}` to {output}", trace.len());
     Ok(())
 }

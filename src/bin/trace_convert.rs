@@ -1,0 +1,350 @@
+//! `trace_convert` — streaming transcoder between the workspace's three
+//! trace formats, built on the zero-copy readers so multi-GB inputs
+//! never materialize in memory (except when writing the blktrace binary
+//! format, whose writer performs a global record sort).
+//!
+//! ```text
+//! trace_convert <in> <out>
+//! trace_convert synth <wdev|src2|rsrch|stg|hm|one-to-one|one-to-many|many-to-many>
+//!                     <out> [--requests N] [--seed S]
+//! trace_convert fit   <in> <out> [--requests N] [--seed S]
+//! ```
+//!
+//! Formats are chosen by extension: `.csv` = MSR Cambridge CSV,
+//! `.rtdac` = the columnar format, anything else = the blktrace-style
+//! binary stream. Every conversion prints a size report: records,
+//! bytes per record on each side, and the compression ratio against
+//! the blktrace-binary equivalent of the same stream.
+
+use std::collections::HashMap;
+use std::fs::{self, File};
+use std::io::{BufReader, BufWriter, Write};
+use std::process::ExitCode;
+use std::time::Duration;
+
+use rtdac::monitor::{blktrace, BlktraceEventSource};
+use rtdac::types::{
+    write_msr_csv_line, ColumnarReader, ColumnarWriter, EventSource, IoRequest, MsrCsvReader,
+    RequestSource, Trace, TraceSource,
+};
+use rtdac::workloads::{MsrServer, SyntheticKind, SyntheticSpec, WorkloadFit};
+
+/// Latency assigned to blktrace issues with no matching completion,
+/// mirroring `rtdac`'s loader.
+const DEFAULT_LATENCY: Duration = Duration::from_micros(100);
+
+/// Blktrace-binary cost of one request: a 40-byte issue record plus a
+/// 40-byte completion when a latency is recorded.
+const ISSUE_BYTES: u64 = blktrace::RECORD_BYTES as u64;
+
+const USAGE: &str = "usage:
+  trace_convert <in> <out>
+  trace_convert synth <wdev|src2|rsrch|stg|hm|one-to-one|one-to-many|many-to-many>
+                      <out> [--requests N] [--seed S]
+  trace_convert fit   <in> <out> [--requests N] [--seed S]
+
+trace format by extension: .csv = MSR Cambridge CSV, .rtdac = the
+columnar format, otherwise the binary blktrace-style stream.
+`synth` writes a synthetic workload; `fit` learns a generator from an
+existing trace and writes a lookalike stream of any length.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut positional = Vec::new();
+    let mut flags: HashMap<String, String> = HashMap::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag --{name} needs a value"))?;
+            flags.insert(name.to_string(), value.clone());
+        } else {
+            positional.push(arg.clone());
+        }
+    }
+
+    match positional.first().map(String::as_str) {
+        None => Err("no input given".to_string()),
+        Some("synth") => synth(
+            positional.get(1).ok_or("synth needs a workload name")?,
+            positional.get(2).ok_or("synth needs an output path")?,
+            &flags,
+        ),
+        Some("fit") => fit(
+            positional.get(1).ok_or("fit needs an input path")?,
+            positional.get(2).ok_or("fit needs an output path")?,
+            &flags,
+        ),
+        Some(input) => convert(
+            input,
+            positional.get(1).ok_or("convert needs an output path")?,
+        ),
+    }
+}
+
+fn parse_flag<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("bad value `{v}` for --{name}")),
+    }
+}
+
+/// The three on-disk formats, chosen by extension.
+#[derive(Copy, Clone, PartialEq)]
+enum Format {
+    MsrCsv,
+    Columnar,
+    Blktrace,
+}
+
+impl Format {
+    fn of(path: &str) -> Format {
+        if path.ends_with(".csv") {
+            Format::MsrCsv
+        } else if path.ends_with(".rtdac") {
+            Format::Columnar
+        } else {
+            Format::Blktrace
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Format::MsrCsv => "msr-csv",
+            Format::Columnar => "columnar",
+            Format::Blktrace => "blktrace",
+        }
+    }
+}
+
+/// Adapts the streaming blktrace event source (issue/complete pairing
+/// and all) into a request stream: each issue event becomes a request
+/// with its recovered latency recorded.
+struct BlktraceRequests<R: std::io::Read>(BlktraceEventSource<R>);
+
+impl<R: std::io::Read> RequestSource for BlktraceRequests<R> {
+    fn next_request(&mut self) -> std::io::Result<Option<IoRequest>> {
+        Ok(self.0.next_event()?.map(|event| {
+            IoRequest::new(event.timestamp, event.pid, event.op, event.extent)
+                .with_latency(event.latency)
+        }))
+    }
+}
+
+/// Opens `path` as a pull-based request stream in its extension's
+/// format.
+fn open_source(path: &str) -> Result<Box<dyn RequestSource>, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let reader = BufReader::new(file);
+    Ok(match Format::of(path) {
+        Format::MsrCsv => Box::new(MsrCsvReader::new(reader)),
+        Format::Columnar => Box::new(ColumnarReader::new(reader)),
+        Format::Blktrace => Box::new(BlktraceRequests(BlktraceEventSource::new(
+            reader,
+            DEFAULT_LATENCY,
+        ))),
+    })
+}
+
+/// Drains `source` into `output`, streaming for CSV and columnar sinks;
+/// the blktrace sink materializes a [`Trace`] because its writer sorts
+/// issue and completion records globally by time. Returns
+/// `(records, records_with_latency)`.
+fn write_stream(
+    source: &mut dyn RequestSource,
+    output: &str,
+    name: &str,
+) -> Result<(u64, u64), String> {
+    let file = File::create(output).map_err(|e| format!("cannot create {output}: {e}"))?;
+    let mut writer = BufWriter::new(file);
+    let mut records = 0u64;
+    let mut with_latency = 0u64;
+    let fail = |e: std::io::Error| format!("cannot write {output}: {e}");
+    let read_fail = |e: std::io::Error| format!("cannot read input: {e}");
+    match Format::of(output) {
+        Format::Columnar => {
+            let mut columnar = ColumnarWriter::new(writer);
+            while let Some(request) = source.next_request().map_err(read_fail)? {
+                records += 1;
+                with_latency += u64::from(request.latency.is_some());
+                columnar.push(&request).map_err(fail)?;
+            }
+            let (mut writer, _) = columnar.finish().map_err(fail)?;
+            writer.flush().map_err(fail)?;
+        }
+        Format::MsrCsv => {
+            while let Some(request) = source.next_request().map_err(read_fail)? {
+                records += 1;
+                with_latency += u64::from(request.latency.is_some());
+                write_msr_csv_line(&mut writer, name, &request).map_err(fail)?;
+            }
+            writer.flush().map_err(fail)?;
+        }
+        Format::Blktrace => {
+            let trace = source.collect_trace_dyn(name).map_err(read_fail)?;
+            records = trace.len() as u64;
+            with_latency = trace.iter().filter(|r| r.latency.is_some()).count() as u64;
+            blktrace::write_trace(&trace, &mut writer).map_err(fail)?;
+            writer.flush().map_err(fail)?;
+        }
+    }
+    Ok((records, with_latency))
+}
+
+/// Object-safe `collect_trace` (the trait method requires `Sized`).
+trait CollectDyn {
+    fn collect_trace_dyn(&mut self, name: &str) -> std::io::Result<Trace>;
+}
+
+impl CollectDyn for dyn RequestSource + '_ {
+    fn collect_trace_dyn(&mut self, name: &str) -> std::io::Result<Trace> {
+        let mut trace = Trace::new(name);
+        while let Some(request) = self.next_request()? {
+            trace.push(request);
+        }
+        Ok(trace)
+    }
+}
+
+fn file_len(path: &str) -> Result<u64, String> {
+    fs::metadata(path)
+        .map(|m| m.len())
+        .map_err(|e| format!("cannot stat {path}: {e}"))
+}
+
+fn megabytes(bytes: u64) -> f64 {
+    bytes as f64 / 1e6
+}
+
+/// Prints the size report every command ends with.
+fn report(records: u64, with_latency: u64, input: Option<(&str, u64)>, output: &str) {
+    let out_bytes = fs::metadata(output).map(|m| m.len()).unwrap_or(0);
+    let per = |bytes: u64| bytes as f64 / records.max(1) as f64;
+    if let Some((path, bytes)) = input {
+        println!(
+            "transcoded {records} requests: {path} ({:.2} MB, {}) -> {output} ({:.2} MB, {})",
+            megabytes(bytes),
+            Format::of(path).name(),
+            megabytes(out_bytes),
+            Format::of(output).name(),
+        );
+        println!(
+            "  bytes/request: {:.2} in, {:.2} out; compression vs input {:.2}x",
+            per(bytes),
+            per(out_bytes),
+            bytes as f64 / out_bytes.max(1) as f64
+        );
+    } else {
+        println!(
+            "wrote {records} requests to {output} ({:.2} MB, {}; {:.2} bytes/request)",
+            megabytes(out_bytes),
+            Format::of(output).name(),
+            per(out_bytes),
+        );
+    }
+    // The paper's capture format is the blktrace binary stream: one
+    // 40-byte issue plus a 40-byte completion per measured request.
+    let blk_equiv = records * ISSUE_BYTES + with_latency * ISSUE_BYTES;
+    println!(
+        "  blktrace-equivalent: {:.2} MB; this file is {:.2}x its size",
+        megabytes(blk_equiv),
+        out_bytes as f64 / blk_equiv.max(1) as f64
+    );
+}
+
+fn stem(path: &str) -> &str {
+    std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("trace")
+}
+
+fn convert(input: &str, output: &str) -> Result<(), String> {
+    let in_bytes = file_len(input)?;
+    let mut source = open_source(input)?;
+    let (records, with_latency) = write_stream(source.as_mut(), output, stem(input))?;
+    report(records, with_latency, Some((input, in_bytes)), output);
+    Ok(())
+}
+
+fn write_trace_reporting(trace: &Trace, output: &str) -> Result<(), String> {
+    let mut source = TraceSource::new(trace);
+    let (records, with_latency) = write_stream(&mut source, output, trace.name())?;
+    report(records, with_latency, None, output);
+    Ok(())
+}
+
+fn synthesize(name: &str, requests: usize, seed: u64) -> Result<Trace, String> {
+    Ok(match name {
+        "wdev" => MsrServer::Wdev.synthesize(requests, seed),
+        "src2" => MsrServer::Src2.synthesize(requests, seed),
+        "rsrch" => MsrServer::Rsrch.synthesize(requests, seed),
+        "stg" => MsrServer::Stg.synthesize(requests, seed),
+        "hm" => MsrServer::Hm.synthesize(requests, seed),
+        "one-to-one" | "one-to-many" | "many-to-many" => {
+            let kind = match name {
+                "one-to-one" => SyntheticKind::OneToOne,
+                "one-to-many" => SyntheticKind::OneToMany,
+                _ => SyntheticKind::ManyToMany,
+            };
+            SyntheticSpec::new(kind)
+                .events(requests)
+                .seed(seed)
+                .generate()
+                .trace
+        }
+        other => return Err(format!("unknown workload `{other}`")),
+    })
+}
+
+fn synth(name: &str, output: &str, flags: &HashMap<String, String>) -> Result<(), String> {
+    let requests: usize = parse_flag(flags, "requests", 50_000)?;
+    let seed: u64 = parse_flag(flags, "seed", 7)?;
+    let trace = synthesize(name, requests, seed)?;
+    write_trace_reporting(&trace, output)
+}
+
+fn fit(input: &str, output: &str, flags: &HashMap<String, String>) -> Result<(), String> {
+    let mut source = open_source(input)?;
+    let sample = source
+        .collect_trace_dyn(stem(input))
+        .map_err(|e| format!("cannot read {input}: {e}"))?;
+    if sample.is_empty() {
+        return Err(format!("{input} is empty; nothing to fit"));
+    }
+    let fitted = WorkloadFit::from_trace(&sample);
+    let requests: usize = parse_flag(flags, "requests", sample.len())?;
+    let seed: u64 = parse_flag(flags, "seed", 7)?;
+    println!(
+        "fitted {} requests: {:.0}% reads, extent band [{}, {}] blocks, \
+         {} hot groups, {:.0}% one-off, number space {} blocks",
+        fitted.requests_analyzed,
+        fitted.profile.read_fraction * 100.0,
+        fitted.profile.extent_len.0,
+        fitted.profile.extent_len.1,
+        fitted.profile.hot_groups,
+        fitted.profile.one_off_fraction * 100.0,
+        fitted.profile.number_space,
+    );
+    let lookalike = fitted.synthesize(requests, seed);
+    write_trace_reporting(&lookalike, output)
+}

@@ -5,9 +5,9 @@
 use std::collections::HashSet;
 use std::time::Duration;
 
-use rtdac::monitor::{blktrace, Monitor, MonitorConfig, WindowPolicy};
+use rtdac::monitor::{blktrace, BlktraceEventSource, Monitor, MonitorConfig, WindowPolicy};
 use rtdac::synopsis::{AnalyzerConfig, OnlineAnalyzer};
-use rtdac::types::{ExtentPair, IoEvent, Trace};
+use rtdac::types::{EventSource, ExtentPair, IoEvent, Trace};
 use rtdac::workloads::MsrServer;
 
 fn direct_events(trace: &Trace) -> Vec<IoEvent> {
@@ -89,6 +89,38 @@ fn binary_stream_latencies_drive_the_dynamic_window() {
     let recorded = trace.stats().mean_recorded_latency.expect("recorded");
     let ratio = avg.as_secs_f64() / recorded.as_secs_f64();
     assert!((0.5..2.0).contains(&ratio), "ratio {ratio}");
+}
+
+#[test]
+fn streaming_reader_is_event_exact_across_chunk_boundaries() {
+    // 10k requests = 20k records = ~800 KB of stream, a dozen refills at
+    // the default 64 KiB chunk. The streaming reader must produce the
+    // oracle's events exactly at *any* chunk size — the odd sizes
+    // guarantee that no refill ever lands on the 40-byte record grid, so
+    // nearly every chunk boundary splits a record in two.
+    let trace = MsrServer::Src2.synthesize(10_000, 16);
+    let mut buf = Vec::new();
+    blktrace::write_trace(&trace, &mut buf).expect("in-memory write");
+    let oracle =
+        blktrace::read_events(buf.as_slice(), Duration::from_micros(100)).expect("oracle decode");
+    assert_eq!(oracle.len(), trace.len());
+
+    for chunk_bytes in [64 * 1024, 4_099, 97, 41] {
+        let mut source = BlktraceEventSource::with_limits(
+            buf.as_slice(),
+            Duration::from_micros(100),
+            chunk_bytes,
+            64 * 1024,
+        );
+        let mut streamed = Vec::with_capacity(oracle.len());
+        while let Some(event) = source.next_event().expect("well-formed stream") {
+            streamed.push(event);
+        }
+        assert_eq!(
+            streamed, oracle,
+            "streaming decode diverged from the oracle at chunk size {chunk_bytes}"
+        );
+    }
 }
 
 #[test]
