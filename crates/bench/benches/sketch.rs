@@ -1,0 +1,102 @@
+//! Sketch probe costs: the Count-Min insert path before and after the
+//! single-hash row derivation, and the doorkeeper's one-block probe.
+//!
+//! `cms_probe/per_row_siphash_old` replicates the seed implementation —
+//! one full SipHash walk of the key *per row*, so a depth-4 sketch
+//! hashed every key four times per insert. The shipped path
+//! (`cms_probe/single_fxhash_remix`) hashes once with FxHash and
+//! derives each row's index by remixing that one hash with a
+//! row-salted splitmix finalizer; the delta row keeps the win honest
+//! release over release. `doorkeeper_probe` measures the blocked 4-bit
+//! sketch, whose four counters share one 64-byte block — one memory
+//! access per probe.
+
+use std::hash::{Hash, Hasher};
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rtdac_sketch::{CountMinSketch, Doorkeeper};
+use rtdac_types::{Extent, ExtentPair};
+
+const WIDTH: usize = 16 * 1024;
+const DEPTH: usize = 4;
+const KEYS: usize = 4_096;
+
+/// The seed implementation's row derivation, replicated verbatim for
+/// the delta row: a fresh SipHash (`DefaultHasher`) walk of the key
+/// for every row.
+fn row_index_old<K: Hash>(key: &K, row: usize, width: usize) -> usize {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    (row as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .hash(&mut hasher);
+    key.hash(&mut hasher);
+    let h = hasher.finish();
+    row * width + (h % width as u64) as usize
+}
+
+/// A realistic probe key stream: extent pairs over a hot set.
+fn keys() -> Vec<ExtentPair> {
+    (0..KEYS as u64)
+        .map(|i| {
+            ExtentPair::new(
+                Extent::new(100 + (i % 512) * 64, 8).expect("valid extent"),
+                Extent::new(1_000_000 + i * 64, 8).expect("valid extent"),
+            )
+            .expect("distinct extents")
+        })
+        .collect()
+}
+
+fn bench_cms_probe(c: &mut Criterion) {
+    let keys = keys();
+    let mut group = c.benchmark_group("cms_probe");
+    group.throughput(Throughput::Elements(keys.len() as u64));
+
+    // Delta row: the pre-optimization per-row SipHash derivation driving
+    // the same counter array shape.
+    group.bench_function("per_row_siphash_old", |b| {
+        let mut counters = vec![0u32; WIDTH * DEPTH];
+        b.iter(|| {
+            for key in &keys {
+                for row in 0..DEPTH {
+                    let idx = row_index_old(key, row, WIDTH);
+                    counters[idx] = counters[idx].saturating_add(1);
+                }
+            }
+            counters[0]
+        });
+    });
+
+    // The shipped path: one FxHash walk, row indices remixed from it.
+    group.bench_function("single_fxhash_remix", |b| {
+        let mut cms = CountMinSketch::new(WIDTH, DEPTH);
+        b.iter(|| {
+            for key in &keys {
+                cms.insert(key);
+            }
+            cms.total()
+        });
+    });
+    group.finish();
+}
+
+fn bench_doorkeeper_probe(c: &mut Criterion) {
+    let keys = keys();
+    let mut group = c.benchmark_group("doorkeeper_probe");
+    group.throughput(Throughput::Elements(keys.len() as u64));
+    group.bench_function("insert", |b| {
+        // Same counter budget as the CMS above (4-bit vs 32-bit), no
+        // aging, so the loop measures the probe alone.
+        let mut dk = Doorkeeper::with_counters(WIDTH * DEPTH, u64::MAX);
+        b.iter(|| {
+            for key in &keys {
+                dk.insert(key);
+            }
+            dk.insertions_since_halving()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cms_probe, bench_doorkeeper_probe);
+criterion_main!(benches);

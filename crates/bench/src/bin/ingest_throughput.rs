@@ -44,11 +44,19 @@
 //! critical-path grid, without oscillating (no resizes in the final
 //! third of the stream).
 //!
+//! The **admission sweep** compares a doorkeeper-gated analyzer against
+//! an ungated one at equal *measured* bytes (tables + sketch) on a
+//! long-tail stream whose keyspace dwarfs the table: the gated run must
+//! win on truncated top-k recall while holding events/s — rejected
+//! pairs skip the insert + index work, so filtering is a throughput
+//! optimization, not a tax.
+//!
 //! The process exits nonzero when acceptance fails: in full mode every
 //! criterion gates; under `--smoke` timing is meaningless (tiny stream,
 //! 1 rep, shared CI cores) so only the correctness criteria — exact
-//! frequent pairs under splitting, and under a scripted mid-stream
-//! grow + shrink — gate.
+//! frequent pairs under splitting, under a scripted mid-stream
+//! grow + shrink, and admission-Off bit-exactness at byte parity —
+//! gate.
 //!
 //! Environment / flags: `--smoke` (tiny stream, 1 repetition — CI),
 //! `RTDAC_REQUESTS`, `RTDAC_SEED`, `RTDAC_BENCH_REPEAT` (default 5,
@@ -62,18 +70,21 @@ use std::io::{BufReader, BufWriter, Write};
 use std::path::Path;
 use std::time::{Duration, Instant};
 
+use rtdac_bench::experiments::fig15_sketch::{analyzer_config_for, BUDGET_SLACK};
 use rtdac_bench::support::banner;
 use rtdac_monitor::{
     blktrace, replay, BlktraceEventSource, ControllerConfig, Dispatch, IngestPipeline,
     MonitorConfig, PipelineConfig, ReplayPacing, ResizeEvent, RoutedBatch, Router, RouterConfig,
     SplitConfig, WorkList, DEFAULT_CHUNK_BYTES, DEFAULT_MAX_INFLIGHT,
 };
-use rtdac_synopsis::{AnalyzerConfig, OnlineAnalyzer, ReferenceAnalyzer, ShardedAnalyzer};
-use rtdac_types::{
-    write_trace_columnar, ColumnarReader, EventSource, IoEvent, MsrCsvReader, RequestEvents,
-    RequestSource, Trace, Transaction,
+use rtdac_synopsis::{
+    Admission, AnalyzerConfig, OnlineAnalyzer, ReferenceAnalyzer, ShardedAnalyzer,
 };
-use rtdac_workloads::{MsrServer, SkewedSpec, WorkloadFit};
+use rtdac_types::{
+    write_trace_columnar, ColumnarReader, EventSource, ExtentPair, IoEvent, MsrCsvReader,
+    RequestEvents, RequestSource, Trace, Transaction,
+};
+use rtdac_workloads::{LongTailSpec, MsrServer, SkewedSpec, WorkloadFit};
 
 const SHARD_SWEEP: [usize; 4] = [1, 2, 4, 8];
 const ROUTER_SWEEP: [usize; 3] = [1, 2, 4];
@@ -872,6 +883,11 @@ fn main() {
     let from_disk = from_disk_sweep(smoke, seed, repeat, &config);
     print_from_disk(&from_disk);
 
+    // (9) The admission sweep: doorkeeper-gated vs ungated at equal
+    // measured bytes on a long-tail stream (see admission_sweep).
+    let admission = admission_sweep(smoke, seed, repeat);
+    print_admission(&admission);
+
     println!("\n  acceptance:");
     println!(
         "    uniform 8-shard total CPU vs 1-shard optimized: routed {routed_cpu_ratio:.2}x, \
@@ -931,6 +947,17 @@ fn main() {
         from_disk.col.events_per_sec(from_disk.requests),
         from_disk.pipeline_events_per_sec(),
     );
+    println!(
+        "    admission: equal-bytes top-{} recall off {:.1}% vs doorkeeper {:.1}%, \
+         events/s {:.0} vs {:.0} (full-mode target: recall improves and throughput \
+         holds), off bit-exact: {} (gates in smoke too)",
+        admission.top_k,
+        admission.off_recall * 100.0,
+        admission.gated_recall * 100.0,
+        admission.off_events_per_sec(),
+        admission.gated_events_per_sec(),
+        admission.off_bit_exact,
+    );
 
     let acceptance = Acceptance {
         routed_cpu_ratio,
@@ -970,6 +997,7 @@ fn main() {
         &acceptance,
         &resize_sweep,
         &from_disk,
+        &admission,
     );
     let out = std::env::var("RTDAC_BENCH_OUT").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest.json").to_string()
@@ -985,9 +1013,10 @@ fn main() {
         !(acceptance.split_pairs_exact
             && acceptance.resize_exact
             && acceptance.adaptive_exact
-            && from_disk.met_smoke())
+            && from_disk.met_smoke()
+            && admission.met_smoke())
     } else {
-        !(acceptance.met() && from_disk.met_full())
+        !(acceptance.met() && from_disk.met_full() && admission.met_full())
     };
     if gate_failed {
         eprintln!("\n  ACCEPTANCE FAILED (see criteria above)");
@@ -1074,6 +1103,183 @@ impl FromDisk {
     fn met_full(&self) -> bool {
         self.met_smoke() && self.decode_keeps_up()
     }
+}
+
+/// Throughput-parity floor for the admission sweep: "holding" events/s
+/// means the gated run is within this fraction of the ungated one.
+/// Rejected pairs skip the insert + index work entirely, so the gated
+/// run is normally *faster*; the floor only absorbs timer noise on a
+/// shared host.
+const ADMISSION_THROUGHPUT_FLOOR: f64 = 0.95;
+
+/// Everything the admission sweep measured: top-k recall and ingest
+/// rate for admission Off vs a doorkeeper-gated analyzer at equal
+/// *measured* total bytes (tables + sketch) on a long-tail stream with
+/// keyspace >> table capacity.
+struct AdmissionSweep {
+    transactions: usize,
+    tail_count: usize,
+    top_k: usize,
+    budget_bytes: usize,
+    off_bytes: usize,
+    gated_bytes: usize,
+    off_recall: f64,
+    gated_recall: f64,
+    off_secs: f64,
+    gated_secs: f64,
+    gated_rejections: u64,
+    /// An analyzer built with the defaulted `admission` field produces
+    /// a snapshot bit-identical to one with explicit `Admission::Off`.
+    off_bit_exact: bool,
+    /// Both contenders' measured footprints land within
+    /// [`fig15_sketch::BUDGET_SLACK`] of the shared budget.
+    budget_parity: bool,
+}
+
+impl AdmissionSweep {
+    fn off_events_per_sec(&self) -> f64 {
+        self.transactions as f64 / self.off_secs
+    }
+
+    fn gated_events_per_sec(&self) -> f64 {
+        self.transactions as f64 / self.gated_secs
+    }
+
+    fn recall_improves(&self) -> bool {
+        self.gated_recall > self.off_recall
+    }
+
+    fn throughput_holds(&self) -> bool {
+        self.gated_events_per_sec() >= self.off_events_per_sec() * ADMISSION_THROUGHPUT_FLOOR
+    }
+
+    /// Correctness-only gates, meaningful even on a noisy CI host: Off
+    /// stays bit-exact, the contenders really are at memory parity, and
+    /// the doorkeeper really rejects (a sweep where nothing is filtered
+    /// proves nothing).
+    fn met_smoke(&self) -> bool {
+        self.off_bit_exact && self.budget_parity && self.gated_rejections > 0
+    }
+
+    /// The tentpole gate: at equal bytes the gated analyzer must beat
+    /// the ungated one on top-k recall while holding or improving
+    /// events/s.
+    fn met_full(&self) -> bool {
+        self.met_smoke() && self.recall_improves() && self.throughput_holds()
+    }
+}
+
+/// Measures the doorkeeper admission path on a Zipf working set buried
+/// under a one-shot tail (`LongTailSpec`, keyspace >> table capacity):
+/// at the same measured footprint, an admission-Off analyzer spends
+/// every tail sighting on a full insert + index + evict cycle, while
+/// the gated one spends four bits on it. Recall is judged against the
+/// workload's exact ground-truth top-k. `RTDAC_ADMISSION_TXNS`
+/// overrides the stream length.
+fn admission_sweep(smoke: bool, seed: u64, repeat: usize) -> AdmissionSweep {
+    let transactions = env_or("RTDAC_ADMISSION_TXNS", if smoke { 8_000 } else { 40_000 }) as usize;
+    let budget = 24 * 1024;
+    let top_k = 64;
+    let workload = LongTailSpec::new()
+        .transactions(transactions)
+        .seed(seed)
+        .generate();
+    let truth: std::collections::HashSet<ExtentPair> = workload.top_k(top_k).into_iter().collect();
+
+    // Off bit-exactness: the defaulted `admission` field and an explicit
+    // `Admission::Off` must replay to identical snapshots.
+    let off_config = analyzer_config_for(budget, 0);
+    let off_bit_exact = {
+        let mut defaulted = OnlineAnalyzer::new(off_config.clone());
+        let mut explicit = OnlineAnalyzer::new(off_config.clone().admission(Admission::Off));
+        for txn in &workload.transactions {
+            defaulted.process(txn);
+            explicit.process(txn);
+        }
+        defaulted.snapshot() == explicit.snapshot()
+    };
+
+    let run = |config: AnalyzerConfig| {
+        let mut samples = Vec::with_capacity(repeat.max(1));
+        let mut recall = 0.0;
+        let mut bytes = 0;
+        let mut rejections = 0;
+        for _rep in 0..repeat.max(1) {
+            let mut analyzer = OnlineAnalyzer::new(config.clone());
+            let start = Instant::now();
+            for txn in &workload.transactions {
+                analyzer.process(txn);
+            }
+            samples.push(start.elapsed().as_secs_f64());
+            let mut reported = analyzer.frequent_pairs(1);
+            reported.truncate(top_k);
+            recall =
+                reported.iter().filter(|(p, _)| truth.contains(p)).count() as f64 / top_k as f64;
+            bytes = analyzer.table_memory_bytes();
+            rejections = analyzer.stats().pair_rejections;
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        (samples[samples.len() / 2], recall, bytes, rejections)
+    };
+    let (off_secs, off_recall, off_bytes, _) = run(off_config);
+    let (gated_secs, gated_recall, gated_bytes, gated_rejections) =
+        run(analyzer_config_for(budget, budget / 8));
+
+    let parity = |bytes: usize| (1.0 - bytes as f64 / budget as f64).abs() <= BUDGET_SLACK;
+    AdmissionSweep {
+        transactions,
+        tail_count: workload.tail_count,
+        top_k,
+        budget_bytes: budget,
+        off_bytes,
+        gated_bytes,
+        off_recall,
+        gated_recall,
+        off_secs,
+        gated_secs,
+        gated_rejections,
+        off_bit_exact,
+        budget_parity: parity(off_bytes) && parity(gated_bytes),
+    }
+}
+
+fn print_admission(a: &AdmissionSweep) {
+    println!(
+        "\n  [admission] long-tail stream, {} txns ({}% one-shot tail), {} KB budget, \
+         top-{} recall vs exact ground truth",
+        a.transactions,
+        100 * a.tail_count / a.transactions.max(1),
+        a.budget_bytes / 1024,
+        a.top_k
+    );
+    println!(
+        "  {:<12} {:>8} {:>8} {:>14} {:>12}",
+        "admission", "bytes", "recall", "events/s", "rejections"
+    );
+    println!(
+        "  {:<12} {:>8} {:>7.1}% {:>14.0} {:>12}",
+        "off",
+        a.off_bytes,
+        a.off_recall * 100.0,
+        a.off_events_per_sec(),
+        0
+    );
+    println!(
+        "  {:<12} {:>8} {:>7.1}% {:>14.0} {:>12}",
+        "doorkeeper",
+        a.gated_bytes,
+        a.gated_recall * 100.0,
+        a.gated_events_per_sec(),
+        a.gated_rejections
+    );
+    println!(
+        "  off bit-exact: {}, budget parity: {}, recall improves: {}, \
+         throughput holds (>= {ADMISSION_THROUGHPUT_FLOOR}x): {}",
+        a.off_bit_exact,
+        a.budget_parity,
+        a.recall_improves(),
+        a.throughput_holds(),
+    );
 }
 
 /// Measures the zero-copy from-disk path: writes one fitted MSR-like
@@ -1441,6 +1647,7 @@ fn render_json(
     acceptance: &Acceptance,
     resize_sweep: &ResizeSweep,
     from_disk: &FromDisk,
+    admission: &AdmissionSweep,
 ) -> String {
     let hardware_threads = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -1707,6 +1914,56 @@ fn render_json(
         }
     ));
     out.push_str("  },\n");
+    out.push_str("  \"admission\": {\n");
+    out.push_str(
+        "    \"notes\": \"doorkeeper-gated vs ungated OnlineAnalyzer at equal measured \
+         bytes (table_memory_bytes: tables + sketch) on a long-tail stream whose \
+         keyspace dwarfs the table; recall is the truncated top-k report judged \
+         against the workload's exact ground-truth top-k; the gated run spends 1/8 \
+         of the budget on a 4-bit doorkeeper sketch and must win on recall while \
+         holding events/s; bit-exactness and budget parity gate in smoke mode too, \
+         recall and throughput only in full mode\",\n",
+    );
+    out.push_str(&format!(
+        "    \"transactions\": {},\n    \"tail_transactions\": {},\n    \
+         \"top_k\": {},\n    \"budget_bytes\": {},\n",
+        admission.transactions, admission.tail_count, admission.top_k, admission.budget_bytes
+    ));
+    out.push_str(&format!(
+        "    \"off\": {{\"bytes\": {}, \"recall\": {:.4}, \"elapsed_secs\": {:.6}, \
+         \"events_per_sec\": {:.0}}},\n",
+        admission.off_bytes,
+        admission.off_recall,
+        admission.off_secs,
+        admission.off_events_per_sec()
+    ));
+    out.push_str(&format!(
+        "    \"doorkeeper\": {{\"bytes\": {}, \"recall\": {:.4}, \"elapsed_secs\": {:.6}, \
+         \"events_per_sec\": {:.0}, \"rejections\": {}}},\n",
+        admission.gated_bytes,
+        admission.gated_recall,
+        admission.gated_secs,
+        admission.gated_events_per_sec(),
+        admission.gated_rejections
+    ));
+    out.push_str(&format!(
+        "    \"off_bit_exact\": {},\n    \"budget_parity\": {},\n    \
+         \"recall_improves\": {},\n    \"throughput_holds\": {},\n    \
+         \"throughput_floor\": {ADMISSION_THROUGHPUT_FLOOR},\n",
+        admission.off_bit_exact,
+        admission.budget_parity,
+        admission.recall_improves(),
+        admission.throughput_holds()
+    ));
+    out.push_str(&format!(
+        "    \"met\": {}\n",
+        if smoke {
+            admission.met_smoke()
+        } else {
+            admission.met_full()
+        }
+    ));
+    out.push_str("  },\n");
     out.push_str("  \"acceptance\": {\n");
     out.push_str("    \"criteria\": [\n");
     out.push_str(
@@ -1747,7 +2004,17 @@ fn render_json(
     );
     out.push_str(
         "      \"from_disk (full mode only): streaming columnar decode at least as fast \
-         as the in-memory 2-shard routed pipeline ingest\"\n",
+         as the in-memory 2-shard routed pipeline ingest\",\n",
+    );
+    out.push_str(
+        "      \"admission: defaulted config bit-exact with explicit Admission::Off, \
+         both contenders within 2% of the shared byte budget, and the doorkeeper \
+         actually rejecting (gates in smoke too)\",\n",
+    );
+    out.push_str(
+        "      \"admission (full mode only): at equal measured bytes the gated analyzer \
+         beats admission-off on truncated top-k recall while holding events/s \
+         (>= 0.95x)\"\n",
     );
     out.push_str("    ],\n");
     out.push_str(&format!(
@@ -1826,12 +2093,20 @@ fn render_json(
         }
     ));
     out.push_str(&format!(
+        "    \"admission_met\": {},\n",
+        if smoke {
+            admission.met_smoke()
+        } else {
+            admission.met_full()
+        }
+    ));
+    out.push_str(&format!(
         "    \"met\": {}\n",
         acceptance.met()
             && if smoke {
-                from_disk.met_smoke()
+                from_disk.met_smoke() && admission.met_smoke()
             } else {
-                from_disk.met_full()
+                from_disk.met_full() && admission.met_full()
             }
     ));
     out.push_str("  }\n}\n");

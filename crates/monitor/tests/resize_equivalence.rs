@@ -5,7 +5,7 @@
 //! workload, with and without hot-pair splitting.
 
 use rtdac_monitor::{Dispatch, IngestPipeline, MonitorConfig, PipelineConfig, SplitConfig};
-use rtdac_synopsis::{AnalyzerConfig, ReferenceAnalyzer};
+use rtdac_synopsis::{Admission, AnalyzerConfig, ReferenceAnalyzer};
 use rtdac_types::{ExtentPair, Transaction};
 use rtdac_workloads::SkewedSpec;
 
@@ -177,6 +177,31 @@ fn resizes_with_splitting_stay_count_exact() {
             reference.process(t);
         }
         assert_eq!(analyzer_stats.pairs, reference.stats().pairs);
+    }
+}
+
+#[test]
+fn explicit_admission_off_matches_default_across_resizes() {
+    // The resize path re-seeds shards through `split_across`, which
+    // also carries the admission policy; an explicit `Admission::Off`
+    // must replay a grow + shrink schedule to exactly the defaulted
+    // config's report (and the reference's).
+    let transactions = skewed_transactions();
+    let defaulted = AnalyzerConfig::with_capacity(64 * 1024);
+    let explicit = defaulted.clone().admission(Admission::Off);
+    let expected = reference_pairs(&transactions, &defaulted);
+    let third = transactions.len() / 3;
+    let schedule: Schedule = &[(third, 4, 2), (2 * third, 2, 1)];
+
+    for config in [&defaulted, &explicit] {
+        let (pairs, _, stats) = run_with_resizes(
+            &transactions,
+            config,
+            PipelineConfig::with_shards(2).routers(2).batch_size(32),
+            schedule,
+        );
+        assert_eq!(pairs, expected, "admission {:?}", config.admission);
+        assert_eq!(stats.pair_rejections, 0, "Off must reject nothing");
     }
 }
 

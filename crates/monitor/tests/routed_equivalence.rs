@@ -4,7 +4,7 @@
 //! on the skewed hot-pair workload that routed dispatch exists to serve.
 
 use rtdac_monitor::{Dispatch, IngestPipeline, MonitorConfig, PipelineConfig, SplitConfig};
-use rtdac_synopsis::{AnalyzerConfig, ReferenceAnalyzer};
+use rtdac_synopsis::{Admission, AnalyzerConfig, ReferenceAnalyzer};
 use rtdac_types::Transaction;
 use rtdac_workloads::SkewedSpec;
 
@@ -231,6 +231,44 @@ fn parallel_routers_with_splitting_stay_count_exact() {
         );
         let pairs = pipeline.finish().snapshot().frequent_pairs(1);
         assert_eq!(pairs, expected, "split with {routers} routers");
+    }
+}
+
+#[test]
+fn explicit_admission_off_is_bit_exact_with_default() {
+    // Every config in this matrix leaves `admission` defaulted; the
+    // default is `Admission::Off`, and spelling it out must change
+    // nothing — per-shard snapshots stay bit-identical even under
+    // eviction churn, across shard and router counts.
+    let transactions = skewed_transactions();
+    let defaulted = AnalyzerConfig::with_capacity(32).item_capacity(16);
+    let explicit = defaulted.clone().admission(Admission::Off);
+
+    let snapshots = |config: &AnalyzerConfig, shards: usize, routers: usize| {
+        let mut pipeline = IngestPipeline::new(
+            MonitorConfig::default(),
+            config.clone(),
+            PipelineConfig::with_shards(shards)
+                .routers(routers)
+                .batch_size(32),
+        );
+        for t in &transactions {
+            pipeline.push_transaction(t.clone());
+        }
+        let analyzer = pipeline.finish();
+        analyzer
+            .shards()
+            .iter()
+            .map(|shard| shard.snapshot())
+            .collect::<Vec<_>>()
+    };
+
+    for (shards, routers) in [(1usize, 1usize), (4, 2)] {
+        assert_eq!(
+            snapshots(&defaulted, shards, routers),
+            snapshots(&explicit, shards, routers),
+            "explicit Admission::Off diverged at {shards} shards x {routers} routers"
+        );
     }
 }
 

@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use rtdac_monitor::{blktrace, BlktraceEventSource, IngestPipeline, MonitorConfig, PipelineConfig};
-use rtdac_synopsis::AnalyzerConfig;
+use rtdac_synopsis::{Admission, AnalyzerConfig, DoorkeeperConfig};
 use rtdac_types::{
     ColumnarReader, ColumnarWriter, EventSource, Extent, IoOp, IoRequest, MsrCsvReader,
     RequestSource, Timestamp, Trace, Transaction,
@@ -207,6 +207,97 @@ fn assert_allocation_free_after_resize() {
     assert_eq!(analyzer.stats().transactions, (200 + total) * 64);
 }
 
+/// One cycle's worth of never-repeating tail transactions: extents
+/// drawn from a region far above the recurring cycle's, advancing
+/// every cycle so no tail pair is ever seen twice. With a threshold-3
+/// doorkeeper these stay below the admission threshold forever — the
+/// steady state exercises the sketch-probe *rejection* path on every
+/// one of them.
+fn tail_cycle(cycle_index: u64) -> Vec<Transaction> {
+    (0..16u64)
+        .map(|j| {
+            let n = cycle_index * 16 + j;
+            Transaction::from_extents(
+                Timestamp::from_micros(1_000_000 + n),
+                [
+                    Extent::new(50_000_000 + n * 128, 4).unwrap(),
+                    Extent::new(90_000_000 + n * 128, 4).unwrap(),
+                ],
+            )
+        })
+        .collect()
+}
+
+/// With admission on, the steady state has three hot paths the ungated
+/// phases never touch — sketch-probe rejections for the never-repeating
+/// tail, sketch bumps under the admitted working set's first sightings,
+/// and the periodic in-place halving when the aging watermark fires —
+/// and none of them may allocate. The recurring cycle is admitted
+/// during warmup (third sighting crosses the threshold); the measured
+/// window then mixes table hits with guaranteed rejections and several
+/// watermark resets.
+fn assert_admission_steady_state_allocation_free() {
+    let mut pipeline = IngestPipeline::new(
+        MonitorConfig::default(),
+        AnalyzerConfig::with_capacity(4096).admission(Admission::Doorkeeper(DoorkeeperConfig {
+            counters: 8192,
+            admit_threshold: 3,
+            // Low enough that halving fires repeatedly inside the
+            // measured window (16 rejected bumps per cycle x 100
+            // cycles, against a per-shard watermark of 512 after the
+            // 2-way split).
+            watermark: 1024,
+        })),
+        PipelineConfig::with_shards(2)
+            .routers(2)
+            .batch_size(16)
+            .ring_capacity(8),
+    );
+    let _ = std::thread::current();
+    let build = |cycles: std::ops::Range<u64>| -> Vec<Transaction> {
+        let recurring = cycle();
+        let mut out = Vec::with_capacity(cycles.clone().count() * (recurring.len() + 16));
+        for c in cycles {
+            out.extend(recurring.iter().cloned());
+            out.extend(tail_cycle(c));
+        }
+        out
+    };
+    let warmup = build(0..200);
+    let measured = build(200..300);
+    for t in warmup {
+        pipeline.push_transaction(t);
+    }
+    pipeline.flush_batch();
+    std::thread::sleep(Duration::from_millis(100));
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for t in measured {
+        pipeline.push_transaction(t);
+    }
+    pipeline.flush_batch();
+    std::thread::sleep(Duration::from_millis(100));
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "admission-on steady state performed {} heap allocations \
+         (expected zero: the sketch probe, rejection, and halving paths \
+         must all be allocation-free)",
+        after - before
+    );
+
+    let analyzer = pipeline.finish();
+    assert_eq!(analyzer.stats().transactions, 300 * (64 + 16));
+    // The phase really exercised the admission paths: the recurring
+    // cycle got in, the tail did not.
+    assert!(
+        analyzer.stats().pair_rejections >= 300 * 16,
+        "tail pairs were admitted — the doorkeeper never gated"
+    );
+    assert_eq!(analyzer.frequent_pairs(1).len(), 64);
+}
+
 /// A trace whose on-disk encoding is byte-uniform in every format: a
 /// constant time stride (offset high enough that tick/varint widths
 /// never grow mid-file), a 64-extent cycle, and a constant latency —
@@ -304,6 +395,7 @@ fn routed_pipeline_is_allocation_free_after_warmup() {
     assert_steady_state_allocation_free(1); // inline router
     assert_steady_state_allocation_free(2); // parallel routers
     assert_steady_state_allocation_free(4); // full router fan-out
+    assert_admission_steady_state_allocation_free(); // doorkeeper-gated hot path
     assert_allocation_free_after_resize(); // elastic pool, re-primed
     assert_streaming_decoders_allocation_free(); // disk readers' hot path
 }

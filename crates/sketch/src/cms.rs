@@ -1,7 +1,9 @@
 //! Count-Min sketch (Cormode & Muthukrishnan, 2005): a sub-linear
 //! frequency estimator with one-sided error.
 
-use std::hash::{Hash, Hasher};
+use std::hash::Hash;
+
+use rtdac_types::fx_hash;
 
 /// A Count-Min sketch over hashable keys.
 ///
@@ -59,16 +61,20 @@ impl CountMinSketch {
         CountMinSketch::new(width, depth)
     }
 
-    fn row_index<K: Hash>(&self, key: &K, row: usize) -> usize {
-        // One 64-bit hash split/remixed per row; the per-row seed makes
-        // the rows behave as independent hash functions.
-        let mut hasher = std::collections::hash_map::DefaultHasher::new();
-        (row as u64)
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .hash(&mut hasher);
-        key.hash(&mut hasher);
-        let h = hasher.finish();
-        row * self.width + (h % self.width as u64) as usize
+    /// The counter index of `key_hash` in `row`. The key is hashed
+    /// *once* per probe (see [`insert_many`](CountMinSketch::insert_many));
+    /// each row remixes that one hash with a row-salted splitmix-style
+    /// finalizer, so the rows still behave as independent hash
+    /// functions without re-walking the key per row — the old
+    /// per-row-SipHash version is kept as the `cms_probe` criterion
+    /// delta row in `rtdac-bench`.
+    #[inline]
+    fn row_index(&self, key_hash: u64, row: usize) -> usize {
+        let mut x = key_hash.wrapping_add((row as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        x ^= x >> 33;
+        row * self.width + (x % self.width as u64) as usize
     }
 
     /// Adds one occurrence of `key`.
@@ -78,8 +84,9 @@ impl CountMinSketch {
 
     /// Adds `count` occurrences of `key`.
     pub fn insert_many<K: Hash>(&mut self, key: &K, count: u32) {
+        let h = fx_hash(key);
         for row in 0..self.depth {
-            let idx = self.row_index(key, row);
+            let idx = self.row_index(h, row);
             self.counters[idx] = self.counters[idx].saturating_add(count);
         }
         self.total += u64::from(count);
@@ -87,8 +94,9 @@ impl CountMinSketch {
 
     /// The estimated count of `key` (never below the true count).
     pub fn estimate<K: Hash>(&self, key: &K) -> u32 {
+        let h = fx_hash(key);
         (0..self.depth)
-            .map(|row| self.counters[self.row_index(key, row)])
+            .map(|row| self.counters[self.row_index(h, row)])
             .min()
             .expect("depth >= 1")
     }

@@ -1,0 +1,371 @@
+//! A TinyLFU-style aged frequency sketch used as an *admission filter*
+//! ("doorkeeper") in front of the exact synopsis tables.
+//!
+//! The paper's two-tier tables hold an exact entry per tracked pair; at
+//! production keyspaces the long Zipf tail of one-shot pairs churns the
+//! first tier without ever producing a correlation. The doorkeeper is a
+//! 4-bit Count-Min sketch that stands in front of the table: a pair only
+//! earns a real entry once its sketch estimate crosses an admission
+//! threshold, so tail pairs cost four bits instead of a table slot.
+//!
+//! Layout (cache-line blocking, after Caffeine's `FrequencySketch`):
+//! counters are 4-bit nibbles packed into 64-byte blocks of eight
+//! `u64` words (128 counters per block). The block count is a power of
+//! two. One 64-bit key hash selects the block *and* all four depth
+//! rows inside it — row `i` draws its counter from the block's `i`-th
+//! 16-byte segment — so every probe (insert or estimate) touches
+//! exactly one cache line: a single memory access per key.
+//!
+//! Aging: after a configurable number of successful increments (the
+//! *watermark*) every counter is halved in place with nibble-parallel
+//! math — `(word >> 1) & 0x7777…` — so stale tail pairs decay toward
+//! zero instead of accumulating until the sketch saturates. Between halvings the
+//! sketch keeps the Count-Min one-sided guarantee up to counter
+//! saturation: an estimate never undercounts a key seen at most 15
+//! times.
+
+use std::hash::Hash;
+
+use rtdac_types::fx_hash;
+
+/// Sketch depth: four counters per key, one per 16-byte block segment.
+const DEPTH: usize = 4;
+/// `u64` words per 64-byte block.
+const WORDS_PER_BLOCK: usize = 8;
+/// 4-bit counters per block (128 nibbles = 64 bytes).
+pub const COUNTERS_PER_BLOCK: usize = WORDS_PER_BLOCK * 16;
+/// Saturation value of one 4-bit counter.
+pub const COUNTER_MAX: u32 = 15;
+/// Clears the bit each nibble inherits from its left neighbour when a
+/// whole word is shifted right by one — the nibble-parallel halving.
+const HALVE_MASK: u64 = 0x7777_7777_7777_7777;
+
+/// A cache-line-blocked 4-bit Count-Min sketch with periodic halving —
+/// the TinyLFU admission filter of the synopsis (DESIGN.md §14).
+///
+/// # Examples
+///
+/// ```
+/// use rtdac_sketch::Doorkeeper;
+///
+/// let mut dk = Doorkeeper::with_counters(1024, 128);
+/// assert_eq!(dk.insert(&"pair"), 1);
+/// assert_eq!(dk.insert(&"pair"), 2); // second sighting: estimate 2
+/// assert_eq!(dk.estimate(&"unseen"), 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Doorkeeper {
+    words: Vec<u64>,
+    /// `block_count - 1`; the block count is a power of two.
+    block_mask: u64,
+    /// Successful increments between halvings.
+    watermark: u64,
+    /// Successful increments since the last halving.
+    insertions: u64,
+    /// Halvings performed so far.
+    resets: u64,
+}
+
+impl Doorkeeper {
+    /// Creates a sketch with at least `counters` 4-bit counters — the
+    /// count is rounded up to a power of two of 128-counter blocks —
+    /// aged every `watermark` successful counter increments.
+    ///
+    /// Pick the watermark well below the counter count: each insert
+    /// bumps up to four nibbles, so after `W` increments the average
+    /// nibble sits near `4 W / counters` — at `W = counters` the sketch
+    /// is already too saturated for a low admission threshold to
+    /// discriminate. `counters / 16` keeps the end-of-window average
+    /// near 0.25 while still spanning thousands of insertions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counters == 0` or `watermark == 0`.
+    pub fn with_counters(counters: usize, watermark: u64) -> Self {
+        assert!(counters > 0, "doorkeeper needs at least one counter");
+        assert!(watermark > 0, "watermark must be positive");
+        let blocks = counters.div_ceil(COUNTERS_PER_BLOCK).next_power_of_two();
+        Doorkeeper {
+            words: vec![0; blocks * WORDS_PER_BLOCK],
+            block_mask: blocks as u64 - 1,
+            watermark,
+            insertions: 0,
+            resets: 0,
+        }
+    }
+
+    /// The four `(word index, bit shift)` counter slots for key hash
+    /// `h`. All derived from the one hash: the high bits pick the
+    /// block, a remix of the whole hash picks one nibble per 16-byte
+    /// segment — so the four slots always share one 64-byte block.
+    #[inline]
+    fn locate(&self, h: u64) -> [(usize, u32); DEPTH] {
+        let block = ((h >> 32) & self.block_mask) as usize * WORDS_PER_BLOCK;
+        // Splitmix-style finalizer decorrelates the in-block counter
+        // choice from the block-selection bits.
+        let mut ch = h ^ (h >> 33);
+        ch = ch.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        ch ^= ch >> 33;
+        let mut slots = [(0usize, 0u32); DEPTH];
+        for (i, slot) in slots.iter_mut().enumerate() {
+            let bits = (ch >> (i * 8)) as usize;
+            // Row i's counter lives in segment i: words 2i and 2i+1.
+            let word = block + (i << 1) + (bits & 1);
+            let nibble = ((bits >> 1) & 15) as u32;
+            *slot = (word, nibble * 4);
+        }
+        slots
+    }
+
+    /// Records one sighting of `key` and returns the updated estimate.
+    /// Counters saturate at 15; the aging halving fires when the
+    /// insertion watermark is reached.
+    pub fn insert<K: Hash>(&mut self, key: &K) -> u32 {
+        self.insert_hashed(fx_hash(key))
+    }
+
+    /// [`insert`](Doorkeeper::insert) for a pre-computed key hash.
+    pub fn insert_hashed(&mut self, h: u64) -> u32 {
+        let slots = self.locate(h);
+        let mut added = false;
+        let mut min = COUNTER_MAX;
+        for (word, shift) in slots {
+            let mut count = ((self.words[word] >> shift) & 0xf) as u32;
+            if count < COUNTER_MAX {
+                self.words[word] += 1u64 << shift;
+                count += 1;
+                added = true;
+            }
+            min = min.min(count);
+        }
+        if added {
+            self.insertions += 1;
+            if self.insertions >= self.watermark {
+                self.halve();
+            }
+        }
+        min
+    }
+
+    /// The estimated sighting count of `key` — never below the true
+    /// count while no halving intervened and the count is below 15.
+    pub fn estimate<K: Hash>(&self, key: &K) -> u32 {
+        self.estimate_hashed(fx_hash(key))
+    }
+
+    /// [`estimate`](Doorkeeper::estimate) for a pre-computed key hash.
+    pub fn estimate_hashed(&self, h: u64) -> u32 {
+        self.locate(h)
+            .into_iter()
+            .map(|(word, shift)| ((self.words[word] >> shift) & 0xf) as u32)
+            .min()
+            .expect("depth >= 1")
+    }
+
+    /// Halves every counter in place (TinyLFU aging) and restarts the
+    /// insertion watermark. Nibble-parallel: one shift and one mask per
+    /// eight counters.
+    pub fn halve(&mut self) {
+        for word in &mut self.words {
+            *word = (*word >> 1) & HALVE_MASK;
+        }
+        self.insertions = 0;
+        self.resets += 1;
+    }
+
+    /// Zeroes every counter and restarts the insertion watermark, as if
+    /// freshly built (the reset counter is preserved).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.insertions = 0;
+    }
+
+    /// Counter-array footprint in bytes (64 per block).
+    pub fn memory_bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>()
+    }
+
+    /// Number of 64-byte blocks (a power of two).
+    pub fn blocks(&self) -> usize {
+        self.words.len() / WORDS_PER_BLOCK
+    }
+
+    /// Total 4-bit counters.
+    pub fn counters(&self) -> usize {
+        self.blocks() * COUNTERS_PER_BLOCK
+    }
+
+    /// Successful increments between halvings.
+    pub fn watermark(&self) -> u64 {
+        self.watermark
+    }
+
+    /// Successful increments since the last halving.
+    pub fn insertions_since_halving(&self) -> u64 {
+        self.insertions
+    }
+
+    /// Halvings performed so far.
+    pub fn resets(&self) -> u64 {
+        self.resets
+    }
+
+    /// Every counter value, in block/nibble order — the scalar view the
+    /// property tests check the nibble-parallel math against.
+    #[doc(hidden)]
+    pub fn counter_values(&self) -> Vec<u32> {
+        self.words
+            .iter()
+            .flat_map(|&word| (0..16).map(move |i| ((word >> (i * 4)) & 0xf) as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A watermark far above anything the tests insert, so aging never
+    /// fires unless a test asks for it.
+    const NO_AGING: u64 = u64::MAX;
+
+    #[test]
+    fn probe_touches_a_single_cache_line_block() {
+        // The acceptance contract: block index bits and all in-block
+        // row slots come from ONE 64-bit hash, and every slot lies in
+        // the same 64-byte block — one memory access per probe.
+        let dk = Doorkeeper::with_counters(64 * 1024, 10);
+        for key in 0u64..10_000 {
+            let h = fx_hash(&key);
+            let slots = dk.locate(h);
+            let block = slots[0].0 / WORDS_PER_BLOCK;
+            for (row, &(word, shift)) in slots.iter().enumerate() {
+                assert_eq!(word / WORDS_PER_BLOCK, block, "row {row} left the block");
+                // Row i draws from its own 16-byte segment.
+                let in_block = word % WORDS_PER_BLOCK;
+                assert!(
+                    in_block == 2 * row || in_block == 2 * row + 1,
+                    "row {row} hit word {in_block}"
+                );
+                assert!(shift % 4 == 0 && shift < 64, "bad nibble shift {shift}");
+            }
+            // Pure function of the hash: same hash, same slots.
+            assert_eq!(dk.locate(h), slots);
+        }
+    }
+
+    #[test]
+    fn block_count_rounds_to_power_of_two() {
+        for (counters, blocks) in [(1usize, 1usize), (128, 1), (129, 2), (1000, 8), (4096, 32)] {
+            let dk = Doorkeeper::with_counters(counters, 10);
+            assert_eq!(dk.blocks(), blocks, "counters {counters}");
+            assert!(dk.blocks().is_power_of_two());
+            assert_eq!(dk.memory_bytes(), blocks * 64);
+            assert_eq!(dk.counters(), blocks * COUNTERS_PER_BLOCK);
+        }
+    }
+
+    #[test]
+    fn estimates_never_undercount_between_halvings() {
+        let mut dk = Doorkeeper::with_counters(16 * 1024, NO_AGING);
+        for key in 0u64..500 {
+            let true_count = key % 20 + 1; // some exceed saturation
+            for _ in 0..true_count {
+                dk.insert(&key);
+            }
+        }
+        assert_eq!(dk.resets(), 0, "aging must not have fired");
+        for key in 0u64..500 {
+            let true_count = (key % 20 + 1) as u32;
+            assert!(
+                dk.estimate(&key) >= true_count.min(COUNTER_MAX),
+                "key {key} undercounted"
+            );
+        }
+    }
+
+    #[test]
+    fn insert_returns_the_updated_estimate() {
+        let mut dk = Doorkeeper::with_counters(16 * 1024, NO_AGING);
+        for expect in 1..=5u32 {
+            assert_eq!(dk.insert(&42u64), expect);
+        }
+        assert_eq!(dk.estimate(&42u64), 5);
+    }
+
+    #[test]
+    fn counters_saturate_at_15_without_neighbor_wrap() {
+        let mut dk = Doorkeeper::with_counters(128, NO_AGING);
+        for _ in 0..100 {
+            dk.insert(&7u64);
+        }
+        assert_eq!(dk.estimate(&7u64), COUNTER_MAX);
+        // Only the key's own counters moved: at most DEPTH nonzero
+        // nibbles, none above 15, so no carry leaked into a neighbour.
+        let values = dk.counter_values();
+        let nonzero: Vec<u32> = values.iter().copied().filter(|&v| v > 0).collect();
+        assert!(nonzero.len() <= DEPTH, "{} counters touched", nonzero.len());
+        assert!(nonzero.iter().all(|&v| v == COUNTER_MAX));
+    }
+
+    #[test]
+    fn halving_exactly_halves_every_counter() {
+        // Nibble-parallel halving vs the scalar oracle, across mixed
+        // odd/even counter values including saturation.
+        let mut dk = Doorkeeper::with_counters(2048, NO_AGING);
+        for key in 0u64..2_000 {
+            for _ in 0..(key % 17 + 1) {
+                dk.insert(&key);
+            }
+        }
+        let before = dk.counter_values();
+        assert!(before.iter().any(|&v| v % 2 == 1), "want odd counters");
+        assert!(before.contains(&COUNTER_MAX), "want saturation");
+        dk.halve();
+        let after = dk.counter_values();
+        for (i, (&b, &a)) in before.iter().zip(&after).enumerate() {
+            assert_eq!(a, b / 2, "counter {i}: {b} halved to {a}");
+        }
+        assert_eq!(dk.resets(), 1);
+        assert_eq!(dk.insertions_since_halving(), 0);
+    }
+
+    #[test]
+    fn watermark_triggers_aging() {
+        // One block, watermark 128: halve every 128 increments.
+        let mut dk = Doorkeeper::with_counters(128, 128);
+        assert_eq!(dk.watermark(), 128);
+        for key in 0u64..200 {
+            dk.insert(&key);
+        }
+        assert!(dk.resets() >= 1, "watermark never fired");
+    }
+
+    #[test]
+    fn saturated_inserts_do_not_advance_the_watermark() {
+        let mut dk = Doorkeeper::with_counters(128, NO_AGING);
+        for _ in 0..50 {
+            dk.insert(&1u64);
+        }
+        // 15 increments of a fresh key, then 35 saturated no-ops.
+        assert_eq!(dk.insertions_since_halving(), u64::from(COUNTER_MAX));
+    }
+
+    #[test]
+    fn clear_zeroes_counters_and_watermark_progress() {
+        let mut dk = Doorkeeper::with_counters(128, NO_AGING);
+        for _ in 0..5 {
+            dk.insert(&9u64);
+        }
+        dk.clear();
+        assert_eq!(dk.estimate(&9u64), 0);
+        assert_eq!(dk.insertions_since_halving(), 0);
+        assert!(dk.counter_values().iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one counter")]
+    fn zero_counters_panics() {
+        Doorkeeper::with_counters(0, 10);
+    }
+}

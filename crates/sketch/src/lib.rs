@@ -10,6 +10,12 @@
 //! two families can be compared head to head at equal memory
 //! (`fig15_sketch_comparison` in `rtdac-bench`).
 //!
+//! The families also *compose*: the [`Doorkeeper`] — a
+//! cache-line-blocked 4-bit Count-Min sketch with TinyLFU-style
+//! periodic halving — stands in front of the synopsis' exact pair
+//! table as an admission filter, so at production keyspaces one-shot
+//! tail pairs cost four bits instead of a table entry (DESIGN.md §14).
+//!
 //! The trade-off the comparison surfaces: sketches give hard error
 //! guarantees on *frequency estimates* but have no notion of recency, so
 //! they adapt to concept drift only by error accumulation, while the
@@ -29,9 +35,11 @@
 //! ```
 
 mod cms;
+mod doorkeeper;
 mod miner;
 mod spacesaving;
 
 pub use cms::CountMinSketch;
+pub use doorkeeper::{Doorkeeper, COUNTERS_PER_BLOCK, COUNTER_MAX};
 pub use miner::{CmsPairMiner, SpaceSavingPairMiner};
 pub use spacesaving::{SpaceSaving, SsCounter};

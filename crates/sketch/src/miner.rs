@@ -11,8 +11,10 @@ use crate::spacesaving::{SpaceSaving, SsCounter};
 /// A pure Space-Saving miner over extent pairs: deterministic top-k
 /// correlations in bounded space.
 ///
-/// Memory model: 28 bytes of pair key + 16 bytes of counter per tracked
-/// entry (cf. the paper's 28-byte correlation entries).
+/// Memory: one in-memory pair key plus one counter per tracked entry
+/// (cf. the paper's 28-byte correlation-entry model), reported by
+/// [`memory_bytes`](SpaceSavingPairMiner::memory_bytes) from the real
+/// type sizes.
 ///
 /// # Examples
 ///
@@ -70,10 +72,10 @@ impl SpaceSavingPairMiner {
         self.summary.guaranteed_at_least(min_support)
     }
 
-    /// Approximate memory footprint under a per-entry model of 44 bytes
-    /// (28-byte pair + two 8-byte counters).
+    /// Capacity-based memory footprint of the underlying summary (see
+    /// [`SpaceSaving::memory_bytes`]).
     pub fn memory_bytes(&self) -> usize {
-        self.summary.capacity() * 44
+        self.summary.memory_bytes()
     }
 }
 
@@ -128,7 +130,7 @@ impl CmsPairMiner {
 
     /// Combined memory: sketch counters plus the candidate list.
     pub fn memory_bytes(&self) -> usize {
-        self.sketch.memory_bytes() + self.candidates.capacity() * 44
+        self.sketch.memory_bytes() + self.candidates.memory_bytes()
     }
 }
 
@@ -191,10 +193,14 @@ mod tests {
 
     #[test]
     fn memory_models() {
-        assert_eq!(SpaceSavingPairMiner::new(100).memory_bytes(), 4400);
+        let per_entry = std::mem::size_of::<ExtentPair>() + std::mem::size_of::<super::SsCounter>();
+        assert_eq!(
+            SpaceSavingPairMiner::new(100).memory_bytes(),
+            100 * per_entry
+        );
         assert_eq!(
             CmsPairMiner::new(1024, 4, 100).memory_bytes(),
-            1024 * 4 * 4 + 4400
+            1024 * 4 * 4 + 100 * per_entry
         );
     }
 }

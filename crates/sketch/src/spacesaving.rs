@@ -129,6 +129,14 @@ impl<K: Eq + Hash + Clone> SpaceSaving<K> {
         self.capacity
     }
 
+    /// Capacity-based memory footprint: one key plus one counter per
+    /// tracked slot (the structure the summary actually allocates,
+    /// rather than a hand-derived per-entry constant). Used to compute
+    /// honest equal-memory budgets in the fig15 comparison.
+    pub fn memory_bytes(&self) -> usize {
+        self.capacity * (std::mem::size_of::<K>() + std::mem::size_of::<SsCounter>())
+    }
+
     /// Total insertions so far.
     pub fn total(&self) -> u64 {
         self.total

@@ -3,6 +3,7 @@
 
 use std::collections::HashSet;
 
+use rtdac_sketch::Doorkeeper;
 use rtdac_types::{Extent, ExtentPair, FxHashMap, InlineVec, IoOp, Transaction};
 
 use crate::sharded::{shard_of_extent, shard_of_pair};
@@ -24,6 +25,72 @@ pub const ITEM_ENTRY_BYTES: usize = 16;
 /// Paper's memory model: a correlation-table entry is two extents and a
 /// tally — 28 bytes (§IV-C1).
 pub const PAIR_ENTRY_BYTES: usize = 28;
+
+/// Parameters of the [doorkeeper](rtdac_sketch::Doorkeeper) admission
+/// filter (see [`Admission::Doorkeeper`]).
+///
+/// All fields are plain integers so [`AnalyzerConfig`] stays `Eq` and
+/// cheaply comparable across snapshots and re-seeds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DoorkeeperConfig {
+    /// 4-bit counters in the sketch. Rounded up to whole 64-byte blocks
+    /// with a power-of-two block count (see
+    /// [`Doorkeeper::with_counters`]); size it at a multiple of the
+    /// correlation-table capacity — each counter costs half a byte
+    /// against a ~40-byte table entry.
+    pub counters: usize,
+    /// Sketch estimate (including the bump for the current sighting) an
+    /// *absent* pair must reach before it is granted a real
+    /// correlation-table entry. A threshold of 1 admits everything;
+    /// 2 blocks one-shot pairs, and 3 (the [`Default`]) additionally
+    /// suppresses the tail pairs that slip past 2 through counter
+    /// collisions — under a heavy one-shot tail those leaks are what
+    /// churns the table.
+    pub admit_threshold: u32,
+    /// Aging cadence (TinyLFU's reset watermark): all counters are
+    /// halved after this many counter increments, so the sketch tracks
+    /// recent popularity instead of lifetime totals. Keep it well below
+    /// `counters` — each increment bumps up to four nibbles, so a
+    /// window of `W` increments drives the average nibble toward
+    /// `4 W / counters`, and a saturated sketch admits everything.
+    /// `counters / 16` (the [`Default`] ratio) keeps the end-of-window
+    /// average near 0.25, low enough that an `admit_threshold` of 3
+    /// stays meaningful against collision noise.
+    pub watermark: u64,
+}
+
+impl Default for DoorkeeperConfig {
+    /// 64 Ki counters (32 KiB of sketch), admit on the third sighting
+    /// within an aging window, age every `counters / 16` increments.
+    fn default() -> Self {
+        DoorkeeperConfig {
+            counters: 64 * 1024,
+            admit_threshold: 3,
+            watermark: 4 * 1024,
+        }
+    }
+}
+
+/// Admission policy in front of the correlation table.
+///
+/// At production keyspaces most extent pairs are seen exactly once; with
+/// admission [`Off`](Admission::Off) each of them still costs a full
+/// table entry — inserted, indexed, then evicted — displacing the
+/// recurring pairs the synopsis exists to find. A
+/// [`Doorkeeper`](Admission::Doorkeeper) makes one-shot pairs cost four
+/// bits instead of an entry (DESIGN.md §14).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum Admission {
+    /// Every pair gets a table entry on first sighting — the paper's
+    /// behavior, and bit-exact to the pre-doorkeeper pipeline.
+    #[default]
+    Off,
+    /// A pair absent from the correlation table first bumps a compact
+    /// frequency sketch and is only admitted once its estimate reaches
+    /// the configured threshold. Pairs already stored never consult the
+    /// sketch, so the hit path is unchanged.
+    Doorkeeper(DoorkeeperConfig),
+}
 
 /// Configuration for an [`OnlineAnalyzer`].
 ///
@@ -57,6 +124,9 @@ pub struct AnalyzerConfig {
     /// writes feed garbage-collection placement, correlated reads feed
     /// parallel placement (§V).
     pub op_filter: Option<IoOp>,
+    /// Admission policy in front of the correlation table (default
+    /// [`Admission::Off`]: bit-exact paper behavior).
+    pub admission: Admission,
 }
 
 impl AnalyzerConfig {
@@ -73,6 +143,7 @@ impl AnalyzerConfig {
             correlation_capacity_per_tier: c,
             promote_threshold: 2,
             op_filter: None,
+            admission: Admission::Off,
         }
     }
 
@@ -94,8 +165,45 @@ impl AnalyzerConfig {
         self
     }
 
+    /// Sets the correlation-table admission policy.
+    pub fn admission(mut self, admission: Admission) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// The per-shard configuration of an `shard_count`-way deployment:
+    /// per-tier capacities — and a doorkeeper's counters, when admission
+    /// is on — divided by the shard count (floored at one), so the
+    /// aggregate footprint is independent of the shard count. Both
+    /// [`ShardedAnalyzer::new`](crate::ShardedAnalyzer::new) and
+    /// [`SynopsisSnapshot::reseed`](crate::SynopsisSnapshot::reseed)
+    /// derive shard configs through this method, so an elastic re-seed
+    /// sizes its shards exactly as a fresh construction would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_count == 0`.
+    pub fn split_across(&self, shard_count: usize) -> AnalyzerConfig {
+        assert!(shard_count > 0, "shard_count must be positive");
+        let mut shard = self.clone();
+        shard.item_capacity_per_tier = (self.item_capacity_per_tier / shard_count).max(1);
+        shard.correlation_capacity_per_tier =
+            (self.correlation_capacity_per_tier / shard_count).max(1);
+        if let Admission::Doorkeeper(dk) = &mut shard.admission {
+            dk.counters = (dk.counters / shard_count).max(1);
+            // Each shard sees ~1/N of the insert stream, so the aging
+            // cadence divides with the sketch to keep the same
+            // saturation profile per shard.
+            dk.watermark = (dk.watermark / shard_count as u64).max(1);
+        }
+        shard
+    }
+
     /// Total synopsis memory under the paper's model: `32·C_item +
-    /// 56·C_corr` bytes (16/28 bytes per entry, two tiers each).
+    /// 56·C_corr` bytes (16/28 bytes per entry, two tiers each). The
+    /// doorkeeper is not part of the paper's model; see
+    /// [`OnlineAnalyzer::table_memory_bytes`] for the measured footprint
+    /// including it.
     pub fn memory_bytes(&self) -> usize {
         2 * ITEM_ENTRY_BYTES * self.item_capacity_per_tier
             + 2 * PAIR_ENTRY_BYTES * self.correlation_capacity_per_tier
@@ -119,6 +227,10 @@ pub struct AnalyzerStats {
     pub extents: u64,
     /// Pairs recorded into the correlation table.
     pub pairs: u64,
+    /// Pair records the admission doorkeeper turned away (always zero
+    /// with [`Admission::Off`]). Rejected records still count in
+    /// [`pairs`](AnalyzerStats::pairs).
+    pub pair_rejections: u64,
     /// Correlation-table demotions triggered by item-table evictions.
     pub correlated_demotions: u64,
 }
@@ -188,7 +300,17 @@ pub struct OnlineAnalyzer {
     /// item-eviction demotion hook. Inline small-vec values keep hot-path
     /// index maintenance allocation-free.
     pair_index: FxHashMap<Extent, InlineVec<ExtentPair, PAIR_INDEX_INLINE>>,
+    /// Admission filter in front of `pairs`, when configured.
+    doorkeeper: Option<AdmissionFilter>,
     stats: AnalyzerStats,
+}
+
+/// The built form of [`Admission::Doorkeeper`]: the sketch plus the
+/// threshold an absent pair's estimate must reach.
+#[derive(Clone, Debug)]
+struct AdmissionFilter {
+    sketch: Doorkeeper,
+    threshold: u32,
 }
 
 impl OnlineAnalyzer {
@@ -204,11 +326,19 @@ impl OnlineAnalyzer {
             config.correlation_capacity_per_tier,
             config.promote_threshold,
         );
+        let doorkeeper = match &config.admission {
+            Admission::Off => None,
+            Admission::Doorkeeper(dk) => Some(AdmissionFilter {
+                sketch: Doorkeeper::with_counters(dk.counters, dk.watermark),
+                threshold: dk.admit_threshold,
+            }),
+        };
         OnlineAnalyzer {
             config,
             items,
             pairs,
             pair_index: FxHashMap::default(),
+            doorkeeper,
             stats: AnalyzerStats::default(),
         }
     }
@@ -318,14 +448,7 @@ impl OnlineAnalyzer {
                 if shard_count > 1 && shard_of_pair(&pair, shard_count) != shard {
                     continue;
                 }
-                self.stats.pairs += 1;
-                let record = self.pairs.record(pair);
-                if !record.hit {
-                    self.index_pair(pair);
-                }
-                if let Some((evicted, _)) = record.evicted {
-                    self.unindex_pair(&evicted);
-                }
+                self.record_pair(pair);
             }
         }
     }
@@ -360,14 +483,39 @@ impl OnlineAnalyzer {
             }
         }
         for &pair in pairs {
-            self.stats.pairs += 1;
-            let record = self.pairs.record(pair);
-            if !record.hit {
-                self.index_pair(pair);
+            self.record_pair(pair);
+        }
+    }
+
+    /// Applies one correlation-table record, routing it through the
+    /// admission doorkeeper when one is configured, and maintains the
+    /// pair index across admitted inserts and evictions.
+    ///
+    /// The sketch is consulted (and bumped) *only* when the pair is
+    /// absent from the table — `record_filtered` runs the admission
+    /// closure on the vacant path alone — so with a stored pair the
+    /// record sequence is byte-identical to [`Admission::Off`].
+    #[inline]
+    fn record_pair(&mut self, pair: ExtentPair) {
+        self.stats.pairs += 1;
+        let record = match &mut self.doorkeeper {
+            None => Some(self.pairs.record(pair)),
+            Some(filter) => {
+                let threshold = filter.threshold;
+                let sketch = &mut filter.sketch;
+                self.pairs
+                    .record_filtered(pair, || sketch.insert(&pair) >= threshold)
             }
-            if let Some((evicted, _)) = record.evicted {
-                self.unindex_pair(&evicted);
-            }
+        };
+        let Some(record) = record else {
+            self.stats.pair_rejections += 1;
+            return;
+        };
+        if !record.hit {
+            self.index_pair(pair);
+        }
+        if let Some((evicted, _)) = record.evicted {
+            self.unindex_pair(&evicted);
         }
     }
 
@@ -496,11 +644,34 @@ impl OnlineAnalyzer {
         self.config.memory_bytes()
     }
 
-    /// Forgets everything (stats are preserved).
+    /// Measured capacity-based footprint of the structures actually
+    /// built: both two-tier tables plus the doorkeeper, from the real
+    /// type sizes ([`TwoTierTable::memory_bytes`],
+    /// [`Doorkeeper::memory_bytes`]) rather than the paper's 16/28-byte
+    /// entry model. Equal-memory comparisons budget against this.
+    pub fn table_memory_bytes(&self) -> usize {
+        self.items.memory_bytes()
+            + self.pairs.memory_bytes()
+            + self
+                .doorkeeper
+                .as_ref()
+                .map_or(0, |f| f.sketch.memory_bytes())
+    }
+
+    /// Read access to the admission doorkeeper, if one is configured.
+    pub fn doorkeeper(&self) -> Option<&Doorkeeper> {
+        self.doorkeeper.as_ref().map(|f| &f.sketch)
+    }
+
+    /// Forgets everything — table contents, pair index and doorkeeper
+    /// counters (stats are preserved).
     pub fn clear(&mut self) {
         self.items.clear();
         self.pairs.clear();
         self.pair_index.clear();
+        if let Some(filter) = &mut self.doorkeeper {
+            filter.sketch.clear();
+        }
     }
 
     /// Seeds one item-table entry with pre-computed state (the snapshot
@@ -666,6 +837,111 @@ mod tests {
         assert_eq!(snap.frequent_pairs(2).len(), 1);
         assert_eq!(snap.frequent_pairs(3).len(), 0);
         assert!(snap.pair_set().contains(&pair(e(1, 1), e(2, 1))));
+    }
+
+    fn doorkeeper_config(threshold: u32) -> AnalyzerConfig {
+        AnalyzerConfig::with_capacity(16).admission(Admission::Doorkeeper(DoorkeeperConfig {
+            counters: 1024,
+            admit_threshold: threshold,
+            watermark: u64::MAX, // no aging inside a test
+        }))
+    }
+
+    #[test]
+    fn doorkeeper_blocks_one_shot_pairs() {
+        let mut an = OnlineAnalyzer::new(doorkeeper_config(2));
+        an.process(&txn(&[e(1, 1), e(2, 1)]));
+        // First sighting: sketch bumped to 1, below the threshold — no
+        // table entry, but the items are recorded unfiltered.
+        assert_eq!(an.correlation_table().len(), 0);
+        assert_eq!(an.item_table().len(), 2);
+        assert_eq!(an.stats().pairs, 1);
+        assert_eq!(an.stats().pair_rejections, 1);
+        // Second sighting crosses the threshold and admits the pair.
+        an.process(&txn(&[e(1, 1), e(2, 1)]));
+        let p = pair(e(1, 1), e(2, 1));
+        assert_eq!(an.correlation_table().tally(&p), Some(1));
+        assert_eq!(an.stats().pair_rejections, 1);
+        // Once stored, records bypass the sketch entirely.
+        let sketch_before = an.doorkeeper().unwrap().insertions_since_halving();
+        an.process(&txn(&[e(1, 1), e(2, 1)]));
+        assert_eq!(an.correlation_table().tally(&p), Some(2));
+        assert_eq!(
+            an.doorkeeper().unwrap().insertions_since_halving(),
+            sketch_before
+        );
+    }
+
+    #[test]
+    fn admission_threshold_one_matches_off_exactly() {
+        // Threshold 1 admits every pair on first sighting: the table
+        // record sequence is identical to Admission::Off, so all
+        // observable state must match (the sketch still counts).
+        let base = AnalyzerConfig::with_capacity(4).item_capacity(2);
+        let mut off = OnlineAnalyzer::new(base.clone());
+        let mut on = OnlineAnalyzer::new(base.admission(Admission::Doorkeeper(DoorkeeperConfig {
+            counters: 1024,
+            admit_threshold: 1,
+            watermark: u64::MAX,
+        })));
+        for i in 0..200u64 {
+            let t = txn(&[e(i % 9, 1), e((i * 5) % 13 + 30, 1), e(i % 4 + 60, 1)]);
+            off.process(&t);
+            on.process(&t);
+        }
+        assert_eq!(on.snapshot(), off.snapshot());
+        assert_eq!(on.stats().pair_rejections, 0);
+    }
+
+    #[test]
+    fn split_across_divides_capacities_and_doorkeeper() {
+        let config = AnalyzerConfig::with_capacity(64)
+            .item_capacity(32)
+            .admission(Admission::Doorkeeper(DoorkeeperConfig {
+                counters: 4096,
+                admit_threshold: 2,
+                watermark: 512,
+            }));
+        let shard = config.split_across(4);
+        assert_eq!(shard.item_capacity_per_tier, 8);
+        assert_eq!(shard.correlation_capacity_per_tier, 16);
+        let Admission::Doorkeeper(dk) = &shard.admission else {
+            panic!("admission policy lost in split");
+        };
+        assert_eq!(dk.counters, 1024);
+        assert_eq!(dk.admit_threshold, 2);
+        // Over-sharding floors at one, never zero.
+        let tiny = config.split_across(1 << 20);
+        assert_eq!(tiny.item_capacity_per_tier, 1);
+        let Admission::Doorkeeper(dk) = &tiny.admission else {
+            panic!("admission policy lost in split");
+        };
+        assert_eq!(dk.counters, 1);
+    }
+
+    #[test]
+    fn table_memory_bytes_includes_doorkeeper() {
+        let plain = OnlineAnalyzer::new(AnalyzerConfig::with_capacity(16));
+        let gated = OnlineAnalyzer::new(doorkeeper_config(2).item_capacity(16));
+        assert!(plain.doorkeeper().is_none());
+        let sketch_bytes = gated.doorkeeper().unwrap().memory_bytes();
+        assert!(sketch_bytes >= 1024 / 2);
+        assert_eq!(
+            gated.table_memory_bytes(),
+            plain.table_memory_bytes() + sketch_bytes
+        );
+    }
+
+    #[test]
+    fn clear_resets_doorkeeper_counters() {
+        let mut an = OnlineAnalyzer::new(doorkeeper_config(2));
+        an.process(&txn(&[e(1, 1), e(2, 1)]));
+        assert!(an.doorkeeper().unwrap().insertions_since_halving() > 0);
+        an.clear();
+        assert_eq!(an.doorkeeper().unwrap().insertions_since_halving(), 0);
+        // After the wipe the pair must re-earn admission from scratch.
+        an.process(&txn(&[e(1, 1), e(2, 1)]));
+        assert_eq!(an.correlation_table().len(), 0);
     }
 
     #[test]

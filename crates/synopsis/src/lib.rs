@@ -48,7 +48,8 @@ mod snapshot;
 mod table;
 
 pub use analyzer::{
-    AnalyzerConfig, AnalyzerStats, OnlineAnalyzer, Snapshot, ITEM_ENTRY_BYTES, PAIR_ENTRY_BYTES,
+    Admission, AnalyzerConfig, AnalyzerStats, DoorkeeperConfig, OnlineAnalyzer, Snapshot,
+    ITEM_ENTRY_BYTES, PAIR_ENTRY_BYTES,
 };
 pub use reference::ReferenceAnalyzer;
 pub use sharded::{shard_of_extent, shard_of_pair, ShardedAnalyzer};

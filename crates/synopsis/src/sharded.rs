@@ -98,18 +98,17 @@ pub struct ShardedAnalyzer {
 }
 
 impl ShardedAnalyzer {
-    /// Creates `shard_count` shards, each with `1/shard_count`-th of
-    /// `config`'s per-tier capacities (at least 1).
+    /// Creates `shard_count` shards, each configured by
+    /// [`AnalyzerConfig::split_across`]: `1/shard_count`-th of the
+    /// per-tier capacities (at least 1), and of the admission
+    /// doorkeeper's counters when admission is on.
     ///
     /// # Panics
     ///
     /// Panics if `shard_count == 0`.
     pub fn new(config: AnalyzerConfig, shard_count: usize) -> Self {
         assert!(shard_count > 0, "need at least one shard");
-        let mut shard_config = config.clone();
-        shard_config.item_capacity_per_tier = (config.item_capacity_per_tier / shard_count).max(1);
-        shard_config.correlation_capacity_per_tier =
-            (config.correlation_capacity_per_tier / shard_count).max(1);
+        let shard_config = config.split_across(shard_count);
         let shards = (0..shard_count)
             .map(|_| OnlineAnalyzer::new(shard_config.clone()))
             .collect();
@@ -310,6 +309,7 @@ impl ShardedAnalyzer {
             let s = shard.stats();
             merged.extents += s.extents;
             merged.pairs += s.pairs;
+            merged.pair_rejections += s.pair_rejections;
             merged.correlated_demotions += s.correlated_demotions;
         }
         merged.transactions = self
@@ -327,6 +327,12 @@ impl ShardedAnalyzer {
     /// [`frequent_pairs`](ShardedAnalyzer::frequent_pairs) are
     /// count-identical to never having resized; see the snapshot
     /// module docs for the item-tally caveat.
+    ///
+    /// Admission doorkeepers are **reset** by a reshard: the fresh
+    /// shards start with zeroed sketches (approximate recent-frequency
+    /// state has no meaningful cross-partition redistribution), so
+    /// not-yet-admitted pairs re-earn admission while already-stored
+    /// pairs keep their tallies — table counts stay monotone.
     ///
     /// # Panics
     ///

@@ -114,6 +114,7 @@ impl SynopsisSnapshot {
             let s = shard.stats();
             stats.extents += s.extents;
             stats.pairs += s.pairs;
+            stats.pair_rejections += s.pair_rejections;
             stats.correlated_demotions += s.correlated_demotions;
         }
         // Broadcast-fed and sequential shards each count every
@@ -135,9 +136,18 @@ impl SynopsisSnapshot {
     }
 
     /// Builds `shard_count` fresh shards seeded from this snapshot,
-    /// each sized to `1/shard_count`-th of `config`'s per-tier
-    /// capacities (the same equal-aggregate-memory division as
-    /// [`ShardedAnalyzer::new`](crate::ShardedAnalyzer::new)).
+    /// each configured by [`AnalyzerConfig::split_across`] — the same
+    /// equal-aggregate-memory division as
+    /// [`ShardedAnalyzer::new`](crate::ShardedAnalyzer::new).
+    ///
+    /// Admission doorkeepers are **reset**, not carried: each fresh
+    /// shard starts with a zeroed sketch sized for the new shard
+    /// count. A sketch's counters are keyed by the old partition's
+    /// traffic and have no meaningful redistribution onto a different
+    /// topology, so the explicit contract is reset-on-reshard —
+    /// already-stored pairs keep their seeded tallies (table counts
+    /// stay monotone through a resize), while pairs still below the
+    /// admission threshold re-earn admission afterwards.
     ///
     /// Every pair is seeded onto the shard owning its hash under the
     /// *new* count — where future hash-routed records for it will land
@@ -155,10 +165,7 @@ impl SynopsisSnapshot {
     /// Panics if `shard_count == 0`.
     pub fn reseed(&self, config: &AnalyzerConfig, shard_count: usize) -> Vec<OnlineAnalyzer> {
         assert!(shard_count > 0, "need at least one shard to reseed");
-        let mut shard_config = config.clone();
-        shard_config.item_capacity_per_tier = (config.item_capacity_per_tier / shard_count).max(1);
-        shard_config.correlation_capacity_per_tier =
-            (config.correlation_capacity_per_tier / shard_count).max(1);
+        let shard_config = config.split_across(shard_count);
         let mut shards: Vec<OnlineAnalyzer> = (0..shard_count)
             .map(|_| OnlineAnalyzer::new(shard_config.clone()))
             .collect();
@@ -422,6 +429,54 @@ mod tests {
                 assert!(table.contains(&first));
             }
         }
+    }
+
+    #[test]
+    fn reshard_resets_doorkeeper_but_keeps_counts_monotone() {
+        use crate::analyzer::{Admission, DoorkeeperConfig};
+
+        // The explicit reset-on-reshard contract: stored pairs carry
+        // their tallies across the resize (count monotonicity), fresh
+        // shards start with zeroed sketches, and a pair still below the
+        // admission threshold re-earns admission afterwards.
+        let config = AnalyzerConfig::with_capacity(1024).admission(Admission::Doorkeeper(
+            DoorkeeperConfig {
+                counters: 4096,
+                admit_threshold: 2,
+                watermark: u64::MAX,
+            },
+        ));
+        let mut sharded = ShardedAnalyzer::new(config.clone(), 2);
+        let admitted = txn(&[e(1, 1), e(2, 1)]);
+        let pending = txn(&[e(50, 1), e(60, 1)]);
+        for _ in 0..4 {
+            sharded.process(&admitted);
+        }
+        sharded.process(&pending); // one sighting: rejected, sketch = 1
+        let before = sharded.frequent_pairs(1);
+        assert_eq!(before.len(), 1);
+        let tally_before = before[0].1;
+        // Each pair's first sighting was rejected (sketch bumped to 1).
+        assert_eq!(sharded.stats().pair_rejections, 2);
+
+        let mut resharded = sharded.resharded(4);
+        // Stored tallies survive; nothing shrank.
+        assert_eq!(resharded.frequent_pairs(1), before);
+        // Sketches are fresh: zero counters, watermark progress reset.
+        for shard in resharded.shards() {
+            let dk = shard.doorkeeper().expect("admission survived the split");
+            assert_eq!(dk.insertions_since_halving(), 0);
+        }
+        // The pending pair lost its single sketch sighting and must
+        // re-earn admission: one sighting is again not enough...
+        resharded.process(&pending);
+        assert_eq!(resharded.frequent_pairs(1).len(), 1);
+        // ... while the admitted pair keeps counting monotonically.
+        resharded.process(&admitted);
+        assert_eq!(resharded.frequent_pairs(1)[0].1, tally_before + 1);
+        // ... and a second post-reshard sighting admits the pending pair.
+        resharded.process(&pending);
+        assert_eq!(resharded.frequent_pairs(1).len(), 2);
     }
 
     #[test]

@@ -65,6 +65,10 @@ pub struct TableStats {
     /// Entries demoted (T2→T1 overflow demotions and explicit
     /// [`TwoTierTable::demote`] calls).
     pub demotions: u64,
+    /// Lookups of absent keys the admission filter turned away before
+    /// an entry was created ([`TwoTierTable::record_filtered`] only —
+    /// plain [`record`](TwoTierTable::record) never rejects).
+    pub rejections: u64,
 }
 
 /// What happened during a [`TwoTierTable::record`] call.
@@ -180,6 +184,24 @@ impl<K: Eq + Hash + Clone, S: BuildHasher + Default> TwoTierTable<K, S> {
     /// both the hit path (was `get` + slab borrows) and the miss path
     /// (was `get` + `insert`).
     pub fn record(&mut self, key: K) -> Record<K> {
+        self.record_filtered(key, || true)
+            .expect("unconditional admission cannot reject")
+    }
+
+    /// Like [`record`](TwoTierTable::record), but consults `admit`
+    /// before creating an entry: the closure runs only on the miss
+    /// path (the key is absent), and a `false` return leaves the table
+    /// untouched — counted in [`TableStats::rejections`] — and yields
+    /// `None`.
+    ///
+    /// This is the pre-admission entry of the doorkeeper-filtered
+    /// analyzer (DESIGN.md §14): `admit` bumps the frequency sketch
+    /// and reports whether the estimate crossed the admission
+    /// threshold, so one-shot tail keys never consume a table slot.
+    /// The hit path is bit-identical to `record` — present keys never
+    /// pay for admission — and both paths still perform a single hash
+    /// probe of the index.
+    pub fn record_filtered(&mut self, key: K, admit: impl FnOnce() -> bool) -> Option<Record<K>> {
         match self.index.entry(key) {
             Entry::Occupied(entry) => {
                 let idx = *entry.get();
@@ -195,12 +217,12 @@ impl<K: Eq + Hash + Clone, S: BuildHasher + Default> TwoTierTable<K, S> {
                     Self::push_front(&mut self.nodes, &mut self.t2, idx);
                     self.stats.promotions += 1;
                     let evicted = self.rebalance_after_promotion();
-                    Record {
+                    Some(Record {
                         hit: true,
                         tier: Tier::T2,
                         tally,
                         evicted,
-                    }
+                    })
                 } else {
                     // Refresh recency within the current tier.
                     let list = match tier {
@@ -209,15 +231,19 @@ impl<K: Eq + Hash + Clone, S: BuildHasher + Default> TwoTierTable<K, S> {
                     };
                     Self::unlink(&mut self.nodes, list, idx);
                     Self::push_front(&mut self.nodes, list, idx);
-                    Record {
+                    Some(Record {
                         hit: true,
                         tier,
                         tally,
                         evicted: None,
-                    }
+                    })
                 }
             }
             Entry::Vacant(entry) => {
+                if !admit() {
+                    self.stats.rejections += 1;
+                    return None;
+                }
                 self.stats.misses += 1;
                 let node = Node {
                     key: entry.key().clone(),
@@ -246,12 +272,12 @@ impl<K: Eq + Hash + Clone, S: BuildHasher + Default> TwoTierTable<K, S> {
                 } else {
                     None
                 };
-                Record {
+                Some(Record {
                     hit: false,
                     tier: Tier::T1,
                     tally: 1,
                     evicted,
-                }
+                })
             }
         }
     }
@@ -434,6 +460,19 @@ impl<K: Eq + Hash + Clone, S: BuildHasher + Default> TwoTierTable<K, S> {
     /// The promotion threshold this table was built with.
     pub fn promote_threshold(&self) -> u32 {
         self.promote_threshold
+    }
+
+    /// Capacity-based memory footprint: one hash-index slot (key +
+    /// slab index) and one intrusive slab node per entry, at the
+    /// configured capacity. This is what the table's own structures
+    /// cost (excluding the map's load-factor headroom) — the honest
+    /// figure the fig15/admission equal-memory budgets are computed
+    /// from, replacing the old hand-derived per-entry constants.
+    pub fn memory_bytes(&self) -> usize {
+        let per_entry = std::mem::size_of::<K>()
+            + std::mem::size_of::<usize>()
+            + std::mem::size_of::<Node<K>>();
+        (self.t1_capacity + self.t2_capacity) * per_entry
     }
 
     /// Lifetime behaviour counters.
@@ -847,6 +886,55 @@ mod tests {
         assert_eq!(u.tally(&7), Some(1));
         t.check_invariants();
         u.check_invariants();
+    }
+
+    #[test]
+    fn record_filtered_rejects_only_absent_keys() {
+        let mut t = TwoTierTable::new(2, 2, 2);
+        // Absent + rejected: no entry, counted, nothing else moves.
+        assert_eq!(t.record_filtered(1, || false), None);
+        assert!(!t.contains(&1));
+        assert_eq!(t.stats().rejections, 1);
+        assert_eq!(t.stats().misses, 0);
+        // Absent + admitted: exactly a `record` miss.
+        let r = t.record_filtered(1, || true).unwrap();
+        assert!(!r.hit);
+        assert_eq!(t.tally(&1), Some(1));
+        // Present: the closure must not run; the hit path is intact.
+        let r = t
+            .record_filtered(1, || panic!("admission ran on a hit"))
+            .unwrap();
+        assert!(r.hit);
+        assert_eq!(r.tier, Tier::T2); // promoted at tally 2
+        assert_eq!(t.stats().rejections, 1);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn record_filtered_with_true_matches_record() {
+        let mut plain = TwoTierTable::new(2, 2, 2);
+        let mut filtered = TwoTierTable::new(2, 2, 2);
+        for k in [1u32, 2, 1, 3, 4, 1, 2, 5] {
+            let a = plain.record(k);
+            let b = filtered.record_filtered(k, || true).unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(plain.stats(), filtered.stats());
+        plain.check_invariants();
+        filtered.check_invariants();
+    }
+
+    #[test]
+    fn memory_bytes_is_capacity_based() {
+        let t = TwoTierTable::<u64>::new(100, 28, 2);
+        let per_entry = std::mem::size_of::<u64>()
+            + std::mem::size_of::<usize>()
+            + std::mem::size_of::<Node<u64>>();
+        assert_eq!(t.memory_bytes(), 128 * per_entry);
+        // Contents don't change the configured footprint.
+        let mut u = TwoTierTable::<u64>::new(100, 28, 2);
+        u.record(7);
+        assert_eq!(u.memory_bytes(), t.memory_bytes());
     }
 
     #[test]

@@ -30,12 +30,14 @@
 
 mod dist;
 mod fit;
+mod longtail;
 mod msr;
 mod skewed;
 mod synthetic;
 
 pub use dist::{sample_exponential, Pcg32, SampleRange, Zipf};
 pub use fit::WorkloadFit;
+pub use longtail::{LongTailSpec, LongTailWorkload};
 pub use msr::{MsrProfile, MsrServer, PaperReference};
 pub use skewed::{SkewedSpec, SkewedWorkload};
 pub use synthetic::{

@@ -1,0 +1,251 @@
+//! A long-tail pair workload: a Zipf-ranked *working set* of recurring
+//! pairs buried in a stream of one-shot tail pairs drawn from a
+//! keyspace far larger than any synopsis table.
+//!
+//! This is the production-keyspace shape that motivates the admission
+//! doorkeeper (DESIGN.md §14): with admission off, every one-shot tail
+//! pair costs a full correlation-table entry — inserted, indexed, then
+//! evicted — displacing the recurring pairs the synopsis exists to
+//! find. The generator hands back exact per-pair ground-truth counts so
+//! top-k recall can be judged without re-scanning the stream.
+//!
+//! # Examples
+//!
+//! ```
+//! use rtdac_workloads::LongTailSpec;
+//!
+//! let w = LongTailSpec::new().transactions(2_000).seed(7).generate();
+//! assert_eq!(w.transactions.len(), 2_000);
+//! // Roughly half the stream is one-shot tail pairs by default.
+//! assert!(w.tail_count > 800 && w.tail_count < 1_200);
+//! // Ground truth: the top-8 recurring pairs by true count.
+//! assert_eq!(w.top_k(8).len(), 8);
+//! ```
+
+use rtdac_types::{Extent, ExtentPair, Timestamp, Transaction};
+
+use crate::dist::{Pcg32, Zipf};
+
+/// Parameters of a long-tail workload: a fraction of transactions carry
+/// a fresh, never-repeating tail pair; the rest draw one of
+/// [`working_pairs`](LongTailSpec::working_pairs) recurring pairs from
+/// a Zipf rank distribution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LongTailSpec {
+    transactions: usize,
+    working_pairs: usize,
+    zipf_exponent: f64,
+    tail_fraction: f64,
+    interarrival_us: u64,
+    seed: u64,
+}
+
+impl Default for LongTailSpec {
+    fn default() -> Self {
+        LongTailSpec::new()
+    }
+}
+
+impl LongTailSpec {
+    /// The default shape: half the stream is one-shot tail pairs, the
+    /// other half draws from 512 Zipf(1.0)-ranked working pairs.
+    pub fn new() -> Self {
+        LongTailSpec {
+            transactions: 10_000,
+            working_pairs: 512,
+            zipf_exponent: 1.0,
+            tail_fraction: 0.5,
+            interarrival_us: 100,
+            seed: 0x7a11,
+        }
+    }
+
+    /// Number of transactions to generate.
+    pub fn transactions(mut self, n: usize) -> Self {
+        self.transactions = n;
+        self
+    }
+
+    /// Number of recurring working-set pairs (default 512).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn working_pairs(mut self, n: usize) -> Self {
+        assert!(n > 0, "need at least one working pair");
+        self.working_pairs = n;
+        self
+    }
+
+    /// Zipf exponent ranking the working pairs (default 1.0).
+    pub fn zipf_exponent(mut self, s: f64) -> Self {
+        self.zipf_exponent = s;
+        self
+    }
+
+    /// Fraction of transactions carrying a fresh one-shot tail pair
+    /// instead of a working pair (default 0.5).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= f <= 1.0`.
+    pub fn tail_fraction(mut self, f: f64) -> Self {
+        assert!((0.0..=1.0).contains(&f), "tail fraction must be in [0, 1]");
+        self.tail_fraction = f;
+        self
+    }
+
+    /// RNG seed; the workload is fully deterministic per seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the workload.
+    pub fn generate(&self) -> LongTailWorkload {
+        let mut rng = Pcg32::seed_from_u64(self.seed);
+        let zipf = Zipf::new(self.working_pairs, self.zipf_exponent);
+
+        // Disjoint block regions: the working set low, the tail high —
+        // a fresh pair of blocks per tail transaction, so no tail pair
+        // (nor any extent of one) ever recurs.
+        let working: Vec<ExtentPair> = (0..self.working_pairs as u64)
+            .map(|k| pair_at(1_000_000 + 16 * k, 2_000_000 + 16 * k))
+            .collect();
+        let mut true_counts = vec![0u64; self.working_pairs];
+        let mut next_tail_block = 1_000_000_000u64;
+
+        let mut transactions = Vec::with_capacity(self.transactions);
+        let mut tail_count = 0usize;
+        let mut now = 0u64;
+        for _ in 0..self.transactions {
+            let pair = if rng.gen_bool(self.tail_fraction) {
+                tail_count += 1;
+                let pair = pair_at(next_tail_block, next_tail_block + 16);
+                next_tail_block += 32;
+                pair
+            } else {
+                let rank = zipf.sample(&mut rng);
+                true_counts[rank] += 1;
+                working[rank]
+            };
+            transactions.push(Transaction::from_extents(
+                Timestamp::from_micros(now),
+                [pair.first(), pair.second()],
+            ));
+            now += self.interarrival_us;
+        }
+
+        LongTailWorkload {
+            transactions,
+            working_pairs: working,
+            true_counts,
+            tail_count,
+        }
+    }
+}
+
+/// Builds the extent pair anchored at blocks `a` and `b`.
+fn pair_at(a: u64, b: u64) -> ExtentPair {
+    ExtentPair::new(
+        Extent::new(a, 8).expect("nonzero length"),
+        Extent::new(b, 8).expect("nonzero length"),
+    )
+    .expect("distinct extents")
+}
+
+/// A generated long-tail workload plus its exact ground truth.
+#[derive(Clone, Debug)]
+pub struct LongTailWorkload {
+    /// The transaction stream, in timestamp order.
+    pub transactions: Vec<Transaction>,
+    /// The recurring pairs, hottest Zipf rank first.
+    pub working_pairs: Vec<ExtentPair>,
+    /// Exact occurrence count of each working pair, by rank.
+    pub true_counts: Vec<u64>,
+    /// How many transactions carried a one-shot tail pair.
+    pub tail_count: usize,
+}
+
+impl LongTailWorkload {
+    /// The `k` working pairs with the highest *observed* counts (ties
+    /// by ascending rank) — the ground truth a synopsis' top-k
+    /// frequent-pair report is judged against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` exceeds the working-set size.
+    pub fn top_k(&self, k: usize) -> Vec<ExtentPair> {
+        assert!(k <= self.working_pairs.len(), "k exceeds the working set");
+        let mut ranked: Vec<usize> = (0..self.working_pairs.len()).collect();
+        ranked.sort_by(|&a, &b| {
+            self.true_counts[b]
+                .cmp(&self.true_counts[a])
+                .then_with(|| a.cmp(&b))
+        });
+        ranked[..k].iter().map(|&r| self.working_pairs[r]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = LongTailSpec::new().transactions(500).seed(5).generate();
+        let b = LongTailSpec::new().transactions(500).seed(5).generate();
+        assert_eq!(a.transactions, b.transactions);
+        let c = LongTailSpec::new().transactions(500).seed(6).generate();
+        assert_ne!(a.transactions, c.transactions);
+    }
+
+    #[test]
+    fn tail_pairs_never_repeat() {
+        let w = LongTailSpec::new()
+            .transactions(5_000)
+            .tail_fraction(1.0)
+            .seed(13)
+            .generate();
+        assert_eq!(w.tail_count, 5_000);
+        let mut seen = std::collections::HashSet::new();
+        for t in &w.transactions {
+            for item in t.items() {
+                assert!(seen.insert(item.extent), "tail extent repeated");
+            }
+        }
+    }
+
+    #[test]
+    fn true_counts_match_the_stream() {
+        let w = LongTailSpec::new().transactions(20_000).seed(3).generate();
+        assert_eq!(
+            w.true_counts.iter().sum::<u64>() as usize + w.tail_count,
+            20_000
+        );
+        // Re-count rank 0 by scanning the stream.
+        let hot = w.working_pairs[0];
+        let scanned = w
+            .transactions
+            .iter()
+            .filter(|t| t.items()[0].extent == hot.first() && t.items()[1].extent == hot.second())
+            .count() as u64;
+        assert_eq!(scanned, w.true_counts[0]);
+    }
+
+    #[test]
+    fn top_k_is_ordered_by_true_count() {
+        let w = LongTailSpec::new().transactions(50_000).seed(9).generate();
+        let top = w.top_k(16);
+        assert_eq!(top.len(), 16);
+        // Zipf rank 0 dominates a 50 K-transaction sample.
+        assert_eq!(top[0], w.working_pairs[0]);
+        let count_of = |pair: &ExtentPair| {
+            let rank = w.working_pairs.iter().position(|p| p == pair).unwrap();
+            w.true_counts[rank]
+        };
+        for pair in top.windows(2) {
+            assert!(count_of(&pair[0]) >= count_of(&pair[1]));
+        }
+    }
+}

@@ -23,14 +23,19 @@ echo "==> ingestion throughput harness (smoke mode, incl. resize gate)"
 # exits nonzero when acceptance fails — under --smoke only the
 # correctness criteria gate: exact frequent pairs under hot-pair
 # splitting, under a scripted mid-stream grow + shrink of the elastic
-# stage pools, and under the adaptive controller's own resizes; plus
-# the from_disk sweep's streaming-reader event-exactness (blktrace at
+# stage pools, and under the adaptive controller's own resizes; the
+# from_disk sweep's streaming-reader event-exactness (blktrace at
 # default and odd chunk sizes, columnar, CSV — all vs the
 # materializing oracles) and the columnar <= 0.5x blktrace size
-# ceiling. Timing criteria (including adaptive convergence and the
-# columnar-decode-outpaces-pipeline gate) are skipped because a tiny
-# stream on a shared CI core measures noise. set -e turns that exit
-# into a build failure.
+# ceiling; and the admission sweep's correctness half — defaulted
+# config bit-exact with explicit Admission::Off, doorkeeper and
+# ungated contenders at byte parity, and the doorkeeper actually
+# rejecting. Timing criteria (including adaptive convergence, the
+# columnar-decode-outpaces-pipeline gate, and the admission sweep's
+# equal-memory recall-beats-unfiltered + throughput-holds gate) apply
+# in full runs only (cargo run --release -p rtdac-bench --bin
+# ingest_throughput) because a tiny stream on a shared CI core
+# measures noise. set -e turns that exit into a build failure.
 RTDAC_BENCH_OUT="${TMPDIR:-/tmp}/BENCH_ingest_smoke.json" \
     cargo run --release --offline -p rtdac-bench --bin ingest_throughput -- --smoke
 
