@@ -44,13 +44,20 @@ fn analyzer_unit_bytes() -> usize {
 
 /// Analyzer config whose measured footprint fills `budget`, spending
 /// at most `doorkeeper_bytes` of it on an admission sketch (0 =
-/// admission off). The sketch rounds *down* to a power-of-two count of
-/// 64-byte blocks — never exceeding its slice — and the tables are
-/// sized from whatever the sketch actually left over.
+/// admission off) and reserving `live_bytes` for the reader-side
+/// live-query structures (the `LiveView` mirrors plus the circulating
+/// delta buffers; 0 = no live view). The sketch rounds *down* to a
+/// power-of-two count of 64-byte blocks — never exceeding its slice —
+/// and the tables are sized from whatever the sketch and the live
+/// reservation actually left over.
 ///
-/// Shared with the `ingest_throughput` admission sweep so both
-/// harnesses size contenders identically.
-pub fn analyzer_config_for(budget: usize, doorkeeper_bytes: usize) -> AnalyzerConfig {
+/// Shared with the `ingest_throughput` admission and query-load sweeps
+/// so every harness sizes contenders identically.
+pub fn analyzer_config_for(
+    budget: usize,
+    doorkeeper_bytes: usize,
+    live_bytes: usize,
+) -> AnalyzerConfig {
     let sketch_bytes = if doorkeeper_bytes == 0 {
         0
     } else {
@@ -62,7 +69,7 @@ pub fn analyzer_config_for(budget: usize, doorkeeper_bytes: usize) -> AnalyzerCo
         };
         blocks * 64
     };
-    let capacity = (budget - sketch_bytes) / analyzer_unit_bytes();
+    let capacity = budget.saturating_sub(sketch_bytes + live_bytes) / analyzer_unit_bytes();
     let config = AnalyzerConfig::with_capacity(capacity.max(1));
     if sketch_bytes == 0 {
         return config;
@@ -79,10 +86,10 @@ fn run_contenders(txns: &[Transaction], budget: usize) -> Vec<Contender> {
     // Every contender is sized from its *measured* per-entry costs
     // (`memory_bytes` accessors over the real types), not an assumed
     // bytes-per-entry model.
-    let mut analyzer = OnlineAnalyzer::new(analyzer_config_for(budget, 0));
+    let mut analyzer = OnlineAnalyzer::new(analyzer_config_for(budget, 0, 0));
     // Doorkeeper variant: 1/8 of the budget on the admission sketch,
     // the rest on (correspondingly fewer) table entries.
-    let mut gated = OnlineAnalyzer::new(analyzer_config_for(budget, budget / 8));
+    let mut gated = OnlineAnalyzer::new(analyzer_config_for(budget, budget / 8, 0));
     let pair_entry = std::mem::size_of::<ExtentPair>() + std::mem::size_of::<SsCounter>();
     let mut ss = SpaceSavingPairMiner::new(budget / pair_entry);
     // Count-Min + candidates: half the budget each, depth 4.
@@ -269,7 +276,7 @@ pub fn run(ctx: &ExpContext) -> String {
     );
     outln!(out, "{:<22} {:>8} {:>10}", "admission", "bytes", "recall");
     for (name, doorkeeper_bytes) in [("off", 0usize), ("doorkeeper", lt_budget / 8)] {
-        let mut analyzer = OnlineAnalyzer::new(analyzer_config_for(lt_budget, doorkeeper_bytes));
+        let mut analyzer = OnlineAnalyzer::new(analyzer_config_for(lt_budget, doorkeeper_bytes, 0));
         for txn in &workload.transactions {
             analyzer.process(txn);
         }

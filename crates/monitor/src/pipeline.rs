@@ -83,6 +83,29 @@
 //! high-water marks and the per-stage busy split that
 //! [`PipelineStats`] now exposes (see [`PipelineConfig::adaptive`]).
 //!
+//! # Quiesce-free live queries
+//!
+//! With [`PipelineConfig::publish_interval`] set, every shard worker
+//! publishes an incremental state delta
+//! ([`ShardDelta`](rtdac_synopsis::ShardDelta)) at epoch boundaries —
+//! every N dispatched batches — into preallocated buffers that
+//! circulate through a pair of SPSC rings per shard, exactly like the
+//! router's recycled `WorkList`s: the worker takes an empty buffer
+//! from its return ring, extracts the delta, stamps the epoch (the
+//! cumulative batch count, monotone across resizes) and ships it;
+//! [`IngestPipeline::poll_live`] folds shipped deltas into a
+//! [`LiveView`](rtdac_synopsis::LiveView) on the caller's thread and
+//! recycles the buffers. Shard workers never wait on the reader: if no
+//! buffer is back yet the publish is deferred to the next work item
+//! (counted in [`PipelineStats::epoch_publish_skips`]; the eventual
+//! delta covers the merged interval). The view is bit-exact to a
+//! quiesced snapshot at its epoch's batch boundary and lags the ingest
+//! frontier by at most one publish interval once in-flight deltas are
+//! folded — see DESIGN.md §15 for the protocol and its memory-ordering
+//! argument. Resizes compose: quiesce drains in-flight deltas into the
+//! view, and a shard-count change re-primes fresh mirrors from the
+//! re-seeded tables before the new pool spawns.
+//!
 //! [`IngestPipeline::finish`] flushes the monitor and the open batch,
 //! quiesces the pool the same way and reassembles the shards into a
 //! [`ShardedAnalyzer`](rtdac_synopsis::ShardedAnalyzer) for querying —
@@ -130,8 +153,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use rtdac_synopsis::{AnalyzerConfig, OnlineAnalyzer, ShardedAnalyzer, SynopsisSnapshot};
-use rtdac_types::{router_for_batch, IoEvent, Topology, Transaction};
+use rtdac_synopsis::{
+    AnalyzerConfig, LiveView, OnlineAnalyzer, ShardDelta, ShardedAnalyzer, SynopsisSnapshot,
+};
+use rtdac_types::{router_for_batch, Epoch, IoEvent, Topology, Transaction};
 
 use crate::controller::{AdaptiveController, ControllerConfig, WindowSample};
 use crate::monitor::{Monitor, MonitorConfig};
@@ -187,6 +212,16 @@ pub struct PipelineConfig {
     /// the topology fixed unless [`IngestPipeline::resize`] is called.
     /// Requires routed dispatch.
     pub controller: Option<ControllerConfig>,
+    /// Epoch length for live-query publishing, in dispatched batches:
+    /// every shard worker publishes a state delta toward the
+    /// [`LiveView`] each time this many batches have been applied.
+    /// `0` (the default) disables publishing entirely — no rings, no
+    /// buffers, no per-batch overhead.
+    pub publish_interval_batches: usize,
+    /// Delta buffers circulating per shard when publishing is enabled
+    /// (default 2: one in flight, one being refilled). More buffers
+    /// tolerate a slower reader before publishes start merging epochs.
+    pub publish_buffers: usize,
 }
 
 impl PipelineConfig {
@@ -206,6 +241,8 @@ impl PipelineConfig {
             ring_capacity: 64,
             dispatch: Dispatch::default(),
             controller: None,
+            publish_interval_batches: 0,
+            publish_buffers: 2,
         }
     }
 
@@ -262,6 +299,25 @@ impl PipelineConfig {
     /// the stage pool at batch boundaries.
     pub fn adaptive(mut self, controller: ControllerConfig) -> Self {
         self.controller = Some(controller);
+        self
+    }
+
+    /// Enables live-query publishing with an epoch every `batches`
+    /// dispatched batches (`0` disables it).
+    pub fn publish_interval(mut self, batches: usize) -> Self {
+        self.publish_interval_batches = batches;
+        self
+    }
+
+    /// Sets the number of delta buffers circulating per shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buffers == 0` (the publish path needs at least one
+    /// buffer in circulation).
+    pub fn publish_buffers(mut self, buffers: usize) -> Self {
+        assert!(buffers > 0, "need at least one delta buffer");
+        self.publish_buffers = buffers;
         self
     }
 }
@@ -338,8 +394,16 @@ pub struct PipelineStats {
     /// waits excluded) since the last resize. The busy half of the
     /// shard stage's busy/stall split; the stall side of a slow shard
     /// shows up as its ring high-water mark and the producers' stall
-    /// counters.
+    /// counters. With publishing enabled, delta extraction is part of
+    /// the service time (it runs inside the worker's timed window).
     pub shard_busy_nanos: Vec<u64>,
+    /// Epoch deltas published by shard workers toward the live view
+    /// (cumulative across resizes; zero with publishing disabled).
+    pub epoch_publishes: u64,
+    /// Publish ticks that found no recycled delta buffer — the reader
+    /// was behind, so the epoch was merged into the next publish
+    /// instead of blocking the worker (cumulative across resizes).
+    pub epoch_publish_skips: u64,
 }
 
 /// One applied resize: when, from what, to what, and how long the
@@ -393,6 +457,10 @@ struct PoolCounters {
     router_busy_nanos: Vec<AtomicU64>,
     /// Per shard: cumulative busy (service) nanoseconds this epoch.
     shard_busy_nanos: Vec<AtomicU64>,
+    /// Deltas published toward the live view this pool epoch.
+    epoch_publishes: AtomicU64,
+    /// Publish ticks deferred for lack of a recycled buffer.
+    epoch_publish_skips: AtomicU64,
 }
 
 impl PoolCounters {
@@ -410,6 +478,8 @@ impl PoolCounters {
             batch_ring_high: zeros(router_slots),
             router_busy_nanos: zeros(router_slots),
             shard_busy_nanos: zeros(shard_count),
+            epoch_publishes: AtomicU64::new(0),
+            epoch_publish_skips: AtomicU64::new(0),
         }
     }
 }
@@ -551,6 +621,12 @@ struct StagePool {
     prev_router_busy: Vec<u64>,
     /// Cumulative busy nanos at the last window sample, per shard.
     prev_shard_busy: Vec<u64>,
+    /// Per shard, publishing only: published deltas flowing to the
+    /// reader ([`IngestPipeline::poll_live`] drains these).
+    delta_rx: Vec<spsc::Receiver<Box<ShardDelta>>>,
+    /// Per shard, publishing only: recycled delta buffers flowing back
+    /// to the worker.
+    buf_tx: Vec<spsc::Sender<Box<ShardDelta>>>,
 }
 
 impl StagePool {
@@ -559,10 +635,14 @@ impl StagePool {
     /// construction, re-seeded ones after a resize). Every return ring
     /// is prefilled to the forward bound so the pool is allocation-free
     /// from its very first batch.
+    /// `epoch_base` is the pipeline's cumulative batch count at spawn:
+    /// worker batch counters restart each pool epoch, so published
+    /// epochs are offset by the base to stay monotone across resizes.
     fn spawn(
         shards: Vec<OnlineAnalyzer>,
         pipeline_config: &PipelineConfig,
         analyzer_config: &AnalyzerConfig,
+        epoch_base: u64,
     ) -> Self {
         let shard_count = shards.len();
         debug_assert_eq!(shard_count, pipeline_config.shard_count);
@@ -601,8 +681,34 @@ impl StagePool {
         let mut ret_rx: Vec<Vec<spsc::Receiver<WorkList>>> = (0..feeders)
             .map(|_| Vec::with_capacity(shard_count))
             .collect();
+        let publish_interval = pipeline_config.publish_interval_batches as u64;
+        let mut delta_rx = Vec::new();
+        let mut buf_tx = Vec::new();
         let mut workers = Vec::with_capacity(shard_count);
         for (index, mut shard) in shards.into_iter().enumerate() {
+            // Delta publishing: one forward ring (worker → reader) and
+            // one return ring (reader → worker), with `publish_buffers`
+            // boxes circulating. Both rings hold the whole circulation,
+            // so neither side's try_send can ever fail — the worker
+            // never blocks on the reader and no delta is ever dropped.
+            let publish = (publish_interval > 0).then(|| {
+                shard.enable_delta_tracking();
+                let buffers = pipeline_config.publish_buffers;
+                let (d_tx, d_rx) = spsc::channel::<Box<ShardDelta>>(buffers);
+                let (b_tx, b_rx) = spsc::channel::<Box<ShardDelta>>(buffers);
+                for _ in 0..buffers {
+                    // Preallocated to the shard's hard delta bounds, so
+                    // extraction never grows a buffer mid-stream no
+                    // matter how many epochs merged while it was away.
+                    let mut buf = Box::<ShardDelta>::default();
+                    shard.preallocate_delta(&mut buf);
+                    let sent = b_tx.try_send(buf).is_ok();
+                    debug_assert!(sent, "buffer ring sized below its prefill");
+                }
+                delta_rx.push(d_rx);
+                buf_tx.push(b_tx);
+                (d_tx, b_rx)
+            });
             let mut rings = Vec::with_capacity(feeders);
             let mut returns = Vec::with_capacity(feeders);
             for feeder in 0..feeders {
@@ -635,6 +741,11 @@ impl StagePool {
                         // barrier the resize protocol drains to.
                         let feeders = rings.len();
                         let mut next = 0usize;
+                        // Publish cadence: batches applied this pool
+                        // epoch, plus whether an epoch tick is still
+                        // waiting for a recycled buffer.
+                        let mut batches = 0u64;
+                        let mut publish_due = false;
                         loop {
                             let ring = next % feeders;
                             let Some(work) = rings[ring].recv() else {
@@ -654,6 +765,37 @@ impl StagePool {
                                     // that filled it; a closed ring
                                     // (shutdown) just drops it.
                                     let _ = returns[ring].try_send(work);
+                                }
+                            }
+                            batches += 1;
+                            if let Some((delta_tx, buf_rx)) = publish.as_ref() {
+                                if batches.is_multiple_of(publish_interval) {
+                                    if publish_due {
+                                        // A whole interval passed with
+                                        // the reader still holding every
+                                        // buffer: this epoch merges into
+                                        // the next publish.
+                                        worker_counters
+                                            .epoch_publish_skips
+                                            .fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    publish_due = true;
+                                }
+                                if publish_due {
+                                    if let Some(mut buf) = buf_rx.try_recv() {
+                                        buf.clear();
+                                        shard.extract_delta(&mut buf);
+                                        buf.epoch = Epoch::new(epoch_base + batches);
+                                        let sent = delta_tx.try_send(buf).is_ok();
+                                        debug_assert!(
+                                            sent,
+                                            "delta ring sized below buffer circulation"
+                                        );
+                                        worker_counters
+                                            .epoch_publishes
+                                            .fetch_add(1, Ordering::Relaxed);
+                                        publish_due = false;
+                                    }
                                 }
                             }
                             worker_counters.shard_busy_nanos[index]
@@ -742,6 +884,8 @@ impl StagePool {
             highwater_fold: vec![0; shard_count],
             prev_router_busy: vec![0; router_slots],
             prev_shard_busy: vec![0; shard_count],
+            delta_rx,
+            buf_tx,
         }
     }
 
@@ -751,11 +895,16 @@ impl StagePool {
     /// closes the shard rings; shard workers apply everything and
     /// return their state. Routing-stage scalars are folded into
     /// `stats`' cumulative base; per-stage vectors die with the epoch.
-    fn quiesce(self, stats: &mut PipelineStats) -> Vec<OnlineAnalyzer> {
+    fn quiesce(
+        self,
+        stats: &mut PipelineStats,
+        live: Option<&mut LiveView>,
+    ) -> Vec<OnlineAnalyzer> {
         let StagePool {
             front_end,
             workers,
             counters,
+            delta_rx,
             ..
         } = self;
         match front_end {
@@ -780,10 +929,24 @@ impl StagePool {
                 stats.split_records += counters.split_records.load(Ordering::Relaxed);
             }
         }
-        workers
+        let shards: Vec<OnlineAnalyzer> = workers
             .into_iter()
             .map(|w| w.join().expect("shard worker panicked"))
-            .collect()
+            .collect();
+        stats.epoch_publishes += counters.epoch_publishes.load(Ordering::Relaxed);
+        stats.epoch_publish_skips += counters.epoch_publish_skips.load(Ordering::Relaxed);
+        // Fold deltas still in flight into the live view before the
+        // rings drop: after the joins every published delta is in its
+        // ring, so this drain is complete and the view loses nothing
+        // across a resize.
+        if let Some(view) = live {
+            for (shard, rx) in delta_rx.iter().enumerate() {
+                while let Some(delta) = rx.try_recv() {
+                    view.apply_delta(shard, &delta);
+                }
+            }
+        }
+        shards
     }
 
     /// Samples one controller window: swaps the ring high-water marks
@@ -852,6 +1015,10 @@ pub struct IngestPipeline {
     controller: Option<AdaptiveController>,
     stats: PipelineStats,
     resize_events: Vec<ResizeEvent>,
+    /// The merged live query view; `Some` iff publishing is enabled.
+    /// Survives router-only resizes; re-primed from the re-seeded
+    /// tables on a shard-count change.
+    live: Option<LiveView>,
 }
 
 impl IngestPipeline {
@@ -878,9 +1045,11 @@ impl IngestPipeline {
             &pipeline_config.dispatch,
             Dispatch::Routed { split: Some(_) }
         );
-        let shards = ShardedAnalyzer::new(analyzer_config.clone(), pipeline_config.shard_count)
+        let mut shards = ShardedAnalyzer::new(analyzer_config.clone(), pipeline_config.shard_count)
             .into_shards();
-        let pool = StagePool::spawn(shards, &pipeline_config, &analyzer_config);
+        let live = (pipeline_config.publish_interval_batches > 0)
+            .then(|| Self::prime_live(&mut shards, &analyzer_config, split_tallies, Epoch::ZERO));
+        let pool = StagePool::spawn(shards, &pipeline_config, &analyzer_config, 0);
         let controller = pipeline_config
             .controller
             .clone()
@@ -895,7 +1064,30 @@ impl IngestPipeline {
             controller,
             stats: PipelineStats::default(),
             resize_events: Vec::new(),
+            live,
         }
+    }
+
+    /// Enables delta tracking on every shard and folds each one's
+    /// initial delta (a full dump when the tables are non-empty — the
+    /// re-seed path) into a fresh [`LiveView`], so the view is exact
+    /// from the first poll rather than empty until the first publish.
+    fn prime_live(
+        shards: &mut [OnlineAnalyzer],
+        analyzer_config: &AnalyzerConfig,
+        split_tallies: bool,
+        epoch: Epoch,
+    ) -> LiveView {
+        let mut view = LiveView::new(analyzer_config, shards.len(), split_tallies);
+        let mut delta = ShardDelta::default();
+        for (index, shard) in shards.iter_mut().enumerate() {
+            shard.enable_delta_tracking();
+            delta.clear();
+            shard.extract_delta(&mut delta);
+            delta.epoch = epoch;
+            view.apply_delta(index, &delta);
+        }
+        view
     }
 
     /// Offers one block-layer event to the monitor; a completed
@@ -931,6 +1123,22 @@ impl IngestPipeline {
         if self.batch.is_empty() {
             return;
         }
+        self.dispatch_batch();
+    }
+
+    /// Dispatches an **empty** batch: advances the batch sequence — and
+    /// therefore the publish cadence — without carrying any
+    /// transactions. Lets a paused event stream reach its next epoch
+    /// boundary so shard workers get a work item to publish on (they
+    /// only tick between work items; an idle worker never publishes).
+    /// Shard state is unaffected: an empty batch routes empty work
+    /// lists and broadcasts an empty transaction slice.
+    pub fn heartbeat(&mut self) {
+        self.flush_batch();
+        self.dispatch_batch();
+    }
+
+    fn dispatch_batch(&mut self) {
         let pool = self.pool.as_mut().expect("pipeline already finished");
         let sequence = pool.sequence;
         pool.sequence += 1;
@@ -1047,6 +1255,47 @@ impl IngestPipeline {
         &self.monitor
     }
 
+    /// Folds every published shard delta into the live view and
+    /// recycles the buffers, then reports the view's consistency epoch
+    /// (the slowest shard's folded boundary). `None` when publishing is
+    /// disabled. Lock-free both ways: the drain is a `try_recv` loop
+    /// over the per-shard SPSC rings and the workers never wait on it.
+    pub fn poll_live(&mut self) -> Option<Epoch> {
+        let view = self.live.as_mut()?;
+        if let Some(pool) = self.pool.as_ref() {
+            for (shard, rx) in pool.delta_rx.iter().enumerate() {
+                while let Some(delta) = rx.try_recv() {
+                    view.apply_delta(shard, &delta);
+                    let returned = pool.buf_tx[shard].try_send(delta).is_ok();
+                    debug_assert!(returned, "buffer ring sized below circulation");
+                }
+            }
+        }
+        Some(view.epoch())
+    }
+
+    /// The live query view, as last folded by
+    /// [`poll_live`](IngestPipeline::poll_live). `None` when publishing
+    /// is disabled ([`PipelineConfig::publish_interval`]).
+    pub fn live_view(&self) -> Option<&LiveView> {
+        self.live.as_ref()
+    }
+
+    /// Mutable access to the live view — the allocation-free query
+    /// methods ([`LiveView::frequent_pairs_into`],
+    /// [`LiveView::top_pairs_into`]) reuse internal scratch and need
+    /// `&mut`.
+    pub fn live_view_mut(&mut self) -> Option<&mut LiveView> {
+        self.live.as_mut()
+    }
+
+    /// The ingest frontier: the epoch of the last dispatched batch.
+    /// `frontier_epoch() - poll_live()` (in publish intervals — see
+    /// [`Epoch::lag_intervals`]) is the view's staleness.
+    pub fn frontier_epoch(&self) -> Epoch {
+        Epoch::new(self.stats.batches)
+    }
+
     /// Front-end counters. Under inline routing the per-shard vectors
     /// reflect everything dispatched so far; under parallel routing
     /// they are eventually consistent (each router publishes after
@@ -1071,6 +1320,8 @@ impl IngestPipeline {
         stats.batch_ring_highwater = load(&counters.batch_ring_high);
         stats.router_busy_nanos = load(&counters.router_busy_nanos);
         stats.shard_busy_nanos = load(&counters.shard_busy_nanos);
+        stats.epoch_publishes += counters.epoch_publishes.load(Ordering::Relaxed);
+        stats.epoch_publish_skips += counters.epoch_publish_skips.load(Ordering::Relaxed);
         match &pool.front_end {
             FrontEnd::Broadcast { .. } => {}
             FrontEnd::Inline(routing) => {
@@ -1137,11 +1388,24 @@ impl IngestPipeline {
         let from = self.topology();
         let started = Instant::now();
         let pool = self.pool.take().expect("pipeline already finished");
-        let mut analyzers = pool.quiesce(&mut self.stats);
+        let mut analyzers = pool.quiesce(&mut self.stats, self.live.as_mut());
         let reseeded = shards != self.config.shard_count;
         if reseeded {
             let snapshot = SynopsisSnapshot::drain(analyzers);
             analyzers = snapshot.reseed(&self.analyzer_config, shards);
+            // The mirror set must match the new shard count: re-prime a
+            // fresh view from the re-seeded tables, so it stays exact
+            // (and warm) across the resize. A router-only resize keeps
+            // the view as-is — no table state moved, and the quiesce
+            // drain above already folded every in-flight delta.
+            if self.live.is_some() {
+                self.live = Some(Self::prime_live(
+                    &mut analyzers,
+                    &self.analyzer_config,
+                    self.split_tallies,
+                    Epoch::new(self.stats.batches),
+                ));
+            }
         }
         self.config.shard_count = shards;
         self.config.routers = routers;
@@ -1149,6 +1413,7 @@ impl IngestPipeline {
             analyzers,
             &self.config,
             &self.analyzer_config,
+            self.stats.batches,
         ));
         let nanos = started.elapsed().as_nanos() as u64;
         self.stats.resizes += 1;
@@ -1176,7 +1441,7 @@ impl IngestPipeline {
         }
         self.flush_batch();
         let pool = self.pool.take().expect("pipeline already finished");
-        let shards = pool.quiesce(&mut self.stats);
+        let shards = pool.quiesce(&mut self.stats, self.live.as_mut());
         if matches!(self.config.dispatch, Dispatch::Routed { .. }) {
             // Routed shards never count transactions; the front-end's
             // (cumulative) count is authoritative.
@@ -1531,6 +1796,145 @@ mod tests {
             PipelineConfig::with_shards(2).broadcast(),
         );
         pipeline.resize(4, 1);
+    }
+
+    /// Polls the live view until it covers `target`, issuing heartbeat
+    /// batches so idle workers get publish opportunities.
+    fn drain_live_to(pipeline: &mut IngestPipeline, target: Epoch) -> Epoch {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let epoch = pipeline.poll_live().expect("publishing enabled");
+            if epoch >= target {
+                return epoch;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "live view never reached {target}"
+            );
+            pipeline.heartbeat();
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    #[test]
+    fn live_view_matches_quiesced_snapshot() {
+        // A LiveView read must be bit-exact to a quiesced snapshot at
+        // the same boundary: feed identical pre-windowed transactions
+        // to a publishing pipeline and an oracle, drain the view to the
+        // ingest frontier, and compare against the oracle's quiesced
+        // capture — across dispatch modes and topologies, with tiny
+        // tables to force delta-visible eviction churn.
+        let monitor_config =
+            MonitorConfig::new(crate::WindowPolicy::Static(Duration::from_micros(100)));
+        let transactions = Monitor::new(monitor_config.clone()).into_transactions(events());
+        for dispatch in dispatch_modes() {
+            for (shards, routers) in [(1usize, 1usize), (2, 2), (4, 1)] {
+                let analyzer_config = AnalyzerConfig::with_capacity(64).item_capacity(32);
+                let build = |publish: usize| {
+                    IngestPipeline::new(
+                        monitor_config.clone(),
+                        analyzer_config.clone(),
+                        PipelineConfig::with_shards(shards)
+                            .routers(routers)
+                            .batch_size(16)
+                            .dispatch(dispatch.clone())
+                            .publish_interval(publish),
+                    )
+                };
+                let mut live = build(4);
+                let mut oracle = build(0);
+                assert!(oracle.poll_live().is_none());
+                assert!(oracle.live_view().is_none());
+                for t in &transactions {
+                    live.push_transaction(t.clone());
+                    oracle.push_transaction(t.clone());
+                }
+                live.flush_batch();
+                let target = live.frontier_epoch();
+                drain_live_to(&mut live, target);
+                let expected = SynopsisSnapshot::capture(oracle.finish().shards());
+                let view = live.live_view_mut().unwrap();
+                assert_eq!(
+                    view.snapshot(),
+                    expected,
+                    "{shards} shards, {routers} routers, {dispatch:?}"
+                );
+                let stats = live.stats();
+                assert!(stats.epoch_publishes >= shards as u64);
+                live.finish();
+            }
+        }
+    }
+
+    #[test]
+    fn live_view_survives_resizes() {
+        // Query-during-resize: the view must stay exact across a grow
+        // (re-seeded mirrors) and a router-only change (mirrors carried
+        // over), matching an oracle replaying the identical history.
+        let monitor_config =
+            MonitorConfig::new(crate::WindowPolicy::Static(Duration::from_micros(100)));
+        let analyzer_config = AnalyzerConfig::with_capacity(512);
+        let transactions = Monitor::new(monitor_config.clone()).into_transactions(events());
+        let build = |publish: usize| {
+            IngestPipeline::new(
+                monitor_config.clone(),
+                analyzer_config.clone(),
+                PipelineConfig::with_shards(2)
+                    .batch_size(8)
+                    .publish_interval(publish),
+            )
+        };
+        let mut live = build(2);
+        let mut oracle = build(0);
+        let third = transactions.len() / 3;
+        for (i, t) in transactions.iter().enumerate() {
+            if i == third {
+                assert!(live.resize(4, 2));
+                assert!(oracle.resize(4, 2));
+                // Immediately after a re-seeding resize the re-primed
+                // view is already exact — queryable before the new
+                // pool publishes anything.
+                let pairs = live.live_view_mut().unwrap().frequent_pairs(1);
+                assert!(!pairs.is_empty());
+            } else if i == 2 * third {
+                assert!(live.resize(4, 1)); // router-only: cheap path
+                assert!(oracle.resize(4, 1));
+            }
+            live.push_transaction(t.clone());
+            oracle.push_transaction(t.clone());
+            if i % 64 == 0 {
+                live.poll_live();
+            }
+        }
+        live.flush_batch();
+        let target = live.frontier_epoch();
+        drain_live_to(&mut live, target);
+        let expected = SynopsisSnapshot::capture(oracle.finish().shards());
+        assert_eq!(live.live_view_mut().unwrap().snapshot(), expected);
+        live.finish();
+    }
+
+    #[test]
+    fn heartbeats_do_not_change_results() {
+        let monitor_config =
+            MonitorConfig::new(crate::WindowPolicy::Static(Duration::from_micros(100)));
+        let analyzer_config = AnalyzerConfig::with_capacity(4096);
+        let transactions = Monitor::new(monitor_config.clone()).into_transactions(events());
+        let run = |beats: bool| {
+            let mut pipeline = IngestPipeline::new(
+                monitor_config.clone(),
+                analyzer_config.clone(),
+                PipelineConfig::with_shards(2).routers(2).batch_size(16),
+            );
+            for (i, t) in transactions.iter().enumerate() {
+                pipeline.push_transaction(t.clone());
+                if beats && i % 50 == 0 {
+                    pipeline.heartbeat();
+                }
+            }
+            SynopsisSnapshot::capture(pipeline.finish().shards())
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -298,6 +298,79 @@ fn assert_admission_steady_state_allocation_free() {
     assert_eq!(analyzer.frequent_pairs(1).len(), 64);
 }
 
+/// With epoch publishing enabled and a reader querying the live view,
+/// the steady state gains three more hot paths — delta extraction in
+/// the shard workers (op-log swap + stamped-prefix walks into recycled
+/// buffers), delta folding into the mirror tables, and the merged
+/// queries themselves (k-way merge and point lookups against warm
+/// scratch) — and none of them may allocate. Warmup rotates the delta
+/// buffers through many publish cycles and runs every query shape so
+/// all scratch reaches its plateau before the window opens.
+fn assert_publish_and_query_steady_state_allocation_free() {
+    let mut pipeline = IngestPipeline::new(
+        MonitorConfig::default(),
+        AnalyzerConfig::with_capacity(4096),
+        PipelineConfig::with_shards(2)
+            .routers(2)
+            .batch_size(16)
+            .ring_capacity(8)
+            .publish_interval(2),
+    );
+    let _ = std::thread::current();
+    let warmup = stream(200);
+    let measured = stream(100);
+    let probe = Extent::new(100, 4).unwrap();
+    let mut pairs = Vec::new();
+    let mut top = Vec::new();
+    let run = |pipeline: &mut IngestPipeline,
+               transactions: Vec<Transaction>,
+               pairs: &mut Vec<(rtdac_types::ExtentPair, u32)>,
+               top: &mut Vec<(rtdac_types::ExtentPair, u32)>| {
+        for (i, t) in transactions.into_iter().enumerate() {
+            pipeline.push_transaction(t);
+            // Query against warm buffers at every batch boundary: fold
+            // published deltas, then run both merge shapes and a point
+            // lookup.
+            if i % 16 == 0 {
+                pipeline.poll_live().expect("publishing enabled");
+                let view = pipeline.live_view_mut().expect("publishing enabled");
+                view.frequent_pairs_into(1, pairs);
+                view.top_pairs_into(8, top);
+                std::hint::black_box(view.item_tally(&probe));
+            }
+        }
+        pipeline.flush_batch();
+    };
+    run(&mut pipeline, warmup, &mut pairs, &mut top);
+    std::thread::sleep(Duration::from_millis(100));
+    // Fold the warmup's in-flight deltas too, so the mirrors are at
+    // their plateau before the counter snapshot.
+    pipeline.poll_live();
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    run(&mut pipeline, measured, &mut pairs, &mut top);
+    std::thread::sleep(Duration::from_millis(100));
+    pipeline.poll_live();
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "publish-under-query steady state performed {} heap allocations \
+         (expected zero: delta extraction, mirror folding, and live \
+         queries must all recycle)",
+        after - before
+    );
+
+    // The window did real work: epochs published, queries saw the
+    // whole working set.
+    let stats = pipeline.stats();
+    assert!(stats.epoch_publishes > 0, "no epochs were published");
+    assert_eq!(pairs.len(), 64, "live query missed the working set");
+    assert_eq!(top.len(), 8);
+    let analyzer = pipeline.finish();
+    assert_eq!(analyzer.stats().transactions, (200 + 100) * 64);
+}
+
 /// A trace whose on-disk encoding is byte-uniform in every format: a
 /// constant time stride (offset high enough that tick/varint widths
 /// never grow mid-file), a 64-extent cycle, and a constant latency —
@@ -396,6 +469,7 @@ fn routed_pipeline_is_allocation_free_after_warmup() {
     assert_steady_state_allocation_free(2); // parallel routers
     assert_steady_state_allocation_free(4); // full router fan-out
     assert_admission_steady_state_allocation_free(); // doorkeeper-gated hot path
+    assert_publish_and_query_steady_state_allocation_free(); // live-view hot path
     assert_allocation_free_after_resize(); // elastic pool, re-primed
     assert_streaming_decoders_allocation_free(); // disk readers' hot path
 }

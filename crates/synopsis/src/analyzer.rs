@@ -6,6 +6,7 @@ use std::collections::HashSet;
 use rtdac_sketch::Doorkeeper;
 use rtdac_types::{Extent, ExtentPair, FxHashMap, InlineVec, IoOp, Transaction};
 
+use crate::delta::ShardDelta;
 use crate::sharded::{shard_of_extent, shard_of_pair};
 use crate::table::{Tier, TwoTierTable};
 
@@ -672,6 +673,38 @@ impl OnlineAnalyzer {
         if let Some(filter) = &mut self.doorkeeper {
             filter.sketch.clear();
         }
+    }
+
+    /// Turns on delta tracking of both synopsis tables (DESIGN.md §15):
+    /// subsequent [`extract_delta`](Self::extract_delta) calls drain
+    /// everything a [`LiveView`](crate::LiveView) mirror needs to track
+    /// this analyzer bit-exactly. If the tables already hold entries
+    /// (e.g. the analyzer was just re-seeded after a resize) the first
+    /// delta is a full-dump rebase. Idempotent; tracking does not
+    /// change any observable policy behaviour.
+    pub fn enable_delta_tracking(&mut self) {
+        self.items.enable_delta_tracking();
+        self.pairs.enable_delta_tracking();
+    }
+
+    /// Drains both tables' changes since the previous extraction into
+    /// `out` (clearing it first) and records the analyzer's counters at
+    /// this boundary. The caller stamps `out.epoch` with the batch
+    /// boundary it published at. Steady-state calls are allocation-free
+    /// once the recycled buffer has reached its plateau.
+    pub fn extract_delta(&mut self, out: &mut ShardDelta) {
+        self.items.extract_delta(&mut out.items);
+        self.pairs.extract_delta(&mut out.pairs);
+        out.stats = self.stats;
+    }
+
+    /// Reserves `out`'s buffers to this analyzer's hard delta bounds
+    /// (see [`TwoTierTable::preallocate_delta`]), so
+    /// [`extract_delta`](Self::extract_delta) into it never allocates —
+    /// the publish side's zero-steady-state-allocation contract.
+    pub fn preallocate_delta(&self, out: &mut ShardDelta) {
+        self.items.preallocate_delta(&mut out.items);
+        self.pairs.preallocate_delta(&mut out.pairs);
     }
 
     /// Seeds one item-table entry with pre-computed state (the snapshot

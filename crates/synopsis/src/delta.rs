@@ -1,0 +1,141 @@
+//! Incremental table deltas for the quiesce-free live query path.
+//!
+//! A [`TwoTierTable`](crate::TwoTierTable) with delta tracking enabled
+//! records, between two [`extract_delta`](crate::TwoTierTable::extract_delta)
+//! calls, everything a mirror needs to replay its state transition
+//! *bit-exactly* — including each tier's recency order, which the
+//! frequent-pair merge depends on (equal-tally ties break on recency
+//! rank):
+//!
+//! * **ops** — the chronological log of movements the touched-prefix
+//!   scheme cannot express: evictions (entries leave the table) and
+//!   back-of-T1 demotions (`rebalance_after_promotion` and `demote`
+//!   both `push_back`, placing entries at the LRU end rather than the
+//!   MRU end).
+//! * **touched prefixes** — every entry moved to its tier's MRU end
+//!   this generation, collected head→tail. Front-movers always form a
+//!   contiguous head prefix (untouched entries never move), so a
+//!   generation stamp per node and one prefix walk per tier suffice.
+//! * **rebase** — set when the log cannot describe the transition
+//!   (table cleared, re-seeded, or the op log overflowed its plateau
+//!   bound): the delta instead carries a full dump and the mirror
+//!   rebuilds from scratch.
+//!
+//! A mirror replays a delta by applying the ops chronologically, then
+//! the prefixes LRU-first via push-front upserts (see
+//! [`LiveView`](crate::LiveView)). All delta buffers are preallocated
+//! and recycled through SPSC rings exactly like the router's
+//! `WorkList`s, so steady-state publish does not allocate.
+
+use rtdac_types::{Epoch, Extent, ExtentPair};
+
+use crate::analyzer::AnalyzerStats;
+
+/// One logged table movement that the touched-prefix scheme cannot
+/// reconstruct (see the module docs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeltaOp<K> {
+    /// The key left the table (T1 LRU eviction or explicit removal).
+    Evict(K),
+    /// The key moved to T1's LRU end with the given tally (overflow
+    /// demotion out of T2 or an explicit demote), inserted if absent —
+    /// the entry may have been created this generation, in which case
+    /// no other record of it precedes this op.
+    DemoteBack(K, u32),
+}
+
+/// Everything needed to advance a mirror of one [`TwoTierTable`] from
+/// the previous extraction point to the current state.
+#[derive(Clone, Debug)]
+pub struct TableDelta<K> {
+    /// When set, the incremental log was unusable (clear/seed/overflow):
+    /// `ops` is empty and the touched lists hold a *full* dump of the
+    /// table; the mirror must discard its state and rebuild.
+    pub rebase: bool,
+    /// Chronological movement log (applied first).
+    pub ops: Vec<DeltaOp<K>>,
+    /// T2 entries touched this generation, MRU→LRU.
+    pub touched_t2: Vec<(K, u32)>,
+    /// T1 entries touched this generation, MRU→LRU.
+    pub touched_t1: Vec<(K, u32)>,
+}
+
+// Manual impl: `K: Default` is not required to build empty buffers.
+impl<K> Default for TableDelta<K> {
+    fn default() -> Self {
+        TableDelta {
+            rebase: false,
+            ops: Vec::new(),
+            touched_t2: Vec::new(),
+            touched_t1: Vec::new(),
+        }
+    }
+}
+
+impl<K> TableDelta<K> {
+    /// Empties the delta for reuse, keeping every buffer's capacity.
+    pub fn clear(&mut self) {
+        self.rebase = false;
+        self.ops.clear();
+        self.touched_t2.clear();
+        self.touched_t1.clear();
+    }
+
+    /// Heap footprint of the recycled buffers (capacity-based — the
+    /// plateau the buffers settle at, matching the equal-memory
+    /// accounting style of `TwoTierTable::memory_bytes`).
+    pub fn memory_bytes(&self) -> usize {
+        self.ops.capacity() * std::mem::size_of::<DeltaOp<K>>()
+            + (self.touched_t2.capacity() + self.touched_t1.capacity())
+                * std::mem::size_of::<(K, u32)>()
+    }
+}
+
+/// One shard's published state advance: the epoch label (batch
+/// boundary), both table deltas, and the shard's analyzer counters at
+/// that boundary.
+#[derive(Clone, Debug, Default)]
+pub struct ShardDelta {
+    /// The batch boundary this delta advances the mirror to.
+    pub epoch: Epoch,
+    /// Item-table delta.
+    pub items: TableDelta<Extent>,
+    /// Correlation-table delta.
+    pub pairs: TableDelta<ExtentPair>,
+    /// The shard's full counter state at `epoch` (absolute, not a
+    /// diff — folding takes the latest).
+    pub stats: AnalyzerStats,
+}
+
+impl ShardDelta {
+    /// Empties the delta for reuse, keeping buffer capacities.
+    pub fn clear(&mut self) {
+        self.epoch = Epoch::ZERO;
+        self.items.clear();
+        self.pairs.clear();
+        self.stats = AnalyzerStats::default();
+    }
+
+    /// Heap footprint of the recycled buffers.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.items.memory_bytes() + self.pairs.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut d: TableDelta<u64> = TableDelta::default();
+        d.ops.reserve(128);
+        d.touched_t1.push((7, 1));
+        let bytes = d.memory_bytes();
+        d.rebase = true;
+        d.clear();
+        assert!(!d.rebase);
+        assert!(d.ops.is_empty() && d.touched_t1.is_empty());
+        assert_eq!(d.memory_bytes(), bytes);
+    }
+}

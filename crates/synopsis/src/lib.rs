@@ -41,6 +41,8 @@
 //! [`Transaction`]: rtdac_types::Transaction
 
 mod analyzer;
+mod delta;
+mod live;
 mod reference;
 mod reference_table;
 mod sharded;
@@ -51,6 +53,8 @@ pub use analyzer::{
     Admission, AnalyzerConfig, AnalyzerStats, DoorkeeperConfig, OnlineAnalyzer, Snapshot,
     ITEM_ENTRY_BYTES, PAIR_ENTRY_BYTES,
 };
+pub use delta::{DeltaOp, ShardDelta, TableDelta};
+pub use live::LiveView;
 pub use reference::ReferenceAnalyzer;
 pub use sharded::{shard_of_extent, shard_of_pair, ShardedAnalyzer};
 pub use snapshot::SynopsisSnapshot;

@@ -77,7 +77,7 @@ type Entry<K> = (K, u32, Tier, usize);
 /// assert_eq!(reseeded.frequent_pairs(1), before);
 /// # Ok::<(), rtdac_types::ExtentError>(())
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SynopsisSnapshot {
     /// Merged pair entries, T2 before T1, each tier most-recent first.
     pairs: Vec<Entry<ExtentPair>>,
@@ -133,6 +133,33 @@ impl SynopsisSnapshot {
     /// epoch's analyzers are drained into the snapshot and dropped.
     pub fn drain(shards: Vec<OnlineAnalyzer>) -> Self {
         Self::capture(&shards)
+    }
+
+    /// Captures merged state from bare table references — the
+    /// [`LiveView`](crate::LiveView) snapshot path, which holds mirror
+    /// tables rather than full analyzers. Runs the identical merge as
+    /// [`capture`](Self::capture), so a mirror set that tracks its
+    /// shards bit-exactly yields an identical snapshot.
+    pub(crate) fn capture_tables<'a, I>(parts: I, stats: AnalyzerStats) -> Self
+    where
+        I: Iterator<
+            Item = (
+                &'a crate::TwoTierTable<Extent>,
+                &'a crate::TwoTierTable<ExtentPair>,
+            ),
+        >,
+    {
+        let mut pairs = Merger::default();
+        let mut items = Merger::default();
+        for (item_table, pair_table) in parts {
+            pairs.absorb(pair_table.iter().map(|(k, tally, tier)| (*k, tally, tier)));
+            items.absorb(item_table.iter().map(|(k, tally, tier)| (*k, tally, tier)));
+        }
+        SynopsisSnapshot {
+            pairs: pairs.into_ordered(),
+            items: items.into_ordered(),
+            stats,
+        }
     }
 
     /// Builds `shard_count` fresh shards seeded from this snapshot,

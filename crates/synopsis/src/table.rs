@@ -7,6 +7,8 @@ use std::hash::{BuildHasher, Hash};
 
 use rtdac_types::FxBuildHasher;
 
+use crate::delta::{DeltaOp, TableDelta};
+
 /// Which tier of a [`TwoTierTable`] an entry resides in.
 ///
 /// T1 holds entries seen "infrequently" (inserted on first sight); entries
@@ -31,6 +33,25 @@ struct Node<K> {
     tier: Tier,
     prev: usize,
     next: usize,
+    /// Generation that last moved this node to its tier's MRU end
+    /// (0 = never, or delta tracking disabled). See [`DeltaLog`].
+    stamp: u64,
+}
+
+/// Per-table delta-tracking state (present only once
+/// [`TwoTierTable::enable_delta_tracking`] has run).
+///
+/// `gen` starts at 1 so untracked nodes (stamp 0) are never mistaken
+/// for touched ones. Every MRU-end movement stamps the node with the
+/// current generation; `extract_delta` collects each tier's stamped
+/// head prefix, swaps out the op log, and bumps `gen`.
+#[derive(Clone, Debug)]
+struct DeltaLog<K> {
+    gen: u64,
+    ops: Vec<DeltaOp<K>>,
+    /// Incremental log invalidated (clear/seed/op overflow): the next
+    /// extraction must carry a full dump.
+    pending_rebase: bool,
 }
 
 /// One intrusive doubly-linked list (front = MRU, back = LRU).
@@ -131,6 +152,7 @@ pub struct TwoTierTable<K, S = FxBuildHasher> {
     t2_capacity: usize,
     promote_threshold: u32,
     stats: TableStats,
+    delta: Option<Box<DeltaLog<K>>>,
 }
 
 impl<K: Eq + Hash + Clone> TwoTierTable<K> {
@@ -173,6 +195,7 @@ impl<K: Eq + Hash + Clone, S: BuildHasher + Default> TwoTierTable<K, S> {
             t2_capacity,
             promote_threshold,
             stats: TableStats::default(),
+            delta: None,
         }
     }
 
@@ -202,12 +225,14 @@ impl<K: Eq + Hash + Clone, S: BuildHasher + Default> TwoTierTable<K, S> {
     /// pay for admission — and both paths still perform a single hash
     /// probe of the index.
     pub fn record_filtered(&mut self, key: K, admit: impl FnOnce() -> bool) -> Option<Record<K>> {
+        let gen = self.delta.as_ref().map_or(0, |d| d.gen);
         match self.index.entry(key) {
             Entry::Occupied(entry) => {
                 let idx = *entry.get();
                 self.stats.hits += 1;
                 let node = &mut self.nodes[idx];
                 node.tally = node.tally.saturating_add(1);
+                node.stamp = gen;
                 let tally = node.tally;
                 let tier = node.tier;
                 if tier == Tier::T1 && tally >= self.promote_threshold {
@@ -251,6 +276,7 @@ impl<K: Eq + Hash + Clone, S: BuildHasher + Default> TwoTierTable<K, S> {
                     tier: Tier::T1,
                     prev: NIL,
                     next: NIL,
+                    stamp: gen,
                 };
                 let idx = match self.free.pop() {
                     Some(idx) => {
@@ -297,6 +323,13 @@ impl<K: Eq + Hash + Clone, S: BuildHasher + Default> TwoTierTable<K, S> {
     /// was dropped. Seeding never overwrites a live entry: re-seeding
     /// an existing key returns `None` without touching it.
     pub fn seed(&mut self, key: K, tally: u32, tier: Tier) -> Option<Tier> {
+        // Seeding rebuilds arbitrary order outside the record policy;
+        // the incremental log cannot express it, so the next extracted
+        // delta must carry a full dump.
+        if let Some(log) = self.delta.as_deref_mut() {
+            log.ops.clear();
+            log.pending_rebase = true;
+        }
         if self.index.contains_key(&key) {
             return None;
         }
@@ -314,6 +347,7 @@ impl<K: Eq + Hash + Clone, S: BuildHasher + Default> TwoTierTable<K, S> {
             tier: target,
             prev: NIL,
             next: NIL,
+            stamp: 0,
         };
         let idx = match self.free.pop() {
             Some(idx) => {
@@ -351,6 +385,13 @@ impl<K: Eq + Hash + Clone, S: BuildHasher + Default> TwoTierTable<K, S> {
         self.nodes[victim].tier = Tier::T1;
         Self::push_back(&mut self.nodes, &mut self.t1, victim);
         self.stats.demotions += 1;
+        if self.delta.is_some() {
+            let (key, tally) = {
+                let n = &self.nodes[victim];
+                (n.key.clone(), n.tally)
+            };
+            self.log_op(DeltaOp::DemoteBack(key, tally));
+        }
         evicted
     }
 
@@ -366,6 +407,9 @@ impl<K: Eq + Hash + Clone, S: BuildHasher + Default> TwoTierTable<K, S> {
         self.index.remove(&key);
         self.free.push(victim);
         self.stats.evictions += 1;
+        if self.delta.is_some() {
+            self.log_op(DeltaOp::Evict(key.clone()));
+        }
         Some((key, tally))
     }
 
@@ -387,6 +431,10 @@ impl<K: Eq + Hash + Clone, S: BuildHasher + Default> TwoTierTable<K, S> {
         self.nodes[idx].tier = Tier::T1;
         Self::push_back(&mut self.nodes, &mut self.t1, idx);
         self.stats.demotions += 1;
+        if self.delta.is_some() {
+            let tally = self.nodes[idx].tally;
+            self.log_op(DeltaOp::DemoteBack(key.clone(), tally));
+        }
         // Demotion may push T1 over capacity when the entry came from T2;
         // evict the *new* LRU (which is this entry) is pointless, so we
         // instead allow T1 to transiently hold capacity+1 and trim the
@@ -408,6 +456,9 @@ impl<K: Eq + Hash + Clone, S: BuildHasher + Default> TwoTierTable<K, S> {
         Self::unlink(&mut self.nodes, list, idx);
         let tally = self.nodes[idx].tally;
         self.free.push(idx);
+        if self.delta.is_some() {
+            self.log_op(DeltaOp::Evict(key.clone()));
+        }
         Some(tally)
     }
 
@@ -472,7 +523,11 @@ impl<K: Eq + Hash + Clone, S: BuildHasher + Default> TwoTierTable<K, S> {
         let per_entry = std::mem::size_of::<K>()
             + std::mem::size_of::<usize>()
             + std::mem::size_of::<Node<K>>();
-        (self.t1_capacity + self.t2_capacity) * per_entry
+        let log = self
+            .delta
+            .as_ref()
+            .map_or(0, |d| d.ops.capacity() * std::mem::size_of::<DeltaOp<K>>());
+        (self.t1_capacity + self.t2_capacity) * per_entry + log
     }
 
     /// Lifetime behaviour counters.
@@ -510,6 +565,204 @@ impl<K: Eq + Hash + Clone, S: BuildHasher + Default> TwoTierTable<K, S> {
         self.free.clear();
         self.t1 = List::new();
         self.t2 = List::new();
+        if let Some(log) = self.delta.as_deref_mut() {
+            log.ops.clear();
+            log.pending_rebase = true;
+        }
+    }
+
+    /// Turns on delta tracking (DESIGN.md §15): from now on every
+    /// MRU-end movement stamps its node with the current generation and
+    /// evictions / back-of-T1 demotions are logged, so
+    /// [`extract_delta`](Self::extract_delta) can advance a mirror from
+    /// one extraction point to the next bit-exactly. If the table
+    /// already holds entries (e.g. it was just re-seeded after a
+    /// resize) the first extracted delta is a full-dump rebase.
+    /// Idempotent.
+    pub fn enable_delta_tracking(&mut self) {
+        if self.delta.is_some() {
+            return;
+        }
+        // The log is preallocated to its overflow bound: it circulates
+        // (by swap) with the publish buffers, and any vector below the
+        // bound in that rotation could grow on the hot path.
+        let limit = self.op_limit();
+        self.delta = Some(Box::new(DeltaLog {
+            gen: 1,
+            ops: Vec::with_capacity(limit),
+            pending_rebase: !self.is_empty(),
+        }));
+    }
+
+    /// Reserves `out`'s buffers to this table's hard delta bounds — the
+    /// op-log overflow limit and the two tier capacities (a stamped
+    /// prefix visits each node at most once, so a touched list can
+    /// never exceed its tier) — making extraction into `out` provably
+    /// allocation-free, independent of how many epochs merged while
+    /// the buffer was away.
+    pub fn preallocate_delta(&self, out: &mut TableDelta<K>) {
+        out.ops.reserve(self.op_limit());
+        out.touched_t1.reserve(self.t1_capacity);
+        out.touched_t2.reserve(self.t2_capacity);
+    }
+
+    /// Whether [`enable_delta_tracking`](Self::enable_delta_tracking)
+    /// has run.
+    pub fn delta_tracking(&self) -> bool {
+        self.delta.is_some()
+    }
+
+    /// Beyond this many logged ops, replaying the log costs more than
+    /// rebuilding the mirror outright (a rebase is at most one upsert
+    /// per entry) — overflow falls back to a full-dump rebase, which
+    /// also bounds the log's preallocated memory plateau.
+    fn op_limit(&self) -> usize {
+        self.t1_capacity + self.t2_capacity + 64
+    }
+
+    fn log_op(&mut self, op: DeltaOp<K>) {
+        let limit = self.op_limit();
+        if let Some(log) = self.delta.as_deref_mut() {
+            if log.pending_rebase {
+                return;
+            }
+            if log.ops.len() >= limit {
+                log.ops.clear();
+                log.pending_rebase = true;
+            } else {
+                log.ops.push(op);
+            }
+        }
+    }
+
+    /// Drains everything that happened since the previous extraction
+    /// into `out` (clearing it first) and starts a new generation. With
+    /// tracking disabled this only clears `out`.
+    ///
+    /// Entries moved to an MRU end this generation form each tier's
+    /// contiguous head run (untouched entries never move, and the only
+    /// non-front movements — evictions and back-of-T1 demotions — are
+    /// in the op log), so one stamped-prefix walk per tier captures
+    /// every front-mover in exact recency order. Steady-state calls
+    /// allocate only while the reused buffers are still growing toward
+    /// their plateau.
+    pub fn extract_delta(&mut self, out: &mut TableDelta<K>) {
+        out.clear();
+        let Some(log) = self.delta.as_deref_mut() else {
+            return;
+        };
+        if log.pending_rebase {
+            log.pending_rebase = false;
+            log.gen += 1;
+            out.rebase = true;
+            let mut cursor = self.t2.head;
+            while cursor != NIL {
+                let n = &self.nodes[cursor];
+                out.touched_t2.push((n.key.clone(), n.tally));
+                cursor = n.next;
+            }
+            let mut cursor = self.t1.head;
+            while cursor != NIL {
+                let n = &self.nodes[cursor];
+                out.touched_t1.push((n.key.clone(), n.tally));
+                cursor = n.next;
+            }
+            return;
+        }
+        std::mem::swap(&mut log.ops, &mut out.ops);
+        let gen = log.gen;
+        log.gen += 1;
+        let mut cursor = self.t2.head;
+        while cursor != NIL {
+            let n = &self.nodes[cursor];
+            if n.stamp != gen {
+                break;
+            }
+            out.touched_t2.push((n.key.clone(), n.tally));
+            cursor = n.next;
+        }
+        let mut cursor = self.t1.head;
+        while cursor != NIL {
+            let n = &self.nodes[cursor];
+            if n.stamp != gen {
+                break;
+            }
+            out.touched_t1.push((n.key.clone(), n.tally));
+            cursor = n.next;
+        }
+    }
+
+    /// Detaches `key`'s node from its list, or allocates a fresh
+    /// detached node for it — the shared front half of the mirror-side
+    /// apply primitives below.
+    fn apply_detach_or_alloc(&mut self, key: &K) -> usize {
+        if let Some(&idx) = self.index.get(key) {
+            let list = match self.nodes[idx].tier {
+                Tier::T1 => &mut self.t1,
+                Tier::T2 => &mut self.t2,
+            };
+            Self::unlink(&mut self.nodes, list, idx);
+            idx
+        } else {
+            let node = Node {
+                key: key.clone(),
+                tally: 0,
+                tier: Tier::T1,
+                prev: NIL,
+                next: NIL,
+                stamp: 0,
+            };
+            let idx = match self.free.pop() {
+                Some(idx) => {
+                    self.nodes[idx] = node;
+                    idx
+                }
+                None => {
+                    self.nodes.push(node);
+                    self.nodes.len() - 1
+                }
+            };
+            self.index.insert(key.clone(), idx);
+            idx
+        }
+    }
+
+    /// Mirror-side upsert at `tier`'s MRU end with an authoritative
+    /// tally, bypassing the hit/miss policy, stats and delta logging.
+    /// Replaying a delta's touched prefix LRU-first through this call
+    /// reproduces the prefix order exactly ([`LiveView`](crate::LiveView)).
+    pub(crate) fn apply_upsert_front(&mut self, key: &K, tally: u32, tier: Tier) {
+        let idx = self.apply_detach_or_alloc(key);
+        self.nodes[idx].tally = tally;
+        self.nodes[idx].tier = tier;
+        let list = match tier {
+            Tier::T1 => &mut self.t1,
+            Tier::T2 => &mut self.t2,
+        };
+        Self::push_front(&mut self.nodes, list, idx);
+    }
+
+    /// Mirror-side upsert at T1's LRU end — replays a
+    /// [`DeltaOp::DemoteBack`].
+    pub(crate) fn apply_upsert_back_t1(&mut self, key: &K, tally: u32) {
+        let idx = self.apply_detach_or_alloc(key);
+        self.nodes[idx].tally = tally;
+        self.nodes[idx].tier = Tier::T1;
+        Self::push_back(&mut self.nodes, &mut self.t1, idx);
+    }
+
+    /// Mirror-side removal — replays a [`DeltaOp::Evict`]. Absent keys
+    /// are a no-op (the entry may have been created and evicted within
+    /// one generation).
+    pub(crate) fn apply_remove(&mut self, key: &K) {
+        if let Some(idx) = self.index.remove(key) {
+            let list = match self.nodes[idx].tier {
+                Tier::T1 => &mut self.t1,
+                Tier::T2 => &mut self.t2,
+            };
+            Self::unlink(&mut self.nodes, list, idx);
+            self.free.push(idx);
+        }
     }
 
     /// Unlinks `idx` from `list` (which must be the list owning the
@@ -935,6 +1188,141 @@ mod tests {
         let mut u = TwoTierTable::<u64>::new(100, 28, 2);
         u.record(7);
         assert_eq!(u.memory_bytes(), t.memory_bytes());
+    }
+
+    /// Replays `delta` onto a (non-tracking) mirror table — the
+    /// reference implementation of the LiveView fold, kept here so the
+    /// table's own tests pin the protocol.
+    fn replay(mirror: &mut TwoTierTable<u32>, delta: &TableDelta<u32>) {
+        if delta.rebase {
+            mirror.clear();
+        }
+        for op in &delta.ops {
+            match op {
+                DeltaOp::Evict(k) => mirror.apply_remove(k),
+                DeltaOp::DemoteBack(k, tally) => mirror.apply_upsert_back_t1(k, *tally),
+            }
+        }
+        for (k, tally) in delta.touched_t1.iter().rev() {
+            mirror.apply_upsert_front(k, *tally, Tier::T1);
+        }
+        for (k, tally) in delta.touched_t2.iter().rev() {
+            mirror.apply_upsert_front(k, *tally, Tier::T2);
+        }
+    }
+
+    fn entries(t: &TwoTierTable<u32>) -> Vec<(u32, u32, Tier)> {
+        t.iter().map(|(k, ta, ti)| (*k, ta, ti)).collect()
+    }
+
+    /// Drives a tracked table with a deterministic pseudo-random mix of
+    /// records, demotes and removes, extracting a delta every
+    /// `interval` steps and replaying it onto a mirror; the mirror must
+    /// match the table — keys, tallies, tiers *and order* — at every
+    /// extraction point.
+    fn mirror_tracks_table(
+        caps: (usize, usize),
+        keyspace: u32,
+        steps: u32,
+        interval: u32,
+        mut seed: u64,
+    ) {
+        let mut table = TwoTierTable::new(caps.0, caps.1, 2);
+        let mut mirror = TwoTierTable::new(caps.0, caps.1, 2);
+        table.enable_delta_tracking();
+        let mut delta = TableDelta::default();
+        for step in 1..=steps {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let key = (seed >> 33) as u32 % keyspace;
+            match seed % 10 {
+                8 => {
+                    table.demote(&key);
+                }
+                9 => {
+                    table.remove(&key);
+                }
+                _ => {
+                    table.record(key);
+                }
+            }
+            if step % interval == 0 {
+                table.extract_delta(&mut delta);
+                replay(&mut mirror, &delta);
+                assert_eq!(entries(&table), entries(&mirror), "diverged at step {step}");
+                mirror.check_invariants();
+            }
+        }
+    }
+
+    #[test]
+    fn delta_mirror_matches_under_churn() {
+        // High churn: tiny tiers, busy keyspace, frequent extraction.
+        mirror_tracks_table((3, 2), 12, 2_000, 7, 1);
+        // Promotion-heavy: small keyspace so most records are hits.
+        mirror_tracks_table((4, 4), 6, 2_000, 5, 2);
+        // Sparse extraction with a bigger table.
+        mirror_tracks_table((16, 16), 48, 4_000, 63, 3);
+    }
+
+    #[test]
+    fn delta_overflow_rebases_and_still_matches() {
+        // Capacity (1,1): op limit is 4*2+64 = 72, and nearly every
+        // record logs an eviction — a 500-step generation must
+        // overflow the log and fall back to a full-dump rebase.
+        let mut table = TwoTierTable::new(1, 1, 2);
+        let mut mirror = TwoTierTable::new(1, 1, 2);
+        table.enable_delta_tracking();
+        let mut delta = TableDelta::default();
+        for k in 0..500u32 {
+            table.record(k % 97);
+        }
+        table.extract_delta(&mut delta);
+        assert!(delta.rebase, "op overflow must force a rebase");
+        assert!(delta.ops.is_empty());
+        replay(&mut mirror, &delta);
+        assert_eq!(entries(&table), entries(&mirror));
+    }
+
+    #[test]
+    fn clear_and_late_enable_force_rebase() {
+        let mut table = TwoTierTable::new(4, 4, 2);
+        table.record(1);
+        table.record(2);
+        // Enabling on a non-empty table: first delta is a full dump.
+        table.enable_delta_tracking();
+        let mut delta = TableDelta::default();
+        table.extract_delta(&mut delta);
+        assert!(delta.rebase);
+        let mut mirror = TwoTierTable::new(4, 4, 2);
+        replay(&mut mirror, &delta);
+        assert_eq!(entries(&table), entries(&mirror));
+        // A clear invalidates the log again.
+        table.clear();
+        table.record(9);
+        table.extract_delta(&mut delta);
+        assert!(delta.rebase);
+        replay(&mut mirror, &delta);
+        assert_eq!(entries(&table), entries(&mirror));
+    }
+
+    #[test]
+    fn delta_tracking_does_not_change_policy() {
+        // The tracked table must behave identically to an untracked
+        // one: stamping and logging are pure observers.
+        let mut plain = TwoTierTable::new(2, 2, 2);
+        let mut tracked = TwoTierTable::new(2, 2, 2);
+        tracked.enable_delta_tracking();
+        let mut delta = TableDelta::default();
+        for (i, k) in [1u32, 2, 1, 3, 4, 1, 2, 5, 5, 3].iter().enumerate() {
+            assert_eq!(plain.record(*k), tracked.record(*k));
+            if i % 3 == 0 {
+                tracked.extract_delta(&mut delta);
+            }
+        }
+        assert_eq!(plain.stats(), tracked.stats());
+        assert_eq!(entries(&plain), entries(&tracked));
     }
 
     #[test]

@@ -1,0 +1,72 @@
+//! Epoch labels for the quiesce-free live query path.
+//!
+//! A shard worker publishes a delta of its table state every N batches;
+//! the epoch stamped on the delta is the number of work batches the
+//! worker had fully applied when it extracted it. Epochs therefore name
+//! exact batch boundaries: a reader that has folded every shard up to
+//! epoch `E` sees precisely the state a quiesced snapshot would capture
+//! after batch `E`.
+
+/// A published batch boundary: the count of work batches a shard worker
+/// had fully applied when it extracted the delta carrying this label.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Epoch(u64);
+
+impl Epoch {
+    /// The state before any batch has been applied.
+    pub const ZERO: Epoch = Epoch(0);
+
+    /// Labels the boundary after `batches` fully applied batches.
+    pub fn new(batches: u64) -> Self {
+        Epoch(batches)
+    }
+
+    /// The number of fully applied batches this epoch names.
+    pub fn batches(self) -> u64 {
+        self.0
+    }
+
+    /// Which publish interval this boundary falls in, for an interval of
+    /// `interval_batches` batches.
+    pub fn interval_index(self, interval_batches: u64) -> u64 {
+        self.0 / interval_batches.max(1)
+    }
+
+    /// Reader staleness in publish intervals: how many whole intervals
+    /// the ingest frontier is ahead of this (folded) epoch. The publish
+    /// protocol bounds this at 1 in the steady state — the delta for the
+    /// previous interval is either folded or sitting in the ring.
+    pub fn lag_intervals(self, frontier: Epoch, interval_batches: u64) -> u64 {
+        frontier
+            .interval_index(interval_batches)
+            .saturating_sub(self.interval_index(interval_batches))
+    }
+}
+
+impl std::fmt::Display for Epoch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_follows_batch_count() {
+        assert!(Epoch::new(3) < Epoch::new(4));
+        assert_eq!(Epoch::ZERO.batches(), 0);
+    }
+
+    #[test]
+    fn lag_counts_whole_intervals() {
+        let folded = Epoch::new(64);
+        assert_eq!(folded.lag_intervals(Epoch::new(64), 64), 0);
+        assert_eq!(folded.lag_intervals(Epoch::new(127), 64), 0);
+        assert_eq!(folded.lag_intervals(Epoch::new(128), 64), 1);
+        assert_eq!(folded.lag_intervals(Epoch::new(256), 64), 3);
+        // A zero interval degrades to per-batch lag, never divides by 0.
+        assert_eq!(Epoch::new(1).lag_intervals(Epoch::new(5), 0), 4);
+    }
+}

@@ -26,6 +26,7 @@
 //! ```
 
 mod colfmt;
+mod epoch;
 mod error;
 mod extent;
 mod hash;
@@ -41,6 +42,7 @@ pub use colfmt::{
     read_trace_columnar, write_trace_columnar, ColumnarReader, ColumnarWriter, COLFMT_HEADER_BYTES,
     COLFMT_MAGIC, COLFMT_VERSION, DEFAULT_BLOCK_RECORDS,
 };
+pub use epoch::Epoch;
 pub use error::{ExtentError, TraceParseError};
 pub use extent::{Extent, ExtentPair};
 pub use hash::{fx_hash, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};

@@ -31,6 +31,17 @@
 //! saturating it), so the demo prints the controller's decision log
 //! rather than asserting on it.
 //!
+//! The demo also *queries the pipeline while it runs*: publishing is
+//! enabled (`publish_interval`), so every few thousand events the main
+//! thread polls the epoch-published [`LiveView`] and prints the live
+//! top pairs next to the controller's current topology — no quiesce,
+//! no locks, and the shard workers never wait on the reader. Resizes
+//! land between those polls without disturbing them: the view is
+//! re-primed across a re-seed, so querying during a resize is safe by
+//! construction.
+//!
+//! [`LiveView`]: rtdac::synopsis::LiveView
+//!
 //! Run with: `cargo run --example live_pipeline`
 
 use std::thread;
@@ -38,7 +49,7 @@ use std::thread;
 use rtdac::device::{replay, NvmeSsdModel, ReplayMode};
 use rtdac::monitor::{spsc, ControllerConfig, IngestPipeline, MonitorConfig, PipelineConfig};
 use rtdac::synopsis::AnalyzerConfig;
-use rtdac::types::IoEvent;
+use rtdac::types::{Epoch, ExtentPair, IoEvent};
 use rtdac::workloads::MsrServer;
 
 fn main() {
@@ -58,6 +69,7 @@ fn main() {
             .routers(1)
             .batch_size(64)
             .ring_capacity(8)
+            .publish_interval(8)
             .adaptive(controller),
     );
     let before = pipeline.topology();
@@ -85,8 +97,36 @@ fn main() {
     // into transactions and the stage pools absorb them concurrently
     // while the replayer is still producing — resizing themselves when
     // the controller says the topology no longer fits the load.
+    //
+    // Every few thousand events the main thread also acts as a *live
+    // reader*: it folds whatever epoch deltas the shards have published
+    // into the merged view and prints the current top pairs alongside
+    // the controller's topology — mid-stream, quiesce-free, and safe
+    // across any resize the controller fires in between.
+    let mut live_top: Vec<(ExtentPair, u32)> = Vec::with_capacity(8);
+    let mut last_epoch: Option<Epoch> = None;
+    let mut received = 0u64;
+    println!("live queries (polled mid-stream, no quiesce):");
     while let Some(event) = event_rx.recv() {
         pipeline.push(event);
+        received += 1;
+        if received.is_multiple_of(5_000) {
+            let epoch = pipeline.poll_live().expect("publishing enabled");
+            if last_epoch != Some(epoch) {
+                last_epoch = Some(epoch);
+                let view = pipeline.live_view_mut().expect("publishing enabled");
+                view.top_pairs_into(8, &mut live_top);
+                let line: Vec<String> = live_top
+                    .iter()
+                    .map(|(pair, tally)| format!("{pair}×{tally}"))
+                    .collect();
+                println!(
+                    "  @{received:>6} events  epoch {epoch}  topology {}  top: {}",
+                    pipeline.topology(),
+                    line.join("  ")
+                );
+            }
+        }
     }
 
     let events = replayer.join().expect("replayer thread");

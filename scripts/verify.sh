@@ -30,9 +30,14 @@ echo "==> ingestion throughput harness (smoke mode, incl. resize gate)"
 # ceiling; and the admission sweep's correctness half — defaulted
 # config bit-exact with explicit Admission::Off, doorkeeper and
 # ungated contenders at byte parity, and the doorkeeper actually
-# rejecting. Timing criteria (including adaptive convergence, the
-# columnar-decode-outpaces-pipeline gate, and the admission sweep's
-# equal-memory recall-beats-unfiltered + throughput-holds gate) apply
+# rejecting; and the query_load sweep's correctness half — the live
+# view bit-exact with a quiesced snapshot at every sampled epoch
+# boundary, zero allocations on the publish and query paths, and
+# tables + live-view structures at equal-memory byte parity. Timing
+# criteria (including adaptive convergence, the
+# columnar-decode-outpaces-pipeline gate, the admission sweep's
+# equal-memory recall-beats-unfiltered + throughput-holds gate, and
+# the query_load stage-CPU-retention and epoch-lag gates) apply
 # in full runs only (cargo run --release -p rtdac-bench --bin
 # ingest_throughput) because a tiny stream on a shared CI core
 # measures noise. set -e turns that exit into a build failure.
