@@ -51,6 +51,12 @@
 //! pairs skip the insert + index work, so filtering is a throughput
 //! optimization, not a tax.
 //!
+//! The **service sweep** measures the multi-tenant runtime's capacity
+//! grid: at each tenant count, distinct per-tenant streams interleaved
+//! round-robin through [`TenantRuntime`] handles must keep >= 0.85x
+//! the aggregate events/s of equivalent bare in-process pipelines,
+//! with every tenant's final report equal to its own offline oracle.
+//!
 //! The process exits nonzero when acceptance fails: in full mode every
 //! criterion gates; under `--smoke` timing is meaningless (tiny stream,
 //! 1 rep, shared CI cores) so only the correctness criteria — exact
@@ -74,10 +80,12 @@ use std::time::{Duration, Instant};
 
 use rtdac_bench::experiments::fig15_sketch::{analyzer_config_for, BUDGET_SLACK};
 use rtdac_bench::support::banner;
+use rtdac_bench::sweep::{self, env_or, json_u64_array, median, percentile, percentile_u64, Gate};
 use rtdac_monitor::{
     blktrace, replay, BlktraceEventSource, ControllerConfig, Dispatch, IngestPipeline,
     MonitorConfig, PipelineConfig, ReplayPacing, ResizeEvent, RoutedBatch, Router, RouterConfig,
-    SplitConfig, WorkList, DEFAULT_CHUNK_BYTES, DEFAULT_MAX_INFLIGHT,
+    SplitConfig, TenantRuntime, TenantRuntimeConfig, WorkList, DEFAULT_CHUNK_BYTES,
+    DEFAULT_MAX_INFLIGHT,
 };
 use rtdac_synopsis::{
     Admission, AnalyzerConfig, LiveView, OnlineAnalyzer, ReferenceAnalyzer, ShardDelta,
@@ -180,6 +188,15 @@ const QUERY_RETENTION_FLOOR: f64 = 0.90;
 /// query rates (>= 1000 q/s — below that, staleness is bounded by the
 /// client's own polling cadence, not by the publish protocol).
 const QUERY_LAG_P99_CEILING: u64 = 1;
+/// Tenant counts of the service capacity grid ([1, 2] under --smoke).
+const SERVICE_TENANTS: [usize; 4] = [1, 2, 4, 8];
+/// Per-tenant byte budget for the service sweep's runtime.
+const SERVICE_BUDGET: usize = 128 * 1024;
+/// Aggregate-throughput retention floor for the service sweep: ingest
+/// through [`TenantRuntime`] handles (registry + per-tenant mutex)
+/// must keep at least this fraction of the equivalent bare in-process
+/// pipelines' aggregate events/s at every tenant count.
+const SERVICE_RETENTION_FLOOR: f64 = 0.85;
 
 /// The split knobs used by every `routed_split` config: the skewed
 /// stream's hot pair carries ~40% of pair records, so a 10% share
@@ -262,13 +279,6 @@ struct Workload {
     name: &'static str,
     transactions: Vec<Transaction>,
     events: usize,
-}
-
-fn env_or(name: &str, default: u64) -> u64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
 }
 
 /// max / mean of the per-shard routed op counts — the load-balance
@@ -556,11 +566,7 @@ fn main() {
         }
     }
 
-    let median = |slot: usize| -> f64 {
-        let mut v = samples[slot].clone();
-        v.sort_by(|a, b| a.total_cmp(b));
-        v[v.len() / 2]
-    };
+    let median = |slot: usize| -> f64 { sweep::median(&samples[slot]) };
     // Locates a helper slot by predicate (routing stages and per-shard
     // timings trail their Pipeline slot in cfgs, but lookup by key is
     // sturdier than positional arithmetic).
@@ -948,6 +954,12 @@ fn main() {
     let query_load = query_load_sweep(smoke, repeat, &uniform, &skewed);
     print_query_load(&query_load);
 
+    // (11) The service sweep: the multi-tenant runtime vs equivalent
+    // bare in-process pipelines at each tenant count (see
+    // service_sweep).
+    let service = service_sweep(smoke, seed, repeat);
+    print_service(&service);
+
     println!("\n  acceptance:");
     println!(
         "    uniform 8-shard total CPU vs 1-shard optimized: routed {routed_cpu_ratio:.2}x, \
@@ -1030,6 +1042,13 @@ fn main() {
         query_load.stage_retention(),
         query_load.lag_ok(),
     );
+    println!(
+        "    service: per-tenant oracle-exact {} (gates in smoke too); aggregate \
+         retention min {:.3} across the tenant grid (full-mode floor \
+         {SERVICE_RETENTION_FLOOR})",
+        service.exact(),
+        service.min_retention(),
+    );
 
     let acceptance = Acceptance {
         routed_cpu_ratio,
@@ -1071,6 +1090,7 @@ fn main() {
         &from_disk,
         &admission,
         &query_load,
+        &service,
     );
     let out = std::env::var("RTDAC_BENCH_OUT").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest.json").to_string()
@@ -1082,15 +1102,15 @@ fn main() {
     // mode (under --smoke the stream is tiny and the host is shared, so
     // timing-based criteria are noise — and the controller has too few
     // windows to converge).
+    let sweeps_met =
+        from_disk.met(smoke) && admission.met(smoke) && query_load.met(smoke) && service.met(smoke);
     let gate_failed = if smoke {
         !(acceptance.split_pairs_exact
             && acceptance.resize_exact
             && acceptance.adaptive_exact
-            && from_disk.met_smoke()
-            && admission.met_smoke()
-            && query_load.met_smoke())
+            && sweeps_met)
     } else {
-        !(acceptance.met() && from_disk.met_full() && admission.met_full() && query_load.met_full())
+        !(acceptance.met() && sweeps_met)
     };
     if gate_failed {
         eprintln!("\n  ACCEPTANCE FAILED (see criteria above)");
@@ -1168,8 +1188,10 @@ impl FromDisk {
     fn decode_keeps_up(&self) -> bool {
         self.col.events_per_sec(self.requests) >= self.pipeline_events_per_sec()
     }
+}
 
-    /// Correctness-only gates, meaningful even on a noisy CI host.
+impl Gate for FromDisk {
+    /// Streaming exactness and the columnar size ceiling.
     fn met_smoke(&self) -> bool {
         self.exact() && self.compression_met()
     }
@@ -1226,18 +1248,18 @@ impl AdmissionSweep {
     fn throughput_holds(&self) -> bool {
         self.gated_events_per_sec() >= self.off_events_per_sec() * ADMISSION_THROUGHPUT_FLOOR
     }
+}
 
-    /// Correctness-only gates, meaningful even on a noisy CI host: Off
-    /// stays bit-exact, the contenders really are at memory parity, and
-    /// the doorkeeper really rejects (a sweep where nothing is filtered
-    /// proves nothing).
+impl Gate for AdmissionSweep {
+    /// Off stays bit-exact, the contenders really are at memory
+    /// parity, and the doorkeeper really rejects (a sweep where
+    /// nothing is filtered proves nothing).
     fn met_smoke(&self) -> bool {
         self.off_bit_exact && self.budget_parity && self.gated_rejections > 0
     }
 
-    /// The tentpole gate: at equal bytes the gated analyzer must beat
-    /// the ungated one on top-k recall while holding or improving
-    /// events/s.
+    /// At equal bytes the gated analyzer must beat the ungated one on
+    /// top-k recall while holding or improving events/s.
     fn met_full(&self) -> bool {
         self.met_smoke() && self.recall_improves() && self.throughput_holds()
     }
@@ -1292,8 +1314,7 @@ fn admission_sweep(smoke: bool, seed: u64, repeat: usize) -> AdmissionSweep {
             bytes = analyzer.table_memory_bytes();
             rejections = analyzer.stats().pair_rejections;
         }
-        samples.sort_by(|a, b| a.total_cmp(b));
-        (samples[samples.len() / 2], recall, bytes, rejections)
+        (median(&samples), recall, bytes, rejections)
     };
     let (off_secs, off_recall, off_bytes, _) = run(off_config);
     let (gated_secs, gated_recall, gated_bytes, gated_rejections) =
@@ -1418,27 +1439,19 @@ impl QueryLoadSweep {
             .collect();
         !gated.is_empty() && gated.iter().all(|r| r.lag_p99 <= QUERY_LAG_P99_CEILING)
     }
+}
 
-    /// Correctness-only gates, meaningful on a noisy CI host: boundary
-    /// exactness, allocation-free steady state, and byte parity.
+impl Gate for QueryLoadSweep {
+    /// Boundary exactness, allocation-free steady state, byte parity.
     fn met_smoke(&self) -> bool {
         self.exact && self.zero_alloc && self.budget_parity
     }
 
-    /// Full gate: correctness plus publish-cost retention and p99
-    /// freshness at the gated query rates.
+    /// Plus publish-cost retention and p99 freshness at the gated
+    /// query rates.
     fn met_full(&self) -> bool {
         self.met_smoke() && self.stage_retention() >= QUERY_RETENTION_FLOOR && self.lag_ok()
     }
-}
-
-/// Nearest-rank percentile of an ascending-sorted integer slice.
-fn percentile_u64(sorted: &[u64], pct: usize) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let rank = (sorted.len() * pct).div_ceil(100);
-    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
 }
 
 /// The quiesce-free live-query sweep. Four independent measurements:
@@ -1573,8 +1586,7 @@ fn query_load_sweep(
             let analyzer = pipeline.finish();
             std::hint::black_box(analyzer.stats());
         }
-        elapsed_samples.sort_by(|a, b| a.total_cmp(b));
-        let elapsed = elapsed_samples[elapsed_samples.len() / 2];
+        let elapsed = median(&elapsed_samples);
         lat_pool.sort_by(|a, b| a.total_cmp(b));
         lags.sort_unstable();
         let reps = repeat.max(1) as u64;
@@ -1636,8 +1648,7 @@ fn query_load_sweep(
             }
             reps_out.push(total);
         }
-        reps_out.sort_by(|a, b| a.total_cmp(b));
-        reps_out[reps_out.len() / 2]
+        median(&reps_out)
     };
     let baseline_stage_secs = stage(false);
     let publish_stage_secs = stage(true);
@@ -1827,6 +1838,261 @@ fn print_query_load(q: &QueryLoadSweep) {
     );
 }
 
+/// One tenant-count cell of the service capacity grid.
+struct ServiceCell {
+    tenants: usize,
+    /// Aggregate events ingested across all tenants of the cell.
+    events: usize,
+    /// Bare in-process pipelines, round-robin interleaved.
+    baseline_secs: f64,
+    /// The identical interleave through [`TenantRuntime`] handles.
+    service_secs: f64,
+    /// Every tenant's final report matched its own offline oracle.
+    exact: bool,
+}
+
+impl ServiceCell {
+    fn baseline_events_per_sec(&self) -> f64 {
+        self.events as f64 / self.baseline_secs
+    }
+
+    fn service_events_per_sec(&self) -> f64 {
+        self.events as f64 / self.service_secs
+    }
+
+    /// service/baseline aggregate throughput (>= 1.0 means the tenant
+    /// layer is free).
+    fn retention(&self) -> f64 {
+        self.baseline_secs / self.service_secs
+    }
+}
+
+/// Everything the service sweep measured: the `tenants x events/s`
+/// capacity grid of the multi-tenant runtime against equivalent bare
+/// pipelines, plus per-tenant oracle exactness at every cell.
+struct ServiceSweep {
+    requests_per_tenant: usize,
+    budget_bytes: usize,
+    rows: Vec<ServiceCell>,
+}
+
+impl ServiceSweep {
+    fn exact(&self) -> bool {
+        self.rows.iter().all(|r| r.exact)
+    }
+
+    fn min_retention(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(ServiceCell::retention)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+impl Gate for ServiceSweep {
+    /// Every tenant of every cell bit-exact vs its offline oracle.
+    fn met_smoke(&self) -> bool {
+        self.exact()
+    }
+
+    /// Plus aggregate throughput retention at every tenant count.
+    fn met_full(&self) -> bool {
+        self.exact() && self.min_retention() >= SERVICE_RETENTION_FLOOR
+    }
+}
+
+/// Total order on frequent-pairs reports (tally desc, pair asc):
+/// sharded merges and single-table oracles leave ties in different
+/// table orders, so both sides are re-sorted before comparing.
+fn canonical_pairs(mut pairs: Vec<(ExtentPair, u32)>) -> Vec<(ExtentPair, u32)> {
+    pairs.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    pairs
+}
+
+/// The multi-tenant service sweep: at each tenant count N, N distinct
+/// MSR-like transaction streams are interleaved round-robin (one batch
+/// per tenant per turn, the shape a daemon's connection threads
+/// produce) into (a) N bare [`IngestPipeline`]s and (b) N tenants of
+/// one [`TenantRuntime`], both sized identically from the runtime's
+/// per-tenant budget. The timed window covers pushes through drain
+/// (finish/shutdown), so queued work cannot hide. Correctness: every
+/// tenant's final report must equal an [`OnlineAnalyzer`] oracle fed
+/// its own stream — cross-tenant contamination would break it.
+/// `RTDAC_SERVICE_REQUESTS` overrides the per-tenant stream length.
+fn service_sweep(smoke: bool, seed: u64, repeat: usize) -> ServiceSweep {
+    let requests = env_or("RTDAC_SERVICE_REQUESTS", if smoke { 2_000 } else { 20_000 }) as usize;
+    let tenant_counts: &[usize] = if smoke {
+        &SERVICE_TENANTS[..2]
+    } else {
+        &SERVICE_TENANTS
+    };
+    let runtime_config = TenantRuntimeConfig {
+        tenant_budget_bytes: SERVICE_BUDGET,
+        ..TenantRuntimeConfig::default()
+    };
+    // The sizing every contender (and the oracles) shares — derived
+    // once; `TenantRuntime::new` is deterministic.
+    let analyzer_config = TenantRuntime::new(runtime_config.clone())
+        .analyzer_config()
+        .clone();
+
+    // One distinct stream per tenant slot (server model and seed both
+    // vary), shared across cells and repetitions.
+    let servers = [
+        MsrServer::Wdev,
+        MsrServer::Stg,
+        MsrServer::Rsrch,
+        MsrServer::Src2,
+    ];
+    let max_tenants = *tenant_counts.last().expect("tenant grid");
+    let mut streams: Vec<Vec<Transaction>> = Vec::with_capacity(max_tenants);
+    let mut stream_events: Vec<usize> = Vec::with_capacity(max_tenants);
+    for t in 0..max_tenants {
+        let server = servers[t % servers.len()];
+        let trace = server.synthesize(requests, seed + t as u64);
+        stream_events.push(trace.requests().len());
+        streams.push(rtdac_bench::support::monitored(
+            &trace,
+            server.paper_reference().replay_speedup,
+            seed + t as u64,
+        ));
+    }
+    let oracles: Vec<Vec<(ExtentPair, u32)>> = streams
+        .iter()
+        .map(|stream| {
+            let mut oracle = OnlineAnalyzer::new(analyzer_config.clone());
+            for txn in stream {
+                oracle.process(txn);
+            }
+            canonical_pairs(oracle.frequent_pairs(1))
+        })
+        .collect();
+
+    // Round-robin interleave: one batch per tenant per turn until all
+    // streams drain, `push` receiving a per-tenant pipeline handle.
+    let interleave = |count: usize, push: &mut dyn FnMut(usize, &[Transaction])| {
+        let mut offset = 0;
+        loop {
+            let mut any = false;
+            for (t, stream) in streams[..count].iter().enumerate() {
+                if offset >= stream.len() {
+                    continue;
+                }
+                any = true;
+                let end = (offset + BATCH_SIZE).min(stream.len());
+                push(t, &stream[offset..end]);
+            }
+            if !any {
+                break;
+            }
+            offset += BATCH_SIZE;
+        }
+    };
+
+    let mut rows = Vec::new();
+    for &count in tenant_counts {
+        let events: usize = stream_events[..count].iter().sum();
+        let mut baseline_samples = Vec::with_capacity(repeat.max(1));
+        let mut service_samples = Vec::with_capacity(repeat.max(1));
+        let mut exact = true;
+        for _rep in 0..repeat.max(1) {
+            // (a) Bare pipelines — construction outside the window in
+            // both contenders (spawning workers is setup, not ingest).
+            let mut pipelines: Vec<IngestPipeline> = (0..count)
+                .map(|_| {
+                    IngestPipeline::new(
+                        runtime_config.monitor.clone(),
+                        analyzer_config.clone(),
+                        runtime_config.pipeline.clone(),
+                    )
+                })
+                .collect();
+            let start = Instant::now();
+            interleave(count, &mut |t, chunk| {
+                let pipeline = &mut pipelines[t];
+                for txn in chunk {
+                    pipeline.push_transaction(txn.clone());
+                }
+            });
+            for mut pipeline in pipelines {
+                pipeline.flush_batch();
+                std::hint::black_box(pipeline.finish().stats());
+            }
+            baseline_samples.push(start.elapsed().as_secs_f64());
+
+            // (b) The tenant runtime, same interleave through handles;
+            // the lock is held per batch, as a connection thread holds
+            // it per ingest frame.
+            let runtime = TenantRuntime::new(runtime_config.clone());
+            let tenants: Vec<_> = (0..count)
+                .map(|t| runtime.open(&format!("tenant{t}")).expect("under the cap"))
+                .collect();
+            let start = Instant::now();
+            interleave(count, &mut |t, chunk| {
+                let mut tenant = tenants[t].lock().expect("tenant");
+                let pipeline = tenant.pipeline().expect("not evicted");
+                for txn in chunk {
+                    pipeline.push_transaction(txn.clone());
+                }
+            });
+            let finished = runtime.shutdown();
+            service_samples.push(start.elapsed().as_secs_f64());
+
+            assert_eq!(finished.len(), count, "service sweep lost tenants");
+            for (id, shards) in finished {
+                let t: usize = id
+                    .strip_prefix("tenant")
+                    .and_then(|n| n.parse().ok())
+                    .expect("tenant id");
+                exact &= canonical_pairs(shards.frequent_pairs(1)) == oracles[t];
+            }
+        }
+        rows.push(ServiceCell {
+            tenants: count,
+            events,
+            baseline_secs: median(&baseline_samples),
+            service_secs: median(&service_samples),
+            exact,
+        });
+    }
+
+    ServiceSweep {
+        requests_per_tenant: requests,
+        budget_bytes: SERVICE_BUDGET,
+        rows,
+    }
+}
+
+fn print_service(s: &ServiceSweep) {
+    println!(
+        "\n  [service] tenant-runtime capacity grid: {} requests/tenant, {} KB/tenant \
+         budget, round-robin batch interleave, drain included in the timed window",
+        s.requests_per_tenant,
+        s.budget_bytes / 1024,
+    );
+    println!(
+        "  {:>7} {:>9} {:>16} {:>16} {:>10} {:>6}",
+        "tenants", "events", "baseline ev/s", "service ev/s", "retention", "exact"
+    );
+    for r in &s.rows {
+        println!(
+            "  {:>7} {:>9} {:>16.0} {:>16.0} {:>10.3} {:>6}",
+            r.tenants,
+            r.events,
+            r.baseline_events_per_sec(),
+            r.service_events_per_sec(),
+            r.retention(),
+            r.exact,
+        );
+    }
+    println!(
+        "  min retention {:.3} (full-mode floor {SERVICE_RETENTION_FLOOR}), per-tenant \
+         oracle-exact: {}",
+        s.min_retention(),
+        s.exact(),
+    );
+}
+
 /// Measures the zero-copy from-disk path: writes one fitted MSR-like
 /// stream in all three formats, proves the streaming readers event-exact
 /// against their materializing oracles, then times streaming decode per
@@ -1974,12 +2240,6 @@ fn from_disk_sweep(smoke: bool, seed: u64, repeat: usize, config: &AnalyzerConfi
         assert_eq!(stats.events as usize, requests, "replay lost events");
         std::hint::black_box(analyzer.stats());
     }
-    let median = |v: &[f64]| -> f64 {
-        let mut v = v.to_vec();
-        v.sort_by(|a, b| a.total_cmp(b));
-        v[v.len() / 2]
-    };
-
     let result = FromDisk {
         requests,
         blk: DiskFormat {
@@ -2167,20 +2427,6 @@ fn print_table(results: &[Measurement], workloads: &[&Workload; 2]) {
     println!("   latencies have ring-full stall time subtracted)");
 }
 
-/// Nearest-rank percentile of an ascending-sorted slice.
-fn percentile(sorted: &[f64], pct: usize) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = (sorted.len() * pct).div_ceil(100);
-    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
-}
-
-fn json_u64_array(values: &[u64]) -> String {
-    let inner: Vec<String> = values.iter().map(u64::to_string).collect();
-    format!("[{}]", inner.join(", "))
-}
-
 /// Hand-rolled JSON (the workspace builds offline; no serde).
 #[allow(clippy::too_many_arguments)]
 fn render_json(
@@ -2194,6 +2440,7 @@ fn render_json(
     from_disk: &FromDisk,
     admission: &AdmissionSweep,
     query_load: &QueryLoadSweep,
+    service: &ServiceSweep,
 ) -> String {
     let hardware_threads = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -2451,14 +2698,7 @@ fn render_json(
         "    \"columnar_decode_keeps_up_with_pipeline\": {},\n",
         from_disk.decode_keeps_up()
     ));
-    out.push_str(&format!(
-        "    \"met\": {}\n",
-        if smoke {
-            from_disk.met_smoke()
-        } else {
-            from_disk.met_full()
-        }
-    ));
+    out.push_str(&format!("    \"met\": {}\n", from_disk.met(smoke)));
     out.push_str("  },\n");
     out.push_str("  \"admission\": {\n");
     out.push_str(
@@ -2501,14 +2741,7 @@ fn render_json(
         admission.recall_improves(),
         admission.throughput_holds()
     ));
-    out.push_str(&format!(
-        "    \"met\": {}\n",
-        if smoke {
-            admission.met_smoke()
-        } else {
-            admission.met_full()
-        }
-    ));
+    out.push_str(&format!("    \"met\": {}\n", admission.met(smoke)));
     out.push_str("  },\n");
     out.push_str("  \"query_load\": {\n");
     out.push_str(
@@ -2583,14 +2816,49 @@ fn render_json(
          \"publish_query_zero_alloc\": {},\n",
         query_load.exact, query_load.exact_samples, query_load.zero_alloc
     ));
+    out.push_str(&format!("    \"met\": {}\n", query_load.met(smoke)));
+    out.push_str("  },\n");
+    out.push_str("  \"service\": {\n");
+    out.push_str(
+        "    \"notes\": \"the tenants x events/s capacity grid of the multi-tenant \
+         TenantRuntime: at each tenant count N, N distinct MSR-like transaction \
+         streams are interleaved round-robin (one batch per tenant per turn) into \
+         N bare IngestPipelines (baseline) and into N tenants of one runtime \
+         (service), both sized identically from the per-tenant budget; the timed \
+         window covers pushes through drain; retention is service/baseline aggregate \
+         events/s; every tenant's final report must equal an OnlineAnalyzer oracle \
+         fed its own stream (gates in smoke too), retention only in full mode\",\n",
+    );
     out.push_str(&format!(
-        "    \"met\": {}\n",
-        if smoke {
-            query_load.met_smoke()
-        } else {
-            query_load.met_full()
-        }
+        "    \"requests_per_tenant\": {},\n    \"tenant_budget_bytes\": {},\n    \
+         \"retention_floor\": {SERVICE_RETENTION_FLOOR},\n",
+        service.requests_per_tenant, service.budget_bytes
     ));
+    out.push_str("    \"cells\": [\n");
+    for (i, r) in service.rows.iter().enumerate() {
+        let comma = if i + 1 == service.rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "      {{\"tenants\": {}, \"events\": {}, \"baseline_secs\": {:.6}, \
+             \"service_secs\": {:.6}, \"baseline_events_per_sec\": {:.0}, \
+             \"service_events_per_sec\": {:.0}, \"retention\": {:.4}, \
+             \"oracle_exact\": {}}}{comma}\n",
+            r.tenants,
+            r.events,
+            r.baseline_secs,
+            r.service_secs,
+            r.baseline_events_per_sec(),
+            r.service_events_per_sec(),
+            r.retention(),
+            r.exact,
+        ));
+    }
+    out.push_str("    ],\n");
+    out.push_str(&format!(
+        "    \"min_retention\": {:.4},\n    \"oracle_exact\": {},\n",
+        service.min_retention(),
+        service.exact()
+    ));
+    out.push_str(&format!("    \"met\": {}\n", service.met(smoke)));
     out.push_str("  },\n");
     out.push_str("  \"acceptance\": {\n");
     out.push_str("    \"criteria\": [\n");
@@ -2653,7 +2921,17 @@ fn render_json(
     out.push_str(
         "      \"query_load (full mode only): scheduler-free shard stage CPU with \
          publishing enabled >= 0.90x the no-publish baseline, and p99 epoch lag <= 1 \
-         publish interval at the gated query rates (>= 1000 q/s)\"\n",
+         publish interval at the gated query rates (>= 1000 q/s)\",\n",
+    );
+    out.push_str(
+        "      \"service: at every cell of the tenant capacity grid, each tenant's \
+         final report equals its own offline oracle — no cross-tenant contamination \
+         (gates in smoke too)\",\n",
+    );
+    out.push_str(
+        "      \"service (full mode only): ingest through TenantRuntime handles keeps \
+         >= 0.85x the aggregate events/s of equivalent bare in-process pipelines at \
+         every tenant count\"\n",
     );
     out.push_str("    ],\n");
     out.push_str(&format!(
@@ -2725,36 +3003,24 @@ fn render_json(
     ));
     out.push_str(&format!(
         "    \"from_disk_met\": {},\n",
-        if smoke {
-            from_disk.met_smoke()
-        } else {
-            from_disk.met_full()
-        }
+        from_disk.met(smoke)
     ));
     out.push_str(&format!(
         "    \"admission_met\": {},\n",
-        if smoke {
-            admission.met_smoke()
-        } else {
-            admission.met_full()
-        }
+        admission.met(smoke)
     ));
     out.push_str(&format!(
         "    \"query_load_met\": {},\n",
-        if smoke {
-            query_load.met_smoke()
-        } else {
-            query_load.met_full()
-        }
+        query_load.met(smoke)
     ));
+    out.push_str(&format!("    \"service_met\": {},\n", service.met(smoke)));
     out.push_str(&format!(
         "    \"met\": {}\n",
         acceptance.met()
-            && if smoke {
-                from_disk.met_smoke() && admission.met_smoke() && query_load.met_smoke()
-            } else {
-                from_disk.met_full() && admission.met_full() && query_load.met_full()
-            }
+            && from_disk.met(smoke)
+            && admission.met(smoke)
+            && query_load.met(smoke)
+            && service.met(smoke)
     ));
     out.push_str("  }\n}\n");
     out

@@ -12,7 +12,7 @@ use std::collections::HashSet;
 use rtdac_fim::frequent_pairs;
 use rtdac_metrics::detection;
 use rtdac_sketch::{CmsPairMiner, SpaceSavingPairMiner, SsCounter};
-use rtdac_synopsis::{Admission, AnalyzerConfig, DoorkeeperConfig, OnlineAnalyzer};
+use rtdac_synopsis::OnlineAnalyzer;
 use rtdac_types::{ExtentPair, Transaction};
 use rtdac_workloads::{LongTailSpec, MsrServer};
 
@@ -34,53 +34,10 @@ struct Contender {
     bytes: usize,
 }
 
-/// Per-capacity-unit cost of the analyzer's real structures, measured
-/// on a probe instance (both tables scale linearly in the per-tier
-/// capacity, so one probe fixes the slope).
-fn analyzer_unit_bytes() -> usize {
-    const PROBE: usize = 64;
-    OnlineAnalyzer::new(AnalyzerConfig::with_capacity(PROBE)).table_memory_bytes() / PROBE
-}
-
-/// Analyzer config whose measured footprint fills `budget`, spending
-/// at most `doorkeeper_bytes` of it on an admission sketch (0 =
-/// admission off) and reserving `live_bytes` for the reader-side
-/// live-query structures (the `LiveView` mirrors plus the circulating
-/// delta buffers; 0 = no live view). The sketch rounds *down* to a
-/// power-of-two count of 64-byte blocks — never exceeding its slice —
-/// and the tables are sized from whatever the sketch and the live
-/// reservation actually left over.
-///
-/// Shared with the `ingest_throughput` admission and query-load sweeps
-/// so every harness sizes contenders identically.
-pub fn analyzer_config_for(
-    budget: usize,
-    doorkeeper_bytes: usize,
-    live_bytes: usize,
-) -> AnalyzerConfig {
-    let sketch_bytes = if doorkeeper_bytes == 0 {
-        0
-    } else {
-        let blocks = (doorkeeper_bytes / 64).max(1);
-        let blocks = if blocks.is_power_of_two() {
-            blocks
-        } else {
-            blocks.next_power_of_two() / 2
-        };
-        blocks * 64
-    };
-    let capacity = budget.saturating_sub(sketch_bytes + live_bytes) / analyzer_unit_bytes();
-    let config = AnalyzerConfig::with_capacity(capacity.max(1));
-    if sketch_bytes == 0 {
-        return config;
-    }
-    let counters = sketch_bytes * 2; // two 4-bit counters per byte
-    config.admission(Admission::Doorkeeper(DoorkeeperConfig {
-        counters,
-        watermark: (counters as u64 / 16).max(1),
-        ..DoorkeeperConfig::default()
-    }))
-}
+/// Budget-driven analyzer sizing, now owned by `rtdac-synopsis` so the
+/// tenant runtime's admission control can share it; re-exported here
+/// for the harnesses that size contenders through this module.
+pub use rtdac_synopsis::analyzer_config_for;
 
 fn run_contenders(txns: &[Transaction], budget: usize) -> Vec<Contender> {
     // Every contender is sized from its *measured* per-entry costs

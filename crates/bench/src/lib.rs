@@ -22,6 +22,7 @@
 pub mod experiments;
 pub mod pool;
 pub mod support;
+pub mod sweep;
 
 /// `writeln!` into a report `String`. Formatting into a `String` cannot
 /// fail, so the error arm is dropped.

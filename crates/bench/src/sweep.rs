@@ -1,0 +1,129 @@
+//! Shared scaffolding for the bench harnesses' sweeps: repetition
+//! medians, nearest-rank percentiles, environment overrides, and the
+//! smoke/full acceptance-gate split.
+//!
+//! Every sweep in `ingest_throughput` (main dispatch grid, resize,
+//! from-disk, admission, query-load, service) samples each timed
+//! configuration once per repetition and reports the median, and every
+//! sweep gates the build on a correctness-only criterion set under
+//! `--smoke` (tiny stream, shared CI cores — timing is noise) plus
+//! timing criteria in full runs. This module holds that scaffolding
+//! once instead of one hand-rolled copy per sweep.
+
+/// Median of a sample set (not required to be sorted). Empty input
+/// returns 0 — a sweep that recorded nothing has nothing to report.
+pub fn median(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut v = samples.to_vec();
+    v.sort_by(|a, b| a.total_cmp(b));
+    v[v.len() / 2]
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+pub fn percentile(sorted: &[f64], pct: usize) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (sorted.len() * pct).div_ceil(100);
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Nearest-rank percentile of an ascending-sorted integer slice.
+pub fn percentile_u64(sorted: &[u64], pct: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (sorted.len() * pct).div_ceil(100);
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Numeric environment override with a default (`RTDAC_REQUESTS`-style
+/// knobs).
+pub fn env_or(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A sweep's acceptance gate, split by run mode: `met_smoke` holds the
+/// correctness-only criteria that stay meaningful on a noisy CI host,
+/// `met_full` adds the timing criteria. `met` picks by mode — the one
+/// branch every harness used to hand-roll per sweep.
+pub trait Gate {
+    /// Correctness-only criteria (gate under `--smoke` too).
+    fn met_smoke(&self) -> bool;
+    /// Smoke criteria plus the timing criteria of a full run.
+    fn met_full(&self) -> bool;
+    /// The criteria set for the given mode.
+    fn met(&self, smoke: bool) -> bool {
+        if smoke {
+            self.met_smoke()
+        } else {
+            self.met_full()
+        }
+    }
+}
+
+/// `[1, 2, 3]`-style JSON array of integers (the workspace builds
+/// offline; no serde).
+pub fn json_u64_array(values: &[u64]) -> String {
+    let inner: Vec<String> = values.iter().map(u64::to_string).collect();
+    format!("[{}]", inner.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_order_insensitive_and_total() {
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[3.0]), 3.0);
+        assert_eq!(median(&[9.0, 1.0, 5.0]), 5.0);
+        // Even-length: upper-median convention (index len/2).
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 3.0);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&sorted, 50), 2.0);
+        assert_eq!(percentile(&sorted, 99), 4.0);
+        assert_eq!(percentile(&[], 50), 0.0);
+        let ints = [10u64, 20, 30];
+        assert_eq!(percentile_u64(&ints, 50), 20);
+        assert_eq!(percentile_u64(&ints, 99), 30);
+        assert_eq!(percentile_u64(&[], 99), 0);
+    }
+
+    #[test]
+    fn gate_picks_criteria_by_mode() {
+        struct Fake {
+            correct: bool,
+            fast: bool,
+        }
+        impl Gate for Fake {
+            fn met_smoke(&self) -> bool {
+                self.correct
+            }
+            fn met_full(&self) -> bool {
+                self.correct && self.fast
+            }
+        }
+        let slow_but_correct = Fake {
+            correct: true,
+            fast: false,
+        };
+        assert!(slow_but_correct.met(true));
+        assert!(!slow_but_correct.met(false));
+    }
+
+    #[test]
+    fn json_array_renders_plainly() {
+        assert_eq!(json_u64_array(&[]), "[]");
+        assert_eq!(json_u64_array(&[1, 2, 3]), "[1, 2, 3]");
+    }
+}

@@ -35,16 +35,21 @@ mod controller;
 mod ewma;
 mod monitor;
 mod pipeline;
+pub(crate) mod pool;
 mod router;
+mod service;
 pub mod spsc;
 mod stream;
+mod tenant;
 
 pub use controller::{AdaptiveController, ControllerConfig, WindowSample};
 pub use ewma::LatencyEwma;
 pub use monitor::{Monitor, MonitorConfig, MonitorStats, WindowPolicy};
 pub use pipeline::{Dispatch, IngestPipeline, PipelineConfig, PipelineStats, ResizeEvent};
 pub use router::{RoutedBatch, Router, RouterConfig, RouterStats, SplitConfig, WorkList};
+pub use service::{serve, ServiceConfig};
 pub use stream::{
     replay, BlktraceEventSource, BlktraceReader, ReplayPacing, ReplayStats, DEFAULT_CHUNK_BYTES,
     DEFAULT_MAX_INFLIGHT,
 };
+pub use tenant::{Tenant, TenantError, TenantRuntime, TenantRuntimeConfig};

@@ -1,0 +1,96 @@
+//! Budget-driven analyzer sizing, shared by every harness and by the
+//! tenant runtime's admission control.
+//!
+//! The paper sizes the synopsis in entries; operators size deployments
+//! in bytes. [`analyzer_config_for`] converts a byte budget into an
+//! [`AnalyzerConfig`] whose *measured* footprint fills the budget,
+//! optionally carving out a doorkeeper admission sketch and a
+//! reservation for the reader-side live-query structures.
+
+use crate::analyzer::{Admission, AnalyzerConfig, DoorkeeperConfig, OnlineAnalyzer};
+
+/// Per-capacity-unit cost of the analyzer's real structures, measured
+/// on a probe instance (both tables scale linearly in the per-tier
+/// capacity, so one probe fixes the slope).
+fn analyzer_unit_bytes() -> usize {
+    const PROBE: usize = 64;
+    OnlineAnalyzer::new(AnalyzerConfig::with_capacity(PROBE)).table_memory_bytes() / PROBE
+}
+
+/// Analyzer config whose measured footprint fills `budget`, spending
+/// at most `doorkeeper_bytes` of it on an admission sketch (0 =
+/// admission off) and reserving `live_bytes` for the reader-side
+/// live-query structures (the `LiveView` mirrors plus the circulating
+/// delta buffers; 0 = no live view). The sketch rounds *down* to a
+/// power-of-two count of 64-byte blocks — never exceeding its slice —
+/// and the tables are sized from whatever the sketch and the live
+/// reservation actually left over.
+///
+/// Shared with the `ingest_throughput` admission and query-load sweeps
+/// and with the tenant runtime's per-tenant budgets, so every consumer
+/// sizes analyzers identically.
+pub fn analyzer_config_for(
+    budget: usize,
+    doorkeeper_bytes: usize,
+    live_bytes: usize,
+) -> AnalyzerConfig {
+    let sketch_bytes = if doorkeeper_bytes == 0 {
+        0
+    } else {
+        let blocks = (doorkeeper_bytes / 64).max(1);
+        let blocks = if blocks.is_power_of_two() {
+            blocks
+        } else {
+            blocks.next_power_of_two() / 2
+        };
+        blocks * 64
+    };
+    let capacity = budget.saturating_sub(sketch_bytes + live_bytes) / analyzer_unit_bytes();
+    let config = AnalyzerConfig::with_capacity(capacity.max(1));
+    if sketch_bytes == 0 {
+        return config;
+    }
+    let counters = sketch_bytes * 2; // two 4-bit counters per byte
+    config.admission(Admission::Doorkeeper(DoorkeeperConfig {
+        counters,
+        watermark: (counters as u64 / 16).max(1),
+        ..DoorkeeperConfig::default()
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_land_near_budget() {
+        let budget = 512 * 1024;
+        let analyzer = OnlineAnalyzer::new(analyzer_config_for(budget, 0, 0));
+        let ratio = analyzer.table_memory_bytes() as f64 / budget as f64;
+        assert!((1.0 - ratio).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn sketch_slice_never_exceeds_request() {
+        let budget = 256 * 1024;
+        let config = analyzer_config_for(budget, budget / 8, 0);
+        match config.admission {
+            Admission::Doorkeeper(d) => {
+                // Two 4-bit counters per byte: bytes = counters / 2.
+                assert!(d.counters / 2 <= budget / 8);
+            }
+            _ => panic!("doorkeeper expected"),
+        }
+    }
+
+    #[test]
+    fn live_reservation_shrinks_tables() {
+        let budget = 512 * 1024;
+        let plain = analyzer_config_for(budget, 0, 0);
+        let reserved = analyzer_config_for(budget, 0, budget / 2);
+        assert!(
+            reserved.correlation_capacity_per_tier < plain.correlation_capacity_per_tier,
+            "live reservation must come out of the tables"
+        );
+    }
+}

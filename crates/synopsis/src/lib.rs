@@ -41,6 +41,7 @@
 //! [`Transaction`]: rtdac_types::Transaction
 
 mod analyzer;
+mod budget;
 mod delta;
 mod live;
 mod reference;
@@ -53,6 +54,7 @@ pub use analyzer::{
     Admission, AnalyzerConfig, AnalyzerStats, DoorkeeperConfig, OnlineAnalyzer, Snapshot,
     ITEM_ENTRY_BYTES, PAIR_ENTRY_BYTES,
 };
+pub use budget::analyzer_config_for;
 pub use delta::{DeltaOp, ShardDelta, TableDelta};
 pub use live::LiveView;
 pub use reference::ReferenceAnalyzer;

@@ -37,6 +37,7 @@ mod stream;
 mod time;
 mod trace;
 mod transaction;
+pub mod wire;
 
 pub use colfmt::{
     read_trace_columnar, write_trace_columnar, ColumnarReader, ColumnarWriter, COLFMT_HEADER_BYTES,

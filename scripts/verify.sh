@@ -33,11 +33,14 @@ echo "==> ingestion throughput harness (smoke mode, incl. resize gate)"
 # rejecting; and the query_load sweep's correctness half — the live
 # view bit-exact with a quiesced snapshot at every sampled epoch
 # boundary, zero allocations on the publish and query paths, and
-# tables + live-view structures at equal-memory byte parity. Timing
+# tables + live-view structures at equal-memory byte parity; and the
+# service sweep's correctness half — every tenant in the tenants x
+# events/s capacity grid bit-exact against its offline oracle. Timing
 # criteria (including adaptive convergence, the
 # columnar-decode-outpaces-pipeline gate, the admission sweep's
-# equal-memory recall-beats-unfiltered + throughput-holds gate, and
-# the query_load stage-CPU-retention and epoch-lag gates) apply
+# equal-memory recall-beats-unfiltered + throughput-holds gate, the
+# query_load stage-CPU-retention and epoch-lag gates, and the service
+# sweep's aggregate-throughput-retention floor) apply
 # in full runs only (cargo run --release -p rtdac-bench --bin
 # ingest_throughput) because a tiny stream on a shared CI core
 # measures noise. set -e turns that exit into a build failure.
@@ -77,5 +80,44 @@ echo "==> concurrent evaluation runner (smoke subset)"
 # never overwrites the committed full-scale results/.
 RTDAC_OUT="${TMPDIR:-/tmp}/rtdac_smoke_results" \
     cargo run --release --offline -p rtdac-bench --bin exp_all -- --smoke
+
+echo "==> daemon service smoke (rtdacd + two tenants over loopback)"
+# End-to-end wire-service check: spawn the daemon on an ephemeral
+# loopback port, stream two different fitted traces into two tenants
+# concurrently over the framed protocol, then diff each tenant's live
+# top-k report against the offline oracle (`rtdacctl oracle` — same
+# decode, same budget-derived analyzer sizing, no daemon involved).
+# Bit-exact output proves the TCP framing, the blktrace wire codec,
+# the tenant runtime, and the live-view query path end to end; the
+# Shutdown frame then drains every tenant and the daemon must exit 0.
+SVC_DIR="${TMPDIR:-/tmp}/rtdac_service_smoke"
+rm -rf "$SVC_DIR"
+mkdir -p "$SVC_DIR"
+./target/release/rtdac synth wdev "$SVC_DIR/wdev.blk" --requests 4000 --seed 11 > /dev/null
+./target/release/rtdac synth stg "$SVC_DIR/stg.blk" --requests 4000 --seed 12 > /dev/null
+./target/release/rtdacd --port-file "$SVC_DIR/port" > /dev/null &
+RTDACD_PID=$!
+trap 'kill "$RTDACD_PID" 2> /dev/null || true' EXIT
+for _ in $(seq 1 100); do
+    [ -s "$SVC_DIR/port" ] && break
+    sleep 0.1
+done
+[ -s "$SVC_DIR/port" ] || { echo "rtdacd never published its port" >&2; exit 1; }
+ADDR="127.0.0.1:$(tr -d '[:space:]' < "$SVC_DIR/port")"
+./target/release/rtdacctl --addr "$ADDR" stream wdev "$SVC_DIR/wdev.blk" > /dev/null &
+STREAM_WDEV=$!
+./target/release/rtdacctl --addr "$ADDR" stream stg "$SVC_DIR/stg.blk" > /dev/null &
+STREAM_STG=$!
+wait "$STREAM_WDEV"
+wait "$STREAM_STG"
+for TENANT in wdev stg; do
+    ./target/release/rtdacctl --addr "$ADDR" top "$TENANT" --k 20 > "$SVC_DIR/$TENANT.live"
+    ./target/release/rtdacctl oracle "$SVC_DIR/$TENANT.blk" --k 20 > "$SVC_DIR/$TENANT.oracle"
+    diff "$SVC_DIR/$TENANT.live" "$SVC_DIR/$TENANT.oracle"
+done
+./target/release/rtdacctl --addr "$ADDR" shutdown > /dev/null
+wait "$RTDACD_PID"
+trap - EXIT
+rm -rf "$SVC_DIR"
 
 echo "==> verify OK"

@@ -17,8 +17,9 @@
 //! ```
 //!
 //! Trace formats are chosen by extension: `.csv` = MSR Cambridge CSV,
-//! `.rtdac` = the columnar format, anything else = the binary
-//! blktrace-style stream.
+//! `.rtdac` = the columnar format, `.blk`/`.blktrace` = the binary
+//! blktrace-style stream. Any other extension is an error — a silent
+//! fallback would misparse a mistyped path as blktrace bytes.
 
 use std::collections::HashMap;
 use std::fs::File;
@@ -55,8 +56,20 @@ const USAGE: &str = "usage:
                  <out> [--requests N] [--seed S]
 
 trace format by extension: .csv = MSR Cambridge CSV, .rtdac = the
-columnar format, otherwise the blktrace-style binary stream written by
-`rtdac convert`/`rtdac synth`.";
+columnar format, .blk/.blktrace = the blktrace-style binary stream
+written by `rtdac convert`/`rtdac synth`.";
+
+/// The error for a path whose extension maps to no known format.
+fn unknown_extension(path: &str) -> String {
+    format!(
+        "unknown trace extension for `{path}` \
+         (expected .csv, .rtdac, or .blk/.blktrace)"
+    )
+}
+
+fn is_blktrace(path: &str) -> bool {
+    path.ends_with(".blk") || path.ends_with(".blktrace")
+}
 
 fn run(args: &[String]) -> Result<(), String> {
     let mut positional = Vec::new();
@@ -109,8 +122,12 @@ fn parse_flag<T: std::str::FromStr>(
     }
 }
 
-/// Loads a trace by extension.
+/// Loads a trace by extension; unknown extensions are an error before
+/// the file is even opened.
 fn load_trace(path: &str) -> Result<Trace, String> {
+    if !path.ends_with(".csv") && !path.ends_with(".rtdac") && !is_blktrace(path) {
+        return Err(unknown_extension(path));
+    }
     let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
     if path.ends_with(".csv") {
         Trace::read_msr_csv(path, BufReader::new(file)).map_err(|e| e.to_string())
@@ -263,9 +280,13 @@ fn mine(path: &str, flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-/// Writes a trace by extension (see [`load_trace`] for the mapping).
+/// Writes a trace by extension (see [`load_trace`] for the mapping);
+/// an unknown extension errors before the output file is created.
 fn save_trace(trace: &Trace, output: &str) -> Result<(), String> {
     use std::io::Write;
+    if !output.ends_with(".csv") && !output.ends_with(".rtdac") && !is_blktrace(output) {
+        return Err(unknown_extension(output));
+    }
     let file = File::create(output).map_err(|e| format!("cannot create {output}: {e}"))?;
     let mut writer = BufWriter::new(file);
     if output.ends_with(".csv") {

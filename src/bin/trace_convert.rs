@@ -11,10 +11,12 @@
 //! ```
 //!
 //! Formats are chosen by extension: `.csv` = MSR Cambridge CSV,
-//! `.rtdac` = the columnar format, anything else = the blktrace-style
-//! binary stream. Every conversion prints a size report: records,
-//! bytes per record on each side, and the compression ratio against
-//! the blktrace-binary equivalent of the same stream.
+//! `.rtdac` = the columnar format, `.blk`/`.blktrace` = the
+//! blktrace-style binary stream; any other extension is an error (a
+//! silent fallback would misparse a mistyped path as blktrace bytes).
+//! Every conversion prints a size report: records, bytes per record on
+//! each side, and the compression ratio against the blktrace-binary
+//! equivalent of the same stream.
 
 use std::collections::HashMap;
 use std::fs::{self, File};
@@ -44,7 +46,7 @@ const USAGE: &str = "usage:
   trace_convert fit   <in> <out> [--requests N] [--seed S]
 
 trace format by extension: .csv = MSR Cambridge CSV, .rtdac = the
-columnar format, otherwise the binary blktrace-style stream.
+columnar format, .blk/.blktrace = the binary blktrace-style stream.
 `synth` writes a synthetic workload; `fit` learns a generator from an
 existing trace and writes a lookalike stream of any length.";
 
@@ -117,13 +119,20 @@ enum Format {
 }
 
 impl Format {
-    fn of(path: &str) -> Format {
+    /// Detects a path's format from its extension; unknown extensions
+    /// are an error rather than a silent blktrace fallback.
+    fn of(path: &str) -> Result<Format, String> {
         if path.ends_with(".csv") {
-            Format::MsrCsv
+            Ok(Format::MsrCsv)
         } else if path.ends_with(".rtdac") {
-            Format::Columnar
+            Ok(Format::Columnar)
+        } else if path.ends_with(".blk") || path.ends_with(".blktrace") {
+            Ok(Format::Blktrace)
         } else {
-            Format::Blktrace
+            Err(format!(
+                "unknown trace extension for `{path}` \
+                 (expected .csv, .rtdac, or .blk/.blktrace)"
+            ))
         }
     }
 
@@ -153,9 +162,10 @@ impl<R: std::io::Read> RequestSource for BlktraceRequests<R> {
 /// Opens `path` as a pull-based request stream in its extension's
 /// format.
 fn open_source(path: &str) -> Result<Box<dyn RequestSource>, String> {
+    let format = Format::of(path)?;
     let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
     let reader = BufReader::new(file);
-    Ok(match Format::of(path) {
+    Ok(match format {
         Format::MsrCsv => Box::new(MsrCsvReader::new(reader)),
         Format::Columnar => Box::new(ColumnarReader::new(reader)),
         Format::Blktrace => Box::new(BlktraceRequests(BlktraceEventSource::new(
@@ -174,13 +184,14 @@ fn write_stream(
     output: &str,
     name: &str,
 ) -> Result<(u64, u64), String> {
+    let format = Format::of(output)?;
     let file = File::create(output).map_err(|e| format!("cannot create {output}: {e}"))?;
     let mut writer = BufWriter::new(file);
     let mut records = 0u64;
     let mut with_latency = 0u64;
     let fail = |e: std::io::Error| format!("cannot write {output}: {e}");
     let read_fail = |e: std::io::Error| format!("cannot read input: {e}");
-    match Format::of(output) {
+    match format {
         Format::Columnar => {
             let mut columnar = ColumnarWriter::new(writer);
             while let Some(request) = source.next_request().map_err(read_fail)? {
@@ -235,6 +246,11 @@ fn megabytes(bytes: u64) -> f64 {
     bytes as f64 / 1e6
 }
 
+/// Format name for a path already validated by [`Format::of`].
+fn format_name(path: &str) -> &'static str {
+    Format::of(path).map(Format::name).unwrap_or("unknown")
+}
+
 /// Prints the size report every command ends with.
 fn report(records: u64, with_latency: u64, input: Option<(&str, u64)>, output: &str) {
     let out_bytes = fs::metadata(output).map(|m| m.len()).unwrap_or(0);
@@ -243,9 +259,9 @@ fn report(records: u64, with_latency: u64, input: Option<(&str, u64)>, output: &
         println!(
             "transcoded {records} requests: {path} ({:.2} MB, {}) -> {output} ({:.2} MB, {})",
             megabytes(bytes),
-            Format::of(path).name(),
+            format_name(path),
             megabytes(out_bytes),
-            Format::of(output).name(),
+            format_name(output),
         );
         println!(
             "  bytes/request: {:.2} in, {:.2} out; compression vs input {:.2}x",
@@ -257,7 +273,7 @@ fn report(records: u64, with_latency: u64, input: Option<(&str, u64)>, output: &
         println!(
             "wrote {records} requests to {output} ({:.2} MB, {}; {:.2} bytes/request)",
             megabytes(out_bytes),
-            Format::of(output).name(),
+            format_name(output),
             per(out_bytes),
         );
     }
@@ -279,6 +295,10 @@ fn stem(path: &str) -> &str {
 }
 
 fn convert(input: &str, output: &str) -> Result<(), String> {
+    // Validate both extensions before touching the filesystem, so a
+    // mistyped path fails on the actual mistake.
+    Format::of(input)?;
+    Format::of(output)?;
     let in_bytes = file_len(input)?;
     let mut source = open_source(input)?;
     let (records, with_latency) = write_stream(source.as_mut(), output, stem(input))?;

@@ -153,6 +153,69 @@ fn bad_usage_fails_with_help() {
 }
 
 #[test]
+fn unknown_extensions_are_rejected_not_guessed() {
+    let trace_convert = |args: &[&str]| {
+        Command::new(env!("CARGO_BIN_EXE_trace_convert"))
+            .args(args)
+            .output()
+            .expect("binary runs")
+    };
+    let blk = temp_path("ext.blk");
+    stdout(&rtdac(&[
+        "synth",
+        "wdev",
+        blk.to_str().unwrap(),
+        "--requests",
+        "500",
+    ]));
+
+    // Unknown input extension: both CLIs refuse instead of silently
+    // parsing the bytes as blktrace.
+    for out in [
+        rtdac(&["stats", "/nonexistent/trace.dat"]),
+        rtdac(&["analyze", "/nonexistent/trace.dat"]),
+        trace_convert(&["/nonexistent/trace.dat", "/tmp/out.csv"]),
+    ] {
+        assert!(!out.status.success());
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains("unknown trace extension"),
+            "expected extension error, got: {err}"
+        );
+    }
+
+    // Unknown output extension: rejected before any file is created.
+    let bad_out = temp_path("out.dat");
+    for out in [
+        rtdac(&["convert", blk.to_str().unwrap(), bad_out.to_str().unwrap()]),
+        trace_convert(&[blk.to_str().unwrap(), bad_out.to_str().unwrap()]),
+    ] {
+        assert!(!out.status.success());
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("unknown trace extension"), "got: {err}");
+        assert!(!bad_out.exists(), "output file must not be created");
+    }
+
+    // Unreadable input with a known extension still reports cleanly.
+    let out = trace_convert(&["/nonexistent/trace.blk", "/tmp/out.csv"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("cannot open") || err.contains("cannot stat"),
+        "got: {err}"
+    );
+
+    // The .blktrace alias works end to end.
+    let alias = temp_path("alias.blktrace");
+    stdout(&rtdac(&[
+        "convert",
+        blk.to_str().unwrap(),
+        alias.to_str().unwrap(),
+    ]));
+    assert!(stdout(&rtdac(&["stats", alias.to_str().unwrap()])).contains("requests:"));
+}
+
+#[test]
 fn ops_filter_restricts_analysis() {
     let blk = temp_path("ops.blk");
     stdout(&rtdac(&[
