@@ -1,0 +1,132 @@
+//! Synopsis-table microbenches: the open-addressing `TwoTierTable`
+//! against the preserved HashMap-index `MapTable` (DESIGN.md §17) on
+//! each `record` path the analyzer actually drives — pure hits,
+//! miss+evict churn, and promotion traffic — over the skewed pair
+//! workload the correlation table sees. Each group carries an
+//! `open`/`map` row pair so criterion reports the layout delta
+//! directly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rtdac_synopsis::{MapTable, TwoTierTable};
+use rtdac_types::{Extent, ExtentPair};
+
+const CAPACITY_PER_TIER: usize = 8 * 1024;
+const STREAM_LEN: usize = 64 * 1024;
+
+fn pair(a: u64, b: u64) -> ExtentPair {
+    ExtentPair::new(
+        Extent::new(a * 64, 8).expect("valid extent"),
+        Extent::new(b * 64, 8).expect("valid extent"),
+    )
+    .expect("distinct extents")
+}
+
+/// Zipf-ish skewed pair stream: key rank is the product of two
+/// geometric draws, matching the hot-pair concentration the paper's
+/// workloads exhibit (a few pairs dominate, a long one-off tail).
+fn skewed_pairs(keyspace: u64, count: usize) -> Vec<ExtentPair> {
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut rand = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 16
+    };
+    (0..count)
+        .map(|_| {
+            let skew = (rand() % keyspace).min(rand() % keyspace);
+            pair(skew, skew + keyspace)
+        })
+        .collect()
+}
+
+/// Every key resident before measurement: the pure hit path
+/// (probe + tally + MRU relink).
+fn bench_hit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table_record_hit");
+    let stream = skewed_pairs(CAPACITY_PER_TIER as u64 / 2, STREAM_LEN);
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.bench_with_input(BenchmarkId::new("open", ""), &stream, |b, stream| {
+        let mut t = TwoTierTable::new(CAPACITY_PER_TIER, CAPACITY_PER_TIER, 2);
+        for p in stream {
+            t.record(*p);
+        }
+        b.iter(|| {
+            for p in stream {
+                t.record(*p);
+            }
+            t.stats().hits
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("map", ""), &stream, |b, stream| {
+        let mut t = MapTable::new(CAPACITY_PER_TIER, CAPACITY_PER_TIER, 2);
+        for p in stream {
+            t.record(*p);
+        }
+        b.iter(|| {
+            for p in stream {
+                t.record(*p);
+            }
+            t.stats().hits
+        });
+    });
+    group.finish();
+}
+
+/// Keyspace far beyond capacity: dominated by miss + T1 LRU eviction
+/// (insert, unlink, erase/tombstone churn).
+fn bench_miss_evict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table_record_miss_evict");
+    let stream = skewed_pairs(64 * CAPACITY_PER_TIER as u64, STREAM_LEN);
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.bench_with_input(BenchmarkId::new("open", ""), &stream, |b, stream| {
+        b.iter(|| {
+            let mut t = TwoTierTable::new(CAPACITY_PER_TIER, CAPACITY_PER_TIER, 2);
+            for p in stream {
+                t.record(*p);
+            }
+            t.stats().evictions
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("map", ""), &stream, |b, stream| {
+        b.iter(|| {
+            let mut t = MapTable::new(CAPACITY_PER_TIER, CAPACITY_PER_TIER, 2);
+            for p in stream {
+                t.record(*p);
+            }
+            t.stats().evictions
+        });
+    });
+    group.finish();
+}
+
+/// Second sighting of every key in a fresh table: maximal promotion
+/// traffic (T1→T2 relink plus overflow demotions back).
+fn bench_promote(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table_record_promote");
+    let half = skewed_pairs(CAPACITY_PER_TIER as u64, STREAM_LEN / 2);
+    let stream: Vec<ExtentPair> = half.iter().chain(half.iter()).copied().collect();
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.bench_with_input(BenchmarkId::new("open", ""), &stream, |b, stream| {
+        b.iter(|| {
+            let mut t = TwoTierTable::new(CAPACITY_PER_TIER, CAPACITY_PER_TIER, 2);
+            for p in stream {
+                t.record(*p);
+            }
+            t.stats().promotions
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("map", ""), &stream, |b, stream| {
+        b.iter(|| {
+            let mut t = MapTable::new(CAPACITY_PER_TIER, CAPACITY_PER_TIER, 2);
+            for p in stream {
+                t.record(*p);
+            }
+            t.stats().promotions
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hit, bench_miss_evict, bench_promote);
+criterion_main!(benches);

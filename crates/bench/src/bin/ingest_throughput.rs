@@ -88,8 +88,8 @@ use rtdac_monitor::{
     DEFAULT_MAX_INFLIGHT,
 };
 use rtdac_synopsis::{
-    Admission, AnalyzerConfig, LiveView, OnlineAnalyzer, ReferenceAnalyzer, ShardDelta,
-    ShardedAnalyzer, SynopsisSnapshot,
+    Admission, AnalyzerConfig, LiveView, MapTable, OnlineAnalyzer, ReferenceAnalyzer, ShardDelta,
+    ShardedAnalyzer, SynopsisSnapshot, TwoTierTable,
 };
 use rtdac_types::{
     write_trace_columnar, ColumnarReader, EventSource, Extent, ExtentPair, IoEvent, MsrCsvReader,
@@ -140,6 +140,17 @@ const TABLE_CAPACITY: usize = 64 * 1024;
 /// routing stage was the critical path. The parallel router front-end
 /// exists to break exactly that bound.
 const PR2_SINGLE_ROUTER_EVENTS_PER_SEC: f64 = 4_940_527.0;
+/// The PR-9 acceptance figure the open-addressing table rewrite must
+/// hold: uniform 4-shard routed one-core-per-shard events/s recorded
+/// in BENCH_ingest.json before the table layout changed. The table
+/// sweep's end-to-end gate allows 2% host-timing noise below it.
+const PR9_FOUR_SHARD_ONE_CORE_EVENTS_PER_SEC: f64 = 5_359_266.0;
+/// Bytes-per-entry reduction floor: the open-addressing table's owned
+/// allocations vs `MapTable`'s at equal capacities.
+const TABLE_BYTES_REDUCTION_FLOOR: f64 = 0.25;
+/// Single-thread `record` throughput floor: open table over `MapTable`
+/// on the skewed pair stream (full mode only — timing).
+const TABLE_SPEEDUP_FLOOR: f64 = 1.2;
 /// Routed p99 per-batch service latency ceiling (µs). The PR-2 harness
 /// showed ~5.7 ms spikes caused by the ring backoff's sleep tier; the
 /// event-driven park/wake protocol must keep the tail under this. The
@@ -960,6 +971,12 @@ fn main() {
     let service = service_sweep(smoke, seed, repeat);
     print_service(&service);
 
+    // (12) The table sweep: the open-addressing synopsis table against
+    // the preserved MapTable oracle, plus the end-to-end 4-shard figure
+    // it must hold (see table_sweep).
+    let table = table_sweep(smoke, seed, repeat, crit_rate(routed4, uniform.events));
+    print_table_sweep(&table);
+
     println!("\n  acceptance:");
     println!(
         "    uniform 8-shard total CPU vs 1-shard optimized: routed {routed_cpu_ratio:.2}x, \
@@ -1049,6 +1066,15 @@ fn main() {
         service.exact(),
         service.min_retention(),
     );
+    println!(
+        "    table: open bit-exact to MapTable {} and bytes -{:.1}% (both gate in \
+         smoke too); record speedup {:.2}x (full-mode floor {TABLE_SPEEDUP_FLOOR}x), \
+         4-shard end-to-end holds PR-9 figure: {}",
+        table.bit_exact,
+        table.bytes_reduction() * 100.0,
+        table.speedup(),
+        table.four_shard_holds(),
+    );
 
     let acceptance = Acceptance {
         routed_cpu_ratio,
@@ -1091,6 +1117,7 @@ fn main() {
         &admission,
         &query_load,
         &service,
+        &table,
     );
     let out = std::env::var("RTDAC_BENCH_OUT").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest.json").to_string()
@@ -1102,8 +1129,11 @@ fn main() {
     // mode (under --smoke the stream is tiny and the host is shared, so
     // timing-based criteria are noise — and the controller has too few
     // windows to converge).
-    let sweeps_met =
-        from_disk.met(smoke) && admission.met(smoke) && query_load.met(smoke) && service.met(smoke);
+    let sweeps_met = from_disk.met(smoke)
+        && admission.met(smoke)
+        && query_load.met(smoke)
+        && service.met(smoke)
+        && table.met(smoke);
     let gate_failed = if smoke {
         !(acceptance.split_pairs_exact
             && acceptance.resize_exact
@@ -1374,6 +1404,200 @@ fn print_admission(a: &AdmissionSweep) {
         a.budget_parity,
         a.recall_improves(),
         a.throughput_holds(),
+    );
+}
+
+/// Everything the table sweep measured: the open-addressing
+/// `TwoTierTable` against the preserved HashMap-index `MapTable`
+/// oracle — bit-exactness on a fixed skewed pair stream (every
+/// `Record` return, the stats block, and the final MRU→LRU iteration
+/// order), owned-allocation bytes at equal capacities, single-thread
+/// `record` throughput on that stream, and the end-to-end 4-shard
+/// one-core-per-shard ingest rate the rewrite must hold vs PR 9.
+struct TableSweep {
+    capacity_per_tier: usize,
+    records: usize,
+    /// Open table bit-exact to `MapTable` on the fixed stream.
+    bit_exact: bool,
+    open_bytes: usize,
+    map_bytes: usize,
+    open_secs: f64,
+    map_secs: f64,
+    /// Uniform 4-shard routed one-core-per-shard events/s from the
+    /// main grid (the end-to-end figure gated against PR 9's).
+    four_shard_events_per_sec: f64,
+}
+
+impl TableSweep {
+    fn bytes_reduction(&self) -> f64 {
+        1.0 - self.open_bytes as f64 / self.map_bytes as f64
+    }
+
+    fn open_records_per_sec(&self) -> f64 {
+        self.records as f64 / self.open_secs
+    }
+
+    fn map_records_per_sec(&self) -> f64 {
+        self.records as f64 / self.map_secs
+    }
+
+    fn speedup(&self) -> f64 {
+        self.map_secs / self.open_secs
+    }
+
+    fn four_shard_holds(&self) -> bool {
+        self.four_shard_events_per_sec >= PR9_FOUR_SHARD_ONE_CORE_EVENTS_PER_SEC * 0.98
+    }
+}
+
+impl Gate for TableSweep {
+    /// Bit-exactness and the layout's bytes reduction gate in smoke
+    /// mode too — neither depends on timing.
+    fn met_smoke(&self) -> bool {
+        self.bit_exact && self.bytes_reduction() >= TABLE_BYTES_REDUCTION_FLOOR
+    }
+
+    /// Full mode adds the timing gates: the open table's single-thread
+    /// `record` rate over `MapTable`'s, and the end-to-end 4-shard
+    /// figure holding PR 9's.
+    fn met_full(&self) -> bool {
+        self.met_smoke() && self.speedup() >= TABLE_SPEEDUP_FLOOR && self.four_shard_holds()
+    }
+}
+
+/// Runs both table implementations over one fixed skewed pair stream —
+/// geometric-skew ranks, keyspace 4× capacity, so the mix covers hits,
+/// misses, evictions, promotions and overflow demotions — asserting
+/// bit-exactness record by record, then timing `repeat` passes of each
+/// (medians). `RTDAC_TABLE_RECORDS` overrides the stream length.
+fn table_sweep(
+    smoke: bool,
+    seed: u64,
+    repeat: usize,
+    four_shard_events_per_sec: f64,
+) -> TableSweep {
+    // Full mode runs at a production keyspace (64 Ki pairs/tier ≈ 9 MB
+    // table): the open layout's throughput edge is cache-footprint
+    // driven, so it only shows once the working set outgrows the LLC —
+    // at toy capacities both layouts are cache-resident and the
+    // SIMD-probed std map is marginally faster per op (DESIGN.md §17).
+    let records = env_or(
+        "RTDAC_TABLE_RECORDS",
+        if smoke { 50_000 } else { 2_000_000 },
+    ) as usize;
+    let capacity_per_tier = env_or(
+        "RTDAC_TABLE_CAPACITY",
+        if smoke { 1_024 } else { 64 * 1_024 },
+    ) as usize;
+    let keyspace = (capacity_per_tier * 4) as u64;
+    let mut state = seed | 1;
+    let stream: Vec<ExtentPair> = (0..records)
+        .map(|_| {
+            let mut rand = || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                state >> 16
+            };
+            let rank = (rand() % keyspace).min(rand() % keyspace);
+            ExtentPair::new(
+                Extent::new(rank * 64, 8).expect("valid extent"),
+                Extent::new((rank + keyspace) * 64, 8).expect("valid extent"),
+            )
+            .expect("distinct extents")
+        })
+        .collect();
+
+    // Correctness pass: every Record return must agree, then stats and
+    // the full recency iteration order.
+    let mut open = TwoTierTable::new(capacity_per_tier, capacity_per_tier, 2);
+    let mut map = MapTable::new(capacity_per_tier, capacity_per_tier, 2);
+    let mut bit_exact = true;
+    for pair in &stream {
+        if open.record(*pair) != map.record(*pair) {
+            bit_exact = false;
+            break;
+        }
+    }
+    bit_exact = bit_exact
+        && open.stats() == map.stats()
+        && open.len() == map.len()
+        && open.iter().zip(map.iter()).all(|(a, b)| a == b);
+    let open_bytes = open.memory_bytes();
+    let map_bytes = map.memory_bytes();
+
+    // Timing passes: median of `repeat` fresh single-thread runs each.
+    let time = |run: &mut dyn FnMut() -> u64| {
+        let mut samples = Vec::with_capacity(repeat.max(1));
+        for _ in 0..repeat.max(1) {
+            let start = Instant::now();
+            std::hint::black_box(run());
+            samples.push(start.elapsed().as_secs_f64());
+        }
+        median(&samples)
+    };
+    let open_secs = time(&mut || {
+        let mut t = TwoTierTable::new(capacity_per_tier, capacity_per_tier, 2);
+        for pair in &stream {
+            t.record(*pair);
+        }
+        t.stats().hits
+    });
+    let map_secs = time(&mut || {
+        let mut t = MapTable::new(capacity_per_tier, capacity_per_tier, 2);
+        for pair in &stream {
+            t.record(*pair);
+        }
+        t.stats().hits
+    });
+
+    TableSweep {
+        capacity_per_tier,
+        records,
+        bit_exact,
+        open_bytes,
+        map_bytes,
+        open_secs,
+        map_secs,
+        four_shard_events_per_sec,
+    }
+}
+
+fn print_table_sweep(t: &TableSweep) {
+    println!(
+        "\n  [table] open-addressing TwoTierTable vs MapTable oracle, {} skewed pair \
+         records, {} capacity/tier",
+        t.records, t.capacity_per_tier
+    );
+    println!(
+        "  {:<6} {:>12} {:>16} {:>12}",
+        "table", "bytes", "records/s", "secs"
+    );
+    println!(
+        "  {:<6} {:>12} {:>16.0} {:>12.6}",
+        "open",
+        t.open_bytes,
+        t.open_records_per_sec(),
+        t.open_secs
+    );
+    println!(
+        "  {:<6} {:>12} {:>16.0} {:>12.6}",
+        "map",
+        t.map_bytes,
+        t.map_records_per_sec(),
+        t.map_secs
+    );
+    println!(
+        "  bit-exact: {}, bytes reduction: {:.1}% (floor {:.0}%), record speedup: \
+         {:.2}x (full-mode floor {TABLE_SPEEDUP_FLOOR}x), 4-shard one-core-per-shard \
+         {:.0} ev/s vs PR-9 {:.0} (holds: {})",
+        t.bit_exact,
+        t.bytes_reduction() * 100.0,
+        TABLE_BYTES_REDUCTION_FLOOR * 100.0,
+        t.speedup(),
+        t.four_shard_events_per_sec,
+        PR9_FOUR_SHARD_ONE_CORE_EVENTS_PER_SEC,
+        t.four_shard_holds(),
     );
 }
 
@@ -2441,6 +2665,7 @@ fn render_json(
     admission: &AdmissionSweep,
     query_load: &QueryLoadSweep,
     service: &ServiceSweep,
+    table: &TableSweep,
 ) -> String {
     let hardware_threads = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -2860,6 +3085,63 @@ fn render_json(
     ));
     out.push_str(&format!("    \"met\": {}\n", service.met(smoke)));
     out.push_str("  },\n");
+    out.push_str("  \"table\": {\n");
+    out.push_str(
+        "    \"notes\": \"the open-addressing TwoTierTable (SWAR group probing, inline \
+         slots, u32 recency links — DESIGN.md §17) vs the preserved HashMap-index \
+         MapTable on one fixed skewed pair stream (geometric ranks, keyspace 4x \
+         capacity); bit-exactness covers every Record return, the stats block, and the \
+         final MRU->LRU iteration order; bytes are each table's exact owned \
+         allocations at equal capacities; records/s are fresh single-thread passes \
+         (median of repeat); the end-to-end figure is the uniform 4-shard routed \
+         one-core-per-shard rate from the main grid, gated against PR 9's recorded \
+         value with 2% host-noise tolerance\",\n",
+    );
+    out.push_str(&format!(
+        "    \"capacity_per_tier\": {},\n    \"records\": {},\n",
+        table.capacity_per_tier, table.records
+    ));
+    out.push_str(&format!(
+        "    \"bit_exact_to_map_table\": {},\n",
+        table.bit_exact
+    ));
+    out.push_str(&format!(
+        "    \"open\": {{\"bytes\": {}, \"elapsed_secs\": {:.6}, \
+         \"records_per_sec\": {:.0}}},\n",
+        table.open_bytes,
+        table.open_secs,
+        table.open_records_per_sec()
+    ));
+    out.push_str(&format!(
+        "    \"map\": {{\"bytes\": {}, \"elapsed_secs\": {:.6}, \
+         \"records_per_sec\": {:.0}}},\n",
+        table.map_bytes,
+        table.map_secs,
+        table.map_records_per_sec()
+    ));
+    out.push_str(&format!(
+        "    \"bytes_reduction\": {:.3},\n    \"bytes_reduction_floor\": \
+         {TABLE_BYTES_REDUCTION_FLOOR},\n",
+        table.bytes_reduction()
+    ));
+    out.push_str(&format!(
+        "    \"record_speedup_vs_map\": {:.3},\n    \"record_speedup_floor\": \
+         {TABLE_SPEEDUP_FLOOR},\n",
+        table.speedup()
+    ));
+    out.push_str(&format!(
+        "    \"four_shard_one_core_per_shard_events_per_sec\": {:.0},\n",
+        table.four_shard_events_per_sec
+    ));
+    out.push_str(&format!(
+        "    \"pr9_four_shard_events_per_sec\": {PR9_FOUR_SHARD_ONE_CORE_EVENTS_PER_SEC:.0},\n"
+    ));
+    out.push_str(&format!(
+        "    \"four_shard_holds_pr9\": {},\n",
+        table.four_shard_holds()
+    ));
+    out.push_str(&format!("    \"met\": {}\n", table.met(smoke)));
+    out.push_str("  },\n");
     out.push_str("  \"acceptance\": {\n");
     out.push_str("    \"criteria\": [\n");
     out.push_str(
@@ -2931,7 +3213,18 @@ fn render_json(
     out.push_str(
         "      \"service (full mode only): ingest through TenantRuntime handles keeps \
          >= 0.85x the aggregate events/s of equivalent bare in-process pipelines at \
-         every tenant count\"\n",
+         every tenant count\",\n",
+    );
+    out.push_str(
+        "      \"table: open-addressing TwoTierTable bit-exact to the MapTable oracle \
+         on the fixed skewed pair stream and owned bytes reduced >= 25% at equal \
+         capacities (gates in smoke too)\",\n",
+    );
+    out.push_str(
+        "      \"table (full mode only): single-thread record throughput >= 1.2x \
+         MapTable on the skewed pair stream, and the uniform 4-shard \
+         one-core-per-shard rate no worse than PR 9's figure (2% host-noise \
+         tolerance)\"\n",
     );
     out.push_str("    ],\n");
     out.push_str(&format!(
@@ -3014,6 +3307,7 @@ fn render_json(
         query_load.met(smoke)
     ));
     out.push_str(&format!("    \"service_met\": {},\n", service.met(smoke)));
+    out.push_str(&format!("    \"table_met\": {},\n", table.met(smoke)));
     out.push_str(&format!(
         "    \"met\": {}\n",
         acceptance.met()
@@ -3021,6 +3315,7 @@ fn render_json(
             && admission.met(smoke)
             && query_load.met(smoke)
             && service.met(smoke)
+            && table.met(smoke)
     ));
     out.push_str("  }\n}\n");
     out

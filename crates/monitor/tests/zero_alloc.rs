@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use rtdac_monitor::{blktrace, BlktraceEventSource, IngestPipeline, MonitorConfig, PipelineConfig};
-use rtdac_synopsis::{Admission, AnalyzerConfig, DoorkeeperConfig};
+use rtdac_synopsis::{Admission, AnalyzerConfig, DoorkeeperConfig, TableDelta, TwoTierTable};
 use rtdac_types::{
     ColumnarReader, ColumnarWriter, EventSource, Extent, IoOp, IoRequest, MsrCsvReader,
     RequestSource, Timestamp, Trace, Transaction,
@@ -460,6 +460,66 @@ fn assert_streaming_decoders_allocation_free() {
     });
 }
 
+/// The open-addressing table's own steady-state contract, exercised
+/// directly (no pipeline): a fixed-size table under heavy churn —
+/// misses, evictions, promotions, demotions, removals, the tombstone
+/// buildup that triggers in-place rehashes, delta extraction into
+/// preallocated buffers, and the reusable-buffer frequent-entry query —
+/// performs zero heap allocations once every buffer is at its plateau.
+/// The in-place rehash is the point: the storage is a single fixed
+/// allocation, so even hash-layout maintenance must be free.
+fn assert_table_churn_allocation_free() {
+    let mut table: TwoTierTable<u64> = TwoTierTable::new(512, 512, 2);
+    table.enable_delta_tracking();
+    let mut delta = TableDelta::default();
+    table.preallocate_delta(&mut delta);
+    let mut top = Vec::new();
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut drive = |table: &mut TwoTierTable<u64>,
+                     delta: &mut TableDelta<u64>,
+                     top: &mut Vec<(u64, u32)>,
+                     steps: u32| {
+        for step in 0..steps {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Keyspace 4× capacity: a steady mix of hits, misses and
+            // evictions, with enough tombstone churn to keep forcing
+            // in-place rehashes.
+            let key = (state >> 33) % 4096;
+            match state % 16 {
+                14 => {
+                    table.demote(&key);
+                }
+                15 => {
+                    table.remove(&key);
+                }
+                _ => {
+                    table.record(key);
+                }
+            }
+            if step % 256 == 0 {
+                table.extract_delta(delta);
+                table.entries_with_min_tally_into(1, top);
+            }
+        }
+    };
+    drive(&mut table, &mut delta, &mut top, 200_000);
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    drive(&mut table, &mut delta, &mut top, 100_000);
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "table churn steady state performed {} heap allocations \
+         (expected zero: single fixed allocation, in-place rehash, \
+         recycled delta and query buffers)",
+        after - before
+    );
+    assert!(!top.is_empty(), "the query window saw no entries");
+}
+
 #[test]
 fn routed_pipeline_is_allocation_free_after_warmup() {
     // One test, sequential phases: the counter is process-global, so
@@ -472,4 +532,5 @@ fn routed_pipeline_is_allocation_free_after_warmup() {
     assert_publish_and_query_steady_state_allocation_free(); // live-view hot path
     assert_allocation_free_after_resize(); // elastic pool, re-primed
     assert_streaming_decoders_allocation_free(); // disk readers' hot path
+    assert_table_churn_allocation_free(); // open-addressing table churn
 }

@@ -560,15 +560,31 @@ impl OnlineAnalyzer {
     }
 
     /// The correlations currently stored with tally at least `min_tally`,
-    /// sorted by descending tally.
+    /// sorted by descending tally (ties by ascending pair). Allocating
+    /// wrapper around [`frequent_pairs_into`](Self::frequent_pairs_into).
     pub fn frequent_pairs(&self, min_tally: u32) -> Vec<(ExtentPair, u32)> {
         self.pairs.entries_with_min_tally(min_tally)
     }
 
+    /// Collects the frequent correlations into a reused buffer
+    /// (cleared first) — the steady-state query entry that does not
+    /// allocate once the buffer reaches its plateau.
+    pub fn frequent_pairs_into(&self, min_tally: u32, out: &mut Vec<(ExtentPair, u32)>) {
+        self.pairs.entries_with_min_tally_into(min_tally, out);
+    }
+
     /// The extents currently stored with tally at least `min_tally`,
-    /// sorted by descending tally.
+    /// sorted by descending tally (ties by ascending extent).
+    /// Allocating wrapper around
+    /// [`frequent_items_into`](Self::frequent_items_into).
     pub fn frequent_items(&self, min_tally: u32) -> Vec<(Extent, u32)> {
         self.items.entries_with_min_tally(min_tally)
+    }
+
+    /// Collects the frequent extents into a reused buffer (cleared
+    /// first) without allocating at its plateau.
+    pub fn frequent_items_into(&self, min_tally: u32, out: &mut Vec<(Extent, u32)>) {
+        self.items.entries_with_min_tally_into(min_tally, out);
     }
 
     /// The extents currently known to correlate with `extent` at tally

@@ -46,7 +46,7 @@ pub enum DeltaOp<K> {
 
 /// Everything needed to advance a mirror of one [`TwoTierTable`] from
 /// the previous extraction point to the current state.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TableDelta<K> {
     /// When set, the incremental log was unusable (clear/seed/overflow):
     /// `ops` is empty and the touched lists hold a *full* dump of the

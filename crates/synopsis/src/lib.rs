@@ -44,6 +44,7 @@ mod analyzer;
 mod budget;
 mod delta;
 mod live;
+mod map_table;
 mod reference;
 mod reference_table;
 mod sharded;
@@ -57,6 +58,7 @@ pub use analyzer::{
 pub use budget::analyzer_config_for;
 pub use delta::{DeltaOp, ShardDelta, TableDelta};
 pub use live::LiveView;
+pub use map_table::{MapIter, MapTable};
 pub use reference::ReferenceAnalyzer;
 pub use sharded::{shard_of_extent, shard_of_pair, ShardedAnalyzer};
 pub use snapshot::SynopsisSnapshot;

@@ -190,14 +190,17 @@ impl<K: Eq + Hash + Clone> ReferenceTwoTierTable<K> {
         out
     }
 
-    pub(crate) fn entries_with_min_tally(&self, min_tally: u32) -> Vec<(K, u32)> {
+    pub(crate) fn entries_with_min_tally(&self, min_tally: u32) -> Vec<(K, u32)>
+    where
+        K: Ord,
+    {
         let mut out: Vec<(K, u32)> = self
             .entries()
             .into_iter()
             .filter(|(_, tally, _)| *tally >= min_tally)
             .map(|(k, tally, _)| (k, tally))
             .collect();
-        out.sort_by_key(|(_, tally)| std::cmp::Reverse(*tally));
+        out.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         out
     }
 

@@ -264,14 +264,13 @@ impl ShardedAnalyzer {
             out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
             return out;
         }
+        // Per-shard lists arrive already in the canonical order
+        // (descending tally, ties by ascending pair) straight from
+        // `entries_with_min_tally`.
         let mut lists: Vec<Vec<(ExtentPair, u32)>> = self
             .shards
             .iter()
-            .map(|s| {
-                let mut v = s.frequent_pairs(min_tally);
-                v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-                v
-            })
+            .map(|s| s.frequent_pairs(min_tally))
             .collect();
 
         let total = lists.iter().map(Vec::len).sum();

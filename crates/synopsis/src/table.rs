@@ -1,9 +1,18 @@
 //! The two-tier LRU/frequency table underlying both synopsis tables.
+//!
+//! Storage is a cache-conscious open-addressing table (DESIGN.md §17):
+//! SwissTable-style control bytes probed eight at a time with std-only
+//! SWAR on `u64` words, entries stored inline in a single slot array
+//! (key, tally, tier, delta dirty bit and recency links co-located — no
+//! key duplication, no index→slab indirection), and the intrusive
+//! MRU/LRU lists linked with `u32` indices. The previous
+//! HashMap-index implementation is preserved as
+//! [`MapTable`](crate::MapTable), the bit-exact oracle every policy
+//! decision here is tested against.
 
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
 use std::fmt;
 use std::hash::{BuildHasher, Hash};
+use std::mem::MaybeUninit;
 
 use rtdac_types::FxBuildHasher;
 
@@ -24,30 +33,107 @@ pub enum Tier {
     T2,
 }
 
-const NIL: usize = usize::MAX;
+/// List-link sentinel. Bucket indices fit `u32` (asserted at
+/// construction), halving link footprint vs the old `usize` links.
+const NIL: u32 = u32::MAX;
 
-#[derive(Clone, Debug)]
-struct Node<K> {
-    key: K,
+/// Control bytes are probed one 8-byte word at a time.
+const GROUP: usize = 8;
+
+/// Control byte of a never-occupied slot: `0b1111_1111`.
+const EMPTY: u8 = 0xff;
+
+/// Control byte of a tombstone (erased slot inside what may still be a
+/// fully-occupied probe window): `0b1000_0000`.
+const DELETED: u8 = 0x80;
+
+/// A FULL control byte is the key's 7-bit `h2` tag (high bit clear).
+#[inline]
+fn is_full(ctrl: u8) -> bool {
+    ctrl & 0x80 == 0
+}
+
+const LSBS: u64 = 0x0101_0101_0101_0101;
+const MSBS: u64 = 0x8080_8080_8080_8080;
+
+/// Secondary hash: 7 bits stored in the control byte. Taken from bits
+/// 32..39 — independent of the high bits the widening-multiply home
+/// index consumes and of the weaker low bits of `FxHasher`.
+#[inline]
+fn h2(hash: u64) -> u8 {
+    ((hash >> 32) & 0x7f) as u8
+}
+
+/// Bytewise `group == byte` as a mask with bit 7 of each matching byte
+/// set (the classic SWAR zero-byte trick on `group ^ splat(byte)`).
+///
+/// May report false positives on bytes equal to `byte ^ 0x01` that
+/// trail a real match (borrow propagation) — but since `byte` is a
+/// 7-bit tag, any false positive is another FULL byte, never EMPTY or
+/// DELETED (their xor keeps bit 7 set, which masks them out). Matches
+/// are verified by key comparison anyway.
+#[inline]
+fn match_byte(group: u64, byte: u8) -> u64 {
+    let x = group ^ (LSBS * u64::from(byte));
+    x.wrapping_sub(LSBS) & !x & MSBS
+}
+
+/// Mask of EMPTY bytes (bit 7 of each EMPTY byte set): only EMPTY has
+/// both bit 7 and bit 6 set.
+#[inline]
+fn match_empty(group: u64) -> u64 {
+    group & (group << 1) & MSBS
+}
+
+/// Mask of EMPTY or DELETED bytes (both have bit 7 set; FULL does not).
+#[inline]
+fn match_empty_or_deleted(group: u64) -> u64 {
+    group & MSBS
+}
+
+/// One inline table slot: key, tally, tier, delta dirty bit and both
+/// recency links co-located in a single cache-line-friendly record.
+/// `key` is live iff the slot's control byte is FULL.
+struct Slot<K> {
+    key: MaybeUninit<K>,
     tally: u32,
+    prev: u32,
+    next: u32,
     tier: Tier,
-    prev: usize,
-    next: usize,
-    /// Generation that last moved this node to its tier's MRU end
-    /// (0 = never, or delta tracking disabled). See [`DeltaLog`].
-    stamp: u64,
+    /// Moved to its tier's MRU end since the last delta extraction
+    /// (extraction clears it). One bit instead of a u64 generation
+    /// stamp keeps the slot at 48 B for pairs / 32 B for items — the
+    /// saved bytes buy probe headroom. See [`DeltaLog`].
+    dirty: bool,
+}
+
+impl<K> Slot<K> {
+    fn vacant() -> Self {
+        Slot {
+            key: MaybeUninit::uninit(),
+            tally: 0,
+            prev: NIL,
+            next: NIL,
+            tier: Tier::T1,
+            dirty: false,
+        }
+    }
 }
 
 /// Per-table delta-tracking state (present only once
 /// [`TwoTierTable::enable_delta_tracking`] has run).
 ///
-/// `gen` starts at 1 so untracked nodes (stamp 0) are never mistaken
-/// for touched ones. Every MRU-end movement stamps the node with the
-/// current generation; `extract_delta` collects each tier's stamped
-/// head prefix, swaps out the op log, and bumps `gen`.
+/// Every MRU-end movement marks its entry dirty; `extract_delta`
+/// collects each tier's dirty head prefix (clearing the bits as it
+/// walks, which is what ends the epoch) and swaps out the op log. The
+/// rebase path visits every entry, so it clears every bit. A dirty
+/// entry parked at T1's back by a demotion can therefore survive its
+/// epoch and be picked up by a *later* prefix walk; that emits the
+/// entry's true tally at its true position, which the mirror replay
+/// reproduces exactly — redundant, never wrong (the u64-generation
+/// scheme this replaced suppressed those emissions, nothing more).
 #[derive(Clone, Debug)]
 struct DeltaLog<K> {
-    gen: u64,
     ops: Vec<DeltaOp<K>>,
     /// Incremental log invalidated (clear/seed/op overflow): the next
     /// extraction must carry a full dump.
@@ -55,10 +141,10 @@ struct DeltaLog<K> {
 }
 
 /// One intrusive doubly-linked list (front = MRU, back = LRU).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug)]
 struct List {
-    head: usize,
-    tail: usize,
+    head: u32,
+    tail: u32,
     len: usize,
 }
 
@@ -105,6 +191,15 @@ pub struct Record<K> {
     pub evicted: Option<(K, u32)>,
 }
 
+/// Result of one control-byte probe walk.
+enum Probe {
+    /// The key lives in this slot.
+    Found(usize),
+    /// The key is absent; the payload is the first EMPTY or DELETED
+    /// slot along its probe sequence (where an insert belongs).
+    Vacant(usize),
+}
+
 /// A fixed-size two-tier table combining recency (LRU within each tier)
 /// and frequency (tally-based promotion) — the synopsis data structure of
 /// §III-D1, used for both the item table and the correlation table.
@@ -123,11 +218,15 @@ pub struct Record<K> {
 ///   without evicting it, reducing its relevancy (used by the analyzer
 ///   when a correlated item is evicted from the item table).
 ///
-/// All operations are O(1) (amortized, via a hash index over an intrusive
-/// slab-allocated list). The index hashes with [`FxBuildHasher`] by
-/// default — deterministic and far cheaper than SipHash on the short
-/// extent/pair keys the synopsis stores — and each `record` performs a
-/// single hash probe on both the hit and the miss path (entry API).
+/// All operations are O(1) (amortized). Layout is open addressing with
+/// SWAR group probing (DESIGN.md §17): one control-byte array and one
+/// inline slot array, so a `record` touches the probed control word plus
+/// the entry's own slot — no separate index, no second key copy, no slab
+/// hop. Hashing uses [`FxBuildHasher`] by default — deterministic and
+/// far cheaper than SipHash on the short extent/pair keys the synopsis
+/// stores — and each `record` performs a single hash + one probe walk on
+/// both the hit and the miss path (a miss that lands on a saturated
+/// region additionally triggers a rare in-place rehash).
 ///
 /// # Examples
 ///
@@ -141,11 +240,17 @@ pub struct Record<K> {
 /// assert_eq!(table.tier(&"a"), Some(Tier::T2));
 /// assert_eq!(table.tally(&"a"), Some(2));
 /// ```
-#[derive(Clone, Debug)]
 pub struct TwoTierTable<K, S = FxBuildHasher> {
-    index: HashMap<K, usize, S>,
-    nodes: Vec<Node<K>>,
-    free: Vec<usize>,
+    /// `buckets + GROUP` control bytes: one per slot plus a mirror of
+    /// the first GROUP bytes so group loads starting anywhere in
+    /// `[0, buckets)` never wrap mid-word.
+    ctrl: Box<[u8]>,
+    slots: Box<[Slot<K>]>,
+    buckets: usize,
+    /// DELETED control bytes currently in the table; purged by
+    /// [`rehash_in_place`](Self::rehash_in_place).
+    tombstones: usize,
+    hasher: S,
     t1: List,
     t2: List,
     t1_capacity: usize,
@@ -170,6 +275,22 @@ impl<K: Eq + Hash + Clone> TwoTierTable<K> {
     }
 }
 
+/// Number of slots backing `capacity` entries: ~1.44× plus a small
+/// constant floor, rounded up to a whole number of GROUPs. *Not*
+/// rounded to a power of two — synopsis capacities are usually powers
+/// of two themselves, and the classic next-pow2 sizing would double
+/// the allocation right where it hurts; the home bucket is derived
+/// with a widening multiply instead of a mask, which works for any
+/// bucket count. The pad buys churn headroom: a full table runs at
+/// ~0.70 load, and the max-load margin (`buckets/8` tombstones)
+/// scales with it, spacing out in-place rehashes under heavy
+/// evict/insert traffic. The 1-bit dirty flag (vs the old u64 delta
+/// stamp) pays for the extra slots within the same byte budget.
+fn bucket_count(capacity: usize) -> usize {
+    let padded = capacity + (capacity * 7 / 16).max(16);
+    padded.div_ceil(GROUP) * GROUP
+}
+
 impl<K: Eq + Hash + Clone, S: BuildHasher + Default> TwoTierTable<K, S> {
     /// Creates a table like [`new`](TwoTierTable::new) but with an
     /// arbitrary `BuildHasher` (e.g. `std`'s SipHash `RandomState` for the
@@ -185,10 +306,18 @@ impl<K: Eq + Hash + Clone, S: BuildHasher + Default> TwoTierTable<K, S> {
             promote_threshold >= 2,
             "promotion threshold must be at least 2"
         );
-        TwoTierTable {
-            index: HashMap::with_capacity_and_hasher(t1_capacity + t2_capacity, S::default()),
-            nodes: Vec::with_capacity(t1_capacity + t2_capacity),
-            free: Vec::new(),
+        let capacity = t1_capacity + t2_capacity;
+        assert!(
+            capacity <= (u32::MAX as usize) / 2,
+            "table capacity must fit u32 recency links"
+        );
+        let buckets = bucket_count(capacity);
+        let table = TwoTierTable {
+            ctrl: vec![EMPTY; buckets + GROUP].into_boxed_slice(),
+            slots: (0..buckets).map(|_| Slot::vacant()).collect(),
+            buckets,
+            tombstones: 0,
+            hasher: S::default(),
             t1: List::new(),
             t2: List::new(),
             t1_capacity,
@@ -196,16 +325,282 @@ impl<K: Eq + Hash + Clone, S: BuildHasher + Default> TwoTierTable<K, S> {
             promote_threshold,
             stats: TableStats::default(),
             delta: None,
+        };
+        // The policy holds one tier at capacity+1 transiently
+        // (insert-then-trim); the load bound must absorb that without
+        // a probe walk ever failing to find a free slot.
+        debug_assert!(table.max_load() > capacity);
+        table
+    }
+
+    /// Non-EMPTY slots (occupied + tombstones) are capped below the
+    /// bucket count so every probe walk terminates at an EMPTY group;
+    /// exceeding the cap triggers an in-place rehash that purges
+    /// tombstones.
+    #[inline]
+    fn max_load(&self) -> usize {
+        self.buckets - self.buckets / 8
+    }
+
+    /// Home bucket: the high hash bits scaled into `[0, buckets)` with
+    /// a widening multiply (Lemire's fast range reduction) — no
+    /// power-of-two requirement, no modulo in the hot path.
+    #[inline]
+    fn home(&self, hash: u64) -> usize {
+        (((hash as u128) * (self.buckets as u128)) >> 64) as usize
+    }
+
+    #[inline]
+    fn wrap(&self, idx: usize) -> usize {
+        if idx >= self.buckets {
+            idx - self.buckets
+        } else {
+            idx
         }
+    }
+
+    /// Loads the 8 control bytes starting at `pos` (any position in
+    /// `[0, buckets)`; the mirror bytes cover reads past the end).
+    #[inline]
+    fn group(&self, pos: usize) -> u64 {
+        debug_assert!(pos + GROUP <= self.ctrl.len());
+        // SAFETY: every caller passes `pos < buckets`, and the control
+        // array carries GROUP mirror bytes past the ring, so the 8-byte
+        // window is always in bounds. An unchecked unaligned load keeps
+        // the bounds test and panic path out of the probe loop.
+        u64::from_le(unsafe { (self.ctrl.as_ptr().add(pos) as *const u64).read_unaligned() })
+    }
+
+    /// Writes a control byte, keeping the wrap-around mirror in sync.
+    #[inline]
+    fn set_ctrl(&mut self, idx: usize, val: u8) {
+        self.ctrl[idx] = val;
+        if idx < GROUP {
+            self.ctrl[self.buckets + idx] = val;
+        }
+    }
+
+    /// One probe walk: starts at the key's home bucket and advances a
+    /// whole GROUP at a time. Because `buckets` is a multiple of GROUP,
+    /// successive windows tile the ring disjointly — every slot is
+    /// visited exactly once before the walk wraps to its start, and the
+    /// load bound guarantees an EMPTY byte stops it before then.
+    #[inline]
+    fn probe(&self, key: &K, hash: u64) -> Probe {
+        let tag = h2(hash);
+        let mut pos = self.home(hash);
+        let mut insert = None;
+        loop {
+            let group = self.group(pos);
+            let mut m = match_byte(group, tag);
+            while m != 0 {
+                let idx = self.wrap(pos + (m.trailing_zeros() as usize) / 8);
+                debug_assert!(is_full(self.ctrl[idx]));
+                // SAFETY: `wrap` keeps `idx` inside the slot array, and
+                // `match_byte` only flags FULL bytes (its false
+                // positives are other 7-bit tags — see its docs), so
+                // the slot's key is initialized.
+                if unsafe { self.slots.get_unchecked(idx).key.assume_init_ref() } == key {
+                    return Probe::Found(idx);
+                }
+                m &= m - 1;
+            }
+            if insert.is_none() {
+                let free = match_empty_or_deleted(group);
+                if free != 0 {
+                    insert = Some(self.wrap(pos + (free.trailing_zeros() as usize) / 8));
+                }
+            }
+            if match_empty(group) != 0 {
+                return Probe::Vacant(insert.expect("an EMPTY byte is also EMPTY-or-DELETED"));
+            }
+            pos = self.wrap(pos + GROUP);
+        }
+    }
+
+    /// First EMPTY or DELETED slot along `hash`'s probe sequence —
+    /// the insert position when the key is known absent.
+    fn find_free_slot(&self, hash: u64) -> usize {
+        let mut pos = self.home(hash);
+        loop {
+            let free = match_empty_or_deleted(self.group(pos));
+            if free != 0 {
+                return self.wrap(pos + (free.trailing_zeros() as usize) / 8);
+            }
+            pos = self.wrap(pos + GROUP);
+        }
+    }
+
+    /// Fills `candidate` (the probe's first-free slot) with a fresh
+    /// entry, reusing a tombstone when possible and rehashing in place
+    /// when taking a new EMPTY slot would breach the load bound. The
+    /// entry is returned detached; the caller links it.
+    fn insert_at(
+        &mut self,
+        candidate: usize,
+        hash: u64,
+        key: K,
+        tally: u32,
+        tier: Tier,
+        dirty: bool,
+    ) -> u32 {
+        let idx = if self.ctrl[candidate] == DELETED {
+            self.tombstones -= 1;
+            candidate
+        } else if self.len() + self.tombstones + 1 > self.max_load() {
+            self.rehash_in_place();
+            self.find_free_slot(hash)
+        } else {
+            candidate
+        };
+        debug_assert!(!is_full(self.ctrl[idx]));
+        let slot = &mut self.slots[idx];
+        slot.key.write(key);
+        slot.tally = tally;
+        slot.tier = tier;
+        slot.dirty = dirty;
+        slot.prev = NIL;
+        slot.next = NIL;
+        self.set_ctrl(idx, h2(hash));
+        idx as u32
+    }
+
+    /// Clears slot `idx`'s control byte after its entry was unlinked
+    /// and its key dropped/moved out. The slot becomes a tombstone only
+    /// when some 8-byte probe window covering it is otherwise fully
+    /// non-EMPTY (a probe could have walked past it); otherwise every
+    /// walk that saw this slot also saw an EMPTY in the same window, so
+    /// it can revert straight to EMPTY.
+    fn erase(&mut self, idx: usize) {
+        let before = (idx + self.buckets - GROUP) % self.buckets;
+        let empty_before = match_empty(self.group(before));
+        let empty_after = match_empty(self.group(idx));
+        let run_before = (empty_before.leading_zeros() / 8) as usize;
+        let run_after = (empty_after.trailing_zeros() / 8) as usize;
+        if run_before + run_after >= GROUP {
+            self.tombstones += 1;
+            self.set_ctrl(idx, DELETED);
+        } else {
+            self.set_ctrl(idx, EMPTY);
+        }
+    }
+
+    /// Points `idx`'s list neighbours (or its list's head/tail) back at
+    /// it — the link fix-up after a slot relocation.
+    fn fix_links(&mut self, idx: usize) {
+        let me = idx as u32;
+        let (prev, next, tier) = {
+            let s = &self.slots[idx];
+            (s.prev, s.next, s.tier)
+        };
+        if prev == NIL {
+            match tier {
+                Tier::T1 => self.t1.head = me,
+                Tier::T2 => self.t2.head = me,
+            }
+        } else {
+            self.slots[prev as usize].next = me;
+        }
+        if next == NIL {
+            match tier {
+                Tier::T1 => self.t1.tail = me,
+                Tier::T2 => self.t2.tail = me,
+            }
+        } else {
+            self.slots[next as usize].prev = me;
+        }
+    }
+
+    /// Swaps two occupied slots and repairs all recency links touching
+    /// them (including the case where the two entries were adjacent and
+    /// pointed at each other).
+    fn swap_slots(&mut self, a: usize, b: usize) {
+        self.slots.swap(a, b);
+        let (a32, b32) = (a as u32, b as u32);
+        let remap = |x: u32| {
+            if x == a32 {
+                b32
+            } else if x == b32 {
+                a32
+            } else {
+                x
+            }
+        };
+        for i in [a, b] {
+            let s = &mut self.slots[i];
+            s.prev = remap(s.prev);
+            s.next = remap(s.next);
+        }
+        self.fix_links(a);
+        self.fix_links(b);
+    }
+
+    /// Whether `a` and `b` fall into the same probe window of `hash`'s
+    /// walk (windows are GROUP-sized, offset by the home bucket).
+    fn same_window(&self, hash: u64, a: usize, b: usize) -> bool {
+        let home = self.home(hash);
+        let da = (a + self.buckets - home) % self.buckets;
+        let db = (b + self.buckets - home) % self.buckets;
+        da / GROUP == db / GROUP
+    }
+
+    /// Rebuilds the control bytes without allocating (hot paths stay
+    /// allocation-free even across rehashes): tombstones revert to
+    /// EMPTY, every live entry is marked displaced, then each displaced
+    /// entry either stays (its first-free slot is in its own probe
+    /// window), moves into an EMPTY slot, or swaps with another
+    /// displaced entry — repairing recency links on every move.
+    fn rehash_in_place(&mut self) {
+        for i in 0..self.buckets {
+            self.ctrl[i] = if is_full(self.ctrl[i]) {
+                DELETED
+            } else {
+                EMPTY
+            };
+        }
+        self.sync_mirror();
+        self.tombstones = 0;
+        for i in 0..self.buckets {
+            while self.ctrl[i] == DELETED {
+                let hash = {
+                    // SAFETY: DELETED during rehash marks a displaced
+                    // live entry (real tombstones were cleared above).
+                    let key = unsafe { self.slots[i].key.assume_init_ref() };
+                    self.hasher.hash_one(key)
+                };
+                let target = self.find_free_slot(hash);
+                if self.same_window(hash, i, target) {
+                    // Already reachable: every slot before its window
+                    // is FULL, and probes scan whole windows.
+                    self.set_ctrl(i, h2(hash));
+                } else if self.ctrl[target] == EMPTY {
+                    self.set_ctrl(target, h2(hash));
+                    self.set_ctrl(i, EMPTY);
+                    self.slots.swap(i, target);
+                    self.fix_links(target);
+                } else {
+                    // `target` holds another displaced entry: place
+                    // this one there and keep resolving the displaced
+                    // one, now parked at `i`.
+                    self.set_ctrl(target, h2(hash));
+                    self.swap_slots(i, target);
+                }
+            }
+        }
+    }
+
+    fn sync_mirror(&mut self) {
+        let (main, mirror) = self.ctrl.split_at_mut(self.buckets);
+        mirror.copy_from_slice(&main[..GROUP]);
     }
 
     /// Records one sighting of `key`, applying the full hit/miss,
     /// promotion, demotion and eviction policy. Returns what happened,
     /// including any entry evicted to make room.
     ///
-    /// Exactly one hash probe of the index per call: the entry API covers
-    /// both the hit path (was `get` + slab borrows) and the miss path
-    /// (was `get` + `insert`).
+    /// Exactly one hash and one probe walk per call on both the hit and
+    /// the miss path; the probe tracks the insert position as it goes,
+    /// so a miss never re-walks.
     pub fn record(&mut self, key: K) -> Record<K> {
         self.record_filtered(key, || true)
             .expect("unconditional admission cannot reject")
@@ -223,23 +618,23 @@ impl<K: Eq + Hash + Clone, S: BuildHasher + Default> TwoTierTable<K, S> {
     /// threshold, so one-shot tail keys never consume a table slot.
     /// The hit path is bit-identical to `record` — present keys never
     /// pay for admission — and both paths still perform a single hash
-    /// probe of the index.
+    /// and probe walk.
     pub fn record_filtered(&mut self, key: K, admit: impl FnOnce() -> bool) -> Option<Record<K>> {
-        let gen = self.delta.as_ref().map_or(0, |d| d.gen);
-        match self.index.entry(key) {
-            Entry::Occupied(entry) => {
-                let idx = *entry.get();
+        let hash = self.hasher.hash_one(&key);
+        match self.probe(&key, hash) {
+            Probe::Found(found) => {
+                let idx = found as u32;
                 self.stats.hits += 1;
-                let node = &mut self.nodes[idx];
-                node.tally = node.tally.saturating_add(1);
-                node.stamp = gen;
-                let tally = node.tally;
-                let tier = node.tier;
+                let slot = &mut self.slots[found];
+                slot.tally = slot.tally.saturating_add(1);
+                slot.dirty = true;
+                let tally = slot.tally;
+                let tier = slot.tier;
                 if tier == Tier::T1 && tally >= self.promote_threshold {
                     // Promote to T2's MRU end.
-                    Self::unlink(&mut self.nodes, &mut self.t1, idx);
-                    self.nodes[idx].tier = Tier::T2;
-                    Self::push_front(&mut self.nodes, &mut self.t2, idx);
+                    Self::unlink(&mut self.slots, &mut self.t1, idx);
+                    self.slots[found].tier = Tier::T2;
+                    Self::push_front(&mut self.slots, &mut self.t2, idx);
                     self.stats.promotions += 1;
                     let evicted = self.rebalance_after_promotion();
                     Some(Record {
@@ -254,8 +649,8 @@ impl<K: Eq + Hash + Clone, S: BuildHasher + Default> TwoTierTable<K, S> {
                         Tier::T1 => &mut self.t1,
                         Tier::T2 => &mut self.t2,
                     };
-                    Self::unlink(&mut self.nodes, list, idx);
-                    Self::push_front(&mut self.nodes, list, idx);
+                    Self::unlink(&mut self.slots, list, idx);
+                    Self::push_front(&mut self.slots, list, idx);
                     Some(Record {
                         hit: true,
                         tier,
@@ -264,34 +659,16 @@ impl<K: Eq + Hash + Clone, S: BuildHasher + Default> TwoTierTable<K, S> {
                     })
                 }
             }
-            Entry::Vacant(entry) => {
+            Probe::Vacant(candidate) => {
                 if !admit() {
                     self.stats.rejections += 1;
                     return None;
                 }
                 self.stats.misses += 1;
-                let node = Node {
-                    key: entry.key().clone(),
-                    tally: 1,
-                    tier: Tier::T1,
-                    prev: NIL,
-                    next: NIL,
-                    stamp: gen,
-                };
-                let idx = match self.free.pop() {
-                    Some(idx) => {
-                        self.nodes[idx] = node;
-                        idx
-                    }
-                    None => {
-                        self.nodes.push(node);
-                        self.nodes.len() - 1
-                    }
-                };
-                entry.insert(idx);
-                Self::push_front(&mut self.nodes, &mut self.t1, idx);
+                let idx = self.insert_at(candidate, hash, key, 1, Tier::T1, true);
+                Self::push_front(&mut self.slots, &mut self.t1, idx);
                 // Inserting first, then trimming, is equivalent to the
-                // evict-then-insert order: the fresh node sits at the MRU
+                // evict-then-insert order: the fresh entry sits at the MRU
                 // end and is never the trimmed tail.
                 let evicted = if self.t1.len > self.t1_capacity {
                     self.evict_t1_lru()
@@ -330,9 +707,11 @@ impl<K: Eq + Hash + Clone, S: BuildHasher + Default> TwoTierTable<K, S> {
             log.ops.clear();
             log.pending_rebase = true;
         }
-        if self.index.contains_key(&key) {
-            return None;
-        }
+        let hash = self.hasher.hash_one(&key);
+        let candidate = match self.probe(&key, hash) {
+            Probe::Found(_) => return None,
+            Probe::Vacant(candidate) => candidate,
+        };
         let target = match tier {
             Tier::T2 if self.t2.len < self.t2_capacity => Tier::T2,
             _ if self.t1.len < self.t1_capacity => Tier::T1,
@@ -341,30 +720,12 @@ impl<K: Eq + Hash + Clone, S: BuildHasher + Default> TwoTierTable<K, S> {
                 return None;
             }
         };
-        let node = Node {
-            key: key.clone(),
-            tally: tally.max(1),
-            tier: target,
-            prev: NIL,
-            next: NIL,
-            stamp: 0,
-        };
-        let idx = match self.free.pop() {
-            Some(idx) => {
-                self.nodes[idx] = node;
-                idx
-            }
-            None => {
-                self.nodes.push(node);
-                self.nodes.len() - 1
-            }
-        };
-        self.index.insert(key, idx);
+        let idx = self.insert_at(candidate, hash, key, tally.max(1), target, false);
         let list = match target {
             Tier::T1 => &mut self.t1,
             Tier::T2 => &mut self.t2,
         };
-        Self::push_back(&mut self.nodes, list, idx);
+        Self::push_back(&mut self.slots, list, idx);
         Some(target)
     }
 
@@ -381,14 +742,15 @@ impl<K: Eq + Hash + Clone, S: BuildHasher + Default> TwoTierTable<K, S> {
         } else {
             None
         };
-        Self::unlink(&mut self.nodes, &mut self.t2, victim);
-        self.nodes[victim].tier = Tier::T1;
-        Self::push_back(&mut self.nodes, &mut self.t1, victim);
+        Self::unlink(&mut self.slots, &mut self.t2, victim);
+        self.slots[victim as usize].tier = Tier::T1;
+        Self::push_back(&mut self.slots, &mut self.t1, victim);
         self.stats.demotions += 1;
         if self.delta.is_some() {
             let (key, tally) = {
-                let n = &self.nodes[victim];
-                (n.key.clone(), n.tally)
+                let s = &self.slots[victim as usize];
+                // SAFETY: the victim was linked in T2, hence FULL.
+                (unsafe { s.key.assume_init_ref() }.clone(), s.tally)
             };
             self.log_op(DeltaOp::DemoteBack(key, tally));
         }
@@ -400,12 +762,14 @@ impl<K: Eq + Hash + Clone, S: BuildHasher + Default> TwoTierTable<K, S> {
         if victim == NIL {
             return None;
         }
-        Self::unlink(&mut self.nodes, &mut self.t1, victim);
-        let node = &mut self.nodes[victim];
-        let key = node.key.clone();
-        let tally = node.tally;
-        self.index.remove(&key);
-        self.free.push(victim);
+        Self::unlink(&mut self.slots, &mut self.t1, victim);
+        let idx = victim as usize;
+        // SAFETY: the victim was linked in T1, hence FULL; `erase`
+        // retires the slot right after, so the key is moved out, not
+        // cloned.
+        let key = unsafe { self.slots[idx].key.assume_init_read() };
+        let tally = self.slots[idx].tally;
+        self.erase(idx);
         self.stats.evictions += 1;
         if self.delta.is_some() {
             self.log_op(DeltaOp::Evict(key.clone()));
@@ -420,19 +784,21 @@ impl<K: Eq + Hash + Clone, S: BuildHasher + Default> TwoTierTable<K, S> {
     /// The online analyzer calls this on every correlation-table pair
     /// containing an extent just evicted from the item table (§III-D2).
     pub fn demote(&mut self, key: &K) -> bool {
-        let Some(&idx) = self.index.get(key) else {
+        let hash = self.hasher.hash_one(key);
+        let Probe::Found(found) = self.probe(key, hash) else {
             return false;
         };
-        let list = match self.nodes[idx].tier {
+        let idx = found as u32;
+        let list = match self.slots[found].tier {
             Tier::T1 => &mut self.t1,
             Tier::T2 => &mut self.t2,
         };
-        Self::unlink(&mut self.nodes, list, idx);
-        self.nodes[idx].tier = Tier::T1;
-        Self::push_back(&mut self.nodes, &mut self.t1, idx);
+        Self::unlink(&mut self.slots, list, idx);
+        self.slots[found].tier = Tier::T1;
+        Self::push_back(&mut self.slots, &mut self.t1, idx);
         self.stats.demotions += 1;
         if self.delta.is_some() {
-            let tally = self.nodes[idx].tally;
+            let tally = self.slots[found].tally;
             self.log_op(DeltaOp::DemoteBack(key.clone(), tally));
         }
         // Demotion may push T1 over capacity when the entry came from T2;
@@ -448,14 +814,20 @@ impl<K: Eq + Hash + Clone, S: BuildHasher + Default> TwoTierTable<K, S> {
 
     /// Removes `key` from the table, returning its tally.
     pub fn remove(&mut self, key: &K) -> Option<u32> {
-        let idx = self.index.remove(key)?;
-        let list = match self.nodes[idx].tier {
+        let hash = self.hasher.hash_one(key);
+        let Probe::Found(found) = self.probe(key, hash) else {
+            return None;
+        };
+        let list = match self.slots[found].tier {
             Tier::T1 => &mut self.t1,
             Tier::T2 => &mut self.t2,
         };
-        Self::unlink(&mut self.nodes, list, idx);
-        let tally = self.nodes[idx].tally;
-        self.free.push(idx);
+        Self::unlink(&mut self.slots, list, found as u32);
+        let tally = self.slots[found].tally;
+        // SAFETY: the entry was linked, hence FULL; `erase` retires the
+        // slot right after the key is dropped.
+        unsafe { self.slots[found].key.assume_init_drop() };
+        self.erase(found);
         if self.delta.is_some() {
             self.log_op(DeltaOp::Evict(key.clone()));
         }
@@ -464,17 +836,23 @@ impl<K: Eq + Hash + Clone, S: BuildHasher + Default> TwoTierTable<K, S> {
 
     /// Current tally of `key`, if present.
     pub fn tally(&self, key: &K) -> Option<u32> {
-        self.index.get(key).map(|&idx| self.nodes[idx].tally)
+        match self.probe(key, self.hasher.hash_one(key)) {
+            Probe::Found(idx) => Some(self.slots[idx].tally),
+            Probe::Vacant(_) => None,
+        }
     }
 
     /// Tier `key` currently resides in, if present.
     pub fn tier(&self, key: &K) -> Option<Tier> {
-        self.index.get(key).map(|&idx| self.nodes[idx].tier)
+        match self.probe(key, self.hasher.hash_one(key)) {
+            Probe::Found(idx) => Some(self.slots[idx].tier),
+            Probe::Vacant(_) => None,
+        }
     }
 
     /// Whether `key` is present in either tier.
     pub fn contains(&self, key: &K) -> bool {
-        self.index.contains_key(key)
+        matches!(self.probe(key, self.hasher.hash_one(key)), Probe::Found(_))
     }
 
     /// Total number of entries across both tiers.
@@ -513,21 +891,17 @@ impl<K: Eq + Hash + Clone, S: BuildHasher + Default> TwoTierTable<K, S> {
         self.promote_threshold
     }
 
-    /// Capacity-based memory footprint: one hash-index slot (key +
-    /// slab index) and one intrusive slab node per entry, at the
-    /// configured capacity. This is what the table's own structures
-    /// cost (excluding the map's load-factor headroom) — the honest
-    /// figure the fig15/admission equal-memory budgets are computed
-    /// from, replacing the old hand-derived per-entry constants.
+    /// Exact bytes of the table's owned allocations: the control-byte
+    /// array (buckets + mirror) plus the inline slot array, plus the
+    /// delta op log's plateau when tracking is enabled. Unlike the old
+    /// map-index estimate this *is* the allocation — the figure the
+    /// fig15/admission equal-memory budgets divide by.
     pub fn memory_bytes(&self) -> usize {
-        let per_entry = std::mem::size_of::<K>()
-            + std::mem::size_of::<usize>()
-            + std::mem::size_of::<Node<K>>();
         let log = self
             .delta
             .as_ref()
             .map_or(0, |d| d.ops.capacity() * std::mem::size_of::<DeltaOp<K>>());
-        (self.t1_capacity + self.t2_capacity) * per_entry + log
+        self.ctrl.len() + self.slots.len() * std::mem::size_of::<Slot<K>>() + log
     }
 
     /// Lifetime behaviour counters.
@@ -545,24 +919,50 @@ impl<K: Eq + Hash + Clone, S: BuildHasher + Default> TwoTierTable<K, S> {
         }
     }
 
-    /// All entries with tally at least `min_tally`, sorted by descending
-    /// tally (ties broken arbitrarily). This is the "frequent
-    /// correlations" query the optimization modules consume.
-    pub fn entries_with_min_tally(&self, min_tally: u32) -> Vec<(K, u32)> {
-        let mut out: Vec<(K, u32)> = self
-            .iter()
-            .filter(|(_, tally, _)| *tally >= min_tally)
-            .map(|(k, tally, _)| (k.clone(), tally))
-            .collect();
-        out.sort_by_key(|(_, tally)| std::cmp::Reverse(*tally));
+    /// All entries with tally at least `min_tally`, in the canonical
+    /// query order: descending tally, ties by ascending key. This is
+    /// the "frequent correlations" query the optimization modules
+    /// consume; allocating wrapper around
+    /// [`entries_with_min_tally_into`](Self::entries_with_min_tally_into).
+    pub fn entries_with_min_tally(&self, min_tally: u32) -> Vec<(K, u32)>
+    where
+        K: Ord,
+    {
+        let mut out = Vec::new();
+        self.entries_with_min_tally_into(min_tally, &mut out);
         out
+    }
+
+    /// Collects all entries with tally at least `min_tally` into `out`
+    /// (cleared first), sorted by descending tally then ascending key.
+    /// With a warm `out` the query path does not allocate once the
+    /// buffer reaches its plateau.
+    pub fn entries_with_min_tally_into(&self, min_tally: u32, out: &mut Vec<(K, u32)>)
+    where
+        K: Ord,
+    {
+        out.clear();
+        out.extend(
+            self.iter()
+                .filter(|(_, tally, _)| *tally >= min_tally)
+                .map(|(k, tally, _)| (k.clone(), tally)),
+        );
+        out.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     }
 
     /// Removes every entry and resets the lists (stats are preserved).
     pub fn clear(&mut self) {
-        self.index.clear();
-        self.nodes.clear();
-        self.free.clear();
+        if std::mem::needs_drop::<K>() {
+            for i in 0..self.buckets {
+                if is_full(self.ctrl[i]) {
+                    // SAFETY: FULL control byte ⇒ initialized key; the
+                    // fill below retires every slot.
+                    unsafe { self.slots[i].key.assume_init_drop() };
+                }
+            }
+        }
+        self.ctrl.fill(EMPTY);
+        self.tombstones = 0;
         self.t1 = List::new();
         self.t2 = List::new();
         if let Some(log) = self.delta.as_deref_mut() {
@@ -572,8 +972,8 @@ impl<K: Eq + Hash + Clone, S: BuildHasher + Default> TwoTierTable<K, S> {
     }
 
     /// Turns on delta tracking (DESIGN.md §15): from now on every
-    /// MRU-end movement stamps its node with the current generation and
-    /// evictions / back-of-T1 demotions are logged, so
+    /// MRU-end movement marks its entry dirty and evictions /
+    /// back-of-T1 demotions are logged, so
     /// [`extract_delta`](Self::extract_delta) can advance a mirror from
     /// one extraction point to the next bit-exactly. If the table
     /// already holds entries (e.g. it was just re-seeded after a
@@ -588,15 +988,14 @@ impl<K: Eq + Hash + Clone, S: BuildHasher + Default> TwoTierTable<K, S> {
         // bound in that rotation could grow on the hot path.
         let limit = self.op_limit();
         self.delta = Some(Box::new(DeltaLog {
-            gen: 1,
             ops: Vec::with_capacity(limit),
             pending_rebase: !self.is_empty(),
         }));
     }
 
     /// Reserves `out`'s buffers to this table's hard delta bounds — the
-    /// op-log overflow limit and the two tier capacities (a stamped
-    /// prefix visits each node at most once, so a touched list can
+    /// op-log overflow limit and the two tier capacities (a dirty
+    /// prefix visits each entry at most once, so a touched list can
     /// never exceed its tier) — making extraction into `out` provably
     /// allocation-free, independent of how many epochs merged while
     /// the buffer was away.
@@ -636,16 +1035,16 @@ impl<K: Eq + Hash + Clone, S: BuildHasher + Default> TwoTierTable<K, S> {
     }
 
     /// Drains everything that happened since the previous extraction
-    /// into `out` (clearing it first) and starts a new generation. With
+    /// into `out` (clearing it first) and starts a new epoch. With
     /// tracking disabled this only clears `out`.
     ///
-    /// Entries moved to an MRU end this generation form each tier's
+    /// Entries moved to an MRU end this epoch form each tier's
     /// contiguous head run (untouched entries never move, and the only
     /// non-front movements — evictions and back-of-T1 demotions — are
-    /// in the op log), so one stamped-prefix walk per tier captures
-    /// every front-mover in exact recency order. Steady-state calls
-    /// allocate only while the reused buffers are still growing toward
-    /// their plateau.
+    /// in the op log), so one dirty-prefix walk per tier captures
+    /// every front-mover in exact recency order, clearing each bit as
+    /// it goes. Steady-state calls allocate only while the reused
+    /// buffers are still growing toward their plateau.
     pub fn extract_delta(&mut self, out: &mut TableDelta<K>) {
         out.clear();
         let Some(log) = self.delta.as_deref_mut() else {
@@ -653,77 +1052,74 @@ impl<K: Eq + Hash + Clone, S: BuildHasher + Default> TwoTierTable<K, S> {
         };
         if log.pending_rebase {
             log.pending_rebase = false;
-            log.gen += 1;
             out.rebase = true;
+            // A rebase replaces the mirror wholesale, so it also
+            // retires any dirty bits left behind the prefix (e.g. on
+            // demoted entries) — the next epoch starts clean.
             let mut cursor = self.t2.head;
             while cursor != NIL {
-                let n = &self.nodes[cursor];
-                out.touched_t2.push((n.key.clone(), n.tally));
-                cursor = n.next;
+                let s = &mut self.slots[cursor as usize];
+                s.dirty = false;
+                // SAFETY: linked entries are FULL.
+                out.touched_t2
+                    .push((unsafe { s.key.assume_init_ref() }.clone(), s.tally));
+                cursor = s.next;
             }
             let mut cursor = self.t1.head;
             while cursor != NIL {
-                let n = &self.nodes[cursor];
-                out.touched_t1.push((n.key.clone(), n.tally));
-                cursor = n.next;
+                let s = &mut self.slots[cursor as usize];
+                s.dirty = false;
+                // SAFETY: linked entries are FULL.
+                out.touched_t1
+                    .push((unsafe { s.key.assume_init_ref() }.clone(), s.tally));
+                cursor = s.next;
             }
             return;
         }
         std::mem::swap(&mut log.ops, &mut out.ops);
-        let gen = log.gen;
-        log.gen += 1;
         let mut cursor = self.t2.head;
         while cursor != NIL {
-            let n = &self.nodes[cursor];
-            if n.stamp != gen {
+            let s = &mut self.slots[cursor as usize];
+            if !s.dirty {
                 break;
             }
-            out.touched_t2.push((n.key.clone(), n.tally));
-            cursor = n.next;
+            s.dirty = false;
+            // SAFETY: linked entries are FULL.
+            out.touched_t2
+                .push((unsafe { s.key.assume_init_ref() }.clone(), s.tally));
+            cursor = s.next;
         }
         let mut cursor = self.t1.head;
         while cursor != NIL {
-            let n = &self.nodes[cursor];
-            if n.stamp != gen {
+            let s = &mut self.slots[cursor as usize];
+            if !s.dirty {
                 break;
             }
-            out.touched_t1.push((n.key.clone(), n.tally));
-            cursor = n.next;
+            s.dirty = false;
+            // SAFETY: linked entries are FULL.
+            out.touched_t1
+                .push((unsafe { s.key.assume_init_ref() }.clone(), s.tally));
+            cursor = s.next;
         }
     }
 
-    /// Detaches `key`'s node from its list, or allocates a fresh
-    /// detached node for it — the shared front half of the mirror-side
+    /// Detaches `key`'s entry from its list, or inserts a fresh
+    /// detached entry for it — the shared front half of the mirror-side
     /// apply primitives below.
-    fn apply_detach_or_alloc(&mut self, key: &K) -> usize {
-        if let Some(&idx) = self.index.get(key) {
-            let list = match self.nodes[idx].tier {
-                Tier::T1 => &mut self.t1,
-                Tier::T2 => &mut self.t2,
-            };
-            Self::unlink(&mut self.nodes, list, idx);
-            idx
-        } else {
-            let node = Node {
-                key: key.clone(),
-                tally: 0,
-                tier: Tier::T1,
-                prev: NIL,
-                next: NIL,
-                stamp: 0,
-            };
-            let idx = match self.free.pop() {
-                Some(idx) => {
-                    self.nodes[idx] = node;
-                    idx
-                }
-                None => {
-                    self.nodes.push(node);
-                    self.nodes.len() - 1
-                }
-            };
-            self.index.insert(key.clone(), idx);
-            idx
+    fn apply_detach_or_alloc(&mut self, key: &K) -> u32 {
+        let hash = self.hasher.hash_one(key);
+        match self.probe(key, hash) {
+            Probe::Found(found) => {
+                let list = match self.slots[found].tier {
+                    Tier::T1 => &mut self.t1,
+                    Tier::T2 => &mut self.t2,
+                };
+                Self::unlink(&mut self.slots, list, found as u32);
+                found as u32
+            }
+            Probe::Vacant(candidate) => {
+                self.insert_at(candidate, hash, key.clone(), 0, Tier::T1, false)
+            }
         }
     }
 
@@ -733,116 +1129,240 @@ impl<K: Eq + Hash + Clone, S: BuildHasher + Default> TwoTierTable<K, S> {
     /// reproduces the prefix order exactly ([`LiveView`](crate::LiveView)).
     pub(crate) fn apply_upsert_front(&mut self, key: &K, tally: u32, tier: Tier) {
         let idx = self.apply_detach_or_alloc(key);
-        self.nodes[idx].tally = tally;
-        self.nodes[idx].tier = tier;
+        self.slots[idx as usize].tally = tally;
+        self.slots[idx as usize].tier = tier;
         let list = match tier {
             Tier::T1 => &mut self.t1,
             Tier::T2 => &mut self.t2,
         };
-        Self::push_front(&mut self.nodes, list, idx);
+        Self::push_front(&mut self.slots, list, idx);
     }
 
     /// Mirror-side upsert at T1's LRU end — replays a
     /// [`DeltaOp::DemoteBack`].
     pub(crate) fn apply_upsert_back_t1(&mut self, key: &K, tally: u32) {
         let idx = self.apply_detach_or_alloc(key);
-        self.nodes[idx].tally = tally;
-        self.nodes[idx].tier = Tier::T1;
-        Self::push_back(&mut self.nodes, &mut self.t1, idx);
+        self.slots[idx as usize].tally = tally;
+        self.slots[idx as usize].tier = Tier::T1;
+        Self::push_back(&mut self.slots, &mut self.t1, idx);
     }
 
     /// Mirror-side removal — replays a [`DeltaOp::Evict`]. Absent keys
     /// are a no-op (the entry may have been created and evicted within
-    /// one generation).
+    /// one epoch).
     pub(crate) fn apply_remove(&mut self, key: &K) {
-        if let Some(idx) = self.index.remove(key) {
-            let list = match self.nodes[idx].tier {
+        let hash = self.hasher.hash_one(key);
+        if let Probe::Found(found) = self.probe(key, hash) {
+            let list = match self.slots[found].tier {
                 Tier::T1 => &mut self.t1,
                 Tier::T2 => &mut self.t2,
             };
-            Self::unlink(&mut self.nodes, list, idx);
-            self.free.push(idx);
+            Self::unlink(&mut self.slots, list, found as u32);
+            // SAFETY: the entry was linked, hence FULL; `erase` retires
+            // the slot right after the key is dropped.
+            unsafe { self.slots[found].key.assume_init_drop() };
+            self.erase(found);
         }
     }
 
     /// Unlinks `idx` from `list` (which must be the list owning the
-    /// node). Free functions over disjoint field borrows keep these
-    /// primitives callable while the index's entry borrow is alive.
+    /// entry). Free functions over disjoint field borrows keep these
+    /// primitives callable while other table state is borrowed.
+    ///
+    /// These three run on every `record`; the link fields they chase
+    /// are list invariants (NIL or a valid slot index, checked by
+    /// `check_invariants` in debug builds), so the release build skips
+    /// the per-access bounds tests.
     #[inline]
-    fn unlink(nodes: &mut [Node<K>], list: &mut List, idx: usize) {
-        let (prev, next) = {
-            let n = &nodes[idx];
-            (n.prev, n.next)
-        };
-        if prev != NIL {
-            nodes[prev].next = next;
+    fn unlink(slots: &mut [Slot<K>], list: &mut List, idx: u32) {
+        debug_assert!((idx as usize) < slots.len());
+        // SAFETY: `idx` and the entry's prev/next links are valid slot
+        // indices by the list invariant.
+        unsafe {
+            let s = slots.get_unchecked(idx as usize);
+            let (prev, next) = (s.prev, s.next);
+            if prev != NIL {
+                slots.get_unchecked_mut(prev as usize).next = next;
+            }
+            if next != NIL {
+                slots.get_unchecked_mut(next as usize).prev = prev;
+            }
+            if list.head == idx {
+                list.head = next;
+            }
+            if list.tail == idx {
+                list.tail = prev;
+            }
+            list.len -= 1;
+            let s = slots.get_unchecked_mut(idx as usize);
+            s.prev = NIL;
+            s.next = NIL;
         }
-        if next != NIL {
-            nodes[next].prev = prev;
-        }
-        if list.head == idx {
-            list.head = next;
-        }
-        if list.tail == idx {
-            list.tail = prev;
-        }
-        list.len -= 1;
-        nodes[idx].prev = NIL;
-        nodes[idx].next = NIL;
     }
 
     #[inline]
-    fn push_front(nodes: &mut [Node<K>], list: &mut List, idx: usize) {
-        let head = list.head;
-        nodes[idx].prev = NIL;
-        nodes[idx].next = head;
-        if head != NIL {
-            nodes[head].prev = idx;
-        }
-        list.head = idx;
-        if list.tail == NIL {
-            list.tail = idx;
-        }
-        list.len += 1;
-    }
-
-    #[inline]
-    fn push_back(nodes: &mut [Node<K>], list: &mut List, idx: usize) {
-        let tail = list.tail;
-        nodes[idx].next = NIL;
-        nodes[idx].prev = tail;
-        if tail != NIL {
-            nodes[tail].next = idx;
-        }
-        list.tail = idx;
-        if list.head == NIL {
+    fn push_front(slots: &mut [Slot<K>], list: &mut List, idx: u32) {
+        debug_assert!((idx as usize) < slots.len());
+        // SAFETY: `idx` is a valid slot index and `list.head` is NIL
+        // or a valid slot index by the list invariant.
+        unsafe {
+            let head = list.head;
+            let s = slots.get_unchecked_mut(idx as usize);
+            s.prev = NIL;
+            s.next = head;
+            if head != NIL {
+                slots.get_unchecked_mut(head as usize).prev = idx;
+            }
             list.head = idx;
+            if list.tail == NIL {
+                list.tail = idx;
+            }
+            list.len += 1;
         }
-        list.len += 1;
     }
 
-    #[cfg(test)]
-    pub(crate) fn check_invariants(&self) {
+    #[inline]
+    fn push_back(slots: &mut [Slot<K>], list: &mut List, idx: u32) {
+        debug_assert!((idx as usize) < slots.len());
+        // SAFETY: `idx` is a valid slot index and `list.tail` is NIL
+        // or a valid slot index by the list invariant.
+        unsafe {
+            let tail = list.tail;
+            let s = slots.get_unchecked_mut(idx as usize);
+            s.next = NIL;
+            s.prev = tail;
+            if tail != NIL {
+                slots.get_unchecked_mut(tail as usize).next = idx;
+            }
+            list.tail = idx;
+            if list.head == NIL {
+                list.head = idx;
+            }
+            list.len += 1;
+        }
+    }
+
+    /// Full structural self-check: recency lists ↔ control bytes ↔
+    /// occupancy, tombstone accounting, mirror-byte consistency, and
+    /// probe reachability of every linked key. Debug builds only (the
+    /// release twin is a no-op) — tests call it after every mutation
+    /// batch.
+    #[cfg(debug_assertions)]
+    pub fn check_invariants(&self) {
         assert!(self.t1.len <= self.t1_capacity, "T1 over capacity");
         assert!(self.t2.len <= self.t2_capacity, "T2 over capacity");
-        assert_eq!(self.index.len(), self.t1.len + self.t2.len);
-        for (tier, list) in [(Tier::T1, &self.t1), (Tier::T2, &self.t2)] {
+        let full = (0..self.buckets).filter(|&i| is_full(self.ctrl[i])).count();
+        let deleted = (0..self.buckets)
+            .filter(|&i| self.ctrl[i] == DELETED)
+            .count();
+        assert_eq!(full, self.len(), "FULL control bytes vs list occupancy");
+        assert_eq!(deleted, self.tombstones, "tombstone count drift");
+        assert!(full + deleted <= self.max_load(), "load bound breached");
+        for g in 0..GROUP {
+            assert_eq!(self.ctrl[self.buckets + g], self.ctrl[g], "mirror bytes");
+        }
+        for (tier, list) in [(Tier::T1, self.t1), (Tier::T2, self.t2)] {
             let mut count = 0;
             let mut cursor = list.head;
             let mut prev = NIL;
             while cursor != NIL {
-                let node = &self.nodes[cursor];
-                assert_eq!(node.tier, tier);
-                assert_eq!(node.prev, prev);
-                assert_eq!(self.index[&node.key], cursor);
+                let idx = cursor as usize;
+                assert!(is_full(self.ctrl[idx]), "linked slot is not FULL");
+                let slot = &self.slots[idx];
+                assert_eq!(slot.tier, tier);
+                assert_eq!(slot.prev, prev);
+                // SAFETY: just asserted FULL.
+                let key = unsafe { slot.key.assume_init_ref() };
+                let hash = self.hasher.hash_one(key);
+                assert_eq!(self.ctrl[idx], h2(hash), "control byte is not the h2 tag");
+                match self.probe(key, hash) {
+                    Probe::Found(found) => assert_eq!(found, idx, "probe found a different slot"),
+                    Probe::Vacant(_) => panic!("linked key unreachable by probe"),
+                }
                 prev = cursor;
-                cursor = node.next;
+                cursor = slot.next;
                 count += 1;
                 assert!(count <= list.len, "list cycle detected");
             }
             assert_eq!(count, list.len);
             assert_eq!(list.tail, prev);
         }
+    }
+
+    /// Structural self-check — compiled to nothing without debug
+    /// assertions.
+    #[cfg(not(debug_assertions))]
+    #[inline]
+    pub fn check_invariants(&self) {}
+}
+
+impl<K, S> Drop for TwoTierTable<K, S> {
+    fn drop(&mut self) {
+        if !std::mem::needs_drop::<K>() {
+            return;
+        }
+        for i in 0..self.buckets {
+            if is_full(self.ctrl[i]) {
+                // SAFETY: FULL control byte ⇒ initialized key, dropped
+                // exactly once here.
+                unsafe { self.slots[i].key.assume_init_drop() };
+            }
+        }
+    }
+}
+
+impl<K: Clone, S: Clone> Clone for TwoTierTable<K, S> {
+    fn clone(&self) -> Self {
+        let slots = self
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Slot {
+                key: if is_full(self.ctrl[i]) {
+                    // SAFETY: FULL control byte ⇒ initialized key.
+                    MaybeUninit::new(unsafe { s.key.assume_init_ref() }.clone())
+                } else {
+                    MaybeUninit::uninit()
+                },
+                dirty: s.dirty,
+                tally: s.tally,
+                prev: s.prev,
+                next: s.next,
+                tier: s.tier,
+            })
+            .collect();
+        TwoTierTable {
+            ctrl: self.ctrl.clone(),
+            slots,
+            buckets: self.buckets,
+            tombstones: self.tombstones,
+            hasher: self.hasher.clone(),
+            t1: self.t1,
+            t2: self.t2,
+            t1_capacity: self.t1_capacity,
+            t2_capacity: self.t2_capacity,
+            promote_threshold: self.promote_threshold,
+            stats: self.stats,
+            delta: self.delta.clone(),
+        }
+    }
+}
+
+// Structural summary only: slot keys are conditionally initialized, so
+// a derived impl (which would also demand `K: Debug`) is not usable.
+impl<K, S> fmt::Debug for TwoTierTable<K, S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TwoTierTable")
+            .field("t1_len", &self.t1.len)
+            .field("t1_capacity", &self.t1_capacity)
+            .field("t2_len", &self.t2.len)
+            .field("t2_capacity", &self.t2_capacity)
+            .field("buckets", &self.buckets)
+            .field("tombstones", &self.tombstones)
+            .field("promote_threshold", &self.promote_threshold)
+            .field("stats", &self.stats)
+            .field("delta_tracking", &self.delta.is_some())
+            .finish()
     }
 }
 
@@ -851,7 +1371,7 @@ impl<K: Eq + Hash + Clone, S: BuildHasher + Default> TwoTierTable<K, S> {
 pub struct Iter<'a, K, S = FxBuildHasher> {
     table: &'a TwoTierTable<K, S>,
     tier: Tier,
-    cursor: usize,
+    cursor: u32,
 }
 
 impl<'a, K, S> Iterator for Iter<'a, K, S> {
@@ -867,9 +1387,10 @@ impl<'a, K, S> Iterator for Iter<'a, K, S> {
                 }
                 return None;
             }
-            let node = &self.table.nodes[self.cursor];
-            self.cursor = node.next;
-            return Some((&node.key, node.tally, node.tier));
+            let slot = &self.table.slots[self.cursor as usize];
+            self.cursor = slot.next;
+            // SAFETY: linked entries are FULL, hence initialized.
+            return Some((unsafe { slot.key.assume_init_ref() }, slot.tally, slot.tier));
         }
     }
 }
@@ -908,6 +1429,46 @@ mod tests {
             .filter(|(_, _, ti)| *ti == tier)
             .map(|(k, _, _)| *k)
             .collect()
+    }
+
+    #[test]
+    fn swar_match_byte_finds_all_occurrences() {
+        // Bytes: [0x21, EMPTY, 0x21, DELETED, 0x00, 0x7f, 0x21, EMPTY]
+        let group = u64::from_le_bytes([0x21, EMPTY, 0x21, DELETED, 0x00, 0x7f, 0x21, EMPTY]);
+        let m = match_byte(group, 0x21);
+        let hits: Vec<usize> = (0..8).filter(|i| m & (0x80 << (i * 8)) != 0).collect();
+        assert_eq!(hits, vec![0, 2, 6]);
+        assert_eq!(match_byte(group, 0x33), 0);
+    }
+
+    #[test]
+    fn swar_false_positives_never_flag_empty_or_deleted() {
+        // A true match followed by tag^0x01 can false-positive (borrow
+        // propagation) — allowed, it is another FULL byte. EMPTY and
+        // DELETED must never be flagged for any 7-bit tag.
+        for tag in 0..=0x7fu8 {
+            let adjacent = tag ^ 0x01;
+            let group =
+                u64::from_le_bytes([tag, adjacent, EMPTY, DELETED, tag, EMPTY, DELETED, adjacent]);
+            let m = match_byte(group, tag);
+            for i in [2usize, 3, 5, 6] {
+                assert_eq!(m & (0x80 << (i * 8)), 0, "tag {tag:#x} flagged byte {i}");
+            }
+            // The true matches are always present.
+            assert_ne!(m & 0x80, 0);
+            assert_ne!(m & (0x80 << 32), 0);
+        }
+    }
+
+    #[test]
+    fn swar_empty_and_deleted_masks() {
+        let group = u64::from_le_bytes([0x00, EMPTY, DELETED, 0x7f, EMPTY, 0x01, DELETED, EMPTY]);
+        let e = match_empty(group);
+        let ed = match_empty_or_deleted(group);
+        let flagged =
+            |m: u64| -> Vec<usize> { (0..8).filter(|i| m & (0x80 << (i * 8)) != 0).collect() };
+        assert_eq!(flagged(e), vec![1, 4, 7]);
+        assert_eq!(flagged(ed), vec![1, 2, 4, 6, 7]);
     }
 
     #[test]
@@ -1041,12 +1602,46 @@ mod tests {
 
     #[test]
     fn slot_reuse_after_eviction() {
+        // Tiny table, long churn: every record after the first evicts,
+        // so tombstones accumulate and the load bound forces repeated
+        // in-place rehashes — memory must stay at its construction
+        // plateau and the table must stay fully consistent throughout.
         let mut t = TwoTierTable::new(1, 1, 2);
-        for k in 0..100 {
+        let footprint = t.memory_bytes();
+        for k in 0..1000 {
             t.record(k);
+            t.check_invariants();
         }
         assert_eq!(t.len(), 1);
-        assert!(t.nodes.len() <= 2, "slab should recycle slots");
+        assert_eq!(t.memory_bytes(), footprint, "fixed-size storage grew");
+        t.check_invariants();
+    }
+
+    #[test]
+    fn tombstone_churn_keeps_keys_reachable() {
+        // Alternating remove/insert over a stable working set drills
+        // erase's EMPTY-vs-DELETED decision: every surviving key must
+        // stay reachable through any tombstones left behind.
+        let mut t = TwoTierTable::new(8, 8, 2);
+        for k in 0..16u64 {
+            t.record(k);
+            t.record(k);
+        }
+        let mut x = 7u64;
+        for _ in 0..2000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let k = (x >> 33) % 24;
+            if x.is_multiple_of(3) {
+                t.remove(&k);
+            } else {
+                t.record(k);
+            }
+            for (key, tally, _) in t.iter().map(|(k, ta, ti)| (*k, ta, ti)).collect::<Vec<_>>() {
+                assert_eq!(t.tally(&key), Some(tally), "key {key} lost");
+            }
+        }
         t.check_invariants();
     }
 
@@ -1063,6 +1658,24 @@ mod tests {
         let top = t.entries_with_min_tally(2);
         assert_eq!(top, vec![("a", 5), ("b", 3)]);
         assert_eq!(t.entries_with_min_tally(100), vec![]);
+    }
+
+    #[test]
+    fn entries_with_min_tally_breaks_ties_by_key() {
+        let mut t = TwoTierTable::new(8, 8, 3);
+        for k in ["d", "b", "c", "a"] {
+            t.record(k);
+            t.record(k);
+        }
+        assert_eq!(
+            t.entries_with_min_tally(2),
+            vec![("a", 2), ("b", 2), ("c", 2), ("d", 2)]
+        );
+        // The reusable-buffer entry point produces the same list and
+        // clears stale contents first.
+        let mut out = vec![("zzz", 999)];
+        t.entries_with_min_tally_into(2, &mut out);
+        assert_eq!(out, vec![("a", 2), ("b", 2), ("c", 2), ("d", 2)]);
     }
 
     #[test]
@@ -1086,6 +1699,28 @@ mod tests {
         t.record(3);
         assert_eq!(t.len(), 1);
         t.check_invariants();
+    }
+
+    #[test]
+    fn clone_and_drop_handle_owned_keys() {
+        // String keys exercise the manual Drop/Clone over
+        // conditionally-initialized slots (miri-style churn: clones,
+        // clears and natural drops must each free every live key
+        // exactly once).
+        let mut t = TwoTierTable::new(4, 4, 2);
+        for k in 0..12u32 {
+            t.record(format!("key-{k}"));
+        }
+        let c = t.clone();
+        assert_eq!(t.len(), c.len());
+        for (k, tally, tier) in t.iter() {
+            assert_eq!(c.tally(k), Some(tally));
+            assert_eq!(c.tier(k), Some(tier));
+        }
+        t.clear();
+        assert!(t.is_empty());
+        drop(t);
+        drop(c);
     }
 
     #[test]
@@ -1178,16 +1813,45 @@ mod tests {
     }
 
     #[test]
-    fn memory_bytes_is_capacity_based() {
+    fn memory_bytes_is_exact_owned_allocations() {
         let t = TwoTierTable::<u64>::new(100, 28, 2);
-        let per_entry = std::mem::size_of::<u64>()
-            + std::mem::size_of::<usize>()
-            + std::mem::size_of::<Node<u64>>();
-        assert_eq!(t.memory_bytes(), 128 * per_entry);
-        // Contents don't change the configured footprint.
+        // One slot array plus control bytes (with the group-sized
+        // mirror tail), nothing else.
+        let expected = (t.buckets + GROUP) + t.buckets * std::mem::size_of::<Slot<u64>>();
+        assert_eq!(t.memory_bytes(), expected);
+        // Contents don't change the footprint (fixed-size storage)...
         let mut u = TwoTierTable::<u64>::new(100, 28, 2);
         u.record(7);
         assert_eq!(u.memory_bytes(), t.memory_bytes());
+        // ...and enabling delta tracking adds exactly the op log.
+        u.enable_delta_tracking();
+        assert_eq!(
+            u.memory_bytes(),
+            expected + (128 + 64) * std::mem::size_of::<DeltaOp<u64>>()
+        );
+    }
+
+    #[test]
+    fn open_layout_beats_map_layout_by_a_quarter() {
+        use crate::map_table::MapTable;
+        use rtdac_types::{Extent, ExtentPair};
+        // The bytes-per-entry gate at the analyzer's real key types:
+        // at least 25% below the map-index layout at equal capacities.
+        fn reduction<K: Eq + Hash + Clone + Ord>(caps: (usize, usize)) -> f64 {
+            let open = TwoTierTable::<K>::new(caps.0, caps.1, 2).memory_bytes() as f64;
+            let map = MapTable::<K>::new(caps.0, caps.1, 2).memory_bytes() as f64;
+            1.0 - open / map
+        }
+        for caps in [(64, 64), (1024, 1024), (4096, 4096)] {
+            assert!(
+                reduction::<Extent>(caps) >= 0.25,
+                "item-table reduction below gate at {caps:?}"
+            );
+            assert!(
+                reduction::<ExtentPair>(caps) >= 0.25,
+                "pair-table reduction below gate at {caps:?}"
+            );
+        }
     }
 
     /// Replays `delta` onto a (non-tracking) mirror table — the
@@ -1269,7 +1933,7 @@ mod tests {
     #[test]
     fn delta_overflow_rebases_and_still_matches() {
         // Capacity (1,1): op limit is 4*2+64 = 72, and nearly every
-        // record logs an eviction — a 500-step generation must
+        // record logs an eviction — a 500-step epoch must
         // overflow the log and fall back to a full-dump rebase.
         let mut table = TwoTierTable::new(1, 1, 2);
         let mut mirror = TwoTierTable::new(1, 1, 2);
@@ -1310,7 +1974,7 @@ mod tests {
     #[test]
     fn delta_tracking_does_not_change_policy() {
         // The tracked table must behave identically to an untracked
-        // one: stamping and logging are pure observers.
+        // one: dirty-marking and logging are pure observers.
         let mut plain = TwoTierTable::new(2, 2, 2);
         let mut tracked = TwoTierTable::new(2, 2, 2);
         tracked.enable_delta_tracking();

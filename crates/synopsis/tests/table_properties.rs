@@ -3,7 +3,7 @@
 //! implementation under arbitrary operation sequences.
 
 use proptest::prelude::*;
-use rtdac_synopsis::{Tier, TwoTierTable};
+use rtdac_synopsis::{MapTable, TableDelta, Tier, TwoTierTable};
 
 /// Naive reference: two `Vec`s ordered MRU→LRU, linear scans everywhere.
 struct RefTable {
@@ -199,6 +199,106 @@ proptest! {
             t.record(42u16);
         }
         prop_assert_eq!(t.tier(&42), Some(Tier::T2));
+    }
+}
+
+/// Full-API operation for the open-vs-map oracle property: everything
+/// the table exposes, including the mutations the simple model above
+/// cannot express (seeding, admission filtering, clears, delta
+/// extraction).
+#[derive(Clone, Debug)]
+enum OracleOp {
+    Record(u16),
+    RecordFiltered(u16, bool),
+    Seed(u16, u32, bool),
+    Demote(u16),
+    Remove(u16),
+    Clear,
+    ExtractDelta,
+}
+
+fn oracle_op_strategy(key_space: u16) -> impl Strategy<Value = OracleOp> {
+    prop_oneof![
+        10 => (0..key_space).prop_map(OracleOp::Record),
+        3 => ((0..key_space), any::<bool>())
+            .prop_map(|(k, admit)| OracleOp::RecordFiltered(k, admit)),
+        2 => ((0..key_space), 1u32..8, any::<bool>())
+            .prop_map(|(k, tally, t2)| OracleOp::Seed(k, tally, t2)),
+        2 => (0..key_space).prop_map(OracleOp::Demote),
+        2 => (0..key_space).prop_map(OracleOp::Remove),
+        1 => Just(OracleOp::Clear),
+        2 => Just(OracleOp::ExtractDelta),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The open-addressing `TwoTierTable` is bit-exact to `MapTable`
+    /// (the preserved HashMap-index implementation) across the whole
+    /// API: identical `Record` returns, stats, MRU→LRU iteration order
+    /// and delta streams under arbitrary operation sequences.
+    #[test]
+    fn open_table_matches_map_oracle(
+        t1_cap in 1usize..8,
+        t2_cap in 1usize..8,
+        threshold in 2u32..5,
+        ops in prop::collection::vec(oracle_op_strategy(24), 0..300),
+    ) {
+        let mut open = TwoTierTable::new(t1_cap, t2_cap, threshold);
+        let mut map = MapTable::new(t1_cap, t2_cap, threshold);
+        open.enable_delta_tracking();
+        map.enable_delta_tracking();
+        let mut open_delta = TableDelta::default();
+        let mut map_delta = TableDelta::default();
+        for op in ops {
+            match op {
+                OracleOp::Record(k) => {
+                    prop_assert_eq!(open.record(k), map.record(k));
+                }
+                OracleOp::RecordFiltered(k, admit) => {
+                    prop_assert_eq!(
+                        open.record_filtered(k, || admit),
+                        map.record_filtered(k, || admit)
+                    );
+                }
+                OracleOp::Seed(k, tally, t2) => {
+                    let tier = if t2 { Tier::T2 } else { Tier::T1 };
+                    prop_assert_eq!(open.seed(k, tally, tier), map.seed(k, tally, tier));
+                }
+                OracleOp::Demote(k) => {
+                    prop_assert_eq!(open.demote(&k), map.demote(&k));
+                }
+                OracleOp::Remove(k) => {
+                    prop_assert_eq!(open.remove(&k), map.remove(&k));
+                }
+                OracleOp::Clear => {
+                    open.clear();
+                    map.clear();
+                }
+                OracleOp::ExtractDelta => {
+                    open.extract_delta(&mut open_delta);
+                    map.extract_delta(&mut map_delta);
+                    prop_assert_eq!(&open_delta, &map_delta);
+                }
+            }
+            open.check_invariants();
+            prop_assert_eq!(open.len(), map.len());
+            prop_assert_eq!(open.stats(), map.stats());
+            let open_entries: Vec<(u16, u32, Tier)> =
+                open.iter().map(|(k, t, ti)| (*k, t, ti)).collect();
+            let map_entries: Vec<(u16, u32, Tier)> =
+                map.iter().map(|(k, t, ti)| (*k, t, ti)).collect();
+            prop_assert_eq!(open_entries, map_entries);
+        }
+        // Whatever accumulated past the last extraction must also agree.
+        open.extract_delta(&mut open_delta);
+        map.extract_delta(&mut map_delta);
+        prop_assert_eq!(&open_delta, &map_delta);
+        prop_assert_eq!(
+            open.entries_with_min_tally(2),
+            map.entries_with_min_tally(2)
+        );
     }
 }
 
